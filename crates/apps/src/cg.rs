@@ -1,0 +1,293 @@
+//! Distributed conjugate gradient for the 2-D 5-point Laplacian.
+//!
+//! The grid is `n × n` unknowns, partitioned by contiguous **block rows**
+//! across images. A matrix-vector product needs each image's first and
+//! last grid row in its neighbors' halos (one-sided puts + `sync images`
+//! with the two neighbors only), and each CG iteration performs three
+//! global dot products (`co_sum` on a single f64 — the latency-bound
+//! allreduce the paper's two-level reduction targets).
+
+use caf_runtime::{Coarray, ImageCtx};
+
+/// Problem configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct CgConfig {
+    /// Grid side: the system has `n × n` unknowns.
+    pub n: usize,
+    /// Convergence threshold on ‖r‖₂ / ‖b‖₂.
+    pub rtol: f64,
+    /// Iteration cap.
+    pub max_iters: usize,
+}
+
+/// Per-image result.
+#[derive(Clone, Debug)]
+pub struct CgOutcome {
+    /// Iterations executed.
+    pub iters: usize,
+    /// Final relative residual ‖r‖₂ / ‖b‖₂.
+    pub rel_residual: f64,
+    /// Nanoseconds between the solve's start/end barriers.
+    pub time_ns: u64,
+    /// My slice of the solution (grid rows `row0..row0+rows`, row-major).
+    pub x_local: Vec<f64>,
+    /// First grid row owned by this image.
+    pub row0: usize,
+}
+
+/// Contiguous block-row partition of `n` grid rows over `p` images:
+/// image `i` (0-based) owns rows `[start(i), start(i+1))`.
+fn row_range(n: usize, p: usize, i: usize) -> (usize, usize) {
+    let base = n / p;
+    let extra = n % p;
+    let start = i * base + i.min(extra);
+    let len = base + usize::from(i < extra);
+    (start, start + len)
+}
+
+/// `y = A·x` for the 5-point Laplacian (4 on the diagonal, −1 for the four
+/// neighbors, Dirichlet zero boundary), on my block of rows. `x` carries
+/// two halo rows: `x[0..n]` = row above my block, `x[n..]` = my rows, last
+/// `n` = row below.
+fn laplacian_matvec(n: usize, rows: usize, x_halo: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x_halo.len(), (rows + 2) * n);
+    debug_assert_eq!(y.len(), rows * n);
+    for r in 0..rows {
+        let me = &x_halo[(r + 1) * n..(r + 2) * n];
+        let up = &x_halo[r * n..(r + 1) * n];
+        let dn = &x_halo[(r + 2) * n..(r + 3) * n];
+        let out = &mut y[r * n..(r + 1) * n];
+        for c in 0..n {
+            let mut v = 4.0 * me[c];
+            if c > 0 {
+                v -= me[c - 1];
+            }
+            if c + 1 < n {
+                v -= me[c + 1];
+            }
+            v -= up[c] + dn[c];
+            out[c] = v;
+        }
+    }
+}
+
+/// Solve `A·x = b` with b ≡ 1, returning when ‖r‖/‖b‖ ≤ rtol. Collective
+/// over the current team.
+pub fn cg_solve(img: &mut ImageCtx, cfg: &CgConfig) -> CgOutcome {
+    let n = cfg.n;
+    let p = img.num_images();
+    let me0 = img.this_image() - 1;
+    let (row0, row1) = row_range(n, p, me0);
+    let rows = row1 - row0;
+    assert!(rows > 0, "more images than grid rows ({p} > {n})");
+    let len = rows * n;
+
+    // Halo coarray: slot 0 = "row pushed up to me from below"?? Layout:
+    // [0..n) = halo from the image above (their last row),
+    // [n..2n) = halo from the image below (their first row).
+    let halo: Coarray<f64> = img.coarray(2 * n);
+    let flops_per_mv = (9 * len) as u64;
+
+    let dot = |img: &mut ImageCtx, a: &[f64], b: &[f64]| -> f64 {
+        let local: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        img.compute(img.fabric().cost().flops_to_ns(2 * len as u64));
+        let mut v = [local];
+        img.co_sum(&mut v);
+        v[0]
+    };
+
+    // State: x = 0, r = b = 1, p_dir = r.
+    let mut x = vec![0.0f64; len];
+    let mut r = vec![1.0f64; len];
+    let mut p_dir = r.clone();
+    let mut halo_buf = vec![0.0f64; (rows + 2) * n];
+    let mut ap = vec![0.0f64; len];
+
+    img.sync_all();
+    let t0 = img.now_ns();
+
+    let bnorm2 = dot(img, &r, &r); // ‖b‖² = n²
+    let mut rr = bnorm2;
+    let mut iters = 0;
+
+    while iters < cfg.max_iters && (rr / bnorm2).sqrt() > cfg.rtol {
+        // Halo exchange of p_dir's boundary rows with up/down neighbors.
+        let mut partners = Vec::new();
+        if me0 > 0 {
+            halo.put(me0, n, &p_dir[0..n]); // my first row -> above's "below" slot
+            partners.push(me0); // 1-based index of the image above
+        }
+        if me0 + 1 < p {
+            halo.put(me0 + 2, 0, &p_dir[len - n..len]); // my last row -> below's "above" slot
+            partners.push(me0 + 2);
+        }
+        img.sync_images(&partners);
+        halo_buf[..n].fill(0.0);
+        halo_buf[(rows + 1) * n..].fill(0.0);
+        if me0 > 0 {
+            halo.get(me0 + 1, 0, &mut halo_buf[..n]);
+        }
+        if me0 + 1 < p {
+            let (lo, hi) = ((rows + 1) * n, (rows + 2) * n);
+            halo.get(me0 + 1, n, &mut halo_buf[lo..hi]);
+        }
+        halo_buf[n..(rows + 1) * n].copy_from_slice(&p_dir);
+
+        laplacian_matvec(n, rows, &halo_buf, &mut ap);
+        img.compute(img.fabric().cost().flops_to_ns(flops_per_mv));
+
+        let pap = dot(img, &p_dir, &ap);
+        let alpha = rr / pap;
+        for i in 0..len {
+            x[i] += alpha * p_dir[i];
+            r[i] -= alpha * ap[i];
+        }
+        img.compute(img.fabric().cost().flops_to_ns(4 * len as u64));
+
+        let rr_new = dot(img, &r, &r);
+        let beta = rr_new / rr;
+        for i in 0..len {
+            p_dir[i] = r[i] + beta * p_dir[i];
+        }
+        img.compute(img.fabric().cost().flops_to_ns(2 * len as u64));
+        rr = rr_new;
+        iters += 1;
+
+        // The halo slots are reused next iteration; the neighbors have
+        // consumed them (their matvec is done) once they reach this
+        // point — enforced by the second sync of the next exchange…
+        // conservatively, a cheap pairwise fence here:
+        img.sync_images(&partners);
+    }
+
+    img.sync_all();
+    CgOutcome {
+        iters,
+        rel_residual: (rr / bnorm2).sqrt(),
+        time_ns: img.now_ns() - t0,
+        x_local: x,
+        row0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caf_runtime::{run, CollectiveConfig, RunConfig};
+    use caf_topology::presets;
+
+    #[test]
+    fn row_ranges_partition_exactly() {
+        for n in [5usize, 16, 33] {
+            for p in 1..=6 {
+                if p > n {
+                    continue;
+                }
+                let mut covered = 0;
+                for i in 0..p {
+                    let (a, b) = row_range(n, p, i);
+                    assert_eq!(a, covered, "gap at image {i}");
+                    assert!(b > a);
+                    covered = b;
+                }
+                assert_eq!(covered, n);
+            }
+        }
+    }
+
+    #[test]
+    fn serial_matvec_matches_dense_laplacian() {
+        let n = 4;
+        // Whole domain on one "image": halo rows are zero.
+        let x: Vec<f64> = (0..n * n).map(|i| (i as f64) * 0.1 - 0.3).collect();
+        let mut halo = vec![0.0; (n + 2) * n];
+        halo[n..(n + 1) * n].copy_from_slice(&x);
+        let mut y = vec![0.0; n * n];
+        laplacian_matvec(n, n, &halo, &mut y);
+        // Dense reference.
+        for r in 0..n {
+            for c in 0..n {
+                let mut v = 4.0 * x[r * n + c];
+                if c > 0 {
+                    v -= x[r * n + c - 1];
+                }
+                if c + 1 < n {
+                    v -= x[r * n + c + 1];
+                }
+                if r > 0 {
+                    v -= x[(r - 1) * n + c];
+                }
+                if r + 1 < n {
+                    v -= x[(r + 1) * n + c];
+                }
+                assert!((y[r * n + c] - v).abs() < 1e-13);
+            }
+        }
+    }
+
+    fn converges(images: usize, nodes: usize, cores: usize, n: usize, cfgc: CollectiveConfig) {
+        let rc = RunConfig::sim_packed(presets::mini(nodes, cores), images).with_collectives(cfgc);
+        let cfg = CgConfig {
+            n,
+            rtol: 1e-8,
+            max_iters: 500,
+        };
+        let out = run(rc, move |img| {
+            let o = cg_solve(img, &cfg);
+            (o.iters, o.rel_residual, o.x_local, o.row0)
+        });
+        let (iters0, res0, ..) = out[0];
+        assert!(res0 <= 1e-8, "did not converge: {res0}");
+        assert!(iters0 > 0 && iters0 < 500);
+        for (iters, res, ..) in &out {
+            assert_eq!(*iters, iters0, "images disagree on iteration count");
+            assert!((res - res0).abs() < 1e-12);
+        }
+        // Verify A·x = 1 on the assembled solution.
+        let mut full = vec![0.0f64; n * n];
+        for (_, _, xs, row0) in &out {
+            full[row0 * n..row0 * n + xs.len()].copy_from_slice(xs);
+        }
+        let mut halo = vec![0.0; (n + 2) * n];
+        halo[n..(n + 1) * n].copy_from_slice(&full);
+        let mut y = vec![0.0; n * n];
+        laplacian_matvec(n, n, &halo, &mut y);
+        for v in y {
+            assert!((v - 1.0).abs() < 1e-6, "A x should be 1, got {v}");
+        }
+    }
+
+    #[test]
+    fn cg_single_image() {
+        converges(1, 1, 1, 8, CollectiveConfig::auto());
+    }
+
+    #[test]
+    fn cg_four_images_two_nodes() {
+        converges(4, 2, 2, 12, CollectiveConfig::auto());
+    }
+
+    #[test]
+    fn cg_uneven_rows() {
+        // 13 rows over 4 images: 4/3/3/3.
+        converges(4, 2, 2, 13, CollectiveConfig::auto());
+    }
+
+    #[test]
+    fn cg_one_level_and_two_level_agree() {
+        converges(6, 2, 3, 12, CollectiveConfig::one_level());
+        converges(6, 2, 3, 12, CollectiveConfig::two_level());
+    }
+
+    #[test]
+    fn cg_on_threads() {
+        let rc = RunConfig::threads_packed(presets::mini(2, 2), 4);
+        let cfg = CgConfig {
+            n: 10,
+            rtol: 1e-8,
+            max_iters: 300,
+        };
+        let out = run(rc, move |img| cg_solve(img, &cfg).rel_residual);
+        assert!(out.iter().all(|r| *r <= 1e-8));
+    }
+}

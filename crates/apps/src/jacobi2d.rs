@@ -1,0 +1,246 @@
+//! 2-D Jacobi iteration on a P×Q image grid: the canonical PGAS stencil.
+//!
+//! The domain is decomposed in both dimensions; each image exchanges four
+//! halos per sweep (one-sided puts + `sync images` with its grid
+//! neighbors) and every `check_every` sweeps the team agrees on the global
+//! update magnitude with a `co_max` — a latency-bound reduction on the
+//! whole team.
+
+use caf_runtime::{Coarray, ImageCtx};
+
+/// Near-square process grid `P × Q` with `P ≤ Q` (same policy as the HPL
+/// port's `grid_dims`).
+fn grid_dims(n_images: usize) -> (usize, usize) {
+    let mut p = (n_images as f64).sqrt() as usize;
+    while p > 1 && !n_images.is_multiple_of(p) {
+        p -= 1;
+    }
+    (p.max(1), n_images / p.max(1))
+}
+
+/// Problem configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Jacobi2dConfig {
+    /// Interior cells per image, per dimension (each image owns a
+    /// `tile × tile` block; the global domain is `(P·tile) × (Q·tile)`).
+    pub tile: usize,
+    /// Dirichlet boundary value on the whole outer boundary.
+    pub boundary: f64,
+    /// Stop when the largest cell update is below this.
+    pub tol: f64,
+    /// Residual check (and `co_max`) frequency, in sweeps.
+    pub check_every: usize,
+    /// Sweep cap.
+    pub max_sweeps: usize,
+}
+
+/// Per-image result.
+#[derive(Clone, Debug)]
+pub struct Jacobi2dOutcome {
+    /// Sweeps executed.
+    pub sweeps: usize,
+    /// Final global max update.
+    pub max_update: f64,
+    /// Nanoseconds between start/end barriers.
+    pub time_ns: u64,
+    /// Mean of my tile (sanity statistic).
+    pub tile_mean: f64,
+}
+
+/// Run Jacobi until the global update drops below `tol`. Collective over
+/// the current team; works for any image count (the grid is chosen with
+/// [`grid_dims`]).
+pub fn jacobi2d(img: &mut ImageCtx, cfg: &Jacobi2dConfig) -> Jacobi2dOutcome {
+    let t = cfg.tile;
+    assert!(t >= 1);
+    let n_images = img.num_images();
+    let (p, q) = grid_dims(n_images);
+    let me0 = img.this_image() - 1;
+    let (prow, pcol) = (me0 / q, me0 % q);
+
+    // Halo coarray: 4 slots of `tile` values: 0=N in, 1=S in, 2=W in, 3=E in.
+    let halo: Coarray<f64> = img.coarray(4 * t);
+    let at = |r: usize, c: usize| r * (t + 2) + c; // (t+2)^2 padded tile
+    let mut u = vec![0.0f64; (t + 2) * (t + 2)];
+    let mut next = u.clone();
+
+    // Outer-boundary pads hold the Dirichlet value permanently.
+    let is_top = prow == 0;
+    let is_bottom = prow == p - 1;
+    let is_left = pcol == 0;
+    let is_right = pcol == q - 1;
+    let neighbor1 = |dr: isize, dc: isize| -> usize {
+        let r = (prow as isize + dr) as usize;
+        let c = (pcol as isize + dc) as usize;
+        r * q + c + 1
+    };
+
+    img.sync_all();
+    let t0 = img.now_ns();
+    let mut sweeps = 0;
+    let mut max_update = f64::INFINITY;
+
+    while sweeps < cfg.max_sweeps && max_update > cfg.tol {
+        // Push my four edges into neighbors' halos (or set boundary pads).
+        let mut partners = Vec::new();
+        if is_top {
+            for c in 0..t + 2 {
+                u[at(0, c)] = cfg.boundary;
+            }
+        } else {
+            let edge: Vec<f64> = (1..=t).map(|c| u[at(1, c)]).collect();
+            halo.put(neighbor1(-1, 0), t, &edge); // their S-in slot
+            partners.push(neighbor1(-1, 0));
+        }
+        if is_bottom {
+            for c in 0..t + 2 {
+                u[at(t + 1, c)] = cfg.boundary;
+            }
+        } else {
+            let edge: Vec<f64> = (1..=t).map(|c| u[at(t, c)]).collect();
+            halo.put(neighbor1(1, 0), 0, &edge); // their N-in slot
+            partners.push(neighbor1(1, 0));
+        }
+        if is_left {
+            for r in 0..t + 2 {
+                u[at(r, 0)] = cfg.boundary;
+            }
+        } else {
+            let edge: Vec<f64> = (1..=t).map(|r| u[at(r, 1)]).collect();
+            halo.put(neighbor1(0, -1), 3 * t, &edge); // their E-in slot
+            partners.push(neighbor1(0, -1));
+        }
+        if is_right {
+            for r in 0..t + 2 {
+                u[at(r, t + 1)] = cfg.boundary;
+            }
+        } else {
+            let edge: Vec<f64> = (1..=t).map(|r| u[at(r, t)]).collect();
+            halo.put(neighbor1(0, 1), 2 * t, &edge); // their W-in slot
+            partners.push(neighbor1(0, 1));
+        }
+        img.sync_images(&partners);
+
+        // Pull received halos into the pads.
+        let mine1 = me0 + 1;
+        let mut buf = vec![0.0f64; t];
+        if !is_top {
+            halo.get(mine1, 0, &mut buf);
+            for c in 1..=t {
+                u[at(0, c)] = buf[c - 1];
+            }
+        }
+        if !is_bottom {
+            halo.get(mine1, t, &mut buf);
+            for c in 1..=t {
+                u[at(t + 1, c)] = buf[c - 1];
+            }
+        }
+        if !is_left {
+            halo.get(mine1, 2 * t, &mut buf);
+            for r in 1..=t {
+                u[at(r, 0)] = buf[r - 1];
+            }
+        }
+        if !is_right {
+            halo.get(mine1, 3 * t, &mut buf);
+            for r in 1..=t {
+                u[at(r, t + 1)] = buf[r - 1];
+            }
+        }
+
+        // Jacobi sweep.
+        let mut local_update = 0.0f64;
+        for r in 1..=t {
+            for c in 1..=t {
+                let v = 0.25 * (u[at(r - 1, c)] + u[at(r + 1, c)] + u[at(r, c - 1)] + u[at(r, c + 1)]);
+                local_update = local_update.max((v - u[at(r, c)]).abs());
+                next[at(r, c)] = v;
+            }
+        }
+        img.compute(img.fabric().cost().flops_to_ns((6 * t * t) as u64));
+        std::mem::swap(&mut u, &mut next);
+        sweeps += 1;
+
+        // Pairwise fence so halo slots may be overwritten next sweep.
+        img.sync_images(&partners);
+
+        if sweeps % cfg.check_every == 0 {
+            let mut m = [local_update];
+            img.co_max(&mut m);
+            max_update = m[0];
+        }
+    }
+
+    img.sync_all();
+    let interior: f64 = (1..=t)
+        .flat_map(|r| (1..=t).map(move |c| (r, c)))
+        .map(|(r, c)| u[at(r, c)])
+        .sum();
+    Jacobi2dOutcome {
+        sweeps,
+        max_update,
+        time_ns: img.now_ns() - t0,
+        tile_mean: interior / (t * t) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caf_runtime::{run, RunConfig};
+    use caf_topology::presets;
+
+    fn check(images: usize, nodes: usize, cores: usize, tile: usize) {
+        let rc = RunConfig::sim_packed(presets::mini(nodes, cores), images);
+        let cfg = Jacobi2dConfig {
+            tile,
+            boundary: 1.0,
+            tol: 1e-6,
+            check_every: 5,
+            max_sweeps: 20_000,
+        };
+        let out = run(rc, move |img| {
+            let o = jacobi2d(img, &cfg);
+            (o.sweeps, o.max_update, o.tile_mean)
+        });
+        let (sweeps0, upd0, _) = out[0];
+        assert!(upd0 <= 1e-6, "did not converge: {upd0}");
+        for (sweeps, _, mean) in &out {
+            assert_eq!(*sweeps, sweeps0, "images must agree on sweep count");
+            // With boundary 1.0 everywhere, the interior converges to 1.
+            assert!((mean - 1.0).abs() < 1e-3, "tile mean {mean}");
+        }
+    }
+
+    #[test]
+    fn jacobi_single_image() {
+        check(1, 1, 1, 6);
+    }
+
+    #[test]
+    fn jacobi_2x2_grid() {
+        check(4, 2, 2, 5);
+    }
+
+    #[test]
+    fn jacobi_2x3_grid() {
+        check(6, 2, 3, 4);
+    }
+
+    #[test]
+    fn jacobi_on_threads() {
+        let rc = RunConfig::threads_packed(presets::mini(2, 2), 4);
+        let cfg = Jacobi2dConfig {
+            tile: 4,
+            boundary: 2.5,
+            tol: 1e-5,
+            check_every: 4,
+            max_sweeps: 10_000,
+        };
+        let out = run(rc, move |img| jacobi2d(img, &cfg).tile_mean);
+        for mean in out {
+            assert!((mean - 2.5).abs() < 1e-2, "mean {mean}");
+        }
+    }
+}

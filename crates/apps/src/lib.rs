@@ -1,0 +1,29 @@
+//! # caf-apps
+//!
+//! Application kernels written against the `caf-rs` runtime — the style of
+//! workload the paper's introduction motivates teams with: "decompose
+//! applications into subproblems that may be worked upon concurrently, and
+//! organize this work among subsets of image teams".
+//!
+//! * [`cg`] — a distributed conjugate-gradient solver for the 5-point
+//!   Laplacian: halo exchange with `sync images`, dot products with
+//!   `co_sum` (latency-bound allreduces — exactly the collective the
+//!   paper's two-level reduction accelerates).
+//! * [`jacobi2d`] — 2-D Jacobi iteration on a P×Q image grid with row/
+//!   column neighbor halos and a periodic `co_max` residual check.
+//! * [`montecarlo`] — embarrassingly parallel π estimation where disjoint
+//!   teams estimate independently (no global synchronization) before one
+//!   final cross-team combine.
+//!
+//! All kernels run unchanged on the virtual-time simulator and the real
+//! threads fabric, and account their flops to the simulated clock.
+
+#![warn(missing_docs)]
+
+pub mod cg;
+pub mod jacobi2d;
+pub mod montecarlo;
+
+pub use cg::{cg_solve, CgConfig, CgOutcome};
+pub use jacobi2d::{jacobi2d, Jacobi2dConfig, Jacobi2dOutcome};
+pub use montecarlo::{pi_teams, PiConfig, PiOutcome};

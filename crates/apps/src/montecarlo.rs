@@ -1,0 +1,156 @@
+//! Monte Carlo π with teams: the "loosely-coupled subproblems" pattern of
+//! the paper's §I — disjoint teams sample independently, combining only
+//! within themselves (`co_sum` on the subteam), and the full-team combine
+//! happens exactly once at the end. No global synchronization while the
+//! teams work.
+
+use caf_runtime::ImageCtx;
+
+/// Configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct PiConfig {
+    /// Samples drawn by each image.
+    pub samples_per_image: u64,
+    /// Number of independent teams to split into.
+    pub teams: usize,
+    /// RNG seed (deterministic per image).
+    pub seed: u64,
+}
+
+/// Per-image result.
+#[derive(Clone, Copy, Debug)]
+pub struct PiOutcome {
+    /// My team's independent estimate of π.
+    pub team_estimate: f64,
+    /// The final cross-team (global) estimate.
+    pub global_estimate: f64,
+    /// The team this image worked in.
+    pub team_number: i64,
+}
+
+#[inline]
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+#[inline]
+fn unit(x: &mut u64) -> f64 {
+    (splitmix64(x) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Estimate π. Collective over the current team; every image returns both
+/// its team's estimate and the global one.
+pub fn pi_teams(img: &mut ImageCtx, cfg: &PiConfig) -> PiOutcome {
+    assert!(cfg.teams >= 1);
+    let me = img.this_image();
+    let color = ((me - 1) % cfg.teams) as i64;
+
+    // Sample locally (deterministic per image).
+    let mut state = cfg
+        .seed
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(me as u64);
+    let mut hits = 0u64;
+    for _ in 0..cfg.samples_per_image {
+        let x = unit(&mut state) - 0.5;
+        let y = unit(&mut state) - 0.5;
+        if x * x + y * y <= 0.25 {
+            hits += 1;
+        }
+    }
+    img.compute(
+        img.fabric()
+            .cost()
+            .flops_to_ns(6 * cfg.samples_per_image),
+    );
+
+    // Combine within my team only.
+    let team = img.form_team(color);
+    let (_team, (team_estimate, team_totals)) = img.change_team(team, |img| {
+        let mut acc = vec![hits as f64, cfg.samples_per_image as f64];
+        img.co_sum(&mut acc);
+        (4.0 * acc[0] / acc[1], acc)
+    });
+
+    // One final cross-team combine on the initial team.
+    let members = img.num_images() as f64 / cfg.teams as f64;
+    let _ = members;
+    let mut global = vec![hits as f64, cfg.samples_per_image as f64];
+    img.co_sum(&mut global);
+    let global_estimate = 4.0 * global[0] / global[1];
+    let _ = team_totals;
+
+    PiOutcome {
+        team_estimate,
+        global_estimate,
+        team_number: color,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caf_runtime::{run, RunConfig};
+    use caf_topology::presets;
+
+    #[test]
+    fn pi_converges_globally_and_per_team() {
+        let rc = RunConfig::sim_packed(presets::mini(2, 4), 8);
+        let cfg = PiConfig {
+            samples_per_image: 40_000,
+            teams: 2,
+            seed: 99,
+        };
+        let out = run(rc, move |img| pi_teams(img, &cfg));
+        let global = out[0].global_estimate;
+        assert!(
+            (global - std::f64::consts::PI).abs() < 0.02,
+            "global {global}"
+        );
+        for o in &out {
+            assert_eq!(o.global_estimate, global, "global estimate must agree");
+            assert!(
+                (o.team_estimate - std::f64::consts::PI).abs() < 0.05,
+                "team {} estimate {}",
+                o.team_number,
+                o.team_estimate
+            );
+        }
+        // Teams sampled independently: estimates differ (else teaming is fake).
+        let t0 = out.iter().find(|o| o.team_number == 0).unwrap().team_estimate;
+        let t1 = out.iter().find(|o| o.team_number == 1).unwrap().team_estimate;
+        assert_ne!(t0, t1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let once = || {
+            let rc = RunConfig::sim_packed(presets::mini(1, 4), 4);
+            let cfg = PiConfig {
+                samples_per_image: 5_000,
+                teams: 2,
+                seed: 7,
+            };
+            run(rc, move |img| pi_teams(img, &cfg).global_estimate)
+        };
+        assert_eq!(once(), once());
+    }
+
+    #[test]
+    fn single_team_is_global() {
+        let rc = RunConfig::sim_packed(presets::mini(1, 4), 4);
+        let cfg = PiConfig {
+            samples_per_image: 10_000,
+            teams: 1,
+            seed: 1,
+        };
+        let out = run(rc, move |img| pi_teams(img, &cfg));
+        for o in out {
+            assert_eq!(o.team_estimate, o.global_estimate);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! EXP-A2 — the §VII future-work ablation: multi-level hierarchies.
+//!
+//! > "Future work will look at how our methodology can support multi-level
+//! > hierarchies to represent … on-node locality domains such as NUMA
+//! > memory nodes, shared caches, processor sockets and cores."
+//!
+//! On a NUMA-heavy machine (4 sockets × 8 cores per node, with same-socket
+//! notifications ~3× cheaper than cross-socket ones) we compare the
+//! 2-level TDLB against the 3-level socket-aware TDLB, and both against
+//! flat dissemination. On the paper's own machine (socket level not
+//! modeled) the 3-level variant buys nothing — also shown, as the control.
+
+use caf_bench::{print_cost_preamble, scaled};
+use caf_fabric::{SimConfig, SimFabric};
+use caf_microbench::{report, Table};
+use caf_runtime::{run_on_fabric, BarrierAlgo, CollectiveConfig};
+use caf_topology::{presets, CostParams, ImageMap, MachineModel, Placement};
+
+fn barrier_ns(
+    machine: MachineModel,
+    cost: CostParams,
+    images: usize,
+    per_node: usize,
+    algo: BarrierAlgo,
+    iters: usize,
+) -> f64 {
+    let map = ImageMap::new(machine, images, &Placement::Block { per_node });
+    let fabric = SimFabric::new(
+        map,
+        SimConfig {
+            cost,
+            overheads: presets::stacks::UHCAF,
+        },
+    );
+    let cfg = CollectiveConfig {
+        barrier: algo,
+        ..CollectiveConfig::default()
+    };
+    let spans = run_on_fabric(fabric, cfg, move |img| {
+        for _ in 0..3 {
+            img.sync_all();
+        }
+        img.sync_all();
+        let t0 = img.now_ns();
+        for _ in 0..iters {
+            img.sync_all();
+        }
+        (t0, img.now_ns())
+    });
+    let start = spans.iter().map(|s| s.0).min().expect("images");
+    let end = spans.iter().map(|s| s.1).max().expect("images");
+    (end - start) as f64 / iters as f64
+}
+
+fn main() {
+    print_cost_preamble("EXP-A2");
+    let iters = scaled(10, 3);
+    let sizes: Vec<usize> = if caf_bench::quick_mode() {
+        vec![64]
+    } else {
+        vec![32, 64, 128, 256]
+    };
+
+    let mut t = Table::new(
+        "EXP-A2: multi-level TDLB on NUMA nodes (4 sockets x 8 cores, 32 images/node; modeled us)",
+        &[
+            "images(nodes)",
+            "dissemination",
+            "TDLB-2level",
+            "TDLB-3level",
+            "3lvl-vs-2lvl",
+        ],
+    );
+    for &n in &sizes {
+        let nodes = n / 32;
+        let machine = presets::numa(nodes.max(1));
+        let dissem = barrier_ns(
+            machine.clone(),
+            presets::numa_cost(),
+            n,
+            32,
+            BarrierAlgo::Dissemination,
+            iters,
+        );
+        let two = barrier_ns(
+            machine.clone(),
+            presets::numa_cost(),
+            n,
+            32,
+            BarrierAlgo::Tdlb,
+            iters,
+        );
+        let three = barrier_ns(
+            machine,
+            presets::numa_cost(),
+            n,
+            32,
+            BarrierAlgo::TdlbMultilevel,
+            iters,
+        );
+        t.row(&[
+            format!("{n}({nodes})"),
+            report::us(dissem),
+            report::us(two),
+            report::us(three),
+            report::speedup(two, three),
+        ]);
+    }
+    t.note("same-socket gap 25ns vs cross-socket 90ns: the socket stage pays off");
+    t.print();
+
+    // Control: on the paper's whale model the socket level is not
+    // distinguished, so the 3-level variant should NOT win.
+    let n = scaled(64, 32);
+    let two = barrier_ns(
+        presets::whale(),
+        presets::whale_cost(),
+        n,
+        8,
+        BarrierAlgo::Tdlb,
+        iters,
+    );
+    let three = barrier_ns(
+        presets::whale(),
+        presets::whale_cost(),
+        n,
+        8,
+        BarrierAlgo::TdlbMultilevel,
+        iters,
+    );
+    let mut c = Table::new(
+        "EXP-A2 control: whale machine (no modeled socket asymmetry)",
+        &["images", "TDLB-2level", "TDLB-3level"],
+    );
+    c.row(&[n.to_string(), report::us(two), report::us(three)]);
+    c.note("extra stage without a cheaper level should not help");
+    c.print();
+}

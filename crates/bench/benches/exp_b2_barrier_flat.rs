@@ -1,0 +1,56 @@
+//! EXP-B2 — barrier latency with a **flat hierarchy** (1 image/node), §V-A:
+//!
+//! > "with one image per node, [TDLB] performs as well as a pure
+//! > dissemination algorithm in the case of a flat hierarchy"
+//!
+//! TDLB must degenerate gracefully: every image is its own node leader, so
+//! stages 1 and 3 vanish and stage 2 *is* the dissemination barrier. The
+//! ratio column should hover at 1.0x.
+
+use caf_bench::{print_cost_preamble, scaled};
+use caf_microbench::{barrier_latency, report, MicroConfig, Table};
+use caf_runtime::{BarrierAlgo, CollectiveConfig};
+use caf_topology::Placement;
+
+fn main() {
+    print_cost_preamble("EXP-B2");
+    let sizes: Vec<usize> = if caf_bench::quick_mode() {
+        vec![4, 16]
+    } else {
+        vec![2, 4, 8, 16, 32, 44]
+    };
+    let iters = scaled(10, 3);
+
+    let mut table = Table::new(
+        "EXP-B2: barrier latency, 1 image/node (modeled us)",
+        &["images(nodes)", "TDLB", "dissemination", "ratio"],
+    );
+
+    let mut worst: f64 = 0.0;
+    for &n in &sizes {
+        let run = |algo| {
+            let mut mc = MicroConfig::whale(n, 1).with_collectives(CollectiveConfig {
+                barrier: algo,
+                ..CollectiveConfig::default()
+            });
+            mc.placement = Placement::Cyclic;
+            mc.iters = iters;
+            barrier_latency(&mc).ns_per_op
+        };
+        let tdlb = run(BarrierAlgo::Tdlb);
+        let dissem = run(BarrierAlgo::Dissemination);
+        let ratio = tdlb / dissem;
+        worst = worst.max((ratio - 1.0).abs());
+        table.row(&[
+            format!("{n}({n})"),
+            report::us(tdlb),
+            report::us(dissem),
+            format!("{ratio:.3}x"),
+        ]);
+    }
+    table.note(format!(
+        "max |ratio-1| = {worst:.3} (paper: TDLB performs as well as pure \
+         dissemination on a flat hierarchy)"
+    ));
+    table.print();
+}

@@ -1,0 +1,83 @@
+//! EXP-P1 (validation) — put latency and effective bandwidth, intra- vs
+//! inter-node, straight off the fabric: the osu-microbenchmark-style
+//! curves that validate the cost model against its calibration targets
+//! (DESIGN.md §6): ~0.1 µs intra-node visibility, ~1.8 µs inter-node put
+//! latency, ~1.4 GB/s 4xDDR InfiniBand effective bandwidth, ~4 GB/s
+//! intra-node copy bandwidth.
+
+use caf_bench::print_cost_preamble;
+use caf_fabric::{bootstrap, run_spmd, Fabric, FlagId, SimConfig, SimFabric};
+use caf_microbench::Table;
+use caf_topology::{presets, ImageMap, Placement, ProcId};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Ping-pong `iters` rounds of `bytes` between images 0 and 1 of `map`;
+/// returns modeled ns per one-way message.
+fn pingpong(nodes: usize, cores: usize, bytes: usize, iters: u64) -> f64 {
+    let map = ImageMap::new(presets::mini(nodes, cores), 2, &Placement::Packed);
+    let fabric = SimFabric::new(
+        map,
+        SimConfig {
+            cost: presets::whale_cost(),
+            overheads: presets::stacks::UHCAF,
+        },
+    );
+    let f = fabric.clone();
+    let out = Arc::new(Mutex::new(0u64));
+    let o2 = out.clone();
+    run_spmd(fabric, move |me| {
+        let seg = f.alloc_segment(me, bytes.max(8));
+        // Identical allocation sequences give identical ids; the barrier
+        // guarantees the peer's segment exists before the first put.
+        bootstrap::control_barrier(&*f, me, &mut 0);
+        let flag = FlagId(2);
+        let payload = vec![0xA5u8; bytes];
+        let peer = ProcId(1 - me.index());
+        let t0 = f.now_ns(me);
+        for round in 1..=iters {
+            if me == ProcId(0) {
+                f.put(me, peer, seg, 0, &payload);
+                f.flag_add(me, peer, flag, 1);
+                f.flag_wait_ge(me, flag, round);
+            } else {
+                f.flag_wait_ge(me, flag, round);
+                f.put(me, peer, seg, 0, &payload);
+                f.flag_add(me, peer, flag, 1);
+            }
+        }
+        if me == ProcId(0) {
+            *o2.lock() = f.now_ns(me) - t0;
+        }
+        f.image_done(me);
+    });
+    let total = *out.lock();
+    total as f64 / (2 * iters) as f64
+}
+
+fn main() {
+    print_cost_preamble("EXP-P1");
+    let mut t = Table::new(
+        "EXP-P1 (model validation): one-way put latency / effective bandwidth",
+        &[
+            "bytes",
+            "intra-node us",
+            "intra GB/s",
+            "inter-node us",
+            "inter GB/s",
+        ],
+    );
+    for &bytes in &[8usize, 256, 4096, 65536, 1 << 20] {
+        let intra = pingpong(1, 2, bytes, 20);
+        let inter = pingpong(2, 1, bytes, 20);
+        t.row(&[
+            bytes.to_string(),
+            format!("{:.2}", intra / 1000.0),
+            format!("{:.2}", bytes as f64 / intra),
+            format!("{:.2}", inter / 1000.0),
+            format!("{:.2}", bytes as f64 / inter),
+        ]);
+    }
+    t.note("calibration targets: inter latency ~2-3 us (w/ software), inter bw ~1.4 GB/s, intra bw ~4 GB/s");
+    t.print();
+}

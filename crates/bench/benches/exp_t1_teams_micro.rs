@@ -1,0 +1,62 @@
+//! EXP-T1 — the Teams Microbenchmark suite itself (§V-A setup): team
+//! formation cost and the overlap property that motivates teams (§II):
+//!
+//! > "using teams, many collective operations can be overlapped; these
+//! > collectives will work on just a subset of images; no global
+//! > synchronizations among all the images are thus needed."
+//!
+//! The overlap table compares a reduction on the full team against two
+//! reductions running concurrently on disjoint half-teams: with working
+//! subteam isolation, the paired half-team reductions cost *less* than the
+//! full-team one (smaller teams, no global sync).
+
+use caf_bench::{print_cost_preamble, scaled};
+use caf_microbench::{
+    allreduce_latency, form_team_latency, overlapped_reduce_latency, report, MicroConfig, Table,
+};
+
+fn main() {
+    print_cost_preamble("EXP-T1");
+    let iters = scaled(10, 3);
+    let sizes: Vec<usize> = if caf_bench::quick_mode() {
+        vec![16, 64]
+    } else {
+        vec![16, 64, 128, 256]
+    };
+
+    let mut t1 = Table::new(
+        "EXP-T1a: form_team + sync_team cost, 8 images/node (modeled us)",
+        &["images(nodes)", "2 subteams", "4 subteams", "8 subteams"],
+    );
+    for &n in &sizes {
+        let mut row = vec![format!("{}({})", n, n / 8)];
+        for &k in &[2usize, 4, 8] {
+            let mut mc = MicroConfig::whale(n, 8);
+            mc.iters = iters;
+            row.push(report::us(form_team_latency(&mc, k).ns_per_op));
+        }
+        t1.row(&row);
+    }
+    t1.note("includes the id-exchange allgather through the parent team");
+    t1.print();
+
+    let mut t2 = Table::new(
+        "EXP-T1b: subteam overlap — full-team co_sum vs two overlapped half-team co_sums (modeled us)",
+        &["images(nodes)", "full team", "2 half-teams (overlapped)"],
+    );
+    for &n in &sizes {
+        let mut mc = MicroConfig::whale(n, 8);
+        mc.iters = iters;
+        let full = allreduce_latency(&mc, 8).ns_per_op;
+        let mut mc = MicroConfig::whale(n, 8);
+        mc.iters = iters;
+        let overlapped = overlapped_reduce_latency(&mc, 8).ns_per_op;
+        t2.row(&[
+            format!("{}({})", n, n / 8),
+            report::us(full),
+            report::us(overlapped),
+        ]);
+    }
+    t2.note("half-team reductions proceed with no global synchronization");
+    t2.print();
+}

@@ -1,0 +1,179 @@
+//! Barrier algorithms: centralized linear counter, PGAS dissemination, the
+//! paper's TDLB (Algorithm 1), and the §VII multi-level extension.
+//!
+//! All algorithms share the team's accumulating flags and the single
+//! `barrier` epoch counter, so a team must use one algorithm for its whole
+//! life (enforced by resolving the algorithm at formation).
+
+use crate::comm::{flag, TeamComm};
+use crate::config::BarrierAlgo;
+use crate::util::{binomial_children, binomial_parent, ceil_log2};
+
+/// Run one barrier episode on `comm` with its resolved algorithm.
+pub(crate) fn barrier(comm: &mut TeamComm) {
+    comm.epochs.barrier += 1;
+    let e = comm.epochs.barrier;
+    if comm.size() == 1 {
+        return;
+    }
+    match comm.barrier_algo {
+        BarrierAlgo::CentralCounter => central_counter(comm, e),
+        BarrierAlgo::BinomialTree => binomial_tree(comm, e),
+        BarrierAlgo::Dissemination => {
+            let all: Vec<usize> = (0..comm.size()).collect();
+            dissemination_over(comm, &all, comm.rank, e);
+        }
+        BarrierAlgo::Tdlb => tdlb(comm, e),
+        BarrierAlgo::TdlbMultilevel => tdlb_multilevel(comm, e),
+        BarrierAlgo::Auto => unreachable!("Auto resolved at formation"),
+    }
+}
+
+/// Centralized linear barrier: 2(n−1) notifications, all via team rank 0.
+fn central_counter(comm: &mut TeamComm, e: u64) {
+    let n = comm.size();
+    if comm.rank == 0 {
+        comm.wait_flag(flag::COUNTER, (n as u64 - 1) * e);
+        for j in 1..n {
+            comm.add_flag(j, flag::RELEASE, 1);
+        }
+    } else {
+        comm.add_flag(0, flag::COUNTER, 1);
+        comm.wait_flag(flag::RELEASE, e);
+    }
+}
+
+/// Binomial-tree barrier: each rank waits for its (fixed) children on the
+/// gather counter, notifies its parent, then waits for the release and
+/// forwards it down — 2(n−1) notifications in 2·log n depth.
+fn binomial_tree(comm: &mut TeamComm, e: u64) {
+    let n = comm.size();
+    let v = comm.rank;
+    let children = binomial_children(v, n);
+    if !children.is_empty() {
+        comm.wait_flag(flag::COUNTER, children.len() as u64 * e);
+    }
+    if v != 0 {
+        comm.add_flag(binomial_parent(v), flag::COUNTER, 1);
+        comm.wait_flag(flag::RELEASE, e);
+    }
+    for &c in &children {
+        comm.add_flag(c, flag::RELEASE, 1);
+    }
+}
+
+/// PGAS dissemination barrier over an arbitrary participant list
+/// (`parts[i]` = team rank of participant `i`); `my_rank` must appear in
+/// `parts`. Used both flat (over all ranks) and by TDLB's leader stage.
+///
+/// Round `k`: notify participant `(me + 2^k) mod L`, then perform the
+/// paper's **single wait**: my round-`k` flag is an accumulating counter,
+/// so waiting for `≥ epoch` needs no flag reset and no second array
+/// (contrast Mellor-Crummey & Scott's two-array formulation and Hensgen et
+/// al.'s two waits).
+pub(crate) fn dissemination_over(comm: &mut TeamComm, parts: &[usize], my_rank: usize, e: u64) {
+    let l = parts.len();
+    if l <= 1 {
+        return;
+    }
+    let my_pos = parts
+        .iter()
+        .position(|&r| r == my_rank)
+        .expect("caller participates");
+    let rounds = ceil_log2(l);
+    for k in 0..rounds {
+        let partner = parts[(my_pos + (1 << k)) % l];
+        comm.add_flag(partner, comm.layout.dissem(k), 1);
+        comm.wait_flag(comm.layout.dissem(k), e);
+    }
+}
+
+/// The paper's Team Dissemination Linear Barrier (Algorithm 1):
+///
+/// ```text
+/// procedure TDLB(team)
+///   me       = this_image(team)
+///   leader   = get_leader(team, me)
+///   linear_counter_1(team, me, leader)      // slaves sync with the leader
+///   if leader == me then
+///       pgased_dissemination(team, leader)  // leaders sync across nodes
+///       linear_counter_2(team, me, leader)  // leaders release their slaves
+/// ```
+fn tdlb(comm: &mut TeamComm, e: u64) {
+    let hier = comm.hier.clone();
+    let set = hier.set_for(comm.rank);
+    let leader = set.leader;
+
+    if comm.rank != leader {
+        // Step 1 (slave side): signal the node leader's cocounter...
+        comm.add_flag(leader, flag::COUNTER, 1);
+        // ...and Step 3 (slave side): wait for the leader's release.
+        comm.wait_flag(flag::RELEASE, e);
+        return;
+    }
+
+    // Step 1 (leader side): wait for all intranode slaves.
+    let slaves = set.len() as u64 - 1;
+    if slaves > 0 {
+        comm.wait_flag(flag::COUNTER, slaves * e);
+    }
+    // Step 2: dissemination among the node leaders.
+    let leaders: Vec<usize> = hier.leaders().to_vec();
+    dissemination_over(comm, &leaders, comm.rank, e);
+    // Step 3 (leader side): release the intranode set.
+    for &s in set.slaves() {
+        comm.add_flag(s, flag::RELEASE, 1);
+    }
+}
+
+/// §VII future work: socket level below the node level. Within each
+/// intranode set, images first gather at a per-socket leader, socket
+/// leaders gather at the node leader, node leaders disseminate, and the
+/// releases run back down the two intra-node levels.
+fn tdlb_multilevel(comm: &mut TeamComm, e: u64) {
+    let hier = comm.hier.clone();
+    let set = hier.set_for(comm.rank);
+    let node_leader = set.leader;
+    let groups = hier.socket_groups(comm.rank);
+    let my_group = groups
+        .iter()
+        .find(|g| g.contains(&comm.rank))
+        .expect("every rank is in a socket group")
+        .clone();
+    let socket_leader = my_group[0];
+
+    if comm.rank != socket_leader {
+        comm.add_flag(socket_leader, flag::S_COUNTER, 1);
+        comm.wait_flag(flag::S_RELEASE, e);
+        return;
+    }
+
+    // Socket leader: gather my socket.
+    let socket_slaves = my_group.len() as u64 - 1;
+    if socket_slaves > 0 {
+        comm.wait_flag(flag::S_COUNTER, socket_slaves * e);
+    }
+
+    if comm.rank != node_leader {
+        comm.add_flag(node_leader, flag::COUNTER, 1);
+        comm.wait_flag(flag::RELEASE, e);
+    } else {
+        // Node leader: gather the other socket leaders of this node.
+        let other_sockets = groups.len() as u64 - 1;
+        if other_sockets > 0 {
+            comm.wait_flag(flag::COUNTER, other_sockets * e);
+        }
+        let leaders: Vec<usize> = hier.leaders().to_vec();
+        dissemination_over(comm, &leaders, comm.rank, e);
+        for g in &groups {
+            if g[0] != node_leader {
+                comm.add_flag(g[0], flag::RELEASE, 1);
+            }
+        }
+    }
+
+    // Release my socket.
+    for &m in &my_group[1..] {
+        comm.add_flag(m, flag::S_RELEASE, 1);
+    }
+}

@@ -1,0 +1,204 @@
+//! One-to-all broadcast algorithms: linear, flat binomial tree, and the
+//! paper's two-level scheme (binomial over node leaders — with the root
+//! standing in as its node's leader — then an intra-node linear fan-out).
+//!
+//! # Flow control: three waves
+//!
+//! A one-sided broadcast needs more than parity double-buffering, because
+//! the **root rotates** call to call: the root of episode e+2 only needs
+//! episode e+1's *data* to proceed, so a chain of fast roots can outrun a
+//! slow receiver by any number of episodes and overwrite a payload slot it
+//! has not read yet. Every algorithm here therefore runs three waves:
+//!
+//! 1. **data** down the tree (payload put + `B_ARRIVE` notification),
+//! 2. **ack** back up (`B_ACK`, collected subtree-by-subtree),
+//! 3. **release** down again (`B_DONE`), sent once the root holds every
+//!    ack; receivers return only after their release.
+//!
+//! Wave 3 makes an episode's completion globally visible: any image
+//! *starting* episode e has finished e−1, whose release certifies that all
+//! of e−1's payloads (and a fortiori e−2's, whose parity slot e reuses)
+//! were consumed everywhere. Because roots change, the per-image
+//! expectations (`bcast_arrived`, `bcast_acks`, `bcast_released`) are
+//! cumulative counters rather than the bare episode number.
+
+use crate::comm::{flag, TeamComm};
+use crate::config::BcastAlgo;
+use crate::util::{binomial_children, binomial_parent};
+use crate::value::CoValue;
+
+/// Broadcast `buf` from team rank `root` with the team's resolved algorithm.
+pub(crate) fn broadcast<T: CoValue>(comm: &mut TeamComm, buf: &mut [T], root: usize) {
+    broadcast_using(comm, buf, root, comm.bcast_algo);
+}
+
+/// Broadcast with an explicit algorithm (used by `FlatBinomial` allreduce,
+/// which embeds a flat broadcast regardless of the team's bcast choice).
+pub(crate) fn broadcast_using<T: CoValue>(
+    comm: &mut TeamComm,
+    buf: &mut [T],
+    root: usize,
+    algo: BcastAlgo,
+) {
+    assert!(root < comm.size(), "broadcast root {root} out of team");
+    comm.epochs.bcast += 1;
+    if comm.size() == 1 {
+        return;
+    }
+    comm.ensure_scratch(buf.len() * T::SIZE);
+    let par = (comm.epochs.bcast % 2) as usize;
+    match algo {
+        BcastAlgo::FlatLinear => linear(comm, buf, root, par),
+        BcastAlgo::FlatBinomial => binomial(comm, buf, root, par),
+        BcastAlgo::TwoLevel => two_level(comm, buf, root, par),
+        BcastAlgo::Auto => unreachable!("Auto resolved at formation"),
+    }
+}
+
+/// Receiver-side wait for the episode-completion release (wave 3).
+fn await_release(comm: &mut TeamComm) {
+    comm.epochs.bcast_released += 1;
+    comm.wait_flag(flag::B_DONE, comm.epochs.bcast_released);
+}
+
+/// Root puts the payload to every member directly: n−1 sends serialized at
+/// the root — the worst 1-level strawman, kept as a measurable baseline.
+fn linear<T: CoValue>(comm: &mut TeamComm, buf: &mut [T], root: usize, par: usize) {
+    let n = comm.size();
+    if comm.rank == root {
+        let off = comm.sl_bcast(par);
+        for j in 0..n {
+            if j != root {
+                comm.send_values(j, off, buf);
+                comm.add_flag(j, flag::B_ARRIVE, 1);
+            }
+        }
+        comm.epochs.bcast_acks += n as u64 - 1;
+        comm.wait_flag(flag::B_ACK, comm.epochs.bcast_acks);
+        for j in 0..n {
+            if j != root {
+                comm.add_flag(j, flag::B_DONE, 1);
+            }
+        }
+    } else {
+        comm.epochs.bcast_arrived += 1;
+        comm.wait_flag(flag::B_ARRIVE, comm.epochs.bcast_arrived);
+        let off = comm.sl_bcast(par);
+        comm.load_from_scratch(off, buf);
+        comm.add_flag(root, flag::B_ACK, 1);
+        await_release(comm);
+    }
+}
+
+/// Flat binomial tree over virtual ranks `(rank − root) mod n` — the
+/// 1-level baseline with log n depth. The release wave reuses the same
+/// tree.
+fn binomial<T: CoValue>(comm: &mut TeamComm, buf: &mut [T], root: usize, par: usize) {
+    let n = comm.size();
+    let v = (comm.rank + n - root) % n;
+    let to_rank = |vr: usize| (vr + root) % n;
+
+    if v != 0 {
+        comm.epochs.bcast_arrived += 1;
+        comm.wait_flag(flag::B_ARRIVE, comm.epochs.bcast_arrived);
+        let off = comm.sl_bcast(par);
+        comm.load_from_scratch(off, buf);
+    }
+    let children = binomial_children(v, n);
+    for &c in &children {
+        let off = comm.sl_bcast(par);
+        comm.send_values(to_rank(c), off, buf);
+        comm.add_flag(to_rank(c), flag::B_ARRIVE, 1);
+    }
+    if !children.is_empty() {
+        comm.epochs.bcast_acks += children.len() as u64;
+        comm.wait_flag(flag::B_ACK, comm.epochs.bcast_acks);
+    }
+    if v != 0 {
+        comm.add_flag(to_rank(binomial_parent(v)), flag::B_ACK, 1);
+        await_release(comm);
+    }
+    // Release wave: forward down the same tree after my own release (the
+    // root forwards right after collecting all acks).
+    for &c in &children {
+        comm.add_flag(to_rank(c), flag::B_DONE, 1);
+    }
+}
+
+/// The paper's two-level broadcast: a binomial tree across *effective node
+/// leaders* (the root acts as leader of its own node), then a linear
+/// shared-memory fan-out within each node; acks and releases run the same
+/// two-level shape.
+fn two_level<T: CoValue>(comm: &mut TeamComm, buf: &mut [T], root: usize, par: usize) {
+    let hier = comm.hier.clone();
+    let root_set = hier.leader_index_of(root);
+    let my_set = hier.leader_index_of(comm.rank);
+    let l = hier.n_nodes();
+    let eff_leader_of = |set_idx: usize| -> usize {
+        if set_idx == root_set {
+            root
+        } else {
+            hier.sets()[set_idx].leader
+        }
+    };
+    let el = eff_leader_of(my_set);
+
+    if comm.rank != el {
+        // Plain member: data from my effective leader, ack it, await
+        // release (also via my leader).
+        comm.epochs.bcast_arrived += 1;
+        comm.wait_flag(flag::B_ARRIVE, comm.epochs.bcast_arrived);
+        let off = comm.sl_bcast(par);
+        comm.load_from_scratch(off, buf);
+        comm.add_flag(el, flag::B_ACK, 1);
+        await_release(comm);
+        return;
+    }
+
+    // Effective leader: stage 1, binomial over the leader set.
+    let lv = (my_set + l - root_set) % l;
+    let leader_rank = |lvr: usize| eff_leader_of((lvr + root_set) % l);
+    if lv != 0 {
+        comm.epochs.bcast_arrived += 1;
+        comm.wait_flag(flag::B_ARRIVE, comm.epochs.bcast_arrived);
+        let off = comm.sl_bcast(par);
+        comm.load_from_scratch(off, buf);
+    }
+    let lchildren = binomial_children(lv, l);
+    for &c in &lchildren {
+        let off = comm.sl_bcast(par);
+        comm.send_values(leader_rank(c), off, buf);
+        comm.add_flag(leader_rank(c), flag::B_ARRIVE, 1);
+    }
+
+    // Stage 2: linear fan-out within my node.
+    let locals: Vec<usize> = hier.sets()[my_set]
+        .ranks
+        .iter()
+        .copied()
+        .filter(|&m| m != el)
+        .collect();
+    for &m in &locals {
+        let off = comm.sl_bcast(par);
+        comm.send_values(m, off, buf);
+        comm.add_flag(m, flag::B_ARRIVE, 1);
+    }
+
+    // Ack wave: wait for my subtree, ack my parent leader.
+    let expected = (lchildren.len() + locals.len()) as u64;
+    if expected > 0 {
+        comm.epochs.bcast_acks += expected;
+        comm.wait_flag(flag::B_ACK, comm.epochs.bcast_acks);
+    }
+    if lv != 0 {
+        comm.add_flag(leader_rank(binomial_parent(lv)), flag::B_ACK, 1);
+        await_release(comm);
+    }
+    // Release wave: down the leader tree and into my node.
+    for &c in &lchildren {
+        comm.add_flag(leader_rank(c), flag::B_DONE, 1);
+    }
+    for &m in &locals {
+        comm.add_flag(m, flag::B_DONE, 1);
+    }
+}

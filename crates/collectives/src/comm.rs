@@ -1,0 +1,796 @@
+//! `TeamComm` — the communication structure behind the paper's `team_type`.
+//!
+//! One `TeamComm` exists per image per team. It owns:
+//!
+//! * the team's **image-index → process mapping** (`members`), exactly the
+//!   mapping array the paper adds to OpenUH's `team_type`;
+//! * the **hierarchy view** (intranode sets + leaders) computed once at
+//!   formation, which every two-level collective consults;
+//! * per-member **resource tables**: because fabric allocation is
+//!   image-local, each member records its co-members' flag-block and
+//!   segment ids, learned through an id exchange at formation time;
+//! * per-collective **epoch counters**: all flags are accumulating
+//!   `sync_flags` counters (never reset), so algorithms wait for
+//!   `≥ epoch`-scaled thresholds — the paper's one-wait carry.
+//!
+//! # Formation
+//!
+//! The initial team ([`TeamComm::create_initial`]) bootstraps its id
+//! exchange through the fabric's pre-created [`caf_fabric::bootstrap`]
+//! resources. Subteams ([`TeamComm::create_sub`], the runtime's
+//! `form_team`) exchange their fresh ids through the **parent** team's
+//! machinery — mirroring how a real runtime coordinates team-scoped
+//! symmetric allocations through the parent team.
+
+use crate::config::{BarrierAlgo, BcastAlgo, CollectiveConfig, GatherAlgo, ReduceAlgo};
+use crate::util::ceil_log2;
+use crate::value::{bytes_to_slice, slice_to_bytes, CoNumeric, CoOp, CoValue};
+use caf_fabric::{bootstrap, ArcFabric, FlagId, SegmentId};
+use caf_topology::{HierarchyView, ProcId};
+use std::sync::Arc;
+
+/// Bytes per member slot in a team's exchange segment (4 × u64).
+pub(crate) const EXCH_SLOT: usize = 32;
+
+/// Flag indices within a team's flag block.
+pub(crate) mod flag {
+    /// Barrier: central/TDLB gather counter (lives on the gather target).
+    pub const COUNTER: usize = 0;
+    /// Barrier: release notification (per member).
+    pub const RELEASE: usize = 1;
+    /// Multi-level barrier: socket-level gather counter.
+    pub const S_COUNTER: usize = 2;
+    /// Multi-level barrier: socket-level release.
+    pub const S_RELEASE: usize = 3;
+    /// Reduction: intra-node gather counter at the leader.
+    pub const R_COUNTER: usize = 4;
+    /// Reduction: intra-node result release.
+    pub const R_RELEASE: usize = 5;
+    /// Reduction: non-power-of-two fold-in notification.
+    pub const R_PRE: usize = 6;
+    /// Reduction: non-power-of-two fold-out notification.
+    pub const R_POST: usize = 7;
+    /// Broadcast: payload-arrived notification.
+    pub const B_ARRIVE: usize = 8;
+    /// Broadcast: consumption ack (flow control).
+    pub const B_ACK: usize = 9;
+    /// Team control barrier: gather counter (control plane only).
+    pub const EXCH_COUNTER: usize = 10;
+    /// Team control barrier: release.
+    pub const EXCH_RELEASE: usize = 11;
+    /// Broadcast: episode-completion release (the third wave; see
+    /// `bcast.rs` — required because roots rotate call-to-call).
+    pub const B_DONE: usize = 12;
+    /// Control-plane allgather: tree-gather arrival counter.
+    pub const EXCH_GATHER: usize = 13;
+    /// Control-plane allgather: tree-broadcast arrival counter.
+    pub const EXCH_BCAST: usize = 14;
+    /// Gather: contribution-arrived counter.
+    pub const GA_ARRIVE: usize = 15;
+    /// Gather: completion release.
+    pub const GA_DONE: usize = 16;
+    /// Scatter: slice-arrived counter.
+    pub const SC_ARRIVE: usize = 17;
+    /// Scatter: consumption ack.
+    pub const SC_ACK: usize = 18;
+    /// Scatter: completion release.
+    pub const SC_DONE: usize = 19;
+    /// All-to-all: slice-arrived counter.
+    pub const A2A_ARRIVE: usize = 20;
+    /// First dissemination-round flag; round `k` is `DISSEM + k`.
+    pub const DISSEM: usize = 21;
+}
+
+/// Per-team flag-block layout: 21 fixed flags, then `d` dissemination
+/// flags, then `d` reduction-round flags.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct FlagLayout {
+    /// ⌈log₂ team size⌉, ≥ 1 slot even for singleton teams.
+    pub d: usize,
+}
+
+impl FlagLayout {
+    pub(crate) fn new(team_size: usize) -> Self {
+        Self {
+            d: ceil_log2(team_size).max(1),
+        }
+    }
+
+    pub(crate) fn total(&self) -> usize {
+        flag::DISSEM + 2 * self.d
+    }
+
+    pub(crate) fn dissem(&self, k: usize) -> usize {
+        debug_assert!(k < self.d);
+        flag::DISSEM + k
+    }
+
+    pub(crate) fn r_arrive(&self, k: usize) -> usize {
+        debug_assert!(k < self.d);
+        flag::DISSEM + self.d + k
+    }
+}
+
+/// Resource ids of one co-member, learned at formation time.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct MemberRsrc {
+    /// Base of the member's team flag block.
+    pub flags: FlagId,
+    /// The member's exchange segment.
+    pub exch: SegmentId,
+    /// The member's current scratch segment (valid when
+    /// `TeamComm::scratch_slot_bytes > 0`).
+    pub scratch: SegmentId,
+    /// The member's gather/scatter region (valid when
+    /// `TeamComm::gather_slot_bytes > 0`).
+    pub gather: SegmentId,
+}
+
+/// Per-collective epoch counters (local to this image).
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct Epochs {
+    pub barrier: u64,
+    pub reduce: u64,
+    pub bcast: u64,
+    pub exch: u64,
+    /// Tree-allgather era (gather/bcast flag thresholds).
+    pub exch_tree: u64,
+    /// Cumulative number of broadcast payloads this image has consumed
+    /// (differs from `bcast` on episodes where it was the root).
+    pub bcast_arrived: u64,
+    /// Cumulative number of broadcast acks this image must have collected
+    /// before its next overwrite (varies with per-episode fan-out).
+    pub bcast_acks: u64,
+    /// Cumulative episode-completion releases this image must have seen
+    /// (one per episode in which it was not the root).
+    pub bcast_released: u64,
+    /// Gather era.
+    pub gather: u64,
+    /// Cumulative gather contributions this image must have collected.
+    pub gather_arrived: u64,
+    /// Cumulative gather releases this image must have seen.
+    pub gather_released: u64,
+    /// Scatter era.
+    pub scatter: u64,
+    /// Cumulative scatter slices this image must have received.
+    pub scatter_arrived: u64,
+    /// Cumulative scatter acks the root side must have collected.
+    pub scatter_acked: u64,
+    /// Cumulative scatter releases this image must have seen.
+    pub scatter_released: u64,
+    /// All-to-all era.
+    pub alltoall: u64,
+}
+
+/// The per-image communication context of one team. See the module docs.
+pub struct TeamComm {
+    pub(crate) fabric: ArcFabric,
+    pub(crate) me: ProcId,
+    pub(crate) rank: usize,
+    pub(crate) members: Arc<Vec<ProcId>>,
+    pub(crate) hier: Arc<HierarchyView>,
+    /// Configuration as given (pre-resolution), inherited by subteams.
+    raw_cfg: CollectiveConfig,
+    /// Algorithms resolved against this team's hierarchy.
+    pub(crate) barrier_algo: BarrierAlgo,
+    pub(crate) reduce_algo: ReduceAlgo,
+    pub(crate) bcast_algo: BcastAlgo,
+    pub(crate) gather_algo: GatherAlgo,
+    pub(crate) layout: FlagLayout,
+    pub(crate) rsrc: Vec<MemberRsrc>,
+    pub(crate) epochs: Epochs,
+    /// Current scratch slot size in bytes (0 = scratch not yet allocated).
+    pub(crate) scratch_slot_bytes: usize,
+    /// Current gather/scatter slot size in bytes (0 = not yet allocated).
+    pub(crate) gather_slot_bytes: usize,
+    /// Largest intranode-set size, fixed at formation (scratch layout).
+    pub(crate) local_max: usize,
+    /// Workhorse byte buffers (reused across collective calls).
+    pub(crate) buf: Vec<u8>,
+    pub(crate) buf2: Vec<u8>,
+}
+
+impl TeamComm {
+    // ------------------------------------------------------------------
+    // Formation
+    // ------------------------------------------------------------------
+
+    /// Create the initial team spanning every image of `fabric`.
+    ///
+    /// Collective: every image must call it, once, before any other team
+    /// operation. `boot_epoch` is this image's bootstrap-barrier counter
+    /// (start at 0 and reuse the same counter for any further
+    /// `create_initial` on the same fabric).
+    pub fn create_initial(
+        fabric: ArcFabric,
+        me: ProcId,
+        cfg: CollectiveConfig,
+        boot_epoch: &mut u64,
+    ) -> Self {
+        let n = fabric.n_images();
+        let members: Arc<Vec<ProcId>> = Arc::new((0..n).map(ProcId).collect());
+        let hier = Arc::new(HierarchyView::build(fabric.image_map(), &members));
+        let layout = FlagLayout::new(n);
+        let flags = fabric.alloc_flags(me, layout.total());
+        let exch = fabric.alloc_segment(me, n * EXCH_SLOT);
+
+        // Publish (flags, exch) through the bootstrap segment; slot = sender.
+        let mut slot = [0u8; bootstrap::SLOT_BYTES];
+        slot[0..8].copy_from_slice(&(flags.0 as u64).to_ne_bytes());
+        slot[8..16].copy_from_slice(&(exch.0 as u64).to_ne_bytes());
+        for j in 0..n {
+            fabric.put(
+                me,
+                ProcId(j),
+                bootstrap::SEG,
+                me.index() * bootstrap::SLOT_BYTES,
+                &slot,
+            );
+        }
+        bootstrap::control_barrier(&*fabric, me, boot_epoch);
+
+        let mut all = vec![0u8; n * bootstrap::SLOT_BYTES];
+        fabric.get(me, me, bootstrap::SEG, 0, &mut all);
+        let rsrc: Vec<MemberRsrc> = (0..n)
+            .map(|j| {
+                let base = j * bootstrap::SLOT_BYTES;
+                let f = u64::from_ne_bytes(all[base..base + 8].try_into().expect("8"));
+                let e = u64::from_ne_bytes(all[base + 8..base + 16].try_into().expect("8"));
+                MemberRsrc {
+                    flags: FlagId(f as usize),
+                    exch: SegmentId(e as usize),
+                    scratch: SegmentId(usize::MAX),
+                    gather: SegmentId(usize::MAX),
+                }
+            })
+            .collect();
+        // Nobody may reuse the bootstrap slots until everyone has read them.
+        bootstrap::control_barrier(&*fabric, me, boot_epoch);
+
+        Self::assemble(fabric, me, me.index(), members, hier, cfg, layout, rsrc)
+    }
+
+    /// Split the parent team into subteams by `team_number` — the runtime's
+    /// `form team` statement. Collective over the **parent** team: every
+    /// parent member calls it, supplying its chosen number and optional
+    /// 1-based `new_index` within its new team.
+    ///
+    /// Returns this image's new team. Ordering within a subteam follows
+    /// `new_index` when given (all members of a subteam must then supply
+    /// distinct indices forming 1..=m), else parent rank order.
+    pub fn create_sub(
+        &mut self,
+        team_number: i64,
+        new_index: Option<usize>,
+        cfg: Option<CollectiveConfig>,
+    ) -> TeamComm {
+        let cfg = cfg.unwrap_or(self.raw_cfg);
+        // Round 1: gather everyone's (number, key, has_index).
+        let key = new_index.unwrap_or(0) as u64;
+        let g1 = self.allgather4([team_number as u64, key, new_index.is_some() as u64, 0]);
+
+        // My subteam: parent ranks with my number, ordered by key or rank.
+        let mut group: Vec<(usize, u64, bool)> = g1
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v[0] as i64 == team_number)
+            .map(|(r, v)| (r, v[1], v[2] != 0))
+            .collect();
+        let any_index = group.iter().any(|(_, _, h)| *h);
+        if any_index {
+            assert!(
+                group.iter().all(|(_, _, h)| *h),
+                "form_team: some but not all members of team {team_number} gave a new_index"
+            );
+            group.sort_by_key(|&(r, k, _)| (k, r));
+            let m = group.len();
+            for (i, &(_, k, _)) in group.iter().enumerate() {
+                assert_eq!(
+                    k as usize,
+                    i + 1,
+                    "form_team: new_index values for team {team_number} must be a permutation of 1..={m}"
+                );
+            }
+        } else {
+            group.sort_by_key(|&(r, _, _)| r);
+        }
+        let parent_ranks: Vec<usize> = group.iter().map(|&(r, _, _)| r).collect();
+        let members: Arc<Vec<ProcId>> =
+            Arc::new(parent_ranks.iter().map(|&r| self.members[r]).collect());
+        let my_new_rank = parent_ranks
+            .iter()
+            .position(|&r| r == self.rank)
+            .expect("caller is in its own subteam");
+
+        // Allocate my new team's resources and exchange ids parent-wide.
+        let m = members.len();
+        let layout = FlagLayout::new(m);
+        let flags = self.fabric.alloc_flags(self.me, layout.total());
+        let exch = self.fabric.alloc_segment(self.me, m * EXCH_SLOT);
+        let g2 = self.allgather4([flags.0 as u64, exch.0 as u64, 0, 0]);
+
+        let rsrc: Vec<MemberRsrc> = parent_ranks
+            .iter()
+            .map(|&r| MemberRsrc {
+                flags: FlagId(g2[r][0] as usize),
+                exch: SegmentId(g2[r][1] as usize),
+                scratch: SegmentId(usize::MAX),
+                gather: SegmentId(usize::MAX),
+            })
+            .collect();
+
+        let hier = Arc::new(HierarchyView::build(self.fabric.image_map(), &members));
+        Self::assemble(
+            self.fabric.clone(),
+            self.me,
+            my_new_rank,
+            members,
+            hier,
+            cfg,
+            layout,
+            rsrc,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        fabric: ArcFabric,
+        me: ProcId,
+        rank: usize,
+        members: Arc<Vec<ProcId>>,
+        hier: Arc<HierarchyView>,
+        cfg: CollectiveConfig,
+        layout: FlagLayout,
+        rsrc: Vec<MemberRsrc>,
+    ) -> Self {
+        let local_max = hier.sets().iter().map(|s| s.len()).max().unwrap_or(1);
+        Self {
+            barrier_algo: cfg.barrier.resolve(&hier),
+            reduce_algo: cfg.reduce.resolve(&hier),
+            bcast_algo: cfg.bcast.resolve(&hier),
+            gather_algo: cfg.gather.resolve(&hier),
+            raw_cfg: cfg,
+            fabric,
+            me,
+            rank,
+            members,
+            hier,
+            layout,
+            rsrc,
+            epochs: Epochs::default(),
+            scratch_slot_bytes: 0,
+            gather_slot_bytes: 0,
+            local_max,
+            buf: Vec::new(),
+            buf2: Vec::new(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// This image's 0-based rank within the team.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of images in the team.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Process of team rank `r` — the paper's image-index mapping array.
+    pub fn proc_of(&self, r: usize) -> ProcId {
+        self.members[r]
+    }
+
+    /// The member list (rank → process).
+    pub fn members(&self) -> &Arc<Vec<ProcId>> {
+        &self.members
+    }
+
+    /// The team's two-level decomposition.
+    pub fn hierarchy(&self) -> &HierarchyView {
+        &self.hier
+    }
+
+    /// The fabric this team communicates through.
+    pub fn fabric(&self) -> &ArcFabric {
+        &self.fabric
+    }
+
+    /// Resolved barrier algorithm for this team.
+    pub fn barrier_algorithm(&self) -> BarrierAlgo {
+        self.barrier_algo
+    }
+
+    /// Resolved reduction algorithm for this team.
+    pub fn reduce_algorithm(&self) -> ReduceAlgo {
+        self.reduce_algo
+    }
+
+    /// Resolved broadcast algorithm for this team.
+    pub fn bcast_algorithm(&self) -> BcastAlgo {
+        self.bcast_algo
+    }
+
+    /// Resolved gather/scatter algorithm for this team.
+    pub fn gather_algorithm(&self) -> GatherAlgo {
+        self.gather_algo
+    }
+
+    // ------------------------------------------------------------------
+    // Collectives (public API)
+    // ------------------------------------------------------------------
+
+    /// Team barrier (`sync all` / `sync team`), using the algorithm
+    /// resolved at formation.
+    pub fn barrier(&mut self) {
+        crate::barrier::barrier(self);
+    }
+
+    /// Element-wise allreduce of `buf` with a user operation — CAF
+    /// `co_reduce`. `f` must be commutative and associative; the
+    /// hierarchical algorithms reorder combinations freely.
+    pub fn co_reduce_with<T: CoValue>(&mut self, buf: &mut [T], f: impl Fn(T, T) -> T) {
+        crate::reduce::allreduce(self, buf, &f);
+    }
+
+    /// Element-wise intrinsic reduction (CAF `co_sum`/`co_min`/`co_max`).
+    pub fn co_reduce<T: CoNumeric>(&mut self, buf: &mut [T], op: CoOp) {
+        self.co_reduce_with(buf, |a, b| op.apply(a, b));
+    }
+
+    /// CAF `co_sum`: element-wise sum across the team, result everywhere.
+    pub fn co_sum<T: CoNumeric>(&mut self, buf: &mut [T]) {
+        self.co_reduce(buf, CoOp::Sum);
+    }
+
+    /// CAF `co_min`.
+    pub fn co_min<T: CoNumeric>(&mut self, buf: &mut [T]) {
+        self.co_reduce(buf, CoOp::Min);
+    }
+
+    /// CAF `co_max`.
+    pub fn co_max<T: CoNumeric>(&mut self, buf: &mut [T]) {
+        self.co_reduce(buf, CoOp::Max);
+    }
+
+    /// CAF `co_broadcast`: `buf` on team rank `root` is replicated into
+    /// every member's `buf`.
+    pub fn co_broadcast<T: CoValue>(&mut self, buf: &mut [T], root: usize) {
+        crate::bcast::broadcast(self, buf, root);
+    }
+
+    /// Gather `mine` from every member to team rank `root`; the root
+    /// receives the concatenation in team-rank order (`None` elsewhere).
+    /// Extension collective (see `gather.rs`).
+    pub fn co_gather<T: CoValue>(&mut self, mine: &[T], root: usize) -> Option<Vec<T>> {
+        crate::gather::gather(self, mine, root)
+    }
+
+    /// Scatter from team rank `root`: the root supplies `n·out.len()`
+    /// elements, member `r` receives slice `r` into `out`.
+    /// Extension collective (see `gather.rs`).
+    pub fn co_scatter<T: CoValue>(&mut self, all: Option<&[T]>, out: &mut [T], root: usize) {
+        crate::gather::scatter(self, all, out, root);
+    }
+
+    /// All-to-all personalized exchange: `send` holds `n` slices of `len`
+    /// elements (slice `j` for team rank `j`); the result holds slice `r`'s
+    /// payload from every rank `r`, in rank order — the distributed
+    /// transpose. Extension collective (see `gather.rs`).
+    ///
+    /// Uses a ring schedule (`(rank + k) mod n` at step `k`) so every
+    /// image sends and receives exactly one slice per step, and finishes
+    /// with a team barrier that fences the exchange region for the next
+    /// era (all-to-all has no root to run a release wave through).
+    pub fn co_alltoall<T: CoValue>(&mut self, send: &[T], len: usize) -> Vec<T> {
+        crate::gather::alltoall(self, send, len)
+    }
+
+    // ------------------------------------------------------------------
+    // Control plane (used by formation, scratch growth, and the runtime)
+    // ------------------------------------------------------------------
+
+    /// Exchange four `u64`s with every team member; returns the values
+    /// indexed by team rank.
+    ///
+    /// Implemented as a binomial-tree gather to rank 0 followed by a tree
+    /// broadcast of the combined array — 2(n−1) messages in 2·log n depth
+    /// (a flat exchange would be n² messages, which dominates team-
+    /// formation cost at scale). A trailing control barrier fences the
+    /// exchange slots for reuse.
+    pub fn allgather4(&mut self, vals: [u64; 4]) -> Vec<[u64; 4]> {
+        // Clear-lowest-bit binomial tree: parent(v) = v & (v-1); the
+        // subtree of v is the contiguous range [v, v + lowbit(v)) — which
+        // is what lets each gather hop ship one contiguous slot range.
+        let lowbit = |v: usize| v & v.wrapping_neg();
+        let parent_of = |v: usize| v & (v - 1);
+        let children_of = |v: usize, n: usize| -> Vec<usize> {
+            let cap = if v == 0 { n } else { lowbit(v) };
+            let mut out = Vec::new();
+            let mut k = 1usize;
+            while k < cap && v + k < n {
+                out.push(v + k);
+                k <<= 1;
+            }
+            out
+        };
+        let n = self.size();
+        self.epochs.exch_tree += 1;
+        let era = self.epochs.exch_tree;
+
+        // Deposit my own slot locally.
+        let mut slot = [0u8; EXCH_SLOT];
+        for (i, v) in vals.iter().enumerate() {
+            slot[i * 8..(i + 1) * 8].copy_from_slice(&v.to_ne_bytes());
+        }
+        let my_exch = self.rsrc[self.rank].exch;
+        self.fabric
+            .put(self.me, self.me, my_exch, self.rank * EXCH_SLOT, &slot);
+
+        if n > 1 {
+            let v = self.rank;
+            let children = children_of(v, n);
+            // Gather: wait for each child's subtree, then ship my whole
+            // contiguous subtree range to my parent.
+            if !children.is_empty() {
+                self.wait_flag(flag::EXCH_GATHER, children.len() as u64 * era);
+            }
+            if v != 0 {
+                let parent = parent_of(v);
+                let hi = (v + lowbit(v)).min(n);
+                let bytes = (hi - v) * EXCH_SLOT;
+                let mut buf = vec![0u8; bytes];
+                self.fabric
+                    .get(self.me, self.me, my_exch, v * EXCH_SLOT, &mut buf);
+                self.fabric.put(
+                    self.me,
+                    self.members[parent],
+                    self.rsrc[parent].exch,
+                    v * EXCH_SLOT,
+                    &buf,
+                );
+                self.add_flag(parent, flag::EXCH_GATHER, 1);
+                // Broadcast: wait for the combined array from my parent.
+                self.wait_flag(flag::EXCH_BCAST, era);
+            }
+            // Forward the full array to my children.
+            if !children.is_empty() {
+                let mut full = vec![0u8; n * EXCH_SLOT];
+                self.fabric.get(self.me, self.me, my_exch, 0, &mut full);
+                for &c in &children {
+                    self.fabric.put(
+                        self.me,
+                        self.members[c],
+                        self.rsrc[c].exch,
+                        0,
+                        &full,
+                    );
+                    self.add_flag(c, flag::EXCH_BCAST, 1);
+                }
+            }
+        }
+
+        let mut all = vec![0u8; n * EXCH_SLOT];
+        self.fabric
+            .get(self.me, self.me, self.rsrc[self.rank].exch, 0, &mut all);
+        let out: Vec<[u64; 4]> = (0..n)
+            .map(|j| {
+                let mut v = [0u64; 4];
+                for (i, vi) in v.iter_mut().enumerate() {
+                    let base = j * EXCH_SLOT + i * 8;
+                    *vi = u64::from_ne_bytes(all[base..base + 8].try_into().expect("8"));
+                }
+                v
+            })
+            .collect();
+        // Fence: nobody starts the next exchange into these slots until
+        // everyone has read this one.
+        self.control_barrier();
+        out
+    }
+
+    /// A plain central-counter barrier on the team's control flags. Used by
+    /// the control plane so that benchmarked collectives keep their own
+    /// flag history clean.
+    pub fn control_barrier(&mut self) {
+        self.epochs.exch += 1;
+        let e = self.epochs.exch;
+        let n = self.size() as u64;
+        if n == 1 {
+            return;
+        }
+        if self.rank == 0 {
+            self.wait_flag(flag::EXCH_COUNTER, (n - 1) * e);
+            for j in 1..n as usize {
+                self.add_flag(j, flag::EXCH_RELEASE, 1);
+            }
+        } else {
+            self.add_flag(0, flag::EXCH_COUNTER, 1);
+            self.wait_flag(flag::EXCH_RELEASE, e);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Internal plumbing for the algorithm modules
+    // ------------------------------------------------------------------
+
+    /// Notify team rank `to`: add `delta` to its flag `idx`.
+    pub(crate) fn add_flag(&self, to: usize, idx: usize, delta: u64) {
+        self.fabric
+            .flag_add(self.me, self.members[to], self.rsrc[to].flags.nth(idx), delta);
+    }
+
+    /// Wait until my flag `idx` is ≥ `target`.
+    pub(crate) fn wait_flag(&self, idx: usize, target: u64) {
+        self.fabric
+            .flag_wait_ge(self.me, self.rsrc[self.rank].flags.nth(idx), target);
+    }
+
+    /// Grow (collectively) the team scratch so each slot holds `slot_bytes`.
+    /// Collective: all members must request the same size (they do, because
+    /// collectives are called with matching buffers — asserted via the
+    /// exchange).
+    pub(crate) fn ensure_scratch(&mut self, slot_bytes: usize) {
+        if self.scratch_slot_bytes >= slot_bytes {
+            return;
+        }
+        let new_slot = slot_bytes.next_power_of_two().max(64);
+        let slots = self.scratch_slots();
+        let seg = self.fabric.alloc_segment(self.me, slots * new_slot);
+        let g = self.allgather4([seg.0 as u64, new_slot as u64, 0, 0]);
+        for (j, v) in g.iter().enumerate() {
+            assert_eq!(
+                v[1] as usize, new_slot,
+                "scratch growth disagreement: rank {j} wants {} bytes, rank {} wants {new_slot}",
+                v[1], self.rank
+            );
+            self.rsrc[j].scratch = SegmentId(v[0] as usize);
+        }
+        self.scratch_slot_bytes = new_slot;
+    }
+
+    /// Number of scratch slots in the team layout.
+    fn scratch_slots(&self) -> usize {
+        2 * self.layout.d + 2 * self.local_max + 8
+    }
+
+    /// Byte offset of recursive-doubling slot for round `k`, parity `p`.
+    pub(crate) fn sl_rd(&self, k: usize, p: usize) -> usize {
+        debug_assert!(k < self.layout.d && p < 2);
+        (2 * k + p) * self.scratch_slot_bytes
+    }
+
+    /// Byte offset of the intranode gather slot for set position `pos`.
+    pub(crate) fn sl_gather(&self, pos: usize, p: usize) -> usize {
+        debug_assert!(pos < self.local_max && p < 2);
+        (2 * self.layout.d + 2 * pos + p) * self.scratch_slot_bytes
+    }
+
+    /// Byte offset of the fold-in (pre) slot.
+    pub(crate) fn sl_pre(&self, p: usize) -> usize {
+        (2 * self.layout.d + 2 * self.local_max + p) * self.scratch_slot_bytes
+    }
+
+    /// Byte offset of the fold-out (post) slot.
+    pub(crate) fn sl_post(&self, p: usize) -> usize {
+        self.sl_pre(p) + 2 * self.scratch_slot_bytes
+    }
+
+    /// Byte offset of the broadcast payload slot.
+    pub(crate) fn sl_bcast(&self, p: usize) -> usize {
+        self.sl_pre(p) + 4 * self.scratch_slot_bytes
+    }
+
+    /// Byte offset of the reduction release slot.
+    pub(crate) fn sl_release(&self, p: usize) -> usize {
+        self.sl_pre(p) + 6 * self.scratch_slot_bytes
+    }
+
+    /// Grow (collectively) the gather/scatter region: `n` slots of
+    /// `slot_bytes` on every member.
+    pub(crate) fn ensure_gather(&mut self, slot_bytes: usize) {
+        if self.gather_slot_bytes >= slot_bytes {
+            return;
+        }
+        let new_slot = slot_bytes.next_power_of_two().max(64);
+        let seg = self
+            .fabric
+            .alloc_segment(self.me, self.size() * new_slot);
+        let g = self.allgather4([seg.0 as u64, new_slot as u64, 1, 0]);
+        for (j, v) in g.iter().enumerate() {
+            assert_eq!(
+                v[1] as usize, new_slot,
+                "gather-region growth disagreement at rank {j}"
+            );
+            self.rsrc[j].gather = SegmentId(v[0] as usize);
+        }
+        self.gather_slot_bytes = new_slot;
+    }
+
+    /// Serialize `src` into team rank `to`'s gather region at slot `slot`.
+    pub(crate) fn send_values_gather<T: CoValue>(&mut self, to: usize, slot: usize, src: &[T]) {
+        debug_assert!(self.gather_slot_bytes > 0, "gather region not allocated");
+        let off = slot * self.gather_slot_bytes;
+        let mut b = std::mem::take(&mut self.buf);
+        slice_to_bytes(src, &mut b);
+        self.fabric
+            .put(self.me, self.members[to], self.rsrc[to].gather, off, &b);
+        self.buf = b;
+    }
+
+    /// Raw byte put into team rank `to`'s gather region.
+    pub(crate) fn put_gather_raw(&self, to: usize, off: usize, bytes: &[u8]) {
+        self.fabric
+            .put(self.me, self.members[to], self.rsrc[to].gather, off, bytes);
+    }
+
+    /// Read raw bytes from my own gather region.
+    pub(crate) fn read_my_gather(&self, off: usize, out: &mut [u8]) {
+        self.fabric
+            .get(self.me, self.me, self.rsrc[self.rank].gather, off, out);
+    }
+
+    /// Read my gather slot at byte offset `off` into `buf` (overwrite).
+    pub(crate) fn load_from_gather<T: CoValue>(&mut self, off: usize, buf: &mut [T]) {
+        let nbytes = buf.len() * T::SIZE;
+        let mut b = std::mem::take(&mut self.buf2);
+        b.resize(nbytes, 0);
+        self.read_my_gather(off, &mut b);
+        bytes_to_slice(&b, buf);
+        self.buf2 = b;
+    }
+
+    /// Put `bytes` into team rank `to`'s scratch at byte offset `off`.
+    pub(crate) fn put_scratch(&self, to: usize, off: usize, bytes: &[u8]) {
+        debug_assert!(self.scratch_slot_bytes > 0, "scratch not allocated");
+        self.fabric
+            .put(self.me, self.members[to], self.rsrc[to].scratch, off, bytes);
+    }
+
+    /// Read `out.len()` bytes from my own scratch at byte offset `off`.
+    pub(crate) fn read_my_scratch(&self, off: usize, out: &mut [u8]) {
+        self.fabric
+            .get(self.me, self.me, self.rsrc[self.rank].scratch, off, out);
+    }
+
+    /// Serialize `src` and put it into team rank `to`'s scratch at byte
+    /// offset `off` (the workhorse data-plane send of every collective).
+    pub(crate) fn send_values<T: CoValue>(&mut self, to: usize, off: usize, src: &[T]) {
+        let mut b = std::mem::take(&mut self.buf);
+        slice_to_bytes(src, &mut b);
+        self.put_scratch(to, off, &b);
+        self.buf = b;
+    }
+
+    /// Read my scratch slot at `off` and combine it element-wise into `buf`.
+    pub(crate) fn combine_from_scratch<T: CoValue>(
+        &mut self,
+        off: usize,
+        buf: &mut [T],
+        f: &impl Fn(T, T) -> T,
+    ) {
+        let nbytes = buf.len() * T::SIZE;
+        let mut b = std::mem::take(&mut self.buf2);
+        b.resize(nbytes, 0);
+        self.read_my_scratch(off, &mut b);
+        for (i, slot) in buf.iter_mut().enumerate() {
+            let v = T::load(&b[i * T::SIZE..(i + 1) * T::SIZE]);
+            *slot = f(*slot, v);
+        }
+        self.buf2 = b;
+    }
+
+    /// Read my scratch slot at `off` into `buf` (overwrite).
+    pub(crate) fn load_from_scratch<T: CoValue>(&mut self, off: usize, buf: &mut [T]) {
+        let nbytes = buf.len() * T::SIZE;
+        let mut b = std::mem::take(&mut self.buf2);
+        b.resize(nbytes, 0);
+        self.read_my_scratch(off, &mut b);
+        bytes_to_slice(&b, buf);
+        self.buf2 = b;
+    }
+}

@@ -1,0 +1,244 @@
+//! Algorithm selection — the knob distinguishing the paper's "1-level"
+//! baseline runtime from the hierarchy-aware "2-level" runtime.
+
+use caf_topology::HierarchyView;
+
+/// Barrier algorithm choice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum BarrierAlgo {
+    /// Centralized linear counter barrier: 2(n−1) notifications, all
+    /// through one image — good on shared memory, terrible across nodes.
+    CentralCounter,
+    /// Pure dissemination (Hensgen/Finkel/Manber; Mellor-Crummey & Scott),
+    /// implemented PGAS-style with a single accumulating `sync_flags`
+    /// counter per round — one wait, no sense reversal. This is the paper's
+    /// "1-level" UHCAF baseline.
+    Dissemination,
+    /// Binomial-tree barrier (gather up a tree rooted at rank 0, release
+    /// back down): 2(n−1) notifications like the central counter, but
+    /// log-depth — the MCS tree barrier's message pattern.
+    BinomialTree,
+    /// The paper's Team Dissemination Linear Barrier (Algorithm 1):
+    /// intra-node linear gather to a per-node leader, dissemination among
+    /// leaders, intra-node linear release. The "2-level" algorithm.
+    Tdlb,
+    /// §VII future work: a three-level TDLB with a socket level below the
+    /// node level (socket gather → node gather → leader dissemination →
+    /// releases back down).
+    TdlbMultilevel,
+    /// Hierarchy-aware choice at team-formation time: dissemination for
+    /// flat teams, TDLB otherwise.
+    #[default]
+    Auto,
+}
+
+/// Reduction (allreduce) algorithm choice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ReduceAlgo {
+    /// Flat recursive doubling over all images (with the standard
+    /// fold-in/fold-out pre/post phases for non-power-of-two sizes) —
+    /// the "1-level" baseline.
+    FlatRecursiveDoubling,
+    /// Flat binomial-tree reduce to rank 0 followed by a binomial broadcast.
+    FlatBinomial,
+    /// The paper's two-level reduction: intra-node linear combine at each
+    /// node leader, recursive doubling among leaders, intra-node release.
+    TwoLevel,
+    /// Hierarchy-aware choice: recursive doubling for flat teams, two-level
+    /// otherwise.
+    #[default]
+    Auto,
+}
+
+/// Broadcast algorithm choice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum BcastAlgo {
+    /// Root puts to every image directly (n−1 serialized sends).
+    FlatLinear,
+    /// Binomial tree over all images — the "1-level" baseline.
+    FlatBinomial,
+    /// The paper's two-level broadcast: binomial tree over node leaders
+    /// (with the root acting as its node's leader), then an intra-node
+    /// linear fan-out.
+    TwoLevel,
+    /// Hierarchy-aware choice: binomial for flat teams, two-level otherwise.
+    #[default]
+    Auto,
+}
+
+/// Gather/scatter algorithm choice (extension collectives; the paper's
+/// methodology applied beyond its three operations).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum GatherAlgo {
+    /// Every member exchanges directly with the root.
+    FlatLinear,
+    /// Members exchange with their node leader over shared memory; one
+    /// message per node crosses the network.
+    TwoLevel,
+    /// Hierarchy-aware choice: flat for flat teams, two-level otherwise.
+    #[default]
+    Auto,
+}
+
+impl GatherAlgo {
+    /// Resolve `Auto` against a team's hierarchy.
+    pub fn resolve(self, hier: &HierarchyView) -> GatherAlgo {
+        match self {
+            GatherAlgo::Auto => {
+                if hier.is_flat() {
+                    GatherAlgo::FlatLinear
+                } else {
+                    GatherAlgo::TwoLevel
+                }
+            }
+            fixed => fixed,
+        }
+    }
+}
+
+/// Per-team collective configuration, fixed at team-formation time.
+///
+/// Fixing algorithms per team keeps the accumulating `sync_flags` counters
+/// coherent: every algorithm's waits count episodes against the same flag
+/// history, so switching algorithms mid-team would desynchronize epochs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct CollectiveConfig {
+    /// Barrier algorithm.
+    pub barrier: BarrierAlgo,
+    /// Reduction algorithm.
+    pub reduce: ReduceAlgo,
+    /// Broadcast algorithm.
+    pub bcast: BcastAlgo,
+    /// Gather/scatter algorithm.
+    pub gather: GatherAlgo,
+}
+
+impl CollectiveConfig {
+    /// The paper's hierarchy-aware "2-level" runtime (also the default).
+    pub fn two_level() -> Self {
+        Self {
+            barrier: BarrierAlgo::Tdlb,
+            reduce: ReduceAlgo::TwoLevel,
+            bcast: BcastAlgo::TwoLevel,
+            gather: GatherAlgo::TwoLevel,
+        }
+    }
+
+    /// The paper's "1-level" baseline runtime: pure dissemination barrier,
+    /// flat recursive-doubling reduction, flat binomial broadcast.
+    pub fn one_level() -> Self {
+        Self {
+            barrier: BarrierAlgo::Dissemination,
+            reduce: ReduceAlgo::FlatRecursiveDoubling,
+            bcast: BcastAlgo::FlatBinomial,
+            gather: GatherAlgo::FlatLinear,
+        }
+    }
+
+    /// Hierarchy-aware automatic selection (the default).
+    pub fn auto() -> Self {
+        Self::default()
+    }
+}
+
+impl BarrierAlgo {
+    /// Resolve `Auto` against a team's hierarchy.
+    pub fn resolve(self, hier: &HierarchyView) -> BarrierAlgo {
+        match self {
+            BarrierAlgo::Auto => {
+                if hier.is_flat() {
+                    BarrierAlgo::Dissemination
+                } else {
+                    BarrierAlgo::Tdlb
+                }
+            }
+            fixed => fixed,
+        }
+    }
+}
+
+impl ReduceAlgo {
+    /// Resolve `Auto` against a team's hierarchy.
+    pub fn resolve(self, hier: &HierarchyView) -> ReduceAlgo {
+        match self {
+            ReduceAlgo::Auto => {
+                if hier.is_flat() {
+                    ReduceAlgo::FlatRecursiveDoubling
+                } else {
+                    ReduceAlgo::TwoLevel
+                }
+            }
+            fixed => fixed,
+        }
+    }
+}
+
+impl BcastAlgo {
+    /// Resolve `Auto` against a team's hierarchy.
+    pub fn resolve(self, hier: &HierarchyView) -> BcastAlgo {
+        match self {
+            BcastAlgo::Auto => {
+                if hier.is_flat() {
+                    BcastAlgo::FlatBinomial
+                } else {
+                    BcastAlgo::TwoLevel
+                }
+            }
+            fixed => fixed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caf_topology::{presets, HierarchyView, ImageMap, Placement, ProcId};
+
+    fn hier(nodes: usize, per_node: usize, images: usize) -> HierarchyView {
+        let map = ImageMap::new(
+            presets::mini(nodes, per_node.max(1)),
+            images,
+            &Placement::Block { per_node },
+        );
+        let members: Vec<ProcId> = (0..images).map(ProcId).collect();
+        HierarchyView::build(&map, &members)
+    }
+
+    #[test]
+    fn auto_resolves_flat_to_dissemination() {
+        let h = hier(8, 1, 8);
+        assert_eq!(BarrierAlgo::Auto.resolve(&h), BarrierAlgo::Dissemination);
+        assert_eq!(
+            ReduceAlgo::Auto.resolve(&h),
+            ReduceAlgo::FlatRecursiveDoubling
+        );
+        assert_eq!(BcastAlgo::Auto.resolve(&h), BcastAlgo::FlatBinomial);
+    }
+
+    #[test]
+    fn auto_resolves_hierarchical_to_two_level() {
+        let h = hier(2, 4, 8);
+        assert_eq!(BarrierAlgo::Auto.resolve(&h), BarrierAlgo::Tdlb);
+        assert_eq!(ReduceAlgo::Auto.resolve(&h), ReduceAlgo::TwoLevel);
+        assert_eq!(BcastAlgo::Auto.resolve(&h), BcastAlgo::TwoLevel);
+    }
+
+    #[test]
+    fn fixed_choices_pass_through() {
+        let h = hier(2, 4, 8);
+        assert_eq!(
+            BarrierAlgo::CentralCounter.resolve(&h),
+            BarrierAlgo::CentralCounter
+        );
+        assert_eq!(
+            ReduceAlgo::FlatBinomial.resolve(&h),
+            ReduceAlgo::FlatBinomial
+        );
+    }
+
+    #[test]
+    fn presets_are_distinct() {
+        assert_ne!(CollectiveConfig::one_level(), CollectiveConfig::two_level());
+        assert_eq!(CollectiveConfig::auto(), CollectiveConfig::default());
+    }
+}

@@ -1,0 +1,381 @@
+//! Gather and scatter collectives — extensions beyond the paper's three
+//! (barrier/reduction/broadcast), built with the same §IV-A methodology:
+//! the 2-level variants route through node leaders so only one message per
+//! node crosses the network, while members talk to their leader over
+//! shared memory.
+//!
+//! * `co_gather(root)`: every member contributes `len` elements; the root
+//!   receives the concatenation in team-rank order.
+//! * `co_scatter(root)`: the root holds `n·len` elements; member `r`
+//!   receives slice `r`.
+//!
+//! # Flow control
+//!
+//! Like broadcast, these have rotating roots, so slot reuse needs explicit
+//! fencing:
+//! * gather runs **data up → release down**: the root releases (through
+//!   the same leader tree) once it has consumed everything, and members
+//!   return only on their release — so nobody's era-`e+1` contribution can
+//!   land in a leader/root slot still holding era `e`.
+//! * scatter runs **data down → ack up → release down**: members ack after
+//!   reading, the root collects every ack and then releases; members
+//!   return only on their release. The release is what protects member
+//!   slots across eras — roots rotate, so era `e+1`'s (different) root
+//!   must not start until era `e` was read everywhere.
+
+use crate::comm::{flag, TeamComm};
+use crate::config::GatherAlgo;
+use crate::value::{bytes_to_slice, CoValue};
+
+/// All-to-all personalized exchange over a ring schedule; see
+/// [`TeamComm::co_alltoall`]. Every image deposits slice `j` into rank
+/// `j`'s region at slot `my_rank`, staggered so step `k` pairs
+/// `(rank, rank+k)` — no hot spot. The trailing team barrier fences the
+/// region: nobody enters era `e+1` before everyone consumed era `e`.
+pub(crate) fn alltoall<T: CoValue>(comm: &mut TeamComm, send: &[T], len: usize) -> Vec<T> {
+    let n = comm.size();
+    assert_eq!(send.len(), n * len, "alltoall send buffer must be n*len");
+    comm.epochs.alltoall += 1;
+    let era = comm.epochs.alltoall;
+    let mut out = vec![T::load(&vec![0u8; T::SIZE]); n * len];
+    // My own slice moves locally.
+    out[comm.rank * len..(comm.rank + 1) * len]
+        .copy_from_slice(&send[comm.rank * len..(comm.rank + 1) * len]);
+    if n == 1 {
+        return out;
+    }
+    comm.ensure_gather((len * T::SIZE).max(1));
+    let gs = comm.gather_slot_bytes;
+    for k in 1..n {
+        let to = (comm.rank + k) % n;
+        comm.send_values_gather(to, comm.rank, &send[to * len..(to + 1) * len]);
+        comm.add_flag(to, flag::A2A_ARRIVE, 1);
+    }
+    comm.wait_flag(flag::A2A_ARRIVE, (n as u64 - 1) * era);
+    let mut bytes = vec![0u8; n * gs];
+    comm.read_my_gather(0, &mut bytes);
+    for r in 0..n {
+        if r != comm.rank {
+            bytes_to_slice(
+                &bytes[r * gs..r * gs + len * T::SIZE],
+                &mut out[r * len..(r + 1) * len],
+            );
+        }
+    }
+    comm.barrier();
+    out
+}
+
+/// Collective gather; see module docs. `mine.len()` must match on every
+/// member; returns `Some(concatenation)` on the root, `None` elsewhere.
+pub(crate) fn gather<T: CoValue>(
+    comm: &mut TeamComm,
+    mine: &[T],
+    root: usize,
+) -> Option<Vec<T>> {
+    assert!(root < comm.size(), "gather root {root} out of team");
+    comm.epochs.gather += 1;
+    let n = comm.size();
+    if n == 1 {
+        return Some(mine.to_vec());
+    }
+    let nbytes = mine.len() * T::SIZE;
+    comm.ensure_gather(nbytes.max(1));
+    match comm.gather_algo {
+        GatherAlgo::FlatLinear => gather_flat(comm, mine, root),
+        GatherAlgo::TwoLevel => gather_two_level(comm, mine, root),
+        GatherAlgo::Auto => unreachable!("Auto resolved at formation"),
+    }
+}
+
+fn read_all_slots<T: CoValue>(comm: &mut TeamComm, len: usize, order: &[usize]) -> Vec<T> {
+    // Read slot `order[i]`'s payload as the contribution of team rank i.
+    let n = comm.size();
+    let gs = comm.gather_slot_bytes;
+    let mut bytes = vec![0u8; n * gs];
+    comm.read_my_gather(0, &mut bytes);
+    let mut out = vec![T::load(&vec![0u8; T::SIZE]); n * len];
+    for (rank, &slot) in order.iter().enumerate() {
+        let src = &bytes[slot * gs..slot * gs + len * T::SIZE];
+        bytes_to_slice(src, &mut out[rank * len..(rank + 1) * len]);
+    }
+    out
+}
+
+fn gather_flat<T: CoValue>(comm: &mut TeamComm, mine: &[T], root: usize) -> Option<Vec<T>> {
+    let n = comm.size();
+    if comm.rank == root {
+        // Deposit my own contribution locally, collect the rest.
+        comm.send_values_gather(root, comm.rank, mine);
+        comm.epochs.gather_arrived += n as u64 - 1;
+        comm.wait_flag(flag::GA_ARRIVE, comm.epochs.gather_arrived);
+        let order: Vec<usize> = (0..n).collect();
+        let out = read_all_slots(comm, mine.len(), &order);
+        for j in 0..n {
+            if j != root {
+                comm.add_flag(j, flag::GA_DONE, 1);
+            }
+        }
+        Some(out)
+    } else {
+        comm.send_values_gather(root, comm.rank, mine);
+        comm.add_flag(root, flag::GA_ARRIVE, 1);
+        comm.epochs.gather_released += 1;
+        comm.wait_flag(flag::GA_DONE, comm.epochs.gather_released);
+        None
+    }
+}
+
+fn gather_two_level<T: CoValue>(comm: &mut TeamComm, mine: &[T], root: usize) -> Option<Vec<T>> {
+    let hier = comm.hier.clone();
+    let root_set = hier.leader_index_of(root);
+    let my_set = hier.leader_index_of(comm.rank);
+    let eff_leader_of =
+        |s: usize| -> usize { if s == root_set { root } else { hier.sets()[s].leader } };
+    let el = eff_leader_of(my_set);
+    let len = mine.len();
+
+    // Slot map: contributions are stored by (set, position-within-set):
+    // slot(rank) = prefix[set(rank)] + pos(rank). This makes each node's
+    // block contiguous so leaders forward ONE message per node.
+    let mut prefix = vec![0usize; hier.n_nodes() + 1];
+    for (s, set) in hier.sets().iter().enumerate() {
+        prefix[s + 1] = prefix[s] + set.len();
+    }
+    let my_pos = hier.sets()[my_set]
+        .ranks
+        .iter()
+        .position(|&r| r == comm.rank)
+        .expect("member of own set");
+    let my_slot = prefix[my_set] + my_pos;
+
+    if comm.rank != el {
+        // Stage 1: contribute to my effective leader's region.
+        comm.send_values_gather(el, my_slot, mine);
+        comm.add_flag(el, flag::GA_ARRIVE, 1);
+        comm.epochs.gather_released += 1;
+        comm.wait_flag(flag::GA_DONE, comm.epochs.gather_released);
+        return None;
+    }
+
+    // Effective leader: deposit my own contribution...
+    comm.send_values_gather(el, my_slot, mine);
+    // ...and wait for the rest of my node (minus root's extra member:
+    // within root's set the nominal leader contributes like anyone else).
+    let locals = hier.sets()[my_set].len() as u64 - 1;
+    if locals > 0 {
+        comm.epochs.gather_arrived += locals;
+        comm.wait_flag(flag::GA_ARRIVE, comm.epochs.gather_arrived);
+    }
+
+    if comm.rank == root {
+        // Root: wait for every other node's block (one notification each).
+        let other_nodes = hier.n_nodes() as u64 - 1;
+        if other_nodes > 0 {
+            comm.epochs.gather_arrived += other_nodes;
+            comm.wait_flag(flag::GA_ARRIVE, comm.epochs.gather_arrived);
+        }
+        // Reorder: rank r's data sits at slot prefix[set]+pos.
+        let mut order = vec![0usize; comm.size()];
+        for (s, set) in hier.sets().iter().enumerate() {
+            for (pos, &r) in set.ranks.iter().enumerate() {
+                order[r] = prefix[s] + pos;
+            }
+        }
+        let out = read_all_slots(comm, len, &order);
+        // Release wave: root -> leaders -> members.
+        for (s, _) in hier.sets().iter().enumerate() {
+            let l = eff_leader_of(s);
+            if l != root {
+                comm.add_flag(l, flag::GA_DONE, 1);
+            }
+        }
+        for &m in hier.sets()[root_set].ranks.iter() {
+            if m != root {
+                comm.add_flag(m, flag::GA_DONE, 1);
+            }
+        }
+        Some(out)
+    } else {
+        // Forward my node's contiguous block to the root in one put.
+        let gs = comm.gather_slot_bytes;
+        let base = prefix[my_set];
+        let count = hier.sets()[my_set].len();
+        let mut block = vec![0u8; count * gs];
+        comm.read_my_gather(base * gs, &mut block);
+        comm.put_gather_raw(root, base * gs, &block);
+        comm.add_flag(root, flag::GA_ARRIVE, 1);
+        // Await my release, then release my members.
+        comm.epochs.gather_released += 1;
+        comm.wait_flag(flag::GA_DONE, comm.epochs.gather_released);
+        for &m in hier.sets()[my_set].ranks.iter() {
+            if m != el {
+                comm.add_flag(m, flag::GA_DONE, 1);
+            }
+        }
+        None
+    }
+}
+
+/// Collective scatter; see module docs. On the root, `all` must hold
+/// `n·len` elements (`len` = `out.len()`, matching on every member); every
+/// member's `out` receives its slice.
+pub(crate) fn scatter<T: CoValue>(comm: &mut TeamComm, all: Option<&[T]>, out: &mut [T], root: usize) {
+    assert!(root < comm.size(), "scatter root {root} out of team");
+    comm.epochs.scatter += 1;
+    let n = comm.size();
+    let len = out.len();
+    if comm.rank == root {
+        let all = all.expect("root must supply the source buffer");
+        assert_eq!(all.len(), n * len, "scatter source must hold n*len elements");
+        out.copy_from_slice(&all[root * len..(root + 1) * len]);
+        if n == 1 {
+            return;
+        }
+    } else if n == 1 {
+        return;
+    }
+    comm.ensure_gather((len * T::SIZE).max(1));
+    match comm.gather_algo {
+        GatherAlgo::FlatLinear => scatter_flat(comm, all, out, root),
+        GatherAlgo::TwoLevel => scatter_two_level(comm, all, out, root),
+        GatherAlgo::Auto => unreachable!("Auto resolved at formation"),
+    }
+}
+
+fn scatter_flat<T: CoValue>(comm: &mut TeamComm, all: Option<&[T]>, out: &mut [T], root: usize) {
+    let n = comm.size();
+    let len = out.len();
+    if comm.rank == root {
+        let all = all.expect("root buffer");
+        for j in 0..n {
+            if j != root {
+                // Each member's slice goes into ITS slot 0.
+                comm.send_values_gather(j, 0, &all[j * len..(j + 1) * len]);
+                comm.add_flag(j, flag::SC_ARRIVE, 1);
+            }
+        }
+        comm.epochs.scatter_acked += n as u64 - 1;
+        comm.wait_flag(flag::SC_ACK, comm.epochs.scatter_acked);
+        for j in 0..n {
+            if j != root {
+                comm.add_flag(j, flag::SC_DONE, 1);
+            }
+        }
+    } else {
+        comm.epochs.scatter_arrived += 1;
+        comm.wait_flag(flag::SC_ARRIVE, comm.epochs.scatter_arrived);
+        comm.load_from_gather(0, out);
+        comm.add_flag(root, flag::SC_ACK, 1);
+        comm.epochs.scatter_released += 1;
+        comm.wait_flag(flag::SC_DONE, comm.epochs.scatter_released);
+    }
+}
+
+fn scatter_two_level<T: CoValue>(
+    comm: &mut TeamComm,
+    all: Option<&[T]>,
+    out: &mut [T],
+    root: usize,
+) {
+    let hier = comm.hier.clone();
+    let root_set = hier.leader_index_of(root);
+    let my_set = hier.leader_index_of(comm.rank);
+    let eff_leader_of =
+        |s: usize| -> usize { if s == root_set { root } else { hier.sets()[s].leader } };
+    let el = eff_leader_of(my_set);
+    let len = out.len();
+    let gs = comm.gather_slot_bytes;
+
+    if comm.rank == root {
+        let all = all.expect("root buffer");
+        // Stage 1: one contiguous block per other node, ordered by that
+        // node's member positions (slots 0..set_len on the leader).
+        for (s, set) in hier.sets().iter().enumerate() {
+            let l = eff_leader_of(s);
+            if s == root_set {
+                continue;
+            }
+            let mut block = vec![0u8; set.len() * gs];
+            for (pos, &r) in set.ranks.iter().enumerate() {
+                // Serialize rank r's slice directly into the block.
+                let dst = &mut block[pos * gs..pos * gs + len * T::SIZE];
+                for (i, v) in all[r * len..(r + 1) * len].iter().enumerate() {
+                    v.store(&mut dst[i * T::SIZE..(i + 1) * T::SIZE]);
+                }
+            }
+            comm.put_gather_raw(l, 0, &block);
+            comm.add_flag(l, flag::SC_ARRIVE, 1);
+        }
+        // Root acts as its own node's leader: deliver locally.
+        for (pos, &r) in hier.sets()[root_set].ranks.iter().enumerate() {
+            let _ = pos;
+            if r != root {
+                comm.send_values_gather(r, 0, &all[r * len..(r + 1) * len]);
+                comm.add_flag(r, flag::SC_ARRIVE, 1);
+            }
+        }
+        // Wait for every member's ack (directly counted at the root),
+        // then release through the leader tree.
+        comm.epochs.scatter_acked += comm.size() as u64 - 1;
+        comm.wait_flag(flag::SC_ACK, comm.epochs.scatter_acked);
+        for (s, _) in hier.sets().iter().enumerate() {
+            let l = eff_leader_of(s);
+            if l != root {
+                comm.add_flag(l, flag::SC_DONE, 1);
+            }
+        }
+        for &m in hier.sets()[root_set].ranks.iter() {
+            if m != root {
+                comm.add_flag(m, flag::SC_DONE, 1);
+            }
+        }
+        return;
+    }
+
+    if comm.rank == el {
+        // Leader of a non-root node: receive my node's block, fan out.
+        comm.epochs.scatter_arrived += 1;
+        comm.wait_flag(flag::SC_ARRIVE, comm.epochs.scatter_arrived);
+        let set = &hier.sets()[my_set];
+        let mut block = vec![0u8; set.len() * gs];
+        comm.read_my_gather(0, &mut block);
+        let my_pos = set.ranks.iter().position(|&r| r == comm.rank).expect("member");
+        bytes_to_slice(
+            &block[my_pos * gs..my_pos * gs + len * T::SIZE],
+            out,
+        );
+        for (pos, &r) in set.ranks.iter().enumerate() {
+            if r != el {
+                // Forward slice `pos` into member r's slot 1 (slot 0 would
+                // also work — each image owns its whole region — but a
+                // distinct slot keeps root-direct and leader-forwarded
+                // deliveries from ever aliasing).
+                comm.put_gather_raw(r, gs, &block[pos * gs..(pos + 1) * gs]);
+                comm.add_flag(r, flag::SC_ARRIVE, 1);
+            }
+        }
+        comm.add_flag(root, flag::SC_ACK, 1);
+        // Await my release, then release my members.
+        comm.epochs.scatter_released += 1;
+        comm.wait_flag(flag::SC_DONE, comm.epochs.scatter_released);
+        for &m in set.ranks.iter() {
+            if m != el {
+                comm.add_flag(m, flag::SC_DONE, 1);
+            }
+        }
+    } else {
+        // Plain member: my slice arrives in slot `delivery` (slot 0 when it
+        // comes straight from the root, slot 1 when forwarded by a leader).
+        let from_root = my_set == root_set;
+        comm.epochs.scatter_arrived += 1;
+        comm.wait_flag(flag::SC_ARRIVE, comm.epochs.scatter_arrived);
+        let off = if from_root { 0 } else { gs };
+        let mut bytes = vec![0u8; len * T::SIZE];
+        comm.read_my_gather(off, &mut bytes);
+        bytes_to_slice(&bytes, out);
+        comm.add_flag(root, flag::SC_ACK, 1);
+        comm.epochs.scatter_released += 1;
+        comm.wait_flag(flag::SC_DONE, comm.epochs.scatter_released);
+    }
+}

@@ -1,0 +1,178 @@
+//! All-to-all reduction (allreduce) algorithms: flat recursive doubling,
+//! flat binomial reduce-then-broadcast, and the paper's two-level scheme
+//! (intra-node linear combine at each leader → recursive doubling among
+//! leaders → intra-node release).
+//!
+//! # Flow control
+//!
+//! Data travels through per-round scratch slots, double-buffered by the
+//! epoch's parity. An image can be at most one episode ahead of any image
+//! it communicates with (allreduce is globally synchronizing), so parity
+//! double-buffering suffices to prevent a sender's episode-`e+2` payload
+//! from landing before the receiver consumed episode `e`: starting episode
+//! `e+2` requires finishing `e+1`, which requires the receiver to have
+//! *started* `e+1` and hence consumed all of `e`.
+
+use crate::comm::{flag, TeamComm};
+use crate::config::ReduceAlgo;
+use crate::util::{ceil_log2, floor_pow2};
+use crate::value::CoValue;
+
+/// Element-wise allreduce of `buf` across the team. Every member must call
+/// with the same `buf.len()` and an equivalent operation.
+pub(crate) fn allreduce<T: CoValue>(comm: &mut TeamComm, buf: &mut [T], f: &impl Fn(T, T) -> T) {
+    comm.epochs.reduce += 1;
+    let e = comm.epochs.reduce;
+    if comm.size() == 1 || buf.is_empty() {
+        return;
+    }
+    comm.ensure_scratch(buf.len() * T::SIZE);
+    match comm.reduce_algo {
+        ReduceAlgo::FlatRecursiveDoubling => {
+            let all: Vec<usize> = (0..comm.size()).collect();
+            rd_over(comm, &all, buf, f, e);
+        }
+        ReduceAlgo::FlatBinomial => flat_binomial(comm, buf, f, e),
+        ReduceAlgo::TwoLevel => two_level(comm, buf, f, e),
+        ReduceAlgo::Auto => unreachable!("Auto resolved at formation"),
+    }
+}
+
+/// Recursive-doubling allreduce over an arbitrary participant list
+/// (`parts[i]` = team rank), with the standard fold-in/fold-out handling of
+/// non-power-of-two sizes: the `extras` (positions ≥ 2^⌊log₂L⌋) contribute
+/// to a partner up front and receive the final result afterwards.
+pub(crate) fn rd_over<T: CoValue>(
+    comm: &mut TeamComm,
+    parts: &[usize],
+    buf: &mut [T],
+    f: &impl Fn(T, T) -> T,
+    e: u64,
+) {
+    let l = parts.len();
+    if l <= 1 {
+        return;
+    }
+    let pos = parts
+        .iter()
+        .position(|&r| r == comm.rank)
+        .expect("caller participates in the reduction");
+    let par = (e % 2) as usize;
+    let p2 = floor_pow2(l);
+    let extras = l - p2;
+
+    if pos >= p2 {
+        // Fold in: hand my contribution to my partner, collect the result.
+        let partner = parts[pos - p2];
+        let off = comm.sl_pre(par);
+        comm.send_values(partner, off, buf);
+        comm.add_flag(partner, flag::R_PRE, 1);
+        comm.wait_flag(flag::R_POST, e);
+        let off = comm.sl_post(par);
+        comm.load_from_scratch(off, buf);
+        return;
+    }
+
+    if pos < extras {
+        comm.wait_flag(flag::R_PRE, e);
+        let off = comm.sl_pre(par);
+        comm.combine_from_scratch(off, buf, f);
+    }
+
+    // Main phase: hypercube exchange among the first p2 participants.
+    let rounds = ceil_log2(p2);
+    for k in 0..rounds {
+        let partner = parts[pos ^ (1 << k)];
+        let off = comm.sl_rd(k, par);
+        comm.send_values(partner, off, buf);
+        comm.add_flag(partner, comm.layout.r_arrive(k), 1);
+        comm.wait_flag(comm.layout.r_arrive(k), e);
+        comm.combine_from_scratch(off, buf, f);
+    }
+
+    if pos < extras {
+        // Fold out: return the finished result to my extra.
+        let extra = parts[pos + p2];
+        let off = comm.sl_post(par);
+        comm.send_values(extra, off, buf);
+        comm.add_flag(extra, flag::R_POST, 1);
+    }
+}
+
+/// Binomial-tree reduce to team rank 0, then a flat binomial broadcast of
+/// the result. A classic 1-level baseline with lower bandwidth than
+/// recursive doubling but a root hot-spot.
+fn flat_binomial<T: CoValue>(comm: &mut TeamComm, buf: &mut [T], f: &impl Fn(T, T) -> T, e: u64) {
+    let n = comm.size();
+    let v = comm.rank;
+    let par = (e % 2) as usize;
+    let rounds = ceil_log2(n);
+    for k in 0..rounds {
+        if (v >> k) & 1 == 1 {
+            // Send my partial to the parent and retire from the gather.
+            let parent = v & !(1 << k);
+            let off = comm.sl_rd(k, par);
+            comm.send_values(parent, off, buf);
+            comm.add_flag(parent, comm.layout.r_arrive(k), 1);
+            break;
+        }
+        let child = v | (1 << k);
+        if child < n {
+            comm.wait_flag(comm.layout.r_arrive(k), e);
+            let off = comm.sl_rd(k, par);
+            comm.combine_from_scratch(off, buf, f);
+        }
+    }
+    // Everyone (root included) picks up the result through the broadcast,
+    // whose full-ack flow control also fences the rd slots for reuse.
+    crate::bcast::broadcast_using(comm, buf, 0, crate::config::BcastAlgo::FlatBinomial);
+}
+
+/// The paper's two-level reduction (§IV applied to all-to-all reduction):
+/// slaves deposit contributions at their node leader (shared-memory
+/// friendly linear gather), leaders run recursive doubling across nodes,
+/// leaders release results to their intranode sets.
+fn two_level<T: CoValue>(comm: &mut TeamComm, buf: &mut [T], f: &impl Fn(T, T) -> T, e: u64) {
+    let hier = comm.hier.clone();
+    let set = hier.set_for(comm.rank);
+    let leader = set.leader;
+    let par = (e % 2) as usize;
+
+    if comm.rank != leader {
+        let pos = set
+            .ranks
+            .iter()
+            .position(|&r| r == comm.rank)
+            .expect("member of own set");
+        let off = comm.sl_gather(pos, par);
+        comm.send_values(leader, off, buf);
+        comm.add_flag(leader, flag::R_COUNTER, 1);
+        comm.wait_flag(flag::R_RELEASE, e);
+        let off = comm.sl_release(par);
+        comm.load_from_scratch(off, buf);
+        return;
+    }
+
+    // Leader: linear gather of the intranode set.
+    let slaves = set.len() as u64 - 1;
+    if slaves > 0 {
+        comm.wait_flag(flag::R_COUNTER, slaves * e);
+        let positions: Vec<usize> = (1..set.len()).collect();
+        for pos in positions {
+            let off = comm.sl_gather(pos, par);
+            comm.combine_from_scratch(off, buf, f);
+        }
+    }
+
+    // Leaders: recursive doubling across nodes.
+    let leaders: Vec<usize> = hier.leaders().to_vec();
+    rd_over(comm, &leaders, buf, f, e);
+
+    // Release the intranode set.
+    let slaves: Vec<usize> = set.slaves().to_vec();
+    for s in slaves {
+        let off = comm.sl_release(par);
+        comm.send_values(s, off, buf);
+        comm.add_flag(s, flag::R_RELEASE, 1);
+    }
+}

@@ -1,0 +1,187 @@
+//! Segment/flag handles shared by both fabric implementations, plus the
+//! relaxed-atomic byte storage the real-threads fabric uses.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+/// Handle to one segment of one image's memory.
+///
+/// Allocation is **image-local**: `alloc_segment(me, …)` creates storage on
+/// `me` only and the returned id indexes `me`'s table. Remote access
+/// therefore needs the *owner's* id. Teams obtain co-members' ids by
+/// exchanging them through their parent team's communication structures
+/// (see `caf-collectives`); images executing identical allocation sequences
+/// (classic SPMD symmetry) get identical ids by construction.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SegmentId(pub usize);
+
+impl fmt::Debug for SegmentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seg{}", self.0)
+    }
+}
+
+/// Handle to one sync flag of one image. Allocation is image-local, like
+/// [`SegmentId`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlagId(pub usize);
+
+impl FlagId {
+    /// The `i`-th flag of a block allocated with `alloc_flags(count)`.
+    #[inline]
+    pub fn nth(self, i: usize) -> FlagId {
+        FlagId(self.0 + i)
+    }
+}
+
+impl fmt::Debug for FlagId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "flag{}", self.0)
+    }
+}
+
+/// A byte buffer writable/readable concurrently from any thread using
+/// relaxed atomic accesses.
+///
+/// PGAS puts and gets may race when the *user program* omits
+/// synchronization; modeling target memory as `AtomicU8` keeps such races
+/// well-defined at the Rust level (each byte independently yields some
+/// written value) while the fabric's flag operations provide the
+/// acquire/release edges that make properly-synchronized programs see full
+/// payloads.
+pub struct SharedBytes {
+    data: Box<[AtomicU8]>,
+}
+
+impl SharedBytes {
+    /// A zeroed buffer of `len` bytes.
+    pub fn new(len: usize) -> Self {
+        let mut v = Vec::with_capacity(len);
+        v.resize_with(len, || AtomicU8::new(0));
+        Self {
+            data: v.into_boxed_slice(),
+        }
+    }
+
+    /// Buffer length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the buffer has zero length.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copy `src` into the buffer at `offset` (relaxed per-byte stores).
+    pub fn write(&self, offset: usize, src: &[u8]) {
+        let end = offset
+            .checked_add(src.len())
+            .expect("segment offset overflow");
+        assert!(
+            end <= self.data.len(),
+            "put of {} bytes at offset {offset} exceeds segment of {} bytes",
+            src.len(),
+            self.data.len()
+        );
+        for (cell, &b) in self.data[offset..end].iter().zip(src) {
+            cell.store(b, Ordering::Relaxed);
+        }
+    }
+
+    /// Copy from the buffer at `offset` into `dst` (relaxed per-byte loads).
+    pub fn read(&self, offset: usize, dst: &mut [u8]) {
+        let end = offset
+            .checked_add(dst.len())
+            .expect("segment offset overflow");
+        assert!(
+            end <= self.data.len(),
+            "get of {} bytes at offset {offset} exceeds segment of {} bytes",
+            dst.len(),
+            self.data.len()
+        );
+        for (cell, b) in self.data[offset..end].iter().zip(dst) {
+            *b = cell.load(Ordering::Relaxed);
+        }
+    }
+
+    /// View an aligned 8-byte cell as an `AtomicU64` for remote atomics.
+    ///
+    /// # Panics
+    /// Panics if `offset` is not 8-byte aligned or out of range.
+    pub fn as_atomic_u64(&self, offset: usize) -> &AtomicU64 {
+        assert!(offset.is_multiple_of(8), "AMO offset {offset} not 8-byte aligned");
+        assert!(
+            offset + 8 <= self.data.len(),
+            "AMO at offset {offset} exceeds segment of {} bytes",
+            self.data.len()
+        );
+        // SAFETY: `AtomicU8` and `AtomicU64` have the same representation as
+        // their integer counterparts; the region [offset, offset+8) is
+        // in-bounds, 8-byte aligned (the box allocation is at least 8-byte
+        // aligned for any len >= 8 because we check offset alignment against
+        // the base... we additionally assert the base pointer alignment),
+        // and all accesses to it go through atomic operations.
+        let base = self.data.as_ptr() as usize;
+        assert!(
+            (base + offset).is_multiple_of(8),
+            "segment base not 8-byte aligned for AMO"
+        );
+        unsafe { &*((base + offset) as *const AtomicU64) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_bytes_roundtrip() {
+        let s = SharedBytes::new(32);
+        s.write(4, &[1, 2, 3, 4]);
+        let mut out = [0u8; 6];
+        s.read(3, &mut out);
+        assert_eq!(out, [0, 1, 2, 3, 4, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds segment")]
+    fn shared_bytes_bounds_checked() {
+        let s = SharedBytes::new(8);
+        s.write(5, &[0; 4]);
+    }
+
+    #[test]
+    fn shared_bytes_atomic_u64_view() {
+        let s = SharedBytes::new(24);
+        let a = s.as_atomic_u64(8);
+        a.store(0x0102_0304_0506_0708, Ordering::SeqCst);
+        let mut out = [0u8; 8];
+        s.read(8, &mut out);
+        assert_eq!(u64::from_ne_bytes(out), 0x0102_0304_0506_0708);
+        assert_eq!(a.fetch_add(1, Ordering::SeqCst), 0x0102_0304_0506_0708);
+    }
+
+    #[test]
+    #[should_panic(expected = "not 8-byte aligned")]
+    fn amo_alignment_enforced() {
+        let s = SharedBytes::new(24);
+        s.as_atomic_u64(4);
+    }
+
+    #[test]
+    fn flag_id_nth() {
+        assert_eq!(FlagId(10).nth(3), FlagId(13));
+    }
+
+    #[test]
+    fn empty_shared_bytes() {
+        let s = SharedBytes::new(0);
+        assert!(s.is_empty());
+        s.write(0, &[]);
+        let mut out = [];
+        s.read(0, &mut out);
+    }
+}

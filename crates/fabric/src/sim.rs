@@ -1,0 +1,1050 @@
+//! A conservative, deterministic discrete-event simulation fabric.
+//!
+//! # How it works
+//!
+//! Images run as ordinary OS threads executing unmodified algorithm code;
+//! the simulator never sees their control flow, only their fabric calls.
+//! Each image carries a **virtual clock**. Every fabric call is a
+//! *scheduling point*: the calling image may commit its effect only when it
+//! holds the globally minimal `(virtual time, rank)` among images that could
+//! still commit (alive and not blocked), and no undelivered notification is
+//! due at or before its clock. This is the classic conservative
+//! discrete-event discipline; it makes runs **deterministic** (commit order
+//! is a pure function of the program and the cost model, independent of OS
+//! scheduling) and **causally correct** (shared resources are reserved in
+//! virtual-time order).
+//!
+//! # Cost model
+//!
+//! Costs come from [`CostParams`](caf_topology::CostParams) (see DESIGN.md
+//! §6 for calibration):
+//!
+//! * **intra-node put / notification**: the sender's CPU pays the software
+//!   overhead, then the *node memory bus* — a shared resource — is occupied
+//!   for `gap_intra + bytes·G_intra`. Concurrent same-node messages
+//!   serialize on the bus: this is precisely the effect the paper's §IV-A
+//!   uses to argue dissemination is wrong inside a node (n·log n serialized
+//!   notifications vs. 2(n−1) for the linear barrier).
+//! * **inter-node put / notification**: the sender posts a descriptor
+//!   (CPU overhead only), the sender's *NIC* is occupied for
+//!   `gap_nic + bytes·G_inter`, the wire adds `l_inter`, and the receiver's
+//!   NIC is occupied for `gap_nic` on landing. NICs of different nodes run
+//!   in parallel — which is why dissemination's log n rounds win across
+//!   nodes.
+//! * **gets / remote atomics**: round trips (`2·l`).
+//!
+//! Point-to-point ordering (an RDMA connection's guarantee) falls out of the
+//! resource reservations: a notification posted after a payload put to the
+//! same target reserves the same resources later, hence lands later.
+//!
+//! Payload bytes are copied eagerly at commit time. A program that reads
+//! remote data *without* synchronizing may therefore observe values "from
+//! the virtual future" — such programs are erroneous under CAF semantics
+//! anyway; properly synchronized reads always see exactly the data whose
+//! flags they waited on, because flag arrivals are ordered after their
+//! payloads.
+//!
+//! # Deadlock
+//!
+//! If every image is blocked on a flag wait and no notification is in
+//! flight, the simulator marks itself poisoned and panics on **all** image
+//! threads with a diagnostic — turning algorithmic synchronization bugs into
+//! immediate test failures rather than hangs.
+
+use crate::seg::{FlagId, SegmentId};
+use crate::stats::FabricStats;
+use crate::Fabric;
+use caf_topology::{CostParams, ImageMap, ProcId, SoftwareOverheads};
+use parking_lot::{Condvar, Mutex, MutexGuard};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// Configuration for a [`SimFabric`].
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Hardware cost parameters (defaults to the paper's cluster — see
+    /// [`caf_topology::presets::whale_cost`]).
+    pub cost: CostParams,
+    /// Software-stack overheads layered on the hardware model.
+    pub overheads: SoftwareOverheads,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            cost: CostParams::default(),
+            overheads: SoftwareOverheads::NONE,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ImgState {
+    /// May commit effects (running or between fabric calls).
+    Alive,
+    /// Parked in `flag_wait_ge` until its flag reaches the target value.
+    Blocked { flag: usize, at_least: u64 },
+    /// Retired via `image_done`.
+    Done,
+}
+
+/// What happens when an event comes due.
+#[derive(Debug, PartialEq, Eq)]
+enum EvKind {
+    /// `delta` lands on `flags[img][flag]`.
+    FlagArrive { img: usize, flag: usize, delta: u64 },
+    /// A message reaches `node`'s NIC off the wire: occupy the NIC for
+    /// `gap_nic`, then (for notifications) deliver the flag update.
+    /// Serviced as an *event* so NIC slots are granted in virtual-time
+    /// order — a reservation made directly at send-commit time would push
+    /// later (but virtually earlier) traffic behind a far-future slot.
+    Landing {
+        node: usize,
+        notify: Option<(usize, usize, u64)>,
+    },
+}
+
+/// A scheduled simulator event.
+#[derive(Debug, PartialEq, Eq)]
+struct Ev {
+    time: u64,
+    seq: u64,
+    kind: EvKind,
+}
+
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct SimCore {
+    /// Effective per-message NIC occupancy (hardware gap + the stack's
+    /// software extra); the Landing service needs it inside apply.
+    gap_nic_ns: u64,
+    time: Vec<u64>,
+    state: Vec<ImgState>,
+    /// `segs[img][segment]` → backing bytes.
+    segs: Vec<Vec<Vec<u8>>>,
+    /// `flags[img][flag]` → accumulating counter value.
+    flags: Vec<Vec<u64>>,
+    /// Latest arrival time of any one-sided op initiated by each image.
+    last_arrival: Vec<u64>,
+    /// Virtual time at which each node's memory bus is next free.
+    node_bus_free: Vec<u64>,
+    /// Virtual time at which each socket's local bus is next free
+    /// (indexed `node * sockets_per_node + socket`).
+    socket_bus_free: Vec<u64>,
+    /// Virtual time at which each node's NIC is next free.
+    nic_free: Vec<u64>,
+    events: BinaryHeap<Reverse<Ev>>,
+    event_seq: u64,
+    /// Set when a global deadlock was detected; all threads panic with it.
+    poisoned: Option<String>,
+}
+
+impl SimCore {
+    /// Apply all notifications that are due: those at or before the earliest
+    /// clock of any image that could still commit. With no such image, the
+    /// earliest notification is (vacuously) due. Images unblocked by an
+    /// applied notification are appended to `woken`.
+    fn apply_due_events(&mut self, woken: &mut Vec<usize>) {
+        loop {
+            let min_alive = self
+                .state
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| matches!(s, ImgState::Alive))
+                .map(|(i, _)| self.time[i])
+                .min();
+            let due = match self.events.peek() {
+                Some(Reverse(ev)) => min_alive.is_none_or(|m| ev.time <= m),
+                None => false,
+            };
+            if !due {
+                return;
+            }
+            let Reverse(ev) = self.events.pop().expect("peeked");
+            match ev.kind {
+                EvKind::FlagArrive { img, flag, delta } => {
+                    self.flags[img][flag] += delta;
+                    if let ImgState::Blocked {
+                        flag: wflag,
+                        at_least,
+                    } = self.state[img]
+                    {
+                        if wflag == flag && self.flags[img][flag] >= at_least {
+                            self.state[img] = ImgState::Alive;
+                            self.time[img] = self.time[img].max(ev.time);
+                            woken.push(img);
+                        }
+                    }
+                }
+                EvKind::Landing { node, notify } => {
+                    let start = ev.time.max(self.nic_free[node]);
+                    self.nic_free[node] = start + self.gap_nic_ns;
+                    if let Some((img, flag, delta)) = notify {
+                        self.push_event(
+                            start + self.gap_nic_ns,
+                            EvKind::FlagArrive { img, flag, delta },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The image that should run next: argmin over Alive of (time, rank).
+    fn next_eligible(&self) -> Option<usize> {
+        self.state
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, ImgState::Alive))
+            .min_by_key(|(i, _)| (self.time[*i], *i))
+            .map(|(i, _)| i)
+    }
+
+    /// May image `me` (which is Alive, inside a fabric call) commit now?
+    fn may_commit(&self, me: usize) -> bool {
+        debug_assert!(matches!(self.state[me], ImgState::Alive));
+        let key = (self.time[me], me);
+        for (j, s) in self.state.iter().enumerate() {
+            if j != me && matches!(s, ImgState::Alive) && (self.time[j], j) < key {
+                return false;
+            }
+        }
+        // Any notification due at or before my clock must land first.
+        match self.events.peek() {
+            Some(Reverse(ev)) => ev.time > self.time[me],
+            None => true,
+        }
+    }
+
+    fn push_event(&mut self, time: u64, kind: EvKind) {
+        let seq = self.event_seq;
+        self.event_seq += 1;
+        self.events.push(Reverse(Ev { time, seq, kind }));
+    }
+
+    /// True when no image can make progress ever again.
+    fn is_deadlocked(&self) -> bool {
+        self.events.is_empty()
+            && self
+                .state
+                .iter()
+                .all(|s| matches!(s, ImgState::Blocked { .. } | ImgState::Done))
+            && self
+                .state
+                .iter()
+                .any(|s| matches!(s, ImgState::Blocked { .. }))
+    }
+
+    fn deadlock_report(&self) -> String {
+        let mut msg = String::from("SimFabric deadlock: all images blocked, no messages in flight\n");
+        for (i, s) in self.state.iter().enumerate() {
+            if let ImgState::Blocked { flag, at_least } = s {
+                msg.push_str(&format!(
+                    "  image {i} @ t={}ns waits flag{} >= {} (current {})\n",
+                    self.time[i], flag, at_least, self.flags[i][*flag]
+                ));
+            }
+        }
+        msg
+    }
+}
+
+/// The virtual-time simulation fabric. See the module docs for semantics.
+pub struct SimFabric {
+    map: ImageMap,
+    cfg: SimConfig,
+    stats: FabricStats,
+    core: Mutex<SimCore>,
+    /// One condvar per image: commits wake only the next eligible image
+    /// (the global argmin), not the whole herd — O(1) wakeups per commit.
+    cvs: Vec<Condvar>,
+}
+
+impl SimFabric {
+    /// Build a fabric for the images of `map` with `cfg` cost parameters.
+    pub fn new(map: ImageMap, cfg: SimConfig) -> Arc<Self> {
+        let n = map.n_images();
+        let nodes = map.machine().nodes;
+        let sockets = nodes * map.machine().sockets_per_node;
+        let gap_nic_ns = cfg.cost.gap_nic_ns + cfg.overheads.nic_busy_extra_ns;
+        Arc::new(Self {
+            map,
+            cfg,
+            stats: FabricStats::default(),
+            core: Mutex::new(SimCore {
+                gap_nic_ns,
+                time: vec![0; n],
+                state: vec![ImgState::Alive; n],
+                // Bootstrap resources: segment 0 and the control flags.
+                segs: vec![vec![vec![0u8; n * crate::bootstrap::SLOT_BYTES]]; n],
+                flags: vec![vec![0u64; crate::bootstrap::NUM_FLAGS]; n],
+                last_arrival: vec![0; n],
+                node_bus_free: vec![0; nodes],
+                socket_bus_free: vec![0; sockets],
+                nic_free: vec![0; nodes],
+                events: BinaryHeap::new(),
+                event_seq: 0,
+                poisoned: None,
+            }),
+            cvs: (0..n).map(|_| Condvar::new()).collect(),
+        })
+    }
+
+    /// Convenience constructor with default (paper-calibrated) parameters.
+    pub fn with_defaults(map: ImageMap) -> Arc<Self> {
+        Self::new(map, SimConfig::default())
+    }
+
+    /// Maximum virtual time over all images — the makespan of the simulated
+    /// execution so far.
+    pub fn max_time_ns(&self) -> u64 {
+        let core = self.core.lock();
+        core.time.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Block (wall-clock) until image `me` holds the commit turn.
+    fn lock_turn(&self, me: usize) -> MutexGuard<'_, SimCore> {
+        let mut core = self.core.lock();
+        loop {
+            if let Some(msg) = &core.poisoned {
+                panic!("{msg}");
+            }
+            let mut woken = Vec::new();
+            core.apply_due_events(&mut woken);
+            self.notify(&core, &woken);
+            if core.may_commit(me) {
+                return core;
+            }
+            self.cvs[me].wait(&mut core);
+        }
+    }
+
+    /// Wake the listed (just-unblocked) images and the next eligible image.
+    fn notify(&self, core: &SimCore, woken: &[usize]) {
+        for &w in woken {
+            self.cvs[w].notify_one();
+        }
+        if let Some(next) = core.next_eligible() {
+            self.cvs[next].notify_one();
+        }
+    }
+
+    /// Wake every image thread (poison propagation).
+    fn notify_everyone(&self) {
+        for cv in &self.cvs {
+            cv.notify_one();
+        }
+    }
+
+    /// Reserve the node bus of `node` from `not_before` for `busy` ns;
+    /// returns the reservation start.
+    fn reserve_bus(core: &mut SimCore, node: usize, not_before: u64, busy: u64) -> u64 {
+        let start = not_before.max(core.node_bus_free[node]);
+        core.node_bus_free[node] = start + busy;
+        start
+    }
+
+    /// Reserve a socket-local bus (same-socket traffic bypasses the
+    /// node-wide bus — the resource distinction behind the §VII
+    /// multi-level hierarchy).
+    fn reserve_socket_bus(core: &mut SimCore, slot: usize, not_before: u64, busy: u64) -> u64 {
+        let start = not_before.max(core.socket_bus_free[slot]);
+        core.socket_bus_free[slot] = start + busy;
+        start
+    }
+
+    /// Reserve the NIC of `node` from `not_before` for `busy` ns.
+    fn reserve_nic(core: &mut SimCore, node: usize, not_before: u64, busy: u64) -> u64 {
+        let start = not_before.max(core.nic_free[node]);
+        core.nic_free[node] = start + busy;
+        start
+    }
+
+    /// Model a one-sided message of `bytes` payload from `me` (clock `t`)
+    /// to `dst`: reserve resources, advance the sender's clock, and — when
+    /// `notify` is set — schedule the flag delivery. Returns a lower-bound
+    /// arrival estimate used by `quiet` (exact for intra-node traffic;
+    /// for inter-node traffic, receiver-NIC queueing may add time).
+    fn model_transfer(
+        &self,
+        core: &mut SimCore,
+        me: usize,
+        dst: usize,
+        t: u64,
+        bytes: usize,
+        notify: Option<(usize, u64)>,
+    ) -> u64 {
+        let c = &self.cfg.cost;
+        let o_sw = self.cfg.overheads.per_op_ns;
+        let shm_ok = !self.cfg.overheads.intra_via_nic;
+        let intra = self.map.colocated(ProcId(me), ProcId(dst)) && shm_ok;
+        if intra && self.map.same_socket(ProcId(me), ProcId(dst)) {
+            // Same socket: cheaper latency, socket-local serialization.
+            let ready = t + o_sw + c.o_intra_ns;
+            let busy = c.gap_socket_ns + c.intra_payload_ns(bytes);
+            let loc = self.map.location(ProcId(me));
+            let spn = self.map.machine().sockets_per_node;
+            let slot = loc.node.index() * spn + loc.socket.index();
+            let start = Self::reserve_socket_bus(core, slot, ready, busy);
+            let sender_end = start + busy;
+            core.time[me] = sender_end;
+            let arrival = sender_end + c.l_socket_ns;
+            if let Some((flag, delta)) = notify {
+                core.push_event(arrival, EvKind::FlagArrive { img: dst, flag, delta });
+            }
+            arrival
+        } else if intra {
+            // Sender CPU drives the copy through the node memory bus.
+            let ready = t + o_sw + c.o_intra_ns;
+            let busy = c.gap_intra_ns + c.intra_payload_ns(bytes);
+            let node = self.map.node_of(ProcId(me)).index();
+            let start = Self::reserve_bus(core, node, ready, busy);
+            let sender_end = start + busy;
+            core.time[me] = sender_end;
+            let arrival = sender_end + c.l_intra_ns;
+            if let Some((flag, delta)) = notify {
+                core.push_event(arrival, EvKind::FlagArrive { img: dst, flag, delta });
+            }
+            arrival
+        } else {
+            // Sender posts a descriptor; the NIC pipelines the transfer.
+            // The receiver-side NIC slot is granted when the Landing event
+            // comes due, keeping NIC service in virtual-time order.
+            let ready = t + o_sw + c.o_inter_ns;
+            core.time[me] = ready;
+            let src_node = self.map.node_of(ProcId(me)).index();
+            let dst_node = self.map.node_of(ProcId(dst)).index();
+            let mut gap = c.gap_nic_ns + self.cfg.overheads.nic_busy_extra_ns;
+            if src_node == dst_node {
+                gap += self.cfg.overheads.nic_loopback_extra_ns;
+            }
+            let busy = gap + c.inter_payload_ns(bytes);
+            let inj = Self::reserve_nic(core, src_node, ready, busy);
+            let wire_in = inj + busy + c.l_inter_ns;
+            let flag_notify = notify.map(|(flag, delta)| (dst, flag, delta));
+            core.push_event(
+                wire_in,
+                EvKind::Landing {
+                    node: dst_node,
+                    notify: flag_notify,
+                },
+            );
+            wire_in + c.gap_nic_ns
+        }
+    }
+
+    fn finish_op(&self, mut core: MutexGuard<'_, SimCore>) {
+        let mut woken = Vec::new();
+        core.apply_due_events(&mut woken);
+        for &w in &woken {
+            self.cvs[w].notify_one();
+        }
+        if let Some(next) = core.next_eligible() {
+            self.cvs[next].notify_one();
+        }
+        drop(core);
+    }
+}
+
+impl Fabric for SimFabric {
+    fn n_images(&self) -> usize {
+        self.map.n_images()
+    }
+
+    fn image_map(&self) -> &ImageMap {
+        &self.map
+    }
+
+    fn cost(&self) -> &CostParams {
+        &self.cfg.cost
+    }
+
+    fn overheads(&self) -> &SoftwareOverheads {
+        &self.cfg.overheads
+    }
+
+    fn stats(&self) -> &FabricStats {
+        &self.stats
+    }
+
+    fn alloc_segment(&self, me: ProcId, bytes: usize) -> SegmentId {
+        let mut core = self.core.lock();
+        let me = me.index();
+        let id = core.segs[me].len();
+        core.segs[me].push(vec![0u8; bytes]);
+        drop(core);
+        SegmentId(id)
+    }
+
+    fn alloc_flags(&self, me: ProcId, count: usize) -> FlagId {
+        let mut core = self.core.lock();
+        let me = me.index();
+        let id = core.flags[me].len();
+        core.flags[me].resize(id + count, 0);
+        drop(core);
+        FlagId(id)
+    }
+
+    fn put(&self, me: ProcId, dst: ProcId, seg: SegmentId, offset: usize, bytes: &[u8]) {
+        let (me, dst) = (me.index(), dst.index());
+        let mut core = self.lock_turn(me);
+        let t = core.time[me];
+        if me == dst {
+            let c = &self.cfg.cost;
+            core.time[me] = t + self.cfg.overheads.per_op_ns + c.intra_payload_ns(bytes.len());
+        } else {
+            let arrival = self.model_transfer(&mut core, me, dst, t, bytes.len(), None);
+            core.last_arrival[me] = core.last_arrival[me].max(arrival);
+            self.stats
+                .record_put(self.map.colocated(ProcId(me), ProcId(dst)), bytes.len());
+        }
+        let dseg = &mut core.segs[dst][seg.0];
+        assert!(
+            offset + bytes.len() <= dseg.len(),
+            "put of {} bytes at {offset} exceeds {:?} ({} bytes)",
+            bytes.len(),
+            seg,
+            dseg.len()
+        );
+        dseg[offset..offset + bytes.len()].copy_from_slice(bytes);
+        self.finish_op(core);
+    }
+
+    fn get(&self, me: ProcId, src: ProcId, seg: SegmentId, offset: usize, out: &mut [u8]) {
+        let (me, src) = (me.index(), src.index());
+        let mut core = self.lock_turn(me);
+        let t = core.time[me];
+        let c = &self.cfg.cost;
+        let o_sw = self.cfg.overheads.per_op_ns;
+        if me == src {
+            core.time[me] = t + o_sw + c.intra_payload_ns(out.len());
+        } else if self.map.colocated(ProcId(me), ProcId(src)) && !self.cfg.overheads.intra_via_nic {
+            let ready = t + o_sw + c.o_intra_ns;
+            let busy = c.gap_intra_ns + c.intra_payload_ns(out.len());
+            let node = self.map.node_of(ProcId(me)).index();
+            let start = Self::reserve_bus(&mut core, node, ready, busy);
+            core.time[me] = start + busy + c.l_intra_ns;
+            self.stats.record_get(true, out.len());
+        } else {
+            // RDMA get: request wire + response wire + payload on response.
+            // Only the requester's NIC is reserved (at near-commit time);
+            // remote-side queueing is approximated by the unloaded gap, so
+            // get-heavy all-to-one patterns slightly underestimate
+            // contention — collectives use puts, so this path is cold.
+            let ready = t + o_sw + c.o_inter_ns;
+            let src_node = self.map.node_of(ProcId(me)).index();
+            let gap = c.gap_nic_ns + self.cfg.overheads.nic_busy_extra_ns;
+            let inj = Self::reserve_nic(&mut core, src_node, ready, gap);
+            let req_at = inj + gap + c.l_inter_ns;
+            let busy = gap + c.inter_payload_ns(out.len());
+            core.time[me] = req_at + busy + c.l_inter_ns;
+            self.stats.record_get(false, out.len());
+        }
+        let sseg = &core.segs[src][seg.0];
+        assert!(
+            offset + out.len() <= sseg.len(),
+            "get of {} bytes at {offset} exceeds {:?} ({} bytes)",
+            out.len(),
+            seg,
+            sseg.len()
+        );
+        out.copy_from_slice(&sseg[offset..offset + out.len()]);
+        self.finish_op(core);
+    }
+
+    fn amo_fetch_add_u64(
+        &self,
+        me: ProcId,
+        target: ProcId,
+        seg: SegmentId,
+        offset: usize,
+        delta: u64,
+    ) -> u64 {
+        let (me, target) = (me.index(), target.index());
+        assert!(offset.is_multiple_of(8), "AMO offset {offset} not 8-byte aligned");
+        let mut core = self.lock_turn(me);
+        let t = core.time[me];
+        let c = &self.cfg.cost;
+        let o_sw = self.cfg.overheads.per_op_ns;
+        if me == target {
+            core.time[me] = t + o_sw + c.o_intra_ns;
+        } else if self.map.colocated(ProcId(me), ProcId(target)) && !self.cfg.overheads.intra_via_nic
+        {
+            let ready = t + o_sw + c.o_intra_ns;
+            let node = self.map.node_of(ProcId(me)).index();
+            let start = Self::reserve_bus(&mut core, node, ready, c.gap_intra_ns);
+            core.time[me] = start + c.gap_intra_ns + 2 * c.l_intra_ns;
+        } else {
+            let ready = t + o_sw + c.o_inter_ns;
+            let src_node = self.map.node_of(ProcId(me)).index();
+            let gap = c.gap_nic_ns + self.cfg.overheads.nic_busy_extra_ns;
+            let inj = Self::reserve_nic(&mut core, src_node, ready, gap);
+            let req_at = inj + gap + c.l_inter_ns;
+            core.time[me] = req_at + gap + c.l_inter_ns;
+        }
+        self.stats.amos.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let cell = &mut core.segs[target][seg.0];
+        assert!(offset + 8 <= cell.len(), "AMO out of segment bounds");
+        let old = u64::from_ne_bytes(cell[offset..offset + 8].try_into().expect("8 bytes"));
+        cell[offset..offset + 8].copy_from_slice(&old.wrapping_add(delta).to_ne_bytes());
+        self.finish_op(core);
+        old
+    }
+
+    fn amo_cas_u64(
+        &self,
+        me: ProcId,
+        target: ProcId,
+        seg: SegmentId,
+        offset: usize,
+        expected: u64,
+        new: u64,
+    ) -> u64 {
+        let me_p = me;
+        let (me, target) = (me.index(), target.index());
+        assert!(offset.is_multiple_of(8), "AMO offset {offset} not 8-byte aligned");
+        let mut core = self.lock_turn(me);
+        // Same timing as fetch-add; share the path by computing inline.
+        let t = core.time[me];
+        let c = &self.cfg.cost;
+        let o_sw = self.cfg.overheads.per_op_ns;
+        if me == target {
+            core.time[me] = t + o_sw + c.o_intra_ns;
+        } else if self.map.colocated(me_p, ProcId(target)) && !self.cfg.overheads.intra_via_nic {
+            let ready = t + o_sw + c.o_intra_ns;
+            let node = self.map.node_of(me_p).index();
+            let start = Self::reserve_bus(&mut core, node, ready, c.gap_intra_ns);
+            core.time[me] = start + c.gap_intra_ns + 2 * c.l_intra_ns;
+        } else {
+            let ready = t + o_sw + c.o_inter_ns;
+            let src_node = self.map.node_of(me_p).index();
+            let gap = c.gap_nic_ns + self.cfg.overheads.nic_busy_extra_ns;
+            let inj = Self::reserve_nic(&mut core, src_node, ready, gap);
+            let req_at = inj + gap + c.l_inter_ns;
+            core.time[me] = req_at + gap + c.l_inter_ns;
+        }
+        self.stats.amos.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let cell = &mut core.segs[target][seg.0];
+        assert!(offset + 8 <= cell.len(), "AMO out of segment bounds");
+        let old = u64::from_ne_bytes(cell[offset..offset + 8].try_into().expect("8 bytes"));
+        if old == expected {
+            cell[offset..offset + 8].copy_from_slice(&new.to_ne_bytes());
+        }
+        self.finish_op(core);
+        old
+    }
+
+    fn flag_add(&self, me: ProcId, target: ProcId, flag: FlagId, delta: u64) {
+        let (me, target) = (me.index(), target.index());
+        let mut core = self.lock_turn(me);
+        let t = core.time[me];
+        if me == target {
+            core.time[me] = t + self.cfg.overheads.per_op_ns + self.cfg.cost.o_intra_ns;
+            core.flags[me][flag.0] += delta;
+        } else {
+            // A notification is an 8-byte put followed by a wakeup.
+            let arrival =
+                self.model_transfer(&mut core, me, target, t, 8, Some((flag.0, delta)));
+            core.last_arrival[me] = core.last_arrival[me].max(arrival);
+            self.stats
+                .record_flag(self.map.colocated(ProcId(me), ProcId(target)));
+        }
+        self.finish_op(core);
+    }
+
+    fn flag_wait_ge(&self, me: ProcId, flag: FlagId, at_least: u64) {
+        let me = me.index();
+        self.stats
+            .flag_waits
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut core = self.lock_turn(me);
+        core.time[me] += self.cfg.overheads.per_wait_ns + self.cfg.cost.poll_ns;
+        if core.flags[me][flag.0] >= at_least {
+            self.finish_op(core);
+            return;
+        }
+        core.state[me] = ImgState::Blocked {
+            flag: flag.0,
+            at_least,
+        };
+        let mut woken = Vec::new();
+        core.apply_due_events(&mut woken);
+        self.notify(&core, &woken);
+        loop {
+            if let Some(msg) = &core.poisoned {
+                panic!("{msg}");
+            }
+            if matches!(core.state[me], ImgState::Alive) {
+                break;
+            }
+            if core.is_deadlocked() {
+                let msg = core.deadlock_report();
+                core.poisoned = Some(msg.clone());
+                self.notify_everyone();
+                panic!("{msg}");
+            }
+            self.cvs[me].wait(&mut core);
+        }
+        self.finish_op(core);
+    }
+
+    fn flag_read(&self, me: ProcId, flag: FlagId) -> u64 {
+        let me = me.index();
+        let mut core = self.lock_turn(me);
+        core.time[me] += self.cfg.cost.poll_ns;
+        let v = core.flags[me][flag.0];
+        self.finish_op(core);
+        v
+    }
+
+    fn quiet(&self, me: ProcId) {
+        let me = me.index();
+        let mut core = self.core.lock();
+        core.time[me] = core.time[me].max(core.last_arrival[me]);
+        self.notify(&core, &[]);
+        drop(core);
+    }
+
+    fn compute(&self, me: ProcId, ns: u64) {
+        let me = me.index();
+        let scaled = self.cfg.overheads.scale_compute(ns);
+        let mut core = self.core.lock();
+        core.time[me] += scaled;
+        let mut woken = Vec::new();
+        core.apply_due_events(&mut woken);
+        self.notify(&core, &woken);
+        drop(core);
+    }
+
+    fn now_ns(&self, me: ProcId) -> u64 {
+        self.core.lock().time[me.index()]
+    }
+
+    fn poison(&self, msg: &str) {
+        let mut core = self.core.lock();
+        if core.poisoned.is_none() {
+            core.poisoned = Some(msg.to_string());
+        }
+        drop(core);
+        self.notify_everyone();
+    }
+
+    fn image_done(&self, me: ProcId) {
+        let me = me.index();
+        let mut core = self.core.lock();
+        core.state[me] = ImgState::Done;
+        let mut woken = Vec::new();
+        core.apply_due_events(&mut woken);
+        if core.is_deadlocked() {
+            let msg = core.deadlock_report();
+            core.poisoned = Some(msg);
+            self.notify_everyone();
+        } else {
+            self.notify(&core, &woken);
+        }
+        drop(core);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spmd::run_spmd;
+    use caf_topology::{presets, Placement};
+
+    // NOTE: fabric allocation is image-local, so these tests either use the
+    // pre-created bootstrap resources (race-free by construction) or
+    // synchronize between allocation and first remote access, exactly as
+    // the runtime's team formation does for real programs.
+
+    const SPARE_FLAG: FlagId = FlagId(2);
+    #[allow(dead_code)]
+    const SPARE_FLAG2: FlagId = FlagId(3);
+    const BSEG: SegmentId = crate::bootstrap::SEG;
+
+    fn sim(nodes: usize, cores: usize, images: usize, per_node: usize) -> Arc<SimFabric> {
+        let map = ImageMap::new(
+            presets::mini(nodes, cores),
+            images,
+            &Placement::Block { per_node },
+        );
+        SimFabric::new(
+            map,
+            SimConfig {
+                cost: presets::whale_cost(),
+                overheads: SoftwareOverheads::NONE,
+            },
+        )
+    }
+
+    #[test]
+    fn single_image_put_get_roundtrip() {
+        let f = sim(1, 1, 1, 1);
+        let me = ProcId(0);
+        let seg = f.alloc_segment(me, 64);
+        f.put(me, me, seg, 8, &[1, 2, 3, 4]);
+        let mut out = [0u8; 4];
+        f.get(me, me, seg, 8, &mut out);
+        assert_eq!(out, [1, 2, 3, 4]);
+        assert!(f.now_ns(me) > 0);
+        f.image_done(me);
+    }
+
+    #[test]
+    fn two_images_flag_synchronization_and_data() {
+        let f = sim(1, 2, 2, 2);
+        let f2 = f.clone();
+        run_spmd(f, move |me| {
+            if me == ProcId(0) {
+                f2.put(me, ProcId(1), BSEG, 0, &7u64.to_ne_bytes());
+                f2.flag_add(me, ProcId(1), SPARE_FLAG, 1);
+            } else {
+                f2.flag_wait_ge(me, SPARE_FLAG, 1);
+                let mut out = [0u8; 8];
+                f2.get(me, me, BSEG, 0, &mut out);
+                assert_eq!(u64::from_ne_bytes(out), 7);
+            }
+            f2.image_done(me);
+        });
+    }
+
+    #[test]
+    fn intra_node_notification_arrival_time_matches_model() {
+        // One sender, one receiver on the same node, nothing else: arrival =
+        // o_intra + gap_intra + l_intra; receiver time = arrival (wait poll
+        // cost added before blocking).
+        let f = sim(1, 2, 2, 2);
+        let c = presets::whale_cost();
+        let expected_arrival =
+            c.o_intra_ns + c.gap_intra_ns + c.intra_payload_ns(8) + c.l_intra_ns;
+        let f2 = f.clone();
+        run_spmd(f.clone(), move |me| {
+            if me == ProcId(0) {
+                f2.flag_add(me, ProcId(1), SPARE_FLAG, 1);
+            } else {
+                f2.flag_wait_ge(me, SPARE_FLAG, 1);
+                assert_eq!(f2.now_ns(me), expected_arrival);
+            }
+            f2.image_done(me);
+        });
+    }
+
+    #[test]
+    fn inter_node_notification_is_much_slower() {
+        let f = sim(2, 1, 2, 1);
+        let c = presets::whale_cost();
+        // o_inter + gap_nic (+8B payload ~5ns) + l_inter + gap_nic(recv) ...
+        let min_expected = c.o_inter_ns + c.gap_nic_ns + c.l_inter_ns;
+        let f2 = f.clone();
+        run_spmd(f.clone(), move |me| {
+            if me == ProcId(0) {
+                f2.flag_add(me, ProcId(1), SPARE_FLAG, 1);
+            } else {
+                f2.flag_wait_ge(me, SPARE_FLAG, 1);
+                let t = f2.now_ns(me);
+                assert!(t >= min_expected, "t={t} < {min_expected}");
+                assert!(t < 2 * min_expected, "t={t} unexpectedly large");
+            }
+            f2.image_done(me);
+        });
+    }
+
+    #[test]
+    fn same_node_notifications_serialize_on_the_bus() {
+        // 7 senders notify image 0, all on one node: arrivals must be spaced
+        // by at least gap_intra (the §IV-A serialization effect).
+        let f = sim(1, 8, 8, 8);
+        let c = presets::whale_cost();
+        let f2 = f.clone();
+        run_spmd(f.clone(), move |me| {
+            if me == ProcId(0) {
+                f2.flag_wait_ge(me, SPARE_FLAG, 7);
+                let t = f2.now_ns(me);
+                // 7 serialized bus slots of gap_intra each, plus o + l.
+                let min = c.o_intra_ns + 7 * c.gap_intra_ns + c.l_intra_ns;
+                assert!(t >= min, "t={t} < serialized bound {min}");
+            } else {
+                f2.flag_add(me, ProcId(0), SPARE_FLAG, 1);
+            }
+            f2.image_done(me);
+        });
+    }
+
+    #[test]
+    fn cross_node_notifications_proceed_in_parallel() {
+        // 7 senders on 7 *different* nodes notify image 0: the receiver NIC
+        // serializes landings (gap_nic each), but the wires run in parallel,
+        // so total ≈ l_inter + 7·gap_nic, far below 7 serialized wire trips.
+        let f = sim(8, 1, 8, 1);
+        let c = presets::whale_cost();
+        let f2 = f.clone();
+        run_spmd(f.clone(), move |me| {
+            if me == ProcId(0) {
+                f2.flag_wait_ge(me, SPARE_FLAG, 7);
+                let t = f2.now_ns(me);
+                let serial_bound = 7 * (c.o_inter_ns + c.l_inter_ns);
+                assert!(t < serial_bound, "t={t} not parallel (bound {serial_bound})");
+            } else {
+                f2.flag_add(me, ProcId(0), SPARE_FLAG, 1);
+            }
+            f2.image_done(me);
+        });
+    }
+
+    #[test]
+    fn determinism_same_program_same_virtual_times() {
+        let run = || {
+            let f = sim(2, 4, 8, 4);
+            let f2 = f.clone();
+            let times = std::sync::Arc::new(Mutex::new(vec![0u64; 8]));
+            let t2 = times.clone();
+            run_spmd(f.clone(), move |me| {
+                // All-to-one then one-to-all.
+                if me == ProcId(0) {
+                    f2.flag_wait_ge(me, SPARE_FLAG, 7);
+                    for j in 1..8 {
+                        f2.flag_add(me, ProcId(j), SPARE_FLAG, 1);
+                    }
+                } else {
+                    f2.flag_add(me, ProcId(0), SPARE_FLAG, 1);
+                    f2.flag_wait_ge(me, SPARE_FLAG, 1);
+                }
+                t2.lock()[me.index()] = f2.now_ns(me);
+                f2.image_done(me);
+            });
+            let v = times.lock().clone();
+            v
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn deadlock_is_detected_and_panics_everywhere() {
+        let f = sim(1, 2, 2, 2);
+        let mut handles = Vec::new();
+        for i in 0..2 {
+            let f = f.clone();
+            handles.push(std::thread::spawn(move || {
+                let me = ProcId(i);
+                // Both images wait; nobody notifies: deadlock.
+                f.flag_wait_ge(me, SPARE_FLAG, 1);
+                f.image_done(me);
+            }));
+        }
+        let mut panics = 0;
+        for h in handles {
+            if h.join().is_err() {
+                panics += 1;
+            }
+        }
+        assert_eq!(panics, 2, "both images must observe the deadlock");
+    }
+
+    #[test]
+    fn compute_advances_virtual_time_scaled() {
+        let map = ImageMap::new(presets::mini(1, 1), 1, &Placement::Packed);
+        let f = SimFabric::new(
+            map,
+            SimConfig {
+                cost: presets::whale_cost(),
+                overheads: SoftwareOverheads {
+                    per_op_ns: 0,
+                    per_wait_ns: 0,
+                    compute_milli: 2000,
+                    intra_via_nic: false,
+                    nic_busy_extra_ns: 0,
+                    nic_loopback_extra_ns: 0,
+                },
+            },
+        );
+        f.compute(ProcId(0), 1000);
+        assert_eq!(f.now_ns(ProcId(0)), 2000);
+        f.image_done(ProcId(0));
+    }
+
+    #[test]
+    fn quiet_waits_for_outstanding_puts() {
+        let f = sim(2, 1, 2, 1);
+        let f2 = f.clone();
+        run_spmd(f.clone(), move |me| {
+            if me == ProcId(0) {
+                let before = f2.now_ns(me);
+                f2.put(me, ProcId(1), BSEG, 0, &[1u8; 8]);
+                // The descriptor post returns quickly...
+                let posted = f2.now_ns(me);
+                assert!(posted - before < f2.cost().l_inter_ns);
+                // ...but quiet() must cover the full wire latency.
+                f2.quiet(me);
+                assert!(f2.now_ns(me) >= before + f2.cost().l_inter_ns);
+            }
+            f2.image_done(me);
+        });
+    }
+
+    #[test]
+    fn amo_fetch_add_accumulates_and_returns_old() {
+        let f = sim(1, 4, 4, 4);
+        let f2 = f.clone();
+        let olds = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let olds2 = olds.clone();
+        run_spmd(f.clone(), move |me| {
+            let old = f2.amo_fetch_add_u64(me, ProcId(0), BSEG, 0, 1);
+            olds2.lock().push(old);
+            f2.flag_add(me, ProcId(0), SPARE_FLAG, 1);
+            if me == ProcId(0) {
+                f2.flag_wait_ge(me, SPARE_FLAG, 4);
+                let mut out = [0u8; 8];
+                f2.get(me, me, BSEG, 0, &mut out);
+                assert_eq!(u64::from_ne_bytes(out), 4);
+            }
+            f2.image_done(me);
+        });
+        let mut seen = olds.lock().clone();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3], "AMO must hand out distinct olds");
+    }
+
+    #[test]
+    fn amo_cas_swaps_only_on_match() {
+        let f = sim(1, 1, 1, 1);
+        let me = ProcId(0);
+        let seg = f.alloc_segment(me, 8);
+        assert_eq!(f.amo_cas_u64(me, me, seg, 0, 0, 42), 0);
+        assert_eq!(f.amo_cas_u64(me, me, seg, 0, 0, 99), 42); // no swap
+        let mut out = [0u8; 8];
+        f.get(me, me, seg, 0, &mut out);
+        assert_eq!(u64::from_ne_bytes(out), 42);
+        f.image_done(me);
+    }
+
+    #[test]
+    fn stats_count_hierarchy_levels() {
+        let f = sim(2, 2, 4, 2);
+        let f2 = f.clone();
+        run_spmd(f.clone(), move |me| {
+            if me == ProcId(1) {
+                f2.flag_add(me, ProcId(0), SPARE_FLAG, 1); // intra (node 0)
+            }
+            if me == ProcId(2) {
+                f2.flag_add(me, ProcId(0), SPARE_FLAG, 1); // inter (node 1 -> 0)
+            }
+            if me == ProcId(0) {
+                f2.flag_wait_ge(me, SPARE_FLAG, 2);
+            }
+            f2.image_done(me);
+        });
+        let s = f.stats().snapshot();
+        assert_eq!(s.flags_intra, 1);
+        assert_eq!(s.flags_inter, 1);
+    }
+}

@@ -1,0 +1,96 @@
+//! A minimal SPMD thread launcher used by fabric-level tests and
+//! micro-harnesses. The full-featured launcher (with image contexts, teams,
+//! etc.) lives in `caf-runtime`; this one just runs a closure per image and
+//! propagates panics.
+
+use crate::Fabric;
+use caf_topology::ProcId;
+use std::sync::Arc;
+
+/// Spawn one OS thread per image of `fabric` and run `body(me)` on each.
+///
+/// Panics in any image are re-raised here (after all threads have been
+/// joined) with the image number attached, so a failing collective test
+/// reports *which* image misbehaved rather than hanging.
+pub fn run_spmd<F, B>(fabric: Arc<F>, body: B)
+where
+    F: Fabric + ?Sized,
+    B: Fn(ProcId) + Send + Sync + 'static,
+{
+    let n = fabric.n_images();
+    let body = Arc::new(body);
+    let mut handles = Vec::with_capacity(n);
+    for i in 0..n {
+        let body = Arc::clone(&body);
+        let fabric = Arc::clone(&fabric);
+        let handle = std::thread::Builder::new()
+            .name(format!("image-{i}"))
+            .stack_size(2 * 1024 * 1024)
+            .spawn(move || {
+                let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    body(ProcId(i))
+                }));
+                if let Err(payload) = out {
+                    // Fail the whole team loudly instead of hanging peers.
+                    fabric.poison(&format!("image {i} panicked"));
+                    std::panic::resume_unwind(payload);
+                }
+            })
+            .expect("spawn image thread");
+        handles.push(handle);
+    }
+    let mut first_panic = None;
+    for (i, h) in handles.into_iter().enumerate() {
+        if let Err(payload) = h.join() {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            if first_panic.is_none() {
+                first_panic = Some(format!("image {i} panicked: {msg}"));
+            }
+        }
+    }
+    if let Some(msg) = first_panic {
+        panic!("{msg}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{SimConfig, SimFabric};
+    use caf_topology::{presets, ImageMap, Placement};
+
+    fn fabric(n: usize) -> Arc<SimFabric> {
+        let map = ImageMap::new(presets::mini(1, n), n, &Placement::Packed);
+        SimFabric::new(map, SimConfig::default())
+    }
+
+    #[test]
+    fn runs_every_image_exactly_once() {
+        let f = fabric(4);
+        let counts = Arc::new(parking_lot::Mutex::new(vec![0u32; 4]));
+        let c2 = counts.clone();
+        let f2 = f.clone();
+        run_spmd(f, move |me| {
+            c2.lock()[me.index()] += 1;
+            f2.image_done(me);
+        });
+        assert_eq!(*counts.lock(), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "image 2 panicked")]
+    fn propagates_image_panics() {
+        let f = fabric(3);
+        let f2 = f.clone();
+        run_spmd(f, move |me| {
+            f2.image_done(me);
+            if me == ProcId(2) {
+                panic!("boom");
+            }
+        });
+    }
+}

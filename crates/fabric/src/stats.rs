@@ -1,0 +1,202 @@
+//! Operation counters, split by memory-hierarchy level.
+//!
+//! The paper's §IV-A methodology is justified by *counting notifications*:
+//! dissemination performs n⌈log₂ n⌉ of them, a centralized linear barrier
+//! 2(n−1), and TDLB turns most of them intra-node. [`FabricStats`] lets the
+//! test-suite and the EXP-A1 ablation assert those closed forms against the
+//! actual traffic the algorithms generate.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic operation counters maintained by every fabric. All counters are
+/// relaxed — they are diagnostics, not synchronization.
+#[derive(Debug, Default)]
+pub struct FabricStats {
+    /// Payload puts to a target on the same node.
+    pub puts_intra: AtomicU64,
+    /// Payload puts to a target on another node.
+    pub puts_inter: AtomicU64,
+    /// Gets from a source on the same node.
+    pub gets_intra: AtomicU64,
+    /// Gets from a source on another node.
+    pub gets_inter: AtomicU64,
+    /// Flag notifications delivered within a node.
+    pub flags_intra: AtomicU64,
+    /// Flag notifications crossing nodes.
+    pub flags_inter: AtomicU64,
+    /// Blocking flag waits executed.
+    pub flag_waits: AtomicU64,
+    /// Remote atomic operations.
+    pub amos: AtomicU64,
+    /// Payload bytes moved within nodes.
+    pub bytes_intra: AtomicU64,
+    /// Payload bytes moved between nodes.
+    pub bytes_inter: AtomicU64,
+}
+
+/// A plain-data copy of [`FabricStats`] at one instant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Payload puts to a target on the same node.
+    pub puts_intra: u64,
+    /// Payload puts to a target on another node.
+    pub puts_inter: u64,
+    /// Gets from a source on the same node.
+    pub gets_intra: u64,
+    /// Gets from a source on another node.
+    pub gets_inter: u64,
+    /// Flag notifications delivered within a node.
+    pub flags_intra: u64,
+    /// Flag notifications crossing nodes.
+    pub flags_inter: u64,
+    /// Blocking flag waits executed.
+    pub flag_waits: u64,
+    /// Remote atomic operations.
+    pub amos: u64,
+    /// Payload bytes moved within nodes.
+    pub bytes_intra: u64,
+    /// Payload bytes moved between nodes.
+    pub bytes_inter: u64,
+}
+
+impl FabricStats {
+    /// Capture the current counter values.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            puts_intra: self.puts_intra.load(Ordering::Relaxed),
+            puts_inter: self.puts_inter.load(Ordering::Relaxed),
+            gets_intra: self.gets_intra.load(Ordering::Relaxed),
+            gets_inter: self.gets_inter.load(Ordering::Relaxed),
+            flags_intra: self.flags_intra.load(Ordering::Relaxed),
+            flags_inter: self.flags_inter.load(Ordering::Relaxed),
+            flag_waits: self.flag_waits.load(Ordering::Relaxed),
+            amos: self.amos.load(Ordering::Relaxed),
+            bytes_intra: self.bytes_intra.load(Ordering::Relaxed),
+            bytes_inter: self.bytes_inter.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset every counter to zero (between benchmark phases).
+    pub fn reset(&self) {
+        for c in [
+            &self.puts_intra,
+            &self.puts_inter,
+            &self.gets_intra,
+            &self.gets_inter,
+            &self.flags_intra,
+            &self.flags_inter,
+            &self.flag_waits,
+            &self.amos,
+            &self.bytes_intra,
+            &self.bytes_inter,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one put of `bytes` bytes; `intra` selects the hierarchy level.
+    #[inline]
+    pub fn record_put(&self, intra: bool, bytes: usize) {
+        if intra {
+            self.puts_intra.fetch_add(1, Ordering::Relaxed);
+            self.bytes_intra.fetch_add(bytes as u64, Ordering::Relaxed);
+        } else {
+            self.puts_inter.fetch_add(1, Ordering::Relaxed);
+            self.bytes_inter.fetch_add(bytes as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one get of `bytes` bytes.
+    #[inline]
+    pub fn record_get(&self, intra: bool, bytes: usize) {
+        if intra {
+            self.gets_intra.fetch_add(1, Ordering::Relaxed);
+            self.bytes_intra.fetch_add(bytes as u64, Ordering::Relaxed);
+        } else {
+            self.gets_inter.fetch_add(1, Ordering::Relaxed);
+            self.bytes_inter.fetch_add(bytes as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one flag notification.
+    #[inline]
+    pub fn record_flag(&self, intra: bool) {
+        if intra {
+            self.flags_intra.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.flags_inter.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// Total notifications (flag adds) at any level.
+    pub fn total_flags(&self) -> u64 {
+        self.flags_intra + self.flags_inter
+    }
+
+    /// Total payload operations at any level.
+    pub fn total_puts(&self) -> u64 {
+        self.puts_intra + self.puts_inter
+    }
+
+    /// Component-wise difference `self - earlier` (counters are monotonic).
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            puts_intra: self.puts_intra - earlier.puts_intra,
+            puts_inter: self.puts_inter - earlier.puts_inter,
+            gets_intra: self.gets_intra - earlier.gets_intra,
+            gets_inter: self.gets_inter - earlier.gets_inter,
+            flags_intra: self.flags_intra - earlier.flags_intra,
+            flags_inter: self.flags_inter - earlier.flags_inter,
+            flag_waits: self.flag_waits - earlier.flag_waits,
+            amos: self.amos - earlier.amos,
+            bytes_intra: self.bytes_intra - earlier.bytes_intra,
+            bytes_inter: self.bytes_inter - earlier.bytes_inter,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let s = FabricStats::default();
+        s.record_put(true, 100);
+        s.record_put(false, 8);
+        s.record_flag(true);
+        s.record_flag(false);
+        s.record_get(false, 64);
+        let snap = s.snapshot();
+        assert_eq!(snap.puts_intra, 1);
+        assert_eq!(snap.puts_inter, 1);
+        assert_eq!(snap.bytes_intra, 100);
+        assert_eq!(snap.bytes_inter, 8 + 64);
+        assert_eq!(snap.total_flags(), 2);
+        assert_eq!(snap.total_puts(), 2);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let s = FabricStats::default();
+        s.record_put(true, 100);
+        s.record_flag(false);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let s = FabricStats::default();
+        s.record_flag(true);
+        let a = s.snapshot();
+        s.record_flag(true);
+        s.record_flag(false);
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.flags_intra, 1);
+        assert_eq!(d.flags_inter, 1);
+    }
+}

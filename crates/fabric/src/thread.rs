@@ -1,0 +1,445 @@
+//! A real shared-memory fabric: images are OS threads, flags are atomics,
+//! puts are relaxed-atomic memcpys with release/acquire edges provided by
+//! the flag operations.
+//!
+//! This fabric validates the collective algorithms under genuine concurrency
+//! (the simulator, being turn-based, cannot exhibit real races) and powers
+//! the wall-clock criterion benches. Because the host is one shared-memory
+//! machine, the *inter-node* half of the hierarchy is optional theater:
+//! with [`ThreadConfig::inject_internode_delay`] set, operations that cross
+//! simulated node boundaries busy-wait the modeled wire latency, so even a
+//! laptop run shows a two-level cost structure.
+
+use crate::seg::{FlagId, SegmentId, SharedBytes};
+use crate::stats::FabricStats;
+use crate::Fabric;
+use caf_topology::{CostParams, ImageMap, ProcId, SoftwareOverheads};
+use crossbeam::utils::{Backoff, CachePadded};
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration for a [`ThreadFabric`].
+#[derive(Clone, Debug)]
+pub struct ThreadConfig {
+    /// Cost parameters; only consulted when delay injection is on.
+    pub cost: CostParams,
+    /// Software overheads; kept for symmetry with the simulator (the thread
+    /// fabric does not inject per-op CPU overhead — real instructions cost
+    /// real time).
+    pub overheads: SoftwareOverheads,
+    /// Busy-wait the modeled `l_inter` on operations that cross simulated
+    /// node boundaries, making wall-clock runs hierarchy-sensitive.
+    pub inject_internode_delay: bool,
+    /// Scale factor for injected delays, in milli-units (1000 = modeled
+    /// latency as-is; 100 = 10× faster, keeping benches quick).
+    pub delay_scale_milli: u64,
+}
+
+impl Default for ThreadConfig {
+    fn default() -> Self {
+        Self {
+            cost: CostParams::default(),
+            overheads: SoftwareOverheads::NONE,
+            inject_internode_delay: false,
+            delay_scale_milli: 1000,
+        }
+    }
+}
+
+/// Per-image storage.
+struct ImageSlot {
+    segs: RwLock<Vec<Arc<SharedBytes>>>,
+    flags: RwLock<Vec<Arc<CachePadded<AtomicU64>>>>,
+}
+
+/// The real-threads fabric. See the module docs.
+pub struct ThreadFabric {
+    map: ImageMap,
+    cfg: ThreadConfig,
+    stats: FabricStats,
+    start: Instant,
+    slots: Vec<ImageSlot>,
+    /// Parked waiters count; `flag_add` only takes the wake lock when
+    /// someone may be parked.
+    parked: AtomicUsize,
+    wake_lock: Mutex<()>,
+    wake_cv: Condvar,
+    /// Set when an image died; waits panic instead of spinning forever.
+    poisoned: Mutex<Option<String>>,
+    poison_flag: std::sync::atomic::AtomicBool,
+}
+
+impl ThreadFabric {
+    /// Build a fabric for the images of `map`.
+    pub fn new(map: ImageMap, cfg: ThreadConfig) -> Arc<Self> {
+        let n = map.n_images();
+        let slots = (0..n)
+            .map(|_| ImageSlot {
+                // Bootstrap resources: segment 0 and the control flags.
+                segs: RwLock::new(vec![Arc::new(SharedBytes::new(
+                    n * crate::bootstrap::SLOT_BYTES,
+                ))]),
+                flags: RwLock::new(
+                    (0..crate::bootstrap::NUM_FLAGS)
+                        .map(|_| Arc::new(CachePadded::new(AtomicU64::new(0))))
+                        .collect(),
+                ),
+            })
+            .collect();
+        Arc::new(Self {
+            map,
+            cfg,
+            stats: FabricStats::default(),
+            start: Instant::now(),
+            slots,
+            parked: AtomicUsize::new(0),
+            wake_lock: Mutex::new(()),
+            wake_cv: Condvar::new(),
+            poisoned: Mutex::new(None),
+            poison_flag: std::sync::atomic::AtomicBool::new(false),
+        })
+    }
+
+    /// Convenience constructor with default configuration (no injection).
+    pub fn with_defaults(map: ImageMap) -> Arc<Self> {
+        Self::new(map, ThreadConfig::default())
+    }
+
+    fn seg_of(&self, img: usize, seg: SegmentId) -> Arc<SharedBytes> {
+        let segs = self.slots[img].segs.read();
+        segs.get(seg.0)
+            .unwrap_or_else(|| panic!("image {img} has no {seg:?} (out of {})", segs.len()))
+            .clone()
+    }
+
+    fn flag_cell(&self, img: usize, flag: FlagId) -> Arc<CachePadded<AtomicU64>> {
+        let flags = self.slots[img].flags.read();
+        flags
+            .get(flag.0)
+            .unwrap_or_else(|| panic!("image {img} has no {flag:?} (out of {})", flags.len()))
+            .clone()
+    }
+
+    /// Busy-wait the injected inter-node delay, if enabled.
+    fn maybe_inject(&self, crossing_nodes: bool) {
+        if !self.cfg.inject_internode_delay || !crossing_nodes {
+            return;
+        }
+        let ns = self.cfg.cost.l_inter_ns * self.cfg.delay_scale_milli / 1000;
+        if ns == 0 {
+            return;
+        }
+        let deadline = Instant::now() + Duration::from_nanos(ns);
+        while Instant::now() < deadline {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+impl Fabric for ThreadFabric {
+    fn n_images(&self) -> usize {
+        self.map.n_images()
+    }
+
+    fn image_map(&self) -> &ImageMap {
+        &self.map
+    }
+
+    fn cost(&self) -> &CostParams {
+        &self.cfg.cost
+    }
+
+    fn overheads(&self) -> &SoftwareOverheads {
+        &self.cfg.overheads
+    }
+
+    fn stats(&self) -> &FabricStats {
+        &self.stats
+    }
+
+    fn alloc_segment(&self, me: ProcId, bytes: usize) -> SegmentId {
+        let mut segs = self.slots[me.index()].segs.write();
+        let id = segs.len();
+        segs.push(Arc::new(SharedBytes::new(bytes)));
+        SegmentId(id)
+    }
+
+    fn alloc_flags(&self, me: ProcId, count: usize) -> FlagId {
+        let mut flags = self.slots[me.index()].flags.write();
+        let id = flags.len();
+        for _ in 0..count {
+            flags.push(Arc::new(CachePadded::new(AtomicU64::new(0))));
+        }
+        FlagId(id)
+    }
+
+    fn put(&self, me: ProcId, dst: ProcId, seg: SegmentId, offset: usize, bytes: &[u8]) {
+        let intra = self.map.colocated(me, dst);
+        if me != dst {
+            self.stats.record_put(intra, bytes.len());
+        }
+        self.maybe_inject(!intra);
+        self.seg_of(dst.index(), seg).write(offset, bytes);
+    }
+
+    fn get(&self, me: ProcId, src: ProcId, seg: SegmentId, offset: usize, out: &mut [u8]) {
+        let intra = self.map.colocated(me, src);
+        if me != src {
+            self.stats.record_get(intra, out.len());
+        }
+        self.maybe_inject(!intra);
+        self.seg_of(src.index(), seg).read(offset, out);
+    }
+
+    fn amo_fetch_add_u64(
+        &self,
+        me: ProcId,
+        target: ProcId,
+        seg: SegmentId,
+        offset: usize,
+        delta: u64,
+    ) -> u64 {
+        self.stats.amos.fetch_add(1, Ordering::Relaxed);
+        self.maybe_inject(!self.map.colocated(me, target));
+        self.seg_of(target.index(), seg)
+            .as_atomic_u64(offset)
+            .fetch_add(delta, Ordering::AcqRel)
+    }
+
+    fn amo_cas_u64(
+        &self,
+        me: ProcId,
+        target: ProcId,
+        seg: SegmentId,
+        offset: usize,
+        expected: u64,
+        new: u64,
+    ) -> u64 {
+        self.stats.amos.fetch_add(1, Ordering::Relaxed);
+        self.maybe_inject(!self.map.colocated(me, target));
+        match self.seg_of(target.index(), seg).as_atomic_u64(offset).compare_exchange(
+            expected,
+            new,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(v) | Err(v) => v,
+        }
+    }
+
+    fn flag_add(&self, me: ProcId, target: ProcId, flag: FlagId, delta: u64) {
+        let intra = self.map.colocated(me, target);
+        if me != target {
+            self.stats.record_flag(intra);
+        }
+        self.maybe_inject(!intra);
+        // Release: orders all prior (relaxed) payload stores before the
+        // notification, so a waiter that Acquires the flag sees the payload.
+        self.flag_cell(target.index(), flag)
+            .fetch_add(delta, Ordering::Release);
+        if self.parked.load(Ordering::SeqCst) > 0 {
+            let _g = self.wake_lock.lock();
+            self.wake_cv.notify_all();
+        }
+    }
+
+    fn flag_wait_ge(&self, me: ProcId, flag: FlagId, at_least: u64) {
+        self.stats.flag_waits.fetch_add(1, Ordering::Relaxed);
+        let cell = self.flag_cell(me.index(), flag);
+        let backoff = Backoff::new();
+        loop {
+            if cell.load(Ordering::Acquire) >= at_least {
+                return;
+            }
+            if self.poison_flag.load(Ordering::Acquire) {
+                let msg = self.poisoned.lock().clone().unwrap_or_default();
+                panic!("fabric poisoned while image {me:?} waited: {msg}");
+            }
+            if backoff.is_completed() {
+                // Park with a timeout: a lost wakeup (adder saw parked == 0
+                // just before we registered) resolves within one tick.
+                self.parked.fetch_add(1, Ordering::SeqCst);
+                let mut g = self.wake_lock.lock();
+                if cell.load(Ordering::Acquire) < at_least {
+                    self.wake_cv
+                        .wait_for(&mut g, Duration::from_micros(200));
+                }
+                drop(g);
+                self.parked.fetch_sub(1, Ordering::SeqCst);
+            } else {
+                backoff.snooze();
+            }
+        }
+    }
+
+    fn flag_read(&self, me: ProcId, flag: FlagId) -> u64 {
+        self.flag_cell(me.index(), flag).load(Ordering::Acquire)
+    }
+
+    fn quiet(&self, _me: ProcId) {
+        // All thread-fabric operations complete synchronously; a fence keeps
+        // the memory-model promise explicit.
+        std::sync::atomic::fence(Ordering::SeqCst);
+    }
+
+    fn compute(&self, _me: ProcId, _ns: u64) {
+        // Real computation takes real wall time; nothing to account.
+    }
+
+    fn now_ns(&self, _me: ProcId) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    fn image_done(&self, _me: ProcId) {}
+
+    fn poison(&self, msg: &str) {
+        {
+            let mut p = self.poisoned.lock();
+            if p.is_none() {
+                *p = Some(msg.to_string());
+            }
+        }
+        self.poison_flag.store(true, Ordering::Release);
+        let _g = self.wake_lock.lock();
+        self.wake_cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spmd::run_spmd;
+    use caf_topology::{presets, Placement};
+
+    const SPARE_FLAG: FlagId = FlagId(2);
+    #[allow(dead_code)]
+    const SPARE_FLAG2: FlagId = FlagId(3);
+    const BSEG: SegmentId = crate::bootstrap::SEG;
+
+    fn fabric(nodes: usize, cores: usize, images: usize) -> Arc<ThreadFabric> {
+        let map = ImageMap::new(presets::mini(nodes, cores), images, &Placement::Packed);
+        ThreadFabric::with_defaults(map)
+    }
+
+    #[test]
+    fn put_then_flag_then_read_many_rounds() {
+        // Release/acquire discipline: receiver must always see the payload
+        // that the flag announces. Repeated to give races a chance.
+        let f = fabric(1, 2, 2);
+        let f2 = f.clone();
+        run_spmd(f.clone(), move |me| {
+            for round in 1..=200u64 {
+                if me == ProcId(0) {
+                    f2.put(me, ProcId(1), BSEG, 0, &round.to_ne_bytes());
+                    f2.flag_add(me, ProcId(1), SPARE_FLAG, 1);
+                    // Wait for ack before overwriting.
+                    f2.flag_wait_ge(me, SPARE_FLAG2, round);
+                } else {
+                    f2.flag_wait_ge(me, SPARE_FLAG, round);
+                    let mut out = [0u8; 8];
+                    f2.get(me, me, BSEG, 0, &mut out);
+                    assert_eq!(u64::from_ne_bytes(out), round);
+                    f2.flag_add(me, ProcId(0), SPARE_FLAG2, 1);
+                }
+            }
+            f2.image_done(me);
+        });
+    }
+
+    #[test]
+    fn concurrent_amo_increments_are_exact() {
+        let n = 4;
+        let f = fabric(1, n, n);
+        let f2 = f.clone();
+        run_spmd(f.clone(), move |me| {
+            for _ in 0..1000 {
+                f2.amo_fetch_add_u64(me, ProcId(0), BSEG, 0, 1);
+            }
+            f2.image_done(me);
+        });
+        // Check the final value from outside.
+        let mut out = [0u8; 8];
+        f.seg_of(0, BSEG).read(0, &mut out);
+        assert_eq!(u64::from_ne_bytes(out), 4000);
+    }
+
+    #[test]
+    fn parked_waiter_is_woken() {
+        let f = fabric(1, 2, 2);
+        let f2 = f.clone();
+        run_spmd(f.clone(), move |me| {
+            if me == ProcId(0) {
+                // Sleep long enough that image 1 parks before the add.
+                std::thread::sleep(Duration::from_millis(20));
+                f2.flag_add(me, ProcId(1), SPARE_FLAG, 1);
+            } else {
+                f2.flag_wait_ge(me, SPARE_FLAG, 1);
+            }
+            f2.image_done(me);
+        });
+    }
+
+    #[test]
+    fn injected_delay_slows_internode_ops() {
+        let map = ImageMap::new(presets::mini(2, 1), 2, &Placement::Packed);
+        let cfg = ThreadConfig {
+            inject_internode_delay: true,
+            delay_scale_milli: 10_000, // 10x the modeled 1.8us = 18us
+            ..ThreadConfig::default()
+        };
+        let f = ThreadFabric::new(map, cfg);
+        let seg = f.alloc_segment(ProcId(0), 8);
+        f.alloc_segment(ProcId(1), 8);
+        let t0 = Instant::now();
+        for _ in 0..50 {
+            f.put(ProcId(0), ProcId(1), seg, 0, &[0u8; 8]);
+        }
+        let cross = t0.elapsed();
+        assert!(
+            cross >= Duration::from_micros(50 * 15),
+            "injection too weak: {cross:?}"
+        );
+    }
+
+    #[test]
+    fn stats_split_by_node() {
+        let f = fabric(2, 2, 4);
+        f.alloc_segment(ProcId(0), 16);
+        let seg = SegmentId(0);
+        f.put(ProcId(0), ProcId(1), seg, 0, &[1u8; 4]); // intra
+        f.put(ProcId(0), ProcId(2), seg, 0, &[1u8; 4]); // inter
+        f.put(ProcId(0), ProcId(0), seg, 0, &[1u8; 4]); // self: uncounted
+        let s = f.stats().snapshot();
+        assert_eq!(s.puts_intra, 1);
+        assert_eq!(s.puts_inter, 1);
+        assert_eq!(s.bytes_intra, 4);
+        assert_eq!(s.bytes_inter, 4);
+    }
+
+    #[test]
+    fn flag_read_does_not_block() {
+        let f = fabric(1, 1, 1);
+        let flag = f.alloc_flags(ProcId(0), 2);
+        assert_eq!(f.flag_read(ProcId(0), flag), 0);
+        f.flag_add(ProcId(0), ProcId(0), flag.nth(1), 5);
+        assert_eq!(f.flag_read(ProcId(0), flag.nth(1)), 5);
+        assert_eq!(f.flag_read(ProcId(0), flag), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "has no seg")]
+    fn unknown_segment_panics() {
+        let f = fabric(1, 1, 1);
+        f.put(ProcId(0), ProcId(0), SegmentId(3), 0, &[0]);
+    }
+
+    #[test]
+    fn wall_clock_advances() {
+        let f = fabric(1, 1, 1);
+        let a = f.now_ns(ProcId(0));
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(f.now_ns(ProcId(0)) > a);
+    }
+}

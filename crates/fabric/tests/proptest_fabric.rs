@@ -1,0 +1,144 @@
+//! Property tests of the simulation fabric: determinism, virtual-time
+//! monotonicity, flag-accumulation arithmetic, and payload integrity under
+//! arbitrary operation schedules.
+
+use caf_fabric::{bootstrap, Fabric, SimConfig, SimFabric, ThreadConfig, ThreadFabric};
+use caf_fabric::{run_spmd, FlagId};
+use caf_topology::{presets, ImageMap, Placement, ProcId, SoftwareOverheads};
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A tiny random SPMD program over the bootstrap resources: each image
+/// sends `sends[i]` notifications to image `(i+1) % n` then waits for its
+/// own expected count (ring traffic — always deadlock-free).
+fn ring_program(nodes: usize, cores: usize, images: usize, sends: Vec<u8>) -> Vec<u64> {
+    let map = ImageMap::new(presets::mini(nodes, cores), images, &Placement::Packed);
+    let fabric = SimFabric::new(
+        map,
+        SimConfig {
+            cost: presets::whale_cost(),
+            overheads: SoftwareOverheads::NONE,
+        },
+    );
+    let f2 = fabric.clone();
+    let times = Arc::new(Mutex::new(vec![0u64; images]));
+    let t2 = times.clone();
+    let sends = Arc::new(sends);
+    run_spmd(fabric, move |me| {
+        let i = me.index();
+        let right = ProcId((i + 1) % images);
+        let flag = FlagId(2); // bootstrap spare
+        let mut last = 0;
+        for _ in 0..sends[i % sends.len()] {
+            f2.flag_add(me, right, flag, 1);
+            let t = f2.now_ns(me);
+            assert!(t >= last, "virtual time went backwards");
+            last = t;
+        }
+        let left = (i + images - 1) % images;
+        let expect = sends[left % sends.len()] as u64;
+        if expect > 0 {
+            f2.flag_wait_ge(me, flag, expect);
+        }
+        t2.lock()[i] = f2.now_ns(me);
+        f2.image_done(me);
+    });
+    let v = times.lock().clone();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sim_is_deterministic_for_arbitrary_ring_traffic(
+        nodes in 1usize..4,
+        cores in 2usize..4,
+        sends in proptest::collection::vec(0u8..6, 1..12),
+    ) {
+        let images = (nodes * cores).min(8);
+        let a = ring_program(nodes, cores, images, sends.clone());
+        let b = ring_program(nodes, cores, images, sends);
+        prop_assert_eq!(a, b, "same program must give same virtual times");
+    }
+
+    #[test]
+    fn flag_accumulation_exact_for_arbitrary_deltas(
+        deltas in proptest::collection::vec(1u64..1000, 1..20),
+    ) {
+        let map = ImageMap::new(presets::mini(1, 2), 2, &Placement::Packed);
+        let fabric = SimFabric::with_defaults(map);
+        let f2 = fabric.clone();
+        let total: u64 = deltas.iter().sum();
+        let deltas = Arc::new(deltas);
+        run_spmd(fabric, move |me| {
+            let flag = FlagId(2);
+            if me == ProcId(0) {
+                for &d in deltas.iter() {
+                    f2.flag_add(me, ProcId(1), flag, d);
+                }
+            } else {
+                f2.flag_wait_ge(me, flag, total);
+                assert_eq!(f2.flag_read(me, flag), total);
+            }
+            f2.image_done(me);
+        });
+    }
+
+    #[test]
+    fn payload_roundtrip_any_bytes_any_offset(
+        payload in proptest::collection::vec(any::<u8>(), 1..64),
+        offset in 0usize..32,
+    ) {
+        let map = ImageMap::new(presets::mini(2, 1), 2, &Placement::Packed);
+        let fabric = SimFabric::with_defaults(map);
+        let f2 = fabric.clone();
+        let payload = Arc::new(payload);
+        let p2 = payload.clone();
+        run_spmd(fabric, move |me| {
+            let flag = FlagId(2);
+            if me == ProcId(0) {
+                f2.put(me, ProcId(1), bootstrap::SEG, offset, &p2);
+                f2.flag_add(me, ProcId(1), flag, 1);
+            } else {
+                f2.flag_wait_ge(me, flag, 1);
+                let mut out = vec![0u8; p2.len()];
+                f2.get(me, me, bootstrap::SEG, offset, &mut out);
+                assert_eq!(&out, &*p2);
+            }
+            f2.image_done(me);
+        });
+    }
+
+    #[test]
+    fn thread_fabric_amo_sums_exactly(
+        per_image in proptest::collection::vec(1u16..200, 2..5),
+    ) {
+        let n = per_image.len();
+        let map = ImageMap::new(presets::mini(1, n), n, &Placement::Packed);
+        let fabric = ThreadFabric::new(map, ThreadConfig::default());
+        let f2 = fabric.clone();
+        let per = Arc::new(per_image.clone());
+        run_spmd(fabric.clone(), move |me| {
+            for _ in 0..per[me.index()] {
+                f2.amo_fetch_add_u64(me, ProcId(0), bootstrap::SEG, 8, 1);
+            }
+            f2.image_done(me);
+        });
+        let expect: u64 = per_image.iter().map(|&v| v as u64).sum();
+        let got = fabric.amo_cas_u64(ProcId(0), ProcId(0), bootstrap::SEG, 8, u64::MAX, u64::MAX);
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn makespan_reflects_compute(
+        ns in 1_000u64..1_000_000,
+    ) {
+        let map = ImageMap::new(presets::mini(1, 1), 1, &Placement::Packed);
+        let fabric = SimFabric::with_defaults(map);
+        fabric.compute(ProcId(0), ns);
+        prop_assert_eq!(fabric.now_ns(ProcId(0)), ns);
+        fabric.image_done(ProcId(0));
+    }
+}

@@ -1,0 +1,249 @@
+//! The dense kernels HPL needs, on raw column-major buffers: `dgemm`
+//! (C −= A·B), `dtrsm` (unit-lower triangular solve), `dscal`/`dger`-style
+//! panel updates, and `idamax`. Written for clarity with slice-based inner
+//! loops the compiler vectorizes; flop counts are reported by the callers
+//! for the simulator's time model.
+
+/// `C[0..m, 0..n] -= A[0..m, 0..k] * B[0..k, 0..n]` on column-major
+/// buffers with leading dimensions `lda`, `ldb`, `ldc`.
+#[allow(clippy::too_many_arguments)]
+pub fn dgemm_minus(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    assert!(lda >= m && ldc >= m && ldb >= k, "leading dims too small");
+    for j in 0..n {
+        let cj = &mut c[j * ldc..j * ldc + m];
+        for l in 0..k {
+            let blj = b[l + j * ldb];
+            if blj == 0.0 {
+                continue;
+            }
+            let al = &a[l * lda..l * lda + m];
+            for i in 0..m {
+                cj[i] -= al[i] * blj;
+            }
+        }
+    }
+}
+
+/// Solve `L X = B` in place where `L` is `nb × nb` **unit lower**
+/// triangular (column-major, leading dim `ldl`) and `B` is `nb × n`
+/// (leading dim `ldb`). On return `B` holds `X` — the `U12` block step of
+/// right-looking LU.
+pub fn dtrsm_lower_unit(nb: usize, n: usize, l: &[f64], ldl: usize, b: &mut [f64], ldb: usize) {
+    if nb == 0 || n == 0 {
+        return;
+    }
+    assert!(ldl >= nb && ldb >= nb, "leading dims too small");
+    for j in 0..n {
+        for i in 0..nb {
+            let xi = b[i + j * ldb];
+            if xi == 0.0 {
+                continue;
+            }
+            // Eliminate x_i from the rows below.
+            let li = &l[i * ldl..i * ldl + nb];
+            let bj = &mut b[j * ldb..j * ldb + nb];
+            for r in i + 1..nb {
+                bj[r] -= li[r] * xi;
+            }
+        }
+    }
+}
+
+/// Index of the element with the largest absolute value (first on ties).
+pub fn idamax(x: &[f64]) -> Option<usize> {
+    if x.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    let mut bv = x[0].abs();
+    for (i, &v) in x.iter().enumerate().skip(1) {
+        if v.abs() > bv {
+            bv = v.abs();
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+/// Scale `x *= alpha`.
+pub fn dscal(alpha: f64, x: &mut [f64]) {
+    for v in x {
+        *v *= alpha;
+    }
+}
+
+/// Rank-1 update `A[0..m, 0..n] -= x[0..m] * y[0..n]^T` (column-major,
+/// leading dim `lda`) — the in-panel trailing update.
+pub fn dger_minus(m: usize, n: usize, x: &[f64], y: &[f64], a: &mut [f64], lda: usize) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    assert!(lda >= m && x.len() >= m && y.len() >= n);
+    for j in 0..n {
+        let yj = y[j];
+        if yj == 0.0 {
+            continue;
+        }
+        let aj = &mut a[j * lda..j * lda + m];
+        for i in 0..m {
+            aj[i] -= x[i] * yj;
+        }
+    }
+}
+
+/// Flops of a `dgemm_minus` call (multiply + subtract).
+pub fn dgemm_flops(m: usize, n: usize, k: usize) -> u64 {
+    2 * (m as u64) * (n as u64) * (k as u64)
+}
+
+/// Flops of a `dtrsm_lower_unit` call.
+pub fn dtrsm_flops(nb: usize, n: usize) -> u64 {
+    (nb as u64) * (nb as u64) * (n as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    fn naive_mul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0;
+                for l in 0..a.cols() {
+                    s += a.get(i, l) * b.get(l, j);
+                }
+                c.set(i, j, s);
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn dgemm_matches_naive() {
+        let a = crate::matrix::hpl_matrix(1, 7);
+        let b = crate::matrix::hpl_matrix(2, 7);
+        let mut c = crate::matrix::hpl_matrix(3, 7);
+        let expect = {
+            let mut e = c.clone();
+            let p = naive_mul(&a, &b);
+            for j in 0..7 {
+                for i in 0..7 {
+                    e.set(i, j, e.get(i, j) - p.get(i, j));
+                }
+            }
+            e
+        };
+        dgemm_minus(
+            7,
+            7,
+            7,
+            a.as_slice(),
+            7,
+            b.as_slice(),
+            7,
+            c.as_mut_slice(),
+            7,
+        );
+        for j in 0..7 {
+            for i in 0..7 {
+                assert!((c.get(i, j) - expect.get(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn dgemm_rectangular_with_ld() {
+        // 2x3 -= (2x1)*(1x3) inside larger buffers.
+        let a = vec![1.0, 2.0, 99.0, 99.0]; // lda=4, col0 = [1,2]
+        let b = vec![10.0, 99.0, 20.0, 99.0, 30.0, 99.0]; // ldb=2, row0 = 10,20,30
+        let mut c = vec![0.0; 12]; // ldc=4
+        dgemm_minus(2, 3, 1, &a, 4, &b, 2, &mut c, 4);
+        assert_eq!(c[0], -10.0);
+        assert_eq!(c[1], -20.0);
+        assert_eq!(c[4], -20.0);
+        assert_eq!(c[5], -40.0);
+        assert_eq!(c[8], -30.0);
+        assert_eq!(c[9], -60.0);
+        assert_eq!(c[2], 0.0, "rows beyond m untouched");
+    }
+
+    #[test]
+    fn dtrsm_solves_unit_lower_system() {
+        // L = [[1,0],[0.5,1]]; B = L * X with X = [[2],[3]] => B = [[2],[4]].
+        let l = vec![1.0, 0.5, 0.0, 1.0];
+        let mut b = vec![2.0, 4.0];
+        dtrsm_lower_unit(2, 1, &l, 2, &mut b, 2);
+        assert!((b[0] - 2.0).abs() < 1e-14);
+        assert!((b[1] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn dtrsm_random_roundtrip() {
+        let n = 6;
+        let src = crate::matrix::hpl_matrix(9, n);
+        // Build unit-lower L from src.
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            l.set(j, j, 1.0);
+            for i in j + 1..n {
+                l.set(i, j, src.get(i, j));
+            }
+        }
+        let x = crate::matrix::hpl_matrix(10, n);
+        let b = naive_mul(&l, &x);
+        let mut solve = b.clone();
+        dtrsm_lower_unit(n, n, l.as_slice(), n, solve.as_mut_slice(), n);
+        for j in 0..n {
+            for i in 0..n {
+                assert!(
+                    (solve.get(i, j) - x.get(i, j)).abs() < 1e-10,
+                    "({i},{j}): {} vs {}",
+                    solve.get(i, j),
+                    x.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn idamax_finds_largest_abs() {
+        assert_eq!(idamax(&[1.0, -5.0, 3.0]), Some(1));
+        assert_eq!(idamax(&[2.0, -2.0]), Some(0), "first on tie");
+        assert_eq!(idamax(&[]), None);
+    }
+
+    #[test]
+    fn dger_rank1() {
+        let mut a = vec![0.0; 6]; // 2x3, lda 2
+        dger_minus(2, 3, &[1.0, 2.0], &[10.0, 20.0, 30.0], &mut a, 2);
+        assert_eq!(a, vec![-10.0, -20.0, -20.0, -40.0, -30.0, -60.0]);
+    }
+
+    #[test]
+    fn dscal_scales() {
+        let mut x = vec![1.0, -2.0];
+        dscal(0.5, &mut x);
+        assert_eq!(x, vec![0.5, -1.0]);
+    }
+
+    #[test]
+    fn flop_counts() {
+        assert_eq!(dgemm_flops(2, 3, 4), 48);
+        assert_eq!(dtrsm_flops(4, 5), 80);
+    }
+}

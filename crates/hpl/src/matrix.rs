@@ -1,0 +1,203 @@
+//! Column-major dense matrix storage and the deterministic test-matrix
+//! generator.
+//!
+//! HPL matrices are regenerable from `(seed, i, j)` so the verifier can
+//! reconstruct the original system without any image storing it.
+
+/// A column-major `rows × cols` matrix of `f64`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element (i, j).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i + j * self.rows]
+    }
+
+    /// Set element (i, j).
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i + j * self.rows] = v;
+    }
+
+    /// The contiguous column `j`.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[f64] {
+        &self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Mutable column `j`.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        &mut self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Raw column-major storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Leading dimension (= rows for this dense layout).
+    pub fn ld(&self) -> usize {
+        self.rows
+    }
+
+    /// Swap rows `a` and `b` across columns `c_lo..c_hi`.
+    pub fn swap_rows(&mut self, a: usize, b: usize, c_lo: usize, c_hi: usize) {
+        if a == b {
+            return;
+        }
+        for j in c_lo..c_hi {
+            let base = j * self.rows;
+            self.data.swap(base + a, base + b);
+        }
+    }
+
+    /// Max-absolute-value norm (‖·‖_max).
+    pub fn norm_max(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, &v| m.max(v.abs()))
+    }
+
+    /// Infinity norm (max absolute row sum).
+    pub fn norm_inf(&self) -> f64 {
+        let mut best: f64 = 0.0;
+        for i in 0..self.rows {
+            let mut s = 0.0;
+            for j in 0..self.cols {
+                s += self.get(i, j).abs();
+            }
+            best = best.max(s);
+        }
+        best
+    }
+}
+
+/// SplitMix64 — the deterministic element generator.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// The HPL test-matrix element `A(i, j)` for a given seed: uniform in
+/// (−0.5, 0.5), exactly reproducible on any image.
+#[inline]
+pub fn hpl_element(seed: u64, n: usize, i: usize, j: usize) -> f64 {
+    let h = splitmix64(seed ^ ((i * n + j) as u64).wrapping_mul(0x2545F4914F6CDD1D));
+    // 53 random mantissa bits -> [0,1) -> (-0.5, 0.5).
+    ((h >> 11) as f64) * (1.0 / (1u64 << 53) as f64) - 0.5
+}
+
+/// Materialize the full `n × n` HPL matrix (verification-scale only).
+pub fn hpl_matrix(seed: u64, n: usize) -> Matrix {
+    let mut m = Matrix::zeros(n, n);
+    for j in 0..n {
+        for i in 0..n {
+            m.set(i, j, hpl_element(seed, n, i, j));
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_roundtrip_column_major() {
+        let mut m = Matrix::zeros(3, 2);
+        m.set(2, 1, 7.5);
+        assert_eq!(m.get(2, 1), 7.5);
+        // Column-major: element (2,1) is the last of the flat data.
+        assert_eq!(m.as_slice()[5], 7.5);
+        assert_eq!(m.col(1), &[0.0, 0.0, 7.5]);
+    }
+
+    #[test]
+    fn swap_rows_partial_columns() {
+        let mut m = Matrix::zeros(2, 3);
+        for j in 0..3 {
+            m.set(0, j, j as f64);
+            m.set(1, j, 10.0 + j as f64);
+        }
+        m.swap_rows(0, 1, 1, 3);
+        assert_eq!(m.get(0, 0), 0.0); // untouched
+        assert_eq!(m.get(0, 1), 11.0);
+        assert_eq!(m.get(1, 2), 2.0);
+    }
+
+    #[test]
+    fn swap_same_row_is_noop() {
+        let mut m = hpl_matrix(1, 4);
+        let before = m.clone();
+        m.swap_rows(2, 2, 0, 4);
+        assert_eq!(m, before);
+    }
+
+    #[test]
+    fn generator_is_deterministic_and_seed_sensitive() {
+        assert_eq!(hpl_element(42, 100, 3, 7), hpl_element(42, 100, 3, 7));
+        assert_ne!(hpl_element(42, 100, 3, 7), hpl_element(43, 100, 3, 7));
+        assert_ne!(hpl_element(42, 100, 3, 7), hpl_element(42, 100, 7, 3));
+    }
+
+    #[test]
+    fn generator_range_and_spread() {
+        let n = 50;
+        let m = hpl_matrix(7, n);
+        let mut sum = 0.0;
+        for j in 0..n {
+            for i in 0..n {
+                let v = m.get(i, j);
+                assert!(v > -0.5 && v < 0.5);
+                sum += v;
+            }
+        }
+        let mean = sum / (n * n) as f64;
+        assert!(mean.abs() < 0.02, "mean {mean} should be near zero");
+    }
+
+    #[test]
+    fn norms() {
+        let mut m = Matrix::zeros(2, 2);
+        m.set(0, 0, -3.0);
+        m.set(0, 1, 1.0);
+        m.set(1, 1, 2.0);
+        assert_eq!(m.norm_max(), 3.0);
+        assert_eq!(m.norm_inf(), 4.0);
+    }
+}

@@ -1,0 +1,77 @@
+//! The Teams Microbenchmark suite as a standalone tool, mirroring the
+//! paper's published suite: barrier / reduction / broadcast / team-
+//! formation latency on a simulated cluster, for any image count,
+//! placement density, stack, and algorithm family.
+//!
+//! ```text
+//! teams_micro [images] [per_node] [one_level|two_level|auto] [iters]
+//! cargo run -p caf-microbench --bin teams_micro -- 64 8 two_level 10
+//! ```
+
+use caf_microbench::{
+    allreduce_latency, barrier_latency, broadcast_latency, form_team_latency,
+    overlapped_reduce_latency, report, MicroConfig, Table,
+};
+use caf_runtime::CollectiveConfig;
+use caf_topology::presets;
+
+fn usage() -> ! {
+    eprintln!("usage: teams_micro [images] [per_node] [one_level|two_level|auto] [iters]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let images: usize = args.first().map_or(64, |v| v.parse().unwrap_or_else(|_| usage()));
+    let per_node: usize = args.get(1).map_or(8, |v| v.parse().unwrap_or_else(|_| usage()));
+    let (cfg_name, collectives) = match args.get(2).map(String::as_str) {
+        None | Some("auto") => ("auto", CollectiveConfig::auto()),
+        Some("one_level") => ("one_level", CollectiveConfig::one_level()),
+        Some("two_level") => ("two_level", CollectiveConfig::two_level()),
+        Some(_) => usage(),
+    };
+    let iters: usize = args.get(3).map_or(10, |v| v.parse().unwrap_or_else(|_| usage()));
+
+    let machine = presets::whale();
+    assert!(
+        images <= machine.total_cores(),
+        "whale has {} cores",
+        machine.total_cores()
+    );
+    let mut mc = MicroConfig::whale(images, per_node).with_collectives(collectives);
+    mc.iters = iters;
+
+    println!(
+        "Teams Microbenchmark suite — {images} images, {per_node}/node, {cfg_name} collectives, \
+         {iters} iters (modeled whale cluster)"
+    );
+    let mut t = Table::new(
+        "collective latency (modeled us)",
+        &["benchmark", "latency_us"],
+    );
+    t.row(&[
+        "barrier".into(),
+        report::us(barrier_latency(&mc).ns_per_op),
+    ]);
+    for elems in [1usize, 128, 4096] {
+        t.row(&[
+            format!("co_sum[{elems}]"),
+            report::us(allreduce_latency(&mc, elems).ns_per_op),
+        ]);
+    }
+    for elems in [1usize, 128, 4096] {
+        t.row(&[
+            format!("co_broadcast[{elems}]"),
+            report::us(broadcast_latency(&mc, elems).ns_per_op),
+        ]);
+    }
+    t.row(&[
+        "form_team(2)+sync".into(),
+        report::us(form_team_latency(&mc, 2).ns_per_op),
+    ]);
+    t.row(&[
+        "overlapped half-team co_sum[8]".into(),
+        report::us(overlapped_reduce_latency(&mc, 8).ns_per_op),
+    ]);
+    t.print();
+}

@@ -1,0 +1,323 @@
+//! # caf-microbench
+//!
+//! A port of the paper's **Teams Microbenchmark suite** (§V-A, published by
+//! the authors as the first reference test suite for CAF teams): latency
+//! harnesses for barrier, all-to-all reduction, and one-to-all broadcast on
+//! teams, plus team-formation cost — parameterized by machine model, image
+//! placement, software stack, and collective algorithm, so one harness
+//! measures every comparator configuration of the evaluation.
+//!
+//! All timings run over the virtual-time simulator and report **modeled
+//! nanoseconds**; wall-clock measurements of the real-threads fabric live
+//! in `caf-bench`'s criterion targets.
+
+#![warn(missing_docs)]
+
+pub mod report;
+
+pub use report::Table;
+
+use caf_fabric::{SimConfig, SimFabric};
+use caf_runtime::{run_on_fabric, CollectiveConfig, ImageCtx};
+use caf_topology::{presets, ImageMap, MachineModel, Placement, SoftwareOverheads};
+
+/// One microbenchmark configuration: a machine, a launch, a software
+/// stack, and a collective configuration.
+#[derive(Clone, Debug)]
+pub struct MicroConfig {
+    /// The simulated cluster.
+    pub machine: MachineModel,
+    /// Images to launch.
+    pub images: usize,
+    /// Placement policy (the paper's runs: `Block { per_node: 8 }` dense,
+    /// `Cyclic` for 1 image/node).
+    pub placement: Placement,
+    /// Software stack being modeled (see `caf_topology::presets::stacks`).
+    pub overheads: SoftwareOverheads,
+    /// Collective algorithms under test.
+    pub collectives: CollectiveConfig,
+    /// Untimed warm-up iterations (flags and scratch get allocated here).
+    pub warmup: usize,
+    /// Timed iterations.
+    pub iters: usize,
+}
+
+impl MicroConfig {
+    /// A dense launch on the paper's 44-node cluster: `images` images at
+    /// `per_node` per node, UHCAF-like stack, auto algorithms.
+    pub fn whale(images: usize, per_node: usize) -> Self {
+        Self {
+            machine: presets::whale(),
+            images,
+            placement: Placement::Block { per_node },
+            overheads: presets::stacks::UHCAF,
+            collectives: CollectiveConfig::auto(),
+            warmup: 3,
+            iters: 20,
+        }
+    }
+
+    /// Override the collective configuration.
+    pub fn with_collectives(mut self, c: CollectiveConfig) -> Self {
+        self.collectives = c;
+        self
+    }
+
+    /// Override the software stack.
+    pub fn with_stack(mut self, s: SoftwareOverheads) -> Self {
+        self.overheads = s;
+        self
+    }
+
+    fn build(&self) -> caf_fabric::ArcFabric {
+        let map = ImageMap::new(self.machine.clone(), self.images, &self.placement);
+        SimFabric::new(
+            map,
+            SimConfig {
+                cost: presets::whale_cost(),
+                overheads: self.overheads,
+            },
+        )
+    }
+}
+
+/// Result of one microbenchmark: modeled latency per operation.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchStats {
+    /// Makespan per operation in virtual nanoseconds (max over images).
+    pub ns_per_op: f64,
+    /// Images measured.
+    pub images: usize,
+    /// Occupied nodes.
+    pub nodes: usize,
+}
+
+impl BenchStats {
+    /// Latency in microseconds (the unit the paper plots).
+    pub fn us_per_op(&self) -> f64 {
+        self.ns_per_op / 1000.0
+    }
+}
+
+/// Generic timing scaffold: run `op` `iters` times after `warmup` untimed
+/// rounds, return the cross-image makespan per iteration.
+fn measure<F>(mc: &MicroConfig, op: F) -> BenchStats
+where
+    F: Fn(&mut ImageCtx, usize) + Send + Sync + 'static,
+{
+    let fabric = mc.build();
+    let nodes = fabric.image_map().occupied_nodes();
+    let images = mc.images;
+    let warmup = mc.warmup;
+    let iters = mc.iters;
+    let spans = run_on_fabric(fabric, mc.collectives, move |img| {
+        for i in 0..warmup {
+            op(img, i);
+        }
+        img.sync_all();
+        let t0 = img.now_ns();
+        for i in 0..iters {
+            op(img, warmup + i);
+        }
+        let t1 = img.now_ns();
+        (t0, t1)
+    });
+    let start = spans.iter().map(|s| s.0).min().expect("images");
+    let end = spans.iter().map(|s| s.1).max().expect("images");
+    BenchStats {
+        ns_per_op: (end - start) as f64 / iters as f64,
+        images,
+        nodes,
+    }
+}
+
+/// Barrier latency (the paper's barrier microbenchmark, EXP-B1/B2).
+pub fn barrier_latency(mc: &MicroConfig) -> BenchStats {
+    measure(mc, |img, _| img.sync_all())
+}
+
+/// All-to-all reduction (`co_sum`) latency over `elems` f64 elements
+/// (EXP-R1).
+pub fn allreduce_latency(mc: &MicroConfig, elems: usize) -> BenchStats {
+    measure(mc, move |img, _| {
+        let mut v = vec![1.0f64; elems];
+        img.co_sum(&mut v);
+        assert_eq!(v[0], img.num_images() as f64, "allreduce corrupted");
+    })
+}
+
+/// One-to-all broadcast latency over `elems` f64 elements from image 1
+/// (EXP-C1).
+pub fn broadcast_latency(mc: &MicroConfig, elems: usize) -> BenchStats {
+    measure(mc, move |img, i| {
+        let mut v = vec![(i + 1) as f64; elems];
+        img.co_broadcast(&mut v, 1);
+        assert_eq!(v[0], (i + 1) as f64, "broadcast corrupted");
+    })
+}
+
+/// Team-formation cost: split the initial team into `n_subteams`
+/// round-robin subteams, measure `form_team` + one subteam barrier
+/// (the suite's team benchmark, EXP-T1).
+pub fn form_team_latency(mc: &MicroConfig, n_subteams: usize) -> BenchStats {
+    measure(mc, move |img, _| {
+        let color = ((img.this_image() - 1) % n_subteams) as i64;
+        let mut team = img.form_team(color);
+        img.sync_team(&mut team);
+    })
+}
+
+/// Subteam-collective overlap: each half-team runs its own reductions —
+/// the paper's motivating property that team collectives need no global
+/// synchronization. Teams are formed once (untimed); the timed loop runs
+/// concurrent per-half reductions.
+pub fn overlapped_reduce_latency(mc: &MicroConfig, elems: usize) -> BenchStats {
+    let fabric = mc.build();
+    let nodes = fabric.image_map().occupied_nodes();
+    let images = mc.images;
+    let warmup = mc.warmup;
+    let iters = mc.iters;
+    let spans = run_on_fabric(fabric, mc.collectives, move |img| {
+        let color = ((img.this_image() - 1) % 2) as i64;
+        let team = img.form_team(color);
+        let (_team, span) = img.change_team(team, |img| {
+            for _ in 0..warmup {
+                let mut v = vec![1.0f64; elems];
+                img.co_sum(&mut v);
+            }
+            img.sync_all();
+            let t0 = img.now_ns();
+            for _ in 0..iters {
+                let mut v = vec![1.0f64; elems];
+                img.co_sum(&mut v);
+            }
+            (t0, img.now_ns())
+        });
+        span
+    });
+    let start = spans.iter().map(|s| s.0).min().expect("images");
+    let end = spans.iter().map(|s| s.1).max().expect("images");
+    BenchStats {
+        ns_per_op: (end - start) as f64 / iters as f64,
+        images,
+        nodes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caf_runtime::{BarrierAlgo, BcastAlgo, ReduceAlgo};
+
+    fn quick(images: usize, per_node: usize) -> MicroConfig {
+        let mut mc = MicroConfig::whale(images, per_node);
+        mc.warmup = 1;
+        mc.iters = 3;
+        mc
+    }
+
+    #[test]
+    fn barrier_latency_positive_and_scales_with_images() {
+        let small = barrier_latency(&quick(8, 8));
+        let large = barrier_latency(&quick(64, 8));
+        assert!(small.ns_per_op > 0.0);
+        assert!(
+            large.ns_per_op > small.ns_per_op,
+            "64 images ({}) should cost more than 8 ({})",
+            large.ns_per_op,
+            small.ns_per_op
+        );
+        assert_eq!(small.nodes, 1);
+        assert_eq!(large.nodes, 8);
+    }
+
+    #[test]
+    fn tdlb_beats_dissemination_on_dense_nodes() {
+        // The paper's headline effect at micro scale: 8 images/node.
+        let cfg = |algo| {
+            quick(32, 8).with_collectives(CollectiveConfig {
+                barrier: algo,
+                ..CollectiveConfig::default()
+            })
+        };
+        let tdlb = barrier_latency(&cfg(BarrierAlgo::Tdlb));
+        let dissem = barrier_latency(&cfg(BarrierAlgo::Dissemination));
+        assert!(
+            tdlb.ns_per_op < dissem.ns_per_op,
+            "TDLB {} should beat dissemination {}",
+            tdlb.ns_per_op,
+            dissem.ns_per_op
+        );
+    }
+
+    #[test]
+    fn flat_placement_tdlb_matches_dissemination() {
+        // 1 image/node: TDLB degenerates to pure dissemination (§V-A).
+        let mut base = quick(16, 1);
+        base.placement = caf_topology::Placement::Cyclic;
+        let tdlb = barrier_latency(&base.clone().with_collectives(CollectiveConfig {
+            barrier: BarrierAlgo::Tdlb,
+            ..CollectiveConfig::default()
+        }));
+        let dissem = barrier_latency(&base.with_collectives(CollectiveConfig {
+            barrier: BarrierAlgo::Dissemination,
+            ..CollectiveConfig::default()
+        }));
+        let ratio = tdlb.ns_per_op / dissem.ns_per_op;
+        assert!(
+            (0.95..1.05).contains(&ratio),
+            "flat TDLB/dissemination ratio {ratio} should be ~1"
+        );
+    }
+
+    #[test]
+    fn two_level_reduce_beats_flat_on_dense_nodes() {
+        let cfg = |algo| {
+            quick(32, 8).with_collectives(CollectiveConfig {
+                reduce: algo,
+                ..CollectiveConfig::default()
+            })
+        };
+        let two = allreduce_latency(&cfg(ReduceAlgo::TwoLevel), 8);
+        let flat = allreduce_latency(&cfg(ReduceAlgo::FlatRecursiveDoubling), 8);
+        assert!(
+            two.ns_per_op < flat.ns_per_op,
+            "two-level {} should beat flat {}",
+            two.ns_per_op,
+            flat.ns_per_op
+        );
+    }
+
+    #[test]
+    fn two_level_bcast_beats_flat_binomial_on_dense_nodes() {
+        let cfg = |algo| {
+            quick(32, 8).with_collectives(CollectiveConfig {
+                bcast: algo,
+                ..CollectiveConfig::default()
+            })
+        };
+        let two = broadcast_latency(&cfg(BcastAlgo::TwoLevel), 16);
+        let flat = broadcast_latency(&cfg(BcastAlgo::FlatBinomial), 16);
+        assert!(
+            two.ns_per_op < flat.ns_per_op,
+            "two-level {} should beat flat binomial {}",
+            two.ns_per_op,
+            flat.ns_per_op
+        );
+    }
+
+    #[test]
+    fn form_team_and_overlap_run() {
+        let t = form_team_latency(&quick(16, 8), 4);
+        assert!(t.ns_per_op > 0.0);
+        let o = overlapped_reduce_latency(&quick(16, 8), 4);
+        assert!(o.ns_per_op > 0.0);
+    }
+
+    #[test]
+    fn thicker_stack_costs_more() {
+        let thin = barrier_latency(&quick(16, 8).with_stack(presets::stacks::GASNET_IB));
+        let thick = barrier_latency(&quick(16, 8).with_stack(presets::stacks::OPEN_MPI));
+        assert!(thick.ns_per_op > thin.ns_per_op);
+    }
+}

@@ -1,0 +1,181 @@
+//! Plain-text table rendering for the experiment harnesses: every
+//! regenerated figure/table prints through this, so outputs are uniform
+//! and grep-able in `bench_output.txt`.
+
+/// A simple aligned text table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// Start a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a data row (must match the header count).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Append a footnote printed under the table.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render to a string (also used by tests).
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n== {} ==\n", self.title));
+        let hdr: Vec<String> = self
+            .headers
+            .iter()
+            .zip(&widths)
+            .map(|(h, w)| format!("{h:>w$}"))
+            .collect();
+        out.push_str(&hdr.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(hdr.join("  ").len()));
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("  note: {n}\n"));
+        }
+        out
+    }
+
+    /// Print to stdout; additionally, when the `CAF_BENCH_CSV` environment
+    /// variable names a directory, write the table there as
+    /// `<slug-of-title>.csv` so figures can be re-plotted from files.
+    pub fn print(&self) {
+        print!("{}", self.render());
+        if let Ok(dir) = std::env::var("CAF_BENCH_CSV") {
+            if let Err(e) = self.write_csv(&dir) {
+                eprintln!("warning: could not write CSV to {dir}: {e}");
+            }
+        }
+    }
+
+    /// The CSV rendition (header row + data rows, comma-separated with
+    /// naive quoting — cells never contain commas in our harnesses).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// File-name slug of the title (lowercase alphanumerics and dashes).
+    pub fn slug(&self) -> String {
+        let mut s: String = self
+            .title
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+            .collect();
+        while s.contains("--") {
+            s = s.replace("--", "-");
+        }
+        s.trim_matches('-').chars().take(60).collect()
+    }
+
+    /// Write the CSV into `dir` (created if missing).
+    pub fn write_csv(&self, dir: &str) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let path = std::path::Path::new(dir).join(format!("{}.csv", self.slug()));
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+/// Format a nanosecond latency as microseconds with 2 decimals.
+pub fn us(ns: f64) -> String {
+    format!("{:.2}", ns / 1000.0)
+}
+
+/// Format a speedup ratio with 1 decimal and an `x` suffix.
+pub fn speedup(base: f64, improved: f64) -> String {
+    format!("{:.1}x", base / improved)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo", &["n", "latency_us"]);
+        t.row(&["8".into(), "1.25".into()]);
+        t.row(&["128".into(), "10.50".into()]);
+        t.note("virtual time");
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("  8"));
+        assert!(s.contains("128"));
+        assert!(s.contains("note: virtual time"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_and_slug() {
+        let mut t = Table::new("EXP-X1: demo table (us)", &["n", "v"]);
+        t.row(&["8".into(), "1.25".into()]);
+        assert_eq!(t.slug(), "exp-x1-demo-table-us");
+        assert_eq!(t.to_csv(), "n,v\n8,1.25\n");
+        let dir = std::env::temp_dir().join("caf_csv_test");
+        t.write_csv(dir.to_str().unwrap()).unwrap();
+        let written =
+            std::fs::read_to_string(dir.join("exp-x1-demo-table-us.csv")).unwrap();
+        assert_eq!(written, t.to_csv());
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(us(1250.0), "1.25");
+        assert_eq!(speedup(26_000.0, 1_000.0), "26.0x");
+    }
+}

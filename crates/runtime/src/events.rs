@@ -1,0 +1,100 @@
+//! CAF events (`event_type`, `event post`, `event wait`, `event_query`).
+//!
+//! An event variable is a counting semaphore on some image: any image may
+//! `post` to it; the owner `wait`s, which consumes posts. Built directly on
+//! the fabric's accumulating flags plus a local consumed-counter.
+
+use caf_collectives::TeamComm;
+use caf_fabric::{ArcFabric, FlagId};
+use caf_topology::ProcId;
+use std::sync::Arc;
+
+/// A block of `count` event variables on every image of the allocating
+/// team.
+pub struct Events {
+    fabric: ArcFabric,
+    me: ProcId,
+    my_rank: usize,
+    members: Arc<Vec<ProcId>>,
+    /// Per team rank: base flag id of that member's event block.
+    flags: Arc<Vec<FlagId>>,
+    count: usize,
+    /// Posts I have already consumed, per local event variable.
+    consumed: Vec<u64>,
+}
+
+impl Events {
+    pub(crate) fn allocate(
+        fabric: ArcFabric,
+        me: ProcId,
+        comm: &mut TeamComm,
+        count: usize,
+    ) -> Self {
+        assert!(count > 0, "event block needs at least one variable");
+        let base = fabric.alloc_flags(me, count);
+        let g = comm.allgather4([base.0 as u64, count as u64, 0, 0]);
+        let flags: Vec<FlagId> = g
+            .iter()
+            .enumerate()
+            .map(|(j, v)| {
+                assert_eq!(
+                    v[1] as usize, count,
+                    "event allocation mismatch at rank {j}"
+                );
+                FlagId(v[0] as usize)
+            })
+            .collect();
+        Self {
+            fabric,
+            me,
+            my_rank: comm.rank(),
+            members: comm.members().clone(),
+            flags: Arc::new(flags),
+            count,
+            consumed: vec![0; count],
+        }
+    }
+
+    /// Event variables per image.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// `event post (ev[image1])`: post once to event `idx` on `image1`
+    /// (1-based team index).
+    pub fn post(&self, image1: usize, idx: usize) {
+        assert!(idx < self.count, "event index {idx} out of {}", self.count);
+        assert!(
+            (1..=self.members.len()).contains(&image1),
+            "event image {image1} outside team of {}",
+            self.members.len()
+        );
+        self.fabric.flag_add(
+            self.me,
+            self.members[image1 - 1],
+            self.flags[image1 - 1].nth(idx),
+            1,
+        );
+    }
+
+    /// `event wait (ev, until_count=n)`: block until `n` unconsumed posts
+    /// are available on my event `idx`, then consume them.
+    pub fn wait(&mut self, idx: usize, until_count: u64) {
+        assert!(idx < self.count, "event index {idx} out of {}", self.count);
+        assert!(until_count > 0, "event wait needs until_count >= 1");
+        let target = self.consumed[idx] + until_count;
+        self.fabric
+            .flag_wait_ge(self.me, self.flags[self.my_rank].nth(idx), target);
+        self.consumed[idx] = target;
+    }
+
+    /// `event_query (ev, count)`: unconsumed posts currently available on
+    /// my event `idx` (never blocks).
+    pub fn query(&self, idx: usize) -> u64 {
+        assert!(idx < self.count, "event index {idx} out of {}", self.count);
+        let raw = self
+            .fabric
+            .flag_read(self.me, self.flags[self.my_rank].nth(idx));
+        raw - self.consumed[idx]
+    }
+}

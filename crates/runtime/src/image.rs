@@ -1,0 +1,400 @@
+//! `ImageCtx` — the per-image runtime context: team stack, intrinsics,
+//! synchronization statements, and collective entry points.
+
+use crate::coarray::Coarray;
+use crate::events::Events;
+use crate::team::{Team, INITIAL_TEAM_NUMBER};
+use caf_collectives::{CoNumeric, CoValue, CollectiveConfig, TeamComm};
+use caf_fabric::{bootstrap, ArcFabric, FlagId};
+use caf_topology::ProcId;
+
+/// Cell index within the critical-section lock coarray.
+const CRITICAL_CELL: usize = 0;
+
+/// The per-image runtime context handed to the SPMD body by
+/// [`crate::run`]. All image numbering in this API is Fortran-style
+/// **1-based**, relative to the *current team* unless stated otherwise.
+pub struct ImageCtx {
+    fabric: ArcFabric,
+    me: ProcId,
+    boot_epoch: u64,
+    default_cfg: CollectiveConfig,
+    /// Team stack: `[0]` = initial team, last = current team.
+    teams: Vec<Team>,
+    /// Pairwise `sync images` flags: one per global image (by-construction
+    /// identical ids across images, allocated before any user code).
+    sync_flags: FlagId,
+    /// How many times I've synchronized with each global image.
+    sync_count: Vec<u64>,
+    /// Global lock cell backing the `critical` construct (one `u64` on
+    /// image 1 of the initial team).
+    critical_lock: Coarray<u64>,
+}
+
+impl ImageCtx {
+    /// Build the context for image `me`; collective across all images
+    /// (called by the launcher on every image thread).
+    pub(crate) fn new(fabric: ArcFabric, me: ProcId, cfg: CollectiveConfig) -> Self {
+        let n = fabric.n_images();
+        // Identical allocation sequence on every image => identical ids.
+        let sync_flags = fabric.alloc_flags(me, n);
+        let mut boot_epoch = 0;
+        let mut comm = TeamComm::create_initial(fabric.clone(), me, cfg, &mut boot_epoch);
+        let critical_lock = Coarray::allocate(fabric.clone(), me, &mut comm, 1);
+        let initial = Team {
+            comm,
+            number: INITIAL_TEAM_NUMBER,
+            depth: 0,
+        };
+        Self {
+            fabric,
+            me,
+            boot_epoch,
+            default_cfg: cfg,
+            teams: vec![initial],
+            sync_flags,
+            sync_count: vec![0; n],
+            critical_lock,
+        }
+    }
+
+    /// Final implicit synchronization at program end (called by the
+    /// launcher after the user body returns).
+    pub(crate) fn finalize(&mut self) {
+        bootstrap::control_barrier(&*self.fabric, self.me, &mut self.boot_epoch);
+        self.fabric.image_done(self.me);
+    }
+
+    // ------------------------------------------------------------------
+    // Intrinsics
+    // ------------------------------------------------------------------
+
+    /// `this_image()`: my 1-based index in the current team.
+    pub fn this_image(&self) -> usize {
+        self.current().this_image()
+    }
+
+    /// `num_images()`: size of the current team.
+    pub fn num_images(&self) -> usize {
+        self.current().num_images()
+    }
+
+    /// `team_number()`: number of the current team (−1 for the initial
+    /// team).
+    pub fn team_number(&self) -> i64 {
+        self.current().team_number()
+    }
+
+    /// Nesting depth of the current team (0 = initial).
+    pub fn team_depth(&self) -> usize {
+        self.teams.len() - 1
+    }
+
+    /// `get_team()`: the current team handle (immutable view).
+    pub fn get_team(&self) -> &Team {
+        self.current()
+    }
+
+    /// The initial team spanning all images.
+    pub fn initial_team(&self) -> &Team {
+        &self.teams[0]
+    }
+
+    /// Map a current-team image index (1-based) to the image's index in
+    /// the **initial** team — the `image_index` adaptation the paper adds
+    /// for teams (the `team_type` mapping array made queryable).
+    pub fn image_index_in_initial(&self, idx1: usize) -> usize {
+        let comm = &self.current().comm;
+        assert!(
+            (1..=comm.size()).contains(&idx1),
+            "image index {idx1} outside team of {}",
+            comm.size()
+        );
+        comm.proc_of(idx1 - 1).index() + 1
+    }
+
+    /// The fabric this run executes on (statistics, clocks).
+    pub fn fabric(&self) -> &ArcFabric {
+        &self.fabric
+    }
+
+    /// Current time in nanoseconds (virtual on the simulator).
+    pub fn now_ns(&self) -> u64 {
+        self.fabric.now_ns(self.me)
+    }
+
+    /// Account `ns` nanoseconds of local computation (virtual time on the
+    /// simulator; free on real fabrics where computing takes real time).
+    pub fn compute(&self, ns: u64) {
+        self.fabric.compute(self.me, ns);
+    }
+
+    // ------------------------------------------------------------------
+    // Teams
+    // ------------------------------------------------------------------
+
+    /// `form team (number, handle)`: split the current team by `number`.
+    /// Collective over the current team; every image must call it.
+    pub fn form_team(&mut self, number: i64) -> Team {
+        self.form_team_inner(number, None)
+    }
+
+    /// `form team (number, handle, new_index=idx)`: as [`Self::form_team`]
+    /// with an explicit 1-based index in the new team. All members of a
+    /// subteam must then supply distinct indices 1..=m.
+    pub fn form_team_with_index(&mut self, number: i64, new_index: usize) -> Team {
+        self.form_team_inner(number, Some(new_index))
+    }
+
+    fn form_team_inner(&mut self, number: i64, new_index: Option<usize>) -> Team {
+        let depth = self.team_depth() + 1;
+        let comm = self
+            .current_mut()
+            .comm
+            .create_sub(number, new_index, None);
+        Team {
+            comm,
+            number,
+            depth,
+        }
+    }
+
+    /// `change team (team) … end team`: run `body` with `team` as the
+    /// current team. Synchronizes the team's members on entry and on exit
+    /// (the implicit syncs of the Fortran construct) and returns the team
+    /// handle back together with `body`'s result.
+    pub fn change_team<R>(&mut self, mut team: Team, body: impl FnOnce(&mut Self) -> R) -> (Team, R) {
+        team.comm.barrier(); // implied sync at change team
+        self.teams.push(team);
+        let out = body(self);
+        let mut team = self.teams.pop().expect("team stack underflow");
+        assert!(
+            !self.teams.is_empty(),
+            "change_team closed the initial team"
+        );
+        team.comm.barrier(); // implied sync at end team
+        (team, out)
+    }
+
+    // ------------------------------------------------------------------
+    // Synchronization statements
+    // ------------------------------------------------------------------
+
+    /// `sync all`: barrier over the **current team** (Fortran 2015
+    /// semantics), with the algorithm the team was formed with.
+    pub fn sync_all(&mut self) {
+        self.current_mut().comm.barrier();
+    }
+
+    /// `sync team (team)`: barrier over an arbitrary team handle.
+    pub fn sync_team(&mut self, team: &mut Team) {
+        team.comm.barrier();
+    }
+
+    /// `sync images (list)`: pairwise synchronization with the given
+    /// current-team images (1-based). Every named image must execute a
+    /// matching `sync_images` naming this image.
+    pub fn sync_images(&mut self, images1: &[usize]) {
+        let comm = &self.current().comm;
+        let partners: Vec<ProcId> = images1
+            .iter()
+            .map(|&i| {
+                assert!(
+                    (1..=comm.size()).contains(&i),
+                    "sync images: index {i} outside team of {}",
+                    comm.size()
+                );
+                comm.proc_of(i - 1)
+            })
+            .collect();
+        // Notify every partner first (its flag slot for *me*), then wait.
+        for &p in &partners {
+            if p == self.me {
+                continue;
+            }
+            self.fabric
+                .flag_add(self.me, p, self.sync_flags.nth(self.me.index()), 1);
+        }
+        for &p in &partners {
+            if p == self.me {
+                continue;
+            }
+            self.sync_count[p.index()] += 1;
+            self.fabric.flag_wait_ge(
+                self.me,
+                self.sync_flags.nth(p.index()),
+                self.sync_count[p.index()],
+            );
+        }
+    }
+
+    /// `sync images (*)`: pairwise synchronization with **every** other
+    /// image of the current team.
+    pub fn sync_images_all(&mut self) {
+        let all: Vec<usize> = (1..=self.num_images()).collect();
+        self.sync_images(&all);
+    }
+
+    /// `sync memory`: complete my outstanding one-sided operations.
+    pub fn sync_memory(&self) {
+        self.fabric.quiet(self.me);
+    }
+
+    /// The Fortran `critical … end critical` construct: run `body` while
+    /// holding a global mutual-exclusion lock (one per program, per the
+    /// unnamed-critical semantics). Built on a remote compare-and-swap
+    /// against a cell on image 1 of the initial team.
+    ///
+    /// Do not call collectives or other blocking synchronization inside the
+    /// body — as in Fortran, that deadlocks.
+    pub fn critical<R>(&mut self, body: impl FnOnce(&mut Self) -> R) -> R {
+        let ticket = self.me.index() as u64 + 1;
+        loop {
+            let old = self
+                .critical_lock
+                .atomic_cas(1, CRITICAL_CELL, 0, ticket);
+            if old == 0 {
+                break;
+            }
+            // The fabric accounts each retry, so spinning advances virtual
+            // time and the holder keeps making progress.
+        }
+        let out = body(self);
+        let released = self
+            .critical_lock
+            .atomic_cas(1, CRITICAL_CELL, ticket, 0);
+        assert_eq!(released, ticket, "critical lock corrupted");
+        out
+    }
+
+    /// Gather `mine` from every image of the current team to
+    /// `root_image` (1-based); the root receives the concatenation in team
+    /// order, everyone else `None`.
+    pub fn co_gather<T: CoValue>(&mut self, mine: &[T], root_image: usize) -> Option<Vec<T>> {
+        let root = root_image.checked_sub(1).expect("root_image is 1-based");
+        self.current_mut().comm.co_gather(mine, root)
+    }
+
+    /// Scatter from `root_image` (1-based): the root supplies
+    /// `num_images()·out.len()` elements; image `i` receives slice `i-1`.
+    pub fn co_scatter<T: CoValue>(
+        &mut self,
+        all: Option<&[T]>,
+        out: &mut [T],
+        root_image: usize,
+    ) {
+        let root = root_image.checked_sub(1).expect("root_image is 1-based");
+        self.current_mut().comm.co_scatter(all, out, root);
+    }
+
+    /// All-to-all personalized exchange on the current team: `send` holds
+    /// `num_images()` slices of `len` elements (slice `j` for image `j+1`);
+    /// returns the received slices in image order — the distributed
+    /// transpose.
+    pub fn co_alltoall<T: CoValue>(&mut self, send: &[T], len: usize) -> Vec<T> {
+        self.current_mut().comm.co_alltoall(send, len)
+    }
+
+    /// Gather `mine` from every image of the current team; returns the
+    /// concatenation in team order (every image gets the same vector).
+    /// All images must pass the same `mine.len()`.
+    ///
+    /// Not a Fortran intrinsic, but the utility every CAF application
+    /// writes on day one; implemented with one-sided puts into a
+    /// team-scoped coarray plus one barrier.
+    pub fn co_allgather<T: CoValue>(&mut self, mine: &[T]) -> Vec<T> {
+        let n = self.num_images();
+        let len = mine.len();
+        let co: Coarray<T> = self.coarray(n * len);
+        let rank0 = self.this_image() - 1;
+        for j in 1..=n {
+            co.put(j, rank0 * len, mine);
+        }
+        self.sync_all();
+        let mut out = co.read_local();
+        self.sync_all(); // nobody reuses/frees before all have read
+        debug_assert_eq!(out.len(), n * len);
+        out.truncate(n * len);
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Collectives on the current team
+    // ------------------------------------------------------------------
+
+    /// `co_sum(a)`: element-wise sum over the current team, result on all
+    /// images. (With `result_image` semantics, keep the value only where
+    /// needed — the communication is an all-reduce either way here.)
+    pub fn co_sum<T: CoNumeric>(&mut self, buf: &mut [T]) {
+        self.current_mut().comm.co_sum(buf);
+    }
+
+    /// `co_min(a)`.
+    pub fn co_min<T: CoNumeric>(&mut self, buf: &mut [T]) {
+        self.current_mut().comm.co_min(buf);
+    }
+
+    /// `co_max(a)`.
+    pub fn co_max<T: CoNumeric>(&mut self, buf: &mut [T]) {
+        self.current_mut().comm.co_max(buf);
+    }
+
+    /// `co_reduce(a, op)` with a user operation (must be commutative and
+    /// associative).
+    pub fn co_reduce_with<T: CoValue>(&mut self, buf: &mut [T], f: impl Fn(T, T) -> T) {
+        self.current_mut().comm.co_reduce_with(buf, f);
+    }
+
+    /// `co_broadcast(a, source_image)`: replicate `buf` from the 1-based
+    /// `source_image` of the current team.
+    pub fn co_broadcast<T: CoValue>(&mut self, buf: &mut [T], source_image: usize) {
+        let root = source_image
+            .checked_sub(1)
+            .expect("source_image is 1-based");
+        self.current_mut().comm.co_broadcast(buf, root);
+    }
+
+    // ------------------------------------------------------------------
+    // Coarrays and events
+    // ------------------------------------------------------------------
+
+    /// Allocate a coarray of `elems` elements per image over the **current
+    /// team** (the paper's memory benefit: allocation inside a `change
+    /// team` block involves only that team's images). Collective.
+    pub fn coarray<T: CoValue>(&mut self, elems: usize) -> Coarray<T> {
+        Coarray::allocate(self.fabric.clone(), self.me, &mut self.current_mut().comm, elems)
+    }
+
+    /// Allocate `count` event variables per image over the current team
+    /// (CAF `event_type` coarray). Collective.
+    pub fn events(&mut self, count: usize) -> Events {
+        Events::allocate(self.fabric.clone(), self.me, &mut self.current_mut().comm, count)
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn current(&self) -> &Team {
+        self.teams.last().expect("team stack never empty")
+    }
+
+    fn current_mut(&mut self) -> &mut Team {
+        self.teams.last_mut().expect("team stack never empty")
+    }
+
+    /// My global process id (crate-internal plumbing).
+    pub(crate) fn proc(&self) -> ProcId {
+        self.me
+    }
+
+    /// The current team's communication structure (crate-internal).
+    pub(crate) fn current_comm_mut(&mut self) -> &mut TeamComm {
+        &mut self.current_mut().comm
+    }
+
+    /// Default collective configuration of this run (inherited by teams).
+    pub fn collective_config(&self) -> CollectiveConfig {
+        self.default_cfg
+    }
+}

@@ -1,0 +1,160 @@
+//! # caf-runtime
+//!
+//! A Coarray Fortran-style PGAS runtime: SPMD images, coarrays, teams
+//! (Fortran 2015 `form team` / `change team` / `end team` / `sync team`),
+//! synchronization statements, events, and atomic operations — the runtime
+//! layer the paper adds to the OpenUH compiler, reimplemented as a Rust
+//! library API.
+//!
+//! The API mirrors the *lowered* form OpenUH emits for CAF programs: what
+//! the Fortran front-end turns `sync all` or `A(:)[k] = B(:)` into is here
+//! a method call on the per-image context [`ImageCtx`].
+//!
+//! ```no_run
+//! use caf_runtime::{run, RunConfig};
+//!
+//! // 8 images on a 2-node simulated cluster, Fortran-style 1-based images.
+//! let cfg = RunConfig::sim_packed(caf_topology::presets::mini(2, 4), 8);
+//! run(cfg, |img| {
+//!     let me = img.this_image(); // 1..=8
+//!     let co = img.coarray::<f64>(4);
+//!     if me == 1 {
+//!         co.put(2, 0, &[1.0, 2.0, 3.0, 4.0]); // A(:)[2] = ...
+//!     }
+//!     img.sync_all();
+//!     me
+//! });
+//! ```
+//!
+//! Image numbering follows Fortran: **1-based** everywhere in this crate's
+//! public API. The 0-based process ranks of `caf-topology`/`caf-fabric`
+//! stay internal.
+
+#![warn(missing_docs)]
+
+pub mod coarray;
+pub mod config;
+pub mod events;
+pub mod image;
+pub mod lock;
+pub mod team;
+
+pub use caf_collectives::{
+    BarrierAlgo, BcastAlgo, CoNumeric, CoOp, CoValue, CollectiveConfig, GatherAlgo, ReduceAlgo,
+};
+pub use coarray::Coarray;
+pub use config::{FabricChoice, RunConfig};
+pub use events::Events;
+pub use image::ImageCtx;
+pub use lock::LockSet;
+pub use team::Team;
+
+use caf_fabric::ArcFabric;
+use caf_topology::ProcId;
+use std::sync::Arc;
+
+/// Launch an SPMD run: one OS thread per image, each executing `body` with
+/// its own [`ImageCtx`]. Returns the per-image results in image order
+/// (index 0 = image 1). Panics in any image are re-raised after all images
+/// have been joined.
+pub fn run<R, B>(cfg: RunConfig, body: B) -> Vec<R>
+where
+    R: Send + 'static,
+    B: Fn(&mut ImageCtx) -> R + Send + Sync + 'static,
+{
+    let collectives = cfg.collectives;
+    let fabric = cfg.build_fabric();
+    run_on_fabric(fabric, collectives, body)
+}
+
+/// Like [`run`], but on an existing fabric (benchmark harnesses reuse one
+/// fabric across phases to keep its statistics and virtual clock).
+pub fn run_on_fabric<R, B>(fabric: ArcFabric, collectives: CollectiveConfig, body: B) -> Vec<R>
+where
+    R: Send + 'static,
+    B: Fn(&mut ImageCtx) -> R + Send + Sync + 'static,
+{
+    let n = fabric.n_images();
+    let body = Arc::new(body);
+    let mut handles = Vec::with_capacity(n);
+    for i in 0..n {
+        let fabric = fabric.clone();
+        let body = Arc::clone(&body);
+        let handle = std::thread::Builder::new()
+            .name(format!("image-{}", i + 1))
+            .stack_size(4 * 1024 * 1024)
+            .spawn(move || {
+                let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let mut ctx = ImageCtx::new(fabric.clone(), ProcId(i), collectives);
+                    let out = body(&mut ctx);
+                    ctx.finalize();
+                    out
+                }));
+                match run {
+                    Ok(out) => out,
+                    Err(payload) => {
+                        // Fail the whole team loudly instead of hanging peers.
+                        fabric.poison(&format!("image {} panicked", i + 1));
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            })
+            .expect("spawn image thread");
+        handles.push(handle);
+    }
+    let mut results = Vec::with_capacity(n);
+    let mut first_panic: Option<String> = None;
+    for (i, h) in handles.into_iter().enumerate() {
+        match h.join() {
+            Ok(r) => results.push(r),
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                if first_panic.is_none() {
+                    first_panic = Some(format!("image {} panicked: {msg}", i + 1));
+                }
+            }
+        }
+    }
+    if let Some(msg) = first_panic {
+        panic!("{msg}");
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caf_topology::presets;
+
+    #[test]
+    fn run_returns_results_in_image_order() {
+        let cfg = RunConfig::sim_packed(presets::mini(2, 2), 4);
+        let out = run(cfg, |img| img.this_image() * 10);
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    #[should_panic(expected = "image 3 panicked")]
+    fn run_propagates_panics_with_image_number() {
+        let cfg = RunConfig::sim_packed(presets::mini(1, 4), 4);
+        run(cfg, |img| {
+            if img.this_image() == 3 {
+                panic!("bad image");
+            }
+        });
+    }
+
+    #[test]
+    fn run_on_thread_fabric_smoke() {
+        let cfg = RunConfig::threads_packed(presets::mini(2, 2), 4);
+        let out = run(cfg, |img| {
+            img.sync_all();
+            img.num_images()
+        });
+        assert_eq!(out, vec![4; 4]);
+    }
+}

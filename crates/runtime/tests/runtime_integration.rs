@@ -1,0 +1,375 @@
+//! End-to-end tests of the CAF runtime API: images, coarrays, teams,
+//! sync statements, events, atomics — on both fabrics.
+
+use caf_runtime::{run, CollectiveConfig, RunConfig};
+use caf_topology::presets;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn sim(nodes: usize, cores: usize, images: usize) -> RunConfig {
+    RunConfig::sim_packed(presets::mini(nodes, cores), images)
+}
+
+fn threads(nodes: usize, cores: usize, images: usize) -> RunConfig {
+    RunConfig::threads_packed(presets::mini(nodes, cores), images)
+}
+
+#[test]
+fn this_image_and_num_images() {
+    let out = run(sim(2, 4, 8), |img| (img.this_image(), img.num_images()));
+    for (i, (me, n)) in out.into_iter().enumerate() {
+        assert_eq!(me, i + 1);
+        assert_eq!(n, 8);
+    }
+}
+
+#[test]
+fn coarray_put_get_neighbor_ring() {
+    // Image i writes its id into image (i % n) + 1, ring-style:
+    // A(1)[right] = me; after sync, everyone checks its left neighbor's id.
+    run(sim(2, 2, 4), |img| {
+        let n = img.num_images();
+        let me = img.this_image();
+        let co = img.coarray::<u64>(2);
+        let right = me % n + 1;
+        co.put(right, 0, &[me as u64, me as u64 * 100]);
+        img.sync_all();
+        let left = if me == 1 { n } else { me - 1 };
+        let mut got = [0u64; 2];
+        co.get(me, 0, &mut got);
+        assert_eq!(got, [left as u64, left as u64 * 100]);
+    });
+}
+
+#[test]
+fn coarray_remote_get() {
+    run(sim(2, 2, 4), |img| {
+        let me = img.this_image();
+        let co = img.coarray::<f64>(1);
+        co.write_local(&[me as f64 * 1.5]);
+        img.sync_all();
+        // Everyone reads image 3's value remotely.
+        assert_eq!(co.get_elem(3, 0), 4.5);
+    });
+}
+
+#[test]
+fn coarray_inside_change_team_spans_only_the_subteam() {
+    run(sim(2, 4, 8), |img| {
+        let me = img.this_image();
+        let team = img.form_team(((me - 1) % 2) as i64);
+        let (_team, _) = img.change_team(team, |img| {
+            assert_eq!(img.num_images(), 4);
+            let co = img.coarray::<u64>(1);
+            assert_eq!(co.team_size(), 4);
+            co.write_local(&[img.this_image() as u64]);
+            img.sync_all();
+            // Sum of my subteam's values via remote gets.
+            let mut total = 0;
+            for j in 1..=4 {
+                total += co.get_elem(j, 0);
+            }
+            assert_eq!(total, 1 + 2 + 3 + 4);
+        });
+    });
+}
+
+#[test]
+fn change_team_intrinsics_and_mapping() {
+    run(sim(2, 4, 8), |img| {
+        let initial_me = img.this_image();
+        let color = ((initial_me - 1) / 4) as i64; // 0 for 1..4, 1 for 5..8
+        let team = img.form_team(color);
+        let (_team, _) = img.change_team(team, |img| {
+            assert_eq!(img.num_images(), 4);
+            assert_eq!(img.team_number(), color);
+            assert_eq!(img.team_depth(), 1);
+            let expect_initial = (color as usize) * 4 + img.this_image();
+            assert_eq!(img.image_index_in_initial(img.this_image()), expect_initial);
+            assert_eq!(expect_initial, initial_me);
+        });
+        assert_eq!(img.team_depth(), 0);
+        assert_eq!(img.team_number(), -1);
+    });
+}
+
+#[test]
+fn sync_all_inside_subteam_does_not_touch_other_team() {
+    // Two teams; team 0 does many barriers while team 1 does none — if
+    // sync_all leaked outside the team this would deadlock (and the sim
+    // detects deadlocks).
+    run(sim(2, 4, 8), |img| {
+        let color = ((img.this_image() - 1) % 2) as i64;
+        let team = img.form_team(color);
+        let (_team, _) = img.change_team(team, |img| {
+            if img.team_number() == 0 {
+                for _ in 0..5 {
+                    img.sync_all();
+                }
+            } else {
+                img.compute(10_000);
+            }
+        });
+    });
+}
+
+#[test]
+fn sync_images_pairwise() {
+    let counter = Arc::new(AtomicU64::new(0));
+    let c2 = counter.clone();
+    run(sim(1, 4, 4), move |img| {
+        let me = img.this_image();
+        // Image 1 is a hub: everyone syncs with it, it syncs with all.
+        if me == 1 {
+            img.sync_images(&[2, 3, 4]);
+            assert_eq!(c2.load(Ordering::SeqCst), 3);
+        } else {
+            c2.fetch_add(1, Ordering::SeqCst);
+            img.sync_images(&[1]);
+        }
+    });
+}
+
+#[test]
+fn sync_images_repeated_pairs() {
+    run(threads(1, 2, 2), |img| {
+        let me = img.this_image();
+        let partner = 3 - me;
+        for _ in 0..50 {
+            img.sync_images(&[partner]);
+        }
+    });
+}
+
+#[test]
+fn events_producer_consumer() {
+    run(sim(2, 2, 4), |img| {
+        let me = img.this_image();
+        let mut ev = img.events(2);
+        if me != 1 {
+            // All post twice to image 1's event 0, once to event 1.
+            ev.post(1, 0);
+            ev.post(1, 0);
+            ev.post(1, 1);
+        } else {
+            ev.wait(0, 6);
+            ev.wait(1, 3);
+            assert_eq!(ev.query(0), 0);
+        }
+        img.sync_all();
+    });
+}
+
+#[test]
+fn event_query_counts_pending() {
+    run(sim(1, 2, 2), |img| {
+        let me = img.this_image();
+        let mut ev = img.events(1);
+        if me == 2 {
+            ev.post(1, 0);
+            ev.post(1, 0);
+        }
+        img.sync_all();
+        if me == 1 {
+            assert_eq!(ev.query(0), 2);
+            ev.wait(0, 1);
+            assert_eq!(ev.query(0), 1);
+            ev.wait(0, 1);
+            assert_eq!(ev.query(0), 0);
+        }
+    });
+}
+
+#[test]
+fn atomics_on_coarray() {
+    run(threads(1, 4, 4), |img| {
+        let me = img.this_image();
+        let co = img.coarray::<u64>(2);
+        img.sync_all();
+        // Everyone increments image 1's cell 0 a hundred times.
+        for _ in 0..100 {
+            co.atomic_add(1, 0, 1);
+        }
+        img.sync_all();
+        if me == 1 {
+            assert_eq!(co.atomic_read(1, 0), 400);
+        }
+        // CAS-based lock-ish exchange on cell 1 of image 2.
+        let old = co.atomic_cas(2, 1, 0, me as u64);
+        img.sync_all();
+        if me == 1 {
+            let winner = co.atomic_read(2, 1);
+            assert!((1..=4).contains(&(winner as usize)));
+        }
+        let _ = old;
+    });
+}
+
+#[test]
+fn collectives_through_ctx_api() {
+    run(sim(2, 4, 8), |img| {
+        let me = img.this_image() as u64;
+        let mut v = vec![me, 1];
+        img.co_sum(&mut v);
+        assert_eq!(v, vec![36, 8]);
+        let mut w = vec![me as i64 - 5];
+        img.co_min(&mut w);
+        assert_eq!(w[0], -4);
+        let mut b = if me == 3 { vec![0xBEEFu64] } else { vec![0] };
+        img.co_broadcast(&mut b, 3);
+        assert_eq!(b[0], 0xBEEF);
+        let mut m = vec![(me as f64, me)];
+        img.co_reduce_with(&mut m, |a, b| if a.0 >= b.0 { a } else { b });
+        assert_eq!(m[0], (8.0, 8));
+    });
+}
+
+#[test]
+fn collectives_inside_subteams_overlap() {
+    // The paper's motivation for teams: collectives on disjoint subteams
+    // proceed without global synchronization.
+    run(sim(2, 4, 8), |img| {
+        let color = ((img.this_image() - 1) % 2) as i64;
+        let team = img.form_team(color);
+        let (_t, _) = img.change_team(team, |img| {
+            let mut v = vec![img.this_image() as u64];
+            img.co_sum(&mut v);
+            assert_eq!(v[0], 1 + 2 + 3 + 4);
+            let mut b = if img.this_image() == 2 {
+                vec![color as u64 + 7]
+            } else {
+                vec![0]
+            };
+            img.co_broadcast(&mut b, 2);
+            assert_eq!(b[0], color as u64 + 7);
+        });
+    });
+}
+
+#[test]
+fn form_team_with_index_reverses_order() {
+    run(sim(1, 4, 4), |img| {
+        let n = img.num_images();
+        let me = img.this_image();
+        let team = img.form_team_with_index(9, n - me + 1);
+        let (_t, _) = img.change_team(team, |img| {
+            assert_eq!(img.this_image(), n - me + 1);
+        });
+    });
+}
+
+#[test]
+fn one_level_and_two_level_configs_both_correct() {
+    for cfg in [CollectiveConfig::one_level(), CollectiveConfig::two_level()] {
+        let rc = sim(2, 4, 8).with_collectives(cfg);
+        run(rc, |img| {
+            let mut v = vec![img.this_image() as u64];
+            img.co_sum(&mut v);
+            assert_eq!(v[0], 36);
+            img.sync_all();
+        });
+    }
+}
+
+#[test]
+fn virtual_time_advances_with_compute_and_comm() {
+    let out = run(sim(2, 2, 4), |img| {
+        img.compute(5_000);
+        img.sync_all();
+        img.now_ns()
+    });
+    for t in out {
+        assert!(t >= 5_000, "virtual time {t} must include compute");
+    }
+}
+
+#[test]
+fn deep_team_nesting_three_levels() {
+    // Halve the team at each level: 16 -> 8 -> 4 -> 2.
+    fn halve(img: &mut caf_runtime::ImageCtx, levels_left: usize) {
+        if levels_left == 0 {
+            return;
+        }
+        let size = img.num_images();
+        let color = ((img.this_image() - 1) / (size / 2)) as i64;
+        let team = img.form_team(color);
+        let (_t, _) = img.change_team(team, |img| {
+            assert_eq!(img.num_images(), size / 2);
+            let mut v = vec![1u64];
+            img.co_sum(&mut v);
+            assert_eq!(v[0], (size / 2) as u64);
+            halve(img, levels_left - 1);
+        });
+    }
+    run(sim(2, 8, 16), |img| {
+        halve(img, 3);
+        img.sync_all();
+        assert_eq!(img.num_images(), 16);
+    });
+}
+
+#[test]
+fn locks_protect_a_remote_counter() {
+    // Classic lock test: n images increment a non-atomic remote cell under
+    // a lock; the final count is exact only if mutual exclusion held.
+    run(threads(1, 4, 4), |img| {
+        let mut locks = img.locks(1);
+        let cell = img.coarray::<u64>(1);
+        img.sync_all();
+        for _ in 0..50 {
+            locks.lock(1, 0);
+            let v = cell.get_elem(1, 0);
+            cell.put_elem(1, 0, v + 1);
+            img.sync_memory();
+            locks.unlock(1, 0);
+        }
+        img.sync_all();
+        assert_eq!(cell.get_elem(1, 0), 200);
+    });
+}
+
+#[test]
+fn try_lock_fails_while_held_elsewhere() {
+    run(sim(1, 2, 2), |img| {
+        let mut locks = img.locks(2);
+        img.sync_all();
+        if img.this_image() == 1 {
+            locks.lock(1, 0);
+            assert!(locks.holds(1, 0));
+            img.sync_all(); // partner probes while we hold
+            img.sync_all();
+            locks.unlock(1, 0);
+            img.sync_all();
+        } else {
+            img.sync_all();
+            assert!(!locks.try_lock(1, 0), "lock is held by image 1");
+            img.sync_all();
+            img.sync_all();
+            assert!(locks.try_lock(1, 0), "lock was released");
+            locks.unlock(1, 0);
+        }
+    });
+}
+
+#[test]
+fn locks_on_distinct_cells_are_independent() {
+    run(sim(1, 4, 4), |img| {
+        let me = img.this_image();
+        let mut locks = img.locks(4);
+        img.sync_all();
+        // Each image takes its own cell on image 1 — no contention.
+        locks.lock(1, me - 1);
+        assert!(locks.holds(1, me - 1));
+        locks.unlock(1, me - 1);
+        img.sync_all();
+    });
+}
+
+#[test]
+#[should_panic(expected = "not held")]
+fn unlock_without_lock_panics() {
+    run(sim(1, 1, 1), |img| {
+        let mut locks = img.locks(1);
+        locks.unlock(1, 0);
+    });
+}

@@ -1,0 +1,117 @@
+//! Strongly-typed identifiers for processes and hardware locations.
+//!
+//! All identifiers are 0-based dense indices. Wrapping them in newtypes keeps
+//! the `image → node → socket → core` bookkeeping in the runtime honest: the
+//! compiler rejects, e.g., indexing a per-node table with a process rank.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $tag:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+        )]
+        pub struct $name(pub usize);
+
+        impl $name {
+            /// The dense 0-based index this identifier wraps.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(v: usize) -> Self {
+                Self(v)
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(v: $name) -> usize {
+                v.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A 0-based SPMD process rank (the runtime maps Fortran's 1-based image
+    /// numbers onto these).
+    ProcId,
+    "P"
+);
+
+id_type!(
+    /// A compute node of the cluster (one shared-memory domain, one NIC).
+    NodeId,
+    "N"
+);
+
+id_type!(
+    /// A processor socket within a node (one NUMA locality domain in the
+    /// paper's future-work multi-level hierarchy).
+    SocketId,
+    "S"
+);
+
+id_type!(
+    /// A core within a node (node-local index, not global).
+    CoreId,
+    "C"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_usize() {
+        let p = ProcId::from(17usize);
+        assert_eq!(p.index(), 17);
+        assert_eq!(usize::from(p), 17);
+        let n: NodeId = 3.into();
+        assert_eq!(n, NodeId(3));
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(ProcId(1) < ProcId(2));
+        assert!(NodeId(0) < NodeId(10));
+    }
+
+    #[test]
+    fn debug_tags_distinguish_kinds() {
+        assert_eq!(format!("{:?}", ProcId(4)), "P4");
+        assert_eq!(format!("{:?}", NodeId(4)), "N4");
+        assert_eq!(format!("{:?}", SocketId(1)), "S1");
+        assert_eq!(format!("{:?}", CoreId(7)), "C7");
+    }
+
+    #[test]
+    fn display_is_bare_number() {
+        assert_eq!(ProcId(12).to_string(), "12");
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(ProcId::default(), ProcId(0));
+        assert_eq!(CoreId::default(), CoreId(0));
+    }
+}

@@ -1,0 +1,212 @@
+//! Cluster machine models: `nodes × sockets × cores`.
+
+use crate::ids::{CoreId, NodeId, SocketId};
+use serde::{Deserialize, Serialize};
+
+/// A homogeneous cluster description.
+///
+/// Every node has the same socket/core structure — true of the paper's
+/// evaluation platform (44 identical dual quad-core Opteron nodes) and of
+/// essentially every production cluster partition. A [`MachineModel`] is the
+/// *hardware* half of a topology; the *software* half (which image runs
+/// where) is a [`crate::placement::ImageMap`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MachineModel {
+    /// Human-readable name, echoed by benchmark harnesses.
+    pub name: String,
+    /// Number of compute nodes.
+    pub nodes: usize,
+    /// Sockets per node (NUMA domains in the paper's future-work hierarchy).
+    pub sockets_per_node: usize,
+    /// Cores per socket.
+    pub cores_per_socket: usize,
+}
+
+/// Where a core sits inside the machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CoreLocation {
+    /// The node the core belongs to.
+    pub node: NodeId,
+    /// The socket within that node.
+    pub socket: SocketId,
+    /// The core index *within the node* (0..cores_per_node).
+    pub core: CoreId,
+}
+
+impl MachineModel {
+    /// Build a machine model, validating that every extent is non-zero.
+    ///
+    /// # Panics
+    /// Panics if any of `nodes`, `sockets_per_node`, `cores_per_socket` is 0.
+    pub fn new(
+        name: impl Into<String>,
+        nodes: usize,
+        sockets_per_node: usize,
+        cores_per_socket: usize,
+    ) -> Self {
+        assert!(nodes > 0, "a machine needs at least one node");
+        assert!(sockets_per_node > 0, "a node needs at least one socket");
+        assert!(cores_per_socket > 0, "a socket needs at least one core");
+        Self {
+            name: name.into(),
+            nodes,
+            sockets_per_node,
+            cores_per_socket,
+        }
+    }
+
+    /// Cores in one node.
+    #[inline]
+    pub fn cores_per_node(&self) -> usize {
+        self.sockets_per_node * self.cores_per_socket
+    }
+
+    /// Total cores in the machine — the maximum sensible image count for a
+    /// one-image-per-core launch.
+    #[inline]
+    pub fn total_cores(&self) -> usize {
+        self.nodes * self.cores_per_node()
+    }
+
+    /// Decode a *global* core index (0..total_cores, node-major) into its
+    /// location.
+    ///
+    /// Global core indices enumerate cores node by node, socket by socket:
+    /// index `g` lives on node `g / cores_per_node`, and within the node on
+    /// socket `(g % cores_per_node) / cores_per_socket`.
+    pub fn locate_global_core(&self, global_core: usize) -> CoreLocation {
+        assert!(
+            global_core < self.total_cores(),
+            "global core {global_core} out of range ({} cores)",
+            self.total_cores()
+        );
+        let cpn = self.cores_per_node();
+        let node = NodeId(global_core / cpn);
+        let within = global_core % cpn;
+        CoreLocation {
+            node,
+            socket: SocketId(within / self.cores_per_socket),
+            core: CoreId(within),
+        }
+    }
+
+    /// Inverse of [`Self::locate_global_core`].
+    pub fn global_core_index(&self, loc: CoreLocation) -> usize {
+        assert!(loc.node.index() < self.nodes, "node out of range");
+        assert!(
+            loc.core.index() < self.cores_per_node(),
+            "core out of range"
+        );
+        loc.node.index() * self.cores_per_node() + loc.core.index()
+    }
+
+    /// Socket that a node-local core index belongs to.
+    #[inline]
+    pub fn socket_of_core(&self, core: CoreId) -> SocketId {
+        SocketId(core.index() / self.cores_per_socket)
+    }
+
+    /// True when two core locations share a node (shared-memory reachable —
+    /// the distinction at the heart of the paper's methodology).
+    #[inline]
+    pub fn same_node(&self, a: CoreLocation, b: CoreLocation) -> bool {
+        a.node == b.node
+    }
+
+    /// True when two core locations share a socket of the same node (the
+    /// finer locality level of the paper's future-work multi-level
+    /// hierarchy).
+    #[inline]
+    pub fn same_socket(&self, a: CoreLocation, b: CoreLocation) -> bool {
+        a.node == b.node && a.socket == b.socket
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opteron44() -> MachineModel {
+        MachineModel::new("whale", 44, 2, 4)
+    }
+
+    #[test]
+    fn core_counts() {
+        let m = opteron44();
+        assert_eq!(m.cores_per_node(), 8);
+        assert_eq!(m.total_cores(), 352);
+    }
+
+    #[test]
+    fn locate_first_and_last_core() {
+        let m = opteron44();
+        let first = m.locate_global_core(0);
+        assert_eq!(first.node, NodeId(0));
+        assert_eq!(first.socket, SocketId(0));
+        assert_eq!(first.core, CoreId(0));
+        let last = m.locate_global_core(351);
+        assert_eq!(last.node, NodeId(43));
+        assert_eq!(last.socket, SocketId(1));
+        assert_eq!(last.core, CoreId(7));
+    }
+
+    #[test]
+    fn locate_socket_boundary() {
+        let m = opteron44();
+        // Core 4 of node 0 is the first core of socket 1.
+        let loc = m.locate_global_core(4);
+        assert_eq!(loc.node, NodeId(0));
+        assert_eq!(loc.socket, SocketId(1));
+        assert_eq!(loc.core, CoreId(4));
+    }
+
+    #[test]
+    fn global_core_roundtrip() {
+        let m = opteron44();
+        for g in 0..m.total_cores() {
+            let loc = m.locate_global_core(g);
+            assert_eq!(m.global_core_index(loc), g);
+        }
+    }
+
+    #[test]
+    fn same_node_and_socket_predicates() {
+        let m = opteron44();
+        let a = m.locate_global_core(0);
+        let b = m.locate_global_core(5); // node 0, socket 1
+        let c = m.locate_global_core(8); // node 1
+        assert!(m.same_node(a, b));
+        assert!(!m.same_socket(a, b));
+        assert!(!m.same_node(a, c));
+        assert!(m.same_socket(a, m.locate_global_core(3)));
+    }
+
+    #[test]
+    fn socket_of_core() {
+        let m = opteron44();
+        assert_eq!(m.socket_of_core(CoreId(0)), SocketId(0));
+        assert_eq!(m.socket_of_core(CoreId(3)), SocketId(0));
+        assert_eq!(m.socket_of_core(CoreId(4)), SocketId(1));
+        assert_eq!(m.socket_of_core(CoreId(7)), SocketId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn locate_out_of_range_panics() {
+        opteron44().locate_global_core(352);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        MachineModel::new("bad", 0, 1, 1);
+    }
+
+    #[test]
+    fn single_core_machine() {
+        let m = MachineModel::new("uni", 1, 1, 1);
+        assert_eq!(m.total_cores(), 1);
+        let loc = m.locate_global_core(0);
+        assert_eq!(m.global_core_index(loc), 0);
+    }
+}

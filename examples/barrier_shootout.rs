@@ -1,0 +1,111 @@
+//! Compare every barrier algorithm on one simulated topology — a compact
+//! rendition of the paper's §IV-A analysis: the centralized linear barrier
+//! wins inside a node, dissemination wins across nodes, and TDLB takes the
+//! best of both.
+//!
+//! Run with: `cargo run --release --example barrier_shootout`
+
+use caf::microbench::{barrier_latency, MicroConfig, Table};
+use caf::runtime::{BarrierAlgo, CollectiveConfig};
+use caf::topology::{presets, MachineModel, Placement, SoftwareOverheads};
+
+fn latency(
+    machine: MachineModel,
+    images: usize,
+    per_node: usize,
+    placement: Placement,
+    algo: BarrierAlgo,
+) -> f64 {
+    // Zero software overhead isolates the hardware regimes of §IV-A.
+    let mut mc = MicroConfig::whale(images, per_node)
+        .with_stack(SoftwareOverheads::NONE)
+        .with_collectives(CollectiveConfig {
+            barrier: algo,
+            ..CollectiveConfig::default()
+        });
+    mc.machine = machine;
+    mc.placement = placement;
+    mc.iters = 10;
+    barrier_latency(&mc).us_per_op()
+}
+
+fn main() {
+    let algos = [
+        ("central-linear", BarrierAlgo::CentralCounter),
+        ("dissemination", BarrierAlgo::Dissemination),
+        ("TDLB (2-level)", BarrierAlgo::Tdlb),
+        ("TDLB (3-level)", BarrierAlgo::TdlbMultilevel),
+    ];
+    let scenarios: [(&str, MachineModel, usize, usize, Placement); 3] = [
+        (
+            "1 node x 8 images (pure shared memory)",
+            presets::smp(1, 8),
+            8,
+            8,
+            Placement::Packed,
+        ),
+        (
+            "16 nodes x 1 image (flat/distributed)",
+            presets::whale(),
+            16,
+            1,
+            Placement::Cyclic,
+        ),
+        (
+            "8 nodes x 8 images (hierarchical)",
+            presets::whale(),
+            64,
+            8,
+            Placement::Packed,
+        ),
+    ];
+
+    let mut table = Table::new(
+        "barrier latency by algorithm and topology (modeled us)",
+        &["scenario", "central", "dissem", "TDLB", "TDLB-3lvl"],
+    );
+    for (name, machine, images, per_node, placement) in scenarios {
+        let row: Vec<String> = algos
+            .iter()
+            .map(|(_, algo)| {
+                format!(
+                    "{:.2}",
+                    latency(machine.clone(), images, per_node, placement.clone(), *algo)
+                )
+            })
+            .collect();
+        table.row(&[
+            name.to_string(),
+            row[0].clone(),
+            row[1].clone(),
+            row[2].clone(),
+            row[3].clone(),
+        ]);
+    }
+    table.note("shared memory: central < dissemination; distributed: dissemination < central");
+    table.note("hierarchical: TDLB combines both regimes (the paper's Algorithm 1)");
+    table.print();
+
+    // The paper's claims as executable assertions at this scale:
+    let smp = presets::smp(1, 8);
+    let smp_central = latency(smp.clone(), 8, 8, Placement::Packed, BarrierAlgo::CentralCounter);
+    let smp_dissem = latency(smp, 8, 8, Placement::Packed, BarrierAlgo::Dissemination);
+    assert!(
+        smp_central < smp_dissem,
+        "on one node the linear barrier must win ({smp_central} vs {smp_dissem})"
+    );
+    let whale = presets::whale();
+    let dist_central = latency(whale.clone(), 16, 1, Placement::Cyclic, BarrierAlgo::CentralCounter);
+    let dist_dissem = latency(whale.clone(), 16, 1, Placement::Cyclic, BarrierAlgo::Dissemination);
+    assert!(
+        dist_dissem < dist_central,
+        "across nodes dissemination must win ({dist_dissem} vs {dist_central})"
+    );
+    let hier_tdlb = latency(whale.clone(), 64, 8, Placement::Packed, BarrierAlgo::Tdlb);
+    let hier_dissem = latency(whale, 64, 8, Placement::Packed, BarrierAlgo::Dissemination);
+    assert!(
+        hier_tdlb < hier_dissem,
+        "hierarchical: TDLB must win ({hier_tdlb} vs {hier_dissem})"
+    );
+    println!("barrier_shootout OK — all three regime orderings hold");
+}

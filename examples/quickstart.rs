@@ -1,0 +1,49 @@
+//! Quickstart: images, coarrays, one-sided puts, synchronization, and an
+//! intrinsic reduction — the CAF "hello world" on a simulated 2-node
+//! cluster.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use caf::runtime::{run, RunConfig};
+use caf::topology::presets;
+
+fn main() {
+    // 8 images packed onto a simulated 2-node x 4-core machine.
+    let cfg = RunConfig::sim_packed(presets::mini(2, 4), 8);
+
+    let results = run(cfg, |img| {
+        let me = img.this_image(); // 1-based, like Fortran
+        let n = img.num_images();
+
+        // A coarray with 1 element per image:  integer :: x[*]
+        let x = img.coarray::<u64>(1);
+
+        // x[right_neighbor] = me   — one-sided put, ring style.
+        let right = me % n + 1;
+        x.put(right, 0, &[me as u64]);
+
+        img.sync_all(); // sync all
+
+        // Read the value our left neighbor deposited in *our* memory.
+        let got = x.get_elem(me, 0);
+        let left = if me == 1 { n } else { me - 1 };
+        assert_eq!(got, left as u64);
+
+        // co_sum: every image contributes `me`, everyone gets the total.
+        let mut total = vec![me as u64];
+        img.co_sum(&mut total);
+        assert_eq!(total[0], (n * (n + 1) / 2) as u64);
+
+        if me == 1 {
+            println!("co_sum over {n} images = {}", total[0]);
+            println!(
+                "virtual time so far: {:.2} us (simulated cluster)",
+                img.now_ns() as f64 / 1000.0
+            );
+        }
+        got
+    });
+
+    println!("per-image neighbor values: {results:?}");
+    println!("quickstart OK");
+}

@@ -1,0 +1,67 @@
+//! Nested teams and team-relative intrinsics: a 16-image run splits into a
+//! 2-level team tree (grid → rows → row halves), exercising `form team`,
+//! `change team`, `team_number()`, `this_image()`/`num_images()` inside
+//! teams, coarray allocation scoped to a team, and events across a team.
+//!
+//! Run with: `cargo run --release --example team_tree`
+
+use caf::runtime::{run, RunConfig};
+use caf::topology::presets;
+
+fn main() {
+    let cfg = RunConfig::sim_packed(presets::mini(4, 4), 16);
+
+    let summaries = run(cfg, |img| {
+        let initial_me = img.this_image();
+        assert_eq!(img.team_number(), -1, "initial team is numbered -1");
+
+        // Level 1: four "row" teams of 4 images.
+        let row = ((initial_me - 1) / 4) as i64;
+        let row_team = img.form_team(row);
+        let (_row_team, summary) = img.change_team(row_team, |img| {
+            assert_eq!(img.num_images(), 4);
+            assert_eq!(img.team_number(), row);
+            assert_eq!(img.team_depth(), 1);
+
+            // A coarray allocated *inside* the team spans only the team —
+            // the paper's memory benefit of change-team allocation.
+            let scoped = img.coarray::<u64>(1);
+            assert_eq!(scoped.team_size(), 4);
+            scoped.write_local(&[img.this_image() as u64 * 11]);
+            img.sync_all();
+            let from_teammate = scoped.get_elem(3, 0);
+            assert_eq!(from_teammate, 33);
+
+            // Events within the team: image 1 is a coordinator.
+            let mut ev = img.events(1);
+            if img.this_image() != 1 {
+                ev.post(1, 0);
+            } else {
+                ev.wait(0, 3);
+            }
+
+            // Level 2: split each row into halves.
+            let half = ((img.this_image() - 1) / 2) as i64;
+            let half_team = img.form_team(half);
+            let (_half_team, pair_sum) = img.change_team(half_team, |img| {
+                assert_eq!(img.num_images(), 2);
+                assert_eq!(img.team_depth(), 2);
+                let mut v = vec![img.image_index_in_initial(img.this_image()) as u64];
+                img.co_sum(&mut v);
+                v[0]
+            });
+            assert_eq!(img.team_depth(), 1, "end team pops the stack");
+            pair_sum
+        });
+        assert_eq!(img.team_depth(), 0);
+        (initial_me, summary)
+    });
+
+    for (me, pair_sum) in &summaries {
+        // Each pair sums two consecutive initial image numbers.
+        let base = (me - 1) / 2 * 2 + 1;
+        assert_eq!(*pair_sum, (base + base + 1) as u64);
+    }
+    println!("16 images -> 4 row teams -> 8 pair teams, all intrinsics consistent");
+    println!("team_tree OK");
+}

@@ -1,0 +1,17 @@
+//! # caf — facade crate
+//!
+//! Re-exports the whole `caf-rs` workspace behind one dependency: a
+//! team-based, memory hierarchy-aware PGAS runtime in the style of Coarray
+//! Fortran (Fortran 2008 coarrays + the Fortran 2015 team constructs),
+//! reproducing Khaldi et al., *"A Team-Based Methodology of Memory
+//! Hierarchy-Aware Runtime Support in Coarray Fortran"* (2015).
+//!
+//! See the README for a quickstart and `DESIGN.md` for the system inventory.
+
+pub use caf_apps as apps;
+pub use caf_collectives as collectives;
+pub use caf_fabric as fabric;
+pub use caf_hpl as hpl;
+pub use caf_microbench as microbench;
+pub use caf_runtime as runtime;
+pub use caf_topology as topology;

@@ -1,0 +1,449 @@
+//! Workspace-level integration tests spanning all crates: the same SPMD
+//! programs must behave identically on the simulator and the real-threads
+//! fabric, the paper's qualitative orderings must hold end-to-end, and the
+//! facade crate must expose everything a downstream user needs.
+
+use caf::microbench::{allreduce_latency, barrier_latency, broadcast_latency, MicroConfig};
+use caf::runtime::{run, BarrierAlgo, BcastAlgo, CollectiveConfig, ReduceAlgo, RunConfig};
+use caf::topology::{presets, Placement};
+use std::sync::Arc;
+
+fn both_fabrics(machine: caf::topology::MachineModel, images: usize) -> Vec<RunConfig> {
+    vec![
+        RunConfig::sim_packed(machine.clone(), images),
+        RunConfig::threads_packed(machine, images),
+    ]
+}
+
+#[test]
+fn same_program_same_answers_on_both_fabrics() {
+    for cfg in both_fabrics(presets::mini(2, 4), 8) {
+        let out = run(cfg, |img| {
+            let me = img.this_image() as u64;
+            let co = img.coarray::<u64>(1);
+            co.put(me as usize % img.num_images() + 1, 0, &[me * 7]);
+            img.sync_all();
+            let mut v = vec![co.get_elem(img.this_image(), 0)];
+            img.co_sum(&mut v);
+            v[0]
+        });
+        // Sum of all deposited values = 7 * (1+..+8), identical everywhere.
+        assert_eq!(out, vec![7 * 36; 8]);
+    }
+}
+
+#[test]
+fn teams_with_coarrays_and_reductions_on_both_fabrics() {
+    for cfg in both_fabrics(presets::mini(2, 4), 8) {
+        run(cfg, |img| {
+            let color = ((img.this_image() - 1) % 2) as i64;
+            let team = img.form_team(color);
+            let (_t, _) = img.change_team(team, |img| {
+                let co = img.coarray::<f64>(2);
+                co.write_local(&[img.this_image() as f64, color as f64]);
+                img.sync_all();
+                let mut acc = vec![0.0f64];
+                for j in 1..=img.num_images() {
+                    acc[0] += co.get_elem(j, 0);
+                }
+                img.co_max(&mut acc);
+                assert_eq!(acc[0], 1.0 + 2.0 + 3.0 + 4.0);
+            });
+        });
+    }
+}
+
+#[test]
+fn paper_regime_orderings_hold_in_the_model() {
+    // §IV-A in one test: linear wins on shared memory, dissemination wins
+    // distributed, TDLB wins hierarchical. The shared-memory regime claim
+    // is about *hardware* serialization (the node bus), so it is measured
+    // with zero software overhead; a thick enough software stack can
+    // invert it at small n by serializing the root's CPU instead.
+    let lat = |machine: caf::topology::MachineModel,
+               images,
+               per_node,
+               placement: Placement,
+               algo| {
+        let mut mc = MicroConfig::whale(images, per_node)
+            .with_stack(caf::topology::SoftwareOverheads::NONE)
+            .with_collectives(CollectiveConfig {
+                barrier: algo,
+                ..CollectiveConfig::default()
+            });
+        mc.machine = machine;
+        mc.placement = placement;
+        mc.iters = 5;
+        barrier_latency(&mc).ns_per_op
+    };
+    // One single-socket node, 8 images: one fully serialized memory system.
+    let smp = presets::smp(1, 8);
+    assert!(
+        lat(smp.clone(), 8, 8, Placement::Packed, BarrierAlgo::CentralCounter)
+            < lat(smp, 8, 8, Placement::Packed, BarrierAlgo::Dissemination)
+    );
+    // 16 nodes, 1 image each.
+    let whale = presets::whale();
+    assert!(
+        lat(whale.clone(), 16, 1, Placement::Cyclic, BarrierAlgo::Dissemination)
+            < lat(whale.clone(), 16, 1, Placement::Cyclic, BarrierAlgo::CentralCounter)
+    );
+    // 8 nodes x 8 images.
+    assert!(
+        lat(whale.clone(), 64, 8, Placement::Packed, BarrierAlgo::Tdlb)
+            < lat(whale, 64, 8, Placement::Packed, BarrierAlgo::Dissemination)
+    );
+}
+
+#[test]
+fn two_level_wins_extend_to_reduce_and_broadcast() {
+    let mut mc = MicroConfig::whale(64, 8);
+    mc.iters = 5;
+    let two_r = allreduce_latency(
+        &mc.clone().with_collectives(CollectiveConfig {
+            reduce: ReduceAlgo::TwoLevel,
+            ..CollectiveConfig::default()
+        }),
+        8,
+    );
+    let flat_r = allreduce_latency(
+        &mc.clone().with_collectives(CollectiveConfig {
+            reduce: ReduceAlgo::FlatRecursiveDoubling,
+            ..CollectiveConfig::default()
+        }),
+        8,
+    );
+    assert!(two_r.ns_per_op < flat_r.ns_per_op);
+
+    let two_b = broadcast_latency(
+        &mc.clone().with_collectives(CollectiveConfig {
+            bcast: BcastAlgo::TwoLevel,
+            ..CollectiveConfig::default()
+        }),
+        16,
+    );
+    let flat_b = broadcast_latency(
+        &mc.with_collectives(CollectiveConfig {
+            bcast: BcastAlgo::FlatBinomial,
+            ..CollectiveConfig::default()
+        }),
+        16,
+    );
+    assert!(two_b.ns_per_op < flat_b.ns_per_op);
+}
+
+#[test]
+fn hierarchy_speedup_grows_with_images_per_node() {
+    // The more images share a node, the more dissemination serializes and
+    // the bigger TDLB's advantage — the paper's central scaling trend.
+    let speedup = |images: usize, per_node: usize| {
+        let lat = |algo| {
+            let mut mc = MicroConfig::whale(images, per_node).with_collectives(CollectiveConfig {
+                barrier: algo,
+                ..CollectiveConfig::default()
+            });
+            mc.iters = 5;
+            barrier_latency(&mc).ns_per_op
+        };
+        lat(BarrierAlgo::Dissemination) / lat(BarrierAlgo::Tdlb)
+    };
+    let s2 = speedup(8, 2);
+    let s8 = speedup(32, 8);
+    assert!(
+        s8 > s2,
+        "8/node speedup ({s8:.2}) must exceed 2/node ({s2:.2})"
+    );
+}
+
+#[test]
+fn hpl_small_solve_through_the_facade() {
+    let hpl = caf::hpl::HplConfig {
+        n: 32,
+        nb: 4,
+        seed: 5,
+    };
+    let cfg = RunConfig::sim_packed(presets::mini(2, 2), 4);
+    let out = run(cfg, move |img| {
+        let o = caf::hpl::factorize(img, &hpl);
+        caf::hpl::residual_check(img, &hpl, &o)
+    });
+    let r = out[0].expect("image 1 verifies");
+    assert!(r < 1e-10, "residual {r}");
+}
+
+#[test]
+fn hpl_two_level_not_materially_slower_than_one_level() {
+    // At test scale the teams are small and mostly intra-node, so the two
+    // approaches are close; the test guards against the 2-level runtime
+    // *regressing* (the Figure 1 gains are measured at paper scale by
+    // exp_f1_hpl). Machine chosen so column teams genuinely span nodes.
+    let hpl = caf::hpl::HplConfig {
+        n: 96,
+        nb: 8,
+        seed: 9,
+    };
+    let time = |collectives| {
+        let cfg = RunConfig::sim_packed(presets::mini(2, 8), 16).with_collectives(collectives);
+        run(cfg, move |img| caf::hpl::factorize(img, &hpl).time_ns)[0]
+    };
+    let one = time(CollectiveConfig::one_level());
+    let two = time(CollectiveConfig::two_level());
+    assert!(
+        (two as f64) <= (one as f64) * 1.05,
+        "2-level ({two} ns) regressed past 1-level ({one} ns) by more than 5%"
+    );
+}
+
+#[test]
+fn fabric_stats_visible_through_facade() {
+    let cfg = RunConfig::sim_packed(presets::mini(2, 2), 4);
+    let fabric = cfg.build_fabric();
+    caf::runtime::run_on_fabric(fabric.clone(), cfg.collectives, |img| {
+        img.sync_all();
+    });
+    let snap = fabric.stats().snapshot();
+    assert!(snap.total_flags() > 0, "a barrier must generate notifications");
+}
+
+#[test]
+fn deterministic_end_to_end_virtual_times() {
+    let once = || {
+        let cfg = RunConfig::sim_packed(presets::mini(4, 4), 16);
+        run(cfg, |img| {
+            let mut v = vec![img.this_image() as u64];
+            img.co_sum(&mut v);
+            img.sync_all();
+            let mut b = vec![v[0]];
+            img.co_broadcast(&mut b, 2);
+            img.now_ns()
+        })
+    };
+    assert_eq!(once(), once());
+}
+
+#[test]
+fn critical_sections_are_mutually_exclusive() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let inside = Arc::new(AtomicU64::new(0));
+    let max_seen = Arc::new(AtomicU64::new(0));
+    let (i2, m2) = (inside.clone(), max_seen.clone());
+    // Threads fabric: genuine concurrency.
+    let cfg = RunConfig::threads_packed(presets::mini(2, 2), 4);
+    run(cfg, move |img| {
+        for _ in 0..25 {
+            img.critical(|_img| {
+                let now = i2.fetch_add(1, Ordering::SeqCst) + 1;
+                m2.fetch_max(now, Ordering::SeqCst);
+                i2.fetch_sub(1, Ordering::SeqCst);
+            });
+        }
+    });
+    assert_eq!(
+        max_seen.load(std::sync::atomic::Ordering::SeqCst),
+        1,
+        "two images were inside critical at once"
+    );
+}
+
+#[test]
+fn critical_sections_on_simulator() {
+    let cfg = RunConfig::sim_packed(presets::mini(2, 2), 4);
+    let out = run(cfg, |img| {
+        let mut acc = 0u64;
+        img.critical(|img| {
+            acc = img.this_image() as u64;
+        });
+        img.sync_all();
+        acc
+    });
+    assert_eq!(out, vec![1, 2, 3, 4]);
+}
+
+#[test]
+fn co_allgather_concatenates_in_team_order() {
+    for cfg in both_fabrics(presets::mini(2, 3), 6) {
+        run(cfg, |img| {
+            let me = img.this_image() as u64;
+            let got = img.co_allgather(&[me, me * 10]);
+            let expect: Vec<u64> = (1..=6u64).flat_map(|i| [i, i * 10]).collect();
+            assert_eq!(got, expect);
+        });
+    }
+}
+
+#[test]
+fn co_allgather_inside_subteam() {
+    let cfg = RunConfig::sim_packed(presets::mini(2, 4), 8);
+    run(cfg, |img| {
+        let color = ((img.this_image() - 1) % 2) as i64;
+        let team = img.form_team(color);
+        let (_t, _) = img.change_team(team, |img| {
+            let initial = img.image_index_in_initial(img.this_image()) as u64;
+            let got = img.co_allgather(&[initial]);
+            let expect: Vec<u64> = (1..=8u64)
+                .filter(|i| ((i - 1) % 2) as i64 == color)
+                .collect();
+            assert_eq!(got, expect);
+        });
+    });
+}
+
+#[test]
+fn sync_images_star_synchronizes_everyone() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let entered = Arc::new(AtomicU64::new(0));
+    let e2 = entered.clone();
+    let cfg = RunConfig::sim_packed(presets::mini(2, 2), 4);
+    run(cfg, move |img| {
+        e2.fetch_add(1, Ordering::SeqCst);
+        img.sync_images_all();
+        assert!(e2.load(Ordering::SeqCst) >= 4);
+    });
+}
+
+#[test]
+#[should_panic(expected = "deadlock")]
+fn mismatched_collectives_are_detected_as_deadlock() {
+    // Image 1 calls a barrier nobody else joins: on the simulator this is
+    // a global deadlock and must fail loudly, not hang.
+    let cfg = RunConfig::sim_packed(presets::mini(1, 2), 2);
+    run(cfg, |img| {
+        if img.this_image() == 1 {
+            img.sync_all();
+        }
+        // image 2 exits; the launcher's finalize blocks on the control
+        // barrier and the simulator reports the deadlock everywhere.
+    });
+}
+
+#[test]
+#[should_panic(expected = "deadlock")]
+fn sync_images_without_partner_deadlocks_loudly() {
+    let cfg = RunConfig::sim_packed(presets::mini(1, 2), 2);
+    run(cfg, |img| {
+        if img.this_image() == 1 {
+            img.sync_images(&[2]); // image 2 never reciprocates
+        }
+    });
+}
+
+#[test]
+fn panicking_image_poisons_waiting_peers_on_threads() {
+    // On the real-threads fabric a dead image must not hang its peers.
+    let cfg = RunConfig::threads_packed(presets::mini(1, 2), 2);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run(cfg, |img| {
+            if img.this_image() == 2 {
+                panic!("injected failure");
+            }
+            img.sync_all(); // would hang forever without poisoning
+        });
+    }));
+    assert!(result.is_err(), "the panic must propagate to the launcher");
+}
+
+#[test]
+fn tuple_coarrays_roundtrip() {
+    let cfg = RunConfig::sim_packed(presets::mini(1, 2), 2);
+    run(cfg, |img| {
+        let me = img.this_image();
+        let co = img.coarray::<(f64, u64)>(2);
+        co.write_local(&[(me as f64 * 0.5, me as u64), (-1.0, 0)]);
+        img.sync_all();
+        let other = 3 - me;
+        let got = co.get_elem(other, 0);
+        assert_eq!(got, (other as f64 * 0.5, other as u64));
+    });
+}
+
+#[test]
+fn negative_and_sparse_team_numbers() {
+    let cfg = RunConfig::sim_packed(presets::mini(2, 2), 4);
+    run(cfg, |img| {
+        // Team numbers need not be dense or positive.
+        let color = if img.this_image() <= 2 { -7 } else { 1000 };
+        let team = img.form_team(color);
+        let (_t, _) = img.change_team(team, |img| {
+            assert_eq!(img.num_images(), 2);
+            assert_eq!(img.team_number(), color);
+        });
+    });
+}
+
+#[test]
+fn singleton_subteams_work() {
+    let cfg = RunConfig::sim_packed(presets::mini(1, 4), 4);
+    run(cfg, |img| {
+        let me = img.this_image();
+        let team = img.form_team(me as i64); // every image its own team
+        let (_t, _) = img.change_team(team, |img| {
+            assert_eq!(img.num_images(), 1);
+            assert_eq!(img.this_image(), 1);
+            let mut v = vec![me as u64];
+            img.co_sum(&mut v);
+            assert_eq!(v[0], me as u64);
+            img.sync_all();
+        });
+    });
+}
+
+#[test]
+fn multilevel_barrier_on_numa_machine_is_correct_and_cheaper() {
+    use caf::microbench::{barrier_latency, MicroConfig};
+    // Correctness on a machine with real socket structure, and the §VII
+    // payoff: with cheaper same-socket transfers the 3-level barrier beats
+    // the 2-level one.
+    let lat = |algo| {
+        let mut mc = MicroConfig::whale(64, 32).with_collectives(CollectiveConfig {
+            barrier: algo,
+            ..CollectiveConfig::default()
+        });
+        mc.machine = presets::numa(2);
+        mc.iters = 5;
+        // NOTE: MicroConfig uses whale_cost; the A2 harness uses numa_cost
+        // for the full effect — here the separate socket buses alone
+        // already help.
+        barrier_latency(&mc).ns_per_op
+    };
+    let two = lat(BarrierAlgo::Tdlb);
+    let three = lat(BarrierAlgo::TdlbMultilevel);
+    assert!(three > 0.0 && two > 0.0);
+    assert!(
+        three < two * 1.2,
+        "3-level ({three}) should be competitive with 2-level ({two})"
+    );
+}
+
+#[test]
+fn alltoall_through_the_runtime_on_both_fabrics() {
+    for cfg in both_fabrics(presets::mini(2, 3), 6) {
+        run(cfg, |img| {
+            let n = img.num_images();
+            let me = img.this_image() as u64;
+            // Slice for image j+1 carries (me, j).
+            let send: Vec<u64> = (0..n).map(|j| me * 100 + j as u64).collect();
+            let recv = img.co_alltoall(&send, 1);
+            for (r, v) in recv.iter().enumerate() {
+                assert_eq!(*v, (r as u64 + 1) * 100 + (me - 1));
+            }
+        });
+    }
+}
+
+#[test]
+fn alltoall_inside_subteams() {
+    let cfg = RunConfig::sim_packed(presets::mini(2, 4), 8);
+    run(cfg, |img| {
+        let color = ((img.this_image() - 1) % 2) as i64;
+        let team = img.form_team(color);
+        let (_t, _) = img.change_team(team, |img| {
+            let n = img.num_images();
+            let me = img.this_image() as u64;
+            let send: Vec<u64> = (0..n).map(|j| me * 10 + j as u64).collect();
+            let recv = img.co_alltoall(&send, 1);
+            for (r, v) in recv.iter().enumerate() {
+                assert_eq!(*v, (r as u64 + 1) * 10 + (me - 1));
+            }
+        });
+    });
+}
