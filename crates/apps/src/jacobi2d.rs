@@ -153,7 +153,8 @@ pub fn jacobi2d(img: &mut ImageCtx, cfg: &Jacobi2dConfig) -> Jacobi2dOutcome {
         let mut local_update = 0.0f64;
         for r in 1..=t {
             for c in 1..=t {
-                let v = 0.25 * (u[at(r - 1, c)] + u[at(r + 1, c)] + u[at(r, c - 1)] + u[at(r, c + 1)]);
+                let v =
+                    0.25 * (u[at(r - 1, c)] + u[at(r + 1, c)] + u[at(r, c - 1)] + u[at(r, c + 1)]);
                 local_update = local_update.max((v - u[at(r, c)]).abs());
                 next[at(r, c)] = v;
             }

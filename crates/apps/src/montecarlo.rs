@@ -62,11 +62,7 @@ pub fn pi_teams(img: &mut ImageCtx, cfg: &PiConfig) -> PiOutcome {
             hits += 1;
         }
     }
-    img.compute(
-        img.fabric()
-            .cost()
-            .flops_to_ns(6 * cfg.samples_per_image),
-    );
+    img.compute(img.fabric().cost().flops_to_ns(6 * cfg.samples_per_image));
 
     // Combine within my team only.
     let team = img.form_team(color);
@@ -121,8 +117,16 @@ mod tests {
             );
         }
         // Teams sampled independently: estimates differ (else teaming is fake).
-        let t0 = out.iter().find(|o| o.team_number == 0).unwrap().team_estimate;
-        let t1 = out.iter().find(|o| o.team_number == 1).unwrap().team_estimate;
+        let t0 = out
+            .iter()
+            .find(|o| o.team_number == 0)
+            .unwrap()
+            .team_estimate;
+        let t1 = out
+            .iter()
+            .find(|o| o.team_number == 1)
+            .unwrap()
+            .team_estimate;
         assert_ne!(t0, t1);
     }
 

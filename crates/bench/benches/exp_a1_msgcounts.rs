@@ -8,13 +8,13 @@
 //! against those closed forms.
 
 use caf_bench::print_cost_preamble;
-use caf_fabric::{Fabric, SimConfig, SimFabric};
+use caf_fabric::{Fabric, SimConfig, SimFabric, StatsSnapshot};
 use caf_microbench::Table;
 use caf_runtime::{run_on_fabric, BarrierAlgo, CollectiveConfig};
 use caf_topology::{presets, ImageMap, Placement};
 
-/// Total notifications of a fresh run with `episodes` barriers.
-fn total(images: usize, per_node: usize, algo: BarrierAlgo, episodes: usize) -> (u64, u64) {
+/// Traffic snapshot of a fresh run with `episodes` barriers.
+fn total(images: usize, per_node: usize, algo: BarrierAlgo, episodes: usize) -> StatsSnapshot {
     let map = ImageMap::new(presets::whale(), images, &Placement::Block { per_node });
     let fabric = SimFabric::new(map, SimConfig::default());
     let cfg = CollectiveConfig {
@@ -26,19 +26,19 @@ fn total(images: usize, per_node: usize, algo: BarrierAlgo, episodes: usize) -> 
             img.sync_all();
         }
     });
-    let snap = fabric.stats().snapshot();
-    (snap.flags_intra, snap.flags_inter)
+    fabric.stats().snapshot()
 }
 
 /// Notifications per barrier episode, split (intra, inter). The simulator
 /// is deterministic, so two runs differing by exactly `d` episodes differ
 /// by exactly `d` episodes of traffic — an exact per-episode count with no
-/// windowing error.
+/// windowing error. The snapshot difference is one `-` thanks to
+/// `StatsSnapshot`'s `Sub` impl.
 fn count(images: usize, per_node: usize, algo: BarrierAlgo) -> (u64, u64) {
-    let d = 4;
-    let (i1, e1) = total(images, per_node, algo, 2);
-    let (i2, e2) = total(images, per_node, algo, 2 + d);
-    ((i2 - i1) / d as u64, (e2 - e1) / d as u64)
+    let d = 4u64;
+    let per_episode =
+        total(images, per_node, algo, 2 + d as usize) - total(images, per_node, algo, 2);
+    (per_episode.flags_intra / d, per_episode.flags_inter / d)
 }
 
 fn ceil_log2(n: usize) -> u64 {

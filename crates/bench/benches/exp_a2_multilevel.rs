@@ -30,6 +30,7 @@ fn barrier_ns(
         SimConfig {
             cost,
             overheads: presets::stacks::UHCAF,
+            ..SimConfig::default()
         },
     );
     let cfg = CollectiveConfig {

@@ -11,7 +11,55 @@
 //! cluster; entries are modeled microseconds per barrier.
 
 use caf_bench::{barrier_comparators, print_cost_preamble, scaled};
-use caf_microbench::{barrier_latency, report, MicroConfig, Table};
+use caf_microbench::{barrier_latency, report, trace_table, MicroConfig, Table};
+use caf_trace::{episode_window, extract, EventKind, Tracer};
+
+/// When `CAF_TRACE_DIR` names a directory, rerun a small TDLB sweep with
+/// capture on, dump the Chrome trace JSON there, and print the per-phase
+/// latency table plus the final episode's critical path (see
+/// EXPERIMENTS.md, "Reading a trace").
+fn dump_trace(dir: &str, n: usize) {
+    let tracer = Tracer::for_images(n);
+    let mut mc = MicroConfig::whale(n, 8).with_tracer(tracer.clone());
+    mc.warmup = 1;
+    mc.iters = 4;
+    barrier_latency(&mc);
+    let events = tracer.events();
+    if events.is_empty() {
+        eprintln!(
+            "CAF_TRACE_DIR is set but no events were captured; rebuild with \
+             `--features trace` to compile-in capture"
+        );
+        return;
+    }
+    std::fs::create_dir_all(dir).expect("create CAF_TRACE_DIR");
+    let path = std::path::Path::new(dir).join(format!("exp_b1_tdlb_{n}images.trace.json"));
+    let map = caf_topology::ImageMap::new(
+        caf_topology::presets::whale(),
+        n,
+        &caf_topology::Placement::Block { per_node: 8 },
+    );
+    let json =
+        caf_trace::chrome_trace_json(&events, |i| map.node_of(caf_topology::ProcId(i)).index());
+    std::fs::write(&path, json).expect("write trace JSON");
+    println!(
+        "\nwrote Chrome trace ({} events) to {} (open in Perfetto / chrome://tracing)",
+        events.len(),
+        path.display()
+    );
+    trace_table("EXP-B1: traced barrier phase latencies", &events).print();
+    let last_epoch = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Barrier)
+        .map(|e| e.c)
+        .max()
+        .unwrap_or(0);
+    if let Some(cp) =
+        episode_window(&events, EventKind::Barrier, last_epoch).and_then(|w| extract(&events, w))
+    {
+        print!("{}", cp.render());
+    }
+}
 
 fn main() {
     print_cost_preamble("EXP-B1");
@@ -66,4 +114,8 @@ fn main() {
          (paper: 'only marginally more expensive')"
     ));
     table.print();
+
+    if let Ok(dir) = std::env::var("CAF_TRACE_DIR") {
+        dump_trace(&dir, 32);
+    }
 }

@@ -54,16 +54,13 @@ fn main() {
         let mut two = f64::NAN;
         let mut one = f64::NAN;
         for c in &comps {
-            let map = ImageMap::new(
-                presets::whale(),
-                images,
-                &Placement::Block { per_node },
-            );
+            let map = ImageMap::new(presets::whale(), images, &Placement::Block { per_node });
             let fabric = SimFabric::new(
                 map,
                 SimConfig {
                     cost: presets::whale_cost(),
                     overheads: c.stack,
+                    ..SimConfig::default()
                 },
             );
             let hpl = HplConfig { n, nb, seed: 2015 };

@@ -23,6 +23,7 @@ fn latency(images: usize, per_node: usize, elems: usize, algo: GatherAlgo, iters
         SimConfig {
             cost: presets::whale_cost(),
             overheads: stack,
+            ..SimConfig::default()
         },
     );
     let cfg = CollectiveConfig {

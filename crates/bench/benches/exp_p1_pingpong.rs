@@ -21,6 +21,7 @@ fn pingpong(nodes: usize, cores: usize, bytes: usize, iters: u64) -> f64 {
         SimConfig {
             cost: presets::whale_cost(),
             overheads: presets::stacks::UHCAF,
+            ..SimConfig::default()
         },
     );
     let f = fabric.clone();

@@ -8,6 +8,19 @@
 use crate::comm::{flag, TeamComm};
 use crate::config::BarrierAlgo;
 use crate::util::{binomial_children, binomial_parent, ceil_log2};
+use caf_trace::{Event, EventKind, Level};
+
+/// Stable trace operand for a barrier algorithm (`Barrier` event `a`).
+pub(crate) fn algo_code(a: BarrierAlgo) -> u64 {
+    match a {
+        BarrierAlgo::CentralCounter => 1,
+        BarrierAlgo::BinomialTree => 2,
+        BarrierAlgo::Dissemination => 3,
+        BarrierAlgo::Tdlb => 4,
+        BarrierAlgo::TdlbMultilevel => 5,
+        BarrierAlgo::Auto => 0,
+    }
+}
 
 /// Run one barrier episode on `comm` with its resolved algorithm.
 pub(crate) fn barrier(comm: &mut TeamComm) {
@@ -16,17 +29,24 @@ pub(crate) fn barrier(comm: &mut TeamComm) {
     if comm.size() == 1 {
         return;
     }
+    let t0 = comm.trace_now();
     match comm.barrier_algo {
         BarrierAlgo::CentralCounter => central_counter(comm, e),
         BarrierAlgo::BinomialTree => binomial_tree(comm, e),
         BarrierAlgo::Dissemination => {
             let all: Vec<usize> = (0..comm.size()).collect();
-            dissemination_over(comm, &all, comm.rank, e);
+            dissemination_over(comm, &all, comm.rank, e, Level::Whole);
         }
         BarrierAlgo::Tdlb => tdlb(comm, e),
         BarrierAlgo::TdlbMultilevel => tdlb_multilevel(comm, e),
         BarrierAlgo::Auto => unreachable!("Auto resolved at formation"),
     }
+    comm.trace(
+        Event::span(EventKind::Barrier, t0, comm.trace_now().saturating_sub(t0))
+            .a(algo_code(comm.barrier_algo))
+            .b(comm.trace_tag())
+            .c(e),
+    );
 }
 
 /// Centralized linear barrier: 2(n−1) notifications, all via team rank 0.
@@ -71,7 +91,13 @@ fn binomial_tree(comm: &mut TeamComm, e: u64) {
 /// so waiting for `≥ epoch` needs no flag reset and no second array
 /// (contrast Mellor-Crummey & Scott's two-array formulation and Hensgen et
 /// al.'s two waits).
-pub(crate) fn dissemination_over(comm: &mut TeamComm, parts: &[usize], my_rank: usize, e: u64) {
+pub(crate) fn dissemination_over(
+    comm: &mut TeamComm,
+    parts: &[usize],
+    my_rank: usize,
+    e: u64,
+    lvl: Level,
+) {
     let l = parts.len();
     if l <= 1 {
         return;
@@ -83,8 +109,20 @@ pub(crate) fn dissemination_over(comm: &mut TeamComm, parts: &[usize], my_rank: 
     let rounds = ceil_log2(l);
     for k in 0..rounds {
         let partner = parts[(my_pos + (1 << k)) % l];
+        let t0 = comm.trace_now();
         comm.add_flag(partner, comm.layout.dissem(k), 1);
         comm.wait_flag(comm.layout.dissem(k), e);
+        comm.trace(
+            Event::span(
+                EventKind::BarrierRound,
+                t0,
+                comm.trace_now().saturating_sub(t0),
+            )
+            .a(k as u64)
+            .b(comm.members[partner].index() as u64)
+            .c(e)
+            .level(lvl),
+        );
     }
 }
 
@@ -114,16 +152,53 @@ fn tdlb(comm: &mut TeamComm, e: u64) {
 
     // Step 1 (leader side): wait for all intranode slaves.
     let slaves = set.len() as u64 - 1;
+    let tag = comm.trace_tag();
+    let t0 = comm.trace_now();
     if slaves > 0 {
         comm.wait_flag(flag::COUNTER, slaves * e);
     }
+    comm.trace(
+        Event::span(
+            EventKind::TdlbGather,
+            t0,
+            comm.trace_now().saturating_sub(t0),
+        )
+        .a(slaves)
+        .b(tag)
+        .c(e)
+        .level(Level::Intra),
+    );
     // Step 2: dissemination among the node leaders.
     let leaders: Vec<usize> = hier.leaders().to_vec();
-    dissemination_over(comm, &leaders, comm.rank, e);
+    let t1 = comm.trace_now();
+    dissemination_over(comm, &leaders, comm.rank, e, Level::Inter);
+    comm.trace(
+        Event::span(
+            EventKind::TdlbDissem,
+            t1,
+            comm.trace_now().saturating_sub(t1),
+        )
+        .a(leaders.len() as u64)
+        .b(tag)
+        .c(e)
+        .level(Level::Inter),
+    );
     // Step 3 (leader side): release the intranode set.
+    let t2 = comm.trace_now();
     for &s in set.slaves() {
         comm.add_flag(s, flag::RELEASE, 1);
     }
+    comm.trace(
+        Event::span(
+            EventKind::TdlbRelease,
+            t2,
+            comm.trace_now().saturating_sub(t2),
+        )
+        .a(slaves)
+        .b(tag)
+        .c(e)
+        .level(Level::Intra),
+    );
 }
 
 /// §VII future work: socket level below the node level. Within each
@@ -164,7 +239,7 @@ fn tdlb_multilevel(comm: &mut TeamComm, e: u64) {
             comm.wait_flag(flag::COUNTER, other_sockets * e);
         }
         let leaders: Vec<usize> = hier.leaders().to_vec();
-        dissemination_over(comm, &leaders, comm.rank, e);
+        dissemination_over(comm, &leaders, comm.rank, e, Level::Inter);
         for g in &groups {
             if g[0] != node_leader {
                 comm.add_flag(g[0], flag::RELEASE, 1);

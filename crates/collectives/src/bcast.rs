@@ -26,6 +26,17 @@ use crate::comm::{flag, TeamComm};
 use crate::config::BcastAlgo;
 use crate::util::{binomial_children, binomial_parent};
 use crate::value::CoValue;
+use caf_trace::{Event, EventKind, Level};
+
+/// Stable trace operand for a broadcast algorithm (`Bcast` event `a`).
+fn algo_code(a: BcastAlgo) -> u64 {
+    match a {
+        BcastAlgo::FlatLinear => 1,
+        BcastAlgo::FlatBinomial => 2,
+        BcastAlgo::TwoLevel => 3,
+        BcastAlgo::Auto => 0,
+    }
+}
 
 /// Broadcast `buf` from team rank `root` with the team's resolved algorithm.
 pub(crate) fn broadcast<T: CoValue>(comm: &mut TeamComm, buf: &mut [T], root: usize) {
@@ -47,12 +58,21 @@ pub(crate) fn broadcast_using<T: CoValue>(
     }
     comm.ensure_scratch(buf.len() * T::SIZE);
     let par = (comm.epochs.bcast % 2) as usize;
+    let e = comm.epochs.bcast;
+    let t0 = comm.trace_now();
     match algo {
         BcastAlgo::FlatLinear => linear(comm, buf, root, par),
         BcastAlgo::FlatBinomial => binomial(comm, buf, root, par),
         BcastAlgo::TwoLevel => two_level(comm, buf, root, par),
         BcastAlgo::Auto => unreachable!("Auto resolved at formation"),
     }
+    comm.trace(
+        Event::span(EventKind::Bcast, t0, comm.trace_now().saturating_sub(t0))
+            .a(algo_code(algo))
+            .b(comm.trace_tag())
+            .c(e)
+            .d((buf.len() * T::SIZE) as u64),
+    );
 }
 
 /// Receiver-side wait for the episode-completion release (wave 3).
@@ -156,6 +176,9 @@ fn two_level<T: CoValue>(comm: &mut TeamComm, buf: &mut [T], root: usize, par: u
     }
 
     // Effective leader: stage 1, binomial over the leader set.
+    let tag = comm.trace_tag();
+    let e = comm.epochs.bcast;
+    let t0 = comm.trace_now();
     let lv = (my_set + l - root_set) % l;
     let leader_rank = |lvr: usize| eff_leader_of((lvr + root_set) % l);
     if lv != 0 {
@@ -170,8 +193,20 @@ fn two_level<T: CoValue>(comm: &mut TeamComm, buf: &mut [T], root: usize, par: u
         comm.send_values(leader_rank(c), off, buf);
         comm.add_flag(leader_rank(c), flag::B_ARRIVE, 1);
     }
+    comm.trace(
+        Event::span(
+            EventKind::BcastStage,
+            t0,
+            comm.trace_now().saturating_sub(t0),
+        )
+        .a(1)
+        .b(tag)
+        .c(e)
+        .level(Level::Inter),
+    );
 
     // Stage 2: linear fan-out within my node.
+    let t1 = comm.trace_now();
     let locals: Vec<usize> = hier.sets()[my_set]
         .ranks
         .iter()
@@ -183,6 +218,17 @@ fn two_level<T: CoValue>(comm: &mut TeamComm, buf: &mut [T], root: usize, par: u
         comm.send_values(m, off, buf);
         comm.add_flag(m, flag::B_ARRIVE, 1);
     }
+    comm.trace(
+        Event::span(
+            EventKind::BcastStage,
+            t1,
+            comm.trace_now().saturating_sub(t1),
+        )
+        .a(2)
+        .b(tag)
+        .c(e)
+        .level(Level::Intra),
+    );
 
     // Ack wave: wait for my subtree, ack my parent leader.
     let expected = (lchildren.len() + locals.len()) as u64;

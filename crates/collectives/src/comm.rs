@@ -27,6 +27,7 @@ use crate::util::ceil_log2;
 use crate::value::{bytes_to_slice, slice_to_bytes, CoNumeric, CoOp, CoValue};
 use caf_fabric::{bootstrap, ArcFabric, FlagId, SegmentId};
 use caf_topology::{HierarchyView, ProcId};
+use caf_trace::Event;
 use std::sync::Arc;
 
 /// Bytes per member slot in a team's exchange segment (4 × u64).
@@ -562,13 +563,8 @@ impl TeamComm {
                 let mut full = vec![0u8; n * EXCH_SLOT];
                 self.fabric.get(self.me, self.me, my_exch, 0, &mut full);
                 for &c in &children {
-                    self.fabric.put(
-                        self.me,
-                        self.members[c],
-                        self.rsrc[c].exch,
-                        0,
-                        &full,
-                    );
+                    self.fabric
+                        .put(self.me, self.members[c], self.rsrc[c].exch, 0, &full);
                     self.add_flag(c, flag::EXCH_BCAST, 1);
                 }
             }
@@ -618,10 +614,37 @@ impl TeamComm {
     // Internal plumbing for the algorithm modules
     // ------------------------------------------------------------------
 
+    /// Team tag for trace records: `first_member << 32 | size`. Stable for
+    /// the team's life, distinct across sibling teams (their first members
+    /// differ), and decodable without a registry.
+    pub fn trace_tag(&self) -> u64 {
+        ((self.members[0].index() as u64) << 32) | self.members.len() as u64
+    }
+
+    /// Fabric clock for a collective span's start/end, or 0 when tracing is
+    /// off (spares the clock read — on the simulator, a lock acquisition —
+    /// per collective call in untraced runs).
+    pub(crate) fn trace_now(&self) -> u64 {
+        if self.fabric.tracer().enabled() {
+            self.fabric.now_ns(self.me)
+        } else {
+            0
+        }
+    }
+
+    /// Record a collective-layer trace event on this image's ring.
+    pub(crate) fn trace(&self, ev: Event) {
+        self.fabric.tracer().record(self.me.index(), ev);
+    }
+
     /// Notify team rank `to`: add `delta` to its flag `idx`.
     pub(crate) fn add_flag(&self, to: usize, idx: usize, delta: u64) {
-        self.fabric
-            .flag_add(self.me, self.members[to], self.rsrc[to].flags.nth(idx), delta);
+        self.fabric.flag_add(
+            self.me,
+            self.members[to],
+            self.rsrc[to].flags.nth(idx),
+            delta,
+        );
     }
 
     /// Wait until my flag `idx` is ≥ `target`.
@@ -697,9 +720,7 @@ impl TeamComm {
             return;
         }
         let new_slot = slot_bytes.next_power_of_two().max(64);
-        let seg = self
-            .fabric
-            .alloc_segment(self.me, self.size() * new_slot);
+        let seg = self.fabric.alloc_segment(self.me, self.size() * new_slot);
         let g = self.allgather4([seg.0 as u64, new_slot as u64, 1, 0]);
         for (j, v) in g.iter().enumerate() {
             assert_eq!(

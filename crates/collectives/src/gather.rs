@@ -68,11 +68,7 @@ pub(crate) fn alltoall<T: CoValue>(comm: &mut TeamComm, send: &[T], len: usize) 
 
 /// Collective gather; see module docs. `mine.len()` must match on every
 /// member; returns `Some(concatenation)` on the root, `None` elsewhere.
-pub(crate) fn gather<T: CoValue>(
-    comm: &mut TeamComm,
-    mine: &[T],
-    root: usize,
-) -> Option<Vec<T>> {
+pub(crate) fn gather<T: CoValue>(comm: &mut TeamComm, mine: &[T], root: usize) -> Option<Vec<T>> {
     assert!(root < comm.size(), "gather root {root} out of team");
     comm.epochs.gather += 1;
     let n = comm.size();
@@ -130,8 +126,13 @@ fn gather_two_level<T: CoValue>(comm: &mut TeamComm, mine: &[T], root: usize) ->
     let hier = comm.hier.clone();
     let root_set = hier.leader_index_of(root);
     let my_set = hier.leader_index_of(comm.rank);
-    let eff_leader_of =
-        |s: usize| -> usize { if s == root_set { root } else { hier.sets()[s].leader } };
+    let eff_leader_of = |s: usize| -> usize {
+        if s == root_set {
+            root
+        } else {
+            hier.sets()[s].leader
+        }
+    };
     let el = eff_leader_of(my_set);
     let len = mine.len();
 
@@ -220,14 +221,23 @@ fn gather_two_level<T: CoValue>(comm: &mut TeamComm, mine: &[T], root: usize) ->
 /// Collective scatter; see module docs. On the root, `all` must hold
 /// `n·len` elements (`len` = `out.len()`, matching on every member); every
 /// member's `out` receives its slice.
-pub(crate) fn scatter<T: CoValue>(comm: &mut TeamComm, all: Option<&[T]>, out: &mut [T], root: usize) {
+pub(crate) fn scatter<T: CoValue>(
+    comm: &mut TeamComm,
+    all: Option<&[T]>,
+    out: &mut [T],
+    root: usize,
+) {
     assert!(root < comm.size(), "scatter root {root} out of team");
     comm.epochs.scatter += 1;
     let n = comm.size();
     let len = out.len();
     if comm.rank == root {
         let all = all.expect("root must supply the source buffer");
-        assert_eq!(all.len(), n * len, "scatter source must hold n*len elements");
+        assert_eq!(
+            all.len(),
+            n * len,
+            "scatter source must hold n*len elements"
+        );
         out.copy_from_slice(&all[root * len..(root + 1) * len]);
         if n == 1 {
             return;
@@ -281,8 +291,13 @@ fn scatter_two_level<T: CoValue>(
     let hier = comm.hier.clone();
     let root_set = hier.leader_index_of(root);
     let my_set = hier.leader_index_of(comm.rank);
-    let eff_leader_of =
-        |s: usize| -> usize { if s == root_set { root } else { hier.sets()[s].leader } };
+    let eff_leader_of = |s: usize| -> usize {
+        if s == root_set {
+            root
+        } else {
+            hier.sets()[s].leader
+        }
+    };
     let el = eff_leader_of(my_set);
     let len = out.len();
     let gs = comm.gather_slot_bytes;
@@ -340,11 +355,12 @@ fn scatter_two_level<T: CoValue>(
         let set = &hier.sets()[my_set];
         let mut block = vec![0u8; set.len() * gs];
         comm.read_my_gather(0, &mut block);
-        let my_pos = set.ranks.iter().position(|&r| r == comm.rank).expect("member");
-        bytes_to_slice(
-            &block[my_pos * gs..my_pos * gs + len * T::SIZE],
-            out,
-        );
+        let my_pos = set
+            .ranks
+            .iter()
+            .position(|&r| r == comm.rank)
+            .expect("member");
+        bytes_to_slice(&block[my_pos * gs..my_pos * gs + len * T::SIZE], out);
         for (pos, &r) in set.ranks.iter().enumerate() {
             if r != el {
                 // Forward slice `pos` into member r's slot 1 (slot 0 would

@@ -17,6 +17,17 @@ use crate::comm::{flag, TeamComm};
 use crate::config::ReduceAlgo;
 use crate::util::{ceil_log2, floor_pow2};
 use crate::value::CoValue;
+use caf_trace::{Event, EventKind, Level};
+
+/// Stable trace operand for a reduction algorithm (`Reduce` event `a`).
+fn algo_code(a: ReduceAlgo) -> u64 {
+    match a {
+        ReduceAlgo::FlatRecursiveDoubling => 1,
+        ReduceAlgo::FlatBinomial => 2,
+        ReduceAlgo::TwoLevel => 3,
+        ReduceAlgo::Auto => 0,
+    }
+}
 
 /// Element-wise allreduce of `buf` across the team. Every member must call
 /// with the same `buf.len()` and an equivalent operation.
@@ -27,6 +38,7 @@ pub(crate) fn allreduce<T: CoValue>(comm: &mut TeamComm, buf: &mut [T], f: &impl
         return;
     }
     comm.ensure_scratch(buf.len() * T::SIZE);
+    let t0 = comm.trace_now();
     match comm.reduce_algo {
         ReduceAlgo::FlatRecursiveDoubling => {
             let all: Vec<usize> = (0..comm.size()).collect();
@@ -36,6 +48,13 @@ pub(crate) fn allreduce<T: CoValue>(comm: &mut TeamComm, buf: &mut [T], f: &impl
         ReduceAlgo::TwoLevel => two_level(comm, buf, f, e),
         ReduceAlgo::Auto => unreachable!("Auto resolved at formation"),
     }
+    comm.trace(
+        Event::span(EventKind::Reduce, t0, comm.trace_now().saturating_sub(t0))
+            .a(algo_code(comm.reduce_algo))
+            .b(comm.trace_tag())
+            .c(e)
+            .d((buf.len() * T::SIZE) as u64),
+    );
 }
 
 /// Recursive-doubling allreduce over an arbitrary participant list
@@ -154,6 +173,8 @@ fn two_level<T: CoValue>(comm: &mut TeamComm, buf: &mut [T], f: &impl Fn(T, T) -
     }
 
     // Leader: linear gather of the intranode set.
+    let tag = comm.trace_tag();
+    let t0 = comm.trace_now();
     let slaves = set.len() as u64 - 1;
     if slaves > 0 {
         comm.wait_flag(flag::R_COUNTER, slaves * e);
@@ -163,16 +184,51 @@ fn two_level<T: CoValue>(comm: &mut TeamComm, buf: &mut [T], f: &impl Fn(T, T) -
             comm.combine_from_scratch(off, buf, f);
         }
     }
+    comm.trace(
+        Event::span(
+            EventKind::ReduceStage,
+            t0,
+            comm.trace_now().saturating_sub(t0),
+        )
+        .a(1)
+        .b(tag)
+        .c(e)
+        .level(Level::Intra),
+    );
 
     // Leaders: recursive doubling across nodes.
+    let t1 = comm.trace_now();
     let leaders: Vec<usize> = hier.leaders().to_vec();
     rd_over(comm, &leaders, buf, f, e);
+    comm.trace(
+        Event::span(
+            EventKind::ReduceStage,
+            t1,
+            comm.trace_now().saturating_sub(t1),
+        )
+        .a(2)
+        .b(tag)
+        .c(e)
+        .level(Level::Inter),
+    );
 
     // Release the intranode set.
+    let t2 = comm.trace_now();
     let slaves: Vec<usize> = set.slaves().to_vec();
     for s in slaves {
         let off = comm.sl_release(par);
         comm.send_values(s, off, buf);
         comm.add_flag(s, flag::R_RELEASE, 1);
     }
+    comm.trace(
+        Event::span(
+            EventKind::ReduceStage,
+            t2,
+            comm.trace_now().saturating_sub(t2),
+        )
+        .a(3)
+        .b(tag)
+        .c(e)
+        .level(Level::Intra),
+    );
 }

@@ -3,9 +3,7 @@
 //! sizes, payloads, and operations — the algorithms may only differ in
 //! cost, never in result.
 
-use caf_collectives::{
-    BarrierAlgo, BcastAlgo, CollectiveConfig, ReduceAlgo, TeamComm,
-};
+use caf_collectives::{BarrierAlgo, BcastAlgo, CollectiveConfig, ReduceAlgo, TeamComm};
 use caf_fabric::{run_spmd, ArcFabric, SimConfig, SimFabric};
 use caf_topology::{presets, ImageMap, Placement, ProcId};
 use parking_lot::Mutex;
@@ -287,8 +285,8 @@ proptest! {
                 // alltoall is the global transpose (r,j) -> (j,r): applying
                 // it twice is the identity, and one application exposes the
                 // peers' encodings.
-                for j in 0..n {
-                    assert_eq!(once[j], seed ^ ((j as u64) << 8) ^ my);
+                for (j, &got) in once.iter().enumerate() {
+                    assert_eq!(got, seed ^ ((j as u64) << 8) ^ my);
                 }
                 assert_eq!(twice, mine, "transpose twice = identity");
             },

@@ -42,9 +42,10 @@ pub mod spmd;
 pub mod stats;
 pub mod thread;
 
+pub use caf_trace::Tracer;
 pub use seg::{FlagId, SegmentId};
-pub use spmd::run_spmd;
 pub use sim::{SimConfig, SimFabric};
+pub use spmd::run_spmd;
 pub use stats::{FabricStats, StatsSnapshot};
 pub use thread::{ThreadConfig, ThreadFabric};
 
@@ -82,6 +83,14 @@ pub trait Fabric: Send + Sync + 'static {
 
     /// Operation counters.
     fn stats(&self) -> &FabricStats;
+
+    /// The tracer recording this fabric's operations. Inert by default;
+    /// fabrics built with an enabled [`Tracer`] in their config return it
+    /// here so the runtime and collectives can attach their own spans with
+    /// the same clock.
+    fn tracer(&self) -> &Tracer {
+        caf_trace::off_ref()
+    }
 
     /// Allocate a zeroed segment of `bytes` bytes **on image `me` only**.
     /// The returned id indexes `me`'s segment table; remote images that want

@@ -112,7 +112,10 @@ impl SharedBytes {
     /// # Panics
     /// Panics if `offset` is not 8-byte aligned or out of range.
     pub fn as_atomic_u64(&self, offset: usize) -> &AtomicU64 {
-        assert!(offset.is_multiple_of(8), "AMO offset {offset} not 8-byte aligned");
+        assert!(
+            offset.is_multiple_of(8),
+            "AMO offset {offset} not 8-byte aligned"
+        );
         assert!(
             offset + 8 <= self.data.len(),
             "AMO at offset {offset} exceeds segment of {} bytes",

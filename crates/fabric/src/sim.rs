@@ -55,6 +55,7 @@ use crate::seg::{FlagId, SegmentId};
 use crate::stats::FabricStats;
 use crate::Fabric;
 use caf_topology::{CostParams, ImageMap, ProcId, SoftwareOverheads};
+use caf_trace::{Event, EventKind, Tracer};
 use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -68,6 +69,11 @@ pub struct SimConfig {
     pub cost: CostParams,
     /// Software-stack overheads layered on the hardware model.
     pub overheads: SoftwareOverheads,
+    /// Trace sink. The default [`Tracer::off`] records nothing; install a
+    /// [`Tracer::for_images`] tracer to capture every fabric operation with
+    /// virtual-time stamps (requires the `trace` feature to actually keep
+    /// records — without it the no-op tracer compiles away).
+    pub tracer: Tracer,
 }
 
 impl Default for SimConfig {
@@ -75,6 +81,7 @@ impl Default for SimConfig {
         Self {
             cost: CostParams::default(),
             overheads: SoftwareOverheads::NONE,
+            tracer: Tracer::off(),
         }
     }
 }
@@ -89,20 +96,31 @@ enum ImgState {
     Done,
 }
 
+/// A pending flag notification: who posted it, when, and where it lands.
+/// `src`/`posted`/`intra` exist for the trace's `FlagDeliver` records (the
+/// critical-path extractor needs the sender and post time of the delivery
+/// that unblocked each wait); they do not affect simulation semantics.
+#[derive(Debug, PartialEq, Eq)]
+struct Notify {
+    img: usize,
+    flag: usize,
+    delta: u64,
+    src: u32,
+    posted: u64,
+    intra: bool,
+}
+
 /// What happens when an event comes due.
 #[derive(Debug, PartialEq, Eq)]
 enum EvKind {
     /// `delta` lands on `flags[img][flag]`.
-    FlagArrive { img: usize, flag: usize, delta: u64 },
+    FlagArrive(Notify),
     /// A message reaches `node`'s NIC off the wire: occupy the NIC for
     /// `gap_nic`, then (for notifications) deliver the flag update.
     /// Serviced as an *event* so NIC slots are granted in virtual-time
     /// order — a reservation made directly at send-commit time would push
     /// later (but virtually earlier) traffic behind a far-future slot.
-    Landing {
-        node: usize,
-        notify: Option<(usize, usize, u64)>,
-    },
+    Landing { node: usize, notify: Option<Notify> },
 }
 
 /// A scheduled simulator event.
@@ -147,6 +165,10 @@ struct SimCore {
     event_seq: u64,
     /// Set when a global deadlock was detected; all threads panic with it.
     poisoned: Option<String>,
+    /// Shared trace sink (clone of [`SimConfig::tracer`]): the core writes
+    /// `FlagDeliver` records to the system ring as the event queue drains,
+    /// and the deadlock report reads back each image's recent events.
+    tracer: Tracer,
 }
 
 impl SimCore {
@@ -172,28 +194,33 @@ impl SimCore {
             }
             let Reverse(ev) = self.events.pop().expect("peeked");
             match ev.kind {
-                EvKind::FlagArrive { img, flag, delta } => {
-                    self.flags[img][flag] += delta;
+                EvKind::FlagArrive(n) => {
+                    self.flags[n.img][n.flag] += n.delta;
+                    self.tracer.record_system(
+                        Event::instant(EventKind::FlagDeliver, ev.time)
+                            .a(n.src as u64)
+                            .b(n.flag as u64)
+                            .c(n.posted)
+                            .d(n.img as u64)
+                            .intra(n.intra),
+                    );
                     if let ImgState::Blocked {
                         flag: wflag,
                         at_least,
-                    } = self.state[img]
+                    } = self.state[n.img]
                     {
-                        if wflag == flag && self.flags[img][flag] >= at_least {
-                            self.state[img] = ImgState::Alive;
-                            self.time[img] = self.time[img].max(ev.time);
-                            woken.push(img);
+                        if wflag == n.flag && self.flags[n.img][n.flag] >= at_least {
+                            self.state[n.img] = ImgState::Alive;
+                            self.time[n.img] = self.time[n.img].max(ev.time);
+                            woken.push(n.img);
                         }
                     }
                 }
                 EvKind::Landing { node, notify } => {
                     let start = ev.time.max(self.nic_free[node]);
                     self.nic_free[node] = start + self.gap_nic_ns;
-                    if let Some((img, flag, delta)) = notify {
-                        self.push_event(
-                            start + self.gap_nic_ns,
-                            EvKind::FlagArrive { img, flag, delta },
-                        );
+                    if let Some(n) = notify {
+                        self.push_event(start + self.gap_nic_ns, EvKind::FlagArrive(n));
                     }
                 }
             }
@@ -245,18 +272,39 @@ impl SimCore {
                 .any(|s| matches!(s, ImgState::Blocked { .. }))
     }
 
+    /// Trace events shown per image in the deadlock report.
+    const DEADLOCK_TRAIL: usize = 4;
+
     fn deadlock_report(&self) -> String {
-        let mut msg = String::from("SimFabric deadlock: all images blocked, no messages in flight\n");
+        let mut msg =
+            String::from("SimFabric deadlock: all images blocked, no messages in flight\n");
         for (i, s) in self.state.iter().enumerate() {
             if let ImgState::Blocked { flag, at_least } = s {
                 msg.push_str(&format!(
                     "  image {i} @ t={}ns waits flag{} >= {} (current {})\n",
                     self.time[i], flag, at_least, self.flags[i][*flag]
                 ));
+                for ev in self.tracer.last_events(i, Self::DEADLOCK_TRAIL) {
+                    msg.push_str(&format!("    recent: {}\n", ev.render()));
+                }
             }
+        }
+        if !self.tracer.enabled() {
+            msg.push_str(
+                "  (build with the `trace` feature and install a Tracer for \
+                 per-image operation history)\n",
+            );
         }
         msg
     }
+}
+
+/// Outcome of modeling one message: when it arrives, and how its cost
+/// splits into queueing (waiting for the bus/NIC) vs service.
+struct Transfer {
+    arrival: u64,
+    queue_ns: u64,
+    service_ns: u64,
 }
 
 /// The virtual-time simulation fabric. See the module docs for semantics.
@@ -277,6 +325,7 @@ impl SimFabric {
         let nodes = map.machine().nodes;
         let sockets = nodes * map.machine().sockets_per_node;
         let gap_nic_ns = cfg.cost.gap_nic_ns + cfg.overheads.nic_busy_extra_ns;
+        let tracer = cfg.tracer.clone();
         Arc::new(Self {
             map,
             cfg,
@@ -295,6 +344,7 @@ impl SimFabric {
                 events: BinaryHeap::new(),
                 event_seq: 0,
                 poisoned: None,
+                tracer,
             }),
             cvs: (0..n).map(|_| Condvar::new()).collect(),
         })
@@ -372,9 +422,12 @@ impl SimFabric {
 
     /// Model a one-sided message of `bytes` payload from `me` (clock `t`)
     /// to `dst`: reserve resources, advance the sender's clock, and — when
-    /// `notify` is set — schedule the flag delivery. Returns a lower-bound
-    /// arrival estimate used by `quiet` (exact for intra-node traffic;
-    /// for inter-node traffic, receiver-NIC queueing may add time).
+    /// `notify` is set — schedule the flag delivery. `Transfer::arrival` is
+    /// a lower-bound arrival estimate used by `quiet` (exact for intra-node
+    /// traffic; for inter-node traffic, receiver-NIC queueing may add
+    /// time); `queue_ns`/`service_ns` split the message's cost into time
+    /// spent waiting for the shared resource (bus or NIC) versus time being
+    /// serviced by it — the split the trace reports per operation.
     fn model_transfer(
         &self,
         core: &mut SimCore,
@@ -383,11 +436,20 @@ impl SimFabric {
         t: u64,
         bytes: usize,
         notify: Option<(usize, u64)>,
-    ) -> u64 {
+    ) -> Transfer {
         let c = &self.cfg.cost;
         let o_sw = self.cfg.overheads.per_op_ns;
         let shm_ok = !self.cfg.overheads.intra_via_nic;
-        let intra = self.map.colocated(ProcId(me), ProcId(dst)) && shm_ok;
+        let colocated = self.map.colocated(ProcId(me), ProcId(dst));
+        let intra = colocated && shm_ok;
+        let mk_notify = |(flag, delta): (usize, u64)| Notify {
+            img: dst,
+            flag,
+            delta,
+            src: me as u32,
+            posted: t,
+            intra: colocated,
+        };
         if intra && self.map.same_socket(ProcId(me), ProcId(dst)) {
             // Same socket: cheaper latency, socket-local serialization.
             let ready = t + o_sw + c.o_intra_ns;
@@ -399,10 +461,14 @@ impl SimFabric {
             let sender_end = start + busy;
             core.time[me] = sender_end;
             let arrival = sender_end + c.l_socket_ns;
-            if let Some((flag, delta)) = notify {
-                core.push_event(arrival, EvKind::FlagArrive { img: dst, flag, delta });
+            if let Some(n) = notify {
+                core.push_event(arrival, EvKind::FlagArrive(mk_notify(n)));
             }
-            arrival
+            Transfer {
+                arrival,
+                queue_ns: start - ready,
+                service_ns: busy + c.l_socket_ns,
+            }
         } else if intra {
             // Sender CPU drives the copy through the node memory bus.
             let ready = t + o_sw + c.o_intra_ns;
@@ -412,10 +478,14 @@ impl SimFabric {
             let sender_end = start + busy;
             core.time[me] = sender_end;
             let arrival = sender_end + c.l_intra_ns;
-            if let Some((flag, delta)) = notify {
-                core.push_event(arrival, EvKind::FlagArrive { img: dst, flag, delta });
+            if let Some(n) = notify {
+                core.push_event(arrival, EvKind::FlagArrive(mk_notify(n)));
             }
-            arrival
+            Transfer {
+                arrival,
+                queue_ns: start - ready,
+                service_ns: busy + c.l_intra_ns,
+            }
         } else {
             // Sender posts a descriptor; the NIC pipelines the transfer.
             // The receiver-side NIC slot is granted when the Landing event
@@ -431,16 +501,47 @@ impl SimFabric {
             let busy = gap + c.inter_payload_ns(bytes);
             let inj = Self::reserve_nic(core, src_node, ready, busy);
             let wire_in = inj + busy + c.l_inter_ns;
-            let flag_notify = notify.map(|(flag, delta)| (dst, flag, delta));
             core.push_event(
                 wire_in,
                 EvKind::Landing {
                     node: dst_node,
-                    notify: flag_notify,
+                    notify: notify.map(mk_notify),
                 },
             );
-            wire_in + c.gap_nic_ns
+            Transfer {
+                arrival: wire_in + c.gap_nic_ns,
+                queue_ns: inj - ready,
+                service_ns: busy + c.l_inter_ns + c.gap_nic_ns,
+            }
         }
+    }
+
+    /// Record the span of a just-modeled AMO (shared by fetch-add and CAS).
+    #[allow(clippy::too_many_arguments)]
+    fn record_amo(
+        &self,
+        core: &SimCore,
+        kind: EventKind,
+        me: usize,
+        target: usize,
+        offset: usize,
+        t: u64,
+        queue_ns: u64,
+    ) {
+        let dur = core.time[me] - t;
+        let ev = Event::span(kind, t, dur)
+            .a(target as u64)
+            .b(offset as u64)
+            .c(queue_ns)
+            .d(dur - queue_ns);
+        self.cfg.tracer.record(
+            me,
+            if me == target {
+                ev.self_target()
+            } else {
+                ev.intra(self.map.colocated(ProcId(me), ProcId(target)))
+            },
+        );
     }
 
     fn finish_op(&self, mut core: MutexGuard<'_, SimCore>) {
@@ -477,6 +578,10 @@ impl Fabric for SimFabric {
         &self.stats
     }
 
+    fn tracer(&self) -> &Tracer {
+        &self.cfg.tracer
+    }
+
     fn alloc_segment(&self, me: ProcId, bytes: usize) -> SegmentId {
         let mut core = self.core.lock();
         let me = me.index();
@@ -502,11 +607,29 @@ impl Fabric for SimFabric {
         if me == dst {
             let c = &self.cfg.cost;
             core.time[me] = t + self.cfg.overheads.per_op_ns + c.intra_payload_ns(bytes.len());
+            let dur = core.time[me] - t;
+            self.cfg.tracer.record(
+                me,
+                Event::span(EventKind::Put, t, dur)
+                    .a(dst as u64)
+                    .b(bytes.len() as u64)
+                    .self_target(),
+            );
         } else {
-            let arrival = self.model_transfer(&mut core, me, dst, t, bytes.len(), None);
-            core.last_arrival[me] = core.last_arrival[me].max(arrival);
-            self.stats
-                .record_put(self.map.colocated(ProcId(me), ProcId(dst)), bytes.len());
+            let intra = self.map.colocated(ProcId(me), ProcId(dst));
+            let tr = self.model_transfer(&mut core, me, dst, t, bytes.len(), None);
+            core.last_arrival[me] = core.last_arrival[me].max(tr.arrival);
+            self.stats.record_put(intra, bytes.len());
+            let dur = core.time[me] - t;
+            self.cfg.tracer.record(
+                me,
+                Event::span(EventKind::Put, t, dur)
+                    .a(dst as u64)
+                    .b(bytes.len() as u64)
+                    .c(tr.queue_ns)
+                    .d(tr.service_ns)
+                    .intra(intra),
+            );
         }
         let dseg = &mut core.segs[dst][seg.0];
         assert!(
@@ -526,6 +649,7 @@ impl Fabric for SimFabric {
         let t = core.time[me];
         let c = &self.cfg.cost;
         let o_sw = self.cfg.overheads.per_op_ns;
+        let mut queue_ns = 0;
         if me == src {
             core.time[me] = t + o_sw + c.intra_payload_ns(out.len());
         } else if self.map.colocated(ProcId(me), ProcId(src)) && !self.cfg.overheads.intra_via_nic {
@@ -533,6 +657,7 @@ impl Fabric for SimFabric {
             let busy = c.gap_intra_ns + c.intra_payload_ns(out.len());
             let node = self.map.node_of(ProcId(me)).index();
             let start = Self::reserve_bus(&mut core, node, ready, busy);
+            queue_ns = start - ready;
             core.time[me] = start + busy + c.l_intra_ns;
             self.stats.record_get(true, out.len());
         } else {
@@ -545,10 +670,27 @@ impl Fabric for SimFabric {
             let src_node = self.map.node_of(ProcId(me)).index();
             let gap = c.gap_nic_ns + self.cfg.overheads.nic_busy_extra_ns;
             let inj = Self::reserve_nic(&mut core, src_node, ready, gap);
+            queue_ns = inj - ready;
             let req_at = inj + gap + c.l_inter_ns;
             let busy = gap + c.inter_payload_ns(out.len());
             core.time[me] = req_at + busy + c.l_inter_ns;
             self.stats.record_get(false, out.len());
+        }
+        {
+            let dur = core.time[me] - t;
+            let ev = Event::span(EventKind::Get, t, dur)
+                .a(src as u64)
+                .b(out.len() as u64)
+                .c(queue_ns)
+                .d(dur - queue_ns);
+            self.cfg.tracer.record(
+                me,
+                if me == src {
+                    ev.self_target()
+                } else {
+                    ev.intra(self.map.colocated(ProcId(me), ProcId(src)))
+                },
+            );
         }
         let sseg = &core.segs[src][seg.0];
         assert!(
@@ -571,28 +713,46 @@ impl Fabric for SimFabric {
         delta: u64,
     ) -> u64 {
         let (me, target) = (me.index(), target.index());
-        assert!(offset.is_multiple_of(8), "AMO offset {offset} not 8-byte aligned");
+        assert!(
+            offset.is_multiple_of(8),
+            "AMO offset {offset} not 8-byte aligned"
+        );
         let mut core = self.lock_turn(me);
         let t = core.time[me];
         let c = &self.cfg.cost;
         let o_sw = self.cfg.overheads.per_op_ns;
+        let mut queue_ns = 0;
         if me == target {
             core.time[me] = t + o_sw + c.o_intra_ns;
-        } else if self.map.colocated(ProcId(me), ProcId(target)) && !self.cfg.overheads.intra_via_nic
+        } else if self.map.colocated(ProcId(me), ProcId(target))
+            && !self.cfg.overheads.intra_via_nic
         {
             let ready = t + o_sw + c.o_intra_ns;
             let node = self.map.node_of(ProcId(me)).index();
             let start = Self::reserve_bus(&mut core, node, ready, c.gap_intra_ns);
+            queue_ns = start - ready;
             core.time[me] = start + c.gap_intra_ns + 2 * c.l_intra_ns;
         } else {
             let ready = t + o_sw + c.o_inter_ns;
             let src_node = self.map.node_of(ProcId(me)).index();
             let gap = c.gap_nic_ns + self.cfg.overheads.nic_busy_extra_ns;
             let inj = Self::reserve_nic(&mut core, src_node, ready, gap);
+            queue_ns = inj - ready;
             let req_at = inj + gap + c.l_inter_ns;
             core.time[me] = req_at + gap + c.l_inter_ns;
         }
-        self.stats.amos.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.stats
+            .amos
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.record_amo(
+            &core,
+            EventKind::AmoFetchAdd,
+            me,
+            target,
+            offset,
+            t,
+            queue_ns,
+        );
         let cell = &mut core.segs[target][seg.0];
         assert!(offset + 8 <= cell.len(), "AMO out of segment bounds");
         let old = u64::from_ne_bytes(cell[offset..offset + 8].try_into().expect("8 bytes"));
@@ -612,28 +772,37 @@ impl Fabric for SimFabric {
     ) -> u64 {
         let me_p = me;
         let (me, target) = (me.index(), target.index());
-        assert!(offset.is_multiple_of(8), "AMO offset {offset} not 8-byte aligned");
+        assert!(
+            offset.is_multiple_of(8),
+            "AMO offset {offset} not 8-byte aligned"
+        );
         let mut core = self.lock_turn(me);
         // Same timing as fetch-add; share the path by computing inline.
         let t = core.time[me];
         let c = &self.cfg.cost;
         let o_sw = self.cfg.overheads.per_op_ns;
+        let mut queue_ns = 0;
         if me == target {
             core.time[me] = t + o_sw + c.o_intra_ns;
         } else if self.map.colocated(me_p, ProcId(target)) && !self.cfg.overheads.intra_via_nic {
             let ready = t + o_sw + c.o_intra_ns;
             let node = self.map.node_of(me_p).index();
             let start = Self::reserve_bus(&mut core, node, ready, c.gap_intra_ns);
+            queue_ns = start - ready;
             core.time[me] = start + c.gap_intra_ns + 2 * c.l_intra_ns;
         } else {
             let ready = t + o_sw + c.o_inter_ns;
             let src_node = self.map.node_of(me_p).index();
             let gap = c.gap_nic_ns + self.cfg.overheads.nic_busy_extra_ns;
             let inj = Self::reserve_nic(&mut core, src_node, ready, gap);
+            queue_ns = inj - ready;
             let req_at = inj + gap + c.l_inter_ns;
             core.time[me] = req_at + gap + c.l_inter_ns;
         }
-        self.stats.amos.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.stats
+            .amos
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.record_amo(&core, EventKind::AmoCas, me, target, offset, t, queue_ns);
         let cell = &mut core.segs[target][seg.0];
         assert!(offset + 8 <= cell.len(), "AMO out of segment bounds");
         let old = u64::from_ne_bytes(cell[offset..offset + 8].try_into().expect("8 bytes"));
@@ -651,13 +820,41 @@ impl Fabric for SimFabric {
         if me == target {
             core.time[me] = t + self.cfg.overheads.per_op_ns + self.cfg.cost.o_intra_ns;
             core.flags[me][flag.0] += delta;
+            let now = core.time[me];
+            self.cfg.tracer.record(
+                me,
+                Event::instant(EventKind::FlagAdd, t)
+                    .a(target as u64)
+                    .b(flag.0 as u64)
+                    .c(delta)
+                    .d(now)
+                    .self_target(),
+            );
+            // A self-add delivers immediately; record it so critical-path
+            // walks see every flag arrival, local ones included.
+            core.tracer.record_system(
+                Event::instant(EventKind::FlagDeliver, now)
+                    .a(me as u64)
+                    .b(flag.0 as u64)
+                    .c(t)
+                    .d(me as u64)
+                    .intra(true),
+            );
         } else {
+            let intra = self.map.colocated(ProcId(me), ProcId(target));
             // A notification is an 8-byte put followed by a wakeup.
-            let arrival =
-                self.model_transfer(&mut core, me, target, t, 8, Some((flag.0, delta)));
-            core.last_arrival[me] = core.last_arrival[me].max(arrival);
-            self.stats
-                .record_flag(self.map.colocated(ProcId(me), ProcId(target)));
+            let tr = self.model_transfer(&mut core, me, target, t, 8, Some((flag.0, delta)));
+            core.last_arrival[me] = core.last_arrival[me].max(tr.arrival);
+            self.stats.record_flag(intra);
+            self.cfg.tracer.record(
+                me,
+                Event::instant(EventKind::FlagAdd, t)
+                    .a(target as u64)
+                    .b(flag.0 as u64)
+                    .c(delta)
+                    .d(tr.arrival)
+                    .intra(intra),
+            );
         }
         self.finish_op(core);
     }
@@ -668,8 +865,15 @@ impl Fabric for SimFabric {
             .flag_waits
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let mut core = self.lock_turn(me);
+        let t_entry = core.time[me];
         core.time[me] += self.cfg.overheads.per_wait_ns + self.cfg.cost.poll_ns;
         if core.flags[me][flag.0] >= at_least {
+            self.cfg.tracer.record(
+                me,
+                Event::span(EventKind::FlagWait, t_entry, core.time[me] - t_entry)
+                    .a(flag.0 as u64)
+                    .b(at_least),
+            );
             self.finish_op(core);
             return;
         }
@@ -695,6 +899,12 @@ impl Fabric for SimFabric {
             }
             self.cvs[me].wait(&mut core);
         }
+        self.cfg.tracer.record(
+            me,
+            Event::span(EventKind::FlagWait, t_entry, core.time[me] - t_entry)
+                .a(flag.0 as u64)
+                .b(at_least),
+        );
         self.finish_op(core);
     }
 
@@ -710,7 +920,11 @@ impl Fabric for SimFabric {
     fn quiet(&self, me: ProcId) {
         let me = me.index();
         let mut core = self.core.lock();
+        let t = core.time[me];
         core.time[me] = core.time[me].max(core.last_arrival[me]);
+        self.cfg
+            .tracer
+            .record(me, Event::span(EventKind::Quiet, t, core.time[me] - t));
         self.notify(&core, &[]);
         drop(core);
     }
@@ -719,6 +933,10 @@ impl Fabric for SimFabric {
         let me = me.index();
         let scaled = self.cfg.overheads.scale_compute(ns);
         let mut core = self.core.lock();
+        let t = core.time[me];
+        self.cfg
+            .tracer
+            .record(me, Event::span(EventKind::Compute, t, scaled));
         core.time[me] += scaled;
         let mut woken = Vec::new();
         core.apply_due_events(&mut woken);
@@ -783,6 +1001,7 @@ mod tests {
             SimConfig {
                 cost: presets::whale_cost(),
                 overheads: SoftwareOverheads::NONE,
+                ..SimConfig::default()
             },
         )
     }
@@ -825,8 +1044,7 @@ mod tests {
         // cost added before blocking).
         let f = sim(1, 2, 2, 2);
         let c = presets::whale_cost();
-        let expected_arrival =
-            c.o_intra_ns + c.gap_intra_ns + c.intra_payload_ns(8) + c.l_intra_ns;
+        let expected_arrival = c.o_intra_ns + c.gap_intra_ns + c.intra_payload_ns(8) + c.l_intra_ns;
         let f2 = f.clone();
         run_spmd(f.clone(), move |me| {
             if me == ProcId(0) {
@@ -893,7 +1111,10 @@ mod tests {
                 f2.flag_wait_ge(me, SPARE_FLAG, 7);
                 let t = f2.now_ns(me);
                 let serial_bound = 7 * (c.o_inter_ns + c.l_inter_ns);
-                assert!(t < serial_bound, "t={t} not parallel (bound {serial_bound})");
+                assert!(
+                    t < serial_bound,
+                    "t={t} not parallel (bound {serial_bound})"
+                );
             } else {
                 f2.flag_add(me, ProcId(0), SPARE_FLAG, 1);
             }
@@ -965,6 +1186,7 @@ mod tests {
                     nic_busy_extra_ns: 0,
                     nic_loopback_extra_ns: 0,
                 },
+                ..SimConfig::default()
             },
         );
         f.compute(ProcId(0), 1000);

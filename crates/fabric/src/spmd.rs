@@ -27,9 +27,8 @@ where
             .name(format!("image-{i}"))
             .stack_size(2 * 1024 * 1024)
             .spawn(move || {
-                let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    body(ProcId(i))
-                }));
+                let out =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(ProcId(i))));
                 if let Err(payload) = out {
                     // Fail the whole team loudly instead of hanging peers.
                     fabric.poison(&format!("image {i} panicked"));

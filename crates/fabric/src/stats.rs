@@ -142,17 +142,31 @@ impl StatsSnapshot {
 
     /// Component-wise difference `self - earlier` (counters are monotonic).
     pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        self.delta(earlier)
+    }
+
+    /// Component-wise difference `self - earlier`: the traffic between two
+    /// snapshots of the same fabric. Also available as the `-` operator.
+    pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        *self - *earlier
+    }
+}
+
+impl std::ops::Sub for StatsSnapshot {
+    type Output = StatsSnapshot;
+
+    fn sub(self, rhs: StatsSnapshot) -> StatsSnapshot {
         StatsSnapshot {
-            puts_intra: self.puts_intra - earlier.puts_intra,
-            puts_inter: self.puts_inter - earlier.puts_inter,
-            gets_intra: self.gets_intra - earlier.gets_intra,
-            gets_inter: self.gets_inter - earlier.gets_inter,
-            flags_intra: self.flags_intra - earlier.flags_intra,
-            flags_inter: self.flags_inter - earlier.flags_inter,
-            flag_waits: self.flag_waits - earlier.flag_waits,
-            amos: self.amos - earlier.amos,
-            bytes_intra: self.bytes_intra - earlier.bytes_intra,
-            bytes_inter: self.bytes_inter - earlier.bytes_inter,
+            puts_intra: self.puts_intra - rhs.puts_intra,
+            puts_inter: self.puts_inter - rhs.puts_inter,
+            gets_intra: self.gets_intra - rhs.gets_intra,
+            gets_inter: self.gets_inter - rhs.gets_inter,
+            flags_intra: self.flags_intra - rhs.flags_intra,
+            flags_inter: self.flags_inter - rhs.flags_inter,
+            flag_waits: self.flag_waits - rhs.flag_waits,
+            amos: self.amos - rhs.amos,
+            bytes_intra: self.bytes_intra - rhs.bytes_intra,
+            bytes_inter: self.bytes_inter - rhs.bytes_inter,
         }
     }
 }
@@ -198,5 +212,21 @@ mod tests {
         let d = b.since(&a);
         assert_eq!(d.flags_intra, 1);
         assert_eq!(d.flags_inter, 1);
+    }
+
+    #[test]
+    fn sub_operator_matches_delta() {
+        let s = FabricStats::default();
+        s.record_put(true, 32);
+        s.record_get(false, 8);
+        let a = s.snapshot();
+        s.record_put(true, 32);
+        s.record_flag(false);
+        let b = s.snapshot();
+        assert_eq!(b - a, b.delta(&a));
+        assert_eq!((b - a).puts_intra, 1);
+        assert_eq!((b - a).flags_inter, 1);
+        assert_eq!((b - a).bytes_intra, 32);
+        assert_eq!(b - b, StatsSnapshot::default());
     }
 }

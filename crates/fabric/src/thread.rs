@@ -14,6 +14,7 @@ use crate::seg::{FlagId, SegmentId, SharedBytes};
 use crate::stats::FabricStats;
 use crate::Fabric;
 use caf_topology::{CostParams, ImageMap, ProcId, SoftwareOverheads};
+use caf_trace::{Event, EventKind, Tracer};
 use crossbeam::utils::{Backoff, CachePadded};
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -35,6 +36,10 @@ pub struct ThreadConfig {
     /// Scale factor for injected delays, in milli-units (1000 = modeled
     /// latency as-is; 100 = 10× faster, keeping benches quick).
     pub delay_scale_milli: u64,
+    /// Trace sink. The default [`Tracer::off`] records nothing; an enabled
+    /// tracer captures every fabric operation with wall-clock stamps
+    /// (nanoseconds since fabric creation).
+    pub tracer: Tracer,
 }
 
 impl Default for ThreadConfig {
@@ -44,6 +49,7 @@ impl Default for ThreadConfig {
             overheads: SoftwareOverheads::NONE,
             inject_internode_delay: false,
             delay_scale_milli: 1000,
+            tracer: Tracer::off(),
         }
     }
 }
@@ -69,6 +75,9 @@ pub struct ThreadFabric {
     /// Set when an image died; waits panic instead of spinning forever.
     poisoned: Mutex<Option<String>>,
     poison_flag: std::sync::atomic::AtomicBool,
+    /// Serializes system-ring trace records (the ring is single-writer;
+    /// unlike the simulator, thread-fabric deliveries race each other).
+    trace_sys_lock: Mutex<()>,
 }
 
 impl ThreadFabric {
@@ -99,6 +108,7 @@ impl ThreadFabric {
             wake_cv: Condvar::new(),
             poisoned: Mutex::new(None),
             poison_flag: std::sync::atomic::AtomicBool::new(false),
+            trace_sys_lock: Mutex::new(()),
         })
     }
 
@@ -120,6 +130,39 @@ impl ThreadFabric {
             .get(flag.0)
             .unwrap_or_else(|| panic!("image {img} has no {flag:?} (out of {})", flags.len()))
             .clone()
+    }
+
+    /// Wall timestamp for trace records, or 0 when tracing is off — spares
+    /// the clock read on every op in untraced builds (with the `trace`
+    /// feature off, `enabled()` is a constant `false` and this folds away).
+    #[inline]
+    fn trace_now(&self) -> u64 {
+        if self.cfg.tracer.enabled() {
+            self.start.elapsed().as_nanos() as u64
+        } else {
+            0
+        }
+    }
+
+    /// Record a span that started at `t0` and ends now, tagging locality
+    /// from the `me`/`peer` placement.
+    #[inline]
+    fn trace_span(&self, kind: EventKind, me: ProcId, peer: ProcId, t0: u64, bytes: u64) {
+        if !self.cfg.tracer.enabled() {
+            return;
+        }
+        let t1 = self.trace_now();
+        let ev = Event::span(kind, t0, t1.saturating_sub(t0))
+            .a(peer.index() as u64)
+            .b(bytes);
+        self.cfg.tracer.record(
+            me.index(),
+            if me == peer {
+                ev.self_target()
+            } else {
+                ev.intra(self.map.colocated(me, peer))
+            },
+        );
     }
 
     /// Busy-wait the injected inter-node delay, if enabled.
@@ -159,6 +202,10 @@ impl Fabric for ThreadFabric {
         &self.stats
     }
 
+    fn tracer(&self) -> &Tracer {
+        &self.cfg.tracer
+    }
+
     fn alloc_segment(&self, me: ProcId, bytes: usize) -> SegmentId {
         let mut segs = self.slots[me.index()].segs.write();
         let id = segs.len();
@@ -180,8 +227,10 @@ impl Fabric for ThreadFabric {
         if me != dst {
             self.stats.record_put(intra, bytes.len());
         }
+        let t0 = self.trace_now();
         self.maybe_inject(!intra);
         self.seg_of(dst.index(), seg).write(offset, bytes);
+        self.trace_span(EventKind::Put, me, dst, t0, bytes.len() as u64);
     }
 
     fn get(&self, me: ProcId, src: ProcId, seg: SegmentId, offset: usize, out: &mut [u8]) {
@@ -189,8 +238,10 @@ impl Fabric for ThreadFabric {
         if me != src {
             self.stats.record_get(intra, out.len());
         }
+        let t0 = self.trace_now();
         self.maybe_inject(!intra);
         self.seg_of(src.index(), seg).read(offset, out);
+        self.trace_span(EventKind::Get, me, src, t0, out.len() as u64);
     }
 
     fn amo_fetch_add_u64(
@@ -202,10 +253,14 @@ impl Fabric for ThreadFabric {
         delta: u64,
     ) -> u64 {
         self.stats.amos.fetch_add(1, Ordering::Relaxed);
+        let t0 = self.trace_now();
         self.maybe_inject(!self.map.colocated(me, target));
-        self.seg_of(target.index(), seg)
+        let old = self
+            .seg_of(target.index(), seg)
             .as_atomic_u64(offset)
-            .fetch_add(delta, Ordering::AcqRel)
+            .fetch_add(delta, Ordering::AcqRel);
+        self.trace_span(EventKind::AmoFetchAdd, me, target, t0, offset as u64);
+        old
     }
 
     fn amo_cas_u64(
@@ -218,15 +273,17 @@ impl Fabric for ThreadFabric {
         new: u64,
     ) -> u64 {
         self.stats.amos.fetch_add(1, Ordering::Relaxed);
+        let t0 = self.trace_now();
         self.maybe_inject(!self.map.colocated(me, target));
-        match self.seg_of(target.index(), seg).as_atomic_u64(offset).compare_exchange(
-            expected,
-            new,
-            Ordering::AcqRel,
-            Ordering::Acquire,
-        ) {
+        let old = match self
+            .seg_of(target.index(), seg)
+            .as_atomic_u64(offset)
+            .compare_exchange(expected, new, Ordering::AcqRel, Ordering::Acquire)
+        {
             Ok(v) | Err(v) => v,
-        }
+        };
+        self.trace_span(EventKind::AmoCas, me, target, t0, offset as u64);
+        old
     }
 
     fn flag_add(&self, me: ProcId, target: ProcId, flag: FlagId, delta: u64) {
@@ -234,11 +291,40 @@ impl Fabric for ThreadFabric {
         if me != target {
             self.stats.record_flag(intra);
         }
+        let t0 = self.trace_now();
         self.maybe_inject(!intra);
         // Release: orders all prior (relaxed) payload stores before the
         // notification, so a waiter that Acquires the flag sees the payload.
         self.flag_cell(target.index(), flag)
             .fetch_add(delta, Ordering::Release);
+        if self.cfg.tracer.enabled() {
+            // Delivery is synchronous on shared memory: the add and its
+            // landing are one instant. Record both views so the critical-
+            // path walk works identically on thread traces.
+            let t1 = self.trace_now();
+            let ev = Event::instant(EventKind::FlagAdd, t0)
+                .a(target.index() as u64)
+                .b(flag.0 as u64)
+                .c(delta)
+                .d(t1);
+            self.cfg.tracer.record(
+                me.index(),
+                if me == target {
+                    ev.self_target()
+                } else {
+                    ev.intra(intra)
+                },
+            );
+            let _g = self.trace_sys_lock.lock();
+            self.cfg.tracer.record_system(
+                Event::instant(EventKind::FlagDeliver, t1)
+                    .a(me.index() as u64)
+                    .b(flag.0 as u64)
+                    .c(t0)
+                    .d(target.index() as u64)
+                    .intra(intra || me == target),
+            );
+        }
         if self.parked.load(Ordering::SeqCst) > 0 {
             let _g = self.wake_lock.lock();
             self.wake_cv.notify_all();
@@ -247,10 +333,20 @@ impl Fabric for ThreadFabric {
 
     fn flag_wait_ge(&self, me: ProcId, flag: FlagId, at_least: u64) {
         self.stats.flag_waits.fetch_add(1, Ordering::Relaxed);
+        let t0 = self.trace_now();
         let cell = self.flag_cell(me.index(), flag);
         let backoff = Backoff::new();
         loop {
             if cell.load(Ordering::Acquire) >= at_least {
+                if self.cfg.tracer.enabled() {
+                    let t1 = self.trace_now();
+                    self.cfg.tracer.record(
+                        me.index(),
+                        Event::span(EventKind::FlagWait, t0, t1.saturating_sub(t0))
+                            .a(flag.0 as u64)
+                            .b(at_least),
+                    );
+                }
                 return;
             }
             if self.poison_flag.load(Ordering::Acquire) {
@@ -263,8 +359,7 @@ impl Fabric for ThreadFabric {
                 self.parked.fetch_add(1, Ordering::SeqCst);
                 let mut g = self.wake_lock.lock();
                 if cell.load(Ordering::Acquire) < at_least {
-                    self.wake_cv
-                        .wait_for(&mut g, Duration::from_micros(200));
+                    self.wake_cv.wait_for(&mut g, Duration::from_micros(200));
                 }
                 drop(g);
                 self.parked.fetch_sub(1, Ordering::SeqCst);

@@ -19,6 +19,7 @@ fn ring_program(nodes: usize, cores: usize, images: usize, sends: Vec<u8>) -> Ve
         SimConfig {
             cost: presets::whale_cost(),
             overheads: SoftwareOverheads::NONE,
+            ..SimConfig::default()
         },
     );
     let f2 = fabric.clone();

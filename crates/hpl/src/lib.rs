@@ -32,7 +32,14 @@ mod tests {
     use caf_runtime::{run, CollectiveConfig, RunConfig};
     use caf_topology::presets;
 
-    fn check(images: usize, nodes: usize, cores: usize, n: usize, nb: usize, cfg: CollectiveConfig) {
+    fn check(
+        images: usize,
+        nodes: usize,
+        cores: usize,
+        n: usize,
+        nb: usize,
+        cfg: CollectiveConfig,
+    ) {
         let rc = RunConfig::sim_packed(presets::mini(nodes, cores), images).with_collectives(cfg);
         let hpl = HplConfig { n, nb, seed: 42 };
         let out = run(rc, move |img| {
@@ -100,7 +107,11 @@ mod tests {
     #[test]
     fn gflops_accounting_sane() {
         let rc = RunConfig::sim_packed(presets::mini(2, 2), 4);
-        let hpl = HplConfig { n: 32, nb: 4, seed: 1 };
+        let hpl = HplConfig {
+            n: 32,
+            nb: 4,
+            seed: 1,
+        };
         let out = run(rc, move |img| {
             let o = factorize(img, &hpl);
             (o.time_ns, o.gflops())
@@ -114,7 +125,11 @@ mod tests {
     #[test]
     fn pivots_agree_across_images() {
         let rc = RunConfig::sim_packed(presets::mini(2, 2), 4);
-        let hpl = HplConfig { n: 24, nb: 4, seed: 7 };
+        let hpl = HplConfig {
+            n: 24,
+            nb: 4,
+            seed: 7,
+        };
         let out = run(rc, move |img| factorize(img, &hpl).pivots);
         for p in &out[1..] {
             assert_eq!(p, &out[0], "pivot vectors must be identical everywhere");

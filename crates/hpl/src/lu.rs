@@ -206,8 +206,17 @@ pub fn factorize(img: &mut ImageCtx, cfg: &HplConfig) -> HplOutcome {
                 pivots_k[j] = piv as u64;
                 // Swap within the panel columns only (deferred elsewhere).
                 swap_rows_distributed(
-                    img, &grid, &mut local, prow, pcol, q, gdiag, piv, gcol0,
-                    gcol0 + nb_k, &swap_buf,
+                    img,
+                    &grid,
+                    &mut local,
+                    prow,
+                    pcol,
+                    q,
+                    gdiag,
+                    piv,
+                    gcol0,
+                    gcol0 + nb_k,
+                    &swap_buf,
                 );
                 // Broadcast the (post-swap) pivot row segment to the team.
                 let owner = grid.owner_row(gdiag);
@@ -287,27 +296,26 @@ pub fn factorize(img: &mut ImageCtx, cfg: &HplConfig) -> HplOutcome {
         let lt_c0 = grid.first_local_col_ge(pcol, gcol0 + nb_k);
         let tcols = lc - lt_c0;
         let mut u12 = vec![0.0f64; nb_k * tcols];
-        if prow == p_k
-            && tcols > 0 {
-                let li_k0 = grid.local_row(gcol0);
-                let l11_off = li_k0 - act0;
-                // Extract L11 from the slab (unit diagonal implied).
-                let mut l11 = vec![0.0f64; nb_k * nb_k];
-                for jj in 0..nb_k {
-                    for i in 0..nb_k {
-                        l11[i + jj * nb_k] = slab[l11_off + i + jj * slab_rows];
-                    }
-                }
-                let ld = local.ld();
-                let b = &mut local.as_mut_slice()[lt_c0 * ld + li_k0..];
-                blas::dtrsm_lower_unit(nb_k, tcols, &l11, nb_k, b, ld);
-                account(img, blas::dtrsm_flops(nb_k, tcols));
-                for jj in 0..tcols {
-                    for i in 0..nb_k {
-                        u12[i + jj * nb_k] = local.get(li_k0 + i, lt_c0 + jj);
-                    }
+        if prow == p_k && tcols > 0 {
+            let li_k0 = grid.local_row(gcol0);
+            let l11_off = li_k0 - act0;
+            // Extract L11 from the slab (unit diagonal implied).
+            let mut l11 = vec![0.0f64; nb_k * nb_k];
+            for jj in 0..nb_k {
+                for i in 0..nb_k {
+                    l11[i + jj * nb_k] = slab[l11_off + i + jj * slab_rows];
                 }
             }
+            let ld = local.ld();
+            let b = &mut local.as_mut_slice()[lt_c0 * ld + li_k0..];
+            blas::dtrsm_lower_unit(nb_k, tcols, &l11, nb_k, b, ld);
+            account(img, blas::dtrsm_flops(nb_k, tcols));
+            for jj in 0..tcols {
+                for i in 0..nb_k {
+                    u12[i + jj * nb_k] = local.get(li_k0 + i, lt_c0 + jj);
+                }
+            }
+        }
 
         // -------- (f) U12 travels along column teams --------------------
         if tcols > 0 {

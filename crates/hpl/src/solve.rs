@@ -205,11 +205,7 @@ pub fn verify_solve(img: &mut ImageCtx, cfg: &HplConfig, x: &[f64]) -> f64 {
         norm_a_rows = norm_a_rows.max(row_abs);
         i += stride;
     }
-    img.compute(
-        img.fabric()
-            .cost()
-            .flops_to_ns((2 * n * n / stride) as u64),
-    );
+    img.compute(img.fabric().cost().flops_to_ns((2 * n * n / stride) as u64));
     let mut combined = vec![worst, norm_a_rows];
     img.co_max(&mut combined);
     let norm_x = x.iter().fold(0.0f64, |m, v| m.max(v.abs()));

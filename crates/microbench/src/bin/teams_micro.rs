@@ -22,15 +22,21 @@ fn usage() -> ! {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let images: usize = args.first().map_or(64, |v| v.parse().unwrap_or_else(|_| usage()));
-    let per_node: usize = args.get(1).map_or(8, |v| v.parse().unwrap_or_else(|_| usage()));
+    let images: usize = args
+        .first()
+        .map_or(64, |v| v.parse().unwrap_or_else(|_| usage()));
+    let per_node: usize = args
+        .get(1)
+        .map_or(8, |v| v.parse().unwrap_or_else(|_| usage()));
     let (cfg_name, collectives) = match args.get(2).map(String::as_str) {
         None | Some("auto") => ("auto", CollectiveConfig::auto()),
         Some("one_level") => ("one_level", CollectiveConfig::one_level()),
         Some("two_level") => ("two_level", CollectiveConfig::two_level()),
         Some(_) => usage(),
     };
-    let iters: usize = args.get(3).map_or(10, |v| v.parse().unwrap_or_else(|_| usage()));
+    let iters: usize = args
+        .get(3)
+        .map_or(10, |v| v.parse().unwrap_or_else(|_| usage()));
 
     let machine = presets::whale();
     assert!(
@@ -49,10 +55,7 @@ fn main() {
         "collective latency (modeled us)",
         &["benchmark", "latency_us"],
     );
-    t.row(&[
-        "barrier".into(),
-        report::us(barrier_latency(&mc).ns_per_op),
-    ]);
+    t.row(&["barrier".into(), report::us(barrier_latency(&mc).ns_per_op)]);
     for elems in [1usize, 128, 4096] {
         t.row(&[
             format!("co_sum[{elems}]"),

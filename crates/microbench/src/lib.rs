@@ -20,6 +20,7 @@ pub use report::Table;
 use caf_fabric::{SimConfig, SimFabric};
 use caf_runtime::{run_on_fabric, CollectiveConfig, ImageCtx};
 use caf_topology::{presets, ImageMap, MachineModel, Placement, SoftwareOverheads};
+use caf_trace::{summary_rows, Event, Tracer};
 
 /// One microbenchmark configuration: a machine, a launch, a software
 /// stack, and a collective configuration.
@@ -40,6 +41,10 @@ pub struct MicroConfig {
     pub warmup: usize,
     /// Timed iterations.
     pub iters: usize,
+    /// Trace sink for the run ([`Tracer::off`] = no capture). The harness
+    /// clones the handle into the fabric, so after a run the caller reads
+    /// the recorded events from this same value.
+    pub tracer: Tracer,
 }
 
 impl MicroConfig {
@@ -54,6 +59,7 @@ impl MicroConfig {
             collectives: CollectiveConfig::auto(),
             warmup: 3,
             iters: 20,
+            tracer: Tracer::off(),
         }
     }
 
@@ -69,6 +75,13 @@ impl MicroConfig {
         self
     }
 
+    /// Attach a trace sink: subsequent runs record into `t` (read the
+    /// events back from the same handle after the run).
+    pub fn with_tracer(mut self, t: Tracer) -> Self {
+        self.tracer = t;
+        self
+    }
+
     fn build(&self) -> caf_fabric::ArcFabric {
         let map = ImageMap::new(self.machine.clone(), self.images, &self.placement);
         SimFabric::new(
@@ -76,9 +89,22 @@ impl MicroConfig {
             SimConfig {
                 cost: presets::whale_cost(),
                 overheads: self.overheads,
+                tracer: self.tracer.clone(),
             },
         )
     }
+}
+
+/// Render a recorded trace as a per-(team, op, level) latency table —
+/// the plain-text exporter of the trace pipeline (Chrome JSON being the
+/// other); counts plus p50/p95/p99/max in microseconds.
+pub fn trace_table(title: impl Into<String>, events: &[Event]) -> Table {
+    let (headers, rows) = summary_rows(events);
+    let mut t = Table::new(title, &headers);
+    for row in &rows {
+        t.row(row);
+    }
+    t
 }
 
 /// Result of one microbenchmark: modeled latency per operation.

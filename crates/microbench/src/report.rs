@@ -108,7 +108,13 @@ impl Table {
         let mut s: String = self
             .title
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '-'
+                }
+            })
             .collect();
         while s.contains("--") {
             s = s.replace("--", "-");
@@ -168,8 +174,7 @@ mod tests {
         assert_eq!(t.to_csv(), "n,v\n8,1.25\n");
         let dir = std::env::temp_dir().join("caf_csv_test");
         t.write_csv(dir.to_str().unwrap()).unwrap();
-        let written =
-            std::fs::read_to_string(dir.join("exp-x1-demo-table-us.csv")).unwrap();
+        let written = std::fs::read_to_string(dir.join("exp-x1-demo-table-us.csv")).unwrap();
         assert_eq!(written, t.to_csv());
     }
 

@@ -28,12 +28,7 @@ pub struct Coarray<T: CoValue> {
 impl<T: CoValue> Coarray<T> {
     /// Collective allocation over `comm`'s team (every member calls with
     /// the same `len`).
-    pub(crate) fn allocate(
-        fabric: ArcFabric,
-        me: ProcId,
-        comm: &mut TeamComm,
-        len: usize,
-    ) -> Self {
+    pub(crate) fn allocate(fabric: ArcFabric, me: ProcId, comm: &mut TeamComm, len: usize) -> Self {
         let seg = fabric.alloc_segment(me, len * T::SIZE);
         let g = comm.allgather4([seg.0 as u64, len as u64, T::SIZE as u64, 0]);
         let segs: Vec<SegmentId> = g
@@ -108,8 +103,7 @@ impl<T: CoValue> Coarray<T> {
         let (proc, seg) = self.target(image1);
         let mut bytes = vec![0u8; data.len() * T::SIZE];
         caf_collectives::value::slice_to_bytes(data, &mut bytes);
-        self.fabric
-            .put(self.me, proc, seg, start * T::SIZE, &bytes);
+        self.fabric.put(self.me, proc, seg, start * T::SIZE, &bytes);
     }
 
     /// `out = A(start+1 : start+out.len())[image1]` — one-sided read.

@@ -89,8 +89,8 @@ mod tests {
 
     #[test]
     fn build_thread_fabric_with_cyclic_placement() {
-        let cfg = RunConfig::threads_packed(presets::mini(4, 2), 4)
-            .with_placement(Placement::Cyclic);
+        let cfg =
+            RunConfig::threads_packed(presets::mini(4, 2), 4).with_placement(Placement::Cyclic);
         let f = cfg.build_fabric();
         assert_eq!(f.image_map().occupied_nodes(), 4);
         assert_eq!(f.image_map().max_images_per_node(), 1);

@@ -7,6 +7,7 @@
 use caf_collectives::TeamComm;
 use caf_fabric::{ArcFabric, FlagId};
 use caf_topology::ProcId;
+use caf_trace::{Event, EventKind};
 use std::sync::Arc;
 
 /// A block of `count` event variables on every image of the allocating
@@ -75,6 +76,15 @@ impl Events {
             self.flags[image1 - 1].nth(idx),
             1,
         );
+        let tracer = self.fabric.tracer();
+        if tracer.enabled() {
+            tracer.record(
+                self.me.index(),
+                Event::instant(EventKind::EventPost, self.fabric.now_ns(self.me))
+                    .a(self.members[image1 - 1].index() as u64)
+                    .b(idx as u64),
+            );
+        }
     }
 
     /// `event wait (ev, until_count=n)`: block until `n` unconsumed posts
@@ -83,8 +93,23 @@ impl Events {
         assert!(idx < self.count, "event index {idx} out of {}", self.count);
         assert!(until_count > 0, "event wait needs until_count >= 1");
         let target = self.consumed[idx] + until_count;
+        let tracer = self.fabric.tracer();
+        let t0 = if tracer.enabled() {
+            self.fabric.now_ns(self.me)
+        } else {
+            0
+        };
         self.fabric
             .flag_wait_ge(self.me, self.flags[self.my_rank].nth(idx), target);
+        if tracer.enabled() {
+            let t1 = self.fabric.now_ns(self.me);
+            tracer.record(
+                self.me.index(),
+                Event::span(EventKind::EventWait, t0, t1.saturating_sub(t0))
+                    .a(idx as u64)
+                    .b(target),
+            );
+        }
         self.consumed[idx] = target;
     }
 

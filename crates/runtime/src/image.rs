@@ -7,6 +7,7 @@ use crate::team::{Team, INITIAL_TEAM_NUMBER};
 use caf_collectives::{CoNumeric, CoValue, CollectiveConfig, TeamComm};
 use caf_fabric::{bootstrap, ArcFabric, FlagId};
 use caf_topology::ProcId;
+use caf_trace::{Event, EventKind};
 
 /// Cell index within the critical-section lock coarray.
 const CRITICAL_CELL: usize = 0;
@@ -148,10 +149,14 @@ impl ImageCtx {
 
     fn form_team_inner(&mut self, number: i64, new_index: Option<usize>) -> Team {
         let depth = self.team_depth() + 1;
-        let comm = self
-            .current_mut()
-            .comm
-            .create_sub(number, new_index, None);
+        let t0 = self.trace_now();
+        let comm = self.current_mut().comm.create_sub(number, new_index, None);
+        self.trace(
+            Event::span(EventKind::FormTeam, t0, self.trace_now().saturating_sub(t0))
+                .a(comm.trace_tag())
+                .b(comm.size() as u64)
+                .c(number as u64),
+        );
         Team {
             comm,
             number,
@@ -163,8 +168,22 @@ impl ImageCtx {
     /// current team. Synchronizes the team's members on entry and on exit
     /// (the implicit syncs of the Fortran construct) and returns the team
     /// handle back together with `body`'s result.
-    pub fn change_team<R>(&mut self, mut team: Team, body: impl FnOnce(&mut Self) -> R) -> (Team, R) {
+    pub fn change_team<R>(
+        &mut self,
+        mut team: Team,
+        body: impl FnOnce(&mut Self) -> R,
+    ) -> (Team, R) {
+        let tag = team.comm.trace_tag();
+        let t0 = self.trace_now();
         team.comm.barrier(); // implied sync at change team
+        self.trace(
+            Event::span(
+                EventKind::ChangeTeam,
+                t0,
+                self.trace_now().saturating_sub(t0),
+            )
+            .a(tag),
+        );
         self.teams.push(team);
         let out = body(self);
         let mut team = self.teams.pop().expect("team stack underflow");
@@ -172,7 +191,9 @@ impl ImageCtx {
             !self.teams.is_empty(),
             "change_team closed the initial team"
         );
+        let t1 = self.trace_now();
         team.comm.barrier(); // implied sync at end team
+        self.trace(Event::span(EventKind::EndTeam, t1, self.trace_now().saturating_sub(t1)).a(tag));
         (team, out)
     }
 
@@ -195,6 +216,7 @@ impl ImageCtx {
     /// current-team images (1-based). Every named image must execute a
     /// matching `sync_images` naming this image.
     pub fn sync_images(&mut self, images1: &[usize]) {
+        let t0 = self.trace_now();
         let comm = &self.current().comm;
         let partners: Vec<ProcId> = images1
             .iter()
@@ -226,6 +248,14 @@ impl ImageCtx {
                 self.sync_count[p.index()],
             );
         }
+        self.trace(
+            Event::span(
+                EventKind::SyncImages,
+                t0,
+                self.trace_now().saturating_sub(t0),
+            )
+            .a(partners.len() as u64),
+        );
     }
 
     /// `sync images (*)`: pairwise synchronization with **every** other
@@ -237,7 +267,13 @@ impl ImageCtx {
 
     /// `sync memory`: complete my outstanding one-sided operations.
     pub fn sync_memory(&self) {
+        let t0 = self.trace_now();
         self.fabric.quiet(self.me);
+        self.trace(Event::span(
+            EventKind::SyncMemory,
+            t0,
+            self.trace_now().saturating_sub(t0),
+        ));
     }
 
     /// The Fortran `critical … end critical` construct: run `body` while
@@ -250,9 +286,7 @@ impl ImageCtx {
     pub fn critical<R>(&mut self, body: impl FnOnce(&mut Self) -> R) -> R {
         let ticket = self.me.index() as u64 + 1;
         loop {
-            let old = self
-                .critical_lock
-                .atomic_cas(1, CRITICAL_CELL, 0, ticket);
+            let old = self.critical_lock.atomic_cas(1, CRITICAL_CELL, 0, ticket);
             if old == 0 {
                 break;
             }
@@ -260,9 +294,7 @@ impl ImageCtx {
             // time and the holder keeps making progress.
         }
         let out = body(self);
-        let released = self
-            .critical_lock
-            .atomic_cas(1, CRITICAL_CELL, ticket, 0);
+        let released = self.critical_lock.atomic_cas(1, CRITICAL_CELL, ticket, 0);
         assert_eq!(released, ticket, "critical lock corrupted");
         out
     }
@@ -277,12 +309,7 @@ impl ImageCtx {
 
     /// Scatter from `root_image` (1-based): the root supplies
     /// `num_images()·out.len()` elements; image `i` receives slice `i-1`.
-    pub fn co_scatter<T: CoValue>(
-        &mut self,
-        all: Option<&[T]>,
-        out: &mut [T],
-        root_image: usize,
-    ) {
+    pub fn co_scatter<T: CoValue>(&mut self, all: Option<&[T]>, out: &mut [T], root_image: usize) {
         let root = root_image.checked_sub(1).expect("root_image is 1-based");
         self.current_mut().comm.co_scatter(all, out, root);
     }
@@ -362,18 +389,42 @@ impl ImageCtx {
     /// team** (the paper's memory benefit: allocation inside a `change
     /// team` block involves only that team's images). Collective.
     pub fn coarray<T: CoValue>(&mut self, elems: usize) -> Coarray<T> {
-        Coarray::allocate(self.fabric.clone(), self.me, &mut self.current_mut().comm, elems)
+        Coarray::allocate(
+            self.fabric.clone(),
+            self.me,
+            &mut self.current_mut().comm,
+            elems,
+        )
     }
 
     /// Allocate `count` event variables per image over the current team
     /// (CAF `event_type` coarray). Collective.
     pub fn events(&mut self, count: usize) -> Events {
-        Events::allocate(self.fabric.clone(), self.me, &mut self.current_mut().comm, count)
+        Events::allocate(
+            self.fabric.clone(),
+            self.me,
+            &mut self.current_mut().comm,
+            count,
+        )
     }
 
     // ------------------------------------------------------------------
     // Internals
     // ------------------------------------------------------------------
+
+    /// Fabric clock for runtime-statement spans, or 0 when tracing is off.
+    fn trace_now(&self) -> u64 {
+        if self.fabric.tracer().enabled() {
+            self.fabric.now_ns(self.me)
+        } else {
+            0
+        }
+    }
+
+    /// Record a runtime-statement trace event on this image's ring.
+    fn trace(&self, ev: Event) {
+        self.fabric.tracer().record(self.me.index(), ev);
+    }
 
     fn current(&self) -> &Team {
         self.teams.last().expect("team stack never empty")

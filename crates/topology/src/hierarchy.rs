@@ -221,11 +221,7 @@ mod tests {
 
     #[test]
     fn flat_team_one_image_per_node() {
-        let m = ImageMap::new(
-            MachineModel::new("whale", 44, 2, 4),
-            8,
-            &Placement::Cyclic,
-        );
+        let m = ImageMap::new(MachineModel::new("whale", 44, 2, 4), 8, &Placement::Cyclic);
         let h = HierarchyView::build(&m, &full_team(8));
         assert!(h.is_flat());
         assert_eq!(h.n_nodes(), 8);

@@ -1,0 +1,319 @@
+//! Critical-path extraction: walk the happens-before chain of a traced
+//! episode backwards from its last-finishing image and name the longest
+//! notification chain — which flag deliveries, across which hierarchy
+//! levels, actually gated completion.
+//!
+//! The walk uses two record families the instrumented fabrics produce:
+//!
+//! * [`EventKind::FlagWait`] spans on each image's ring: when an image was
+//!   blocked, and on which flag;
+//! * [`EventKind::FlagDeliver`] instants on the system ring: the exact
+//!   (virtual) time a `flag_add` from `src` landed at `dst`, carrying its
+//!   post time.
+//!
+//! Starting at the image whose episode span ends last, the extractor
+//! repeatedly asks "what unblocked the wait that ended last?" — if the
+//! satisfying delivery arrived while the image was blocked, the chain hops
+//! to the sender at its post time; otherwise the image was locally bound
+//! and the walk continues on the same image from the wait's start.
+
+use crate::event::{Event, EventKind, SYSTEM_IMG};
+
+/// One notification edge on the critical path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Hop {
+    /// Sending image.
+    pub from: u32,
+    /// Receiving image.
+    pub to: u32,
+    /// Flag that carried the notification.
+    pub flag: u64,
+    /// When the sender issued the `flag_add`.
+    pub t_post: u64,
+    /// When it landed at the receiver.
+    pub t_deliver: u64,
+    /// Whether the edge stayed within one node.
+    pub intra: bool,
+}
+
+/// The longest notification chain of an episode.
+#[derive(Clone, Debug)]
+pub struct CriticalPath {
+    /// Image and time where the chain begins.
+    pub start_img: u32,
+    /// Start time of the chain.
+    pub start_ns: u64,
+    /// Image whose completion ended the episode.
+    pub end_img: u32,
+    /// Episode end time.
+    pub end_ns: u64,
+    /// Notification edges, in causal (oldest-first) order.
+    pub hops: Vec<Hop>,
+}
+
+impl CriticalPath {
+    /// Edges that crossed nodes.
+    pub fn inter_hops(&self) -> usize {
+        self.hops.iter().filter(|h| !h.intra).count()
+    }
+
+    /// Edges that stayed within a node.
+    pub fn intra_hops(&self) -> usize {
+        self.hops.iter().filter(|h| h.intra).count()
+    }
+
+    /// Total chain length in nanoseconds.
+    pub fn span_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// Multi-line human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "critical path: image {} @ {}ns -> image {} @ {}ns ({} hops: {} inter-node, {} intra-node, {}ns)\n",
+            self.start_img,
+            self.start_ns,
+            self.end_img,
+            self.end_ns,
+            self.hops.len(),
+            self.inter_hops(),
+            self.intra_hops(),
+            self.span_ns(),
+        );
+        for h in &self.hops {
+            out.push_str(&format!(
+                "  image {} --flag{} ({})--> image {}  posted {}ns, landed {}ns (+{}ns)\n",
+                h.from,
+                h.flag,
+                if h.intra { "intra" } else { "inter" },
+                h.to,
+                h.t_post,
+                h.t_deliver,
+                h.t_deliver.saturating_sub(h.t_post),
+            ));
+        }
+        out
+    }
+}
+
+/// The `[start, end)` window of the episode of `kind` with epoch `epoch`
+/// (operand `c` of the collective span), across all images.
+pub fn episode_window(events: &[Event], kind: EventKind, epoch: u64) -> Option<(u64, u64)> {
+    let mut lo = u64::MAX;
+    let mut hi = 0u64;
+    for ev in events {
+        if ev.kind == kind && ev.c == epoch {
+            lo = lo.min(ev.t_ns);
+            hi = hi.max(ev.end_ns());
+        }
+    }
+    (lo < hi).then_some((lo, hi))
+}
+
+/// The window of the episode of `kind` with epoch `epoch` once *every*
+/// participant has entered it: `[latest start, latest end)`. Use this
+/// instead of [`episode_window`] to analyse one phase of a multi-phase
+/// collective — the tighter lower bound keeps the walk from threading
+/// back through a straggler's previous phase (e.g. a slow leader still
+/// gathering while its peers already disseminate).
+pub fn phase_window(events: &[Event], kind: EventKind, epoch: u64) -> Option<(u64, u64)> {
+    let mut lo = 0u64;
+    let mut hi = 0u64;
+    let mut seen = false;
+    for ev in events {
+        if ev.kind == kind && ev.c == epoch {
+            lo = lo.max(ev.t_ns);
+            hi = hi.max(ev.end_ns());
+            seen = true;
+        }
+    }
+    (seen && lo < hi).then_some((lo, hi))
+}
+
+/// Extract the critical path of the episode inside `window`.
+///
+/// `events` is a full trace (typically `Tracer::events()`); only records
+/// overlapping the window participate. Returns `None` when the window
+/// contains no image activity.
+pub fn extract(events: &[Event], window: (u64, u64)) -> Option<CriticalPath> {
+    let (w_lo, w_hi) = window;
+    let in_window = |t: u64| (w_lo..=w_hi).contains(&t);
+
+    // Index waits per image and deliveries per destination.
+    let mut waits: Vec<&Event> = Vec::new();
+    let mut delivers: Vec<&Event> = Vec::new();
+    let mut end: Option<(u32, u64)> = None;
+    for ev in events {
+        match ev.kind {
+            EventKind::FlagWait if ev.img != SYSTEM_IMG && in_window(ev.end_ns()) => {
+                waits.push(ev);
+            }
+            EventKind::FlagDeliver if in_window(ev.t_ns) => delivers.push(ev),
+            _ => {}
+        }
+        // Episode end: the latest event end among per-image records.
+        if ev.img != SYSTEM_IMG && in_window(ev.end_ns()) {
+            let cand = (ev.img, ev.end_ns());
+            if end.is_none_or(|(_, t)| cand.1 > t) {
+                end = Some(cand);
+            }
+        }
+    }
+    let (end_img, end_ns) = end?;
+
+    let mut cur_img = end_img;
+    let mut cur_t = end_ns;
+    let mut hops = Vec::new();
+
+    // Bounded walk: each step strictly decreases cur_t or consumes a wait.
+    for _ in 0..100_000 {
+        // Latest blocking wait of cur_img ending at or before cur_t.
+        let Some(wait) = waits
+            .iter()
+            .filter(|w| w.img == cur_img && w.dur_ns > 0 && w.end_ns() <= cur_t)
+            .max_by_key(|w| w.end_ns())
+        else {
+            break;
+        };
+        // The delivery that satisfied it: the latest arrival on that flag
+        // at this image no later than the wait's end.
+        let sat = delivers
+            .iter()
+            .filter(|d| d.d as u32 == cur_img && d.b == wait.a && d.t_ns <= wait.end_ns())
+            .max_by_key(|d| d.t_ns);
+        match sat {
+            Some(d) if d.t_ns > wait.t_ns => {
+                // The image was blocked when the notification landed: the
+                // sender is on the critical path.
+                hops.push(Hop {
+                    from: d.a as u32,
+                    to: cur_img,
+                    flag: d.b,
+                    t_post: d.c,
+                    t_deliver: d.t_ns,
+                    intra: d.is_intra(),
+                });
+                cur_img = d.a as u32;
+                cur_t = d.c;
+            }
+            _ => {
+                // Flag was already satisfied at wait start (or delivery
+                // untraced): locally bound; continue earlier on this image.
+                cur_t = wait.t_ns;
+            }
+        }
+        if cur_t <= w_lo {
+            break;
+        }
+    }
+
+    hops.reverse();
+    Some(CriticalPath {
+        start_img: cur_img,
+        start_ns: cur_t,
+        end_img,
+        end_ns,
+        hops,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wait(img: u32, flag: u64, t: u64, dur: u64) -> Event {
+        let mut e = Event::span(EventKind::FlagWait, t, dur).a(flag);
+        e.img = img;
+        e
+    }
+
+    fn deliver(src: u32, dst: u32, flag: u64, t_post: u64, t: u64, intra: bool) -> Event {
+        let mut e = Event::instant(EventKind::FlagDeliver, t)
+            .a(src as u64)
+            .b(flag)
+            .c(t_post)
+            .d(dst as u64)
+            .intra(intra);
+        e.img = SYSTEM_IMG;
+        e
+    }
+
+    fn barrier(img: u32, t: u64, dur: u64) -> Event {
+        let mut e = Event::span(EventKind::Barrier, t, dur).c(1);
+        e.img = img;
+        e
+    }
+
+    /// A 3-image chain: 0 posts to 1 (inter), 1 posts to 2 (intra);
+    /// image 2 finishes last.
+    #[test]
+    fn walks_a_simple_chain() {
+        let evs = vec![
+            barrier(0, 0, 100),
+            barrier(1, 0, 220),
+            barrier(2, 0, 300),
+            wait(1, 5, 10, 190), // blocked 10..200
+            deliver(0, 1, 5, 90, 200, false),
+            wait(2, 6, 20, 260), // blocked 20..280
+            deliver(1, 2, 6, 210, 280, true),
+        ];
+        let w = episode_window(&evs, EventKind::Barrier, 1).unwrap();
+        assert_eq!(w, (0, 300));
+        let cp = extract(&evs, w).unwrap();
+        assert_eq!(cp.end_img, 2);
+        assert_eq!(cp.hops.len(), 2);
+        assert_eq!(cp.inter_hops(), 1);
+        assert_eq!(cp.intra_hops(), 1);
+        // Causal order: 0 -> 1 first, then 1 -> 2.
+        assert_eq!(cp.hops[0].from, 0);
+        assert_eq!(cp.hops[1].to, 2);
+        assert_eq!(cp.start_img, 0);
+        let report = cp.render();
+        assert!(report.contains("1 inter-node"));
+        assert!(report.contains("--flag5 (inter)-->"));
+    }
+
+    /// A delivery that landed before the wait started is not a hop: the
+    /// waiter was never blocked on it.
+    #[test]
+    fn early_delivery_is_not_blocking() {
+        let evs = vec![
+            barrier(0, 0, 50),
+            barrier(1, 0, 100),
+            wait(1, 5, 60, 1), // flag already satisfied at wait start
+            deliver(0, 1, 5, 10, 20, true),
+        ];
+        let cp = extract(&evs, (0, 100)).unwrap();
+        assert_eq!(cp.end_img, 1);
+        assert_eq!(cp.hops.len(), 0);
+    }
+
+    #[test]
+    fn empty_window_yields_none() {
+        assert!(extract(&[], (0, 10)).is_none());
+        assert!(episode_window(&[], EventKind::Barrier, 1).is_none());
+        assert!(phase_window(&[], EventKind::Barrier, 1).is_none());
+    }
+
+    /// `phase_window` starts at the LAST participant's entry, so a hop
+    /// that unblocked an early entrant before then is excluded.
+    #[test]
+    fn phase_window_excludes_straggler_prehistory() {
+        let evs = vec![
+            barrier(0, 0, 100),
+            barrier(1, 40, 260), // last to enter the phase
+            wait(0, 5, 10, 20),  // blocked 10..30, before image 1 entered
+            deliver(2, 0, 5, 5, 30, false),
+            wait(1, 6, 50, 230), // blocked 50..280
+            deliver(0, 1, 6, 60, 280, true),
+        ];
+        assert_eq!(episode_window(&evs, EventKind::Barrier, 1), Some((0, 300)));
+        let w = phase_window(&evs, EventKind::Barrier, 1).unwrap();
+        assert_eq!(w, (40, 300));
+        let cp = extract(&evs, w).unwrap();
+        // Only the 0 -> 1 hop survives; the pre-window 2 -> 0 hop does not.
+        assert_eq!(cp.hops.len(), 1);
+        assert_eq!(cp.hops[0].from, 0);
+        assert_eq!(cp.inter_hops(), 0);
+    }
+}

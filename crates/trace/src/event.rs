@@ -1,0 +1,405 @@
+//! The fixed-size trace event: one cache line of plain-old-data words so
+//! recording is a handful of relaxed stores into a ring slot.
+//!
+//! Field meaning is per kind (`a`–`d` are overloaded):
+//!
+//! | kind | `a` | `b` | `c` | `d` |
+//! |---|---|---|---|---|
+//! | `Put` / `Get` | peer image | bytes | queue ns | service ns |
+//! | `AmoFetchAdd` / `AmoCas` | peer image | byte offset | queue ns | service ns |
+//! | `FlagAdd` | dst image | flag id | delta | modeled arrival t |
+//! | `FlagWait` | flag id | target value | — | — |
+//! | `FlagDeliver` | src image | flag id | post t | dst image |
+//! | `Quiet` / `Compute` | — | — | — | — |
+//! | `Barrier` | algo code | team tag | epoch | — |
+//! | `BarrierRound` | round k | partner image | epoch | — |
+//! | `TdlbGather` / `TdlbRelease` | slave count | team tag | epoch | — |
+//! | `TdlbDissem` | leader count | team tag | epoch | — |
+//! | `Bcast` / `Reduce` | algo code | team tag | epoch | bytes |
+//! | `BcastStage` / `ReduceStage` | stage index | team tag | epoch | — |
+//! | `FormTeam` | team tag | size | color | — |
+//! | `ChangeTeam` / `EndTeam` | team tag | — | — | — |
+//! | `SyncImages` | partner count | — | — | — |
+//! | `SyncMemory` | — | — | — | — |
+//! | `EventPost` | dst image | event index | — | — |
+//! | `EventWait` | event index | until count | — | — |
+//!
+//! Timestamps are whatever the owning fabric's clock produces: virtual
+//! nanoseconds under `SimFabric`, wall nanoseconds under `ThreadFabric`.
+
+/// Words per encoded event (64 bytes).
+pub const EVENT_WORDS: usize = 8;
+
+/// Image index stored for simulator-side (system) events, e.g.
+/// [`EventKind::FlagDeliver`] records made while applying the event queue.
+pub const SYSTEM_IMG: u32 = u32::MAX;
+
+/// `flags` bit: the operation stayed within one node.
+pub const FLAG_INTRA: u32 = 1 << 0;
+
+/// `flags` bit: the operation targeted the issuing image itself.
+pub const FLAG_SELF: u32 = 1 << 1;
+
+/// `flags` bits 2–3: hierarchy level of a collective phase span.
+pub const LEVEL_SHIFT: u32 = 2;
+const LEVEL_MASK: u32 = 0b11 << LEVEL_SHIFT;
+
+/// Hierarchy level a collective phase span belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// The whole operation, across every level.
+    Whole,
+    /// Intra-node (shared-memory) portion.
+    Intra,
+    /// Inter-node (network) portion.
+    Inter,
+}
+
+impl Level {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Level::Whole => "whole",
+            Level::Intra => "intra",
+            Level::Inter => "inter",
+        }
+    }
+}
+
+/// What a trace event records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u32)]
+pub enum EventKind {
+    /// One-sided remote write.
+    Put = 1,
+    /// One-sided remote read.
+    Get = 2,
+    /// Atomic fetch-and-add on a remote segment word.
+    AmoFetchAdd = 3,
+    /// Atomic compare-and-swap on a remote segment word.
+    AmoCas = 4,
+    /// Notification: add to a (possibly remote) sync flag.
+    FlagAdd = 5,
+    /// Blocking wait until a local flag reaches a target.
+    FlagWait = 6,
+    /// Simulator-side: the instant a flag add landed at its target.
+    FlagDeliver = 7,
+    /// Completion fence for outstanding one-sided ops.
+    Quiet = 8,
+    /// Modeled local computation.
+    Compute = 9,
+    /// A whole barrier episode.
+    Barrier = 16,
+    /// One dissemination round inside a barrier.
+    BarrierRound = 17,
+    /// TDLB phase 1: leader collecting its node's slave notifications.
+    TdlbGather = 18,
+    /// TDLB phase 2: dissemination among node leaders.
+    TdlbDissem = 19,
+    /// TDLB phase 3: leader releasing its node's slaves.
+    TdlbRelease = 20,
+    /// A whole broadcast episode.
+    Bcast = 21,
+    /// One stage of a two-level broadcast.
+    BcastStage = 22,
+    /// A whole allreduce episode.
+    Reduce = 23,
+    /// One stage of a two-level reduction.
+    ReduceStage = 24,
+    /// `form_team`: collective subteam construction.
+    FormTeam = 32,
+    /// `change_team`: entering a team's execution scope.
+    ChangeTeam = 33,
+    /// `end_team`: leaving a team's execution scope.
+    EndTeam = 34,
+    /// `sync images`: pairwise image synchronization.
+    SyncImages = 35,
+    /// `sync memory`: local completion fence.
+    SyncMemory = 36,
+    /// `event post` on a (possibly remote) event variable.
+    EventPost = 37,
+    /// `event wait` on a local event variable.
+    EventWait = 38,
+}
+
+impl EventKind {
+    /// Decode from the stored discriminant.
+    pub fn from_u32(v: u32) -> Option<Self> {
+        Some(match v {
+            1 => Self::Put,
+            2 => Self::Get,
+            3 => Self::AmoFetchAdd,
+            4 => Self::AmoCas,
+            5 => Self::FlagAdd,
+            6 => Self::FlagWait,
+            7 => Self::FlagDeliver,
+            8 => Self::Quiet,
+            9 => Self::Compute,
+            16 => Self::Barrier,
+            17 => Self::BarrierRound,
+            18 => Self::TdlbGather,
+            19 => Self::TdlbDissem,
+            20 => Self::TdlbRelease,
+            21 => Self::Bcast,
+            22 => Self::BcastStage,
+            23 => Self::Reduce,
+            24 => Self::ReduceStage,
+            32 => Self::FormTeam,
+            33 => Self::ChangeTeam,
+            34 => Self::EndTeam,
+            35 => Self::SyncImages,
+            36 => Self::SyncMemory,
+            37 => Self::EventPost,
+            38 => Self::EventWait,
+            _ => return None,
+        })
+    }
+
+    /// Stable display name (also the Chrome trace event name).
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Put => "put",
+            Self::Get => "get",
+            Self::AmoFetchAdd => "amo_fadd",
+            Self::AmoCas => "amo_cas",
+            Self::FlagAdd => "flag_add",
+            Self::FlagWait => "flag_wait",
+            Self::FlagDeliver => "flag_deliver",
+            Self::Quiet => "quiet",
+            Self::Compute => "compute",
+            Self::Barrier => "barrier",
+            Self::BarrierRound => "barrier_round",
+            Self::TdlbGather => "tdlb_gather",
+            Self::TdlbDissem => "tdlb_dissem",
+            Self::TdlbRelease => "tdlb_release",
+            Self::Bcast => "bcast",
+            Self::BcastStage => "bcast_stage",
+            Self::Reduce => "reduce",
+            Self::ReduceStage => "reduce_stage",
+            Self::FormTeam => "form_team",
+            Self::ChangeTeam => "change_team",
+            Self::EndTeam => "end_team",
+            Self::SyncImages => "sync_images",
+            Self::SyncMemory => "sync_memory",
+            Self::EventPost => "event_post",
+            Self::EventWait => "event_wait",
+        }
+    }
+}
+
+/// One trace record. See the module docs for per-kind field meaning.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Start timestamp (fabric clock, nanoseconds).
+    pub t_ns: u64,
+    /// Span duration; 0 for instant events.
+    pub dur_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// `FLAG_*` bits plus the encoded [`Level`].
+    pub flags: u32,
+    /// Recording image, or [`SYSTEM_IMG`] for simulator-side records.
+    pub img: u32,
+    /// Per-kind operand (see module docs).
+    pub a: u64,
+    /// Per-kind operand.
+    pub b: u64,
+    /// Per-kind operand.
+    pub c: u64,
+    /// Per-kind operand.
+    pub d: u64,
+}
+
+impl Event {
+    /// An instant event at `t_ns` with zeroed operands.
+    pub fn instant(kind: EventKind, t_ns: u64) -> Self {
+        Self {
+            t_ns,
+            dur_ns: 0,
+            kind,
+            flags: 0,
+            img: 0,
+            a: 0,
+            b: 0,
+            c: 0,
+            d: 0,
+        }
+    }
+
+    /// A span covering `[t_ns, t_ns + dur_ns)`.
+    pub fn span(kind: EventKind, t_ns: u64, dur_ns: u64) -> Self {
+        Self {
+            dur_ns,
+            ..Self::instant(kind, t_ns)
+        }
+    }
+
+    /// Set operand `a`.
+    pub fn a(mut self, v: u64) -> Self {
+        self.a = v;
+        self
+    }
+
+    /// Set operand `b`.
+    pub fn b(mut self, v: u64) -> Self {
+        self.b = v;
+        self
+    }
+
+    /// Set operand `c`.
+    pub fn c(mut self, v: u64) -> Self {
+        self.c = v;
+        self
+    }
+
+    /// Set operand `d`.
+    pub fn d(mut self, v: u64) -> Self {
+        self.d = v;
+        self
+    }
+
+    /// Mark the op intra-node (`true`) or inter-node (`false`).
+    pub fn intra(mut self, intra: bool) -> Self {
+        if intra {
+            self.flags |= FLAG_INTRA;
+        }
+        self
+    }
+
+    /// Mark the op as targeting the issuing image itself.
+    pub fn self_target(mut self) -> Self {
+        self.flags |= FLAG_SELF | FLAG_INTRA;
+        self
+    }
+
+    /// Tag the hierarchy level of a collective phase.
+    pub fn level(mut self, level: Level) -> Self {
+        self.flags = (self.flags & !LEVEL_MASK)
+            | (match level {
+                Level::Whole => 0,
+                Level::Intra => 1,
+                Level::Inter => 2,
+            } << LEVEL_SHIFT);
+        self
+    }
+
+    /// The op stayed within one node.
+    pub fn is_intra(&self) -> bool {
+        self.flags & FLAG_INTRA != 0
+    }
+
+    /// The op targeted the issuing image.
+    pub fn is_self(&self) -> bool {
+        self.flags & FLAG_SELF != 0
+    }
+
+    /// Hierarchy level tag of a collective phase span.
+    pub fn hierarchy_level(&self) -> Level {
+        match (self.flags & LEVEL_MASK) >> LEVEL_SHIFT {
+            1 => Level::Intra,
+            2 => Level::Inter,
+            _ => Level::Whole,
+        }
+    }
+
+    /// End timestamp (`t_ns + dur_ns`).
+    pub fn end_ns(&self) -> u64 {
+        self.t_ns + self.dur_ns
+    }
+
+    /// Encode into ring-slot words.
+    pub fn encode(&self) -> [u64; EVENT_WORDS] {
+        [
+            self.t_ns,
+            self.dur_ns,
+            (self.kind as u64) | ((self.flags as u64) << 32),
+            self.img as u64,
+            self.a,
+            self.b,
+            self.c,
+            self.d,
+        ]
+    }
+
+    /// Decode from ring-slot words; `None` for an unknown kind word
+    /// (e.g. a torn or never-written slot).
+    pub fn decode(w: &[u64; EVENT_WORDS]) -> Option<Self> {
+        let kind = EventKind::from_u32((w[2] & 0xFFFF_FFFF) as u32)?;
+        Some(Self {
+            t_ns: w[0],
+            dur_ns: w[1],
+            kind,
+            flags: (w[2] >> 32) as u32,
+            img: w[3] as u32,
+            a: w[4],
+            b: w[5],
+            c: w[6],
+            d: w[7],
+        })
+    }
+
+    /// Compact single-line rendering for diagnostics (deadlock reports).
+    pub fn render(&self) -> String {
+        let locality = if self.is_self() {
+            " self"
+        } else if self.is_intra() {
+            " intra"
+        } else {
+            ""
+        };
+        let dur = if self.dur_ns > 0 {
+            format!(" dur={}ns", self.dur_ns)
+        } else {
+            String::new()
+        };
+        format!(
+            "t={}ns {}{}{} a={} b={} c={} d={}",
+            self.t_ns,
+            self.kind.name(),
+            locality,
+            dur,
+            self.a,
+            self.b,
+            self.c,
+            self.d
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let ev = Event::span(EventKind::Put, 123, 456)
+            .a(7)
+            .b(4096)
+            .c(11)
+            .d(22)
+            .intra(true);
+        let mut ev = ev;
+        ev.img = 3;
+        assert_eq!(Event::decode(&ev.encode()), Some(ev));
+    }
+
+    #[test]
+    fn unknown_kind_decodes_to_none() {
+        let w = [0u64, 0, 999, 0, 0, 0, 0, 0];
+        assert_eq!(Event::decode(&w), None);
+    }
+
+    #[test]
+    fn level_tagging_roundtrip() {
+        for level in [Level::Whole, Level::Intra, Level::Inter] {
+            let ev = Event::instant(EventKind::TdlbDissem, 0).level(level);
+            assert_eq!(ev.hierarchy_level(), level);
+        }
+        // Level bits do not clobber locality bits.
+        let ev = Event::instant(EventKind::TdlbGather, 0)
+            .intra(true)
+            .level(Level::Intra);
+        assert!(ev.is_intra());
+        assert_eq!(ev.hierarchy_level(), Level::Intra);
+    }
+}

@@ -1,0 +1,199 @@
+//! Latency aggregation: group span events by (team tag, operation,
+//! hierarchy level) and report count plus p50/p95/p99/max — the numbers
+//! the paper argues with (§IV-A), computed from an actual trace instead
+//! of closed forms.
+
+use crate::event::{Event, EventKind, Level};
+
+/// Aggregation key: which team, which operation, which level.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MetricKey {
+    /// Team tag (`first_member << 32 | size`), 0 for untagged fabric ops.
+    pub team: u64,
+    /// Operation kind.
+    pub kind: EventKind,
+    /// Hierarchy level of the span.
+    pub level: Level,
+}
+
+/// Aggregated latencies for one key.
+#[derive(Clone, Debug)]
+pub struct MetricsRow {
+    /// Grouping key.
+    pub key: MetricKey,
+    /// Spans aggregated.
+    pub count: usize,
+    /// Median duration (ns).
+    pub p50_ns: u64,
+    /// 95th percentile duration (ns).
+    pub p95_ns: u64,
+    /// 99th percentile duration (ns).
+    pub p99_ns: u64,
+    /// Maximum duration (ns).
+    pub max_ns: u64,
+    /// Mean duration (ns).
+    pub mean_ns: f64,
+}
+
+impl MetricsRow {
+    /// Human-readable team tag: `r<first>x<size>` or `-` for untagged.
+    pub fn team_label(&self) -> String {
+        if self.key.team == 0 {
+            "-".into()
+        } else {
+            format!("r{}x{}", self.key.team >> 32, self.key.team & 0xFFFF_FFFF)
+        }
+    }
+}
+
+/// Span kinds worth aggregating (fabric ops and collective phases; pure
+/// instants like `FlagAdd`/`FlagDeliver` carry no duration).
+fn aggregatable(kind: EventKind) -> bool {
+    !matches!(
+        kind,
+        EventKind::FlagAdd | EventKind::FlagDeliver | EventKind::EventPost
+    )
+}
+
+/// Which team tag an event carries (collective spans keep it in `b`;
+/// `BarrierRound` does not — its `b` is the partner image — so rounds
+/// aggregate untagged).
+fn team_of(ev: &Event) -> u64 {
+    match ev.kind {
+        EventKind::Barrier
+        | EventKind::TdlbGather
+        | EventKind::TdlbDissem
+        | EventKind::TdlbRelease
+        | EventKind::Bcast
+        | EventKind::BcastStage
+        | EventKind::Reduce
+        | EventKind::ReduceStage => ev.b,
+        EventKind::FormTeam | EventKind::ChangeTeam | EventKind::EndTeam => ev.a,
+        _ => 0,
+    }
+}
+
+/// Exact nearest-rank percentile over a sorted sample:
+/// the ⌈p/100·n⌉-th smallest value.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Aggregate span durations from `events`, sorted by key.
+pub fn aggregate(events: &[Event]) -> Vec<MetricsRow> {
+    let mut groups: std::collections::BTreeMap<MetricKey, Vec<u64>> =
+        std::collections::BTreeMap::new();
+    for ev in events {
+        if ev.dur_ns == 0 || !aggregatable(ev.kind) {
+            continue;
+        }
+        let key = MetricKey {
+            team: team_of(ev),
+            kind: ev.kind,
+            level: ev.hierarchy_level(),
+        };
+        groups.entry(key).or_default().push(ev.dur_ns);
+    }
+    groups
+        .into_iter()
+        .map(|(key, mut durs)| {
+            durs.sort_unstable();
+            let count = durs.len();
+            let sum: u64 = durs.iter().sum();
+            MetricsRow {
+                key,
+                count,
+                p50_ns: percentile(&durs, 50.0),
+                p95_ns: percentile(&durs, 95.0),
+                p99_ns: percentile(&durs, 99.0),
+                max_ns: *durs.last().expect("non-empty group"),
+                mean_ns: sum as f64 / count as f64,
+            }
+        })
+        .collect()
+}
+
+/// Table-shaped rendering of [`aggregate`]: `(headers, rows)` of strings,
+/// ready for any text-table sink (e.g. `caf_microbench::report::Table`).
+pub fn summary_rows(events: &[Event]) -> (Vec<&'static str>, Vec<Vec<String>>) {
+    let headers = vec![
+        "team", "op", "level", "count", "p50(us)", "p95(us)", "p99(us)", "max(us)",
+    ];
+    let rows = aggregate(events)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.team_label(),
+                r.key.kind.name().to_string(),
+                r.key.level.label().to_string(),
+                r.count.to_string(),
+                format!("{:.2}", r.p50_ns as f64 / 1000.0),
+                format!("{:.2}", r.p95_ns as f64 / 1000.0),
+                format!("{:.2}", r.p99_ns as f64 / 1000.0),
+                format!("{:.2}", r.max_ns as f64 / 1000.0),
+            ]
+        })
+        .collect();
+    (headers, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(kind: EventKind, dur: u64, team: u64, level: Level) -> Event {
+        Event::span(kind, 0, dur).b(team).level(level)
+    }
+
+    #[test]
+    fn groups_by_team_kind_level() {
+        let mut evs = Vec::new();
+        for d in [10, 20, 30] {
+            evs.push(span(EventKind::Barrier, d, 7, Level::Whole));
+        }
+        evs.push(span(EventKind::TdlbDissem, 100, 7, Level::Inter));
+        evs.push(span(EventKind::Barrier, 5, 9, Level::Whole));
+        // Instants and non-aggregatable kinds are ignored.
+        evs.push(Event::instant(EventKind::FlagAdd, 0));
+        let rows = aggregate(&evs);
+        assert_eq!(rows.len(), 3);
+        let barrier7 = rows
+            .iter()
+            .find(|r| r.key.team == 7 && r.key.kind == EventKind::Barrier)
+            .unwrap();
+        assert_eq!(barrier7.count, 3);
+        assert_eq!(barrier7.p50_ns, 20);
+        assert_eq!(barrier7.max_ns, 30);
+        assert!((barrier7.mean_ns - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_on_larger_sample() {
+        let evs: Vec<Event> = (1..=100)
+            .map(|d| span(EventKind::FlagWait, d, 0, Level::Whole).b(0))
+            .collect();
+        let rows = aggregate(&evs);
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert_eq!(r.count, 100);
+        assert_eq!(r.p50_ns, 50);
+        assert_eq!(r.p95_ns, 95);
+        assert_eq!(r.p99_ns, 99);
+        assert_eq!(r.max_ns, 100);
+    }
+
+    #[test]
+    fn summary_rows_shape() {
+        let evs = vec![span(EventKind::Barrier, 1500, (3 << 32) | 8, Level::Whole)];
+        let (headers, rows) = summary_rows(&evs);
+        assert_eq!(headers.len(), 8);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], "r3x8");
+        assert_eq!(rows[0][1], "barrier");
+        assert_eq!(rows[0][4], "1.50");
+    }
+}

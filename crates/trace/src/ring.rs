@@ -1,0 +1,143 @@
+//! Per-image event ring: a single-writer, lock-free, overwrite-oldest
+//! buffer of encoded [`Event`]s.
+//!
+//! Each image thread owns exactly one ring and is its only writer, so a
+//! push is eight relaxed word stores followed by one `Release` head
+//! bump — no CAS, no lock, no allocation. Readers (exporters, the
+//! deadlock reporter) `Acquire` the head and decode the retained window;
+//! a reader racing a *live* writer may observe the newest slot torn, in
+//! which case [`Event::decode`] on a half-written kind word can return
+//! `None` and the slot is skipped. Every consumer in this workspace reads
+//! either after the run (exporters) or while the writer is provably
+//! blocked on the same mutex that ordered its last push (the simulator's
+//! deadlock reporter), so in practice snapshots are exact.
+
+use crate::event::{Event, EVENT_WORDS};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fixed-capacity single-writer ring of encoded events.
+pub struct EventRing {
+    cap: usize,
+    /// Total events ever pushed; the ring retains the last `cap`.
+    head: AtomicU64,
+    slots: Box<[AtomicU64]>,
+}
+
+impl EventRing {
+    /// Ring retaining the last `cap` events (`cap >= 1`).
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 1, "ring capacity must be at least 1");
+        let slots = (0..cap * EVENT_WORDS).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            cap,
+            head: AtomicU64::new(0),
+            slots,
+        }
+    }
+
+    /// Append one event. Pushes must not race each other: call from the
+    /// single owning writer, or serialize writers with an external lock
+    /// (as the thread fabric does for its system ring).
+    pub fn push(&self, ev: &Event) {
+        let h = self.head.load(Ordering::Relaxed);
+        let base = (h as usize % self.cap) * EVENT_WORDS;
+        for (i, w) in ev.encode().iter().enumerate() {
+            self.slots[base + i].store(*w, Ordering::Relaxed);
+        }
+        self.head.store(h + 1, Ordering::Release);
+    }
+
+    /// Total events ever pushed (including overwritten ones).
+    pub fn total(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        (self.total() as usize).min(self.cap)
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// Retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        let h = self.head.load(Ordering::Acquire);
+        let n = (h as usize).min(self.cap);
+        let first = h - n as u64;
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n as u64 {
+            let base = ((first + i) as usize % self.cap) * EVENT_WORDS;
+            let mut w = [0u64; EVENT_WORDS];
+            for (j, slot) in w.iter_mut().enumerate() {
+                *slot = self.slots[base + j].load(Ordering::Relaxed);
+            }
+            if let Some(ev) = Event::decode(&w) {
+                out.push(ev);
+            }
+        }
+        out
+    }
+
+    /// The last `n` retained events, oldest first.
+    pub fn last(&self, n: usize) -> Vec<Event> {
+        let mut all = self.snapshot();
+        if all.len() > n {
+            all.drain(..all.len() - n);
+        }
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(t: u64) -> Event {
+        Event::instant(EventKind::FlagAdd, t).a(t * 10)
+    }
+
+    #[test]
+    fn push_and_snapshot_in_order() {
+        let r = EventRing::new(8);
+        for t in 0..5 {
+            r.push(&ev(t));
+        }
+        let s = r.snapshot();
+        assert_eq!(s.len(), 5);
+        assert_eq!(
+            s.iter().map(|e| e.t_ns).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+        assert_eq!(r.total(), 5);
+    }
+
+    #[test]
+    fn overwrites_oldest_when_full() {
+        let r = EventRing::new(4);
+        for t in 0..10 {
+            r.push(&ev(t));
+        }
+        let s = r.snapshot();
+        assert_eq!(
+            s.iter().map(|e| e.t_ns).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9]
+        );
+        assert_eq!(r.total(), 10);
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn last_n_takes_the_tail() {
+        let r = EventRing::new(8);
+        for t in 0..6 {
+            r.push(&ev(t));
+        }
+        let s = r.last(2);
+        assert_eq!(s.iter().map(|e| e.t_ns).collect::<Vec<_>>(), vec![4, 5]);
+        assert_eq!(r.last(100).len(), 6);
+    }
+}

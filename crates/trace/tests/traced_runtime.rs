@@ -1,0 +1,185 @@
+//! End-to-end tests of the instrumented stack: a traced simulator run
+//! through the full runtime (teams, collectives, fabric), checked against
+//! the paper's closed forms — notification counts per barrier episode,
+//! critical-path shape of TDLB, exporter well-formedness — plus the
+//! trace-enriched deadlock report.
+//!
+//! These tests require the `capture` feature, which the dev-dependencies
+//! on the instrumented crates turn on (`caf-runtime/trace` etc.).
+
+use caf_fabric::{Fabric, FlagId, SimConfig, SimFabric};
+use caf_runtime::{run_on_fabric, BarrierAlgo, CollectiveConfig};
+use caf_topology::{presets, ImageMap, Placement, ProcId};
+use caf_trace::{chrome, chrome_trace_json, extract, phase_window, EventKind, Tracer};
+
+/// 16 images dense on the 4-node x 4-core mini machine.
+const N: usize = 16;
+
+fn traced_run(algo: BarrierAlgo, episodes: usize) -> Tracer {
+    let map = ImageMap::new(presets::mini(4, 4), N, &Placement::Block { per_node: 4 });
+    let tracer = Tracer::for_images(N);
+    let fabric = SimFabric::new(
+        map,
+        SimConfig {
+            tracer: tracer.clone(),
+            ..SimConfig::default()
+        },
+    );
+    let cfg = CollectiveConfig {
+        barrier: algo,
+        ..CollectiveConfig::default()
+    };
+    run_on_fabric(fabric, cfg, move |img| {
+        for _ in 0..episodes {
+            img.sync_all();
+        }
+    });
+    tracer
+}
+
+fn flag_adds(t: &Tracer) -> usize {
+    t.events()
+        .iter()
+        .filter(|e| e.kind == EventKind::FlagAdd)
+        .count()
+}
+
+/// §IV-A closed form: a dissemination barrier over n images performs
+/// exactly n·⌈log₂ n⌉ notifications per episode. Measured as the
+/// difference of two deterministic runs, so formation traffic cancels.
+#[test]
+fn dissemination_flag_events_match_closed_form() {
+    let d = 3;
+    let a = flag_adds(&traced_run(BarrierAlgo::Dissemination, 2));
+    let b = flag_adds(&traced_run(BarrierAlgo::Dissemination, 2 + d));
+    // n * ceil(log2 n) = 16 * 4 = 64 per episode.
+    assert_eq!((b - a) / d, 64, "a={a}, b={b}");
+}
+
+/// TDLB's leader dissemination runs ⌈log₂ L⌉ rounds (L = nodes), so the
+/// longest notification chain of that phase crosses exactly that many
+/// inter-node edges: 2 on 4 nodes.
+#[test]
+fn tdlb_critical_path_crosses_log2_nodes_inter_edges() {
+    let tracer = traced_run(BarrierAlgo::Tdlb, 4);
+    let events = tracer.events();
+    let last_epoch = events
+        .iter()
+        .filter(|e| e.kind == EventKind::TdlbDissem)
+        .map(|e| e.c)
+        .max()
+        .expect("TDLB episodes traced");
+    // `phase_window` (latest entry .. latest exit) isolates the
+    // dissemination rounds from the straggler leader's gather tail.
+    let window = phase_window(&events, EventKind::TdlbDissem, last_epoch)
+        .expect("dissemination phase spans");
+    let cp = extract(&events, window).expect("critical path");
+    assert_eq!(
+        cp.inter_hops(),
+        2,
+        "expected ceil(log2(4)) inter-node hops\n{}",
+        cp.render()
+    );
+    let report = cp.render();
+    assert!(report.contains("2 inter-node"), "{report}");
+}
+
+/// The Chrome exporter must emit well-formed JSON whose per-track
+/// timestamps never go backwards (Perfetto renders such files directly).
+#[test]
+fn chrome_export_is_valid_json_with_monotone_tracks() {
+    let tracer = traced_run(BarrierAlgo::Tdlb, 2);
+    let events = tracer.events();
+    assert!(!events.is_empty());
+
+    let map = ImageMap::new(presets::mini(4, 4), N, &Placement::Block { per_node: 4 });
+    let text = chrome_trace_json(&events, |i| map.node_of(ProcId(i)).index());
+    let doc = chrome::json::parse(&text).expect("well-formed JSON");
+    let arr = doc.as_arr().expect("top-level array");
+    assert!(arr.len() > events.len() / 2, "export dropped most events");
+
+    // Per-(pid, tid) track, `ts` must be nondecreasing in file order.
+    let mut last_ts: std::collections::BTreeMap<(u64, u64), f64> = Default::default();
+    let mut data_events = 0;
+    for item in arr {
+        let ph = item
+            .get("ph")
+            .and_then(chrome::json::Value::as_str)
+            .expect("ph field");
+        if ph == "M" {
+            continue; // metadata records carry no timestamp
+        }
+        data_events += 1;
+        let pid = item
+            .get("pid")
+            .and_then(chrome::json::Value::as_f64)
+            .unwrap() as u64;
+        let tid = item
+            .get("tid")
+            .and_then(chrome::json::Value::as_f64)
+            .unwrap() as u64;
+        let ts = item
+            .get("ts")
+            .and_then(chrome::json::Value::as_f64)
+            .unwrap();
+        let prev = last_ts.insert((pid, tid), ts).unwrap_or(0.0);
+        assert!(
+            ts >= prev,
+            "track ({pid},{tid}) went backwards: {prev} -> {ts}"
+        );
+    }
+    assert!(data_events > 0);
+
+    // Images spread over 4 nodes: the export must name 4 distinct pids.
+    let pids: std::collections::BTreeSet<u64> = last_ts.keys().map(|(p, _)| *p).collect();
+    assert_eq!(pids.len(), 4, "one Chrome process per node");
+}
+
+/// With a tracer installed, the simulator's global-deadlock panic reports
+/// each blocked image's recent operations and the flag it waited on.
+#[test]
+fn deadlock_report_includes_recent_trace_events() {
+    let map = ImageMap::new(presets::mini(1, 2), 2, &Placement::Packed);
+    let tracer = Tracer::for_images(2);
+    let fabric = SimFabric::new(
+        map,
+        SimConfig {
+            tracer: tracer.clone(),
+            ..SimConfig::default()
+        },
+    );
+    let mut handles = Vec::new();
+    for i in 0..2 {
+        let f = fabric.clone();
+        handles.push(std::thread::spawn(move || {
+            let me = ProcId(i);
+            if i == 0 {
+                f.flag_add(me, ProcId(1), FlagId(2), 1);
+            }
+            // Nobody ever posts FlagId(3): global deadlock.
+            f.flag_wait_ge(me, FlagId(3), 1);
+            f.image_done(me);
+        }));
+    }
+    let mut messages = Vec::new();
+    for h in handles {
+        let err = h.join().expect_err("deadlock must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic payload is a message");
+        messages.push(msg);
+    }
+    for msg in &messages {
+        assert!(msg.contains("deadlock"), "{msg}");
+        assert!(
+            msg.contains("recent:") && msg.contains("flag_add"),
+            "report should list recent trace events:\n{msg}"
+        );
+        assert!(
+            msg.contains("waits flag3 >= 1"),
+            "report should show the blocking wait:\n{msg}"
+        );
+    }
+}

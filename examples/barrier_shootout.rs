@@ -88,15 +88,33 @@ fn main() {
 
     // The paper's claims as executable assertions at this scale:
     let smp = presets::smp(1, 8);
-    let smp_central = latency(smp.clone(), 8, 8, Placement::Packed, BarrierAlgo::CentralCounter);
+    let smp_central = latency(
+        smp.clone(),
+        8,
+        8,
+        Placement::Packed,
+        BarrierAlgo::CentralCounter,
+    );
     let smp_dissem = latency(smp, 8, 8, Placement::Packed, BarrierAlgo::Dissemination);
     assert!(
         smp_central < smp_dissem,
         "on one node the linear barrier must win ({smp_central} vs {smp_dissem})"
     );
     let whale = presets::whale();
-    let dist_central = latency(whale.clone(), 16, 1, Placement::Cyclic, BarrierAlgo::CentralCounter);
-    let dist_dissem = latency(whale.clone(), 16, 1, Placement::Cyclic, BarrierAlgo::Dissemination);
+    let dist_central = latency(
+        whale.clone(),
+        16,
+        1,
+        Placement::Cyclic,
+        BarrierAlgo::CentralCounter,
+    );
+    let dist_dissem = latency(
+        whale.clone(),
+        16,
+        1,
+        Placement::Cyclic,
+        BarrierAlgo::Dissemination,
+    );
     assert!(
         dist_dissem < dist_central,
         "across nodes dissemination must win ({dist_dissem} vs {dist_central})"

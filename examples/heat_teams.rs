@@ -87,11 +87,22 @@ fn main() {
         (color, peak)
     });
 
-    let team0: Vec<f64> = maxima.iter().filter(|(c, _)| *c == 0).map(|(_, p)| *p).collect();
-    let team1: Vec<f64> = maxima.iter().filter(|(c, _)| *c == 1).map(|(_, p)| *p).collect();
+    let team0: Vec<f64> = maxima
+        .iter()
+        .filter(|(c, _)| *c == 0)
+        .map(|(_, p)| *p)
+        .collect();
+    let team1: Vec<f64> = maxima
+        .iter()
+        .filter(|(c, _)| *c == 1)
+        .map(|(_, p)| *p)
+        .collect();
     assert!(team0.iter().all(|&p| (p - team0[0]).abs() < 1e-9));
     assert!(team1.iter().all(|&p| (p - team1[0]).abs() < 1e-9));
-    assert!(team0[0] > 99.0 && team1[0] > 99.0, "boundary heat must persist");
+    assert!(
+        team0[0] > 99.0 && team1[0] > 99.0,
+        "boundary heat must persist"
+    );
     println!("team 0 peak temperature: {:.3}", team0[0]);
     println!("team 1 peak temperature: {:.3}", team1[0]);
     println!("heat_teams OK — two teams solved independent rods with no global sync");

@@ -15,3 +15,4 @@ pub use caf_hpl as hpl;
 pub use caf_microbench as microbench;
 pub use caf_runtime as runtime;
 pub use caf_topology as topology;
+pub use caf_trace as trace;

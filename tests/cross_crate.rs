@@ -60,33 +60,46 @@ fn paper_regime_orderings_hold_in_the_model() {
     // is about *hardware* serialization (the node bus), so it is measured
     // with zero software overhead; a thick enough software stack can
     // invert it at small n by serializing the root's CPU instead.
-    let lat = |machine: caf::topology::MachineModel,
-               images,
-               per_node,
-               placement: Placement,
-               algo| {
-        let mut mc = MicroConfig::whale(images, per_node)
-            .with_stack(caf::topology::SoftwareOverheads::NONE)
-            .with_collectives(CollectiveConfig {
-                barrier: algo,
-                ..CollectiveConfig::default()
-            });
-        mc.machine = machine;
-        mc.placement = placement;
-        mc.iters = 5;
-        barrier_latency(&mc).ns_per_op
-    };
+    let lat =
+        |machine: caf::topology::MachineModel, images, per_node, placement: Placement, algo| {
+            let mut mc = MicroConfig::whale(images, per_node)
+                .with_stack(caf::topology::SoftwareOverheads::NONE)
+                .with_collectives(CollectiveConfig {
+                    barrier: algo,
+                    ..CollectiveConfig::default()
+                });
+            mc.machine = machine;
+            mc.placement = placement;
+            mc.iters = 5;
+            barrier_latency(&mc).ns_per_op
+        };
     // One single-socket node, 8 images: one fully serialized memory system.
     let smp = presets::smp(1, 8);
     assert!(
-        lat(smp.clone(), 8, 8, Placement::Packed, BarrierAlgo::CentralCounter)
-            < lat(smp, 8, 8, Placement::Packed, BarrierAlgo::Dissemination)
+        lat(
+            smp.clone(),
+            8,
+            8,
+            Placement::Packed,
+            BarrierAlgo::CentralCounter
+        ) < lat(smp, 8, 8, Placement::Packed, BarrierAlgo::Dissemination)
     );
     // 16 nodes, 1 image each.
     let whale = presets::whale();
     assert!(
-        lat(whale.clone(), 16, 1, Placement::Cyclic, BarrierAlgo::Dissemination)
-            < lat(whale.clone(), 16, 1, Placement::Cyclic, BarrierAlgo::CentralCounter)
+        lat(
+            whale.clone(),
+            16,
+            1,
+            Placement::Cyclic,
+            BarrierAlgo::Dissemination
+        ) < lat(
+            whale.clone(),
+            16,
+            1,
+            Placement::Cyclic,
+            BarrierAlgo::CentralCounter
+        )
     );
     // 8 nodes x 8 images.
     assert!(
@@ -202,7 +215,10 @@ fn fabric_stats_visible_through_facade() {
         img.sync_all();
     });
     let snap = fabric.stats().snapshot();
-    assert!(snap.total_flags() > 0, "a barrier must generate notifications");
+    assert!(
+        snap.total_flags() > 0,
+        "a barrier must generate notifications"
+    );
 }
 
 #[test]

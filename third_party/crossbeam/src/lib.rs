@@ -1,0 +1,125 @@
+//! Offline shim for the `crossbeam` API subset used by this workspace:
+//! `utils::Backoff` and `utils::CachePadded`.
+
+pub mod utils {
+    use std::cell::Cell;
+    use std::fmt;
+    use std::ops::{Deref, DerefMut};
+
+    const SPIN_LIMIT: u32 = 6;
+    const YIELD_LIMIT: u32 = 10;
+
+    /// Exponential backoff for spin loops: spin (with exponentially more
+    /// `spin_loop` hints), then yield; `is_completed` signals that the
+    /// caller should switch to a blocking wait.
+    pub struct Backoff {
+        step: Cell<u32>,
+    }
+
+    impl Backoff {
+        pub fn new() -> Self {
+            Self { step: Cell::new(0) }
+        }
+
+        pub fn reset(&self) {
+            self.step.set(0);
+        }
+
+        pub fn spin(&self) {
+            for _ in 0..1u32 << self.step.get().min(SPIN_LIMIT) {
+                std::hint::spin_loop();
+            }
+            if self.step.get() <= SPIN_LIMIT {
+                self.step.set(self.step.get() + 1);
+            }
+        }
+
+        pub fn snooze(&self) {
+            if self.step.get() <= SPIN_LIMIT {
+                for _ in 0..1u32 << self.step.get() {
+                    std::hint::spin_loop();
+                }
+            } else {
+                std::thread::yield_now();
+            }
+            if self.step.get() <= YIELD_LIMIT {
+                self.step.set(self.step.get() + 1);
+            }
+        }
+
+        pub fn is_completed(&self) -> bool {
+            self.step.get() > YIELD_LIMIT
+        }
+    }
+
+    impl Default for Backoff {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl fmt::Debug for Backoff {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("Backoff")
+                .field("step", &self.step.get())
+                .finish()
+        }
+    }
+
+    /// Pads and aligns a value to 128 bytes so adjacent cells never share
+    /// a cache line.
+    #[derive(Clone, Copy, Default)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        pub const fn new(value: T) -> Self {
+            Self { value }
+        }
+
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            self.value.fmt(f)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn cache_padded_is_aligned() {
+            assert!(std::mem::align_of::<CachePadded<u8>>() >= 128);
+            let c = CachePadded::new(5u64);
+            assert_eq!(*c, 5);
+        }
+
+        #[test]
+        fn backoff_completes() {
+            let b = Backoff::new();
+            while !b.is_completed() {
+                b.snooze();
+            }
+        }
+    }
+}

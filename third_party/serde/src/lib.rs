@@ -1,0 +1,14 @@
+//! Offline shim for `serde`: the workspace only uses
+//! `#[derive(Serialize, Deserialize)]` as forward-looking annotations and
+//! never serializes, so the derives are re-exported as no-ops and the
+//! traits are empty markers.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (never implemented or required
+/// by the no-op derive).
+pub trait SerializeMarker {}
+
+/// Marker stand-in for `serde::Deserialize` (never implemented or
+/// required by the no-op derive).
+pub trait DeserializeMarker {}

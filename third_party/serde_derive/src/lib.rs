@@ -1,0 +1,15 @@
+//! Offline shim: `derive(Serialize, Deserialize)` expand to nothing.
+//! The workspace only *derives* these traits on model types; nothing
+//! actually serializes, so empty expansions are sufficient.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
