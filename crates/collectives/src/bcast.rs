@@ -1,6 +1,11 @@
-//! One-to-all broadcast algorithms: linear, flat binomial tree, and the
+//! One-to-all broadcast algorithms: linear, flat binomial tree, the
 //! paper's two-level scheme (binomial over node leaders — with the root
-//! standing in as its node's leader — then an intra-node linear fan-out).
+//! standing in as its node's leader — then an intra-node linear fan-out),
+//! and a chunked pipelined two-level scheme for large payloads: K-byte
+//! chunks stream down a *pipelined binary tree* of node leaders with
+//! nonblocking puts, and each leader fans a chunk out through shared
+//! memory while its NIC forwards it downstream — the inter-node stage and
+//! the intranode fan-out overlap instead of serializing.
 //!
 //! # Flow control: three waves
 //!
@@ -34,13 +39,17 @@ fn algo_code(a: BcastAlgo) -> u64 {
         BcastAlgo::FlatLinear => 1,
         BcastAlgo::FlatBinomial => 2,
         BcastAlgo::TwoLevel => 3,
+        BcastAlgo::TwoLevelPipelined => 4,
         BcastAlgo::Auto => 0,
     }
 }
 
-/// Broadcast `buf` from team rank `root` with the team's resolved algorithm.
+/// Broadcast `buf` from team rank `root`, picking the algorithm by
+/// (hierarchy × payload size) — all members see the same length, so they
+/// agree on the choice.
 pub(crate) fn broadcast<T: CoValue>(comm: &mut TeamComm, buf: &mut [T], root: usize) {
-    broadcast_using(comm, buf, root, comm.bcast_algo);
+    let algo = comm.bcast_algo_for(buf.len() * T::SIZE);
+    broadcast_using(comm, buf, root, algo);
 }
 
 /// Broadcast with an explicit algorithm (used by `FlatBinomial` allreduce,
@@ -64,7 +73,8 @@ pub(crate) fn broadcast_using<T: CoValue>(
         BcastAlgo::FlatLinear => linear(comm, buf, root, par),
         BcastAlgo::FlatBinomial => binomial(comm, buf, root, par),
         BcastAlgo::TwoLevel => two_level(comm, buf, root, par),
-        BcastAlgo::Auto => unreachable!("Auto resolved at formation"),
+        BcastAlgo::TwoLevelPipelined => two_level_pipelined(comm, buf, root, par),
+        BcastAlgo::Auto => unreachable!("Auto resolved per call"),
     }
     comm.trace(
         Event::span(EventKind::Bcast, t0, comm.trace_now().saturating_sub(t0))
@@ -243,6 +253,128 @@ fn two_level<T: CoValue>(comm: &mut TeamComm, buf: &mut [T], root: usize, par: u
     // Release wave: down the leader tree and into my node.
     for &c in &lchildren {
         comm.add_flag(leader_rank(c), flag::B_DONE, 1);
+    }
+    for &m in &locals {
+        comm.add_flag(m, flag::B_DONE, 1);
+    }
+}
+
+/// Pipelined two-level broadcast for large payloads: the payload is cut
+/// into policy-sized chunks and the leader stage is a *pipelined binary
+/// tree* over the effective node leaders (heap-ordered by
+/// `(set − root_set) mod l`), not a store-and-forward binomial tree.
+/// With nonblocking puts each leader forwards chunk `c` to its (at most
+/// two) children while its own NIC is still receiving chunk `c+1`, so for
+/// payloads of many chunks the total time approaches one payload's NIC
+/// time plus a `⌈log₂ l⌉`-deep fill term — instead of the binomial tree's
+/// `log l × payload` store-and-forward time, and instead of the `l`-deep
+/// fill a chain would pay (a chain halves per-chunk NIC load but its fill
+/// dominates everything below multi-MiB payloads at 44 nodes). Two
+/// children per chunk keep the NIC busy below the intranode fan-out time,
+/// so the fan-out — which overlaps the inter-node transfer of the next
+/// chunk — remains the steady-state bound. The intra-node fan-out of
+/// chunk `c` overlaps the inter-node transfer of chunk `c+1`.
+///
+/// Flow control is the same three-wave scheme, with wave 1 counted *per
+/// chunk*: every receiver has exactly one payload source per episode, and
+/// the fabric orders a flag behind a prior put to the same target, so a
+/// cumulative `B_ARRIVE` count identifies chunk boundaries without
+/// tokens. Acks and releases stay per-episode.
+fn two_level_pipelined<T: CoValue>(comm: &mut TeamComm, buf: &mut [T], root: usize, par: usize) {
+    let hier = comm.hier.clone();
+    let root_set = hier.leader_index_of(root);
+    let my_set = hier.leader_index_of(comm.rank);
+    let l = hier.n_nodes();
+    let eff_leader_of = |set_idx: usize| -> usize {
+        if set_idx == root_set {
+            root
+        } else {
+            hier.sets()[set_idx].leader
+        }
+    };
+    let el = eff_leader_of(my_set);
+
+    let len = buf.len();
+    let ce = comm.chunk_elems(T::SIZE);
+    let nchunks = len.div_ceil(ce).max(1);
+    let chunk = |c: usize| (c * ce, ((c + 1) * ce).min(len));
+    let off = comm.sl_bcast(par);
+
+    if comm.rank != el {
+        // Plain member: consume each chunk as it lands, then ack once.
+        for c in 0..nchunks {
+            let (lo, hi) = chunk(c);
+            comm.epochs.bcast_arrived += 1;
+            comm.wait_flag(flag::B_ARRIVE, comm.epochs.bcast_arrived);
+            comm.load_from_scratch(off + lo * T::SIZE, &mut buf[lo..hi]);
+        }
+        comm.add_flag(el, flag::B_ACK, 1);
+        await_release(comm);
+        return;
+    }
+
+    // Effective leader: heap position in the binary tree over leaders.
+    let tag = comm.trace_tag();
+    let e = comm.epochs.bcast;
+    let t0 = comm.trace_now();
+    let lv = (my_set + l - root_set) % l;
+    let leader_rank = |lvr: usize| eff_leader_of((lvr + root_set) % l);
+    let tree_children: Vec<usize> = [2 * lv + 1, 2 * lv + 2]
+        .into_iter()
+        .filter(|&c| c < l)
+        .map(leader_rank)
+        .collect();
+    let locals: Vec<usize> = hier.sets()[my_set]
+        .ranks
+        .iter()
+        .copied()
+        .filter(|&m| m != el)
+        .collect();
+
+    for c in 0..nchunks {
+        let (lo, hi) = chunk(c);
+        if lv != 0 {
+            comm.epochs.bcast_arrived += 1;
+            comm.wait_flag(flag::B_ARRIVE, comm.epochs.bcast_arrived);
+            comm.load_from_scratch(off + lo * T::SIZE, &mut buf[lo..hi]);
+        }
+        // Forward down the tree first — the nonblocking puts free this
+        // CPU to run the local fan-out while the NIC streams the chunk.
+        for &child in &tree_children {
+            comm.send_values_nb(child, off + lo * T::SIZE, &buf[lo..hi]);
+            comm.add_flag(child, flag::B_ARRIVE, 1);
+        }
+        for &m in &locals {
+            comm.send_values_nb(m, off + lo * T::SIZE, &buf[lo..hi]);
+            comm.add_flag(m, flag::B_ARRIVE, 1);
+        }
+    }
+    comm.trace(
+        Event::span(
+            EventKind::BcastStage,
+            t0,
+            comm.trace_now().saturating_sub(t0),
+        )
+        .a(1)
+        .b(tag)
+        .c(e)
+        .d(nchunks as u64)
+        .level(Level::Inter),
+    );
+
+    // Ack wave: my tree children plus my locals, then my tree parent.
+    let expected = (tree_children.len() + locals.len()) as u64;
+    if expected > 0 {
+        comm.epochs.bcast_acks += expected;
+        comm.wait_flag(flag::B_ACK, comm.epochs.bcast_acks);
+    }
+    if lv != 0 {
+        comm.add_flag(leader_rank((lv - 1) / 2), flag::B_ACK, 1);
+        await_release(comm);
+    }
+    // Release wave: down the tree and into my node.
+    for &child in &tree_children {
+        comm.add_flag(child, flag::B_DONE, 1);
     }
     for &m in &locals {
         comm.add_flag(m, flag::B_DONE, 1);

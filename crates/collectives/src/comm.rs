@@ -22,10 +22,10 @@
 //! machinery — mirroring how a real runtime coordinates team-scoped
 //! symmetric allocations through the parent team.
 
-use crate::config::{BarrierAlgo, BcastAlgo, CollectiveConfig, GatherAlgo, ReduceAlgo};
+use crate::config::{BarrierAlgo, BcastAlgo, CollectiveConfig, GatherAlgo, ReduceAlgo, SizePolicy};
 use crate::util::ceil_log2;
 use crate::value::{bytes_to_slice, slice_to_bytes, CoNumeric, CoOp, CoValue};
-use caf_fabric::{bootstrap, ArcFabric, FlagId, SegmentId};
+use caf_fabric::{bootstrap, ArcFabric, FlagId, PutToken, SegmentId};
 use caf_topology::{HierarchyView, ProcId};
 use caf_trace::Event;
 use std::sync::Arc;
@@ -83,22 +83,28 @@ pub(crate) mod flag {
 }
 
 /// Per-team flag-block layout: 21 fixed flags, then `d` dissemination
-/// flags, then `d` reduction-round flags.
+/// flags, then `d` reduction-round flags, then `lm` per-set-position
+/// chunk-stream flags (pipelined reduction: the leader must count each
+/// slave's chunks separately — one shared counter cannot tell "slave A
+/// sent two chunks" from "slaves A and B sent one each").
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct FlagLayout {
     /// ⌈log₂ team size⌉, ≥ 1 slot even for singleton teams.
     pub d: usize,
+    /// Largest intranode-set size (chunk-stream flag count).
+    pub lm: usize,
 }
 
 impl FlagLayout {
-    pub(crate) fn new(team_size: usize) -> Self {
+    pub(crate) fn new(team_size: usize, local_max: usize) -> Self {
         Self {
             d: ceil_log2(team_size).max(1),
+            lm: local_max.max(1),
         }
     }
 
     pub(crate) fn total(&self) -> usize {
-        flag::DISSEM + 2 * self.d
+        flag::DISSEM + 2 * self.d + self.lm
     }
 
     pub(crate) fn dissem(&self, k: usize) -> usize {
@@ -109,6 +115,13 @@ impl FlagLayout {
     pub(crate) fn r_arrive(&self, k: usize) -> usize {
         debug_assert!(k < self.d);
         flag::DISSEM + self.d + k
+    }
+
+    /// Chunk-stream flag for intranode set position `pos` (pipelined
+    /// reduction gather).
+    pub(crate) fn chunk(&self, pos: usize) -> usize {
+        debug_assert!(pos < self.lm);
+        flag::DISSEM + 2 * self.d + pos
     }
 }
 
@@ -128,7 +141,16 @@ pub(crate) struct MemberRsrc {
 }
 
 /// Per-collective epoch counters (local to this image).
-#[derive(Clone, Copy, Debug, Default)]
+///
+/// Every counter is **cumulative**: it records how many arrivals of its
+/// kind this image has consumed (or must next wait for) over the team's
+/// whole life, never a per-episode count. That is what lets successive
+/// collective calls pick *different* algorithms (size-aware selection)
+/// against the same accumulating flags: each call bumps the counters by
+/// exactly the number of notifications its role in that call receives,
+/// and roles are a deterministic function of (algorithm, team, length),
+/// which all members compute identically.
+#[derive(Clone, Debug, Default)]
 pub(crate) struct Epochs {
     pub barrier: u64,
     pub reduce: u64,
@@ -136,6 +158,20 @@ pub(crate) struct Epochs {
     pub exch: u64,
     /// Tree-allgather era (gather/bcast flag thresholds).
     pub exch_tree: u64,
+    /// Cumulative fold-in payloads this image has consumed (`R_PRE`).
+    pub r_pre: u64,
+    /// Cumulative fold-out payloads this image has consumed (`R_POST`).
+    pub r_post: u64,
+    /// Cumulative intranode reduction contributions consumed (`R_COUNTER`).
+    pub r_counter: u64,
+    /// Cumulative intranode reduction releases consumed (`R_RELEASE`).
+    pub r_release: u64,
+    /// Cumulative per-round reduction-exchange arrivals (`r_arrive(k)`),
+    /// grown on demand.
+    pub r_rounds: Vec<u64>,
+    /// Cumulative per-set-position chunk arrivals (`chunk(pos)`), grown on
+    /// demand (pipelined reduction gather).
+    pub chunk_streams: Vec<u64>,
     /// Cumulative number of broadcast payloads this image has consumed
     /// (differs from `bcast` on episodes where it was the root).
     pub bcast_arrived: u64,
@@ -163,6 +199,28 @@ pub(crate) struct Epochs {
     pub alltoall: u64,
 }
 
+impl Epochs {
+    /// Bump and return the cumulative wait threshold for reduction-exchange
+    /// round `k`.
+    pub(crate) fn bump_r_round(&mut self, k: usize) -> u64 {
+        if self.r_rounds.len() <= k {
+            self.r_rounds.resize(k + 1, 0);
+        }
+        self.r_rounds[k] += 1;
+        self.r_rounds[k]
+    }
+
+    /// Bump and return the cumulative wait threshold for the chunk stream
+    /// of intranode set position `pos`.
+    pub(crate) fn bump_chunk(&mut self, pos: usize) -> u64 {
+        if self.chunk_streams.len() <= pos {
+            self.chunk_streams.resize(pos + 1, 0);
+        }
+        self.chunk_streams[pos] += 1;
+        self.chunk_streams[pos]
+    }
+}
+
 /// The per-image communication context of one team. See the module docs.
 pub struct TeamComm {
     pub(crate) fabric: ArcFabric,
@@ -177,6 +235,9 @@ pub struct TeamComm {
     pub(crate) reduce_algo: ReduceAlgo,
     pub(crate) bcast_algo: BcastAlgo,
     pub(crate) gather_algo: GatherAlgo,
+    /// Size thresholds for the (hierarchy × message size) `Auto` policy,
+    /// derived from the fabric's cost model at formation.
+    pub(crate) policy: SizePolicy,
     pub(crate) layout: FlagLayout,
     pub(crate) rsrc: Vec<MemberRsrc>,
     pub(crate) epochs: Epochs,
@@ -189,6 +250,10 @@ pub struct TeamComm {
     /// Workhorse byte buffers (reused across collective calls).
     pub(crate) buf: Vec<u8>,
     pub(crate) buf2: Vec<u8>,
+    /// Staging buffer for raw-byte assembly (control-plane allgather,
+    /// gather/scatter forwarding) — grow-only capacity, so steady-state
+    /// collective calls allocate nothing.
+    pub(crate) stage: Vec<u8>,
 }
 
 impl TeamComm {
@@ -211,7 +276,8 @@ impl TeamComm {
         let n = fabric.n_images();
         let members: Arc<Vec<ProcId>> = Arc::new((0..n).map(ProcId).collect());
         let hier = Arc::new(HierarchyView::build(fabric.image_map(), &members));
-        let layout = FlagLayout::new(n);
+        let local_max = hier.sets().iter().map(|s| s.len()).max().unwrap_or(1);
+        let layout = FlagLayout::new(n, local_max);
         let flags = fabric.alloc_flags(me, layout.total());
         let exch = fabric.alloc_segment(me, n * EXCH_SLOT);
 
@@ -304,8 +370,12 @@ impl TeamComm {
             .expect("caller is in its own subteam");
 
         // Allocate my new team's resources and exchange ids parent-wide.
+        // (The hierarchy is needed first: the flag block includes per-set-
+        // position chunk-stream flags sized by the largest intranode set.)
         let m = members.len();
-        let layout = FlagLayout::new(m);
+        let hier = Arc::new(HierarchyView::build(self.fabric.image_map(), &members));
+        let local_max = hier.sets().iter().map(|s| s.len()).max().unwrap_or(1);
+        let layout = FlagLayout::new(m, local_max);
         let flags = self.fabric.alloc_flags(self.me, layout.total());
         let exch = self.fabric.alloc_segment(self.me, m * EXCH_SLOT);
         let g2 = self.allgather4([flags.0 as u64, exch.0 as u64, 0, 0]);
@@ -320,7 +390,6 @@ impl TeamComm {
             })
             .collect();
 
-        let hier = Arc::new(HierarchyView::build(self.fabric.image_map(), &members));
         Self::assemble(
             self.fabric.clone(),
             self.me,
@@ -344,13 +413,15 @@ impl TeamComm {
         layout: FlagLayout,
         rsrc: Vec<MemberRsrc>,
     ) -> Self {
-        let local_max = hier.sets().iter().map(|s| s.len()).max().unwrap_or(1);
+        let local_max = layout.lm;
+        let policy = SizePolicy::from_cost(fabric.cost());
         Self {
             barrier_algo: cfg.barrier.resolve(&hier),
             reduce_algo: cfg.reduce.resolve(&hier),
             bcast_algo: cfg.bcast.resolve(&hier),
             gather_algo: cfg.gather.resolve(&hier),
             raw_cfg: cfg,
+            policy,
             fabric,
             me,
             rank,
@@ -364,6 +435,7 @@ impl TeamComm {
             local_max,
             buf: Vec::new(),
             buf2: Vec::new(),
+            stage: Vec::new(),
         }
     }
 
@@ -419,6 +491,38 @@ impl TeamComm {
     /// Resolved gather/scatter algorithm for this team.
     pub fn gather_algorithm(&self) -> GatherAlgo {
         self.gather_algo
+    }
+
+    /// The size thresholds governing `Auto` algorithm selection.
+    pub fn size_policy(&self) -> SizePolicy {
+        self.policy
+    }
+
+    /// Override the size thresholds (benchmarks and tests; normal users
+    /// keep the cost-model-derived defaults). Collective in effect: all
+    /// members must install the same policy before the next collective.
+    pub fn set_size_policy(&mut self, policy: SizePolicy) {
+        self.policy = policy;
+    }
+
+    /// Broadcast algorithm for a payload of `bytes` — the per-call half of
+    /// the `Auto` policy (the hierarchy half was resolved at formation).
+    pub(crate) fn bcast_algo_for(&self, bytes: usize) -> BcastAlgo {
+        self.raw_cfg
+            .bcast
+            .resolve_sized(&self.hier, bytes, &self.policy)
+    }
+
+    /// Reduction algorithm for a payload of `bytes`.
+    pub(crate) fn reduce_algo_for(&self, bytes: usize) -> ReduceAlgo {
+        self.raw_cfg
+            .reduce
+            .resolve_sized(&self.hier, bytes, &self.policy)
+    }
+
+    /// Elements per pipeline chunk for an element size of `elem` bytes.
+    pub(crate) fn chunk_elems(&self, elem: usize) -> usize {
+        (self.policy.chunk_bytes / elem.max(1)).max(1)
     }
 
     // ------------------------------------------------------------------
@@ -523,66 +627,81 @@ impl TeamComm {
         self.epochs.exch_tree += 1;
         let era = self.epochs.exch_tree;
 
-        // Deposit my own slot locally.
+        // My own slot stays in local memory: only *remote* contributions
+        // ever touch the exchange segment, so no fabric round-trips to
+        // self are paid for my own four words.
         let mut slot = [0u8; EXCH_SLOT];
         for (i, v) in vals.iter().enumerate() {
             slot[i * 8..(i + 1) * 8].copy_from_slice(&v.to_ne_bytes());
         }
-        let my_exch = self.rsrc[self.rank].exch;
-        self.fabric
-            .put(self.me, self.me, my_exch, self.rank * EXCH_SLOT, &slot);
-
-        if n > 1 {
-            let v = self.rank;
-            let children = children_of(v, n);
-            // Gather: wait for each child's subtree, then ship my whole
-            // contiguous subtree range to my parent.
-            if !children.is_empty() {
-                self.wait_flag(flag::EXCH_GATHER, children.len() as u64 * era);
-            }
-            if v != 0 {
-                let parent = parent_of(v);
-                let hi = (v + lowbit(v)).min(n);
-                let bytes = (hi - v) * EXCH_SLOT;
-                let mut buf = vec![0u8; bytes];
-                self.fabric
-                    .get(self.me, self.me, my_exch, v * EXCH_SLOT, &mut buf);
-                self.fabric.put(
-                    self.me,
-                    self.members[parent],
-                    self.rsrc[parent].exch,
-                    v * EXCH_SLOT,
-                    &buf,
-                );
-                self.add_flag(parent, flag::EXCH_GATHER, 1);
-                // Broadcast: wait for the combined array from my parent.
-                self.wait_flag(flag::EXCH_BCAST, era);
-            }
-            // Forward the full array to my children.
-            if !children.is_empty() {
-                let mut full = vec![0u8; n * EXCH_SLOT];
-                self.fabric.get(self.me, self.me, my_exch, 0, &mut full);
-                for &c in &children {
-                    self.fabric
-                        .put(self.me, self.members[c], self.rsrc[c].exch, 0, &full);
-                    self.add_flag(c, flag::EXCH_BCAST, 1);
-                }
-            }
+        if n == 1 {
+            self.control_barrier();
+            return vec![vals];
         }
-
-        let mut all = vec![0u8; n * EXCH_SLOT];
-        self.fabric
-            .get(self.me, self.me, self.rsrc[self.rank].exch, 0, &mut all);
+        let my_exch = self.rsrc[self.rank].exch;
+        let v = self.rank;
+        let children = children_of(v, n);
+        // Gather: wait for each child's subtree, then ship my whole
+        // contiguous subtree range — my slot from memory, the children's
+        // ranges from my exchange segment — to my parent.
+        if !children.is_empty() {
+            self.wait_flag(flag::EXCH_GATHER, children.len() as u64 * era);
+        }
+        if v != 0 {
+            let parent = parent_of(v);
+            let hi = (v + lowbit(v)).min(n);
+            let bytes = (hi - v) * EXCH_SLOT;
+            let mut sub = self.take_stage(bytes);
+            sub[..EXCH_SLOT].copy_from_slice(&slot);
+            if hi > v + 1 {
+                self.fabric.get(
+                    self.me,
+                    self.me,
+                    my_exch,
+                    (v + 1) * EXCH_SLOT,
+                    &mut sub[EXCH_SLOT..],
+                );
+            }
+            self.fabric.put(
+                self.me,
+                self.members[parent],
+                self.rsrc[parent].exch,
+                v * EXCH_SLOT,
+                &sub,
+            );
+            self.add_flag(parent, flag::EXCH_GATHER, 1);
+            self.restore_stage(sub);
+            // Broadcast: wait for the combined array from my parent.
+            self.wait_flag(flag::EXCH_BCAST, era);
+        }
+        // Assemble the full array once: remote contributions from my
+        // exchange segment (children's subtrees at the root; the parent's
+        // forwarded array elsewhere), my own slot from memory.
+        let mut full = self.take_stage(n * EXCH_SLOT);
+        if v == 0 {
+            self.fabric
+                .get(self.me, self.me, my_exch, EXCH_SLOT, &mut full[EXCH_SLOT..]);
+        } else {
+            self.fabric.get(self.me, self.me, my_exch, 0, &mut full);
+        }
+        full[v * EXCH_SLOT..(v + 1) * EXCH_SLOT].copy_from_slice(&slot);
+        // Forward the full array to my children and decode it locally.
+        for &c in &children {
+            self.fabric
+                .put(self.me, self.members[c], self.rsrc[c].exch, 0, &full);
+            self.add_flag(c, flag::EXCH_BCAST, 1);
+        }
         let out: Vec<[u64; 4]> = (0..n)
             .map(|j| {
                 let mut v = [0u64; 4];
                 for (i, vi) in v.iter_mut().enumerate() {
                     let base = j * EXCH_SLOT + i * 8;
-                    *vi = u64::from_ne_bytes(all[base..base + 8].try_into().expect("8"));
+                    *vi = u64::from_ne_bytes(full[base..base + 8].try_into().expect("8"));
                 }
                 v
             })
             .collect();
+        self.restore_stage(full);
         // Fence: nobody starts the next exchange into these slots until
         // everyone has read this one.
         self.control_barrier();
@@ -651,6 +770,20 @@ impl TeamComm {
     pub(crate) fn wait_flag(&self, idx: usize, target: u64) {
         self.fabric
             .flag_wait_ge(self.me, self.rsrc[self.rank].flags.nth(idx), target);
+    }
+
+    /// Borrow the comm-owned staging buffer, sized to `len` bytes
+    /// (contents unspecified). Return it with [`Self::restore_stage`];
+    /// the backing allocation is kept across calls.
+    pub(crate) fn take_stage(&mut self, len: usize) -> Vec<u8> {
+        let mut b = std::mem::take(&mut self.stage);
+        b.resize(len, 0);
+        b
+    }
+
+    /// Return the staging buffer taken with [`Self::take_stage`].
+    pub(crate) fn restore_stage(&mut self, b: Vec<u8>) {
+        self.stage = b;
     }
 
     /// Grow (collectively) the team scratch so each slot holds `slot_bytes`.
@@ -785,6 +918,28 @@ impl TeamComm {
         slice_to_bytes(src, &mut b);
         self.put_scratch(to, off, &b);
         self.buf = b;
+    }
+
+    /// Nonblocking variant of [`Self::send_values`]: the put is *injected*
+    /// but the wire time is not paid by the initiator. The pipelined
+    /// collectives rely on the fabric's point-to-point ordering guarantee
+    /// — a flag posted to the same target after this call lands after the
+    /// payload — so the returned token normally goes unused; `quiet`
+    /// drains anything still in flight.
+    pub(crate) fn send_values_nb<T: CoValue>(
+        &mut self,
+        to: usize,
+        off: usize,
+        src: &[T],
+    ) -> PutToken {
+        debug_assert!(self.scratch_slot_bytes > 0, "scratch not allocated");
+        let mut b = std::mem::take(&mut self.buf);
+        slice_to_bytes(src, &mut b);
+        let tok = self
+            .fabric
+            .put_nb(self.me, self.members[to], self.rsrc[to].scratch, off, &b);
+        self.buf = b;
+        tok
     }
 
     /// Read my scratch slot at `off` and combine it element-wise into `buf`.

@@ -1,7 +1,10 @@
 //! Algorithm selection — the knob distinguishing the paper's "1-level"
-//! baseline runtime from the hierarchy-aware "2-level" runtime.
+//! baseline runtime from the hierarchy-aware "2-level" runtime, extended
+//! with a (hierarchy × message size) policy: below the pipeline crossover
+//! the latency-optimal trees win; above it the chunked pipelined data path
+//! does.
 
-use caf_topology::HierarchyView;
+use caf_topology::{CostParams, HierarchyView};
 
 /// Barrier algorithm choice.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -44,8 +47,18 @@ pub enum ReduceAlgo {
     /// The paper's two-level reduction: intra-node linear combine at each
     /// node leader, recursive doubling among leaders, intra-node release.
     TwoLevel,
-    /// Hierarchy-aware choice: recursive doubling for flat teams, two-level
-    /// otherwise.
+    /// Chunked pipelined two-level reduction for large payloads: slaves
+    /// stream chunks at their leader (per-chunk combine), leaders run a
+    /// Rabenseifner reduce-scatter + allgather across nodes, results stream
+    /// back — every stage overlaps the next chunk's communication.
+    TwoLevelPipelined,
+    /// Rabenseifner's allreduce (recursive-halving reduce-scatter followed
+    /// by recursive-doubling allgather): the bandwidth-optimal flat
+    /// algorithm for large buffers.
+    Rabenseifner,
+    /// Hierarchy- and size-aware choice: recursive doubling for flat teams,
+    /// two-level otherwise; above the pipeline crossover, Rabenseifner
+    /// (flat) or the pipelined two-level scheme.
     #[default]
     Auto,
 }
@@ -61,7 +74,14 @@ pub enum BcastAlgo {
     /// (with the root acting as its node's leader), then an intra-node
     /// linear fan-out.
     TwoLevel,
-    /// Hierarchy-aware choice: binomial for flat teams, two-level otherwise.
+    /// Chunked pipelined two-level broadcast for large payloads: the root
+    /// streams K-byte chunks down a *chain* of node leaders (the root's NIC
+    /// injects the payload exactly once, vs. once per tree child in the
+    /// store-and-forward tree), and each leader forwards a chunk inter-node
+    /// while fanning the previous one out over its node bus.
+    TwoLevelPipelined,
+    /// Hierarchy- and size-aware choice: binomial for flat teams, two-level
+    /// otherwise; above the pipeline crossover, the pipelined scheme.
     #[default]
     Auto,
 }
@@ -96,11 +116,61 @@ impl GatherAlgo {
     }
 }
 
+/// The size-aware half of `Auto` resolution, computed from the machine's
+/// [`CostParams`] at team-formation time (with env-var overrides for the
+/// bench harness). Every team member derives the identical policy from the
+/// shared cost model, so per-call algorithm selection by payload size stays
+/// collectively consistent.
+///
+/// Overrides (parsed as plain byte counts): `CAF_CHUNK_BYTES`,
+/// `CAF_BCAST_CROSSOVER`, `CAF_REDUCE_CROSSOVER`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SizePolicy {
+    /// Pipeline chunk size for the chunked collectives, bytes.
+    pub chunk_bytes: usize,
+    /// Payload size at which `Auto` switches broadcast to the pipelined
+    /// path, bytes.
+    pub bcast_crossover_bytes: usize,
+    /// Payload size at which `Auto` switches reduction to the pipelined /
+    /// Rabenseifner path, bytes.
+    pub reduce_crossover_bytes: usize,
+}
+
+fn env_bytes(name: &str) -> Option<usize> {
+    std::env::var(name).ok().and_then(|v| v.trim().parse().ok())
+}
+
+impl SizePolicy {
+    /// Derive the policy from a machine's cost parameters, honoring the
+    /// env-var overrides.
+    pub fn from_cost(cost: &CostParams) -> Self {
+        let chunk = env_bytes("CAF_CHUNK_BYTES")
+            .unwrap_or_else(|| cost.pipeline_chunk_bytes())
+            .max(1);
+        let crossover = cost.pipeline_crossover_bytes();
+        Self {
+            chunk_bytes: chunk,
+            bcast_crossover_bytes: env_bytes("CAF_BCAST_CROSSOVER").unwrap_or(crossover),
+            reduce_crossover_bytes: env_bytes("CAF_REDUCE_CROSSOVER").unwrap_or(crossover),
+        }
+    }
+}
+
+impl Default for SizePolicy {
+    fn default() -> Self {
+        Self::from_cost(&CostParams::default())
+    }
+}
+
 /// Per-team collective configuration, fixed at team-formation time.
 ///
 /// Fixing algorithms per team keeps the accumulating `sync_flags` counters
 /// coherent: every algorithm's waits count episodes against the same flag
 /// history, so switching algorithms mid-team would desynchronize epochs.
+/// (The broadcast/reduce paths use *cumulative* per-flag counters rather
+/// than `episode × expected` thresholds precisely so that the size-aware
+/// `Auto` may pick a different algorithm per call without desynchronizing —
+/// see `TeamComm::bcast_algo_for`/`reduce_algo_for`.)
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub struct CollectiveConfig {
     /// Barrier algorithm.
@@ -171,6 +241,26 @@ impl ReduceAlgo {
             fixed => fixed,
         }
     }
+
+    /// Resolve `Auto` against (hierarchy × payload size): latency-optimal
+    /// below the crossover, bandwidth-optimal above it.
+    pub fn resolve_sized(
+        self,
+        hier: &HierarchyView,
+        bytes: usize,
+        policy: &SizePolicy,
+    ) -> ReduceAlgo {
+        match self {
+            ReduceAlgo::Auto if bytes >= policy.reduce_crossover_bytes => {
+                if hier.is_flat() {
+                    ReduceAlgo::Rabenseifner
+                } else {
+                    ReduceAlgo::TwoLevelPipelined
+                }
+            }
+            other => other.resolve(hier),
+        }
+    }
 }
 
 impl BcastAlgo {
@@ -185,6 +275,22 @@ impl BcastAlgo {
                 }
             }
             fixed => fixed,
+        }
+    }
+
+    /// Resolve `Auto` against (hierarchy × payload size): latency-optimal
+    /// below the crossover, pipelined above it.
+    pub fn resolve_sized(
+        self,
+        hier: &HierarchyView,
+        bytes: usize,
+        policy: &SizePolicy,
+    ) -> BcastAlgo {
+        match self {
+            BcastAlgo::Auto if bytes >= policy.bcast_crossover_bytes => {
+                BcastAlgo::TwoLevelPipelined
+            }
+            other => other.resolve(hier),
         }
     }
 }
@@ -240,5 +346,55 @@ mod tests {
     fn presets_are_distinct() {
         assert_ne!(CollectiveConfig::one_level(), CollectiveConfig::two_level());
         assert_eq!(CollectiveConfig::auto(), CollectiveConfig::default());
+    }
+
+    #[test]
+    fn sized_auto_switches_at_the_crossover() {
+        let policy = SizePolicy {
+            chunk_bytes: 16 * 1024,
+            bcast_crossover_bytes: 32 * 1024,
+            reduce_crossover_bytes: 32 * 1024,
+        };
+        let h2 = hier(2, 4, 8);
+        let hf = hier(8, 1, 8);
+        // Small payloads: the hierarchy-only choice.
+        assert_eq!(
+            BcastAlgo::Auto.resolve_sized(&h2, 8, &policy),
+            BcastAlgo::TwoLevel
+        );
+        assert_eq!(
+            BcastAlgo::Auto.resolve_sized(&hf, 8, &policy),
+            BcastAlgo::FlatBinomial
+        );
+        assert_eq!(
+            ReduceAlgo::Auto.resolve_sized(&h2, 8, &policy),
+            ReduceAlgo::TwoLevel
+        );
+        // Large payloads: the pipelined/bandwidth-optimal choice.
+        assert_eq!(
+            BcastAlgo::Auto.resolve_sized(&h2, 1 << 20, &policy),
+            BcastAlgo::TwoLevelPipelined
+        );
+        assert_eq!(
+            ReduceAlgo::Auto.resolve_sized(&h2, 1 << 20, &policy),
+            ReduceAlgo::TwoLevelPipelined
+        );
+        assert_eq!(
+            ReduceAlgo::Auto.resolve_sized(&hf, 1 << 20, &policy),
+            ReduceAlgo::Rabenseifner
+        );
+        // Fixed choices ignore size.
+        assert_eq!(
+            BcastAlgo::TwoLevel.resolve_sized(&h2, 1 << 20, &policy),
+            BcastAlgo::TwoLevel
+        );
+    }
+
+    #[test]
+    fn size_policy_derives_from_cost() {
+        let p = SizePolicy::from_cost(&CostParams::default());
+        assert_eq!(p.chunk_bytes, 16 * 1024);
+        assert_eq!(p.bcast_crossover_bytes, 2 * p.chunk_bytes);
+        assert_eq!(p.reduce_crossover_bytes, 2 * p.chunk_bytes);
     }
 }

@@ -52,7 +52,7 @@ pub(crate) fn alltoall<T: CoValue>(comm: &mut TeamComm, send: &[T], len: usize) 
         comm.add_flag(to, flag::A2A_ARRIVE, 1);
     }
     comm.wait_flag(flag::A2A_ARRIVE, (n as u64 - 1) * era);
-    let mut bytes = vec![0u8; n * gs];
+    let mut bytes = comm.take_stage(n * gs);
     comm.read_my_gather(0, &mut bytes);
     for r in 0..n {
         if r != comm.rank {
@@ -62,6 +62,7 @@ pub(crate) fn alltoall<T: CoValue>(comm: &mut TeamComm, send: &[T], len: usize) 
             );
         }
     }
+    comm.restore_stage(bytes);
     comm.barrier();
     out
 }
@@ -88,13 +89,14 @@ fn read_all_slots<T: CoValue>(comm: &mut TeamComm, len: usize, order: &[usize]) 
     // Read slot `order[i]`'s payload as the contribution of team rank i.
     let n = comm.size();
     let gs = comm.gather_slot_bytes;
-    let mut bytes = vec![0u8; n * gs];
+    let mut bytes = comm.take_stage(n * gs);
     comm.read_my_gather(0, &mut bytes);
     let mut out = vec![T::load(&vec![0u8; T::SIZE]); n * len];
     for (rank, &slot) in order.iter().enumerate() {
         let src = &bytes[slot * gs..slot * gs + len * T::SIZE];
         bytes_to_slice(src, &mut out[rank * len..(rank + 1) * len]);
     }
+    comm.restore_stage(bytes);
     out
 }
 
@@ -202,9 +204,10 @@ fn gather_two_level<T: CoValue>(comm: &mut TeamComm, mine: &[T], root: usize) ->
         let gs = comm.gather_slot_bytes;
         let base = prefix[my_set];
         let count = hier.sets()[my_set].len();
-        let mut block = vec![0u8; count * gs];
+        let mut block = comm.take_stage(count * gs);
         comm.read_my_gather(base * gs, &mut block);
         comm.put_gather_raw(root, base * gs, &block);
+        comm.restore_stage(block);
         comm.add_flag(root, flag::GA_ARRIVE, 1);
         // Await my release, then release my members.
         comm.epochs.gather_released += 1;
@@ -311,7 +314,8 @@ fn scatter_two_level<T: CoValue>(
             if s == root_set {
                 continue;
             }
-            let mut block = vec![0u8; set.len() * gs];
+            let mut block = comm.take_stage(set.len() * gs);
+            block.iter_mut().for_each(|b| *b = 0);
             for (pos, &r) in set.ranks.iter().enumerate() {
                 // Serialize rank r's slice directly into the block.
                 let dst = &mut block[pos * gs..pos * gs + len * T::SIZE];
@@ -320,6 +324,7 @@ fn scatter_two_level<T: CoValue>(
                 }
             }
             comm.put_gather_raw(l, 0, &block);
+            comm.restore_stage(block);
             comm.add_flag(l, flag::SC_ARRIVE, 1);
         }
         // Root acts as its own node's leader: deliver locally.
@@ -352,9 +357,10 @@ fn scatter_two_level<T: CoValue>(
         // Leader of a non-root node: receive my node's block, fan out.
         comm.epochs.scatter_arrived += 1;
         comm.wait_flag(flag::SC_ARRIVE, comm.epochs.scatter_arrived);
-        let set = &hier.sets()[my_set];
-        let mut block = vec![0u8; set.len() * gs];
+        let set_len = hier.sets()[my_set].len();
+        let mut block = comm.take_stage(set_len * gs);
         comm.read_my_gather(0, &mut block);
+        let set = &hier.sets()[my_set];
         let my_pos = set
             .ranks
             .iter()
@@ -371,6 +377,7 @@ fn scatter_two_level<T: CoValue>(
                 comm.add_flag(r, flag::SC_ARRIVE, 1);
             }
         }
+        comm.restore_stage(block);
         comm.add_flag(root, flag::SC_ACK, 1);
         // Await my release, then release my members.
         comm.epochs.scatter_released += 1;
@@ -387,9 +394,10 @@ fn scatter_two_level<T: CoValue>(
         comm.epochs.scatter_arrived += 1;
         comm.wait_flag(flag::SC_ARRIVE, comm.epochs.scatter_arrived);
         let off = if from_root { 0 } else { gs };
-        let mut bytes = vec![0u8; len * T::SIZE];
+        let mut bytes = comm.take_stage(len * T::SIZE);
         comm.read_my_gather(off, &mut bytes);
         bytes_to_slice(&bytes, out);
+        comm.restore_stage(bytes);
         comm.add_flag(root, flag::SC_ACK, 1);
         comm.epochs.scatter_released += 1;
         comm.wait_flag(flag::SC_DONE, comm.epochs.scatter_released);

@@ -15,9 +15,21 @@
 //!   `sync_flags`, the paper's **TDLB** (Team Dissemination Linear Barrier,
 //!   Algorithm 1), and the §VII multi-level (socket-aware) extension.
 //! * **All-to-all reductions** ([`config::ReduceAlgo`]): flat recursive
-//!   doubling, flat binomial reduce+broadcast, and the two-level scheme.
-//! * **Broadcasts** ([`config::BcastAlgo`]): linear, flat binomial, and the
-//!   two-level scheme.
+//!   doubling, flat binomial reduce+broadcast, the two-level scheme, a
+//!   chunked **pipelined two-level** scheme for large payloads (intranode
+//!   streaming fold overlapped with a Rabenseifner stage across leaders),
+//!   and flat **Rabenseifner** (reduce-scatter + allgather).
+//! * **Broadcasts** ([`config::BcastAlgo`]): linear, flat binomial, the
+//!   two-level scheme, and a chunked **pipelined two-level** scheme that
+//!   streams K-byte chunks down a pipelined binary tree of node leaders
+//!   with nonblocking puts while each leader fans received chunks out
+//!   through shared memory.
+//!
+//! `Auto` resolves per call by (hierarchy shape × message size): the
+//! latency-optimal tree below the crossover, the pipelined/bandwidth
+//! algorithms at or above it ([`config::SizePolicy`], derived from the
+//! machine's cost model, overridable via `CAF_CHUNK_BYTES` /
+//! `CAF_BCAST_CROSSOVER` / `CAF_REDUCE_CROSSOVER`).
 //!
 //! All algorithms run over any [`caf_fabric::Fabric`] and operate on
 //! [`TeamComm`] — the runtime structure behind the paper's `team_type`,
@@ -39,7 +51,7 @@ pub mod util;
 pub mod value;
 
 pub use comm::TeamComm;
-pub use config::{BarrierAlgo, BcastAlgo, CollectiveConfig, GatherAlgo, ReduceAlgo};
+pub use config::{BarrierAlgo, BcastAlgo, CollectiveConfig, GatherAlgo, ReduceAlgo, SizePolicy};
 pub use value::{CoNumeric, CoOp, CoValue};
 
 #[cfg(test)]
@@ -174,6 +186,8 @@ mod tests {
             ReduceAlgo::FlatRecursiveDoubling,
             ReduceAlgo::FlatBinomial,
             ReduceAlgo::TwoLevel,
+            ReduceAlgo::TwoLevelPipelined,
+            ReduceAlgo::Rabenseifner,
             ReduceAlgo::Auto,
         ]
     }
@@ -284,6 +298,7 @@ mod tests {
             BcastAlgo::FlatLinear,
             BcastAlgo::FlatBinomial,
             BcastAlgo::TwoLevel,
+            BcastAlgo::TwoLevelPipelined,
             BcastAlgo::Auto,
         ]
     }
@@ -480,6 +495,174 @@ mod tests {
             dissem >= 3 * tdlb_inter,
             "dissemination {dissem} should dwarf TDLB {tdlb_inter}"
         );
+    }
+
+    /// A size policy with a tiny chunk so small test payloads still split
+    /// into many pipeline chunks.
+    fn tiny_chunks() -> SizePolicy {
+        SizePolicy {
+            chunk_bytes: 16, // 2 u64 elements per chunk
+            bcast_crossover_bytes: 0,
+            reduce_crossover_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn pipelined_broadcast_multi_chunk_rotating_roots() {
+        // 37 elements over 2-element chunks: 19 chunks, the last one short.
+        for fabric in [sim_fabric(3, 4, 12, 4), thread_fabric(2, 4, 8, 4)] {
+            let n = fabric.n_images();
+            let cfg = CollectiveConfig {
+                bcast: BcastAlgo::TwoLevelPipelined,
+                ..CollectiveConfig::default()
+            };
+            with_team(fabric, cfg, move |comm, me| {
+                comm.set_size_policy(tiny_chunks());
+                for e in 0..6usize {
+                    let root = (e * 5 + 2) % n;
+                    let len = [37, 1, 2, 40][e % 4];
+                    let make = |i: usize| ((e as u64) << 32) | ((i as u64) << 8) | root as u64;
+                    let mut v: Vec<u64> = if comm.rank() == root {
+                        (0..len).map(make).collect()
+                    } else {
+                        vec![0; len]
+                    };
+                    comm.co_broadcast(&mut v, root);
+                    let expect: Vec<u64> = (0..len).map(make).collect();
+                    assert_eq!(v, expect, "episode {e} root {root} at image {me:?}");
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn pipelined_reduce_multi_chunk() {
+        for fabric in [sim_fabric(3, 4, 12, 4), thread_fabric(2, 4, 8, 4)] {
+            let n = fabric.n_images() as u64;
+            let cfg = CollectiveConfig {
+                reduce: ReduceAlgo::TwoLevelPipelined,
+                ..CollectiveConfig::default()
+            };
+            with_team(fabric, cfg, move |comm, me| {
+                comm.set_size_policy(tiny_chunks());
+                for len in [1usize, 5, 37, 64] {
+                    let mut v: Vec<u64> = (0..len).map(|i| me.index() as u64 + i as u64).collect();
+                    comm.co_sum(&mut v);
+                    for (i, &x) in v.iter().enumerate() {
+                        let expect: u64 = (0..n).map(|r| r + i as u64).sum();
+                        assert_eq!(x, expect, "len {len} elem {i}");
+                    }
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn mixed_algorithms_across_calls_stay_in_sync() {
+        // The cumulative-counter discipline must survive interleaving every
+        // algorithm on the same team (same accumulating flags).
+        with_team(
+            sim_fabric(3, 4, 12, 4),
+            CollectiveConfig::default(),
+            |comm, me| {
+                comm.set_size_policy(SizePolicy {
+                    chunk_bytes: 16,
+                    bcast_crossover_bytes: 64,
+                    reduce_crossover_bytes: 64,
+                });
+                let n = comm.size() as u64;
+                for e in 0..4usize {
+                    // Small payload (latency path), then large (pipelined).
+                    for len in [2usize, 33] {
+                        let mut v = vec![1u64; len];
+                        comm.co_sum(&mut v);
+                        assert!(v.iter().all(|&x| x == n), "episode {e} len {len}");
+                        let root = (e + len) % comm.size();
+                        let mut w = if comm.rank() == root {
+                            vec![7u64; len]
+                        } else {
+                            vec![0u64; len]
+                        };
+                        comm.co_broadcast(&mut w, root);
+                        assert!(w.iter().all(|&x| x == 7), "episode {e} len {len}");
+                    }
+                }
+                let _ = me;
+            },
+        );
+    }
+
+    /// Per-level chunk accounting for the pipelined two-level broadcast on
+    /// 3 nodes × 4 images: whatever the leader topology, each chunk must
+    /// cross the network exactly `l−1` times (once per non-root leader),
+    /// and each of the 3 effective leaders fans each chunk out to its 3
+    /// local members over the node bus.
+    #[test]
+    fn pipelined_bcast_chunk_counts_per_level() {
+        let traffic = |episodes: usize| -> (u64, u64, u64, u64) {
+            let fabric = sim_fabric(3, 4, 12, 4);
+            let cfg = CollectiveConfig {
+                bcast: BcastAlgo::TwoLevelPipelined,
+                ..CollectiveConfig::default()
+            };
+            let f2 = fabric.clone();
+            with_team(fabric, cfg, move |comm, _me| {
+                comm.set_size_policy(tiny_chunks());
+                for e in 0..episodes {
+                    let root = e % comm.size();
+                    let mut v = vec![1u64; 8]; // 4 chunks of 2 elements
+                    comm.co_broadcast(&mut v, root);
+                }
+            });
+            let s = f2.stats().snapshot();
+            (
+                s.puts_intra,
+                s.puts_inter,
+                s.puts_nb_injected,
+                s.puts_nb_completed,
+            )
+        };
+        let (i1, x1, nb1, _) = traffic(1);
+        let (i3, x3, nb3, done3) = traffic(3);
+        let per_ep_intra = (i3 - i1) / 2;
+        let per_ep_inter = (x3 - x1) / 2;
+        let per_ep_nb = (nb3 - nb1) / 2;
+        // 4 chunks × (3−1) non-root leaders cross the network.
+        assert_eq!(per_ep_inter, 4 * 2, "inter-node chunk hops per episode");
+        // 4 chunks × 9 local members ride the node buses.
+        assert_eq!(per_ep_intra, 4 * 9, "intranode fan-out per episode");
+        // Every data move of the episode was a nonblocking put...
+        assert_eq!(per_ep_nb, per_ep_intra + per_ep_inter);
+        // ...and none is still in flight once the run drained.
+        assert_eq!(nb3, done3, "all injected puts completed");
+    }
+
+    #[test]
+    fn sim_pipelined_collective_times_deterministic() {
+        let run = || {
+            let fabric = sim_fabric(3, 4, 12, 4);
+            let f2 = fabric.clone();
+            let times = Arc::new(Mutex::new(vec![0u64; 12]));
+            let t2 = times.clone();
+            let cfg = CollectiveConfig {
+                bcast: BcastAlgo::TwoLevelPipelined,
+                reduce: ReduceAlgo::TwoLevelPipelined,
+                ..CollectiveConfig::default()
+            };
+            with_team(fabric, cfg, move |comm, me| {
+                comm.set_size_policy(tiny_chunks());
+                for e in 0..3usize {
+                    let mut v = vec![me.index() as u64; 21];
+                    comm.co_sum(&mut v);
+                    let mut w = vec![e as u64; 13];
+                    comm.co_broadcast(&mut w, e % comm.size());
+                }
+                t2.lock()[me.index()] = f2.now_ns(me);
+            });
+            let v = times.lock().clone();
+            v
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -1,7 +1,12 @@
 //! All-to-all reduction (allreduce) algorithms: flat recursive doubling,
-//! flat binomial reduce-then-broadcast, and the paper's two-level scheme
+//! flat binomial reduce-then-broadcast, the paper's two-level scheme
 //! (intra-node linear combine at each leader → recursive doubling among
-//! leaders → intra-node release).
+//! leaders → intra-node release), flat Rabenseifner (recursive-halving
+//! reduce-scatter + recursive-doubling allgather, bandwidth-optimal for
+//! large payloads), and a chunked pipelined two-level scheme where slaves
+//! stream K-byte chunks to their leader with nonblocking puts, the leader
+//! folds chunk-by-chunk as they arrive, leaders run Rabenseifner on the
+//! folded buffer, and the release streams back in chunks.
 //!
 //! # Flow control
 //!
@@ -25,32 +30,41 @@ fn algo_code(a: ReduceAlgo) -> u64 {
         ReduceAlgo::FlatRecursiveDoubling => 1,
         ReduceAlgo::FlatBinomial => 2,
         ReduceAlgo::TwoLevel => 3,
+        ReduceAlgo::TwoLevelPipelined => 4,
+        ReduceAlgo::Rabenseifner => 5,
         ReduceAlgo::Auto => 0,
     }
 }
 
-/// Element-wise allreduce of `buf` across the team. Every member must call
-/// with the same `buf.len()` and an equivalent operation.
+/// Element-wise allreduce of `buf` across the team, picking the algorithm
+/// by (hierarchy × payload size) — every member must call with the same
+/// `buf.len()` and an equivalent operation, so all agree on the choice.
 pub(crate) fn allreduce<T: CoValue>(comm: &mut TeamComm, buf: &mut [T], f: &impl Fn(T, T) -> T) {
     comm.epochs.reduce += 1;
     let e = comm.epochs.reduce;
     if comm.size() == 1 || buf.is_empty() {
         return;
     }
+    let algo = comm.reduce_algo_for(buf.len() * T::SIZE);
     comm.ensure_scratch(buf.len() * T::SIZE);
     let t0 = comm.trace_now();
-    match comm.reduce_algo {
+    match algo {
         ReduceAlgo::FlatRecursiveDoubling => {
             let all: Vec<usize> = (0..comm.size()).collect();
             rd_over(comm, &all, buf, f, e);
         }
         ReduceAlgo::FlatBinomial => flat_binomial(comm, buf, f, e),
         ReduceAlgo::TwoLevel => two_level(comm, buf, f, e),
-        ReduceAlgo::Auto => unreachable!("Auto resolved at formation"),
+        ReduceAlgo::TwoLevelPipelined => two_level_pipelined(comm, buf, f, e),
+        ReduceAlgo::Rabenseifner => {
+            let all: Vec<usize> = (0..comm.size()).collect();
+            rabenseifner_over(comm, &all, buf, f, e);
+        }
+        ReduceAlgo::Auto => unreachable!("Auto resolved per call"),
     }
     comm.trace(
         Event::span(EventKind::Reduce, t0, comm.trace_now().saturating_sub(t0))
-            .a(algo_code(comm.reduce_algo))
+            .a(algo_code(algo))
             .b(comm.trace_tag())
             .c(e)
             .d((buf.len() * T::SIZE) as u64),
@@ -86,14 +100,16 @@ pub(crate) fn rd_over<T: CoValue>(
         let off = comm.sl_pre(par);
         comm.send_values(partner, off, buf);
         comm.add_flag(partner, flag::R_PRE, 1);
-        comm.wait_flag(flag::R_POST, e);
+        comm.epochs.r_post += 1;
+        comm.wait_flag(flag::R_POST, comm.epochs.r_post);
         let off = comm.sl_post(par);
         comm.load_from_scratch(off, buf);
         return;
     }
 
     if pos < extras {
-        comm.wait_flag(flag::R_PRE, e);
+        comm.epochs.r_pre += 1;
+        comm.wait_flag(flag::R_PRE, comm.epochs.r_pre);
         let off = comm.sl_pre(par);
         comm.combine_from_scratch(off, buf, f);
     }
@@ -105,7 +121,8 @@ pub(crate) fn rd_over<T: CoValue>(
         let off = comm.sl_rd(k, par);
         comm.send_values(partner, off, buf);
         comm.add_flag(partner, comm.layout.r_arrive(k), 1);
-        comm.wait_flag(comm.layout.r_arrive(k), e);
+        let target = comm.epochs.bump_r_round(k);
+        comm.wait_flag(comm.layout.r_arrive(k), target);
         comm.combine_from_scratch(off, buf, f);
     }
 
@@ -137,7 +154,8 @@ fn flat_binomial<T: CoValue>(comm: &mut TeamComm, buf: &mut [T], f: &impl Fn(T, 
         }
         let child = v | (1 << k);
         if child < n {
-            comm.wait_flag(comm.layout.r_arrive(k), e);
+            let target = comm.epochs.bump_r_round(k);
+            comm.wait_flag(comm.layout.r_arrive(k), target);
             let off = comm.sl_rd(k, par);
             comm.combine_from_scratch(off, buf, f);
         }
@@ -166,7 +184,8 @@ fn two_level<T: CoValue>(comm: &mut TeamComm, buf: &mut [T], f: &impl Fn(T, T) -
         let off = comm.sl_gather(pos, par);
         comm.send_values(leader, off, buf);
         comm.add_flag(leader, flag::R_COUNTER, 1);
-        comm.wait_flag(flag::R_RELEASE, e);
+        comm.epochs.r_release += 1;
+        comm.wait_flag(flag::R_RELEASE, comm.epochs.r_release);
         let off = comm.sl_release(par);
         comm.load_from_scratch(off, buf);
         return;
@@ -177,7 +196,8 @@ fn two_level<T: CoValue>(comm: &mut TeamComm, buf: &mut [T], f: &impl Fn(T, T) -
     let t0 = comm.trace_now();
     let slaves = set.len() as u64 - 1;
     if slaves > 0 {
-        comm.wait_flag(flag::R_COUNTER, slaves * e);
+        comm.epochs.r_counter += slaves;
+        comm.wait_flag(flag::R_COUNTER, comm.epochs.r_counter);
         let positions: Vec<usize> = (1..set.len()).collect();
         for pos in positions {
             let off = comm.sl_gather(pos, par);
@@ -231,4 +251,222 @@ fn two_level<T: CoValue>(comm: &mut TeamComm, buf: &mut [T], f: &impl Fn(T, T) -
         .c(e)
         .level(Level::Intra),
     );
+}
+
+/// Pipelined two-level reduction for large payloads: slaves *stream* their
+/// contribution to the node leader in policy-sized chunks (the leader folds
+/// chunk `c` while chunk `c+1` is still crossing the memory bus), leaders
+/// run the bandwidth-optimal Rabenseifner exchange across nodes, and the
+/// result streams back to the slaves with nonblocking puts.
+///
+/// Each slave's chunk stream is counted on its **own** per-set-position
+/// flag (`layout.chunk(pos)`): with several slaves sending concurrently, a
+/// shared counter could not tell "slave A sent two chunks" from "A and B
+/// sent one each", and the leader must know *whose* chunk landed before
+/// folding that position's slot range.
+fn two_level_pipelined<T: CoValue>(
+    comm: &mut TeamComm,
+    buf: &mut [T],
+    f: &impl Fn(T, T) -> T,
+    e: u64,
+) {
+    let hier = comm.hier.clone();
+    let set = hier.set_for(comm.rank);
+    let leader = set.leader;
+    let par = (e % 2) as usize;
+    let len = buf.len();
+    let ce = comm.chunk_elems(T::SIZE);
+    let nchunks = len.div_ceil(ce).max(1);
+    let chunk = |c: usize| (c * ce, ((c + 1) * ce).min(len));
+
+    if comm.rank != leader {
+        let pos = set
+            .ranks
+            .iter()
+            .position(|&r| r == comm.rank)
+            .expect("member of own set");
+        let g_off = comm.sl_gather(pos, par);
+        for c in 0..nchunks {
+            let (lo, hi) = chunk(c);
+            comm.send_values_nb(leader, g_off + lo * T::SIZE, &buf[lo..hi]);
+            comm.add_flag(leader, comm.layout.chunk(pos), 1);
+        }
+        let r_off = comm.sl_release(par);
+        for c in 0..nchunks {
+            let (lo, hi) = chunk(c);
+            comm.epochs.r_release += 1;
+            comm.wait_flag(flag::R_RELEASE, comm.epochs.r_release);
+            comm.load_from_scratch(r_off + lo * T::SIZE, &mut buf[lo..hi]);
+        }
+        return;
+    }
+
+    // Leader: fold each slave's chunk as soon as it lands.
+    let tag = comm.trace_tag();
+    let t0 = comm.trace_now();
+    let npos = set.len();
+    for c in 0..nchunks {
+        let (lo, hi) = chunk(c);
+        for pos in 1..npos {
+            let target = comm.epochs.bump_chunk(pos);
+            comm.wait_flag(comm.layout.chunk(pos), target);
+            let g_off = comm.sl_gather(pos, par);
+            comm.combine_from_scratch(g_off + lo * T::SIZE, &mut buf[lo..hi], f);
+        }
+    }
+    comm.trace(
+        Event::span(
+            EventKind::ReduceStage,
+            t0,
+            comm.trace_now().saturating_sub(t0),
+        )
+        .a(1)
+        .b(tag)
+        .c(e)
+        .d(nchunks as u64)
+        .level(Level::Intra),
+    );
+
+    // Leaders: bandwidth-optimal exchange across nodes.
+    let t1 = comm.trace_now();
+    let leaders: Vec<usize> = hier.leaders().to_vec();
+    rabenseifner_over(comm, &leaders, buf, f, e);
+    comm.trace(
+        Event::span(
+            EventKind::ReduceStage,
+            t1,
+            comm.trace_now().saturating_sub(t1),
+        )
+        .a(2)
+        .b(tag)
+        .c(e)
+        .level(Level::Inter),
+    );
+
+    // Stream the result back to the intranode set.
+    let t2 = comm.trace_now();
+    let slaves: Vec<usize> = set.slaves().to_vec();
+    let r_off = comm.sl_release(par);
+    for c in 0..nchunks {
+        let (lo, hi) = chunk(c);
+        for &s in &slaves {
+            comm.send_values_nb(s, r_off + lo * T::SIZE, &buf[lo..hi]);
+            comm.add_flag(s, flag::R_RELEASE, 1);
+        }
+    }
+    comm.trace(
+        Event::span(
+            EventKind::ReduceStage,
+            t2,
+            comm.trace_now().saturating_sub(t2),
+        )
+        .a(3)
+        .b(tag)
+        .c(e)
+        .d(nchunks as u64)
+        .level(Level::Intra),
+    );
+}
+
+/// Rabenseifner's allreduce over an arbitrary participant list: a
+/// recursive-halving reduce-scatter followed by a recursive-doubling
+/// allgather. Each participant moves ~`2·(L−1)/L` payloads instead of the
+/// `log L` payloads of plain recursive doubling, which is what makes this
+/// the large-message algorithm of choice; the elementwise operation is
+/// applied to ever-shrinking ranges, so compute is also ~halved.
+///
+/// Non-power-of-two sizes use the same fold-in/fold-out scheme as
+/// [`rd_over`]. Scratch reuse is safe within an episode because the
+/// halving round `k` deposit (my kept half) and the allgather round `k`
+/// deposit (the complementary half) land at disjoint absolute element
+/// offsets of the same `sl_rd(k)` slot; across episodes parity
+/// double-buffering applies as usual.
+pub(crate) fn rabenseifner_over<T: CoValue>(
+    comm: &mut TeamComm,
+    parts: &[usize],
+    buf: &mut [T],
+    f: &impl Fn(T, T) -> T,
+    e: u64,
+) {
+    let l = parts.len();
+    if l <= 1 {
+        return;
+    }
+    let pos = parts
+        .iter()
+        .position(|&r| r == comm.rank)
+        .expect("caller participates in the reduction");
+    let par = (e % 2) as usize;
+    let p2 = floor_pow2(l);
+    let extras = l - p2;
+
+    if pos >= p2 {
+        // Fold in: hand my contribution to my partner, collect the result.
+        let partner = parts[pos - p2];
+        let off = comm.sl_pre(par);
+        comm.send_values(partner, off, buf);
+        comm.add_flag(partner, flag::R_PRE, 1);
+        comm.epochs.r_post += 1;
+        comm.wait_flag(flag::R_POST, comm.epochs.r_post);
+        let off = comm.sl_post(par);
+        comm.load_from_scratch(off, buf);
+        return;
+    }
+
+    if pos < extras {
+        comm.epochs.r_pre += 1;
+        comm.wait_flag(flag::R_PRE, comm.epochs.r_pre);
+        let off = comm.sl_pre(par);
+        comm.combine_from_scratch(off, buf, f);
+    }
+
+    // Reduce-scatter by recursive halving: at round k my partner is
+    // `pos ^ (p2 >> (k+1))`; we split my current range, each side sends
+    // the half the *other* keeps, and I fold the received half into mine.
+    let rounds = ceil_log2(p2);
+    let (mut lo, mut hi) = (0usize, buf.len());
+    let mut parents: Vec<(usize, usize)> = Vec::with_capacity(rounds);
+    for k in 0..rounds {
+        let d = p2 >> (k + 1);
+        let partner = parts[pos ^ d];
+        parents.push((lo, hi));
+        let mid = lo + (hi - lo) / 2;
+        let (keep, send) = if pos & d == 0 {
+            ((lo, mid), (mid, hi))
+        } else {
+            ((mid, hi), (lo, mid))
+        };
+        let off = comm.sl_rd(k, par);
+        comm.send_values(partner, off + send.0 * T::SIZE, &buf[send.0..send.1]);
+        comm.add_flag(partner, comm.layout.r_arrive(k), 1);
+        let target = comm.epochs.bump_r_round(k);
+        comm.wait_flag(comm.layout.r_arrive(k), target);
+        comm.combine_from_scratch(off + keep.0 * T::SIZE, &mut buf[keep.0..keep.1], f);
+        (lo, hi) = keep;
+    }
+
+    // Allgather by recursive doubling, unwinding the same pairings: I own
+    // the reduced [lo, hi); my round-k partner owns the complement of my
+    // round-k parent range, and we swap.
+    for k in (0..rounds).rev() {
+        let d = p2 >> (k + 1);
+        let partner = parts[pos ^ d];
+        let (plo, phi) = parents[k];
+        let off = comm.sl_rd(k, par);
+        comm.send_values(partner, off + lo * T::SIZE, &buf[lo..hi]);
+        comm.add_flag(partner, comm.layout.r_arrive(k), 1);
+        let target = comm.epochs.bump_r_round(k);
+        comm.wait_flag(comm.layout.r_arrive(k), target);
+        let (olo, ohi) = if lo == plo { (hi, phi) } else { (plo, lo) };
+        comm.load_from_scratch(off + olo * T::SIZE, &mut buf[olo..ohi]);
+        (lo, hi) = (plo, phi);
+    }
+
+    if pos < extras {
+        // Fold out: return the finished result to my extra.
+        let extra = parts[pos + p2];
+        let off = comm.sl_post(par);
+        comm.send_values(extra, off, buf);
+        comm.add_flag(extra, flag::R_POST, 1);
+    }
 }

@@ -57,10 +57,18 @@ impl<A: CoValue, B: CoValue> CoValue for (A, B) {
     }
 }
 
-/// Serialize a slice of values into a byte vector (cleared first).
+/// Serialize a slice of values into a byte vector, reusing its capacity.
+/// Every byte of the result is overwritten by `store`, so the length is
+/// adjusted without a zero-refill — on the collectives' hot paths the same
+/// buffer is reused call after call and this allocates (and memsets)
+/// nothing in steady state.
 pub fn slice_to_bytes<T: CoValue>(src: &[T], out: &mut Vec<u8>) {
-    out.clear();
-    out.resize(src.len() * T::SIZE, 0);
+    let n = src.len() * T::SIZE;
+    if out.len() < n {
+        out.resize(n, 0);
+    } else {
+        out.truncate(n);
+    }
     for (i, v) in src.iter().enumerate() {
         v.store(&mut out[i * T::SIZE..(i + 1) * T::SIZE]);
     }

@@ -51,6 +51,8 @@ proptest! {
             ReduceAlgo::FlatRecursiveDoubling,
             ReduceAlgo::FlatBinomial,
             ReduceAlgo::TwoLevel,
+            ReduceAlgo::TwoLevelPipelined,
+            ReduceAlgo::Rabenseifner,
         ];
         for algo in algos {
             let cfg = CollectiveConfig { reduce: algo, ..CollectiveConfig::default() };
@@ -84,7 +86,12 @@ proptest! {
         payload in proptest::collection::vec(any::<i64>(), 1..9),
     ) {
         let root = root_pick % images;
-        for algo in [BcastAlgo::FlatLinear, BcastAlgo::FlatBinomial, BcastAlgo::TwoLevel] {
+        for algo in [
+            BcastAlgo::FlatLinear,
+            BcastAlgo::FlatBinomial,
+            BcastAlgo::TwoLevel,
+            BcastAlgo::TwoLevelPipelined,
+        ] {
             let cfg = CollectiveConfig { bcast: algo, ..CollectiveConfig::default() };
             let p = Arc::new(payload.clone());
             let p2 = p.clone();
@@ -98,6 +105,51 @@ proptest! {
                 assert_eq!(&buf, &*p2, "{algo:?} root {root}");
             });
         }
+    }
+
+    #[test]
+    fn pipelined_collectives_agree_with_reference_for_any_chunking(
+        (nodes, cores, images) in shape_strategy(),
+        chunk_elems in 1usize..5,
+        len in 1usize..23,
+        root_pick in 0usize..16,
+        seed in any::<u64>(),
+    ) {
+        // Chunk boundaries must be invisible: for any chunk size (in
+        // elements, converted to bytes below) and any payload length —
+        // including lengths that are not a chunk multiple — the pipelined
+        // paths must produce exactly what the scalar reference computes.
+        let root = root_pick % images;
+        let policy = caf_collectives::SizePolicy {
+            chunk_bytes: chunk_elems * 8,
+            bcast_crossover_bytes: 0,
+            reduce_crossover_bytes: 0,
+        };
+        let cfg = CollectiveConfig {
+            reduce: ReduceAlgo::TwoLevelPipelined,
+            bcast: BcastAlgo::TwoLevelPipelined,
+            ..CollectiveConfig::default()
+        };
+        with_team(fabric(nodes, cores, images), cfg, move |comm, me| {
+            comm.set_size_policy(policy);
+            let mut buf: Vec<u64> = (0..len)
+                .map(|i| (seed ^ ((me.index() as u64) << 8) ^ i as u64) % 1000)
+                .collect();
+            let mine = buf.clone();
+            comm.co_sum(&mut buf);
+            for (i, &x) in buf.iter().enumerate() {
+                let expect: u64 = (0..images)
+                    .map(|r| (seed ^ ((r as u64) << 8) ^ i as u64) % 1000)
+                    .sum();
+                assert_eq!(x, expect, "co_sum elem {i} of {len}, chunk {chunk_elems}");
+            }
+            let mut b = if comm.rank() == root { mine } else { vec![0; len] };
+            comm.co_broadcast(&mut b, root);
+            for (i, &x) in b.iter().enumerate() {
+                let expect = (seed ^ ((root as u64) << 8) ^ i as u64) % 1000;
+                assert_eq!(x, expect, "co_broadcast elem {i} of {len}, chunk {chunk_elems}");
+            }
+        });
     }
 
     #[test]

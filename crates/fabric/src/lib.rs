@@ -52,6 +52,26 @@ pub use thread::{ThreadConfig, ThreadFabric};
 use caf_topology::{CostParams, ImageMap, ProcId, SoftwareOverheads};
 use std::sync::Arc;
 
+/// Completion handle for a nonblocking put ([`Fabric::put_nb`]).
+///
+/// Deliberately a plain `Copy` value (no lifetime, no drop glue) so the
+/// `Fabric` trait stays object-safe and tokens can be held across further
+/// fabric calls for free. `arrival_ns` is the fabric's modeled/estimated
+/// arrival time of the payload at the target; [`Fabric::put_wait`] blocks
+/// until at least then, and [`Fabric::put_test`] polls it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PutToken {
+    /// Estimated payload arrival time at the target, in the issuing
+    /// fabric's clock (see [`Fabric::now_ns`]). 0 for transfers that
+    /// completed synchronously at injection.
+    pub arrival_ns: u64,
+}
+
+impl PutToken {
+    /// A token for a transfer that completed at injection time.
+    pub const DONE: PutToken = PutToken { arrival_ns: 0 };
+}
+
 /// The one-sided communication substrate consumed by the runtime and the
 /// collective algorithms. All methods are called *by* a particular image
 /// (`me`); implementations may block the calling OS thread (waits, or the
@@ -107,6 +127,40 @@ pub trait Fabric: Send + Sync + 'static {
 
     /// One-sided write of `bytes` into `dst`'s segment at `offset`.
     fn put(&self, me: ProcId, dst: ProcId, seg: SegmentId, offset: usize, bytes: &[u8]);
+
+    /// Nonblocking one-sided write: inject the transfer and return
+    /// immediately with a completion handle. The payload is guaranteed
+    /// visible at `dst` only after [`Self::put_wait`] on the token,
+    /// [`Self::quiet`], or a subsequent flag update to the *same* target
+    /// (point-to-point ordering — the pipelined collectives' discipline).
+    ///
+    /// The default forwards to the blocking [`Self::put`]; fabrics with a
+    /// genuinely asynchronous data path override it.
+    fn put_nb(
+        &self,
+        me: ProcId,
+        dst: ProcId,
+        seg: SegmentId,
+        offset: usize,
+        bytes: &[u8],
+    ) -> PutToken {
+        self.put(me, dst, seg, offset, bytes);
+        PutToken::DONE
+    }
+
+    /// Has the transfer behind `token` (issued by `me`) completed? Never
+    /// blocks. Fabrics without real asynchrony always answer `true`.
+    fn put_test(&self, me: ProcId, token: PutToken) -> bool {
+        let _ = (me, token);
+        true
+    }
+
+    /// Block until the transfer behind `token` (issued by `me`) has
+    /// completed — a single-operation [`Self::quiet`].
+    fn put_wait(&self, me: ProcId, token: PutToken) {
+        let _ = token;
+        self.quiet(me);
+    }
 
     /// One-sided read from `src`'s segment at `offset` into `out`.
     fn get(&self, me: ProcId, src: ProcId, seg: SegmentId, offset: usize, out: &mut [u8]);

@@ -53,7 +53,7 @@
 
 use crate::seg::{FlagId, SegmentId};
 use crate::stats::FabricStats;
-use crate::Fabric;
+use crate::{Fabric, PutToken};
 use caf_topology::{CostParams, ImageMap, ProcId, SoftwareOverheads};
 use caf_trace::{Event, EventKind, Tracer};
 use parking_lot::{Condvar, Mutex, MutexGuard};
@@ -120,7 +120,13 @@ enum EvKind {
     /// Serviced as an *event* so NIC slots are granted in virtual-time
     /// order — a reservation made directly at send-commit time would push
     /// later (but virtually earlier) traffic behind a far-future slot.
-    Landing { node: usize, notify: Option<Notify> },
+    /// `nb` marks the landing of a nonblocking put, whose completion the
+    /// stats track separately from its injection.
+    Landing {
+        node: usize,
+        notify: Option<Notify>,
+        nb: bool,
+    },
 }
 
 /// A scheduled simulator event.
@@ -165,6 +171,9 @@ struct SimCore {
     event_seq: u64,
     /// Set when a global deadlock was detected; all threads panic with it.
     poisoned: Option<String>,
+    /// Shared counters (clone of the fabric's): the event drain records
+    /// nonblocking-put completions as their `Landing`s come due.
+    stats: Arc<FabricStats>,
     /// Shared trace sink (clone of [`SimConfig::tracer`]): the core writes
     /// `FlagDeliver` records to the system ring as the event queue drains,
     /// and the deadlock report reads back each image's recent events.
@@ -216,9 +225,12 @@ impl SimCore {
                         }
                     }
                 }
-                EvKind::Landing { node, notify } => {
+                EvKind::Landing { node, notify, nb } => {
                     let start = ev.time.max(self.nic_free[node]);
                     self.nic_free[node] = start + self.gap_nic_ns;
+                    if nb {
+                        self.stats.record_put_nb_complete();
+                    }
                     if let Some(n) = notify {
                         self.push_event(start + self.gap_nic_ns, EvKind::FlagArrive(n));
                     }
@@ -311,7 +323,7 @@ struct Transfer {
 pub struct SimFabric {
     map: ImageMap,
     cfg: SimConfig,
-    stats: FabricStats,
+    stats: Arc<FabricStats>,
     core: Mutex<SimCore>,
     /// One condvar per image: commits wake only the next eligible image
     /// (the global argmin), not the whole herd — O(1) wakeups per commit.
@@ -326,10 +338,11 @@ impl SimFabric {
         let sockets = nodes * map.machine().sockets_per_node;
         let gap_nic_ns = cfg.cost.gap_nic_ns + cfg.overheads.nic_busy_extra_ns;
         let tracer = cfg.tracer.clone();
+        let stats = Arc::new(FabricStats::default());
         Arc::new(Self {
             map,
             cfg,
-            stats: FabricStats::default(),
+            stats: stats.clone(),
             core: Mutex::new(SimCore {
                 gap_nic_ns,
                 time: vec![0; n],
@@ -344,6 +357,7 @@ impl SimFabric {
                 events: BinaryHeap::new(),
                 event_seq: 0,
                 poisoned: None,
+                stats,
                 tracer,
             }),
             cvs: (0..n).map(|_| Condvar::new()).collect(),
@@ -427,7 +441,11 @@ impl SimFabric {
     /// traffic; for inter-node traffic, receiver-NIC queueing may add
     /// time); `queue_ns`/`service_ns` split the message's cost into time
     /// spent waiting for the shared resource (bus or NIC) versus time being
-    /// serviced by it — the split the trace reports per operation.
+    /// serviced by it — the split the trace reports per operation. `nb`
+    /// marks a nonblocking put so its eventual `Landing` is counted as a
+    /// completion (intra-node transfers are CPU-driven and complete before
+    /// this returns; their completion is the caller's to record).
+    #[allow(clippy::too_many_arguments)]
     fn model_transfer(
         &self,
         core: &mut SimCore,
@@ -436,6 +454,7 @@ impl SimFabric {
         t: u64,
         bytes: usize,
         notify: Option<(usize, u64)>,
+        nb: bool,
     ) -> Transfer {
         let c = &self.cfg.cost;
         let o_sw = self.cfg.overheads.per_op_ns;
@@ -506,6 +525,7 @@ impl SimFabric {
                 EvKind::Landing {
                     node: dst_node,
                     notify: notify.map(mk_notify),
+                    nb,
                 },
             );
             Transfer {
@@ -617,7 +637,7 @@ impl Fabric for SimFabric {
             );
         } else {
             let intra = self.map.colocated(ProcId(me), ProcId(dst));
-            let tr = self.model_transfer(&mut core, me, dst, t, bytes.len(), None);
+            let tr = self.model_transfer(&mut core, me, dst, t, bytes.len(), None, false);
             core.last_arrival[me] = core.last_arrival[me].max(tr.arrival);
             self.stats.record_put(intra, bytes.len());
             let dur = core.time[me] - t;
@@ -641,6 +661,95 @@ impl Fabric for SimFabric {
         );
         dseg[offset..offset + bytes.len()].copy_from_slice(bytes);
         self.finish_op(core);
+    }
+
+    fn put_nb(
+        &self,
+        me: ProcId,
+        dst: ProcId,
+        seg: SegmentId,
+        offset: usize,
+        bytes: &[u8],
+    ) -> PutToken {
+        let (me, dst) = (me.index(), dst.index());
+        let mut core = self.lock_turn(me);
+        let t = core.time[me];
+        let token;
+        if me == dst {
+            let c = &self.cfg.cost;
+            core.time[me] = t + self.cfg.overheads.per_op_ns + c.intra_payload_ns(bytes.len());
+            let dur = core.time[me] - t;
+            self.cfg.tracer.record(
+                me,
+                Event::span(EventKind::PutNb, t, dur)
+                    .a(dst as u64)
+                    .b(bytes.len() as u64)
+                    .self_target(),
+            );
+            token = PutToken::DONE;
+        } else {
+            let intra = self.map.colocated(ProcId(me), ProcId(dst));
+            let via_bus = intra && !self.cfg.overheads.intra_via_nic;
+            let tr = self.model_transfer(&mut core, me, dst, t, bytes.len(), None, true);
+            core.last_arrival[me] = core.last_arrival[me].max(tr.arrival);
+            self.stats.record_put_nb(intra, bytes.len());
+            if via_bus {
+                // The sender's CPU drove the copy through the bus before
+                // model_transfer returned; only NIC-path transfers remain
+                // in flight after injection.
+                self.stats.record_put_nb_complete();
+            }
+            let dur = core.time[me] - t;
+            self.cfg.tracer.record(
+                me,
+                Event::span(EventKind::PutNb, t, dur)
+                    .a(dst as u64)
+                    .b(bytes.len() as u64)
+                    .c(tr.queue_ns)
+                    .d(tr.service_ns)
+                    .intra(intra),
+            );
+            token = PutToken {
+                arrival_ns: tr.arrival,
+            };
+        }
+        let dseg = &mut core.segs[dst][seg.0];
+        assert!(
+            offset + bytes.len() <= dseg.len(),
+            "put_nb of {} bytes at {offset} exceeds {:?} ({} bytes)",
+            bytes.len(),
+            seg,
+            dseg.len()
+        );
+        dseg[offset..offset + bytes.len()].copy_from_slice(bytes);
+        self.finish_op(core);
+        token
+    }
+
+    fn put_test(&self, me: ProcId, token: PutToken) -> bool {
+        let me = me.index();
+        let mut core = self.core.lock();
+        core.time[me] += self.cfg.cost.poll_ns;
+        let done = core.time[me] >= token.arrival_ns;
+        let mut woken = Vec::new();
+        core.apply_due_events(&mut woken);
+        self.notify(&core, &woken);
+        drop(core);
+        done
+    }
+
+    fn put_wait(&self, me: ProcId, token: PutToken) {
+        let me = me.index();
+        let mut core = self.core.lock();
+        let t = core.time[me];
+        core.time[me] = t.max(token.arrival_ns);
+        self.cfg
+            .tracer
+            .record(me, Event::span(EventKind::Quiet, t, core.time[me] - t));
+        let mut woken = Vec::new();
+        core.apply_due_events(&mut woken);
+        self.notify(&core, &woken);
+        drop(core);
     }
 
     fn get(&self, me: ProcId, src: ProcId, seg: SegmentId, offset: usize, out: &mut [u8]) {
@@ -843,7 +952,7 @@ impl Fabric for SimFabric {
         } else {
             let intra = self.map.colocated(ProcId(me), ProcId(target));
             // A notification is an 8-byte put followed by a wakeup.
-            let tr = self.model_transfer(&mut core, me, target, t, 8, Some((flag.0, delta)));
+            let tr = self.model_transfer(&mut core, me, target, t, 8, Some((flag.0, delta)), false);
             core.last_arrival[me] = core.last_arrival[me].max(tr.arrival);
             self.stats.record_flag(intra);
             self.cfg.tracer.record(
@@ -1211,6 +1320,88 @@ mod tests {
             }
             f2.image_done(me);
         });
+    }
+
+    #[test]
+    fn put_nb_returns_before_wire_and_put_wait_covers_it() {
+        let f = sim(2, 1, 2, 1);
+        let f2 = f.clone();
+        run_spmd(f.clone(), move |me| {
+            if me == ProcId(0) {
+                let before = f2.now_ns(me);
+                let tok = f2.put_nb(me, ProcId(1), BSEG, 0, &[3u8; 8]);
+                // Injection costs only the descriptor post...
+                let posted = f2.now_ns(me);
+                assert!(posted - before < f2.cost().l_inter_ns);
+                assert!(!f2.put_test(me, tok), "wire latency not yet elapsed");
+                // ...and put_wait covers the full wire latency.
+                f2.put_wait(me, tok);
+                assert!(f2.now_ns(me) >= before + f2.cost().l_inter_ns);
+                assert!(f2.put_test(me, tok));
+                f2.flag_add(me, ProcId(1), SPARE_FLAG, 1);
+            } else {
+                f2.flag_wait_ge(me, SPARE_FLAG, 1);
+                let mut out = [0u8; 8];
+                f2.get(me, me, BSEG, 0, &mut out);
+                assert_eq!(out, [3u8; 8]);
+            }
+            f2.image_done(me);
+        });
+        let s = f.stats().snapshot();
+        assert_eq!(s.puts_nb_injected, 1);
+        assert_eq!(s.puts_nb_completed, 1, "landing drains by run end");
+    }
+
+    #[test]
+    fn intra_node_put_nb_completes_at_injection() {
+        let f = sim(1, 2, 2, 2);
+        let f2 = f.clone();
+        run_spmd(f.clone(), move |me| {
+            if me == ProcId(0) {
+                f2.put_nb(me, ProcId(1), BSEG, 0, &[9u8; 16]);
+                let s = f2.stats().snapshot();
+                assert_eq!(s.puts_nb_injected, 1);
+                assert_eq!(s.puts_nb_completed, 1, "CPU-driven copy is done");
+                f2.flag_add(me, ProcId(1), SPARE_FLAG, 1);
+            } else {
+                f2.flag_wait_ge(me, SPARE_FLAG, 1);
+            }
+            f2.image_done(me);
+        });
+    }
+
+    #[test]
+    fn put_nb_determinism_same_virtual_times() {
+        // The satellite determinism guarantee: a program full of nonblocking
+        // puts commits in the same virtual-time order on every run.
+        let run = || {
+            let f = sim(2, 4, 8, 4);
+            let f2 = f.clone();
+            let times = std::sync::Arc::new(Mutex::new(vec![0u64; 8]));
+            let t2 = times.clone();
+            run_spmd(f.clone(), move |me| {
+                if me == ProcId(0) {
+                    f2.flag_wait_ge(me, SPARE_FLAG, 7);
+                    for j in 1..8 {
+                        f2.flag_add(me, ProcId(j), SPARE_FLAG, 1);
+                    }
+                } else {
+                    // Stream chunks at image 0, then announce them.
+                    let mut tok = crate::PutToken::DONE;
+                    for c in 0..4usize {
+                        tok = f2.put_nb(me, ProcId(0), BSEG, 8 * c, &[me.index() as u8; 8]);
+                    }
+                    f2.put_wait(me, tok);
+                    f2.flag_add(me, ProcId(0), SPARE_FLAG, 1);
+                    f2.flag_wait_ge(me, SPARE_FLAG, 1);
+                }
+                t2.lock()[me.index()] = f2.now_ns(me);
+                f2.image_done(me);
+            });
+            let v = times.lock().clone();
+            v
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -32,6 +32,13 @@ pub struct FabricStats {
     pub bytes_intra: AtomicU64,
     /// Payload bytes moved between nodes.
     pub bytes_inter: AtomicU64,
+    /// Nonblocking puts injected (descriptor posted, payload possibly still
+    /// in flight).
+    pub puts_nb_injected: AtomicU64,
+    /// Nonblocking puts whose payload has landed at the target. Always
+    /// `≤ puts_nb_injected`; the gap is the in-flight window the pipelined
+    /// collectives exploit.
+    pub puts_nb_completed: AtomicU64,
 }
 
 /// A plain-data copy of [`FabricStats`] at one instant.
@@ -57,6 +64,10 @@ pub struct StatsSnapshot {
     pub bytes_intra: u64,
     /// Payload bytes moved between nodes.
     pub bytes_inter: u64,
+    /// Nonblocking puts injected.
+    pub puts_nb_injected: u64,
+    /// Nonblocking puts completed.
+    pub puts_nb_completed: u64,
 }
 
 impl FabricStats {
@@ -73,6 +84,8 @@ impl FabricStats {
             amos: self.amos.load(Ordering::Relaxed),
             bytes_intra: self.bytes_intra.load(Ordering::Relaxed),
             bytes_inter: self.bytes_inter.load(Ordering::Relaxed),
+            puts_nb_injected: self.puts_nb_injected.load(Ordering::Relaxed),
+            puts_nb_completed: self.puts_nb_completed.load(Ordering::Relaxed),
         }
     }
 
@@ -89,6 +102,8 @@ impl FabricStats {
             &self.amos,
             &self.bytes_intra,
             &self.bytes_inter,
+            &self.puts_nb_injected,
+            &self.puts_nb_completed,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -116,6 +131,20 @@ impl FabricStats {
             self.gets_inter.fetch_add(1, Ordering::Relaxed);
             self.bytes_inter.fetch_add(bytes as u64, Ordering::Relaxed);
         }
+    }
+
+    /// Record the injection of one nonblocking put of `bytes` bytes (also
+    /// counted as an ordinary put at its hierarchy level).
+    #[inline]
+    pub fn record_put_nb(&self, intra: bool, bytes: usize) {
+        self.puts_nb_injected.fetch_add(1, Ordering::Relaxed);
+        self.record_put(intra, bytes);
+    }
+
+    /// Record the completion (payload landed) of one nonblocking put.
+    #[inline]
+    pub fn record_put_nb_complete(&self) {
+        self.puts_nb_completed.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record one flag notification.
@@ -167,6 +196,8 @@ impl std::ops::Sub for StatsSnapshot {
             amos: self.amos - rhs.amos,
             bytes_intra: self.bytes_intra - rhs.bytes_intra,
             bytes_inter: self.bytes_inter - rhs.bytes_inter,
+            puts_nb_injected: self.puts_nb_injected - rhs.puts_nb_injected,
+            puts_nb_completed: self.puts_nb_completed - rhs.puts_nb_completed,
         }
     }
 }
@@ -190,6 +221,21 @@ mod tests {
         assert_eq!(snap.bytes_inter, 8 + 64);
         assert_eq!(snap.total_flags(), 2);
         assert_eq!(snap.total_puts(), 2);
+    }
+
+    #[test]
+    fn nb_counters_track_injected_vs_completed() {
+        let s = FabricStats::default();
+        s.record_put_nb(false, 1024);
+        s.record_put_nb(false, 1024);
+        s.record_put_nb_complete();
+        let snap = s.snapshot();
+        assert_eq!(snap.puts_nb_injected, 2);
+        assert_eq!(snap.puts_nb_completed, 1);
+        assert_eq!(snap.puts_inter, 2, "nb puts also count as puts");
+        assert_eq!(snap.bytes_inter, 2048);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
     }
 
     #[test]

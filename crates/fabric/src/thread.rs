@@ -12,7 +12,7 @@
 
 use crate::seg::{FlagId, SegmentId, SharedBytes};
 use crate::stats::FabricStats;
-use crate::Fabric;
+use crate::{Fabric, PutToken};
 use caf_topology::{CostParams, ImageMap, ProcId, SoftwareOverheads};
 use caf_trace::{Event, EventKind, Tracer};
 use crossbeam::utils::{Backoff, CachePadded};
@@ -78,6 +78,10 @@ pub struct ThreadFabric {
     /// Serializes system-ring trace records (the ring is single-writer;
     /// unlike the simulator, thread-fabric deliveries race each other).
     trace_sys_lock: Mutex<()>,
+    /// Per-image wall-clock deadline (ns since `start`) by which every
+    /// nonblocking put that image injected has covered its modeled wire
+    /// latency; `quiet` spins up to it when delay injection is on.
+    nb_deadline: Vec<CachePadded<AtomicU64>>,
 }
 
 impl ThreadFabric {
@@ -109,6 +113,9 @@ impl ThreadFabric {
             poisoned: Mutex::new(None),
             poison_flag: std::sync::atomic::AtomicBool::new(false),
             trace_sys_lock: Mutex::new(()),
+            nb_deadline: (0..n)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
         })
     }
 
@@ -179,6 +186,20 @@ impl ThreadFabric {
             std::hint::spin_loop();
         }
     }
+
+    /// Wall ns since fabric creation (independent of the tracer — the
+    /// nonblocking-put deadlines need it even in untraced builds).
+    #[inline]
+    fn wall_now(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    /// Spin until the wall clock reaches `deadline_ns` (0 = nothing owed).
+    fn spin_until(&self, deadline_ns: u64) {
+        while self.wall_now() < deadline_ns {
+            std::hint::spin_loop();
+        }
+    }
 }
 
 impl Fabric for ThreadFabric {
@@ -231,6 +252,57 @@ impl Fabric for ThreadFabric {
         self.maybe_inject(!intra);
         self.seg_of(dst.index(), seg).write(offset, bytes);
         self.trace_span(EventKind::Put, me, dst, t0, bytes.len() as u64);
+    }
+
+    fn put_nb(
+        &self,
+        me: ProcId,
+        dst: ProcId,
+        seg: SegmentId,
+        offset: usize,
+        bytes: &[u8],
+    ) -> PutToken {
+        // The asynchronous hand-off: copy now (relaxed stores; the release
+        // edge comes from the subsequent flag_add or fence), but do *not*
+        // busy-wait the injected wire latency here. The modeled latency is
+        // deferred to `put_wait`/`quiet`, so k pipelined chunks to one peer
+        // pay one wire delay instead of k — the very overlap the pipelined
+        // collectives are after.
+        let intra = self.map.colocated(me, dst);
+        let t0 = self.trace_now();
+        self.seg_of(dst.index(), seg).write(offset, bytes);
+        if me == dst {
+            self.trace_span(EventKind::PutNb, me, dst, t0, bytes.len() as u64);
+            return PutToken::DONE;
+        }
+        self.stats.record_put_nb(intra, bytes.len());
+        // On shared memory the payload is physically resident as soon as the
+        // copy returns; completion == injection here (the simulator is where
+        // the two genuinely diverge).
+        self.stats.record_put_nb_complete();
+        let mut arrival = 0u64;
+        if self.cfg.inject_internode_delay && !intra {
+            let ns = self.cfg.cost.l_inter_ns * self.cfg.delay_scale_milli / 1000;
+            if ns > 0 {
+                arrival = self.wall_now() + ns;
+                self.nb_deadline[me.index()].fetch_max(arrival, Ordering::Relaxed);
+            }
+        }
+        self.trace_span(EventKind::PutNb, me, dst, t0, bytes.len() as u64);
+        PutToken {
+            arrival_ns: arrival,
+        }
+    }
+
+    fn put_test(&self, me: ProcId, token: PutToken) -> bool {
+        let _ = me;
+        token.arrival_ns == 0 || self.wall_now() >= token.arrival_ns
+    }
+
+    fn put_wait(&self, me: ProcId, token: PutToken) {
+        let _ = me;
+        self.spin_until(token.arrival_ns);
+        std::sync::atomic::fence(Ordering::SeqCst);
     }
 
     fn get(&self, me: ProcId, src: ProcId, seg: SegmentId, offset: usize, out: &mut [u8]) {
@@ -373,9 +445,11 @@ impl Fabric for ThreadFabric {
         self.flag_cell(me.index(), flag).load(Ordering::Acquire)
     }
 
-    fn quiet(&self, _me: ProcId) {
-        // All thread-fabric operations complete synchronously; a fence keeps
-        // the memory-model promise explicit.
+    fn quiet(&self, me: ProcId) {
+        // Blocking operations complete synchronously; nonblocking puts may
+        // still owe their modeled wire latency when delay injection is on.
+        self.spin_until(self.nb_deadline[me.index()].load(Ordering::Relaxed));
+        // The fence keeps the memory-model promise explicit.
         std::sync::atomic::fence(Ordering::SeqCst);
     }
 

@@ -41,6 +41,7 @@ pub mod team;
 
 pub use caf_collectives::{
     BarrierAlgo, BcastAlgo, CoNumeric, CoOp, CoValue, CollectiveConfig, GatherAlgo, ReduceAlgo,
+    SizePolicy,
 };
 pub use coarray::Coarray;
 pub use config::{FabricChoice, RunConfig};

@@ -149,6 +149,27 @@ impl CostParams {
         flops.saturating_mul(1000) / self.flops_per_us.max(1)
     }
 
+    /// The pipeline chunk size (bytes) the large-message collectives should
+    /// use on this machine: big enough that the per-chunk fixed costs
+    /// (wire latency, NIC gap, flag traffic) are amortized — we target a
+    /// serialization time of ~4 wire latencies per chunk — but small enough
+    /// that the inter-node and intra-node stages genuinely overlap. Rounded
+    /// to a power of two and clamped to [1 KiB, 256 KiB]; 16 KiB on the
+    /// whale preset.
+    pub fn pipeline_chunk_bytes(&self) -> usize {
+        let g = self.g_inter_ps_per_byte.max(1);
+        let raw = (4 * self.l_inter_ns).saturating_mul(1000) / g;
+        (raw as usize).next_power_of_two().clamp(1024, 256 * 1024)
+    }
+
+    /// The payload size (bytes) above which the pipelined large-message
+    /// collectives beat the latency-optimal trees on this machine: below
+    /// two chunks there is nothing to pipeline, so the store-and-forward
+    /// trees (whose per-hop latency is lower) win.
+    pub fn pipeline_crossover_bytes(&self) -> usize {
+        2 * self.pipeline_chunk_bytes()
+    }
+
     /// A sanity-check helper: end-to-end unloaded latency of a small put.
     pub fn small_put_latency_ns(&self, same_node: bool) -> u64 {
         if same_node {
@@ -225,6 +246,21 @@ mod tests {
             nic_loopback_extra_ns: 0,
         };
         assert_eq!(slow.scale_compute(1000), 2500);
+    }
+
+    #[test]
+    fn pipeline_chunk_is_sane() {
+        let p = params();
+        // 4·1800ns at 1.4 GB/s ≈ 10 KB → rounds to 16 KiB.
+        assert_eq!(p.pipeline_chunk_bytes(), 16 * 1024);
+        assert_eq!(p.pipeline_crossover_bytes(), 32 * 1024);
+        // Degenerate parameters stay within the clamp.
+        let mut fast = params();
+        fast.g_inter_ps_per_byte = u64::MAX;
+        assert_eq!(fast.pipeline_chunk_bytes(), 1024);
+        let mut slow_wire = params();
+        slow_wire.l_inter_ns = u64::MAX / 8000;
+        assert_eq!(slow_wire.pipeline_chunk_bytes(), 256 * 1024);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! | kind | `a` | `b` | `c` | `d` |
 //! |---|---|---|---|---|
 //! | `Put` / `Get` | peer image | bytes | queue ns | service ns |
+//! | `PutNb` | peer image | bytes | queue ns | service ns |
 //! | `AmoFetchAdd` / `AmoCas` | peer image | byte offset | queue ns | service ns |
 //! | `FlagAdd` | dst image | flag id | delta | modeled arrival t |
 //! | `FlagWait` | flag id | target value | — | — |
@@ -88,6 +89,9 @@ pub enum EventKind {
     Quiet = 8,
     /// Modeled local computation.
     Compute = 9,
+    /// Nonblocking one-sided remote write (injection span; completion is
+    /// observed through `quiet`/`put_wait`).
+    PutNb = 10,
     /// A whole barrier episode.
     Barrier = 16,
     /// One dissemination round inside a barrier.
@@ -135,6 +139,7 @@ impl EventKind {
             7 => Self::FlagDeliver,
             8 => Self::Quiet,
             9 => Self::Compute,
+            10 => Self::PutNb,
             16 => Self::Barrier,
             17 => Self::BarrierRound,
             18 => Self::TdlbGather,
@@ -167,6 +172,7 @@ impl EventKind {
             Self::FlagDeliver => "flag_deliver",
             Self::Quiet => "quiet",
             Self::Compute => "compute",
+            Self::PutNb => "put_nb",
             Self::Barrier => "barrier",
             Self::BarrierRound => "barrier_round",
             Self::TdlbGather => "tdlb_gather",

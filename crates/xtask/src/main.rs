@@ -1,0 +1,217 @@
+//! `cargo xtask` — repo automation. The one task so far:
+//!
+//! `cargo xtask bench-diff <baseline.json> <new.json> [--tolerance PCT]`
+//!
+//! compares two `BENCH_collectives.json` files produced by the
+//! `exp_c1_msgsize` harness and fails (exit 1) when any matching
+//! `(op, bytes, algo)` entry regressed in modeled time by more than the
+//! tolerance (default 10%). The simulator is deterministic, so on an
+//! unchanged runtime the diff is exactly zero; any drift is a real change
+//! to the modeled data path.
+//!
+//! No external JSON crate: the emitter in `exp_c1_msgsize` writes one
+//! result object per line, and the tiny parser below reads exactly that
+//! shape (and refuses anything else rather than guessing).
+
+mod json;
+
+use std::process::ExitCode;
+
+#[derive(Debug, PartialEq)]
+struct Entry {
+    op: String,
+    bytes: u64,
+    algo: String,
+    ns: f64,
+}
+
+fn parse_bench(path: &str) -> Result<Vec<Entry>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let root = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let results = root
+        .get("results")
+        .and_then(json::Value::as_array)
+        .ok_or_else(|| format!("{path}: no \"results\" array"))?;
+    let mut out = Vec::new();
+    for (i, r) in results.iter().enumerate() {
+        let field = |k: &str| {
+            r.get(k)
+                .cloned()
+                .ok_or_else(|| format!("{path}: results[{i}] missing \"{k}\""))
+        };
+        out.push(Entry {
+            op: field("op")?
+                .as_str()
+                .ok_or_else(|| format!("{path}: results[{i}].op not a string"))?
+                .to_string(),
+            bytes: field("bytes")?
+                .as_f64()
+                .ok_or_else(|| format!("{path}: results[{i}].bytes not a number"))?
+                as u64,
+            algo: field("algo")?
+                .as_str()
+                .ok_or_else(|| format!("{path}: results[{i}].algo not a string"))?
+                .to_string(),
+            ns: field("ns")?
+                .as_f64()
+                .ok_or_else(|| format!("{path}: results[{i}].ns not a number"))?,
+        });
+    }
+    Ok(out)
+}
+
+fn bench_diff(baseline: &str, new: &str, tolerance_pct: f64) -> Result<(), String> {
+    let base = parse_bench(baseline)?;
+    let cur = parse_bench(new)?;
+    let mut compared = 0usize;
+    let mut failures = Vec::new();
+    for b in &base {
+        let Some(c) = cur
+            .iter()
+            .find(|c| c.op == b.op && c.bytes == b.bytes && c.algo == b.algo)
+        else {
+            failures.push(format!(
+                "missing in {new}: {} {} B {}",
+                b.op, b.bytes, b.algo
+            ));
+            continue;
+        };
+        compared += 1;
+        let delta_pct = (c.ns - b.ns) / b.ns * 100.0;
+        let mark = if delta_pct > tolerance_pct {
+            failures.push(format!(
+                "REGRESSION {} {} B {}: {:.1} -> {:.1} ns ({:+.1}%)",
+                b.op, b.bytes, b.algo, b.ns, c.ns, delta_pct
+            ));
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!(
+            "{mark:>4}  {:<9} {:>8} B  {:<24} {:>14.1} -> {:>14.1} ns  {:+.2}%",
+            b.op, b.bytes, b.algo, b.ns, c.ns, delta_pct
+        );
+    }
+    if compared == 0 {
+        return Err("no comparable entries between the two files".into());
+    }
+    println!(
+        "\ncompared {compared} entries, tolerance {tolerance_pct}%: {}",
+        if failures.is_empty() {
+            "no regressions".to_string()
+        } else {
+            format!("{} failure(s)", failures.len())
+        }
+    );
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+fn usage() -> String {
+    "usage: cargo xtask bench-diff <baseline.json> <new.json> [--tolerance PCT]".into()
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("bench-diff") => {
+            let mut tolerance = 10.0f64;
+            let mut files = Vec::new();
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                if a == "--tolerance" {
+                    let v = it.next().ok_or("--tolerance needs a value")?;
+                    tolerance = v.parse().map_err(|e| format!("bad tolerance {v:?}: {e}"))?;
+                } else {
+                    files.push(a.clone());
+                }
+            }
+            if files.len() != 2 {
+                return Err(usage());
+            }
+            bench_diff(&files[0], &files[1], tolerance)
+        }
+        _ => Err(usage()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "experiment": "exp_c1_msgsize",
+  "quick": true,
+  "results": [
+    {"op": "broadcast", "bytes": 8, "algo": "two_level", "ns": 100.0},
+    {"op": "allreduce", "bytes": 1048576, "algo": "two_level_pipelined", "ns": 5000.5}
+  ]
+}"#;
+
+    fn tmp(name: &str, content: &str) -> String {
+        let p = std::env::temp_dir().join(format!("xtask-test-{name}.json"));
+        std::fs::write(&p, content).unwrap();
+        p.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn parses_the_emitted_shape() {
+        let p = tmp("parse", SAMPLE);
+        let entries = parse_bench(&p).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].op, "broadcast");
+        assert_eq!(entries[1].bytes, 1_048_576);
+        assert_eq!(entries[1].ns, 5000.5);
+    }
+
+    #[test]
+    fn identical_files_pass() {
+        let a = tmp("ident-a", SAMPLE);
+        let b = tmp("ident-b", SAMPLE);
+        assert!(bench_diff(&a, &b, 10.0).is_ok());
+    }
+
+    #[test]
+    fn regression_beyond_tolerance_fails() {
+        let a = tmp("reg-a", SAMPLE);
+        let worse = SAMPLE.replace("100.0", "115.0");
+        let b = tmp("reg-b", &worse);
+        let err = bench_diff(&a, &b, 10.0).unwrap_err();
+        assert!(err.contains("REGRESSION"), "{err}");
+        // A looser tolerance admits the same delta.
+        assert!(bench_diff(&a, &b, 20.0).is_ok());
+    }
+
+    #[test]
+    fn improvement_passes() {
+        let a = tmp("imp-a", SAMPLE);
+        let better = SAMPLE.replace("5000.5", "2000.0");
+        let b = tmp("imp-b", &better);
+        assert!(bench_diff(&a, &b, 10.0).is_ok());
+    }
+
+    #[test]
+    fn missing_entry_fails() {
+        let a = tmp("miss-a", SAMPLE);
+        let fewer = SAMPLE.replace(
+            "    {\"op\": \"broadcast\", \"bytes\": 8, \"algo\": \"two_level\", \"ns\": 100.0},\n",
+            "",
+        );
+        let b = tmp("miss-b", &fewer);
+        let err = bench_diff(&a, &b, 10.0).unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+    }
+}
