@@ -1,0 +1,106 @@
+//! The `caf-check` binary: sweep the built-in conformance program over
+//! {default sim, chaos × seeds (with faults), real threads} × scenarios ×
+//! the collective-algorithm matrix. Exit 0 on a clean sweep, 1 with a
+//! replayable report on the first divergence.
+
+use caf_check::{algo_matrix, check_program, conformance, CheckOptions, Program, Scenario};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Args {
+    deep: bool,
+    seeds_per_cell: Option<usize>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut deep = false;
+    let mut seeds_per_cell = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => deep = false,
+            "--deep" => deep = true,
+            "--seeds" => {
+                let v = it.next().ok_or("--seeds needs a value")?;
+                seeds_per_cell = Some(v.parse().map_err(|e| format!("bad --seeds {v:?}: {e}"))?);
+            }
+            other => {
+                return Err(format!(
+                    "unknown argument {other:?}\n\
+                     usage: caf-check [--quick|--deep] [--seeds N]\n\
+                     env:   CAF_CHECK_SEED=N   replay exactly one chaos seed"
+                ))
+            }
+        }
+    }
+    Ok(Args {
+        deep,
+        seeds_per_cell,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Quick: bounded sweep for CI (≤ ~1 min); deep: the nightly/manual
+    // soak. Threads differencing runs only on the small scenario in quick
+    // mode (real threads on shared CI cores are the slow part).
+    let seeds_per_cell = args
+        .seeds_per_cell
+        .unwrap_or(if args.deep { 32 } else { 6 });
+    let scenarios = [Scenario::mini(), Scenario::whale()];
+    let matrix = algo_matrix();
+    let prog: Program = Arc::new(conformance);
+
+    let t0 = Instant::now();
+    let (mut runs, mut chaos_runs, mut fault_runs) = (0usize, 0usize, 0usize);
+    for scn in &scenarios {
+        let cell_t0 = Instant::now();
+        for (cell, (name, algo)) in matrix.iter().enumerate() {
+            let opts = CheckOptions {
+                // Distinct seeds per cell: the sweep explores
+                // scenarios × algos × seeds_per_cell different schedules.
+                seeds: (0..seeds_per_cell as u64)
+                    .map(|k| 1 + cell as u64 * 1_000 + k)
+                    .collect(),
+                faults: true,
+                threads: args.deep || scn.images <= 8,
+                trace_window: 5,
+            };
+            match check_program(scn, name, *algo, &prog, &opts) {
+                Ok(r) => {
+                    runs += r.runs;
+                    chaos_runs += r.chaos_runs;
+                    fault_runs += r.fault_runs;
+                }
+                Err(failure) => {
+                    eprintln!("{}", failure.render());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        println!(
+            "caf-check: scenario {} clean ({} algo configs, {:.1}s)",
+            scn.name,
+            matrix.len(),
+            cell_t0.elapsed().as_secs_f64()
+        );
+    }
+    println!(
+        "caf-check: all outputs matched — {} runs ({} chaos, {} with faults) \
+         across {} scenarios x {} algo configs in {:.1}s",
+        runs,
+        chaos_runs,
+        fault_runs,
+        scenarios.len(),
+        matrix.len(),
+        t0.elapsed().as_secs_f64()
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,40 @@
+//! Property test: for arbitrary seeds and algorithm-matrix cells, a chaos
+//! schedule of the conformance program agrees with the default-schedule
+//! oracle. Any regression seed proptest records in
+//! `proptest-regressions/` names a real schedule divergence — commit it
+//! with a comment describing the schedule it reproduces.
+
+use caf_check::{algo_matrix, check_program, conformance, CheckOptions, Program, Scenario};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn chaos_schedules_agree_with_the_oracle(
+        seed in 0u64..1_000_000,
+        cell in 0usize..19,
+    ) {
+        let matrix = algo_matrix();
+        let (name, algo) = &matrix[cell % matrix.len()];
+        let prog: Program = Arc::new(conformance);
+        let out = check_program(
+            &Scenario::tiny(),
+            name,
+            *algo,
+            &prog,
+            &CheckOptions {
+                seeds: vec![seed],
+                faults: seed % 3 == 0,
+                threads: false,
+                trace_window: 2,
+            },
+        );
+        prop_assert!(
+            out.is_ok(),
+            "divergence: {}",
+            out.err().map(|f| f.render()).unwrap_or_default()
+        );
+    }
+}

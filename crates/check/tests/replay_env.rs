@@ -1,0 +1,32 @@
+//! `CAF_CHECK_SEED` replay: the env var must narrow the sweep to exactly
+//! one chaos run with that seed. Kept alone in this file — integration
+//! test files run as separate processes, so mutating the process
+//! environment here cannot race any other test.
+
+use caf_check::{check_program, conformance, CheckOptions, Program, Scenario};
+use caf_collectives::CollectiveConfig;
+use std::sync::Arc;
+
+#[test]
+fn caf_check_seed_env_replays_exactly_one_seed() {
+    std::env::set_var("CAF_CHECK_SEED", "424242");
+    let prog: Program = Arc::new(conformance);
+    let report = check_program(
+        &Scenario::tiny(),
+        "two_level",
+        CollectiveConfig::two_level(),
+        &prog,
+        &CheckOptions {
+            seeds: (0..50).collect(), // must be ignored under replay
+            faults: false,
+            threads: false,
+            trace_window: 2,
+        },
+    )
+    .unwrap_or_else(|f| panic!("replay run must pass:\n{}", f.render()));
+    std::env::remove_var("CAF_CHECK_SEED");
+    assert_eq!(
+        report.chaos_runs, 1,
+        "CAF_CHECK_SEED must replace the seed list with the single replay seed"
+    );
+}

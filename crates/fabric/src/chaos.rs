@@ -1,0 +1,224 @@
+//! Seeded chaos scheduling and fault injection for [`SimFabric`].
+//!
+//! The simulator's conservative discipline makes every run deterministic —
+//! which is exactly why a single run explores a single interleaving. A
+//! [`ChaosConfig`] perturbs the *cost model* (never the semantics) so that
+//! the virtual-time commit order, and with it the observable interleaving
+//! of one-sided operations, varies per seed while each seed remains fully
+//! reproducible:
+//!
+//! * **CPU jitter** — every fabric call charges the calling image a hashed
+//!   extra delay, shifting whole images forward/backward relative to each
+//!   other (the main source of schedule diversity).
+//! * **Network jitter** — every scheduled event (flag arrival, NIC landing)
+//!   is delayed by a hashed amount, perturbing delivery order.
+//! * **Reordering / PCT-style priorities** — exact virtual-time ties
+//!   between events and between runnable images are broken by hashed
+//!   priorities instead of sequence number / rank, optionally reshuffled
+//!   every `pct_interval` commits (priority-based concurrency testing).
+//!   Ties only: virtual time stays the primary sort key, so the
+//!   conservative scheduler can never livelock.
+//! * **Faults** — a stalled image (every op pays a large fixed delay), a
+//!   slow node (every image on it pays extra), delayed and duplicated
+//!   nonblocking-put completions. All faults are finite extra *time*, so
+//!   every fault run of a terminating program terminates; the existing
+//!   deadlock detector converts genuine hangs into panics.
+//!
+//! Determinism: all randomness is a pure function of `(seed, stream,
+//! counters)` via a SplitMix64-style mixer — there is no shared RNG whose
+//! draw order could depend on OS thread scheduling. The per-image op
+//! counter and the event sequence number are themselves deterministic, so
+//! the whole perturbed schedule is a function of the seed.
+//!
+//! Semantics are preserved for correctly synchronized programs: payloads
+//! are still copied at the writer's commit and flag deliveries still
+//! happen after that commit, so a reader that waits for the right flag
+//! threshold always sees the data it synchronized on. What chaos *does*
+//! expose is programs that wait on the wrong threshold (stale cumulative
+//! counters, missing fences): their reads can now commit before the
+//! writer's put in virtual time and observe stale bytes.
+
+/// SplitMix64 finalizer — a cheap, well-distributed 64-bit mixer.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Chaos-scheduling knobs for [`SimConfig`](crate::SimConfig). All fields
+/// public so harnesses (and shrinkers) can tweak them individually;
+/// [`ChaosConfig::from_seed`] derives a diverse full configuration from a
+/// single replayable `u64`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Root of all derived randomness.
+    pub seed: u64,
+    /// Max extra ns charged to an image per fabric call (0 = off).
+    pub cpu_jitter_ns: u64,
+    /// Max extra ns added to each scheduled event's delivery (0 = off).
+    pub net_jitter_ns: u64,
+    /// Break exact virtual-time ties (events and runnable images) by
+    /// hashed priority instead of FIFO/rank order.
+    pub reorder: bool,
+    /// Reshuffle the per-image tie-break priorities every this many
+    /// committed operations (0 = fixed priorities for the whole run).
+    /// Only meaningful with `reorder`.
+    pub pct_interval: u64,
+    /// Fault: this image pays `stall_ns` extra on every fabric call
+    /// (models a descheduled / oversubscribed slave image).
+    pub stalled_image: Option<usize>,
+    /// Extra ns per op for the stalled image.
+    pub stall_ns: u64,
+    /// Fault: every image on this node pays `slow_node_ns` extra per op
+    /// (models a slow node leader and its whole node).
+    pub slow_node: Option<usize>,
+    /// Extra ns per op for images on the slow node.
+    pub slow_node_ns: u64,
+    /// Fault: inter-node nonblocking-put landings (their completions) are
+    /// delayed by this many ns beyond the modeled wire time.
+    pub completion_delay_ns: u64,
+    /// Fault: every inter-node nonblocking put also triggers a duplicate,
+    /// stats-neutral landing (a NIC-level retransmission) one gap later.
+    pub duplicate_completions: bool,
+}
+
+impl ChaosConfig {
+    /// A quiet baseline: chaos machinery installed but every knob off.
+    /// With this config the schedule equals the default scheduler's.
+    pub fn off(seed: u64) -> Self {
+        Self {
+            seed,
+            cpu_jitter_ns: 0,
+            net_jitter_ns: 0,
+            reorder: false,
+            pct_interval: 0,
+            stalled_image: None,
+            stall_ns: 0,
+            slow_node: None,
+            slow_node_ns: 0,
+            completion_delay_ns: 0,
+            duplicate_completions: false,
+        }
+    }
+
+    /// The canonical seed → configuration map used by the `caf-check`
+    /// harness and `CAF_CHECK_SEED` replay: jitter amplitudes, reordering,
+    /// and the PCT interval all derive from the seed, so one `u64` names
+    /// the entire perturbed schedule. No faults — harnesses layer those
+    /// explicitly (see `caf-check`).
+    pub fn from_seed(seed: u64) -> Self {
+        let m = splitmix64(seed ^ 0xC4A5_C4A5);
+        Self {
+            seed,
+            cpu_jitter_ns: [50, 400, 2_000, 10_000][(m % 4) as usize],
+            net_jitter_ns: [0, 300, 1_500, 20_000][((m >> 8) % 4) as usize],
+            reorder: true,
+            pct_interval: [0, 7, 31][((m >> 16) % 3) as usize],
+            ..Self::off(seed)
+        }
+    }
+
+    /// Hash of `(seed, stream, a, b)` — the only randomness primitive.
+    fn mix(&self, stream: u64, a: u64, b: u64) -> u64 {
+        splitmix64(self.seed ^ splitmix64(stream ^ splitmix64(a) ^ splitmix64(b).rotate_left(32)))
+    }
+
+    /// Extra ns charged to image `img` (on `node`) for its `op`-th fabric
+    /// call: cpu jitter plus any stall / slow-node fault surcharge.
+    pub(crate) fn op_delay(&self, img: usize, node: usize, op: u64) -> u64 {
+        let mut extra = 0;
+        if self.cpu_jitter_ns > 0 {
+            extra += self.mix(1, img as u64, op) % (self.cpu_jitter_ns + 1);
+        }
+        if self.stalled_image == Some(img) {
+            extra += self.stall_ns;
+        }
+        if self.slow_node == Some(node) {
+            extra += self.slow_node_ns;
+        }
+        extra
+    }
+
+    /// Extra delivery delay for the event with sequence number `seq`.
+    pub(crate) fn event_delay(&self, seq: u64) -> u64 {
+        if self.net_jitter_ns == 0 {
+            return 0;
+        }
+        self.mix(2, seq, 0) % (self.net_jitter_ns + 1)
+    }
+
+    /// Tie-break key for the event with sequence number `seq` (0 when
+    /// reordering is off, reducing to FIFO order among same-time events).
+    pub(crate) fn event_tiebreak(&self, seq: u64) -> u64 {
+        if self.reorder {
+            self.mix(3, seq, 0)
+        } else {
+            0
+        }
+    }
+
+    /// PCT-style priority of image `img` during reshuffle `epoch`.
+    pub(crate) fn image_priority(&self, epoch: u64, img: usize) -> u64 {
+        if self.reorder {
+            self.mix(4, epoch, img as u64)
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_values_are_pure_functions_of_the_seed() {
+        let a = ChaosConfig::from_seed(42);
+        let b = ChaosConfig::from_seed(42);
+        assert_eq!(a, b);
+        for op in 0..10 {
+            assert_eq!(a.op_delay(3, 0, op), b.op_delay(3, 0, op));
+            assert_eq!(a.event_delay(op), b.event_delay(op));
+            assert_eq!(a.event_tiebreak(op), b.event_tiebreak(op));
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let a = ChaosConfig::from_seed(1);
+        let b = ChaosConfig::from_seed(2);
+        let differs = (0..64).any(|op| {
+            a.op_delay(0, 0, op) != b.op_delay(0, 0, op)
+                || a.event_tiebreak(op) != b.event_tiebreak(op)
+        });
+        assert!(differs, "seeds 1 and 2 produced identical perturbations");
+    }
+
+    #[test]
+    fn off_config_perturbs_nothing() {
+        let c = ChaosConfig::off(99);
+        for op in 0..16 {
+            assert_eq!(c.op_delay(0, 0, op), 0);
+            assert_eq!(c.event_delay(op), 0);
+            assert_eq!(c.event_tiebreak(op), 0);
+            assert_eq!(c.image_priority(op, 0), 0);
+        }
+    }
+
+    #[test]
+    fn fault_surcharges_apply_to_the_right_images() {
+        let c = ChaosConfig {
+            stalled_image: Some(2),
+            stall_ns: 500,
+            slow_node: Some(1),
+            slow_node_ns: 70,
+            ..ChaosConfig::off(7)
+        };
+        assert_eq!(c.op_delay(2, 0, 0), 500);
+        assert_eq!(c.op_delay(0, 1, 0), 70);
+        assert_eq!(c.op_delay(2, 1, 0), 570);
+        assert_eq!(c.op_delay(0, 0, 0), 0);
+    }
+}

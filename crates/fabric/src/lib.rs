@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod seg;
 pub mod sim;
 pub mod spmd;
@@ -43,6 +44,7 @@ pub mod stats;
 pub mod thread;
 
 pub use caf_trace::Tracer;
+pub use chaos::ChaosConfig;
 pub use seg::{FlagId, SegmentId};
 pub use sim::{SimConfig, SimFabric};
 pub use spmd::run_spmd;

@@ -51,6 +51,7 @@
 //! threads with a diagnostic — turning algorithmic synchronization bugs into
 //! immediate test failures rather than hangs.
 
+use crate::chaos::ChaosConfig;
 use crate::seg::{FlagId, SegmentId};
 use crate::stats::FabricStats;
 use crate::{Fabric, PutToken};
@@ -74,6 +75,12 @@ pub struct SimConfig {
     /// virtual-time stamps (requires the `trace` feature to actually keep
     /// records — without it the no-op tracer compiles away).
     pub tracer: Tracer,
+    /// Seeded chaos scheduling and fault injection (see [`ChaosConfig`]).
+    /// `None` (the default) is the plain conservative scheduler; `Some`
+    /// perturbs the cost model deterministically per seed so different
+    /// seeds explore different — but each fully reproducible — commit
+    /// orders.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for SimConfig {
@@ -82,6 +89,7 @@ impl Default for SimConfig {
             cost: CostParams::default(),
             overheads: SoftwareOverheads::NONE,
             tracer: Tracer::off(),
+            chaos: None,
         }
     }
 }
@@ -129,17 +137,20 @@ enum EvKind {
     },
 }
 
-/// A scheduled simulator event.
+/// A scheduled simulator event. `tie` breaks exact-time ties: 0 (FIFO by
+/// `seq`) under the default scheduler, a hashed priority under chaos
+/// reordering — time stays the primary key either way.
 #[derive(Debug, PartialEq, Eq)]
 struct Ev {
     time: u64,
+    tie: u64,
     seq: u64,
     kind: EvKind,
 }
 
 impl Ord for Ev {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
+        (self.time, self.tie, self.seq).cmp(&(other.time, other.tie, other.seq))
     }
 }
 impl PartialOrd for Ev {
@@ -178,6 +189,30 @@ struct SimCore {
     /// `FlagDeliver` records to the system ring as the event queue drains,
     /// and the deadlock report reads back each image's recent events.
     tracer: Tracer,
+    /// Chaos knobs (clone of [`SimConfig::chaos`]); `None` = plain
+    /// scheduler, zero overhead on every path below.
+    chaos: Option<ChaosConfig>,
+    /// Per-image fabric-call counter — the deterministic "op index" that
+    /// keys cpu jitter (wall-clock mutex order is *not* deterministic;
+    /// this is).
+    chaos_ops: Vec<u64>,
+    /// Current PCT-style tie-break priority per image (all zero without
+    /// chaos reordering, collapsing the schedule key to `(time, rank)`).
+    prio: Vec<u64>,
+    /// Committed fabric calls — drives periodic priority reshuffles.
+    commits: u64,
+}
+
+/// Bump an accumulating sync-flag counter, panicking on wraparound: the
+/// counters are cumulative by design (never reset), so silent `u64`
+/// overflow would corrupt every threshold comparison downstream.
+fn flag_bump(cell: &mut u64, img: usize, flag: usize, delta: u64) {
+    *cell = cell.checked_add(delta).unwrap_or_else(|| {
+        panic!(
+            "sync flag counter overflow: image {img} flag {flag} \
+             (cumulative counter wrapped adding {delta})"
+        )
+    });
 }
 
 impl SimCore {
@@ -204,7 +239,7 @@ impl SimCore {
             let Reverse(ev) = self.events.pop().expect("peeked");
             match ev.kind {
                 EvKind::FlagArrive(n) => {
-                    self.flags[n.img][n.flag] += n.delta;
+                    flag_bump(&mut self.flags[n.img][n.flag], n.img, n.flag, n.delta);
                     self.tracer.record_system(
                         Event::instant(EventKind::FlagDeliver, ev.time)
                             .a(n.src as u64)
@@ -239,22 +274,30 @@ impl SimCore {
         }
     }
 
-    /// The image that should run next: argmin over Alive of (time, rank).
+    /// Schedule key of image `i`: `(time, prio, rank)`. `prio` is all
+    /// zeros without chaos reordering, so the key degenerates to the
+    /// classic `(time, rank)`; with chaos it breaks exact-time ties by
+    /// hashed priority (virtual time always dominates).
+    fn sched_key(&self, i: usize) -> (u64, u64, usize) {
+        (self.time[i], self.prio[i], i)
+    }
+
+    /// The image that should run next: argmin over Alive of the key.
     fn next_eligible(&self) -> Option<usize> {
         self.state
             .iter()
             .enumerate()
             .filter(|(_, s)| matches!(s, ImgState::Alive))
-            .min_by_key(|(i, _)| (self.time[*i], *i))
+            .min_by_key(|(i, _)| self.sched_key(*i))
             .map(|(i, _)| i)
     }
 
     /// May image `me` (which is Alive, inside a fabric call) commit now?
     fn may_commit(&self, me: usize) -> bool {
         debug_assert!(matches!(self.state[me], ImgState::Alive));
-        let key = (self.time[me], me);
+        let key = self.sched_key(me);
         for (j, s) in self.state.iter().enumerate() {
-            if j != me && matches!(s, ImgState::Alive) && (self.time[j], j) < key {
+            if j != me && matches!(s, ImgState::Alive) && self.sched_key(j) < key {
                 return false;
             }
         }
@@ -268,7 +311,16 @@ impl SimCore {
     fn push_event(&mut self, time: u64, kind: EvKind) {
         let seq = self.event_seq;
         self.event_seq += 1;
-        self.events.push(Reverse(Ev { time, seq, kind }));
+        let (time, tie) = match &self.chaos {
+            Some(ch) => (time + ch.event_delay(seq), ch.event_tiebreak(seq)),
+            None => (time, 0),
+        };
+        self.events.push(Reverse(Ev {
+            time,
+            tie,
+            seq,
+            kind,
+        }));
     }
 
     /// True when no image can make progress ever again.
@@ -337,8 +389,16 @@ impl SimFabric {
         let nodes = map.machine().nodes;
         let sockets = nodes * map.machine().sockets_per_node;
         let gap_nic_ns = cfg.cost.gap_nic_ns + cfg.overheads.nic_busy_extra_ns;
+        // Tracer is Copy only without the `trace` feature; the clone keeps
+        // both configs compiling (`cfg` moves into the struct below).
+        #[allow(clippy::clone_on_copy)]
         let tracer = cfg.tracer.clone();
         let stats = Arc::new(FabricStats::default());
+        let chaos = cfg.chaos;
+        let prio = match &chaos {
+            Some(ch) => (0..n).map(|i| ch.image_priority(0, i)).collect(),
+            None => vec![0; n],
+        };
         Arc::new(Self {
             map,
             cfg,
@@ -359,6 +419,10 @@ impl SimFabric {
                 poisoned: None,
                 stats,
                 tracer,
+                chaos,
+                chaos_ops: vec![0; n],
+                prio,
+                commits: 0,
             }),
             cvs: (0..n).map(|_| Condvar::new()).collect(),
         })
@@ -379,6 +443,15 @@ impl SimFabric {
     /// Block (wall-clock) until image `me` holds the commit turn.
     fn lock_turn(&self, me: usize) -> MutexGuard<'_, SimCore> {
         let mut core = self.core.lock();
+        if let Some(ch) = &self.cfg.chaos {
+            // Charge this call's chaos delay up front, keyed by the
+            // per-image op counter (deterministic regardless of which
+            // wall-clock order threads reach this mutex in).
+            let node = self.map.node_of(ProcId(me)).index();
+            let op = core.chaos_ops[me];
+            core.chaos_ops[me] += 1;
+            core.time[me] += ch.op_delay(me, node, op);
+        }
         loop {
             if let Some(msg) = &core.poisoned {
                 panic!("{msg}");
@@ -387,6 +460,17 @@ impl SimFabric {
             core.apply_due_events(&mut woken);
             self.notify(&core, &woken);
             if core.may_commit(me) {
+                if let Some(ch) = &self.cfg.chaos {
+                    core.commits += 1;
+                    if ch.reorder && ch.pct_interval > 0 && core.commits.is_multiple_of(ch.pct_interval) {
+                        // PCT-style reshuffle: new tie-break priorities at a
+                        // deterministic point in the committed-op stream.
+                        let epoch = core.commits / ch.pct_interval;
+                        for i in 0..core.prio.len() {
+                            core.prio[i] = ch.image_priority(epoch, i);
+                        }
+                    }
+                }
                 return core;
             }
             self.cvs[me].wait(&mut core);
@@ -519,7 +603,26 @@ impl SimFabric {
             }
             let busy = gap + c.inter_payload_ns(bytes);
             let inj = Self::reserve_nic(core, src_node, ready, busy);
-            let wire_in = inj + busy + c.l_inter_ns;
+            let mut wire_in = inj + busy + c.l_inter_ns;
+            if nb {
+                if let Some(ch) = &self.cfg.chaos {
+                    // Fault injection: hold the nonblocking completion on
+                    // the wire, and optionally land a duplicate (a NIC
+                    // retransmission — it re-occupies the receiver NIC but
+                    // is stats-neutral, so injected==completed still holds).
+                    wire_in += ch.completion_delay_ns;
+                    if ch.duplicate_completions {
+                        core.push_event(
+                            wire_in + c.gap_nic_ns,
+                            EvKind::Landing {
+                                node: dst_node,
+                                notify: None,
+                                nb: false,
+                            },
+                        );
+                    }
+                }
+            }
             core.push_event(
                 wire_in,
                 EvKind::Landing {
@@ -928,7 +1031,7 @@ impl Fabric for SimFabric {
         let t = core.time[me];
         if me == target {
             core.time[me] = t + self.cfg.overheads.per_op_ns + self.cfg.cost.o_intra_ns;
-            core.flags[me][flag.0] += delta;
+            flag_bump(&mut core.flags[me][flag.0], me, flag.0, delta);
             let now = core.time[me];
             self.cfg.tracer.record(
                 me,
@@ -1402,6 +1505,88 @@ mod tests {
             v
         };
         assert_eq!(run(), run());
+    }
+
+    /// All-to-one then one-to-all under a given chaos config; returns the
+    /// final per-image virtual times (a schedule fingerprint).
+    fn chaos_fingerprint(chaos: Option<ChaosConfig>) -> Vec<u64> {
+        let map = ImageMap::new(presets::mini(2, 4), 8, &Placement::Block { per_node: 4 });
+        let f = SimFabric::new(
+            map,
+            SimConfig {
+                cost: presets::whale_cost(),
+                overheads: SoftwareOverheads::NONE,
+                chaos,
+                ..SimConfig::default()
+            },
+        );
+        let f2 = f.clone();
+        let times = std::sync::Arc::new(Mutex::new(vec![0u64; 8]));
+        let t2 = times.clone();
+        run_spmd(f.clone(), move |me| {
+            if me == ProcId(0) {
+                f2.flag_wait_ge(me, SPARE_FLAG, 7);
+                for j in 1..8 {
+                    f2.flag_add(me, ProcId(j), SPARE_FLAG, 1);
+                }
+            } else {
+                f2.put_nb(me, ProcId(0), BSEG, 8 * me.index(), &[me.index() as u8; 8]);
+                f2.flag_add(me, ProcId(0), SPARE_FLAG, 1);
+                f2.flag_wait_ge(me, SPARE_FLAG, 1);
+            }
+            t2.lock()[me.index()] = f2.now_ns(me);
+            f2.image_done(me);
+        });
+        let v = times.lock().clone();
+        v
+    }
+
+    #[test]
+    fn chaos_same_seed_same_schedule() {
+        let a = chaos_fingerprint(Some(ChaosConfig::from_seed(11)));
+        let b = chaos_fingerprint(Some(ChaosConfig::from_seed(11)));
+        assert_eq!(a, b, "a chaos seed must fully determine the schedule");
+    }
+
+    #[test]
+    fn chaos_different_seeds_differ_and_off_matches_default() {
+        let a = chaos_fingerprint(Some(ChaosConfig::from_seed(1)));
+        let b = chaos_fingerprint(Some(ChaosConfig::from_seed(2)));
+        assert_ne!(a, b, "different seeds should perturb virtual times");
+        // ChaosConfig::off leaves every knob at zero: identical schedule
+        // (and virtual times) to the plain scheduler.
+        assert_eq!(
+            chaos_fingerprint(Some(ChaosConfig::off(5))),
+            chaos_fingerprint(None)
+        );
+    }
+
+    #[test]
+    fn chaos_faults_terminate_and_slow_the_victims() {
+        let chaos = ChaosConfig {
+            stalled_image: Some(3),
+            stall_ns: 10_000,
+            completion_delay_ns: 2_000,
+            duplicate_completions: true,
+            ..ChaosConfig::off(9)
+        };
+        let t = chaos_fingerprint(Some(chaos));
+        let base = chaos_fingerprint(None);
+        assert!(
+            t[3] > base[3],
+            "stalled image should finish later ({} vs {})",
+            t[3],
+            base[3]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sync flag counter overflow")]
+    fn flag_counter_overflow_is_caught() {
+        let f = sim(1, 1, 1, 1);
+        let me = ProcId(0);
+        f.flag_add(me, me, SPARE_FLAG, u64::MAX);
+        f.flag_add(me, me, SPARE_FLAG, 1);
     }
 
     #[test]

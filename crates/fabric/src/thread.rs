@@ -367,8 +367,16 @@ impl Fabric for ThreadFabric {
         self.maybe_inject(!intra);
         // Release: orders all prior (relaxed) payload stores before the
         // notification, so a waiter that Acquires the flag sees the payload.
-        self.flag_cell(target.index(), flag)
+        let old = self
+            .flag_cell(target.index(), flag)
             .fetch_add(delta, Ordering::Release);
+        assert!(
+            old.checked_add(delta).is_some(),
+            "sync flag counter overflow: image {} flag {} \
+             (cumulative counter wrapped adding {delta})",
+            target.index(),
+            flag.0
+        );
         if self.cfg.tracer.enabled() {
             // Delivery is synchronous on shared memory: the add and its
             // landing are one instant. Record both views so the critical-

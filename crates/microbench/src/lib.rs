@@ -90,6 +90,7 @@ impl MicroConfig {
                 cost: presets::whale_cost(),
                 overheads: self.overheads,
                 tracer: self.tracer.clone(),
+                ..SimConfig::default()
             },
         )
     }

@@ -1,7 +1,7 @@
 //! Launch configuration: machine, placement, fabric choice, collectives.
 
 use caf_collectives::CollectiveConfig;
-use caf_fabric::{ArcFabric, SimConfig, SimFabric, ThreadConfig, ThreadFabric};
+use caf_fabric::{ArcFabric, ChaosConfig, SimConfig, SimFabric, ThreadConfig, ThreadFabric};
 use caf_topology::{ImageMap, MachineModel, Placement};
 
 /// Which communication substrate to run on.
@@ -39,6 +39,26 @@ impl RunConfig {
             fabric: FabricChoice::Sim(SimConfig::default()),
             collectives: CollectiveConfig::auto(),
         }
+    }
+
+    /// Like [`sim_packed`](Self::sim_packed) but under the seeded chaos
+    /// scheduler: the canonical [`ChaosConfig::from_seed`] perturbation,
+    /// deterministic per seed. Used by `caf-check` and the chaos variants
+    /// of the cross-crate conformance tests.
+    pub fn sim_chaos(machine: MachineModel, images: usize, seed: u64) -> Self {
+        Self::sim_packed(machine, images).with_chaos(ChaosConfig::from_seed(seed))
+    }
+
+    /// Install a specific chaos configuration (panics on a threads fabric,
+    /// which has no virtual-time scheduler to perturb).
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
+        match &mut self.fabric {
+            FabricChoice::Sim(cfg) => cfg.chaos = Some(chaos),
+            FabricChoice::Threads(_) => {
+                panic!("chaos scheduling is a SimFabric feature; use FabricChoice::Sim")
+            }
+        }
+        self
     }
 
     /// Real-threads fabric, packed placement, hierarchy-aware collectives.

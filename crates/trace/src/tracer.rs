@@ -189,6 +189,34 @@ pub use imp::Tracer;
 #[cfg(feature = "capture")]
 pub use imp::DEFAULT_RING_CAPACITY;
 
+impl Tracer {
+    /// Render the last `per_image` retained events of every image as an
+    /// indented multi-line block — the "recent window" that failure
+    /// reports (deadlock diagnostics, `caf-check` mismatch reports) embed
+    /// so a failing schedule can be read without re-running under a
+    /// debugger. Returns a pointer at the `trace` feature when no records
+    /// are being kept.
+    pub fn render_recent(&self, per_image: usize) -> String {
+        if !self.enabled() {
+            return "  (build with the `trace` feature and install a Tracer \
+                    for per-image operation history)\n"
+                .to_string();
+        }
+        let mut out = String::new();
+        for img in 0..self.n_images() {
+            let evs = self.last_events(img, per_image);
+            if evs.is_empty() {
+                continue;
+            }
+            out.push_str(&format!("  image {img} recent events:\n"));
+            for ev in evs {
+                out.push_str(&format!("    {}\n", ev.render()));
+            }
+        }
+        out
+    }
+}
+
 impl std::fmt::Debug for Tracer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         if self.enabled() {

@@ -1,4 +1,13 @@
-//! `cargo xtask` — repo automation. The one task so far:
+//! `cargo xtask` — repo automation.
+//!
+//! `cargo xtask check [--quick|--deep] [--seeds N]`
+//!
+//! builds and runs the `caf-check` differential harness (crates/check):
+//! the conformance program across the fabric × algorithm × chaos-seed
+//! matrix. `--quick` is the CI sweep (a few hundred seeded runs, well
+//! under a minute); `--deep` is the scheduled/manual sweep. Any extra
+//! flags are passed through to the `caf-check` binary, and
+//! `CAF_CHECK_SEED=<seed>` replays a single reported seed.
 //!
 //! `cargo xtask bench-diff <baseline.json> <new.json> [--tolerance PCT]`
 //!
@@ -110,13 +119,32 @@ fn bench_diff(baseline: &str, new: &str, tolerance_pct: f64) -> Result<(), Strin
     }
 }
 
+/// Build and run the `caf-check` harness, passing every remaining CLI
+/// argument straight through (`--quick`, `--deep`, `--seeds N`).
+fn check(passthrough: &[String]) -> Result<(), String> {
+    let mut cmd = std::process::Command::new(env!("CARGO"));
+    cmd.args(["run", "--release", "-p", "caf-check", "--"]);
+    cmd.args(passthrough);
+    let status = cmd
+        .status()
+        .map_err(|e| format!("launching cargo run -p caf-check: {e}"))?;
+    if status.success() {
+        Ok(())
+    } else {
+        Err(format!("caf-check failed ({status})"))
+    }
+}
+
 fn usage() -> String {
-    "usage: cargo xtask bench-diff <baseline.json> <new.json> [--tolerance PCT]".into()
+    "usage: cargo xtask check [--quick|--deep] [--seeds N]\n       \
+     cargo xtask bench-diff <baseline.json> <new.json> [--tolerance PCT]"
+        .into()
 }
 
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
+        Some("check") => check(&args[1..]),
         Some("bench-diff") => {
             let mut tolerance = 10.0f64;
             let mut files = Vec::new();

@@ -53,6 +53,94 @@ fn teams_with_coarrays_and_reductions_on_both_fabrics() {
     }
 }
 
+/// Fixed seed matrix for the chaos-schedule ports below: small, but
+/// spanning several jitter/reorder regimes of `ChaosConfig::from_seed`.
+const CHAOS_SEEDS: [u64; 6] = [1, 2, 3, 101, 202, 303];
+
+/// Run `prog` once under the default deterministic schedule (the oracle)
+/// and once per chaos seed, asserting every adversarial schedule produces
+/// the oracle's answers. `caf-check` sweeps hundreds of seeds over a full
+/// conformance program; these ports keep a quick fixed matrix in tier-1.
+fn chaos_schedules_match_oracle<R>(
+    machine: caf::topology::MachineModel,
+    images: usize,
+    prog: Arc<dyn Fn(&mut caf::runtime::ImageCtx) -> R + Send + Sync>,
+) where
+    R: PartialEq + std::fmt::Debug + Send + 'static,
+{
+    let p = prog.clone();
+    let oracle = run(RunConfig::sim_packed(machine.clone(), images), move |img| {
+        p(img)
+    });
+    for seed in CHAOS_SEEDS {
+        let p = prog.clone();
+        let got = run(
+            RunConfig::sim_chaos(machine.clone(), images, seed),
+            move |img| p(img),
+        );
+        assert_eq!(got, oracle, "chaos seed {seed} diverged from the oracle");
+    }
+}
+
+#[test]
+fn same_program_same_answers_under_chaos_on_mini() {
+    chaos_schedules_match_oracle(
+        presets::mini(2, 4),
+        8,
+        Arc::new(|img: &mut caf::runtime::ImageCtx| {
+            let me = img.this_image() as u64;
+            let co = img.coarray::<u64>(1);
+            co.put(me as usize % img.num_images() + 1, 0, &[me * 7]);
+            img.sync_all();
+            let mut v = vec![co.get_elem(img.this_image(), 0)];
+            img.co_sum(&mut v);
+            v[0]
+        }),
+    );
+}
+
+#[test]
+fn same_program_same_answers_under_chaos_on_whale() {
+    chaos_schedules_match_oracle(
+        presets::whale(),
+        16,
+        Arc::new(|img: &mut caf::runtime::ImageCtx| {
+            let me = img.this_image() as u64;
+            let co = img.coarray::<u64>(1);
+            co.put(me as usize % img.num_images() + 1, 0, &[me * 7]);
+            img.sync_all();
+            let mut v = vec![co.get_elem(img.this_image(), 0)];
+            img.co_sum(&mut v);
+            v[0]
+        }),
+    );
+}
+
+#[test]
+fn teams_with_coarrays_agree_under_chaos_on_both_presets() {
+    let prog = |img: &mut caf::runtime::ImageCtx| {
+        let color = ((img.this_image() - 1) % 2) as i64;
+        let team = img.form_team(color);
+        let size = img.num_images() as u64 / 2;
+        let (_t, _) = img.change_team(team, |img| {
+            let co = img.coarray::<u64>(1);
+            co.write_local(&[img.this_image() as u64]);
+            img.sync_all();
+            let mut acc = vec![0u64];
+            for j in 1..=img.num_images() {
+                acc[0] += co.get_elem(j, 0);
+            }
+            img.co_max(&mut acc);
+            assert_eq!(acc[0], size * (size + 1) / 2);
+        });
+        let mut b = vec![img.this_image() as u64];
+        img.co_broadcast(&mut b, 2);
+        b[0]
+    };
+    chaos_schedules_match_oracle(presets::mini(2, 4), 8, Arc::new(prog));
+    chaos_schedules_match_oracle(presets::whale(), 16, Arc::new(prog));
+}
+
 #[test]
 fn paper_regime_orderings_hold_in_the_model() {
     // §IV-A in one test: linear wins on shared memory, dissemination wins
