@@ -49,7 +49,7 @@ pub struct Jacobi2dOutcome {
 
 /// Run Jacobi until the global update drops below `tol`. Collective over
 /// the current team; works for any image count (the grid is chosen with
-/// [`grid_dims`]).
+/// an internal near-square factorization).
 pub fn jacobi2d(img: &mut ImageCtx, cfg: &Jacobi2dConfig) -> Jacobi2dOutcome {
     let t = cfg.tile;
     assert!(t >= 1);

@@ -9,7 +9,7 @@
 //!   Laplacian: halo exchange with `sync images`, dot products with
 //!   `co_sum` (latency-bound allreduces — exactly the collective the
 //!   paper's two-level reduction accelerates).
-//! * [`jacobi2d`] — 2-D Jacobi iteration on a P×Q image grid with row/
+//! * [`mod@jacobi2d`] — 2-D Jacobi iteration on a P×Q image grid with row/
 //!   column neighbor halos and a periodic `co_max` residual check.
 //! * [`montecarlo`] — embarrassingly parallel π estimation where disjoint
 //!   teams estimate independently (no global synchronization) before one

@@ -147,8 +147,8 @@ fn run_once(
 
 /// `None` when `got` matches the oracle; otherwise a short description of
 /// the divergence (panic message, length mismatch, or the first differing
-/// images).
-fn diff(oracle: &[u64], got: &Result<Vec<u64>, String>) -> Option<String> {
+/// images). Shared with the socket backend column.
+pub(crate) fn diff(oracle: &[u64], got: &Result<Vec<u64>, String>) -> Option<String> {
     let got = match got {
         Err(msg) => return Some(format!("panicked: {msg}")),
         Ok(v) => v,

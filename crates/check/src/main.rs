@@ -1,9 +1,15 @@
 //! The `caf-check` binary: sweep the built-in conformance program over
 //! {default sim, chaos × seeds (with faults), real threads} × scenarios ×
-//! the collective-algorithm matrix. Exit 0 on a clean sweep, 1 with a
-//! replayable report on the first divergence.
+//! the collective-algorithm matrix — plus, with `--socket`, a third
+//! backend column that runs the same program on a real multi-process
+//! `SocketFabric` fleet (this binary re-executed per node via the hidden
+//! `--socket-child` mode). Exit 0 on a clean sweep, 1 with a replayable
+//! report on the first divergence.
 
-use caf_check::{algo_matrix, check_program, conformance, CheckOptions, Program, Scenario};
+use caf_check::{
+    algo_matrix, check_program, check_socket, conformance, socket_child_main, CheckOptions,
+    Program, Scenario,
+};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
@@ -11,16 +17,25 @@ use std::time::Instant;
 struct Args {
     deep: bool,
     seeds_per_cell: Option<usize>,
+    socket: bool,
+    socket_only: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut deep = false;
     let mut seeds_per_cell = None;
+    let mut socket = false;
+    let mut socket_only = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => deep = false,
             "--deep" => deep = true,
+            "--socket" => socket = true,
+            "--socket-only" => {
+                socket = true;
+                socket_only = true;
+            }
             "--seeds" => {
                 let v = it.next().ok_or("--seeds needs a value")?;
                 seeds_per_cell = Some(v.parse().map_err(|e| format!("bad --seeds {v:?}: {e}"))?);
@@ -28,8 +43,9 @@ fn parse_args() -> Result<Args, String> {
             other => {
                 return Err(format!(
                     "unknown argument {other:?}\n\
-                     usage: caf-check [--quick|--deep] [--seeds N]\n\
-                     env:   CAF_CHECK_SEED=N   replay exactly one chaos seed"
+                     usage: caf-check [--quick|--deep] [--seeds N] [--socket|--socket-only]\n\
+                     env:   CAF_CHECK_SEED=N            replay exactly one chaos seed\n\
+                     env:   CAF_CHECK_SOCKET_ALGOS=a,b  restrict the socket column's algo cells"
                 ))
             }
         }
@@ -37,10 +53,48 @@ fn parse_args() -> Result<Args, String> {
     Ok(Args {
         deep,
         seeds_per_cell,
+        socket,
+        socket_only,
     })
 }
 
+/// The socket backend column: the mini scenario across the full algorithm
+/// matrix (or the `CAF_CHECK_SOCKET_ALGOS` subset), each cell one real
+/// multi-process fleet diffed against the sim oracle.
+fn run_socket_column() -> Result<usize, ExitCode> {
+    let scn = Scenario::mini();
+    let filter: Option<Vec<String>> = std::env::var("CAF_CHECK_SOCKET_ALGOS")
+        .ok()
+        .map(|s| s.split(',').map(|a| a.trim().to_string()).collect());
+    let t0 = Instant::now();
+    let mut cells = 0usize;
+    for (name, algo) in &algo_matrix() {
+        if let Some(keep) = &filter {
+            if !keep.iter().any(|k| k == name) {
+                continue;
+            }
+        }
+        if let Err(failure) = check_socket(&scn, name, *algo) {
+            eprintln!("{}", failure.render());
+            return Err(ExitCode::FAILURE);
+        }
+        cells += 1;
+    }
+    println!(
+        "caf-check: socket backend matched the sim oracle on {} \
+         ({cells} algo configs, real multi-process fleets, {:.1}s)",
+        scn.name,
+        t0.elapsed().as_secs_f64()
+    );
+    Ok(cells)
+}
+
 fn main() -> ExitCode {
+    // Fleet-member mode: this very binary, re-executed by caf-launch.
+    // Dispatch before normal parsing — children take no other flags.
+    if std::env::args().any(|a| a == "--socket-child") {
+        return ExitCode::from(socket_child_main() as u8);
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
@@ -48,6 +102,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.socket_only {
+        return match run_socket_column() {
+            Ok(_) => ExitCode::SUCCESS,
+            Err(code) => code,
+        };
+    }
     // Quick: bounded sweep for CI (≤ ~1 min); deep: the nightly/manual
     // soak. Threads differencing runs only on the small scenario in quick
     // mode (real threads on shared CI cores are the slow part).
@@ -102,5 +162,10 @@ fn main() -> ExitCode {
         matrix.len(),
         t0.elapsed().as_secs_f64()
     );
+    if args.socket {
+        if let Err(code) = run_socket_column() {
+            return code;
+        }
+    }
     ExitCode::SUCCESS
 }

@@ -44,6 +44,23 @@ impl Scenario {
             images: 4,
         }
     }
+
+    /// Resolve a scenario by its report label — how the `--socket-child`
+    /// process reconstructs the parent's scenario from the environment.
+    pub fn by_name(name: &str) -> Option<Self> {
+        [Self::mini(), Self::whale(), Self::tiny()]
+            .into_iter()
+            .find(|s| s.name == name)
+    }
+}
+
+/// Resolve an algorithm-matrix cell by its label (the same lookup, for the
+/// collective config).
+pub fn algo_by_name(name: &str) -> Option<CollectiveConfig> {
+    algo_matrix()
+        .into_iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, a)| a)
 }
 
 /// The collective-algorithm matrix: presets plus every per-dimension

@@ -1,0 +1,195 @@
+//! The third backend column of the differential oracle: run the
+//! conformance program on a real multi-process [`SocketFabric`] fleet and
+//! diff its per-image digests against the deterministic simulator.
+//!
+//! The sim explores schedules, the thread fabric exposes OS interleavings;
+//! neither exercises the wire — framing, the put-ack protocol, connection
+//! lifecycle, cross-process flag delivery. This column does: the parent
+//! (`caf-check --socket`) re-executes **its own binary** once per node with
+//! the hidden `--socket-child` flag via the `caf-launch` supervisor, and
+//! each child joins the fleet over real sockets, runs the same conformance
+//! program through the full runtime stack, and reports digests back over
+//! the coordinator connection.
+
+use crate::harness::{diff, CheckReport, Failure};
+use crate::scenario::{algo_by_name, conformance, Scenario};
+use caf_collectives::CollectiveConfig;
+use caf_fabric::socket::{SocketConfig, SocketFabric};
+use caf_launch::{launch, ChildEnv, LaunchSpec};
+use caf_runtime::{run, run_hosted, FabricChoice, RunConfig};
+use caf_topology::{ImageMap, NodeId, Placement};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+/// Environment variable carrying the scenario label to `--socket-child`.
+pub const ENV_SCENARIO: &str = "CAF_CHECK_SCENARIO";
+/// Environment variable carrying the algorithm-cell label.
+pub const ENV_ALGO: &str = "CAF_CHECK_ALGO";
+
+fn placed(scn: &Scenario) -> ImageMap {
+    ImageMap::new(scn.machine.clone(), scn.images, &Placement::Packed)
+}
+
+/// 1-based image numbers per occupied node, in node order — the launcher's
+/// process plan and its vocabulary for death reports.
+fn node_images(map: &ImageMap) -> Vec<Vec<usize>> {
+    (0..map.machine().nodes)
+        .map(NodeId)
+        .filter(|n| !map.images_on_node(*n).is_empty())
+        .map(|n| {
+            map.images_on_node(n)
+                .iter()
+                .map(|p| p.index() + 1)
+                .collect()
+        })
+        .collect()
+}
+
+/// Run the conformance program on a real socket fleet (one process per
+/// occupied node) and return per-image digests in image order.
+///
+/// Must be called from a binary that dispatches `--socket-child` to
+/// [`socket_child_main`] — the fleet re-executes `current_exe()`.
+pub fn socket_digests(scn: &Scenario, algo_name: &str) -> Result<Vec<u64>, String> {
+    let map = placed(scn);
+    let plan = node_images(&map);
+    // Children inherit the environment: this is how the scenario and algo
+    // cell reach them (argv stays fixed across the sweep).
+    std::env::set_var(ENV_SCENARIO, &scn.name);
+    std::env::set_var(ENV_ALGO, algo_name);
+    let exe = std::env::current_exe()
+        .map_err(|e| format!("cannot find own executable: {e}"))?
+        .to_string_lossy()
+        .into_owned();
+    let mut spec = LaunchSpec::new(vec![exe, "--socket-child".into()], plan);
+    spec.run_timeout = Duration::from_secs(120);
+    let outcome = launch(&spec).map_err(|e| e.to_string())?;
+    if outcome.results.len() != scn.images {
+        return Err(format!(
+            "fleet reported {} results for {} images",
+            outcome.results.len(),
+            scn.images
+        ));
+    }
+    for (i, (img, _)) in outcome.results.iter().enumerate() {
+        if *img as usize != i {
+            return Err(format!("fleet results missing image {}", i + 1));
+        }
+    }
+    Ok(outcome.results.into_iter().map(|(_, d)| d).collect())
+}
+
+/// Differentially check one (scenario, algorithm) cell on the socket
+/// backend: default-sim oracle vs. a real fleet. Returns run counts or a
+/// rendered-ready [`Failure`] whose kind is `"socket"`.
+pub fn check_socket(
+    scn: &Scenario,
+    algo_name: &str,
+    algo: CollectiveConfig,
+) -> Result<CheckReport, Box<Failure>> {
+    let fail = |detail: String| {
+        Box::new(Failure {
+            scenario: scn.name.clone(),
+            algo: algo_name.to_string(),
+            kind: "socket".into(),
+            seed: None,
+            minimal: None,
+            detail,
+            trace_window: String::new(),
+        })
+    };
+    let cfg = RunConfig {
+        machine: scn.machine.clone(),
+        images: scn.images,
+        placement: Placement::Packed,
+        fabric: FabricChoice::Sim(caf_fabric::SimConfig::default()),
+        collectives: algo,
+    };
+    let oracle = catch_unwind(AssertUnwindSafe(|| run(cfg, conformance)))
+        .map_err(|_| fail("oracle (default sim) panicked".into()))?;
+    let got: Result<Vec<u64>, String> = match socket_digests(scn, algo_name) {
+        Ok(v) => Ok(v),
+        Err(e) => return Err(fail(format!("fleet failed: {e}"))),
+    };
+    if let Some(detail) = diff(&oracle, &got) {
+        return Err(fail(detail));
+    }
+    Ok(CheckReport {
+        runs: 2,
+        chaos_runs: 0,
+        fault_runs: 0,
+    })
+}
+
+/// Entry point for the hidden `--socket-child` mode: join the fleet
+/// described by the launcher environment, run conformance on this node's
+/// images, report digests. Returns a process exit code.
+pub fn socket_child_main() -> i32 {
+    let scn_name = match std::env::var(ENV_SCENARIO) {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("--socket-child: {ENV_SCENARIO} not set");
+            return 2;
+        }
+    };
+    let algo_name = match std::env::var(ENV_ALGO) {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("--socket-child: {ENV_ALGO} not set");
+            return 2;
+        }
+    };
+    let (scn, algo) = match (Scenario::by_name(&scn_name), algo_by_name(&algo_name)) {
+        (Some(s), Some(a)) => (s, a),
+        _ => {
+            eprintln!("--socket-child: unknown scenario {scn_name:?} or algos {algo_name:?}");
+            return 2;
+        }
+    };
+    let env = match ChildEnv::detect() {
+        Some(env) => env,
+        None => {
+            eprintln!("--socket-child: not running under caf-launch");
+            return 2;
+        }
+    };
+    let (fabric, mut coord) =
+        match SocketFabric::join(placed(&scn), env.node, &env.coord, SocketConfig::from_env()) {
+            Ok(pair) => pair,
+            Err(e) => {
+                eprintln!("--socket-child node {}: join failed: {e}", env.node);
+                return 1;
+            }
+        };
+    let hosted = fabric.hosted().to_vec();
+    let results = run_hosted(fabric.clone(), &hosted, algo, conformance);
+    let report: Vec<(u32, u64)> = results
+        .iter()
+        .map(|(p, digest)| (p.index() as u32, *digest))
+        .collect();
+    if let Err(e) = coord.send_done(&report) {
+        eprintln!("--socket-child node {}: report failed: {e}", env.node);
+        return 1;
+    }
+    fabric.shutdown();
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_images_follow_packed_placement() {
+        let plan = node_images(&placed(&Scenario::tiny()));
+        assert_eq!(plan, vec![vec![1, 2], vec![3, 4]]);
+    }
+
+    #[test]
+    fn scenario_and_algo_lookups_roundtrip() {
+        assert!(Scenario::by_name("mini-2x4").is_some());
+        assert!(Scenario::by_name("no-such").is_none());
+        assert!(algo_by_name("reduce=Rabenseifner").is_some());
+        assert!(algo_by_name("bogus").is_none());
+    }
+}

@@ -1,0 +1,29 @@
+//! End-to-end test of the socket backend column: the `caf-check` binary
+//! launches real child processes over real sockets and diffs their
+//! conformance digests against the sim oracle.
+
+use std::process::Command;
+
+const BIN: &str = env!("CARGO_BIN_EXE_caf-check");
+
+#[test]
+fn socket_column_matches_the_sim_oracle() {
+    let out = Command::new(BIN)
+        .arg("--socket-only")
+        // Two cells keep the test quick while still covering both a preset
+        // and a forced large-message reduction over the wire.
+        .env("CAF_CHECK_SOCKET_ALGOS", "auto,reduce=Rabenseifner")
+        .output()
+        .expect("run caf-check");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "socket column must match the oracle\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(
+        stdout.contains("socket backend matched the sim oracle")
+            && stdout.contains("2 algo configs"),
+        "expected the socket-column banner, got:\n{stdout}"
+    );
+}

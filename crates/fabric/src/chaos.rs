@@ -1,4 +1,4 @@
-//! Seeded chaos scheduling and fault injection for [`SimFabric`].
+//! Seeded chaos scheduling and fault injection for [`SimFabric`](crate::SimFabric).
 //!
 //! The simulator's conservative discipline makes every run deterministic —
 //! which is exactly why a single run explores a single interleaving. A

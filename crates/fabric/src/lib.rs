@@ -18,7 +18,7 @@
 //! * a **clock** (`now_ns`) and a **compute hook** (`compute`) so algorithms
 //!   can be timed identically in virtual and real time.
 //!
-//! Two implementations:
+//! Three implementations:
 //!
 //! * [`SimFabric`] — a conservative, deterministic discrete-event simulator.
 //!   Images run as OS threads executing the *real* algorithm code; every
@@ -33,12 +33,18 @@
 //!   optionally busy-wait an injected latency so small wall-clock runs still
 //!   exhibit a hierarchy. Used for functional validation under genuine
 //!   concurrency and for native criterion benches.
+//! * [`SocketFabric`] — real processes and real wires: one OS process per
+//!   occupied node, Unix-domain sockets or TCP between processes, shared
+//!   memory within. Launched by the `caf-launch` binary (or in-process via
+//!   [`socket::testing`]); the first backend where the paper's leader/slave
+//!   split crosses genuine process boundaries.
 
 #![warn(missing_docs)]
 
 pub mod chaos;
 pub mod seg;
 pub mod sim;
+pub mod socket;
 pub mod spmd;
 pub mod stats;
 pub mod thread;
@@ -47,6 +53,7 @@ pub use caf_trace::Tracer;
 pub use chaos::ChaosConfig;
 pub use seg::{FlagId, SegmentId};
 pub use sim::{SimConfig, SimFabric};
+pub use socket::{SocketConfig, SocketFabric};
 pub use spmd::run_spmd;
 pub use stats::{FabricStats, StatsSnapshot};
 pub use thread::{ThreadConfig, ThreadFabric};

@@ -16,7 +16,7 @@
 //!
 //! # Cost model
 //!
-//! Costs come from [`CostParams`](caf_topology::CostParams) (see DESIGN.md
+//! Costs come from [`caf_topology::CostParams`] (see DESIGN.md
 //! §6 for calibration):
 //!
 //! * **intra-node put / notification**: the sender's CPU pays the software
@@ -462,7 +462,10 @@ impl SimFabric {
             if core.may_commit(me) {
                 if let Some(ch) = &self.cfg.chaos {
                     core.commits += 1;
-                    if ch.reorder && ch.pct_interval > 0 && core.commits.is_multiple_of(ch.pct_interval) {
+                    if ch.reorder
+                        && ch.pct_interval > 0
+                        && core.commits.is_multiple_of(ch.pct_interval)
+                    {
                         // PCT-style reshuffle: new tie-break priorities at a
                         // deterministic point in the committed-op stream.
                         let epoch = core.commits / ch.pct_interval;

@@ -1,0 +1,212 @@
+//! Fleet rendezvous: how N freshly spawned processes find each other.
+//!
+//! The launcher binds one *coordinator* listener and passes its address to
+//! every child. Each child dials it, sends [`Frame::Hello`] with its own
+//! data-plane listen address, and blocks until the coordinator has heard
+//! from the whole fleet and replies with [`Frame::Peers`] — the full
+//! rank-ordered address list. After that the coordinator connection stays
+//! open as a control channel: children report per-image results with
+//! [`Frame::Done`], and the coordinator can push [`Frame::Abort`].
+
+use super::wire::{read_frame, write_frame, Addr, Frame, Stream, WIRE_MAGIC};
+use std::io::{self, BufReader};
+use std::time::{Duration, Instant};
+
+/// A fleet member's client end of the coordinator connection.
+#[derive(Debug)]
+pub struct CoordClient {
+    reader: BufReader<Stream>,
+    writer: Stream,
+    /// This member's process rank.
+    pub node: u32,
+}
+
+impl CoordClient {
+    /// Dial the coordinator (retrying with capped exponential backoff up to
+    /// `deadline`), announce `listen_addr`, and wait for the peer list.
+    pub fn join(
+        coord: &Addr,
+        node: u32,
+        listen_addr: &Addr,
+        deadline: Duration,
+    ) -> io::Result<(CoordClient, Vec<Addr>)> {
+        let t0 = Instant::now();
+        let mut backoff = Duration::from_millis(10);
+        let stream = loop {
+            match Stream::connect(coord) {
+                Ok(s) => break s,
+                Err(e) => {
+                    if t0.elapsed() >= deadline {
+                        return Err(io::Error::new(
+                            e.kind(),
+                            format!("node {node}: coordinator {coord} unreachable: {e}"),
+                        ));
+                    }
+                    std::thread::sleep(backoff.min(deadline - t0.elapsed()));
+                    backoff = (backoff * 2).min(Duration::from_millis(500));
+                }
+            }
+        };
+        stream.set_read_timeout(Some(deadline))?;
+        stream.set_write_timeout(Some(deadline))?;
+        let mut writer = stream.try_clone()?;
+        let mut reader = BufReader::new(stream);
+        write_frame(
+            &mut writer,
+            &Frame::Hello {
+                node,
+                addr: listen_addr.to_string(),
+                magic: WIRE_MAGIC,
+            },
+        )?;
+        let (frame, _) = read_frame(&mut reader)?;
+        let addrs = match frame {
+            Frame::Peers { addrs } => addrs
+                .iter()
+                .map(|s| {
+                    s.parse().map_err(|e| {
+                        io::Error::new(io::ErrorKind::InvalidData, format!("bad peer addr: {e}"))
+                    })
+                })
+                .collect::<io::Result<Vec<Addr>>>()?,
+            Frame::Abort { msg } => return Err(io::Error::other(format!("fleet aborted: {msg}"))),
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("expected Peers from coordinator, got {other:?}"),
+                ))
+            }
+        };
+        Ok((
+            CoordClient {
+                reader,
+                writer,
+                node,
+            },
+            addrs,
+        ))
+    }
+
+    /// Report this member's final per-image results to the launcher.
+    pub fn send_done(&mut self, results: &[(u32, u64)]) -> io::Result<()> {
+        write_frame(
+            &mut self.writer,
+            &Frame::Done {
+                node: self.node,
+                results: results.to_vec(),
+            },
+        )?;
+        Ok(())
+    }
+
+    /// Block (up to the stream's read timeout) for one control frame from
+    /// the coordinator — used by launch modes that hold children open.
+    pub fn recv(&mut self) -> io::Result<Frame> {
+        read_frame(&mut self.reader).map(|(f, _)| f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::socket::wire::{Listener, Transport};
+
+    /// A minimal in-process coordinator (the real one lives in caf-launch):
+    /// accept `n` Hellos, broadcast Peers.
+    fn mini_coordinator(n: usize) -> (Addr, std::thread::JoinHandle<()>) {
+        let listener = Listener::bind(Transport::Uds).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let mut conns = Vec::new();
+            let mut addrs = vec![String::new(); n];
+            for _ in 0..n {
+                let s = listener.accept().unwrap();
+                let mut r = BufReader::new(s.try_clone().unwrap());
+                let (f, _) = read_frame(&mut r).unwrap();
+                match f {
+                    Frame::Hello { node, addr, magic } => {
+                        assert_eq!(magic, WIRE_MAGIC);
+                        addrs[node as usize] = addr;
+                        conns.push(s);
+                    }
+                    other => panic!("expected Hello, got {other:?}"),
+                }
+            }
+            for mut s in conns {
+                write_frame(
+                    &mut s,
+                    &Frame::Peers {
+                        addrs: addrs.clone(),
+                    },
+                )
+                .unwrap();
+            }
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn three_members_rendezvous() {
+        let n = 3;
+        let (coord, coord_thread) = mini_coordinator(n);
+        let handles: Vec<_> = (0..n as u32)
+            .map(|rank| {
+                let coord = coord.clone();
+                std::thread::spawn(move || {
+                    let me = Addr::Uds(format!("/tmp/fake-{rank}.sock").into());
+                    let (_client, peers) =
+                        CoordClient::join(&coord, rank, &me, Duration::from_secs(5)).unwrap();
+                    peers
+                })
+            })
+            .collect();
+        for h in handles {
+            let peers = h.join().unwrap();
+            assert_eq!(peers.len(), n);
+            for (i, p) in peers.iter().enumerate() {
+                assert_eq!(*p, Addr::Uds(format!("/tmp/fake-{i}.sock").into()));
+            }
+        }
+        coord_thread.join().unwrap();
+    }
+
+    #[test]
+    fn join_retries_until_coordinator_appears() {
+        // Bind lazily after a delay: the client's backoff loop should ride
+        // through the initial connection refusals.
+        let path = std::env::temp_dir().join(format!("caf-rdv-late-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let coord = Addr::Uds(path.clone());
+        let coord2 = coord.clone();
+        let server = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(120));
+            let l = std::os::unix::net::UnixListener::bind(&path).unwrap();
+            let (s, _) = l.accept().unwrap();
+            let s = Stream::Uds(s);
+            let mut r = BufReader::new(s.try_clone().unwrap());
+            let (f, _) = read_frame(&mut r).unwrap();
+            assert!(matches!(f, Frame::Hello { node: 0, .. }));
+            let mut w = s;
+            write_frame(
+                &mut w,
+                &Frame::Peers {
+                    addrs: vec!["uds:/tmp/only.sock".into()],
+                },
+            )
+            .unwrap();
+            std::fs::remove_file(&path).ok();
+        });
+        let me = Addr::Uds("/tmp/only.sock".into());
+        let (_c, peers) = CoordClient::join(&coord2, 0, &me, Duration::from_secs(5)).unwrap();
+        assert_eq!(peers.len(), 1);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn join_times_out_without_coordinator() {
+        let coord = Addr::Uds("/tmp/caf-rdv-nonexistent.sock".into());
+        let me = Addr::Uds("/tmp/whatever.sock".into());
+        let err = CoordClient::join(&coord, 0, &me, Duration::from_millis(100)).unwrap_err();
+        assert!(err.to_string().contains("unreachable"));
+    }
+}

@@ -1,0 +1,915 @@
+//! The socket fabric's wire protocol: addresses, streams, and
+//! length-prefixed frames.
+//!
+//! Every message on every connection — data-plane traffic between peer
+//! processes, and the rendezvous exchange with the launcher's coordinator —
+//! is one [`Frame`], encoded as a little-endian `u32` body length followed
+//! by a one-byte tag and the tag's fixed fields. The format is deliberately
+//! hand-rolled (no serde on the hot path) and versioned by the `OPEN`
+//! handshake's magic, so a mismatched peer fails loudly at connect time
+//! rather than corrupting segments.
+
+use std::io::{self, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Protocol magic carried by [`Frame::Open`] and [`Frame::Hello`]; bump on
+/// any incompatible frame-format change.
+pub const WIRE_MAGIC: u32 = 0xCAF5_0C01;
+
+/// Upper bound on one frame body — a corrupted length prefix fails here
+/// instead of attempting a multi-gigabyte allocation.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// A transport endpoint address, printable as `uds:<path>` or
+/// `tcp:<ip>:<port>` (the form exchanged through the rendezvous and the
+/// `CAF_LAUNCH_COORD` environment variable).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Addr {
+    /// Unix-domain socket path (node-local fleets).
+    Uds(PathBuf),
+    /// TCP socket address (cross-node fleets).
+    Tcp(SocketAddr),
+}
+
+impl std::fmt::Display for Addr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Addr::Uds(p) => write!(f, "uds:{}", p.display()),
+            Addr::Tcp(a) => write!(f, "tcp:{a}"),
+        }
+    }
+}
+
+impl std::str::FromStr for Addr {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        if let Some(path) = s.strip_prefix("uds:") {
+            Ok(Addr::Uds(PathBuf::from(path)))
+        } else if let Some(addr) = s.strip_prefix("tcp:") {
+            addr.parse()
+                .map(Addr::Tcp)
+                .map_err(|e| format!("bad tcp address {addr:?}: {e}"))
+        } else {
+            Err(format!("address {s:?} has neither uds: nor tcp: prefix"))
+        }
+    }
+}
+
+/// Which transport a listener binds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Transport {
+    /// Unix-domain sockets under the system temp directory.
+    Uds,
+    /// TCP on the loopback interface.
+    Tcp,
+}
+
+impl Transport {
+    /// Transport selected by the environment: `CAF_SOCKET_TCP=1` forces
+    /// TCP, anything else picks Unix-domain sockets.
+    pub fn from_env() -> Self {
+        match std::env::var("CAF_SOCKET_TCP") {
+            Ok(v) if v == "1" || v.eq_ignore_ascii_case("true") => Transport::Tcp,
+            _ => Transport::Uds,
+        }
+    }
+}
+
+/// A connected byte stream over either transport.
+#[derive(Debug)]
+pub enum Stream {
+    /// Unix-domain connection.
+    Uds(UnixStream),
+    /// TCP connection (Nagle disabled — frames are latency-sensitive).
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    /// Clone the underlying descriptor so reads and writes can proceed from
+    /// different threads.
+    pub fn try_clone(&self) -> io::Result<Stream> {
+        Ok(match self {
+            Stream::Uds(s) => Stream::Uds(s.try_clone()?),
+            Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
+        })
+    }
+
+    /// Bound every read so reader threads can poll shutdown/poison flags.
+    pub fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Uds(s) => s.set_read_timeout(t),
+            Stream::Tcp(s) => s.set_read_timeout(t),
+        }
+    }
+
+    /// Bound every write so a peer that stopped draining cannot wedge the
+    /// sender forever.
+    pub fn set_write_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Uds(s) => s.set_write_timeout(t),
+            Stream::Tcp(s) => s.set_write_timeout(t),
+        }
+    }
+
+    /// Orderly close of the write half (flushes buffered data before the
+    /// peer observes EOF).
+    pub fn shutdown_write(&self) {
+        let _ = match self {
+            Stream::Uds(s) => s.shutdown(std::net::Shutdown::Write),
+            Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Write),
+        };
+    }
+
+    /// Connect to `addr` once (no retry — backoff policy lives in the
+    /// fabric, which owns the stats counters).
+    pub fn connect(addr: &Addr) -> io::Result<Stream> {
+        match addr {
+            Addr::Uds(p) => UnixStream::connect(p).map(Stream::Uds),
+            Addr::Tcp(a) => {
+                let s = TcpStream::connect(a)?;
+                s.set_nodelay(true)?;
+                Ok(Stream::Tcp(s))
+            }
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Uds(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Uds(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Uds(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// A bound listener over either transport. Dropping a Unix-domain listener
+/// unlinks its socket file.
+#[derive(Debug)]
+pub enum Listener {
+    /// Unix-domain listener plus the path to unlink on drop.
+    Uds(UnixListener, PathBuf),
+    /// TCP listener.
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    /// Bind a fresh listener: a unique socket file under the temp directory
+    /// for UDS, an ephemeral loopback port for TCP.
+    pub fn bind(transport: Transport) -> io::Result<Listener> {
+        match transport {
+            Transport::Uds => {
+                use std::sync::atomic::{AtomicU64, Ordering};
+                static SEQ: AtomicU64 = AtomicU64::new(0);
+                let path = std::env::temp_dir().join(format!(
+                    "caf-sock-{}-{}.sock",
+                    std::process::id(),
+                    SEQ.fetch_add(1, Ordering::Relaxed)
+                ));
+                let _ = std::fs::remove_file(&path);
+                Ok(Listener::Uds(UnixListener::bind(&path)?, path))
+            }
+            Transport::Tcp => TcpListener::bind("127.0.0.1:0").map(Listener::Tcp),
+        }
+    }
+
+    /// The address peers should dial.
+    pub fn local_addr(&self) -> io::Result<Addr> {
+        Ok(match self {
+            Listener::Uds(_, p) => Addr::Uds(p.clone()),
+            Listener::Tcp(l) => Addr::Tcp(l.local_addr()?),
+        })
+    }
+
+    /// Toggle nonblocking accepts (the fabric's accept loop polls a
+    /// shutdown flag between attempts).
+    pub fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        match self {
+            Listener::Uds(l, _) => l.set_nonblocking(nb),
+            Listener::Tcp(l) => l.set_nonblocking(nb),
+        }
+    }
+
+    /// Accept one connection.
+    pub fn accept(&self) -> io::Result<Stream> {
+        match self {
+            Listener::Uds(l, _) => {
+                let (s, _) = l.accept()?;
+                Ok(Stream::Uds(s))
+            }
+            Listener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nodelay(true)?;
+                Ok(Stream::Tcp(s))
+            }
+        }
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        if let Listener::Uds(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// One protocol message. Data-plane tags (`Open`..`Bye`) flow on peer
+/// connections; rendezvous tags (`Hello`..`Abort`) flow on the coordinator
+/// connection. See the module docs for encoding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// First frame on every data connection: the dialing process
+    /// identifies itself (and the protocol version, via `magic`).
+    Open {
+        /// Dialer's process (node) rank.
+        node: u32,
+        /// Must equal [`WIRE_MAGIC`].
+        magic: u32,
+    },
+    /// One-sided write into a hosted image's segment. `ack != 0` requests
+    /// a [`Frame::PutAck`] echoing it once the payload is applied.
+    Put {
+        /// Issuing image (global 0-based rank).
+        src: u32,
+        /// Target image (must be hosted by the receiver).
+        dst: u32,
+        /// Target segment id.
+        seg: u64,
+        /// Byte offset within the segment.
+        off: u64,
+        /// Completion-ack cookie (0 = no ack requested).
+        ack: u64,
+        /// Payload bytes.
+        data: Vec<u8>,
+    },
+    /// Completion ack for a [`Frame::Put`].
+    PutAck {
+        /// The cookie from the acked put.
+        ack: u64,
+    },
+    /// One-sided read request.
+    Get {
+        /// Issuing image.
+        src: u32,
+        /// Source image (must be hosted by the receiver).
+        dst: u32,
+        /// Source segment id.
+        seg: u64,
+        /// Byte offset within the segment.
+        off: u64,
+        /// Bytes requested.
+        len: u32,
+        /// Request cookie echoed by the response.
+        req: u64,
+    },
+    /// Response to a [`Frame::Get`].
+    GetResp {
+        /// The request cookie.
+        req: u64,
+        /// The bytes read.
+        data: Vec<u8>,
+    },
+    /// Remote atomic fetch-and-add.
+    AmoFadd {
+        /// Issuing image.
+        src: u32,
+        /// Target image.
+        dst: u32,
+        /// Target segment id.
+        seg: u64,
+        /// Byte offset (8-byte aligned).
+        off: u64,
+        /// Addend.
+        delta: u64,
+        /// Request cookie.
+        req: u64,
+    },
+    /// Remote atomic compare-and-swap.
+    AmoCas {
+        /// Issuing image.
+        src: u32,
+        /// Target image.
+        dst: u32,
+        /// Target segment id.
+        seg: u64,
+        /// Byte offset (8-byte aligned).
+        off: u64,
+        /// Expected value.
+        expected: u64,
+        /// Replacement value.
+        new: u64,
+        /// Request cookie.
+        req: u64,
+    },
+    /// Response to either AMO: the previous cell value.
+    AmoResp {
+        /// The request cookie.
+        req: u64,
+        /// Previous value of the cell.
+        old: u64,
+    },
+    /// One-way accumulating sync-flag notification (ordered after any
+    /// preceding puts on the same connection — the fabric's point-to-point
+    /// ordering guarantee).
+    FlagAdd {
+        /// Issuing image.
+        src: u32,
+        /// Target image.
+        dst: u32,
+        /// Target flag id.
+        flag: u64,
+        /// Increment.
+        delta: u64,
+    },
+    /// Liveness beacon, sent on every egress connection each heartbeat
+    /// period.
+    Heartbeat {
+        /// Sender's process rank.
+        node: u32,
+    },
+    /// Graceful goodbye: the sender's hosted images have all finished, no
+    /// more requests or heartbeats will follow, and subsequent EOF from it
+    /// is *not* a death.
+    Bye {
+        /// Sender's process rank.
+        node: u32,
+    },
+    /// Rendezvous: a fleet member announces its rank and listen address.
+    Hello {
+        /// Member's process rank.
+        node: u32,
+        /// Its listen address, as `Addr` text.
+        addr: String,
+        /// Must equal [`WIRE_MAGIC`].
+        magic: u32,
+    },
+    /// Rendezvous: the coordinator's reply — every member's listen address,
+    /// indexed by process rank.
+    Peers {
+        /// Listen addresses in rank order.
+        addrs: Vec<String>,
+    },
+    /// A fleet member's final result report (per hosted image).
+    Done {
+        /// Member's process rank.
+        node: u32,
+        /// `(global image rank, result)` pairs for every hosted image.
+        results: Vec<(u32, u64)>,
+    },
+    /// Rendezvous: abort the fleet with a message.
+    Abort {
+        /// Human-readable reason.
+        msg: String,
+    },
+}
+
+const T_OPEN: u8 = 1;
+const T_PUT: u8 = 2;
+const T_PUT_ACK: u8 = 3;
+const T_GET: u8 = 4;
+const T_GET_RESP: u8 = 5;
+const T_AMO_FADD: u8 = 6;
+const T_AMO_CAS: u8 = 7;
+const T_AMO_RESP: u8 = 8;
+const T_FLAG_ADD: u8 = 9;
+const T_HEARTBEAT: u8 = 10;
+const T_BYE: u8 = 11;
+const T_HELLO: u8 = 16;
+const T_PEERS: u8 = 17;
+const T_DONE: u8 = 18;
+const T_ABORT: u8 = 19;
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(buf: &mut Vec<u8>, b: &[u8]) {
+    put_u32(buf, b.len() as u32);
+    buf.extend_from_slice(b);
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "truncated frame body",
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn bytes(&mut self) -> io::Result<Vec<u8>> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    fn string(&mut self) -> io::Result<String> {
+        String::from_utf8(self.bytes()?)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 string in frame"))
+    }
+}
+
+impl Frame {
+    /// Encode into a `len || tag || fields` byte vector ready for one
+    /// `write_all`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(64);
+        put_u32(&mut b, 0); // length placeholder
+        match self {
+            Frame::Open { node, magic } => {
+                b.push(T_OPEN);
+                put_u32(&mut b, *node);
+                put_u32(&mut b, *magic);
+            }
+            Frame::Put {
+                src,
+                dst,
+                seg,
+                off,
+                ack,
+                data,
+            } => {
+                b.push(T_PUT);
+                put_u32(&mut b, *src);
+                put_u32(&mut b, *dst);
+                put_u64(&mut b, *seg);
+                put_u64(&mut b, *off);
+                put_u64(&mut b, *ack);
+                put_bytes(&mut b, data);
+            }
+            Frame::PutAck { ack } => {
+                b.push(T_PUT_ACK);
+                put_u64(&mut b, *ack);
+            }
+            Frame::Get {
+                src,
+                dst,
+                seg,
+                off,
+                len,
+                req,
+            } => {
+                b.push(T_GET);
+                put_u32(&mut b, *src);
+                put_u32(&mut b, *dst);
+                put_u64(&mut b, *seg);
+                put_u64(&mut b, *off);
+                put_u32(&mut b, *len);
+                put_u64(&mut b, *req);
+            }
+            Frame::GetResp { req, data } => {
+                b.push(T_GET_RESP);
+                put_u64(&mut b, *req);
+                put_bytes(&mut b, data);
+            }
+            Frame::AmoFadd {
+                src,
+                dst,
+                seg,
+                off,
+                delta,
+                req,
+            } => {
+                b.push(T_AMO_FADD);
+                put_u32(&mut b, *src);
+                put_u32(&mut b, *dst);
+                put_u64(&mut b, *seg);
+                put_u64(&mut b, *off);
+                put_u64(&mut b, *delta);
+                put_u64(&mut b, *req);
+            }
+            Frame::AmoCas {
+                src,
+                dst,
+                seg,
+                off,
+                expected,
+                new,
+                req,
+            } => {
+                b.push(T_AMO_CAS);
+                put_u32(&mut b, *src);
+                put_u32(&mut b, *dst);
+                put_u64(&mut b, *seg);
+                put_u64(&mut b, *off);
+                put_u64(&mut b, *expected);
+                put_u64(&mut b, *new);
+                put_u64(&mut b, *req);
+            }
+            Frame::AmoResp { req, old } => {
+                b.push(T_AMO_RESP);
+                put_u64(&mut b, *req);
+                put_u64(&mut b, *old);
+            }
+            Frame::FlagAdd {
+                src,
+                dst,
+                flag,
+                delta,
+            } => {
+                b.push(T_FLAG_ADD);
+                put_u32(&mut b, *src);
+                put_u32(&mut b, *dst);
+                put_u64(&mut b, *flag);
+                put_u64(&mut b, *delta);
+            }
+            Frame::Heartbeat { node } => {
+                b.push(T_HEARTBEAT);
+                put_u32(&mut b, *node);
+            }
+            Frame::Bye { node } => {
+                b.push(T_BYE);
+                put_u32(&mut b, *node);
+            }
+            Frame::Hello { node, addr, magic } => {
+                b.push(T_HELLO);
+                put_u32(&mut b, *node);
+                put_bytes(&mut b, addr.as_bytes());
+                put_u32(&mut b, *magic);
+            }
+            Frame::Peers { addrs } => {
+                b.push(T_PEERS);
+                put_u32(&mut b, addrs.len() as u32);
+                for a in addrs {
+                    put_bytes(&mut b, a.as_bytes());
+                }
+            }
+            Frame::Done { node, results } => {
+                b.push(T_DONE);
+                put_u32(&mut b, *node);
+                put_u32(&mut b, results.len() as u32);
+                for (img, val) in results {
+                    put_u32(&mut b, *img);
+                    put_u64(&mut b, *val);
+                }
+            }
+            Frame::Abort { msg } => {
+                b.push(T_ABORT);
+                put_bytes(&mut b, msg.as_bytes());
+            }
+        }
+        let body_len = (b.len() - 4) as u32;
+        b[..4].copy_from_slice(&body_len.to_le_bytes());
+        b
+    }
+
+    /// Decode a frame body (everything after the length prefix).
+    pub fn decode(body: &[u8]) -> io::Result<Frame> {
+        let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
+        let (&tag, rest) = body.split_first().ok_or_else(|| bad("empty frame"))?;
+        let mut c = Cursor { buf: rest, pos: 0 };
+        let f = match tag {
+            T_OPEN => Frame::Open {
+                node: c.u32()?,
+                magic: c.u32()?,
+            },
+            T_PUT => Frame::Put {
+                src: c.u32()?,
+                dst: c.u32()?,
+                seg: c.u64()?,
+                off: c.u64()?,
+                ack: c.u64()?,
+                data: c.bytes()?,
+            },
+            T_PUT_ACK => Frame::PutAck { ack: c.u64()? },
+            T_GET => Frame::Get {
+                src: c.u32()?,
+                dst: c.u32()?,
+                seg: c.u64()?,
+                off: c.u64()?,
+                len: c.u32()?,
+                req: c.u64()?,
+            },
+            T_GET_RESP => Frame::GetResp {
+                req: c.u64()?,
+                data: c.bytes()?,
+            },
+            T_AMO_FADD => Frame::AmoFadd {
+                src: c.u32()?,
+                dst: c.u32()?,
+                seg: c.u64()?,
+                off: c.u64()?,
+                delta: c.u64()?,
+                req: c.u64()?,
+            },
+            T_AMO_CAS => Frame::AmoCas {
+                src: c.u32()?,
+                dst: c.u32()?,
+                seg: c.u64()?,
+                off: c.u64()?,
+                expected: c.u64()?,
+                new: c.u64()?,
+                req: c.u64()?,
+            },
+            T_AMO_RESP => Frame::AmoResp {
+                req: c.u64()?,
+                old: c.u64()?,
+            },
+            T_FLAG_ADD => Frame::FlagAdd {
+                src: c.u32()?,
+                dst: c.u32()?,
+                flag: c.u64()?,
+                delta: c.u64()?,
+            },
+            T_HEARTBEAT => Frame::Heartbeat { node: c.u32()? },
+            T_BYE => Frame::Bye { node: c.u32()? },
+            T_HELLO => Frame::Hello {
+                node: c.u32()?,
+                addr: c.string()?,
+                magic: c.u32()?,
+            },
+            T_PEERS => {
+                let n = c.u32()? as usize;
+                if n > 1 << 16 {
+                    return Err(bad("absurd peer count"));
+                }
+                let mut addrs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    addrs.push(c.string()?);
+                }
+                Frame::Peers { addrs }
+            }
+            T_DONE => {
+                let node = c.u32()?;
+                let n = c.u32()? as usize;
+                if n > 1 << 24 {
+                    return Err(bad("absurd result count"));
+                }
+                let mut results = Vec::with_capacity(n);
+                for _ in 0..n {
+                    results.push((c.u32()?, c.u64()?));
+                }
+                Frame::Done { node, results }
+            }
+            T_ABORT => Frame::Abort { msg: c.string()? },
+            _ => return Err(bad("unknown frame tag")),
+        };
+        if c.pos != rest.len() {
+            return Err(bad("trailing bytes in frame body"));
+        }
+        Ok(f)
+    }
+}
+
+/// Write one frame; returns the wire bytes written (for stats).
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<usize> {
+    let bytes = frame.encode();
+    w.write_all(&bytes)?;
+    w.flush()?;
+    Ok(bytes.len())
+}
+
+/// Read one frame; returns the frame and the wire bytes consumed.
+///
+/// A read timeout surfaces as `Err` with kind `WouldBlock`/`TimedOut` when
+/// it hits *between* frames; mid-frame timeouts keep retrying the partial
+/// read until the frame completes (frames are small relative to the
+/// configured timeouts, so a genuinely dead peer still trips the caller's
+/// liveness checks).
+pub fn read_frame<R: Read>(r: &mut BufReader<R>) -> io::Result<(Frame, usize)> {
+    // Fill `buf[filled..]`, retrying timeouts once any byte of the frame
+    // has been consumed (a plain `read_exact` could drop partial bytes on
+    // a timeout and desynchronize the stream).
+    fn fill<R: Read>(r: &mut BufReader<R>, buf: &mut [u8], mut filled: usize) -> io::Result<()> {
+        while filled < buf.len() {
+            match r.read(&mut buf[filled..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "eof mid-frame",
+                    ))
+                }
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    // Partial frame: the rest is on the wire; keep going.
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    let mut len4 = [0u8; 4];
+    // The first byte decides idle-vs-mid-frame: a timeout with nothing
+    // consumed surfaces to the caller (its poll loop), a timeout after
+    // that keeps collecting.
+    let first = loop {
+        match r.read(&mut len4[..1]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed",
+                ))
+            }
+            Ok(_) => break 1,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    };
+    fill(r, &mut len4, first)?;
+    let len = u32::from_le_bytes(len4) as usize;
+    if len == 0 || len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} out of range"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    fill(r, &mut body, 0)?;
+    Ok((Frame::decode(&body)?, 4 + len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(f: Frame) {
+        let enc = f.encode();
+        let len = u32::from_le_bytes(enc[..4].try_into().unwrap()) as usize;
+        assert_eq!(len, enc.len() - 4);
+        assert_eq!(Frame::decode(&enc[4..]).unwrap(), f);
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        roundtrip(Frame::Open {
+            node: 3,
+            magic: WIRE_MAGIC,
+        });
+        roundtrip(Frame::Put {
+            src: 1,
+            dst: 9,
+            seg: 2,
+            off: 4096,
+            ack: 77,
+            data: vec![1, 2, 3, 4, 5],
+        });
+        roundtrip(Frame::PutAck { ack: 77 });
+        roundtrip(Frame::Get {
+            src: 0,
+            dst: 5,
+            seg: 1,
+            off: 8,
+            len: 64,
+            req: 12,
+        });
+        roundtrip(Frame::GetResp {
+            req: 12,
+            data: vec![0; 64],
+        });
+        roundtrip(Frame::AmoFadd {
+            src: 2,
+            dst: 3,
+            seg: 0,
+            off: 16,
+            delta: 5,
+            req: 9,
+        });
+        roundtrip(Frame::AmoCas {
+            src: 2,
+            dst: 3,
+            seg: 0,
+            off: 16,
+            expected: 1,
+            new: 2,
+            req: 10,
+        });
+        roundtrip(Frame::AmoResp { req: 10, old: 1 });
+        roundtrip(Frame::FlagAdd {
+            src: 7,
+            dst: 0,
+            flag: 3,
+            delta: 1,
+        });
+        roundtrip(Frame::Heartbeat { node: 1 });
+        roundtrip(Frame::Bye { node: 0 });
+        roundtrip(Frame::Hello {
+            node: 2,
+            addr: "uds:/tmp/x.sock".into(),
+            magic: WIRE_MAGIC,
+        });
+        roundtrip(Frame::Peers {
+            addrs: vec!["uds:/tmp/a".into(), "tcp:127.0.0.1:4000".into()],
+        });
+        roundtrip(Frame::Done {
+            node: 1,
+            results: vec![(4, 0xdead_beef), (5, 42)],
+        });
+        roundtrip(Frame::Abort {
+            msg: "node 2 died".into(),
+        });
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Frame::decode(&[]).is_err());
+        assert!(Frame::decode(&[200]).is_err());
+        // Truncated put.
+        assert!(Frame::decode(&[T_PUT, 1, 0, 0]).is_err());
+        // Trailing junk.
+        let mut enc = Frame::PutAck { ack: 1 }.encode();
+        enc.push(0xFF);
+        assert!(Frame::decode(&enc[4..]).is_err());
+    }
+
+    #[test]
+    fn addr_parse_display_roundtrip() {
+        for s in ["uds:/tmp/caf.sock", "tcp:127.0.0.1:9000"] {
+            let a: Addr = s.parse().unwrap();
+            assert_eq!(a.to_string(), s);
+        }
+        assert!("zmq:whatever".parse::<Addr>().is_err());
+        assert!("tcp:notanaddr".parse::<Addr>().is_err());
+    }
+
+    #[test]
+    fn write_read_roundtrip_over_uds() {
+        let listener = Listener::bind(Transport::Uds).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            let mut s = listener.accept().unwrap();
+            write_frame(
+                &mut s,
+                &Frame::FlagAdd {
+                    src: 0,
+                    dst: 1,
+                    flag: 2,
+                    delta: 3,
+                },
+            )
+            .unwrap()
+        });
+        let s = Stream::connect(&addr).unwrap();
+        let mut r = BufReader::new(s);
+        let (frame, n) = read_frame(&mut r).unwrap();
+        assert_eq!(
+            frame,
+            Frame::FlagAdd {
+                src: 0,
+                dst: 1,
+                flag: 2,
+                delta: 3
+            }
+        );
+        assert_eq!(n, t.join().unwrap());
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected() {
+        let listener = Listener::bind(Transport::Uds).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            let mut s = listener.accept().unwrap();
+            s.write_all(&(u32::MAX).to_le_bytes()).unwrap();
+        });
+        let s = Stream::connect(&addr).unwrap();
+        let mut r = BufReader::new(s);
+        assert!(read_frame(&mut r).is_err());
+        t.join().unwrap();
+    }
+}

@@ -39,6 +39,21 @@ pub struct FabricStats {
     /// `≤ puts_nb_injected`; the gap is the in-flight window the pipelined
     /// collectives exploit.
     pub puts_nb_completed: AtomicU64,
+    /// Wire frames written to peer processes (`SocketFabric` only; zero on
+    /// in-process fabrics).
+    pub wire_frames_tx: AtomicU64,
+    /// Wire frames read from peer processes.
+    pub wire_frames_rx: AtomicU64,
+    /// Wire bytes written, including frame headers.
+    pub wire_bytes_tx: AtomicU64,
+    /// Wire bytes read, including frame headers.
+    pub wire_bytes_rx: AtomicU64,
+    /// Failed connect attempts that were retried (capped exponential
+    /// backoff).
+    pub wire_retries: AtomicU64,
+    /// Connections that were only established after at least one failed
+    /// attempt.
+    pub wire_reconnects: AtomicU64,
 }
 
 /// A plain-data copy of [`FabricStats`] at one instant.
@@ -68,6 +83,18 @@ pub struct StatsSnapshot {
     pub puts_nb_injected: u64,
     /// Nonblocking puts completed.
     pub puts_nb_completed: u64,
+    /// Wire frames written to peer processes.
+    pub wire_frames_tx: u64,
+    /// Wire frames read from peer processes.
+    pub wire_frames_rx: u64,
+    /// Wire bytes written, including frame headers.
+    pub wire_bytes_tx: u64,
+    /// Wire bytes read, including frame headers.
+    pub wire_bytes_rx: u64,
+    /// Failed connect attempts that were retried.
+    pub wire_retries: u64,
+    /// Connections established after at least one failed attempt.
+    pub wire_reconnects: u64,
 }
 
 impl FabricStats {
@@ -86,6 +113,12 @@ impl FabricStats {
             bytes_inter: self.bytes_inter.load(Ordering::Relaxed),
             puts_nb_injected: self.puts_nb_injected.load(Ordering::Relaxed),
             puts_nb_completed: self.puts_nb_completed.load(Ordering::Relaxed),
+            wire_frames_tx: self.wire_frames_tx.load(Ordering::Relaxed),
+            wire_frames_rx: self.wire_frames_rx.load(Ordering::Relaxed),
+            wire_bytes_tx: self.wire_bytes_tx.load(Ordering::Relaxed),
+            wire_bytes_rx: self.wire_bytes_rx.load(Ordering::Relaxed),
+            wire_retries: self.wire_retries.load(Ordering::Relaxed),
+            wire_reconnects: self.wire_reconnects.load(Ordering::Relaxed),
         }
     }
 
@@ -104,6 +137,12 @@ impl FabricStats {
             &self.bytes_inter,
             &self.puts_nb_injected,
             &self.puts_nb_completed,
+            &self.wire_frames_tx,
+            &self.wire_frames_rx,
+            &self.wire_bytes_tx,
+            &self.wire_bytes_rx,
+            &self.wire_retries,
+            &self.wire_reconnects,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -145,6 +184,22 @@ impl FabricStats {
     #[inline]
     pub fn record_put_nb_complete(&self) {
         self.puts_nb_completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one wire frame of `bytes` bytes written to a peer process.
+    #[inline]
+    pub fn record_wire_tx(&self, bytes: usize) {
+        self.wire_frames_tx.fetch_add(1, Ordering::Relaxed);
+        self.wire_bytes_tx
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Record one wire frame of `bytes` bytes read from a peer process.
+    #[inline]
+    pub fn record_wire_rx(&self, bytes: usize) {
+        self.wire_frames_rx.fetch_add(1, Ordering::Relaxed);
+        self.wire_bytes_rx
+            .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
     /// Record one flag notification.
@@ -198,6 +253,12 @@ impl std::ops::Sub for StatsSnapshot {
             bytes_inter: self.bytes_inter - rhs.bytes_inter,
             puts_nb_injected: self.puts_nb_injected - rhs.puts_nb_injected,
             puts_nb_completed: self.puts_nb_completed - rhs.puts_nb_completed,
+            wire_frames_tx: self.wire_frames_tx - rhs.wire_frames_tx,
+            wire_frames_rx: self.wire_frames_rx - rhs.wire_frames_rx,
+            wire_bytes_tx: self.wire_bytes_tx - rhs.wire_bytes_tx,
+            wire_bytes_rx: self.wire_bytes_rx - rhs.wire_bytes_rx,
+            wire_retries: self.wire_retries - rhs.wire_retries,
+            wire_reconnects: self.wire_reconnects - rhs.wire_reconnects,
         }
     }
 }
@@ -234,6 +295,25 @@ mod tests {
         assert_eq!(snap.puts_nb_completed, 1);
         assert_eq!(snap.puts_inter, 2, "nb puts also count as puts");
         assert_eq!(snap.bytes_inter, 2048);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn wire_counters_track_frames_and_bytes() {
+        let s = FabricStats::default();
+        s.record_wire_tx(64);
+        s.record_wire_tx(16);
+        s.record_wire_rx(9);
+        s.wire_retries.fetch_add(3, Ordering::Relaxed);
+        s.wire_reconnects.fetch_add(1, Ordering::Relaxed);
+        let snap = s.snapshot();
+        assert_eq!(snap.wire_frames_tx, 2);
+        assert_eq!(snap.wire_bytes_tx, 80);
+        assert_eq!(snap.wire_frames_rx, 1);
+        assert_eq!(snap.wire_bytes_rx, 9);
+        assert_eq!(snap.wire_retries, 3);
+        assert_eq!(snap.wire_reconnects, 1);
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
     }

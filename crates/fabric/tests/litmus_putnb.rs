@@ -4,12 +4,15 @@
 //! injected == completed stats invariants — including under chaos fault
 //! injection (delayed/duplicated completions).
 
+use caf_fabric::socket::testing::{fleet, run_fleet};
 use caf_fabric::{
-    bootstrap, ChaosConfig, Fabric, PutToken, SimConfig, SimFabric, ThreadConfig, ThreadFabric,
+    bootstrap, ChaosConfig, Fabric, PutToken, SimConfig, SimFabric, SocketConfig, ThreadConfig,
+    ThreadFabric,
 };
 use caf_fabric::{run_spmd, FlagId};
 use caf_topology::{presets, ImageMap, Placement, ProcId, SoftwareOverheads};
 use std::sync::Arc;
+use std::time::Duration;
 
 const SPARE_FLAG: FlagId = FlagId(2);
 const BSEG: caf_fabric::SegmentId = bootstrap::SEG;
@@ -189,6 +192,123 @@ fn chaos_delays_put_nb_completion_but_not_correctness() {
         }
         f2.image_done(me);
     });
+}
+
+// ---------------------------------------------------------------------------
+// SocketFabric ports: the same litmus programs, but with the initiator and
+// target in *separate fabric instances* joined over real sockets — the wire
+// ack protocol, not shared memory, is what must uphold the orderings.
+// ---------------------------------------------------------------------------
+
+fn socket_cfg() -> SocketConfig {
+    SocketConfig {
+        io_timeout: Duration::from_secs(10),
+        flag_wait_timeout: Duration::from_secs(10),
+        ..SocketConfig::default()
+    }
+}
+
+fn socket_pair() -> Vec<Arc<caf_fabric::SocketFabric>> {
+    let map = ImageMap::new(presets::mini(2, 1), 2, &Placement::Packed);
+    fleet(&map, &socket_cfg())
+}
+
+#[test]
+fn socket_quiet_with_zero_outstanding_puts_is_a_no_op() {
+    let fabrics = socket_pair();
+    run_fleet(&fabrics, |f, me| {
+        if me == ProcId(0) {
+            f.quiet(me); // nothing in flight: must return immediately
+            f.put(me, ProcId(1), BSEG, 0, &[1u8; 8]);
+            f.quiet(me); // blocking put is already acked: still a no-op
+            f.quiet(me);
+        }
+        f.image_done(me);
+    });
+}
+
+#[test]
+fn socket_put_test_polled_before_completion_eventually_succeeds() {
+    let fabrics = socket_pair();
+    let initiator = fabrics[0].clone();
+    run_fleet(&fabrics, |f, me| {
+        if me == ProcId(0) {
+            let tok = f.put_nb(me, ProcId(1), BSEG, 0, &[5u8; 8]);
+            let mut polls = 0u64;
+            while !f.put_test(me, tok) {
+                polls += 1;
+                assert!(polls < 100_000_000, "put_test never completed");
+                std::hint::spin_loop();
+            }
+            // A completed token stays completed.
+            assert!(f.put_test(me, tok));
+            f.quiet(me);
+        }
+        f.image_done(me);
+    });
+    let s = initiator.stats().snapshot();
+    assert_eq!(s.puts_nb_injected, 1);
+    assert_eq!(s.puts_nb_completed, 1);
+}
+
+#[test]
+fn socket_interleaved_put_and_put_nb_keep_program_order() {
+    // The core ordering litmus over the wire: one egress connection per
+    // ordered pair applies payloads in program order, so after the fence +
+    // flag handshake the reader must see the *last* write.
+    let fabrics = socket_pair();
+    run_fleet(&fabrics, |f, me| {
+        if me == ProcId(0) {
+            f.put(me, ProcId(1), BSEG, 0, &10u64.to_ne_bytes());
+            let t1 = f.put_nb(me, ProcId(1), BSEG, 0, &20u64.to_ne_bytes());
+            f.put(me, ProcId(1), BSEG, 0, &30u64.to_ne_bytes());
+            let t2 = f.put_nb(me, ProcId(1), BSEG, 0, &40u64.to_ne_bytes());
+            f.put_wait(me, t1);
+            f.put_wait(me, t2);
+            f.quiet(me);
+            f.flag_add(me, ProcId(1), SPARE_FLAG, 1);
+        } else {
+            f.flag_wait_ge(me, SPARE_FLAG, 1);
+            let mut out = [0u8; 8];
+            f.get(me, me, BSEG, 0, &mut out);
+            assert_eq!(u64::from_ne_bytes(out), 40, "must see the last write");
+        }
+        f.image_done(me);
+    });
+}
+
+#[test]
+fn socket_stats_injected_equals_completed_after_every_fence() {
+    let map = ImageMap::new(presets::mini(2, 2), 4, &Placement::Packed);
+    let fabrics = fleet(&map, &socket_cfg());
+    let stats_fabrics = fabrics.clone();
+    run_fleet(&fabrics, |f, me| {
+        if me.index() < 3 {
+            let mut tok = PutToken::DONE;
+            for k in 0..5usize {
+                tok = f.put_nb(me, ProcId(3), BSEG, 8 * me.index(), &[k as u8; 8]);
+            }
+            f.put_wait(me, tok);
+            f.quiet(me);
+            f.flag_add(me, ProcId(3), SPARE_FLAG, 1);
+        } else {
+            f.flag_wait_ge(me, SPARE_FLAG, 3);
+        }
+        f.image_done(me);
+    });
+    // Per-process stats: sum injections and completions across the fleet.
+    let (injected, completed) = stats_fabrics
+        .iter()
+        .map(|f| {
+            let s = f.stats().snapshot();
+            (s.puts_nb_injected, s.puts_nb_completed)
+        })
+        .fold((0, 0), |(i, c), (fi, fc)| (i + fi, c + fc));
+    assert_eq!(injected, 15);
+    assert_eq!(
+        completed, injected,
+        "every injected nonblocking put must be acked by run end"
+    );
 }
 
 #[test]

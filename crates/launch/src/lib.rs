@@ -1,0 +1,431 @@
+//! # caf-launch
+//!
+//! The fleet launcher for the [`caf_fabric::SocketFabric`] backend — the
+//! `mpirun`/`lamellar_run` analogue of this runtime. One parent process:
+//!
+//! 1. binds a **coordinator** socket and spawns one child process per
+//!    occupied node, passing the coordinator address through the
+//!    environment ([`ENV_COORD`], plus [`ENV_NODE`]/[`ENV_NODES`]);
+//! 2. runs the **rendezvous**: collects each child's `Hello` (its
+//!    data-plane listen address) and broadcasts the rank-ordered `Peers`
+//!    list, after which children connect to each other directly;
+//! 3. **supervises**: collects per-image `Done` results, enforces a run
+//!    timeout, optionally kills a chosen child at a chosen time (fault
+//!    injection for tests), and on any child death reports *which node and
+//!    which 1-based image ranks* died — then kills and reaps the rest of
+//!    the fleet rather than leaving orphans.
+//!
+//! Children use [`ChildEnv::detect`] to find the coordinator and
+//! [`caf_fabric::SocketFabric::join`] to enter the fleet.
+
+#![warn(missing_docs)]
+
+use caf_fabric::socket::wire::{read_frame, write_frame, Frame, Listener, Stream, WIRE_MAGIC};
+use std::io::BufReader;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+pub use caf_fabric::socket::{Addr, CoordClient, Transport};
+
+/// Child environment variable: this process's node rank (0-based).
+pub const ENV_NODE: &str = "CAF_LAUNCH_NODE";
+/// Child environment variable: total processes in the fleet.
+pub const ENV_NODES: &str = "CAF_LAUNCH_NODES";
+/// Child environment variable: coordinator address (`uds:…` / `tcp:…`).
+pub const ENV_COORD: &str = "CAF_LAUNCH_COORD";
+
+/// What a spawned fleet member reads from its environment.
+#[derive(Clone, Debug)]
+pub struct ChildEnv {
+    /// This process's node rank (0-based index into occupied nodes).
+    pub node: usize,
+    /// Total processes in the fleet.
+    pub nodes: usize,
+    /// The launcher's coordinator address.
+    pub coord: Addr,
+}
+
+impl ChildEnv {
+    /// Detect launcher-provided variables; `None` when not running under
+    /// `caf-launch` (lets a binary share one entry point for both roles).
+    pub fn detect() -> Option<ChildEnv> {
+        let node = std::env::var(ENV_NODE).ok()?.parse().ok()?;
+        let nodes = std::env::var(ENV_NODES).ok()?.parse().ok()?;
+        let coord = std::env::var(ENV_COORD).ok()?.parse().ok()?;
+        Some(ChildEnv { node, nodes, coord })
+    }
+}
+
+/// Fault-injection: kill the child at `rank` once `after` has elapsed from
+/// the start of the supervision phase.
+#[derive(Clone, Copy, Debug)]
+pub struct KillSpec {
+    /// Node rank of the victim process.
+    pub rank: usize,
+    /// Delay before the kill.
+    pub after: Duration,
+}
+
+/// A fleet description: what to spawn and how to supervise it.
+#[derive(Clone, Debug)]
+pub struct LaunchSpec {
+    /// Child argv (`command[0]` is the executable). Every child gets the
+    /// same argv; rank and coordinator arrive via the environment.
+    pub command: Vec<String>,
+    /// 1-based image numbers hosted by each node rank — used for error
+    /// reports ("node 1 (images 5,6,7,8) died"). Its length is the fleet
+    /// size.
+    pub node_images: Vec<Vec<usize>>,
+    /// Coordinator transport (children pick their own data-plane transport).
+    pub transport: Transport,
+    /// How long the fleet may take to rendezvous.
+    pub rendezvous_timeout: Duration,
+    /// How long the fleet may run after rendezvous before it is declared
+    /// hung, killed, and reported.
+    pub run_timeout: Duration,
+    /// Optional fault injection.
+    pub kill: Option<KillSpec>,
+}
+
+impl LaunchSpec {
+    /// A spec with default timeouts (30 s rendezvous, 5 min run).
+    pub fn new(command: Vec<String>, node_images: Vec<Vec<usize>>) -> Self {
+        Self {
+            command,
+            node_images,
+            transport: Transport::from_env(),
+            rendezvous_timeout: Duration::from_secs(30),
+            run_timeout: Duration::from_secs(300),
+            kill: None,
+        }
+    }
+}
+
+/// A completed fleet's per-image results, sorted by 0-based image rank.
+#[derive(Clone, Debug)]
+pub struct FleetOutcome {
+    /// `(image rank, result)` pairs, ascending by rank.
+    pub results: Vec<(u32, u64)>,
+}
+
+/// Why a launch failed.
+#[derive(Debug)]
+pub enum LaunchError {
+    /// Socket plumbing failed (bind, accept, frame I/O).
+    Io(std::io::Error),
+    /// The fleet itself failed: a child died, hung, or misbehaved. The
+    /// message names the node rank and its 1-based images where possible.
+    Fleet(String),
+}
+
+impl std::fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaunchError::Io(e) => write!(f, "launcher I/O error: {e}"),
+            LaunchError::Fleet(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+impl From<std::io::Error> for LaunchError {
+    fn from(e: std::io::Error) -> Self {
+        LaunchError::Io(e)
+    }
+}
+
+/// Poll period of the supervision loop.
+const POLL: Duration = Duration::from_millis(50);
+
+/// Kills and reaps every still-running child on drop, so no error path —
+/// including a panic inside the launcher — leaks orphan processes.
+struct Fleet {
+    children: Vec<Child>,
+}
+
+impl Fleet {
+    fn spawn(spec: &LaunchSpec, coord: &Addr) -> std::io::Result<Fleet> {
+        let n = spec.node_images.len();
+        let mut children = Vec::with_capacity(n);
+        for rank in 0..n {
+            let child = Command::new(&spec.command[0])
+                .args(&spec.command[1..])
+                .env(ENV_NODE, rank.to_string())
+                .env(ENV_NODES, n.to_string())
+                .env(ENV_COORD, coord.to_string())
+                .stdin(Stdio::null())
+                .spawn()?;
+            children.push(child);
+        }
+        Ok(Fleet { children })
+    }
+
+    /// First child that has exited without being excused, if any.
+    fn check_exits(&mut self, excused: &[bool]) -> Option<(usize, String)> {
+        for (rank, child) in self.children.iter_mut().enumerate() {
+            if excused[rank] {
+                continue;
+            }
+            if let Ok(Some(status)) = child.try_wait() {
+                return Some((rank, format!("{status}")));
+            }
+        }
+        None
+    }
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        for child in &mut self.children {
+            let _ = child.kill();
+        }
+        for child in &mut self.children {
+            let _ = child.wait();
+        }
+    }
+}
+
+fn image_list(images: &[usize]) -> String {
+    images
+        .iter()
+        .map(|i| i.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Spawn, rendezvous, supervise, and reap a fleet. Returns the collected
+/// per-image results, or an error naming the node (and its 1-based images)
+/// that died or hung. All children are killed and reaped before an error
+/// returns — a broken fleet never outlives the call.
+pub fn launch(spec: &LaunchSpec) -> Result<FleetOutcome, LaunchError> {
+    let n = spec.node_images.len();
+    assert!(n > 0, "empty fleet");
+    assert!(
+        !spec.command.is_empty(),
+        "launch spec needs a child command"
+    );
+    let listener = Listener::bind(spec.transport)?;
+    let coord_addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let mut fleet = Fleet::spawn(spec, &coord_addr)?;
+
+    let dead_report = |rank: usize, how: &str| {
+        LaunchError::Fleet(format!(
+            "node {rank} (images {}) {how}",
+            image_list(&spec.node_images[rank])
+        ))
+    };
+
+    // Rendezvous: collect one Hello per rank, then broadcast Peers.
+    let mut readers: Vec<Option<BufReader<Stream>>> = (0..n).map(|_| None).collect();
+    let mut writers: Vec<Option<Stream>> = (0..n).map(|_| None).collect();
+    let mut addrs = vec![String::new(); n];
+    let deadline = Instant::now() + spec.rendezvous_timeout;
+    let mut joined = 0;
+    let no_excuses = vec![false; n];
+    while joined < n {
+        if let Some((rank, status)) = fleet.check_exits(&no_excuses) {
+            return Err(dead_report(
+                rank,
+                &format!("exited during rendezvous ({status})"),
+            ));
+        }
+        if Instant::now() > deadline {
+            return Err(LaunchError::Fleet(format!(
+                "rendezvous timed out after {:?}: {joined}/{n} processes joined",
+                spec.rendezvous_timeout
+            )));
+        }
+        match listener.accept() {
+            Ok(stream) => {
+                stream.set_read_timeout(Some(spec.rendezvous_timeout))?;
+                let writer = stream.try_clone()?;
+                let mut reader = BufReader::new(stream);
+                let (frame, _) = read_frame(&mut reader)?;
+                match frame {
+                    Frame::Hello { node, addr, magic } => {
+                        if magic != WIRE_MAGIC {
+                            return Err(LaunchError::Fleet(format!(
+                                "node {node} speaks a different wire-protocol version"
+                            )));
+                        }
+                        let rank = node as usize;
+                        if rank >= n || readers[rank].is_some() {
+                            return Err(LaunchError::Fleet(format!(
+                                "bogus or duplicate Hello from node {node}"
+                            )));
+                        }
+                        addrs[rank] = addr;
+                        readers[rank] = Some(reader);
+                        writers[rank] = Some(writer);
+                        joined += 1;
+                    }
+                    other => {
+                        return Err(LaunchError::Fleet(format!(
+                            "expected Hello during rendezvous, got {other:?}"
+                        )))
+                    }
+                }
+            }
+            Err(e) if is_timeout(&e) => std::thread::sleep(Duration::from_millis(5)),
+            Err(e) => return Err(e.into()),
+        }
+    }
+    for w in writers.iter_mut().flatten() {
+        write_frame(
+            w,
+            &Frame::Peers {
+                addrs: addrs.clone(),
+            },
+        )?;
+    }
+
+    // Supervision: collect Done from every rank; enforce the run timeout;
+    // run the optional kill schedule; treat an early exit or EOF-without-
+    // Done as a death.
+    let mut readers: Vec<BufReader<Stream>> = readers.into_iter().map(Option::unwrap).collect();
+    for r in &mut readers {
+        r.get_ref().set_read_timeout(Some(POLL))?;
+    }
+    let mut done: Vec<Option<Vec<(u32, u64)>>> = (0..n).map(|_| None).collect();
+    let run_deadline = Instant::now() + spec.run_timeout;
+    let mut kill_at = spec.kill.map(|k| (k.rank, Instant::now() + k.after));
+    loop {
+        if done.iter().all(Option::is_some) {
+            break;
+        }
+        if let Some((rank, at)) = kill_at {
+            if Instant::now() >= at {
+                let _ = fleet.children[rank].kill();
+                kill_at = None;
+            }
+        }
+        if Instant::now() > run_deadline {
+            let missing: Vec<String> = (0..n)
+                .filter(|r| done[*r].is_none())
+                .map(|r| format!("node {r} (images {})", image_list(&spec.node_images[r])))
+                .collect();
+            return Err(LaunchError::Fleet(format!(
+                "fleet hung: no results from {} within {:?}",
+                missing.join(", "),
+                spec.run_timeout
+            )));
+        }
+        // A rank that reported Done may exit whenever it likes.
+        let excused: Vec<bool> = done.iter().map(Option::is_some).collect();
+        if let Some((rank, status)) = fleet.check_exits(&excused) {
+            return Err(dead_report(
+                rank,
+                &format!("died before reporting results ({status})"),
+            ));
+        }
+        for rank in 0..n {
+            if done[rank].is_some() {
+                continue;
+            }
+            match read_frame(&mut readers[rank]) {
+                Ok((Frame::Done { node, results }, _)) => {
+                    if node as usize != rank {
+                        return Err(LaunchError::Fleet(format!(
+                            "node {node} reported on node {rank}'s connection"
+                        )));
+                    }
+                    done[rank] = Some(results);
+                }
+                Ok((Frame::Abort { msg }, _)) => {
+                    return Err(LaunchError::Fleet(format!("node {rank} aborted: {msg}")));
+                }
+                Ok((other, _)) => {
+                    return Err(LaunchError::Fleet(format!(
+                        "unexpected control frame from node {rank}: {other:?}"
+                    )));
+                }
+                Err(e) if is_timeout(&e) => {}
+                Err(_) => {
+                    // Coordinator connection closed without Done: give the
+                    // exit-status check above one more cycle to attribute
+                    // it, then report the death directly.
+                    std::thread::sleep(Duration::from_millis(20));
+                    let _ = fleet.children[rank].try_wait();
+                    return Err(dead_report(rank, "died before reporting results"));
+                }
+            }
+        }
+    }
+
+    // Orderly exit: children leave on their own after Done.
+    let exit_deadline = Instant::now() + Duration::from_secs(10);
+    for (rank, child) in fleet.children.iter_mut().enumerate() {
+        loop {
+            match child.try_wait() {
+                Ok(Some(status)) => {
+                    if !status.success() {
+                        return Err(dead_report(
+                            rank,
+                            &format!("reported results but exited badly ({status})"),
+                        ));
+                    }
+                    break;
+                }
+                Ok(None) if Instant::now() > exit_deadline => {
+                    return Err(dead_report(rank, "reported results but never exited"));
+                }
+                Ok(None) => std::thread::sleep(Duration::from_millis(10)),
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    let mut results: Vec<(u32, u64)> = done.into_iter().flatten().flatten().collect();
+    results.sort_unstable_by_key(|(img, _)| *img);
+    Ok(FleetOutcome { results })
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn child_env_roundtrip() {
+        std::env::set_var(ENV_NODE, "2");
+        std::env::set_var(ENV_NODES, "4");
+        std::env::set_var(ENV_COORD, "uds:/tmp/caf-test-coord.sock");
+        let env = ChildEnv::detect().expect("detect");
+        assert_eq!(env.node, 2);
+        assert_eq!(env.nodes, 4);
+        assert_eq!(env.coord, Addr::Uds("/tmp/caf-test-coord.sock".into()));
+        std::env::remove_var(ENV_NODE);
+        std::env::remove_var(ENV_NODES);
+        std::env::remove_var(ENV_COORD);
+        assert!(ChildEnv::detect().is_none());
+    }
+
+    #[test]
+    fn dead_child_is_reported_with_its_images() {
+        // A "fleet" of one /bin/false: exits immediately, never says Hello.
+        let spec = LaunchSpec {
+            rendezvous_timeout: Duration::from_secs(10),
+            ..LaunchSpec::new(vec!["/bin/false".into()], vec![vec![1, 2, 3, 4]])
+        };
+        let err = launch(&spec).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("node 0") && msg.contains("images 1,2,3,4"),
+            "report must name the node and images: {msg}"
+        );
+    }
+
+    #[test]
+    fn image_list_formats_ranks() {
+        assert_eq!(image_list(&[5, 6, 7, 8]), "5,6,7,8");
+        assert_eq!(image_list(&[]), "");
+    }
+}

@@ -1,0 +1,238 @@
+//! `caf-launch`: spawn a multi-process SocketFabric fleet and supervise it.
+//!
+//! ```text
+//! caf-launch demo --nodes 2 --cores 4 --images 8 [--iters 50]
+//!                 [--kill-node R --kill-after-ms T] [--tcp]
+//!                 [--peer-timeout-ms T] [--run-timeout-ms T]
+//! ```
+//!
+//! `demo` re-executes this same binary once per occupied node (hidden
+//! `demo-child` mode); each child joins the fleet over real sockets, runs a
+//! barrier + `co_sum` loop through the full runtime stack, and reports a
+//! per-image digest back over the coordinator connection. `--kill-node`
+//! turns the demo into a fault drill: the launcher kills that child
+//! mid-run and must report its 1-based image ranks instead of hanging.
+
+use caf_fabric::socket::{SocketConfig, SocketFabric};
+use caf_launch::{launch, ChildEnv, KillSpec, LaunchSpec, Transport};
+use caf_runtime::{run_hosted, CollectiveConfig};
+use caf_topology::{presets, ImageMap, NodeId, Placement};
+use std::process::ExitCode;
+use std::time::Duration;
+
+#[derive(Clone, Debug)]
+struct DemoArgs {
+    nodes: usize,
+    cores: usize,
+    images: usize,
+    iters: usize,
+    kill_node: Option<usize>,
+    kill_after_ms: u64,
+    tcp: bool,
+    peer_timeout_ms: Option<u64>,
+    run_timeout_ms: u64,
+}
+
+impl Default for DemoArgs {
+    fn default() -> Self {
+        Self {
+            nodes: 2,
+            cores: 4,
+            images: 8,
+            iters: 50,
+            kill_node: None,
+            kill_after_ms: 200,
+            tcp: false,
+            peer_timeout_ms: None,
+            run_timeout_ms: 60_000,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: caf-launch demo --nodes N --cores C --images I [--iters K]\n\
+         \x20                [--kill-node R --kill-after-ms T] [--tcp]\n\
+         \x20                [--peer-timeout-ms T] [--run-timeout-ms T]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_demo(args: &[String]) -> DemoArgs {
+    let mut out = DemoArgs::default();
+    let mut it = args.iter();
+    let next_val = |it: &mut std::slice::Iter<String>, flag: &str| -> String {
+        it.next()
+            .unwrap_or_else(|| {
+                eprintln!("caf-launch: {flag} needs a value");
+                usage()
+            })
+            .clone()
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--nodes" => out.nodes = next_val(&mut it, a).parse().unwrap_or_else(|_| usage()),
+            "--cores" => out.cores = next_val(&mut it, a).parse().unwrap_or_else(|_| usage()),
+            "--images" => out.images = next_val(&mut it, a).parse().unwrap_or_else(|_| usage()),
+            "--iters" => out.iters = next_val(&mut it, a).parse().unwrap_or_else(|_| usage()),
+            "--kill-node" => {
+                out.kill_node = Some(next_val(&mut it, a).parse().unwrap_or_else(|_| usage()))
+            }
+            "--kill-after-ms" => {
+                out.kill_after_ms = next_val(&mut it, a).parse().unwrap_or_else(|_| usage())
+            }
+            "--tcp" => out.tcp = true,
+            "--peer-timeout-ms" => {
+                out.peer_timeout_ms = Some(next_val(&mut it, a).parse().unwrap_or_else(|_| usage()))
+            }
+            "--run-timeout-ms" => {
+                out.run_timeout_ms = next_val(&mut it, a).parse().unwrap_or_else(|_| usage())
+            }
+            _ => {
+                eprintln!("caf-launch: unknown flag {a}");
+                usage()
+            }
+        }
+    }
+    out
+}
+
+fn demo_map(args: &DemoArgs) -> ImageMap {
+    ImageMap::new(
+        presets::mini(args.nodes, args.cores),
+        args.images,
+        &Placement::Packed,
+    )
+}
+
+/// Occupied nodes and their 1-based image numbers, in node order. Only
+/// occupied nodes get a process, so "node rank" below is an index into
+/// this list, not a raw machine NodeId.
+fn occupied_images(map: &ImageMap) -> Vec<Vec<usize>> {
+    (0..map.machine().nodes)
+        .map(NodeId)
+        .filter(|n| !map.images_on_node(*n).is_empty())
+        .map(|n| {
+            map.images_on_node(n)
+                .iter()
+                .map(|p| p.index() + 1)
+                .collect()
+        })
+        .collect()
+}
+
+fn demo_parent(args: &DemoArgs, raw: &[String]) -> ExitCode {
+    let map = demo_map(args);
+    let node_images = occupied_images(&map);
+    if args.tcp {
+        // Children inherit the environment, so one knob steers both the
+        // coordinator transport and every data-plane socket.
+        std::env::set_var("CAF_SOCKET_TCP", "1");
+    }
+    if let Some(ms) = args.peer_timeout_ms {
+        std::env::set_var("CAF_SOCKET_PEER_TIMEOUT_MS", ms.to_string());
+    }
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("caf-launch: cannot find own executable: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut command = vec![exe.to_string_lossy().into_owned(), "demo-child".into()];
+    command.extend(raw.iter().cloned());
+    let mut spec = LaunchSpec::new(command, node_images);
+    spec.transport = Transport::from_env();
+    spec.run_timeout = Duration::from_millis(args.run_timeout_ms);
+    spec.kill = args.kill_node.map(|rank| KillSpec {
+        rank,
+        after: Duration::from_millis(args.kill_after_ms),
+    });
+    match launch(&spec) {
+        Ok(outcome) => {
+            for (img, digest) in &outcome.results {
+                println!("image {:>3}: digest {digest:#018x}", img + 1);
+            }
+            println!(
+                "caf-launch: fleet complete ({} images across {} processes)",
+                outcome.results.len(),
+                spec.node_images.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("caf-launch: fleet failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn demo_child(args: &DemoArgs) -> ExitCode {
+    let env = match ChildEnv::detect() {
+        Some(env) => env,
+        None => {
+            eprintln!("caf-launch demo-child: not running under caf-launch");
+            return ExitCode::FAILURE;
+        }
+    };
+    let map = demo_map(args);
+    let mut cfg = SocketConfig::from_env();
+    if let Some(ms) = args.peer_timeout_ms {
+        cfg.peer_timeout = Duration::from_millis(ms);
+        cfg.heartbeat_period = Duration::from_millis((ms / 4).max(10));
+    }
+    let (fabric, mut coord) = match SocketFabric::join(map, env.node, &env.coord, cfg) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("caf-launch demo-child node {}: join failed: {e}", env.node);
+            return ExitCode::FAILURE;
+        }
+    };
+    let hosted = fabric.hosted().to_vec();
+    let iters = args.iters;
+    let results = run_hosted(
+        fabric.clone(),
+        &hosted,
+        CollectiveConfig::two_level(),
+        move |img| {
+            let me = img.this_image() as u64;
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for _ in 0..iters {
+                let mut v = [me];
+                img.co_sum(&mut v);
+                h ^= v[0];
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+                img.sync_all();
+            }
+            h
+        },
+    );
+    let report: Vec<(u32, u64)> = results
+        .iter()
+        .map(|(p, digest)| (p.index() as u32, *digest))
+        .collect();
+    if let Err(e) = coord.send_done(&report) {
+        eprintln!(
+            "caf-launch demo-child node {}: report failed: {e}",
+            env.node
+        );
+        return ExitCode::FAILURE;
+    }
+    fabric.shutdown();
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("demo") => {
+            let args = parse_demo(&argv[1..]);
+            demo_parent(&args, &argv[1..])
+        }
+        Some("demo-child") => {
+            let args = parse_demo(&argv[1..]);
+            demo_child(&args)
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,129 @@
+//! End-to-end launcher tests: a real multi-process fleet over real sockets,
+//! including the fault drill the issue demands — kill one child
+//! mid-collective and the launcher must report the dead image ranks within
+//! the timeout instead of hanging.
+
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_caf-launch");
+
+#[test]
+fn clean_demo_fleet_completes() {
+    let out = Command::new(BIN)
+        .args([
+            "demo", "--nodes", "2", "--cores", "2", "--images", "4", "--iters", "5",
+        ])
+        .output()
+        .expect("run caf-launch");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "clean fleet should exit 0\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(
+        stdout.contains("fleet complete (4 images across 2 processes)"),
+        "expected completion banner, got:\n{stdout}"
+    );
+    // Collective results are deterministic, so every image digests the same
+    // value stream: 4 identical digest lines.
+    let digests: Vec<&str> = stdout
+        .lines()
+        .filter(|l| l.contains("digest"))
+        .map(|l| l.split("digest").nth(1).unwrap().trim())
+        .collect();
+    assert_eq!(digests.len(), 4, "one digest per image:\n{stdout}");
+    assert!(
+        digests.windows(2).all(|w| w[0] == w[1]),
+        "co_sum digests must agree across images:\n{stdout}"
+    );
+}
+
+#[test]
+fn killed_node_is_reported_by_image_rank_within_timeout() {
+    let t0 = Instant::now();
+    let out = Command::new(BIN)
+        .args([
+            "demo",
+            "--nodes",
+            "2",
+            "--cores",
+            "4",
+            "--images",
+            "8",
+            "--iters",
+            "200000",
+            "--kill-node",
+            "1",
+            "--kill-after-ms",
+            "150",
+            "--peer-timeout-ms",
+            "500",
+            "--run-timeout-ms",
+            "30000",
+        ])
+        .output()
+        .expect("run caf-launch");
+    let elapsed = t0.elapsed();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !out.status.success(),
+        "a fleet with a killed member must fail\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    // The launcher names the dead node and its 1-based images (packed
+    // placement: node 1 hosts images 5..8).
+    assert!(
+        stderr.contains("node 1") && stderr.contains("images 5,6,7,8"),
+        "launcher must report the dead node's image ranks, got:\n{stderr}"
+    );
+    // Bounded detection: no hang. The kill fires at 150 ms and peer
+    // timeout is 500 ms; 20 s leaves slack for slow CI but catches hangs.
+    assert!(
+        elapsed < Duration::from_secs(20),
+        "death must be detected within the timeout, took {elapsed:?}"
+    );
+}
+
+#[test]
+fn survivors_name_the_dead_peer_in_their_own_report() {
+    // Same drill, but check the *survivors'* poison path too: images on the
+    // living node fail loudly naming the dead peer process rather than
+    // exiting silently.
+    let out = Command::new(BIN)
+        .args([
+            "demo",
+            "--nodes",
+            "2",
+            "--cores",
+            "2",
+            "--images",
+            "4",
+            "--iters",
+            "200000",
+            "--kill-node",
+            "0",
+            "--kill-after-ms",
+            "150",
+            "--peer-timeout-ms",
+            "500",
+            "--run-timeout-ms",
+            "30000",
+        ])
+        .output()
+        .expect("run caf-launch");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success(), "fleet must fail\nstdout:\n{stdout}");
+    assert!(
+        stderr.contains("node 0") && stderr.contains("images 1,2"),
+        "launcher must name node 0's images, got:\n{stderr}"
+    );
+    // Child stderr is inherited, so the survivor's poison report (naming
+    // the dead peer process) should be visible in the combined output.
+    assert!(
+        stderr.contains("peer process 0") || stderr.contains("died before reporting"),
+        "survivors should name the dead peer, got:\n{stderr}"
+    );
+}

@@ -75,18 +75,41 @@ where
     R: Send + 'static,
     B: Fn(&mut ImageCtx) -> R + Send + Sync + 'static,
 {
-    let n = fabric.n_images();
+    let all: Vec<ProcId> = (0..fabric.n_images()).map(ProcId).collect();
+    run_hosted(fabric, &all, collectives, body)
+        .into_iter()
+        .map(|(_, r)| r)
+        .collect()
+}
+
+/// Like [`run_on_fabric`], but spawning threads only for `hosted` — the
+/// subset of images this process is responsible for. This is the entry
+/// point for multi-process backends (`SocketFabric` fleets launched by
+/// `caf-launch`): every process calls `run_hosted` with its own node's
+/// images and the fabric carries the rest of the team over the wire.
+/// Returns `(image rank, result)` pairs in `hosted` order (ranks 0-based,
+/// matching `ProcId`).
+pub fn run_hosted<R, B>(
+    fabric: ArcFabric,
+    hosted: &[ProcId],
+    collectives: CollectiveConfig,
+    body: B,
+) -> Vec<(ProcId, R)>
+where
+    R: Send + 'static,
+    B: Fn(&mut ImageCtx) -> R + Send + Sync + 'static,
+{
     let body = Arc::new(body);
-    let mut handles = Vec::with_capacity(n);
-    for i in 0..n {
+    let mut handles = Vec::with_capacity(hosted.len());
+    for &p in hosted {
         let fabric = fabric.clone();
         let body = Arc::clone(&body);
         let handle = std::thread::Builder::new()
-            .name(format!("image-{}", i + 1))
+            .name(format!("image-{}", p.index() + 1))
             .stack_size(4 * 1024 * 1024)
             .spawn(move || {
                 let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    let mut ctx = ImageCtx::new(fabric.clone(), ProcId(i), collectives);
+                    let mut ctx = ImageCtx::new(fabric.clone(), p, collectives);
                     let out = body(&mut ctx);
                     ctx.finalize();
                     out
@@ -95,19 +118,19 @@ where
                     Ok(out) => out,
                     Err(payload) => {
                         // Fail the whole team loudly instead of hanging peers.
-                        fabric.poison(&format!("image {} panicked", i + 1));
+                        fabric.poison(&format!("image {} panicked", p.index() + 1));
                         std::panic::resume_unwind(payload);
                     }
                 }
             })
             .expect("spawn image thread");
-        handles.push(handle);
+        handles.push((p, handle));
     }
-    let mut results = Vec::with_capacity(n);
+    let mut results = Vec::with_capacity(hosted.len());
     let mut first_panic: Option<String> = None;
-    for (i, h) in handles.into_iter().enumerate() {
+    for (p, h) in handles {
         match h.join() {
-            Ok(r) => results.push(r),
+            Ok(r) => results.push((p, r)),
             Err(payload) => {
                 let msg = payload
                     .downcast_ref::<String>()
@@ -115,7 +138,7 @@ where
                     .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
                     .unwrap_or_else(|| "non-string panic payload".to_string());
                 if first_panic.is_none() {
-                    first_panic = Some(format!("image {} panicked: {msg}", i + 1));
+                    first_panic = Some(format!("image {} panicked: {msg}", p.index() + 1));
                 }
             }
         }

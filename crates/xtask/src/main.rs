@@ -1,13 +1,15 @@
 //! `cargo xtask` — repo automation.
 //!
-//! `cargo xtask check [--quick|--deep] [--seeds N]`
+//! `cargo xtask check [--quick|--deep] [--seeds N] [--socket|--socket-only]`
 //!
 //! builds and runs the `caf-check` differential harness (crates/check):
 //! the conformance program across the fabric × algorithm × chaos-seed
 //! matrix. `--quick` is the CI sweep (a few hundred seeded runs, well
-//! under a minute); `--deep` is the scheduled/manual sweep. Any extra
-//! flags are passed through to the `caf-check` binary, and
-//! `CAF_CHECK_SEED=<seed>` replays a single reported seed.
+//! under a minute); `--deep` is the scheduled/manual sweep; `--socket`
+//! adds the third backend column (real multi-process `SocketFabric`
+//! fleets diffed against the sim oracle) and `--socket-only` runs just
+//! that column. Any extra flags are passed through to the `caf-check`
+//! binary, and `CAF_CHECK_SEED=<seed>` replays a single reported seed.
 //!
 //! `cargo xtask bench-diff <baseline.json> <new.json> [--tolerance PCT]`
 //!
@@ -136,7 +138,7 @@ fn check(passthrough: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: cargo xtask check [--quick|--deep] [--seeds N]\n       \
+    "usage: cargo xtask check [--quick|--deep] [--seeds N] [--socket|--socket-only]\n       \
      cargo xtask bench-diff <baseline.json> <new.json> [--tolerance PCT]"
         .into()
 }
