@@ -53,6 +53,9 @@ pub use caf_trace::Tracer;
 pub use chaos::ChaosConfig;
 pub use seg::{FlagId, SegmentId};
 pub use sim::{SimConfig, SimFabric};
+pub use socket::obs::{
+    HeartbeatSnapshot, HistSnapshot, NodeTelemetry, ObsSnapshot, PeerWireSnapshot, TelemetryPhase,
+};
 pub use socket::{SocketConfig, SocketFabric};
 pub use spmd::run_spmd;
 pub use stats::{FabricStats, StatsSnapshot};
@@ -119,6 +122,20 @@ pub trait Fabric: Send + Sync + 'static {
     /// the same clock.
     fn tracer(&self) -> &Tracer {
         caf_trace::off_ref()
+    }
+
+    /// This process's observability shipment (counters, wire probes, trace
+    /// window), if the fabric has one. Only fabrics with a real process
+    /// boundary produce telemetry — [`SocketFabric`] overrides this; the
+    /// in-process fabrics return `None` because everything they know is
+    /// already visible to the caller directly.
+    fn process_telemetry(
+        &self,
+        phase: TelemetryPhase,
+        cause: Option<&str>,
+    ) -> Option<NodeTelemetry> {
+        let _ = (phase, cause);
+        None
     }
 
     /// Allocate a zeroed segment of `bytes` bytes **on image `me` only**.

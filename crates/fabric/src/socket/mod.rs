@@ -35,14 +35,18 @@
 //! ranks, plus the tracer's recent-operation window when tracing is on —
 //! a loud failure instead of a silent hang.
 
+pub mod obs;
 pub mod rendezvous;
 pub mod wire;
 
+pub use obs::{
+    HeartbeatSnapshot, HistSnapshot, NodeTelemetry, ObsSnapshot, PeerWireSnapshot, TelemetryPhase,
+};
 pub use rendezvous::CoordClient;
 pub use wire::{Addr, Frame, Listener, Stream, Transport};
 
 use crate::seg::{FlagId, SegmentId, SharedBytes};
-use crate::stats::FabricStats;
+use crate::stats::{FabricStats, StatsSnapshot};
 use crate::{Fabric, PutToken};
 use caf_topology::{CostParams, ImageMap, NodeId, ProcId, SoftwareOverheads};
 use caf_trace::{Event, EventKind, Tracer};
@@ -204,6 +208,12 @@ pub struct SocketFabric {
     /// Liveness per peer process: ns-since-start of the last frame seen.
     last_seen: Vec<CachePadded<AtomicU64>>,
     peer_state: Vec<AtomicU8>,
+    /// Observability probes: per-peer wire counters, put-ack latency
+    /// histogram, heartbeat jitter (see [`obs`]).
+    obs: obs::SocketObs,
+    /// Each peer's counter snapshot from its most recent heartbeat — the
+    /// fleet's last-known picture of a process that stops talking.
+    last_peer_stats: Vec<Mutex<Option<StatsSnapshot>>>,
     /// Ingress connections established so far (fleet bring-up gate).
     ingress_up: AtomicUsize,
     /// Hosted images that called `image_done`.
@@ -309,6 +319,8 @@ impl SocketFabric {
                 .map(|_| CachePadded::new(AtomicU64::new(0)))
                 .collect(),
             peer_state: (0..n_procs).map(|_| AtomicU8::new(PEER_ALIVE)).collect(),
+            obs: obs::SocketObs::new(n_procs, cfg.heartbeat_period.as_nanos() as u64),
+            last_peer_stats: (0..n_procs).map(|_| Mutex::new(None)).collect(),
             ingress_up: AtomicUsize::new(0),
             done_count: AtomicUsize::new(0),
             all_done: AtomicBool::new(false),
@@ -336,6 +348,32 @@ impl SocketFabric {
     /// Images hosted by this process, in rank order.
     pub fn hosted(&self) -> &[ProcId] {
         &self.hosted
+    }
+
+    /// Assemble this process's observability shipment: counters, wire
+    /// probes, and — except for [`TelemetryPhase::Live`] — the full
+    /// retained trace window. `cause` is recorded for flight recorders.
+    pub fn node_telemetry(&self, phase: TelemetryPhase, cause: Option<&str>) -> NodeTelemetry {
+        NodeTelemetry {
+            node: self.node_rank as u32,
+            phase,
+            sent_at_ns: self.wall_now(),
+            cause: cause.unwrap_or_default().to_string(),
+            images: self.hosted.iter().map(|p| p.index() as u32).collect(),
+            stats: self.stats.snapshot(),
+            obs: self.obs.snapshot(),
+            events: if phase == TelemetryPhase::Live {
+                Vec::new()
+            } else {
+                self.cfg.tracer.events()
+            },
+        }
+    }
+
+    /// The counter snapshot `peer` shipped in its most recent heartbeat,
+    /// if any arrived.
+    pub fn last_peer_stats(&self, peer: usize) -> Option<StatsSnapshot> {
+        *self.last_peer_stats[peer].lock()
     }
 
     /// This process's rank among the fleet's occupied nodes.
@@ -420,6 +458,7 @@ impl SocketFabric {
                                         "wire-protocol version mismatch from process {node}"
                                     );
                                     fab.stats.record_wire_rx(n);
+                                    fab.obs.wire_rx(node as usize, n);
                                     break node as usize;
                                 }
                                 Ok((other, _)) => {
@@ -479,6 +518,7 @@ impl SocketFabric {
         if attempts > 0 {
             self.stats.wire_reconnects.fetch_add(1, Ordering::Relaxed);
         }
+        self.obs.dial_result(rank, attempts);
         stream.set_read_timeout(Some(POLL))?;
         stream.set_write_timeout(Some(self.cfg.io_timeout))?;
         let reader_half = BufReader::new(stream.try_clone()?);
@@ -491,6 +531,7 @@ impl SocketFabric {
             },
         )?;
         self.stats.record_wire_tx(n);
+        self.obs.wire_tx(rank, n);
         self.egress[rank]
             .set(Egress {
                 writer: Mutex::new(writer),
@@ -539,6 +580,7 @@ impl SocketFabric {
             let frame = match read_frame(&mut reader) {
                 Ok((f, n)) => {
                     self.stats.record_wire_rx(n);
+                    self.obs.wire_rx(peer, n);
                     self.mark_seen(peer);
                     f
                 }
@@ -623,7 +665,14 @@ impl SocketFabric {
                         false,
                     );
                 }
-                Frame::Heartbeat { .. } => {}
+                Frame::Heartbeat { node: _, stats } => {
+                    // Liveness came from `mark_seen`; keep the sender's
+                    // counter snapshot (a dying process's last heartbeat is
+                    // the fleet's only record of what it was doing) and its
+                    // arrival time for jitter accounting.
+                    self.obs.heartbeat_seen(peer, self.wall_now());
+                    *self.last_peer_stats[peer].lock() = Some(stats);
+                }
                 Frame::Bye { .. } => {
                     self.peer_state[peer].store(PEER_GRACEFUL, Ordering::Release);
                 }
@@ -642,6 +691,7 @@ impl SocketFabric {
             let frame = match read_frame(&mut reader) {
                 Ok((f, n)) => {
                     self.stats.record_wire_rx(n);
+                    self.obs.wire_rx(peer, n);
                     self.mark_seen(peer);
                     f
                 }
@@ -667,6 +717,9 @@ impl SocketFabric {
             if self.stopping() || self.all_done.load(Ordering::Acquire) {
                 return;
             }
+            // One snapshot per beat, shared by every peer's frame: each
+            // peer holds our last-known counters if we die mid-run.
+            let snap = self.stats.snapshot();
             for rank in 0..self.occ.len() {
                 if rank == self.node_rank {
                     continue;
@@ -677,9 +730,11 @@ impl SocketFabric {
                         &mut *w,
                         &Frame::Heartbeat {
                             node: self.node_rank as u32,
+                            stats: snap,
                         },
                     ) {
                         self.stats.record_wire_tx(n);
+                        self.obs.wire_tx(rank, n);
                     }
                 }
                 if self.peer_state[rank].load(Ordering::Acquire) == PEER_ALIVE {
@@ -740,6 +795,17 @@ impl SocketFabric {
             return;
         }
         let mut msg = format!("{} is dead: {cause}", self.peer_desc(peer));
+        // Say what the fleet was doing, not just what this observer saw:
+        // the dead node's own counters from its final heartbeat.
+        match *self.last_peer_stats[peer].lock() {
+            Some(s) => {
+                msg.push_str("\ndead node last-known stats (from its final heartbeat): ");
+                msg.push_str(&s.render_brief());
+            }
+            None => {
+                msg.push_str("\n(no heartbeat stats were received from the dead node)");
+            }
+        }
         if self.cfg.tracer.enabled() {
             msg.push_str("\nrecent operations before the failure:\n");
             msg.push_str(&self.cfg.tracer.render_recent(5));
@@ -846,7 +912,10 @@ impl SocketFabric {
     /// the requester can never complete, so it poisons.
     fn send_response(&self, peer: usize, writer: &mut BufWriter<Stream>, frame: &Frame) {
         match write_frame(writer, frame) {
-            Ok(n) => self.stats.record_wire_tx(n),
+            Ok(n) => {
+                self.stats.record_wire_tx(n);
+                self.obs.wire_tx(peer, n);
+            }
             Err(_) if self.stopping() || self.all_done.load(Ordering::Acquire) => {}
             Err(e) => {
                 self.declare_dead(peer, &format!("response write failed: {e}"));
@@ -866,7 +935,10 @@ impl SocketFabric {
         let mut w = e.writer.lock();
         let queue_ns = q0.elapsed().as_nanos() as u64;
         match write_frame(&mut *w, frame) {
-            Ok(n) => self.stats.record_wire_tx(n),
+            Ok(n) => {
+                self.stats.record_wire_tx(n);
+                self.obs.wire_tx(rank, n);
+            }
             Err(e) => {
                 drop(w);
                 self.declare_dead(rank, &format!("request write failed: {e}"));
@@ -1019,6 +1091,14 @@ impl Fabric for SocketFabric {
         &self.cfg.tracer
     }
 
+    fn process_telemetry(
+        &self,
+        phase: TelemetryPhase,
+        cause: Option<&str>,
+    ) -> Option<NodeTelemetry> {
+        Some(self.node_telemetry(phase, cause))
+    }
+
     fn alloc_segment(&self, me: ProcId, bytes: usize) -> SegmentId {
         let slot = self.slots[me.index()]
             .as_ref()
@@ -1071,6 +1151,8 @@ impl Fabric for SocketFabric {
             Reply::Ack => {}
             _ => panic!("put got a non-ack response"),
         }
+        let service_ns = s0.elapsed().as_nanos() as u64;
+        self.obs.put_ack(service_ns);
         self.trace_remote(
             EventKind::Put,
             me,
@@ -1078,7 +1160,7 @@ impl Fabric for SocketFabric {
             t0,
             bytes.len() as u64,
             queue_ns,
-            s0.elapsed().as_nanos() as u64,
+            service_ns,
         );
     }
 
@@ -1456,8 +1538,8 @@ impl Fabric for SocketFabric {
                         },
                     ) {
                         self.stats.record_wire_tx(n);
+                        self.obs.wire_tx(rank, n);
                     }
-                    let _ = rank;
                 }
             }
         }
@@ -1758,8 +1840,10 @@ mod tests {
                 if me == ProcId(0) {
                     // Kill process 1 after the fleet is definitely running
                     // and while its images are still mid-"collective" (no
-                    // graceful Bye must escape).
-                    std::thread::sleep(Duration::from_millis(50));
+                    // graceful Bye must escape). The delay spans several
+                    // heartbeat periods so the victim's counter snapshots
+                    // reach the survivor before it goes silent.
+                    std::thread::sleep(Duration::from_millis(200));
                     victim.sever();
                 }
                 if me.index() < 2 {
@@ -1785,8 +1869,75 @@ mod tests {
             "failure must name the dead images: {msg}"
         );
         assert!(
+            msg.contains("last-known stats (from its final heartbeat)"),
+            "death report must carry the dead node's own counters: {msg}"
+        );
+        assert!(
             elapsed < Duration::from_secs(5),
             "death detection took {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn telemetry_snapshot_covers_wire_and_roundtrips() {
+        let fabrics = fleet(&map(2, 1, 2), &quick_cfg());
+        let (f0, f1) = (fabrics[0].clone(), fabrics[1].clone());
+        run_fleet(&fabrics, |f, me| {
+            if me == ProcId(0) {
+                f.put(me, ProcId(1), BSEG, 0, &[7u8; 64]);
+                let mut out = [0u8; 8];
+                f.get(me, ProcId(1), BSEG, 0, &mut out);
+            }
+            f.image_done(me);
+        });
+        let t = f0.node_telemetry(TelemetryPhase::Final, None);
+        assert_eq!(t.node, 0);
+        assert_eq!(t.images, vec![0]);
+        assert_eq!(t.obs.peers.len(), 2);
+        let to_peer = t.obs.peers[1];
+        assert!(to_peer.frames_tx >= 3, "Open + Put + Get: {to_peer:?}");
+        assert!(to_peer.frames_rx >= 2, "PutAck + GetResp: {to_peer:?}");
+        assert!(to_peer.bytes_tx > 64, "frame overhead counted: {to_peer:?}");
+        assert_eq!(
+            t.obs.peers[0],
+            PeerWireSnapshot::default(),
+            "own-rank row stays zero"
+        );
+        assert_eq!(t.obs.put_ack.count, 1, "one blocking remote put sampled");
+        assert!(t.obs.put_ack.percentile_ns(50.0) > 0);
+        // The blob survives its wire codec, and the receiving side of the
+        // fleet also saw traffic from process 0.
+        let back = NodeTelemetry::decode(&t.encode()).expect("decode");
+        assert_eq!(back, t);
+        let t1 = f1.node_telemetry(TelemetryPhase::FlightRecorder, Some("drill"));
+        assert_eq!(t1.cause, "drill");
+        assert!(t1.obs.peers[0].frames_rx >= 3, "{:?}", t1.obs.peers[0]);
+    }
+
+    #[test]
+    fn heartbeats_deliver_peer_stats_snapshots() {
+        let cfg = SocketConfig {
+            heartbeat_period: Duration::from_millis(25),
+            ..quick_cfg()
+        };
+        let fabrics = fleet(&map(2, 1, 2), &cfg);
+        let f0 = fabrics[0].clone();
+        run_fleet(&fabrics, |f, me| {
+            if me == ProcId(1) {
+                f.put(me, ProcId(0), BSEG, 0, &[1u8; 16]);
+                // Outlive a few heartbeat periods so snapshots flow.
+                std::thread::sleep(Duration::from_millis(120));
+            }
+            f.image_done(me);
+        });
+        let s = f0.last_peer_stats(1).expect("peer 1 heartbeat stats");
+        assert!(s.puts_inter >= 1, "peer's own put must be in its snapshot");
+        assert!(f0.last_peer_stats(0).is_none(), "no heartbeat to self");
+        let t = f0.node_telemetry(TelemetryPhase::Final, None);
+        assert!(
+            t.obs.heartbeats[1].count >= 1,
+            "heartbeat jitter watch saw arrivals: {:?}",
+            t.obs.heartbeats[1]
         );
     }
 

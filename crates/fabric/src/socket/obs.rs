@@ -1,0 +1,669 @@
+//! Fleet observability probes and the telemetry shipment format.
+//!
+//! The socket fabric is the one backend whose behavior cannot be read from
+//! a single process: wire traffic, ack latencies, and peer liveness are
+//! distributed facts. This module keeps the per-process half of the story:
+//!
+//! * `SocketObs` — cheap relaxed-atomic probes the fabric's hot paths
+//!   feed: per-peer wire frame/byte/retry counters (the per-node-pair
+//!   matrix of `fleet_report.json`), a log2-bucket histogram of blocking
+//!   put-ack service times, and per-peer heartbeat arrival jitter.
+//! * [`NodeTelemetry`] — one process's complete observability snapshot
+//!   (counters, probe snapshot, trace-ring window) with a versioned binary
+//!   codec. Shipped to the `caf-launch` coordinator in a
+//!   [`Frame::Telemetry`](super::wire::Frame::Telemetry) or spilled under
+//!   `CAF_TRACE_DIR`; the supervisor merges the fleet's shipments into one
+//!   timeline and report.
+//!
+//! Everything here is observability-plane: none of it is consulted by the
+//! data path, and all counters are relaxed.
+
+use super::wire::{put_bytes, put_stats, put_u32, put_u64, Cursor};
+use crate::stats::StatsSnapshot;
+use caf_trace::event::EVENT_WORDS;
+use caf_trace::Event;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Version magic leading every encoded [`NodeTelemetry`]; bump on any
+/// incompatible payload-format change (independent of the frame protocol's
+/// `WIRE_MAGIC`).
+pub const TELEMETRY_MAGIC: u32 = 0xCAF0_0B51;
+
+/// Bucket count of [`HistSnapshot`]: bucket `i` holds samples in
+/// `[2^i, 2^(i+1))` ns, with the top bucket absorbing everything larger.
+pub const HIST_BUCKETS: usize = 32;
+
+/// Why a [`NodeTelemetry`] was shipped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TelemetryPhase {
+    /// Periodic in-flight update (counters only; no trace events — cheap
+    /// enough to ship every `CAF_OBS_INTERVAL_MS`).
+    Live = 0,
+    /// Final snapshot after all hosted images completed.
+    Final = 1,
+    /// Flight recorder: the process is going down (peer death, panic) and
+    /// this is what it saw last, trace window included.
+    FlightRecorder = 2,
+}
+
+impl TelemetryPhase {
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(TelemetryPhase::Live),
+            1 => Some(TelemetryPhase::Final),
+            2 => Some(TelemetryPhase::FlightRecorder),
+            _ => None,
+        }
+    }
+
+    /// Short lowercase label (`live` / `final` / `flight-recorder`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            TelemetryPhase::Live => "live",
+            TelemetryPhase::Final => "final",
+            TelemetryPhase::FlightRecorder => "flight-recorder",
+        }
+    }
+}
+
+// ---- atomic probes (fabric-internal) ---------------------------------
+
+struct PeerWire {
+    frames_tx: AtomicU64,
+    bytes_tx: AtomicU64,
+    frames_rx: AtomicU64,
+    bytes_rx: AtomicU64,
+    retries: AtomicU64,
+    reconnects: AtomicU64,
+}
+
+struct HbWatch {
+    /// ns-since-fabric-start of the previous heartbeat arrival (0 = none).
+    last_arrival: AtomicU64,
+    count: AtomicU64,
+    sum_period_ns: AtomicU64,
+    max_abs_dev_ns: AtomicU64,
+}
+
+struct Hist {
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Hist {
+    fn record(&self, ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+        let idx = (63 - ns.max(1).leading_zeros() as usize).min(HIST_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The socket fabric's observability probes: one instance per fabric,
+/// sized for the fleet at `join` time.
+pub(super) struct SocketObs {
+    heartbeat_period_ns: u64,
+    peers: Vec<PeerWire>,
+    hb: Vec<HbWatch>,
+    put_ack: Hist,
+}
+
+impl SocketObs {
+    pub(super) fn new(n_procs: usize, heartbeat_period_ns: u64) -> Self {
+        Self {
+            heartbeat_period_ns,
+            peers: (0..n_procs)
+                .map(|_| PeerWire {
+                    frames_tx: AtomicU64::new(0),
+                    bytes_tx: AtomicU64::new(0),
+                    frames_rx: AtomicU64::new(0),
+                    bytes_rx: AtomicU64::new(0),
+                    retries: AtomicU64::new(0),
+                    reconnects: AtomicU64::new(0),
+                })
+                .collect(),
+            hb: (0..n_procs)
+                .map(|_| HbWatch {
+                    last_arrival: AtomicU64::new(0),
+                    count: AtomicU64::new(0),
+                    sum_period_ns: AtomicU64::new(0),
+                    max_abs_dev_ns: AtomicU64::new(0),
+                })
+                .collect(),
+            put_ack: Hist {
+                count: AtomicU64::new(0),
+                sum_ns: AtomicU64::new(0),
+                max_ns: AtomicU64::new(0),
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            },
+        }
+    }
+
+    #[inline]
+    pub(super) fn wire_tx(&self, peer: usize, bytes: usize) {
+        let p = &self.peers[peer];
+        p.frames_tx.fetch_add(1, Ordering::Relaxed);
+        p.bytes_tx.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(super) fn wire_rx(&self, peer: usize, bytes: usize) {
+        let p = &self.peers[peer];
+        p.frames_rx.fetch_add(1, Ordering::Relaxed);
+        p.bytes_rx.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(super) fn dial_result(&self, peer: usize, retries: u64) {
+        let p = &self.peers[peer];
+        p.retries.fetch_add(retries, Ordering::Relaxed);
+        if retries > 0 {
+            p.reconnects.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub(super) fn put_ack(&self, service_ns: u64) {
+        self.put_ack.record(service_ns);
+    }
+
+    /// A heartbeat from `peer` arrived at `now_ns` (fabric clock). Records
+    /// the inter-arrival period and its deviation from the configured one.
+    pub(super) fn heartbeat_seen(&self, peer: usize, now_ns: u64) {
+        let w = &self.hb[peer];
+        let prev = w.last_arrival.swap(now_ns.max(1), Ordering::Relaxed);
+        if prev == 0 {
+            return;
+        }
+        let period = now_ns.saturating_sub(prev);
+        w.count.fetch_add(1, Ordering::Relaxed);
+        w.sum_period_ns.fetch_add(period, Ordering::Relaxed);
+        let dev = period.abs_diff(self.heartbeat_period_ns);
+        w.max_abs_dev_ns.fetch_max(dev, Ordering::Relaxed);
+    }
+
+    pub(super) fn snapshot(&self) -> ObsSnapshot {
+        ObsSnapshot {
+            heartbeat_period_ns: self.heartbeat_period_ns,
+            peers: self
+                .peers
+                .iter()
+                .map(|p| PeerWireSnapshot {
+                    frames_tx: p.frames_tx.load(Ordering::Relaxed),
+                    bytes_tx: p.bytes_tx.load(Ordering::Relaxed),
+                    frames_rx: p.frames_rx.load(Ordering::Relaxed),
+                    bytes_rx: p.bytes_rx.load(Ordering::Relaxed),
+                    retries: p.retries.load(Ordering::Relaxed),
+                    reconnects: p.reconnects.load(Ordering::Relaxed),
+                })
+                .collect(),
+            heartbeats: self
+                .hb
+                .iter()
+                .map(|w| HeartbeatSnapshot {
+                    count: w.count.load(Ordering::Relaxed),
+                    sum_period_ns: w.sum_period_ns.load(Ordering::Relaxed),
+                    max_abs_dev_ns: w.max_abs_dev_ns.load(Ordering::Relaxed),
+                })
+                .collect(),
+            put_ack: HistSnapshot {
+                count: self.put_ack.count.load(Ordering::Relaxed),
+                sum_ns: self.put_ack.sum_ns.load(Ordering::Relaxed),
+                max_ns: self.put_ack.max_ns.load(Ordering::Relaxed),
+                buckets: std::array::from_fn(|i| self.put_ack.buckets[i].load(Ordering::Relaxed)),
+            },
+        }
+    }
+}
+
+// ---- plain-data snapshots --------------------------------------------
+
+/// Wire traffic between this process and one peer process.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PeerWireSnapshot {
+    /// Frames written to this peer.
+    pub frames_tx: u64,
+    /// Bytes written to this peer, including frame headers.
+    pub bytes_tx: u64,
+    /// Frames read from this peer.
+    pub frames_rx: u64,
+    /// Bytes read from this peer, including frame headers.
+    pub bytes_rx: u64,
+    /// Failed connect attempts to this peer that were retried.
+    pub retries: u64,
+    /// Whether connecting to this peer needed at least one retry (0/1,
+    /// counted per established connection).
+    pub reconnects: u64,
+}
+
+/// Heartbeat arrival statistics for one peer, as observed locally.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HeartbeatSnapshot {
+    /// Inter-arrival periods observed (arrivals minus one).
+    pub count: u64,
+    /// Sum of observed inter-arrival periods (ns); mean = sum / count.
+    pub sum_period_ns: u64,
+    /// Largest absolute deviation of an observed period from the
+    /// configured heartbeat period (ns) — the jitter headline.
+    pub max_abs_dev_ns: u64,
+}
+
+impl HeartbeatSnapshot {
+    /// Mean observed inter-arrival period (ns), 0 when nothing arrived.
+    pub fn mean_period_ns(&self) -> u64 {
+        self.sum_period_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// A log2-bucket latency histogram (bucket `i` covers `[2^i, 2^(i+1))` ns).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples (ns).
+    pub sum_ns: u64,
+    /// Largest sample (ns).
+    pub max_ns: u64,
+    /// Per-bucket sample counts.
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+}
+
+impl HistSnapshot {
+    /// Mean sample (ns), 0 on an empty histogram.
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Nearest-rank percentile, resolved to the upper bound of the bucket
+    /// holding the ⌈p/100·n⌉-th sample (histograms trade exactness for a
+    /// fixed footprint). 0 on an empty histogram.
+    pub fn percentile_ns(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0 * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        self.max_ns
+    }
+}
+
+/// Snapshot of every `SocketObs` probe, indexed by peer process rank
+/// (entries at this process's own rank stay zero).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ObsSnapshot {
+    /// The configured heartbeat period (ns) jitter is measured against.
+    pub heartbeat_period_ns: u64,
+    /// Per-peer wire traffic.
+    pub peers: Vec<PeerWireSnapshot>,
+    /// Per-peer heartbeat arrival statistics.
+    pub heartbeats: Vec<HeartbeatSnapshot>,
+    /// Blocking put-ack service-time histogram (send → ack, all peers).
+    pub put_ack: HistSnapshot,
+}
+
+// ---- the shipment ----------------------------------------------------
+
+/// One process's complete observability snapshot: what it was doing
+/// ([`StatsSnapshot`]), what its wires saw ([`ObsSnapshot`]), and — for
+/// final/flight-recorder shipments — its retained trace-ring window.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeTelemetry {
+    /// Sender's process (node) rank.
+    pub node: u32,
+    /// Why this was shipped.
+    pub phase: TelemetryPhase,
+    /// Send instant on the sender's fabric clock (ns since fabric start);
+    /// receivers subtract it from their own receive instant to align the
+    /// sender's clock (minimum over many shipments ≈ one-way delay).
+    pub sent_at_ns: u64,
+    /// Failure cause for [`TelemetryPhase::FlightRecorder`], else empty.
+    pub cause: String,
+    /// Global 0-based ranks of the images this process hosts.
+    pub images: Vec<u32>,
+    /// Fabric-wide operation counters at send time.
+    pub stats: StatsSnapshot,
+    /// Wire/latency/heartbeat probe snapshot.
+    pub obs: ObsSnapshot,
+    /// Retained trace events (empty for [`TelemetryPhase::Live`] and for
+    /// capture-disabled builds).
+    pub events: Vec<Event>,
+}
+
+impl NodeTelemetry {
+    /// Encode to the versioned binary payload carried by
+    /// [`Frame::Telemetry`](super::wire::Frame::Telemetry) and
+    /// `CAF_TRACE_DIR` spill files.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(512 + self.events.len() * EVENT_WORDS * 8);
+        put_u32(&mut b, TELEMETRY_MAGIC);
+        b.push(self.phase as u8);
+        put_u32(&mut b, self.node);
+        put_u64(&mut b, self.sent_at_ns);
+        put_bytes(&mut b, self.cause.as_bytes());
+        put_u32(&mut b, self.images.len() as u32);
+        for img in &self.images {
+            put_u32(&mut b, *img);
+        }
+        put_stats(&mut b, &self.stats);
+        put_u64(&mut b, self.obs.heartbeat_period_ns);
+        put_u32(&mut b, self.obs.peers.len() as u32);
+        for p in &self.obs.peers {
+            for w in [
+                p.frames_tx,
+                p.bytes_tx,
+                p.frames_rx,
+                p.bytes_rx,
+                p.retries,
+                p.reconnects,
+            ] {
+                put_u64(&mut b, w);
+            }
+        }
+        put_u32(&mut b, self.obs.heartbeats.len() as u32);
+        for h in &self.obs.heartbeats {
+            put_u64(&mut b, h.count);
+            put_u64(&mut b, h.sum_period_ns);
+            put_u64(&mut b, h.max_abs_dev_ns);
+        }
+        put_u64(&mut b, self.obs.put_ack.count);
+        put_u64(&mut b, self.obs.put_ack.sum_ns);
+        put_u64(&mut b, self.obs.put_ack.max_ns);
+        for bucket in self.obs.put_ack.buckets {
+            put_u64(&mut b, bucket);
+        }
+        put_u32(&mut b, self.events.len() as u32);
+        for ev in &self.events {
+            for w in ev.encode() {
+                put_u64(&mut b, w);
+            }
+        }
+        b
+    }
+
+    /// Decode a payload produced by [`NodeTelemetry::encode`]. Rejects
+    /// version mismatches and truncated or oversized payloads.
+    pub fn decode(payload: &[u8]) -> io::Result<NodeTelemetry> {
+        let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
+        let mut c = Cursor::new(payload);
+        if c.u32()? != TELEMETRY_MAGIC {
+            return Err(bad("telemetry payload version mismatch"));
+        }
+        let phase =
+            TelemetryPhase::from_u8(c.take(1)?[0]).ok_or_else(|| bad("unknown telemetry phase"))?;
+        let node = c.u32()?;
+        let sent_at_ns = c.u64()?;
+        let cause = c.string()?;
+        let n_images = c.u32()? as usize;
+        if n_images > 1 << 20 {
+            return Err(bad("absurd image count in telemetry"));
+        }
+        let mut images = Vec::with_capacity(n_images);
+        for _ in 0..n_images {
+            images.push(c.u32()?);
+        }
+        let stats = c.stats()?;
+        let heartbeat_period_ns = c.u64()?;
+        let n_peers = c.u32()? as usize;
+        if n_peers > 1 << 16 {
+            return Err(bad("absurd peer count in telemetry"));
+        }
+        let mut peers = Vec::with_capacity(n_peers);
+        for _ in 0..n_peers {
+            peers.push(PeerWireSnapshot {
+                frames_tx: c.u64()?,
+                bytes_tx: c.u64()?,
+                frames_rx: c.u64()?,
+                bytes_rx: c.u64()?,
+                retries: c.u64()?,
+                reconnects: c.u64()?,
+            });
+        }
+        let n_hb = c.u32()? as usize;
+        if n_hb > 1 << 16 {
+            return Err(bad("absurd heartbeat-watch count in telemetry"));
+        }
+        let mut heartbeats = Vec::with_capacity(n_hb);
+        for _ in 0..n_hb {
+            heartbeats.push(HeartbeatSnapshot {
+                count: c.u64()?,
+                sum_period_ns: c.u64()?,
+                max_abs_dev_ns: c.u64()?,
+            });
+        }
+        let put_ack = HistSnapshot {
+            count: c.u64()?,
+            sum_ns: c.u64()?,
+            max_ns: c.u64()?,
+            buckets: {
+                let mut buckets = [0u64; HIST_BUCKETS];
+                for b in &mut buckets {
+                    *b = c.u64()?;
+                }
+                buckets
+            },
+        };
+        let n_events = c.u32()? as usize;
+        if n_events > 1 << 24 {
+            return Err(bad("absurd event count in telemetry"));
+        }
+        let mut events = Vec::with_capacity(n_events);
+        for _ in 0..n_events {
+            let mut w = [0u64; EVENT_WORDS];
+            for slot in &mut w {
+                *slot = c.u64()?;
+            }
+            events.push(Event::decode(&w).ok_or_else(|| bad("bad event in telemetry"))?);
+        }
+        if !c.done() {
+            return Err(bad("trailing bytes in telemetry payload"));
+        }
+        Ok(NodeTelemetry {
+            node,
+            phase,
+            sent_at_ns,
+            cause,
+            images,
+            stats,
+            obs: ObsSnapshot {
+                heartbeat_period_ns,
+                peers,
+                heartbeats,
+                put_ack,
+            },
+            events,
+        })
+    }
+
+    /// Render the last `per_image` retained events of every image as an
+    /// indented block — this node's contribution to a merged fault report.
+    /// Capture-disabled builds (no events) get an explicit pointer instead
+    /// of silence, so the report still shows *which* nodes answered.
+    pub fn render_window(&self, per_image: usize) -> String {
+        if self.events.is_empty() {
+            return "  (no trace events captured — build with the `trace` feature \
+                    for per-image operation history)\n"
+                .to_string();
+        }
+        let mut out = String::new();
+        let mut by_img: std::collections::BTreeMap<u32, Vec<&Event>> =
+            std::collections::BTreeMap::new();
+        for ev in &self.events {
+            by_img.entry(ev.img).or_default().push(ev);
+        }
+        for (img, evs) in by_img {
+            let label = if img == caf_trace::SYSTEM_IMG {
+                "system".to_string()
+            } else {
+                format!("image {img}")
+            };
+            out.push_str(&format!("  {label} recent events:\n"));
+            for ev in evs.iter().rev().take(per_image).rev() {
+                out.push_str(&format!("    {}\n", ev.render()));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caf_trace::EventKind;
+
+    fn sample() -> NodeTelemetry {
+        NodeTelemetry {
+            node: 1,
+            phase: TelemetryPhase::FlightRecorder,
+            sent_at_ns: 123_456_789,
+            cause: "peer process 0 is dead".into(),
+            images: vec![4, 5, 6, 7],
+            stats: StatsSnapshot {
+                puts_inter: 42,
+                bytes_inter: 9000,
+                wire_frames_tx: 100,
+                ..StatsSnapshot::default()
+            },
+            obs: ObsSnapshot {
+                heartbeat_period_ns: 100_000_000,
+                peers: vec![
+                    PeerWireSnapshot {
+                        frames_tx: 10,
+                        bytes_tx: 640,
+                        frames_rx: 9,
+                        bytes_rx: 500,
+                        retries: 2,
+                        reconnects: 1,
+                    },
+                    PeerWireSnapshot::default(),
+                ],
+                heartbeats: vec![
+                    HeartbeatSnapshot {
+                        count: 7,
+                        sum_period_ns: 700_000_000,
+                        max_abs_dev_ns: 5_000_000,
+                    },
+                    HeartbeatSnapshot::default(),
+                ],
+                put_ack: {
+                    let mut h = HistSnapshot {
+                        count: 3,
+                        sum_ns: 7_000,
+                        max_ns: 4_096,
+                        ..HistSnapshot::default()
+                    };
+                    h.buckets[10] = 2;
+                    h.buckets[12] = 1;
+                    h
+                },
+            },
+            events: vec![
+                Event::span(EventKind::Put, 10, 5).a(2).b(64),
+                Event::instant(EventKind::FlagAdd, 20).a(0),
+            ],
+        }
+    }
+
+    #[test]
+    fn telemetry_roundtrips() {
+        let t = sample();
+        let enc = t.encode();
+        let back = NodeTelemetry::decode(&enc).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn decode_rejects_bad_payloads() {
+        assert!(NodeTelemetry::decode(&[]).is_err());
+        // Wrong magic.
+        let mut enc = sample().encode();
+        enc[0] ^= 0xFF;
+        assert!(NodeTelemetry::decode(&enc).is_err());
+        // Truncation anywhere must error, never panic.
+        let enc = sample().encode();
+        for cut in [4, 9, 20, enc.len() - 1] {
+            assert!(NodeTelemetry::decode(&enc[..cut]).is_err(), "cut at {cut}");
+        }
+        // Trailing junk.
+        let mut enc = sample().encode();
+        enc.push(0);
+        assert!(NodeTelemetry::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn hist_percentiles_resolve_to_bucket_bounds() {
+        let mut h = HistSnapshot::default();
+        // 90 samples in bucket 4 ([16,32) ns), 10 in bucket 10 ([1024,2048)).
+        h.buckets[4] = 90;
+        h.buckets[10] = 10;
+        h.count = 100;
+        h.sum_ns = 90 * 20 + 10 * 1500;
+        h.max_ns = 2000;
+        assert_eq!(h.percentile_ns(50.0), 32);
+        assert_eq!(h.percentile_ns(90.0), 32);
+        assert_eq!(h.percentile_ns(95.0), 2048);
+        assert_eq!(h.percentile_ns(99.0), 2048);
+        assert_eq!(HistSnapshot::default().percentile_ns(50.0), 0);
+    }
+
+    #[test]
+    fn hist_records_into_log2_buckets() {
+        let obs = SocketObs::new(2, 1_000_000);
+        obs.put_ack(1); // bucket 0
+        obs.put_ack(1024); // bucket 10
+        obs.put_ack(1025); // bucket 10
+        obs.put_ack(u64::MAX); // clamped to the top bucket
+        let s = obs.snapshot();
+        assert_eq!(s.put_ack.count, 4);
+        assert_eq!(s.put_ack.buckets[0], 1);
+        assert_eq!(s.put_ack.buckets[10], 2);
+        assert_eq!(s.put_ack.buckets[HIST_BUCKETS - 1], 1);
+        assert_eq!(s.put_ack.max_ns, u64::MAX);
+    }
+
+    #[test]
+    fn heartbeat_watch_measures_period_and_jitter() {
+        let period = 100u64;
+        let obs = SocketObs::new(2, period);
+        obs.heartbeat_seen(1, 1000); // first arrival: no period yet
+        obs.heartbeat_seen(1, 1100); // period 100, dev 0
+        obs.heartbeat_seen(1, 1350); // period 250, dev 150
+        let s = obs.snapshot();
+        assert_eq!(s.heartbeats[1].count, 2);
+        assert_eq!(s.heartbeats[1].mean_period_ns(), 175);
+        assert_eq!(s.heartbeats[1].max_abs_dev_ns, 150);
+        assert_eq!(s.heartbeats[0], HeartbeatSnapshot::default());
+    }
+
+    #[test]
+    fn render_window_groups_by_image() {
+        let t = sample();
+        let w = t.render_window(5);
+        assert!(w.contains("image 0 recent events"), "{w}");
+        assert!(w.contains("put"), "{w}");
+        let empty = NodeTelemetry {
+            events: Vec::new(),
+            ..sample()
+        };
+        assert!(empty.render_window(5).contains("no trace events captured"));
+    }
+}

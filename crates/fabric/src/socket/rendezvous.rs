@@ -99,6 +99,20 @@ impl CoordClient {
         Ok(())
     }
 
+    /// Ship an encoded [`NodeTelemetry`](super::obs::NodeTelemetry) blob to
+    /// the coordinator (live metrics, the final snapshot, or a flight
+    /// recorder on the way down).
+    pub fn send_telemetry(&mut self, payload: Vec<u8>) -> io::Result<()> {
+        write_frame(
+            &mut self.writer,
+            &Frame::Telemetry {
+                node: self.node,
+                payload,
+            },
+        )?;
+        Ok(())
+    }
+
     /// Block (up to the stream's read timeout) for one control frame from
     /// the coordinator — used by launch modes that hold children open.
     pub fn recv(&mut self) -> io::Result<Frame> {

@@ -9,6 +9,7 @@
 //! handshake's magic, so a mismatched peer fails loudly at connect time
 //! rather than corrupting segments.
 
+use crate::stats::StatsSnapshot;
 use std::io::{self, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -17,7 +18,7 @@ use std::time::Duration;
 
 /// Protocol magic carried by [`Frame::Open`] and [`Frame::Hello`]; bump on
 /// any incompatible frame-format change.
-pub const WIRE_MAGIC: u32 = 0xCAF5_0C01;
+pub const WIRE_MAGIC: u32 = 0xCAF5_0C02;
 
 /// Upper bound on one frame body — a corrupted length prefix fails here
 /// instead of attempting a multi-gigabyte allocation.
@@ -343,10 +344,14 @@ pub enum Frame {
         delta: u64,
     },
     /// Liveness beacon, sent on every egress connection each heartbeat
-    /// period.
+    /// period. Carries the sender's counter snapshot so every peer holds a
+    /// last-known picture of what the sender was doing — the flight
+    /// recorder's view of a process that dies between beacons.
     Heartbeat {
         /// Sender's process rank.
         node: u32,
+        /// The sender's [`StatsSnapshot`] at send time.
+        stats: StatsSnapshot,
     },
     /// Graceful goodbye: the sender's hosted images have all finished, no
     /// more requests or heartbeats will follow, and subsequent EOF from it
@@ -382,6 +387,17 @@ pub enum Frame {
         /// Human-readable reason.
         msg: String,
     },
+    /// Control-plane telemetry shipment: an encoded
+    /// [`NodeTelemetry`](crate::socket::obs::NodeTelemetry) blob (trace
+    /// window, counters, wire/latency/heartbeat observations). Flows only on
+    /// the coordinator connection; the payload format is versioned
+    /// independently by its own magic.
+    Telemetry {
+        /// Sender's process rank.
+        node: u32,
+        /// Encoded `NodeTelemetry`.
+        payload: Vec<u8>,
+    },
 }
 
 const T_OPEN: u8 = 1;
@@ -399,27 +415,69 @@ const T_HELLO: u8 = 16;
 const T_PEERS: u8 = 17;
 const T_DONE: u8 = 18;
 const T_ABORT: u8 = 19;
+const T_TELEMETRY: u8 = 20;
 
-fn put_u32(buf: &mut Vec<u8>, v: u32) {
+/// Field count of a [`StatsSnapshot`] on the wire (fixed little-endian
+/// u64s, declaration order).
+const STATS_WORDS: usize = 18;
+
+fn stats_words(s: &StatsSnapshot) -> [u64; STATS_WORDS] {
+    [
+        s.puts_intra,
+        s.puts_inter,
+        s.gets_intra,
+        s.gets_inter,
+        s.flags_intra,
+        s.flags_inter,
+        s.flag_waits,
+        s.amos,
+        s.bytes_intra,
+        s.bytes_inter,
+        s.puts_nb_injected,
+        s.puts_nb_completed,
+        s.wire_frames_tx,
+        s.wire_frames_rx,
+        s.wire_bytes_tx,
+        s.wire_bytes_rx,
+        s.wire_retries,
+        s.wire_reconnects,
+    ]
+}
+
+pub(crate) fn put_stats(buf: &mut Vec<u8>, s: &StatsSnapshot) {
+    for w in stats_words(s) {
+        put_u64(buf, w);
+    }
+}
+
+pub(crate) fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(buf: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_bytes(buf: &mut Vec<u8>, b: &[u8]) {
+pub(crate) fn put_bytes(buf: &mut Vec<u8>, b: &[u8]) {
     put_u32(buf, b.len() as u32);
     buf.extend_from_slice(b);
 }
 
-struct Cursor<'a> {
+pub(crate) struct Cursor<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    pub(crate) fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
         if self.pos + n > self.buf.len() {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -431,22 +489,49 @@ impl<'a> Cursor<'a> {
         Ok(s)
     }
 
-    fn u32(&mut self) -> io::Result<u32> {
+    pub(crate) fn u32(&mut self) -> io::Result<u32> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
-    fn u64(&mut self) -> io::Result<u64> {
+    pub(crate) fn u64(&mut self) -> io::Result<u64> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
-    fn bytes(&mut self) -> io::Result<Vec<u8>> {
+    pub(crate) fn bytes(&mut self) -> io::Result<Vec<u8>> {
         let n = self.u32()? as usize;
         Ok(self.take(n)?.to_vec())
     }
 
-    fn string(&mut self) -> io::Result<String> {
+    pub(crate) fn string(&mut self) -> io::Result<String> {
         String::from_utf8(self.bytes()?)
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 string in frame"))
+    }
+
+    pub(crate) fn stats(&mut self) -> io::Result<StatsSnapshot> {
+        let mut w = [0u64; STATS_WORDS];
+        for slot in &mut w {
+            *slot = self.u64()?;
+        }
+        Ok(StatsSnapshot {
+            puts_intra: w[0],
+            puts_inter: w[1],
+            gets_intra: w[2],
+            gets_inter: w[3],
+            flags_intra: w[4],
+            flags_inter: w[5],
+            flag_waits: w[6],
+            amos: w[7],
+            bytes_intra: w[8],
+            bytes_inter: w[9],
+            puts_nb_injected: w[10],
+            puts_nb_completed: w[11],
+            wire_frames_tx: w[12],
+            wire_frames_rx: w[13],
+            wire_bytes_tx: w[14],
+            wire_bytes_rx: w[15],
+            wire_retries: w[16],
+            wire_reconnects: w[17],
+        })
     }
 }
 
@@ -554,9 +639,10 @@ impl Frame {
                 put_u64(&mut b, *flag);
                 put_u64(&mut b, *delta);
             }
-            Frame::Heartbeat { node } => {
+            Frame::Heartbeat { node, stats } => {
                 b.push(T_HEARTBEAT);
                 put_u32(&mut b, *node);
+                put_stats(&mut b, stats);
             }
             Frame::Bye { node } => {
                 b.push(T_BYE);
@@ -587,6 +673,11 @@ impl Frame {
             Frame::Abort { msg } => {
                 b.push(T_ABORT);
                 put_bytes(&mut b, msg.as_bytes());
+            }
+            Frame::Telemetry { node, payload } => {
+                b.push(T_TELEMETRY);
+                put_u32(&mut b, *node);
+                put_bytes(&mut b, payload);
             }
         }
         let body_len = (b.len() - 4) as u32;
@@ -652,7 +743,10 @@ impl Frame {
                 flag: c.u64()?,
                 delta: c.u64()?,
             },
-            T_HEARTBEAT => Frame::Heartbeat { node: c.u32()? },
+            T_HEARTBEAT => Frame::Heartbeat {
+                node: c.u32()?,
+                stats: c.stats()?,
+            },
             T_BYE => Frame::Bye { node: c.u32()? },
             T_HELLO => Frame::Hello {
                 node: c.u32()?,
@@ -683,6 +777,10 @@ impl Frame {
                 Frame::Done { node, results }
             }
             T_ABORT => Frame::Abort { msg: c.string()? },
+            T_TELEMETRY => Frame::Telemetry {
+                node: c.u32()?,
+                payload: c.bytes()?,
+            },
             _ => return Err(bad("unknown frame tag")),
         };
         if c.pos != rest.len() {
@@ -826,7 +924,16 @@ mod tests {
             flag: 3,
             delta: 1,
         });
-        roundtrip(Frame::Heartbeat { node: 1 });
+        roundtrip(Frame::Heartbeat {
+            node: 1,
+            stats: StatsSnapshot {
+                puts_inter: 7,
+                bytes_inter: 4096,
+                wire_frames_tx: 12,
+                wire_reconnects: 1,
+                ..StatsSnapshot::default()
+            },
+        });
         roundtrip(Frame::Bye { node: 0 });
         roundtrip(Frame::Hello {
             node: 2,
@@ -842,6 +949,10 @@ mod tests {
         });
         roundtrip(Frame::Abort {
             msg: "node 2 died".into(),
+        });
+        roundtrip(Frame::Telemetry {
+            node: 3,
+            payload: vec![0xCA, 0xF0, 1, 2, 3],
         });
     }
 

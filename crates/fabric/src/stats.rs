@@ -234,6 +234,30 @@ impl StatsSnapshot {
     pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         *self - *earlier
     }
+
+    /// One-line summary for failure reports and fleet tables.
+    pub fn render_brief(&self) -> String {
+        format!(
+            "puts {}/{} gets {}/{} flags {}/{} (intra/inter), amos {}, \
+             bytes {}/{} (intra/inter), wire tx {} frames/{} B, \
+             rx {} frames/{} B, retries {}, reconnects {}",
+            self.puts_intra,
+            self.puts_inter,
+            self.gets_intra,
+            self.gets_inter,
+            self.flags_intra,
+            self.flags_inter,
+            self.amos,
+            self.bytes_intra,
+            self.bytes_inter,
+            self.wire_frames_tx,
+            self.wire_bytes_tx,
+            self.wire_frames_rx,
+            self.wire_bytes_rx,
+            self.wire_retries,
+            self.wire_reconnects
+        )
+    }
 }
 
 impl std::ops::Sub for StatsSnapshot {

@@ -1,0 +1,106 @@
+//! Trace capture across a real socket fleet, in both feature configs.
+//!
+//! With `--features trace` the per-image rings must fill with the fabric
+//! operations each image performed and ship inside the node's telemetry;
+//! without it the same program must compile and run against the
+//! zero-sized no-op tracer and record nothing. Both halves live in one
+//! file so CI exercising either config proves the other still builds.
+
+use caf_fabric::socket::testing::{fleet, run_fleet};
+use caf_fabric::{bootstrap, Fabric, SocketConfig, TelemetryPhase};
+use caf_topology::{presets, ImageMap, Placement, ProcId};
+use caf_trace::Tracer;
+
+const BSEG: caf_fabric::SegmentId = bootstrap::SEG;
+
+fn traced_cfg(n_images: usize) -> SocketConfig {
+    SocketConfig {
+        tracer: Tracer::for_images(n_images),
+        ..SocketConfig::default()
+    }
+}
+
+/// 2 nodes × 2 images, every image puts to and gets from its cross-node
+/// partner, so both processes see intra- and inter-node traffic.
+fn cross_node_round_trip() -> Vec<std::sync::Arc<caf_fabric::SocketFabric>> {
+    let map = ImageMap::new(presets::mini(2, 2), 4, &Placement::Packed);
+    let fabrics = fleet(&map, &traced_cfg(map.n_images()));
+    run_fleet(&fabrics, |f, me| {
+        let partner = ProcId((me.index() + 2) % 4);
+        let payload = [me.index() as u8 + 1; 8];
+        f.put(me, partner, BSEG, 64 + me.index() * 8, &payload);
+        let mut back = [0u8; 8];
+        f.get(me, partner, BSEG, 64 + me.index() * 8, &mut back);
+        f.image_done(me);
+    });
+    fabrics
+}
+
+#[cfg(feature = "trace")]
+mod trace_on {
+    use super::*;
+    use caf_trace::EventKind;
+
+    #[test]
+    fn fleet_round_trip_fills_per_image_rings() {
+        let fabrics = cross_node_round_trip();
+        for (rank, f) in fabrics.iter().enumerate() {
+            let t = f.tracer();
+            assert!(t.enabled(), "trace build must enable the tracer");
+            assert!(
+                t.total_recorded() > 0,
+                "node {rank} recorded nothing despite tracing"
+            );
+            let events = t.events();
+            // Every hosted image contributed at least its own put + get.
+            for img in f.hosted() {
+                let mine: Vec<_> = events
+                    .iter()
+                    .filter(|e| e.img as usize == img.index())
+                    .collect();
+                assert!(
+                    mine.iter().any(|e| e.kind == EventKind::Put),
+                    "image {} has no put in its ring",
+                    img.index()
+                );
+                assert!(
+                    mine.iter().any(|e| e.kind == EventKind::Get),
+                    "image {} has no get in its ring",
+                    img.index()
+                );
+            }
+            // The same events ship inside the node's telemetry blob.
+            let telemetry = f.node_telemetry(TelemetryPhase::Final, None);
+            assert_eq!(telemetry.events.len(), events.len());
+            assert!(
+                telemetry.render_window(3).contains("recent events"),
+                "flight-recorder window must render the captured ring"
+            );
+        }
+    }
+}
+
+#[cfg(not(feature = "trace"))]
+mod trace_off {
+    use super::*;
+
+    #[test]
+    fn no_op_tracer_records_nothing_but_telemetry_still_ships() {
+        let fabrics = cross_node_round_trip();
+        for f in &fabrics {
+            let t = f.tracer();
+            assert!(!t.enabled(), "feature-off tracer must be a no-op");
+            assert_eq!(t.total_recorded(), 0);
+            assert!(t.events().is_empty());
+            // Telemetry still works — counters are real, events empty, and
+            // the window points at the missing feature instead of silence.
+            let telemetry = f.node_telemetry(TelemetryPhase::Final, None);
+            assert!(telemetry.events.is_empty());
+            assert!(telemetry.stats.puts_inter >= 1, "stats must still count");
+            assert!(
+                telemetry.render_window(3).contains("trace"),
+                "window must say how to get events"
+            );
+        }
+    }
+}

@@ -21,8 +21,12 @@
 #![warn(missing_docs)]
 
 use caf_fabric::socket::wire::{read_frame, write_frame, Frame, Listener, Stream, WIRE_MAGIC};
+use caf_fabric::{NodeTelemetry, TelemetryPhase};
+use caf_obs::{FleetRegistry, NodeFeed, ObsServer};
 use std::io::BufReader;
+use std::net::SocketAddr;
 use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 pub use caf_fabric::socket::{Addr, CoordClient, Transport};
@@ -85,10 +89,22 @@ pub struct LaunchSpec {
     pub run_timeout: Duration,
     /// Optional fault injection.
     pub kill: Option<KillSpec>,
+    /// Serve a live `/metrics` + `/healthz` HTTP surface on this address
+    /// while the fleet runs (port 0 picks a free port; the bound address
+    /// is logged to stderr).
+    pub obs_addr: Option<SocketAddr>,
+    /// After a member dies, how long the launcher drains the survivors'
+    /// control connections waiting for their flight recorders before
+    /// reporting the failure.
+    pub flight_recorder_grace: Duration,
+    /// Keep the observability surface (and the launcher) up this long
+    /// after the fleet completes — lets a scraper take a final reading.
+    pub obs_linger: Duration,
 }
 
 impl LaunchSpec {
-    /// A spec with default timeouts (30 s rendezvous, 5 min run).
+    /// A spec with default timeouts (30 s rendezvous, 5 min run, 3 s
+    /// flight-recorder grace) and no live observability surface.
     pub fn new(command: Vec<String>, node_images: Vec<Vec<usize>>) -> Self {
         Self {
             command,
@@ -97,6 +113,9 @@ impl LaunchSpec {
             rendezvous_timeout: Duration::from_secs(30),
             run_timeout: Duration::from_secs(300),
             kill: None,
+            obs_addr: None,
+            flight_recorder_grace: Duration::from_secs(3),
+            obs_linger: Duration::ZERO,
         }
     }
 }
@@ -106,6 +125,10 @@ impl LaunchSpec {
 pub struct FleetOutcome {
     /// `(image rank, result)` pairs, ascending by rank.
     pub results: Vec<(u32, u64)>,
+    /// Per-node telemetry (latest/most complete shipment, clock-aligned),
+    /// indexed by node rank. `None` for nodes that never shipped any —
+    /// e.g. children built without telemetry support.
+    pub telemetry: Vec<Option<NodeFeed>>,
 }
 
 /// Why a launch failed.
@@ -194,6 +217,111 @@ fn image_list(images: &[usize]) -> String {
         .join(",")
 }
 
+/// Fold one telemetry shipment into the per-node feed table and the live
+/// registry. The clock offset is the minimum over shipments of (receive
+/// instant on the launcher clock − the child's `sent_at_ns`) — an upper
+/// bound on the child→launcher clock offset, tight to within the one-way
+/// delay of the fastest shipment, so live updates tighten it for free.
+/// The stored telemetry is only replaced by a same-or-later phase: a
+/// flight recorder is never clobbered by a stale live update.
+fn absorb_telemetry(
+    feeds: &mut [Option<NodeFeed>],
+    registry: &FleetRegistry,
+    t0: Instant,
+    rank: usize,
+    payload: &[u8],
+) {
+    let t = match NodeTelemetry::decode(payload) {
+        // Corrupt or misattributed shipments are dropped: bad telemetry
+        // must never take a healthy fleet down.
+        Ok(t) if t.node as usize == rank => t,
+        _ => return,
+    };
+    let candidate = t0.elapsed().as_nanos() as i64 - t.sent_at_ns as i64;
+    registry.update(rank, t.clone());
+    match &mut feeds[rank] {
+        Some(feed) => {
+            feed.offset_ns = feed.offset_ns.min(candidate);
+            if t.phase >= feed.telemetry.phase {
+                feed.telemetry = t;
+            }
+        }
+        slot => {
+            *slot = Some(NodeFeed {
+                telemetry: t,
+                offset_ns: candidate,
+            })
+        }
+    }
+}
+
+/// A fleet member failed: give every survivor a grace window to ship its
+/// flight recorder over the still-open control connection, then compose
+/// the failure report — the base message, the failing node's last shipped
+/// stats, and one recent-events window per surviving node.
+#[allow(clippy::too_many_arguments)]
+fn drain_and_report(
+    base: String,
+    failed_rank: Option<usize>,
+    spec: &LaunchSpec,
+    readers: &mut [BufReader<Stream>],
+    feeds: &mut [Option<NodeFeed>],
+    registry: &FleetRegistry,
+    t0: Instant,
+    finished: &[bool],
+) -> LaunchError {
+    let n = readers.len();
+    let is_recorder = |f: &Option<NodeFeed>| matches!(f, Some(f) if f.telemetry.phase == TelemetryPhase::FlightRecorder);
+    let deadline = Instant::now() + spec.flight_recorder_grace;
+    let mut settled: Vec<bool> = (0..n)
+        .map(|r| Some(r) == failed_rank || finished[r] || is_recorder(&feeds[r]))
+        .collect();
+    while settled.iter().any(|s| !s) && Instant::now() < deadline {
+        for rank in 0..n {
+            if settled[rank] {
+                continue;
+            }
+            match read_frame(&mut readers[rank]) {
+                Ok((Frame::Telemetry { node, payload }, _)) if node as usize == rank => {
+                    absorb_telemetry(feeds, registry, t0, rank, &payload);
+                    settled[rank] = is_recorder(&feeds[rank]);
+                }
+                Ok(_) => {}
+                Err(e) if is_timeout(&e) => {}
+                // EOF: the survivor exited; nothing more is coming.
+                Err(_) => settled[rank] = true,
+            }
+        }
+    }
+    let mut msg = base;
+    if let Some(failed) = failed_rank {
+        registry.mark_dead(failed);
+        if let Some(f) = &feeds[failed] {
+            msg.push_str(&format!(
+                "\nlast telemetry shipped by the failing node ({}): {}",
+                f.telemetry.phase.label(),
+                f.telemetry.stats.render_brief()
+            ));
+        }
+    }
+    for (rank, feed) in feeds.iter().enumerate() {
+        if Some(rank) == failed_rank || !is_recorder(feed) {
+            continue;
+        }
+        let f = feed.as_ref().unwrap();
+        msg.push_str(&format!(
+            "\n--- flight recorder (node {rank}, images {}) ---\n",
+            image_list(&spec.node_images[rank])
+        ));
+        if !f.telemetry.cause.is_empty() {
+            msg.push_str(&format!("cause: {}\n", f.telemetry.cause));
+        }
+        msg.push_str(&format!("stats: {}\n", f.telemetry.stats.render_brief()));
+        msg.push_str(&f.telemetry.render_window(5));
+    }
+    LaunchError::Fleet(msg)
+}
+
 /// Spawn, rendezvous, supervise, and reap a fleet. Returns the collected
 /// per-image results, or an error naming the node (and its 1-based images)
 /// that died or hung. All children are killed and reaped before an error
@@ -208,6 +336,31 @@ pub fn launch(spec: &LaunchSpec) -> Result<FleetOutcome, LaunchError> {
     let listener = Listener::bind(spec.transport)?;
     let coord_addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
+
+    // Telemetry plumbing: the reference clock for cross-process alignment
+    // starts now (before any child exists, so every shipment's receive
+    // instant is on this axis), and the live registry backs the optional
+    // /metrics surface for the whole launch.
+    let t0 = Instant::now();
+    let registry = Arc::new(FleetRegistry::new(
+        spec.node_images
+            .iter()
+            .map(|imgs| imgs.iter().map(|i| *i as u32).collect())
+            .collect(),
+    ));
+    let _obs_server = match spec.obs_addr {
+        Some(addr) => {
+            let srv = ObsServer::start(addr, registry.clone())?;
+            eprintln!(
+                "caf-launch: observability surface at http://{}/metrics",
+                srv.addr()
+            );
+            Some(srv)
+        }
+        None => None,
+    };
+    let mut feeds: Vec<Option<NodeFeed>> = (0..n).map(|_| None).collect();
+
     let mut fleet = Fleet::spawn(spec, &coord_addr)?;
 
     let dead_report = |rank: usize, how: &str| {
@@ -315,10 +468,38 @@ pub fn launch(spec: &LaunchSpec) -> Result<FleetOutcome, LaunchError> {
         // A rank that reported Done may exit whenever it likes.
         let excused: Vec<bool> = done.iter().map(Option::is_some).collect();
         if let Some((rank, status)) = fleet.check_exits(&excused) {
-            return Err(dead_report(
-                rank,
-                &format!("died before reporting results ({status})"),
-            ));
+            // The child exited before its Done frame was read, but a clean
+            // exit right after Done is legal: its final frames (telemetry,
+            // then Done) may still be buffered on the control connection.
+            // Drain them before ruling the exit a death.
+            while done[rank].is_none() {
+                match read_frame(&mut readers[rank]) {
+                    Ok((Frame::Done { node, results }, _)) if node as usize == rank => {
+                        registry.mark_done(rank);
+                        done[rank] = Some(results);
+                    }
+                    Ok((Frame::Telemetry { node, payload }, _)) if node as usize == rank => {
+                        absorb_telemetry(&mut feeds, &registry, t0, rank, &payload);
+                    }
+                    _ => break,
+                }
+            }
+            if done[rank].is_none() {
+                return Err(drain_and_report(
+                    format!(
+                        "node {rank} (images {}) died before reporting results ({status})",
+                        image_list(&spec.node_images[rank])
+                    ),
+                    Some(rank),
+                    spec,
+                    &mut readers,
+                    &mut feeds,
+                    &registry,
+                    t0,
+                    &excused,
+                ));
+            }
+            continue;
         }
         for rank in 0..n {
             if done[rank].is_some() {
@@ -331,10 +512,26 @@ pub fn launch(spec: &LaunchSpec) -> Result<FleetOutcome, LaunchError> {
                             "node {node} reported on node {rank}'s connection"
                         )));
                     }
+                    registry.mark_done(rank);
                     done[rank] = Some(results);
                 }
+                Ok((Frame::Telemetry { node, payload }, _)) => {
+                    if node as usize == rank {
+                        absorb_telemetry(&mut feeds, &registry, t0, rank, &payload);
+                    }
+                }
                 Ok((Frame::Abort { msg }, _)) => {
-                    return Err(LaunchError::Fleet(format!("node {rank} aborted: {msg}")));
+                    let finished: Vec<bool> = done.iter().map(Option::is_some).collect();
+                    return Err(drain_and_report(
+                        format!("node {rank} aborted: {msg}"),
+                        Some(rank),
+                        spec,
+                        &mut readers,
+                        &mut feeds,
+                        &registry,
+                        t0,
+                        &finished,
+                    ));
                 }
                 Ok((other, _)) => {
                     return Err(LaunchError::Fleet(format!(
@@ -348,7 +545,20 @@ pub fn launch(spec: &LaunchSpec) -> Result<FleetOutcome, LaunchError> {
                     // it, then report the death directly.
                     std::thread::sleep(Duration::from_millis(20));
                     let _ = fleet.children[rank].try_wait();
-                    return Err(dead_report(rank, "died before reporting results"));
+                    let finished: Vec<bool> = done.iter().map(Option::is_some).collect();
+                    return Err(drain_and_report(
+                        format!(
+                            "node {rank} (images {}) died before reporting results",
+                            image_list(&spec.node_images[rank])
+                        ),
+                        Some(rank),
+                        spec,
+                        &mut readers,
+                        &mut feeds,
+                        &registry,
+                        t0,
+                        &finished,
+                    ));
                 }
             }
         }
@@ -377,9 +587,18 @@ pub fn launch(spec: &LaunchSpec) -> Result<FleetOutcome, LaunchError> {
         }
     }
 
+    // Let a scraper take a final /metrics reading before the surface goes
+    // away with the launcher.
+    if spec.obs_linger > Duration::ZERO {
+        std::thread::sleep(spec.obs_linger);
+    }
+
     let mut results: Vec<(u32, u64)> = done.into_iter().flatten().flatten().collect();
     results.sort_unstable_by_key(|(img, _)| *img);
-    Ok(FleetOutcome { results })
+    Ok(FleetOutcome {
+        results,
+        telemetry: feeds,
+    })
 }
 
 fn is_timeout(e: &std::io::Error) -> bool {

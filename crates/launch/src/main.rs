@@ -14,11 +14,16 @@
 //! mid-run and must report its 1-based image ranks instead of hanging.
 
 use caf_fabric::socket::{SocketConfig, SocketFabric};
+use caf_fabric::TelemetryPhase;
 use caf_launch::{launch, ChildEnv, KillSpec, LaunchSpec, Transport};
+use caf_obs::{fleet_report_json, fleet_summary, merged_chrome_json, NodeFeed};
 use caf_runtime::{run_hosted, CollectiveConfig};
 use caf_topology::{presets, ImageMap, NodeId, Placement};
+use caf_trace::Tracer;
 use std::process::ExitCode;
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 #[derive(Clone, Debug)]
 struct DemoArgs {
@@ -31,6 +36,17 @@ struct DemoArgs {
     tcp: bool,
     peer_timeout_ms: Option<u64>,
     run_timeout_ms: u64,
+    /// Serve live /metrics + /healthz here while the fleet runs
+    /// (`--obs-addr`, env `CAF_OBS_ADDR`).
+    obs_addr: Option<String>,
+    /// Write fleet_trace.json + fleet_report.json into this directory
+    /// after the run (`--trace-out`, env `CAF_OBS_DIR`).
+    trace_out: Option<String>,
+    /// Children ship live telemetry this often; 0 disables
+    /// (`--obs-interval-ms`, env `CAF_OBS_INTERVAL_MS`).
+    obs_interval_ms: u64,
+    /// Keep the observability surface up this long after completion.
+    linger_ms: u64,
 }
 
 impl Default for DemoArgs {
@@ -45,6 +61,13 @@ impl Default for DemoArgs {
             tcp: false,
             peer_timeout_ms: None,
             run_timeout_ms: 60_000,
+            obs_addr: std::env::var("CAF_OBS_ADDR").ok().filter(|s| !s.is_empty()),
+            trace_out: std::env::var("CAF_OBS_DIR").ok().filter(|s| !s.is_empty()),
+            obs_interval_ms: std::env::var("CAF_OBS_INTERVAL_MS")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(500),
+            linger_ms: 0,
         }
     }
 }
@@ -53,7 +76,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: caf-launch demo --nodes N --cores C --images I [--iters K]\n\
          \x20                [--kill-node R --kill-after-ms T] [--tcp]\n\
-         \x20                [--peer-timeout-ms T] [--run-timeout-ms T]"
+         \x20                [--peer-timeout-ms T] [--run-timeout-ms T]\n\
+         \x20                [--obs-addr HOST:PORT] [--trace-out DIR]\n\
+         \x20                [--obs-interval-ms T] [--linger-ms T]"
     );
     std::process::exit(2)
 }
@@ -87,6 +112,14 @@ fn parse_demo(args: &[String]) -> DemoArgs {
             }
             "--run-timeout-ms" => {
                 out.run_timeout_ms = next_val(&mut it, a).parse().unwrap_or_else(|_| usage())
+            }
+            "--obs-addr" => out.obs_addr = Some(next_val(&mut it, a)),
+            "--trace-out" => out.trace_out = Some(next_val(&mut it, a)),
+            "--obs-interval-ms" => {
+                out.obs_interval_ms = next_val(&mut it, a).parse().unwrap_or_else(|_| usage())
+            }
+            "--linger-ms" => {
+                out.linger_ms = next_val(&mut it, a).parse().unwrap_or_else(|_| usage())
             }
             _ => {
                 eprintln!("caf-launch: unknown flag {a}");
@@ -148,11 +181,29 @@ fn demo_parent(args: &DemoArgs, raw: &[String]) -> ExitCode {
         rank,
         after: Duration::from_millis(args.kill_after_ms),
     });
+    spec.obs_linger = Duration::from_millis(args.linger_ms);
+    if let Some(addr) = &args.obs_addr {
+        match addr.parse() {
+            Ok(a) => spec.obs_addr = Some(a),
+            Err(e) => {
+                eprintln!("caf-launch: bad --obs-addr {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     match launch(&spec) {
         Ok(outcome) => {
             for (img, digest) in &outcome.results {
                 println!("image {:>3}: digest {digest:#018x}", img + 1);
             }
+            let feeds: Vec<NodeFeed> = outcome.telemetry.iter().flatten().cloned().collect();
+            if let Some(dir) = &args.trace_out {
+                if let Err(e) = write_fleet_artifacts(dir, &feeds) {
+                    eprintln!("caf-launch: writing fleet artifacts to {dir} failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            print_fleet_summary(&feeds);
             println!(
                 "caf-launch: fleet complete ({} images across {} processes)",
                 outcome.results.len(),
@@ -167,6 +218,51 @@ fn demo_parent(args: &DemoArgs, raw: &[String]) -> ExitCode {
     }
 }
 
+/// Write the merged Perfetto timeline and the machine-readable fleet
+/// report into `dir`.
+fn write_fleet_artifacts(dir: &str, feeds: &[NodeFeed]) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let trace = std::path::Path::new(dir).join("fleet_trace.json");
+    let report = std::path::Path::new(dir).join("fleet_report.json");
+    std::fs::write(&trace, merged_chrome_json(feeds))?;
+    std::fs::write(&report, fleet_report_json(feeds))?;
+    println!(
+        "caf-launch: wrote {} and {}",
+        trace.display(),
+        report.display()
+    );
+    Ok(())
+}
+
+/// Print the fleet-wide per-(team, op, level) percentile table — only when
+/// the children actually captured trace events (i.e. a `trace` build).
+fn print_fleet_summary(feeds: &[NodeFeed]) {
+    let (headers, rows) = fleet_summary(feeds);
+    if rows.is_empty() {
+        return;
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in &rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    println!("fleet trace summary:");
+    let fmt_row = |cells: &[String]| {
+        let line = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ");
+        println!("  {line}");
+    };
+    fmt_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    for row in &rows {
+        fmt_row(row);
+    }
+}
+
 fn demo_child(args: &DemoArgs) -> ExitCode {
     let env = match ChildEnv::detect() {
         Some(env) => env,
@@ -177,40 +273,93 @@ fn demo_child(args: &DemoArgs) -> ExitCode {
     };
     let map = demo_map(args);
     let mut cfg = SocketConfig::from_env();
+    // Always install a per-image tracer: with the `trace` feature it
+    // records every fabric operation into per-image rings (shipped in
+    // telemetry and merged by the parent); without it it's a zero-sized
+    // no-op and this line costs nothing.
+    cfg.tracer = Tracer::for_images(map.n_images());
     if let Some(ms) = args.peer_timeout_ms {
         cfg.peer_timeout = Duration::from_millis(ms);
         cfg.heartbeat_period = Duration::from_millis((ms / 4).max(10));
     }
-    let (fabric, mut coord) = match SocketFabric::join(map, env.node, &env.coord, cfg) {
+    let (fabric, coord) = match SocketFabric::join(map, env.node, &env.coord, cfg) {
         Ok(pair) => pair,
         Err(e) => {
             eprintln!("caf-launch demo-child node {}: join failed: {e}", env.node);
             return ExitCode::FAILURE;
         }
     };
+    // The coordinator connection is shared between this thread (final
+    // telemetry + Done) and the live-telemetry shipper.
+    let coord = Arc::new(Mutex::new(coord));
+    let stop = Arc::new(AtomicBool::new(false));
+    let live = if args.obs_interval_ms > 0 {
+        let fabric = fabric.clone();
+        let coord = coord.clone();
+        let stop = stop.clone();
+        let period = Duration::from_millis(args.obs_interval_ms);
+        Some(std::thread::spawn(move || {
+            let mut next = Instant::now() + period;
+            while !stop.load(Ordering::Acquire) {
+                if Instant::now() < next {
+                    std::thread::sleep(Duration::from_millis(20));
+                    continue;
+                }
+                next += period;
+                let t = fabric.node_telemetry(TelemetryPhase::Live, None);
+                if coord.lock().unwrap().send_telemetry(t.encode()).is_err() {
+                    return; // launcher gone: nobody left to tell
+                }
+            }
+        }))
+    } else {
+        None
+    };
     let hosted = fabric.hosted().to_vec();
     let iters = args.iters;
-    let results = run_hosted(
-        fabric.clone(),
-        &hosted,
-        CollectiveConfig::two_level(),
-        move |img| {
-            let me = img.this_image() as u64;
-            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-            for _ in 0..iters {
-                let mut v = [me];
-                img.co_sum(&mut v);
-                h ^= v[0];
-                h = h.wrapping_mul(0x0000_0100_0000_01b3);
-                img.sync_all();
-            }
-            h
-        },
-    );
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_hosted(
+            fabric.clone(),
+            &hosted,
+            CollectiveConfig::two_level(),
+            move |img| {
+                let me = img.this_image() as u64;
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for _ in 0..iters {
+                    let mut v = [me];
+                    img.co_sum(&mut v);
+                    h ^= v[0];
+                    h = h.wrapping_mul(0x0000_0100_0000_01b3);
+                    img.sync_all();
+                }
+                h
+            },
+        )
+    }));
+    stop.store(true, Ordering::Release);
+    if let Some(t) = live {
+        let _ = t.join();
+    }
+    let results = match run {
+        Ok(results) => results,
+        Err(payload) => {
+            // Going down (a peer died, or our own images failed): ship the
+            // flight recorder — final counters plus the per-image trace
+            // window — to the launcher before exiting.
+            let cause = panic_message(payload.as_ref());
+            let t = fabric.node_telemetry(TelemetryPhase::FlightRecorder, Some(&cause));
+            let _ = coord.lock().unwrap().send_telemetry(t.encode());
+            eprintln!("caf-launch demo-child node {}: {cause}", env.node);
+            return ExitCode::FAILURE;
+        }
+    };
     let report: Vec<(u32, u64)> = results
         .iter()
         .map(|(p, digest)| (p.index() as u32, *digest))
         .collect();
+    let t = fabric.node_telemetry(TelemetryPhase::Final, None);
+    let mut coord = coord.lock().unwrap();
+    let _ = coord.send_telemetry(t.encode());
     if let Err(e) = coord.send_done(&report) {
         eprintln!(
             "caf-launch demo-child node {}: report failed: {e}",
@@ -218,8 +367,19 @@ fn demo_child(args: &DemoArgs) -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
+    drop(coord);
     fabric.shutdown();
     ExitCode::SUCCESS
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "image panicked".to_string()
+    }
 }
 
 fn main() -> ExitCode {

@@ -1,0 +1,36 @@
+//! # caf-obs
+//!
+//! Fleet-wide observability for multi-process `SocketFabric` runs: the
+//! supervisor-side half of the telemetry pipeline whose per-process half
+//! lives in `caf_fabric::socket::obs`.
+//!
+//! Each fleet member ships [`NodeTelemetry`] blobs to the `caf-launch`
+//! coordinator (live updates while running, a final snapshot on success, a
+//! flight recorder on the way down). This crate turns a collection of those
+//! shipments into fleet-level artifacts:
+//!
+//! * [`merge`] — one Perfetto/Chrome timeline spanning every process, with
+//!   each child's monotonic clock aligned onto the coordinator's, plus
+//!   fleet-wide per-(team, op, level) percentile tables.
+//! * [`report`] — `fleet_report.json`: per-node-pair wire counters,
+//!   put-ack latency histograms, heartbeat jitter, abort causes.
+//! * [`prom`] + [`server`] — a live `/metrics` (Prometheus text format)
+//!   and `/healthz` surface served while the fleet runs.
+//!
+//! Everything is hand-rolled on `std` (no HTTP or serialization
+//! dependencies), matching the repo's offline-first policy.
+
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+#![forbid(unsafe_code)]
+
+pub mod merge;
+pub mod prom;
+pub mod report;
+pub mod server;
+
+pub use caf_fabric::{NodeTelemetry, TelemetryPhase};
+pub use merge::{fleet_summary, merged_chrome_json, merged_events, NodeFeed};
+pub use prom::FleetRegistry;
+pub use report::fleet_report_json;
+pub use server::ObsServer;

@@ -1,0 +1,217 @@
+//! A minimal HTTP/1.1 server for the live observability surface.
+//!
+//! Serves exactly two routes from a [`FleetRegistry`]:
+//!
+//! * `GET /metrics`  — Prometheus text exposition
+//! * `GET /healthz`  — JSON health summary (`200` healthy / `503` degraded)
+//!
+//! Hand-rolled on `std::net::TcpListener`: one accept loop thread, one
+//! short-lived request per connection (`Connection: close`). This is an
+//! operator endpoint scraped a few times a second at most — simplicity
+//! and zero dependencies beat throughput.
+
+use crate::prom::FleetRegistry;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Handle to the running observability server; dropping it stops the
+/// accept loop.
+pub struct ObsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ObsServer {
+    /// Bind `addr` (port 0 picks a free port) and serve `registry` until
+    /// the handle is dropped.
+    pub fn start(addr: SocketAddr, registry: Arc<FleetRegistry>) -> io::Result<ObsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let bound = listener.local_addr()?;
+        // Nonblocking accept + sleep keeps shutdown latency bounded
+        // without a self-pipe.
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let thread = std::thread::Builder::new()
+            .name("caf-obs-http".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            // Serve inline: requests are tiny and the
+                            // registry render is fast; no per-connection
+                            // threads to leak.
+                            let _ = serve_one(stream, &registry);
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(20));
+                        }
+                        Err(_) => return,
+                    }
+                }
+            })?;
+        Ok(ObsServer {
+            addr: bound,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The actually-bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn serve_one(stream: TcpStream, registry: &FleetRegistry) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers so well-behaved clients don't see a reset.
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, content_type, body) = match (method, path) {
+        ("GET", "/metrics") => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            registry.render_prometheus(),
+        ),
+        ("GET", "/healthz") => {
+            let (healthy, body) = registry.healthz();
+            (
+                if healthy {
+                    "200 OK"
+                } else {
+                    "503 Service Unavailable"
+                },
+                "application/json",
+                body,
+            )
+        }
+        ("GET", _) => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found; try /metrics or /healthz\n".to_string(),
+        ),
+        _ => (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "GET only\n".to_string(),
+        ),
+    };
+    let mut w = stream;
+    w.write_all(
+        format!(
+            "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        )
+        .as_bytes(),
+    )?;
+    w.write_all(body.as_bytes())?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caf_fabric::{NodeTelemetry, ObsSnapshot, StatsSnapshot, TelemetryPhase};
+    use std::io::Read;
+
+    fn request(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut buf = String::new();
+        s.read_to_string(&mut buf).unwrap();
+        let (head, body) = buf.split_once("\r\n\r\n").expect("header/body split");
+        (head.to_string(), body.to_string())
+    }
+
+    fn live_registry() -> Arc<FleetRegistry> {
+        let reg = Arc::new(FleetRegistry::new(vec![vec![0], vec![1]]));
+        for node in 0..2u32 {
+            reg.update(
+                node as usize,
+                NodeTelemetry {
+                    node,
+                    phase: TelemetryPhase::Live,
+                    sent_at_ns: 0,
+                    cause: String::new(),
+                    images: vec![node],
+                    stats: StatsSnapshot {
+                        puts_inter: 3 + node as u64,
+                        ..StatsSnapshot::default()
+                    },
+                    obs: ObsSnapshot::default(),
+                    events: Vec::new(),
+                },
+            );
+        }
+        reg
+    }
+
+    #[test]
+    fn serves_metrics_and_healthz() {
+        let reg = live_registry();
+        let srv = ObsServer::start("127.0.0.1:0".parse().unwrap(), reg.clone()).expect("start");
+        let addr = srv.addr();
+
+        let (head, body) = request(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(head.contains("text/plain"), "{head}");
+        assert!(body.contains("caf_node_up{node=\"0\"} 1"), "{body}");
+        assert!(
+            body.contains("caf_puts_total{node=\"1\",level=\"inter\"} 4"),
+            "{body}"
+        );
+
+        let (head, body) = request(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.contains("\"ok\""), "{body}");
+
+        reg.mark_dead(1);
+        let (head, body) = request(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 503"), "{head}");
+        assert!(body.contains("\"degraded\""), "{body}");
+
+        let (head, _) = request(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        drop(srv);
+        // Stopped server refuses (or resets) new connections shortly after.
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(
+            TcpStream::connect(addr).is_err() || {
+                let mut s = TcpStream::connect(addr).unwrap();
+                s.set_read_timeout(Some(Duration::from_millis(200)))
+                    .unwrap();
+                s.write_all(b"GET /metrics HTTP/1.1\r\n\r\n").ok();
+                let mut b = [0u8; 1];
+                !matches!(s.read(&mut b), Ok(n) if n > 0)
+            },
+            "server must stop accepting after drop"
+        );
+    }
+}

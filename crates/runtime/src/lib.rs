@@ -144,9 +144,50 @@ where
         }
     }
     if let Some(msg) = first_panic {
+        // Flight recorder: spill this process's telemetry (counters, wire
+        // probes, trace window) before taking the process down, so the
+        // supervisor can reconstruct what the node saw even when the
+        // control connection never gets the frame out.
+        spill_telemetry(
+            &fabric,
+            caf_fabric::TelemetryPhase::FlightRecorder,
+            Some(&msg),
+        );
         panic!("{msg}");
     }
+    spill_telemetry(&fabric, caf_fabric::TelemetryPhase::Final, None);
     results
+}
+
+/// If `CAF_TRACE_DIR` is set and the fabric produces process telemetry
+/// (only multi-process fabrics do), write the encoded blob to
+/// `$CAF_TRACE_DIR/caf-telemetry-node<R>-<phase>.bin`. Failures are
+/// reported on stderr but never escalate — observability must not take
+/// down an otherwise healthy run (nor mask the real panic on an unhealthy
+/// one).
+fn spill_telemetry(fabric: &ArcFabric, phase: caf_fabric::TelemetryPhase, cause: Option<&str>) {
+    let Ok(dir) = std::env::var("CAF_TRACE_DIR") else {
+        return;
+    };
+    if dir.is_empty() {
+        return;
+    }
+    let Some(telemetry) = fabric.process_telemetry(phase, cause) else {
+        return;
+    };
+    let path = std::path::Path::new(&dir).join(format!(
+        "caf-telemetry-node{}-{}.bin",
+        telemetry.node,
+        phase.label()
+    ));
+    if let Err(e) =
+        std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, telemetry.encode()))
+    {
+        eprintln!(
+            "caf-runtime: telemetry spill to {} failed: {e}",
+            path.display()
+        );
+    }
 }
 
 #[cfg(test)]

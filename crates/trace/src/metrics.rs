@@ -187,6 +187,89 @@ mod tests {
     }
 
     #[test]
+    fn empty_input_aggregates_to_nothing() {
+        assert!(aggregate(&[]).is_empty());
+        let (headers, rows) = summary_rows(&[]);
+        assert_eq!(headers.len(), 8);
+        assert!(rows.is_empty());
+        // Zero-duration spans and pure instants alone also produce no rows.
+        let evs = vec![
+            span(EventKind::Put, 0, 0, Level::Whole),
+            Event::instant(EventKind::FlagDeliver, 10),
+            Event::instant(EventKind::EventPost, 20),
+        ];
+        assert!(aggregate(&evs).is_empty());
+    }
+
+    #[test]
+    fn single_event_row_pins_every_percentile() {
+        // n = 1: every rank ⌈p/100·1⌉ clamps to the single sample.
+        let rows = aggregate(&[span(EventKind::Barrier, 42, 3, Level::Intra)]);
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert_eq!(r.count, 1);
+        assert_eq!((r.p50_ns, r.p95_ns, r.p99_ns, r.max_ns), (42, 42, 42, 42));
+        assert!((r.mean_ns - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_event_rank_boundaries() {
+        // n = 2: p50 rank = ⌈0.5·2⌉ = 1 → the smaller sample; p95/p99
+        // ranks = ⌈1.9⌉ = ⌈1.98⌉ = 2 → the larger one.
+        let evs = vec![
+            span(EventKind::Put, 10, 0, Level::Inter),
+            span(EventKind::Put, 90, 0, Level::Inter),
+        ];
+        let r = &aggregate(&evs)[0];
+        assert_eq!(r.count, 2);
+        assert_eq!(r.p50_ns, 10);
+        assert_eq!(r.p95_ns, 90);
+        assert_eq!(r.p99_ns, 90);
+        assert_eq!(r.max_ns, 90);
+    }
+
+    #[test]
+    fn hundred_event_exact_ranks_are_order_independent() {
+        // On 1..=100 the nearest-rank percentiles are exactly the rank
+        // values — and shuffling the input must not change them.
+        let mut durs: Vec<u64> = (1..=100).collect();
+        // Deterministic shuffle (LCG index swap) — no RNG dependency.
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        for i in (1..durs.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (state >> 33) as usize % (i + 1);
+            durs.swap(i, j);
+        }
+        let evs: Vec<Event> = durs
+            .iter()
+            .map(|d| span(EventKind::Reduce, *d, 5, Level::Whole))
+            .collect();
+        let r = &aggregate(&evs)[0];
+        assert_eq!(r.count, 100);
+        assert_eq!(r.p50_ns, 50, "rank ⌈0.50·100⌉ = 50");
+        assert_eq!(r.p95_ns, 95, "rank ⌈0.95·100⌉ = 95");
+        assert_eq!(r.p99_ns, 99, "rank ⌈0.99·100⌉ = 99");
+        assert_eq!(r.max_ns, 100);
+        assert!((r.mean_ns - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_duration_spans_are_skipped_within_a_group() {
+        // A group mixing real spans with dur=0 noise aggregates only the
+        // real ones — the zeros must not drag percentiles down.
+        let evs = vec![
+            span(EventKind::Get, 0, 0, Level::Intra),
+            span(EventKind::Get, 100, 0, Level::Intra),
+            span(EventKind::Get, 0, 0, Level::Intra),
+            span(EventKind::Get, 200, 0, Level::Intra),
+        ];
+        let r = &aggregate(&evs)[0];
+        assert_eq!(r.count, 2);
+        assert_eq!(r.p50_ns, 100);
+        assert_eq!(r.max_ns, 200);
+    }
+
+    #[test]
     fn summary_rows_shape() {
         let evs = vec![span(EventKind::Barrier, 1500, (3 << 32) | 8, Level::Whole)];
         let (headers, rows) = summary_rows(&evs);

@@ -71,11 +71,39 @@ fn parse_bench(path: &str) -> Result<Vec<Entry>, String> {
     Ok(out)
 }
 
-fn bench_diff(baseline: &str, new: &str, tolerance_pct: f64) -> Result<(), String> {
+fn bench_diff(baseline: &str, new: &str, tolerance_pct: f64, markdown: bool) -> Result<(), String> {
+    let (report, verdict) = bench_diff_report(baseline, new, tolerance_pct, markdown)?;
+    println!("{report}");
+    verdict
+}
+
+/// The diff itself, rendering into a string so the markdown table can be
+/// unit-tested and piped verbatim into `$GITHUB_STEP_SUMMARY`. The outer
+/// `Result` is a parse/usage failure; the inner one is the regression
+/// verdict (the report is printed either way).
+#[allow(clippy::type_complexity)]
+fn bench_diff_report(
+    baseline: &str,
+    new: &str,
+    tolerance_pct: f64,
+    markdown: bool,
+) -> Result<(String, Result<(), String>), String> {
+    use std::fmt::Write as _;
     let base = parse_bench(baseline)?;
     let cur = parse_bench(new)?;
+    let mut out = String::new();
     let mut compared = 0usize;
     let mut failures = Vec::new();
+    if markdown {
+        // GitHub-flavored table, made to be appended to a CI step summary
+        // (`cargo xtask bench-diff a b --markdown >> "$GITHUB_STEP_SUMMARY"`).
+        let _ = writeln!(out, "### Collective bench diff\n");
+        let _ = writeln!(
+            out,
+            "| op | bytes | algo | baseline ns | new ns | Δ% | status |"
+        );
+        let _ = writeln!(out, "|---|---:|---|---:|---:|---:|---|");
+    }
     for b in &base {
         let Some(c) = cur
             .iter()
@@ -89,36 +117,68 @@ fn bench_diff(baseline: &str, new: &str, tolerance_pct: f64) -> Result<(), Strin
         };
         compared += 1;
         let delta_pct = (c.ns - b.ns) / b.ns * 100.0;
-        let mark = if delta_pct > tolerance_pct {
+        let regressed = delta_pct > tolerance_pct;
+        if regressed {
             failures.push(format!(
                 "REGRESSION {} {} B {}: {:.1} -> {:.1} ns ({:+.1}%)",
                 b.op, b.bytes, b.algo, b.ns, c.ns, delta_pct
             ));
-            "FAIL"
+        }
+        if markdown {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {:.1} | {:.1} | {:+.2}% | {} |",
+                b.op,
+                b.bytes,
+                b.algo,
+                b.ns,
+                c.ns,
+                delta_pct,
+                if regressed {
+                    "❌ regression"
+                } else {
+                    "✅ ok"
+                }
+            );
         } else {
-            "ok"
-        };
-        println!(
-            "{mark:>4}  {:<9} {:>8} B  {:<24} {:>14.1} -> {:>14.1} ns  {:+.2}%",
-            b.op, b.bytes, b.algo, b.ns, c.ns, delta_pct
-        );
+            let _ = writeln!(
+                out,
+                "{:>4}  {:<9} {:>8} B  {:<24} {:>14.1} -> {:>14.1} ns  {:+.2}%",
+                if regressed { "FAIL" } else { "ok" },
+                b.op,
+                b.bytes,
+                b.algo,
+                b.ns,
+                c.ns,
+                delta_pct
+            );
+        }
     }
     if compared == 0 {
         return Err("no comparable entries between the two files".into());
     }
-    println!(
-        "\ncompared {compared} entries, tolerance {tolerance_pct}%: {}",
-        if failures.is_empty() {
-            "no regressions".to_string()
-        } else {
-            format!("{} failure(s)", failures.len())
-        }
-    );
-    if failures.is_empty() {
+    let verdict = if failures.is_empty() {
+        "no regressions".to_string()
+    } else {
+        format!("{} failure(s)", failures.len())
+    };
+    if markdown {
+        let _ = writeln!(
+            out,
+            "\ncompared {compared} entries at ±{tolerance_pct}% tolerance: **{verdict}**"
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "\ncompared {compared} entries, tolerance {tolerance_pct}%: {verdict}"
+        );
+    }
+    let result = if failures.is_empty() {
         Ok(())
     } else {
         Err(failures.join("\n"))
-    }
+    };
+    Ok((out, result))
 }
 
 /// Build and run the `caf-check` harness, passing every remaining CLI
@@ -139,7 +199,7 @@ fn check(passthrough: &[String]) -> Result<(), String> {
 
 fn usage() -> String {
     "usage: cargo xtask check [--quick|--deep] [--seeds N] [--socket|--socket-only]\n       \
-     cargo xtask bench-diff <baseline.json> <new.json> [--tolerance PCT]"
+     cargo xtask bench-diff <baseline.json> <new.json> [--tolerance PCT] [--markdown]"
         .into()
 }
 
@@ -149,12 +209,15 @@ fn run() -> Result<(), String> {
         Some("check") => check(&args[1..]),
         Some("bench-diff") => {
             let mut tolerance = 10.0f64;
+            let mut markdown = false;
             let mut files = Vec::new();
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
                 if a == "--tolerance" {
                     let v = it.next().ok_or("--tolerance needs a value")?;
                     tolerance = v.parse().map_err(|e| format!("bad tolerance {v:?}: {e}"))?;
+                } else if a == "--markdown" {
+                    markdown = true;
                 } else {
                     files.push(a.clone());
                 }
@@ -162,7 +225,7 @@ fn run() -> Result<(), String> {
             if files.len() != 2 {
                 return Err(usage());
             }
-            bench_diff(&files[0], &files[1], tolerance)
+            bench_diff(&files[0], &files[1], tolerance, markdown)
         }
         _ => Err(usage()),
     }
@@ -211,7 +274,7 @@ mod tests {
     fn identical_files_pass() {
         let a = tmp("ident-a", SAMPLE);
         let b = tmp("ident-b", SAMPLE);
-        assert!(bench_diff(&a, &b, 10.0).is_ok());
+        assert!(bench_diff(&a, &b, 10.0, false).is_ok());
     }
 
     #[test]
@@ -219,10 +282,10 @@ mod tests {
         let a = tmp("reg-a", SAMPLE);
         let worse = SAMPLE.replace("100.0", "115.0");
         let b = tmp("reg-b", &worse);
-        let err = bench_diff(&a, &b, 10.0).unwrap_err();
+        let err = bench_diff(&a, &b, 10.0, false).unwrap_err();
         assert!(err.contains("REGRESSION"), "{err}");
         // A looser tolerance admits the same delta.
-        assert!(bench_diff(&a, &b, 20.0).is_ok());
+        assert!(bench_diff(&a, &b, 20.0, false).is_ok());
     }
 
     #[test]
@@ -230,7 +293,7 @@ mod tests {
         let a = tmp("imp-a", SAMPLE);
         let better = SAMPLE.replace("5000.5", "2000.0");
         let b = tmp("imp-b", &better);
-        assert!(bench_diff(&a, &b, 10.0).is_ok());
+        assert!(bench_diff(&a, &b, 10.0, false).is_ok());
     }
 
     #[test]
@@ -241,7 +304,36 @@ mod tests {
             "",
         );
         let b = tmp("miss-b", &fewer);
-        let err = bench_diff(&a, &b, 10.0).unwrap_err();
+        let err = bench_diff(&a, &b, 10.0, false).unwrap_err();
         assert!(err.contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn markdown_renders_a_github_table() {
+        let a = tmp("md-a", SAMPLE);
+        let b = tmp("md-b", SAMPLE);
+        let (report, verdict) = bench_diff_report(&a, &b, 10.0, true).unwrap();
+        assert!(verdict.is_ok());
+        assert!(
+            report.contains("| op | bytes | algo | baseline ns | new ns | Δ% | status |"),
+            "{report}"
+        );
+        assert!(
+            report.contains("| broadcast | 8 | two_level | 100.0 | 100.0 | +0.00% | ✅ ok |"),
+            "{report}"
+        );
+        assert!(report.contains("**no regressions**"), "{report}");
+    }
+
+    #[test]
+    fn markdown_regressions_still_fail() {
+        let a = tmp("mdreg-a", SAMPLE);
+        let worse = SAMPLE.replace("100.0", "130.0");
+        let b = tmp("mdreg-b", &worse);
+        let (report, verdict) = bench_diff_report(&a, &b, 10.0, true).unwrap();
+        let err = verdict.unwrap_err();
+        assert!(err.contains("REGRESSION"), "{err}");
+        assert!(report.contains("❌ regression"), "{report}");
+        assert!(report.contains("**1 failure(s)**"), "{report}");
     }
 }
