@@ -38,4 +38,4 @@ pub mod socket;
 
 pub use harness::{check_program, CheckOptions, CheckReport, Failure, Program};
 pub use scenario::{algo_by_name, algo_matrix, conformance, Scenario};
-pub use socket::{check_socket, socket_child_main, socket_digests};
+pub use socket::{check_recover, check_socket, socket_child_main, socket_digests, RecoverDrill};

@@ -7,18 +7,21 @@
 //! report on the first divergence.
 
 use caf_check::{
-    algo_matrix, check_program, check_socket, conformance, socket_child_main, CheckOptions,
-    Program, Scenario,
+    algo_matrix, check_program, check_recover, check_socket, conformance, socket_child_main,
+    CheckOptions, Program, RecoverDrill, Scenario,
 };
 use std::process::ExitCode;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 struct Args {
     deep: bool,
     seeds_per_cell: Option<usize>,
     socket: bool,
     socket_only: bool,
+    recover: bool,
+    recover_only: bool,
+    kill_after_ms: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -26,6 +29,9 @@ fn parse_args() -> Result<Args, String> {
     let mut seeds_per_cell = None;
     let mut socket = false;
     let mut socket_only = false;
+    let mut recover = false;
+    let mut recover_only = false;
+    let mut kill_after_ms = 150;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -36,6 +42,17 @@ fn parse_args() -> Result<Args, String> {
                 socket = true;
                 socket_only = true;
             }
+            "--recover" => recover = true,
+            "--recover-only" => {
+                recover = true;
+                recover_only = true;
+            }
+            "--kill-after-ms" => {
+                let v = it.next().ok_or("--kill-after-ms needs a value")?;
+                kill_after_ms = v
+                    .parse()
+                    .map_err(|e| format!("bad --kill-after-ms {v:?}: {e}"))?;
+            }
             "--seeds" => {
                 let v = it.next().ok_or("--seeds needs a value")?;
                 seeds_per_cell = Some(v.parse().map_err(|e| format!("bad --seeds {v:?}: {e}"))?);
@@ -44,6 +61,7 @@ fn parse_args() -> Result<Args, String> {
                 return Err(format!(
                     "unknown argument {other:?}\n\
                      usage: caf-check [--quick|--deep] [--seeds N] [--socket|--socket-only]\n\
+                     \x20      [--recover|--recover-only] [--kill-after-ms T]\n\
                      env:   CAF_CHECK_SEED=N            replay exactly one chaos seed\n\
                      env:   CAF_CHECK_SOCKET_ALGOS=a,b  restrict the socket column's algo cells"
                 ))
@@ -55,6 +73,9 @@ fn parse_args() -> Result<Args, String> {
         seeds_per_cell,
         socket,
         socket_only,
+        recover,
+        recover_only,
+        kill_after_ms,
     })
 }
 
@@ -89,6 +110,42 @@ fn run_socket_column() -> Result<usize, ExitCode> {
     Ok(cells)
 }
 
+/// The kill-and-recover drill family on the mini scenario: one drill per
+/// victim node (rank 0 hosts the team leader — its death exercises leader
+/// re-election in the re-formed team), each a respawn-supervised fleet
+/// whose recovered digests must match the undisturbed sim oracle.
+fn run_recover_drills(kill_after_ms: u64) -> Result<(), ExitCode> {
+    let scn = Scenario::mini();
+    let matrix = algo_matrix();
+    let (algo_name, algo) = &matrix[0];
+    let t0 = Instant::now();
+    let mut drills = 0usize;
+    // The kill can only land while the fleet is inside the conformance
+    // loop, so the loop must outlast --kill-after-ms in *this* build
+    // profile: release runs a rep roughly 40x faster than debug.
+    let reps = if cfg!(debug_assertions) { 16 } else { 640 };
+    for kill_node in [1usize, 0] {
+        let drill = RecoverDrill {
+            kill_node,
+            kill_after: Duration::from_millis(kill_after_ms),
+            reps,
+        };
+        if let Err(failure) = check_recover(&scn, algo_name, *algo, &drill, 3) {
+            eprintln!("{}", failure.render());
+            return Err(ExitCode::FAILURE);
+        }
+        drills += 1;
+    }
+    println!(
+        "caf-check: kill-and-recover drills clean on {} — {drills} drills, each a \
+         respawned node rejoining mid-run with digests matching the undisturbed \
+         oracle bit-for-bit ({:.1}s)",
+        scn.name,
+        t0.elapsed().as_secs_f64()
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     // Fleet-member mode: this very binary, re-executed by caf-launch.
     // Dispatch before normal parsing — children take no other flags.
@@ -102,6 +159,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.recover_only {
+        return match run_recover_drills(args.kill_after_ms) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(code) => code,
+        };
+    }
     if args.socket_only {
         return match run_socket_column() {
             Ok(_) => ExitCode::SUCCESS,
@@ -164,6 +227,11 @@ fn main() -> ExitCode {
     );
     if args.socket {
         if let Err(code) = run_socket_column() {
+            return code;
+        }
+    }
+    if args.recover {
+        if let Err(code) = run_recover_drills(args.kill_after_ms) {
             return code;
         }
     }

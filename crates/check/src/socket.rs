@@ -15,8 +15,8 @@ use crate::harness::{diff, CheckReport, Failure};
 use crate::scenario::{algo_by_name, conformance, Scenario};
 use caf_collectives::CollectiveConfig;
 use caf_fabric::socket::{SocketConfig, SocketFabric};
-use caf_launch::{launch, ChildEnv, LaunchSpec};
-use caf_runtime::{run, run_hosted, FabricChoice, RunConfig};
+use caf_launch::{launch, ChildEnv, KillSpec, LaunchSpec};
+use caf_runtime::{run, run_hosted, run_hosted_rejoin, FabricChoice, ImageCtx, RunConfig};
 use caf_topology::{ImageMap, NodeId, Placement};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
@@ -25,6 +25,30 @@ use std::time::Duration;
 pub const ENV_SCENARIO: &str = "CAF_CHECK_SCENARIO";
 /// Environment variable carrying the algorithm-cell label.
 pub const ENV_ALGO: &str = "CAF_CHECK_ALGO";
+/// Environment variable telling `--socket-child` to run the conformance
+/// program inside [`ImageCtx::recovering`] — required by the
+/// kill-and-recover drill, where survivors must ride out a peer death and
+/// re-run from the top instead of aborting. Its value is the repetition
+/// count: the body loops conformance that many times (every rep produces
+/// the same digest, so the oracle is unchanged) purely to hold the fleet
+/// in flight long enough for the scheduled kill to land mid-run.
+pub const ENV_RECOVER: &str = "CAF_CHECK_RECOVER";
+
+/// The kill-and-recover drill plan: which node the launcher kills, and
+/// when. The fleet runs with `respawn` on, so the dead node is revived,
+/// rejoins at the next recovery generation, and the whole team restarts
+/// the conformance program — whose digests must then match the
+/// undisturbed sim oracle bit-for-bit.
+#[derive(Clone, Copy, Debug)]
+pub struct RecoverDrill {
+    /// Node rank of the victim process.
+    pub kill_node: usize,
+    /// Delay from supervision start to the kill.
+    pub kill_after: Duration,
+    /// Conformance repetitions per attempt — stretches the run so the
+    /// kill reliably lands mid-collective (see [`ENV_RECOVER`]).
+    pub reps: usize,
+}
 
 fn placed(scn: &Scenario) -> ImageMap {
     ImageMap::new(scn.machine.clone(), scn.images, &Placement::Packed)
@@ -51,18 +75,52 @@ fn node_images(map: &ImageMap) -> Vec<Vec<usize>> {
 /// Must be called from a binary that dispatches `--socket-child` to
 /// [`socket_child_main`] — the fleet re-executes `current_exe()`.
 pub fn socket_digests(scn: &Scenario, algo_name: &str) -> Result<Vec<u64>, String> {
+    fleet_digests(scn, algo_name, None).map(|(digests, _)| digests)
+}
+
+/// Per-image digests plus the respawn events `(node, generation)` the
+/// supervisor repaired during the run.
+pub type DrilledDigests = (Vec<u64>, Vec<(usize, u64)>);
+
+/// [`socket_digests`] plus optional fault injection: with a
+/// [`RecoverDrill`], the fleet runs respawn-supervised, the victim is
+/// killed on schedule, and the respawn events `(node, generation)` the
+/// supervisor repaired are returned alongside the digests.
+pub fn fleet_digests(
+    scn: &Scenario,
+    algo_name: &str,
+    drill: Option<&RecoverDrill>,
+) -> Result<DrilledDigests, String> {
     let map = placed(scn);
     let plan = node_images(&map);
     // Children inherit the environment: this is how the scenario and algo
     // cell reach them (argv stays fixed across the sweep).
     std::env::set_var(ENV_SCENARIO, &scn.name);
     std::env::set_var(ENV_ALGO, algo_name);
+    match drill {
+        Some(d) => std::env::set_var(ENV_RECOVER, d.reps.max(1).to_string()),
+        None => std::env::remove_var(ENV_RECOVER),
+    }
     let exe = std::env::current_exe()
         .map_err(|e| format!("cannot find own executable: {e}"))?
         .to_string_lossy()
         .into_owned();
     let mut spec = LaunchSpec::new(vec![exe, "--socket-child".into()], plan);
     spec.run_timeout = Duration::from_secs(120);
+    if let Some(d) = drill {
+        if d.kill_node >= spec.node_images.len() {
+            return Err(format!(
+                "drill kills node {} but the fleet has {} processes",
+                d.kill_node,
+                spec.node_images.len()
+            ));
+        }
+        spec.respawn = true;
+        spec.kill = Some(KillSpec {
+            rank: d.kill_node,
+            after: d.kill_after,
+        });
+    }
     let outcome = launch(&spec).map_err(|e| e.to_string())?;
     if outcome.results.len() != scn.images {
         return Err(format!(
@@ -76,7 +134,10 @@ pub fn socket_digests(scn: &Scenario, algo_name: &str) -> Result<Vec<u64>, Strin
             return Err(format!("fleet results missing image {}", i + 1));
         }
     }
-    Ok(outcome.results.into_iter().map(|(_, d)| d).collect())
+    Ok((
+        outcome.results.into_iter().map(|(_, d)| d).collect(),
+        outcome.respawns,
+    ))
 }
 
 /// Differentially check one (scenario, algorithm) cell on the socket
@@ -121,6 +182,75 @@ pub fn check_socket(
     })
 }
 
+/// The kill-and-recover drill: a respawn-supervised fleet loses one node
+/// mid-run, repairs it, the full team restarts the conformance program —
+/// and the final per-image digests must match the **undisturbed**
+/// sim-oracle run bit-for-bit. The conformance program keeps no
+/// checkpoints, so recovery means a clean global restart on the rejoined
+/// team; any state the fabric failed to reset (a stale flag count, a
+/// half-applied put, a surviving pre-death frame) shows up as a digest
+/// divergence.
+///
+/// A fast fleet can finish before the scheduled kill lands; such a run
+/// proves nothing about recovery, so the drill retries with the remaining
+/// attempts and fails if the kill never landed.
+pub fn check_recover(
+    scn: &Scenario,
+    algo_name: &str,
+    algo: CollectiveConfig,
+    drill: &RecoverDrill,
+    attempts: usize,
+) -> Result<CheckReport, Box<Failure>> {
+    let fail = |detail: String| {
+        Box::new(Failure {
+            scenario: scn.name.clone(),
+            algo: algo_name.to_string(),
+            kind: "kill-and-recover".into(),
+            seed: None,
+            minimal: None,
+            detail,
+            trace_window: String::new(),
+        })
+    };
+    let cfg = RunConfig {
+        machine: scn.machine.clone(),
+        images: scn.images,
+        placement: Placement::Packed,
+        fabric: FabricChoice::Sim(caf_fabric::SimConfig::default()),
+        collectives: algo,
+    };
+    let oracle = catch_unwind(AssertUnwindSafe(|| run(cfg, conformance)))
+        .map_err(|_| fail("oracle (default sim) panicked".into()))?;
+    for attempt in 1..=attempts.max(1) {
+        let (digests, respawns) = match fleet_digests(scn, algo_name, Some(drill)) {
+            Ok(pair) => pair,
+            Err(e) => return Err(fail(format!("drill fleet failed: {e}"))),
+        };
+        if let Some(detail) = diff(&oracle, &Ok(digests)) {
+            return Err(fail(format!(
+                "recovered fleet diverged from the undisturbed oracle: {detail}"
+            )));
+        }
+        if !respawns.is_empty() {
+            return Ok(CheckReport {
+                runs: 1 + attempt,
+                chaos_runs: 0,
+                fault_runs: attempt,
+            });
+        }
+        eprintln!(
+            "caf-check: kill-and-recover on {} / {algo_name}: fleet finished before \
+             the kill landed (attempt {attempt}/{attempts})",
+            scn.name
+        );
+    }
+    Err(fail(format!(
+        "the scheduled kill (node {} after {:?}) never landed in {attempts} attempts — \
+         the drill exercised nothing; lower --kill-after-ms or raise iterations",
+        drill.kill_node, drill.kill_after
+    )))
+}
+
 /// Entry point for the hidden `--socket-child` mode: join the fleet
 /// described by the launcher environment, run conformance on this node's
 /// images, report digests. Returns a process exit code.
@@ -153,16 +283,39 @@ pub fn socket_child_main() -> i32 {
             return 2;
         }
     };
-    let (fabric, mut coord) =
-        match SocketFabric::join(placed(&scn), env.node, &env.coord, SocketConfig::from_env()) {
-            Ok(pair) => pair,
-            Err(e) => {
-                eprintln!("--socket-child node {}: join failed: {e}", env.node);
-                return 1;
-            }
-        };
+    let recover_reps: Option<usize> = std::env::var(ENV_RECOVER).ok().and_then(|v| v.parse().ok());
+    let cfg = SocketConfig::from_env();
+    // A respawned incarnation carries the generation it must rejoin at.
+    let rejoining = cfg.rejoin_generation.is_some();
+    let (fabric, mut coord) = match SocketFabric::join(placed(&scn), env.node, &env.coord, cfg) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("--socket-child node {}: join failed: {e}", env.node);
+            return 1;
+        }
+    };
     let hosted = fabric.hosted().to_vec();
-    let results = run_hosted(fabric.clone(), &hosted, algo, conformance);
+    // Recovery mode: ride out a peer death (the poison panic is caught by
+    // `recovering`), re-form the team — full again once the victim
+    // rejoins — and restart conformance from the top. No checkpoints, so
+    // a correct recovery reproduces the undisturbed digests exactly.
+    let body = move |img: &mut ImageCtx| match recover_reps {
+        Some(reps) => img
+            .recovering(2, |img| {
+                let mut digest = 0;
+                for _ in 0..reps.max(1) {
+                    digest = conformance(img);
+                }
+                Ok(digest)
+            })
+            .unwrap_or_else(|e| panic!("image {} could not recover: {e}", img.this_image())),
+        None => conformance(img),
+    };
+    let results = if rejoining {
+        run_hosted_rejoin(fabric.clone(), &hosted, algo, body)
+    } else {
+        run_hosted(fabric.clone(), &hosted, algo, body)
+    };
     let report: Vec<(u32, u64)> = results
         .iter()
         .map(|(p, digest)| (p.index() as u32, *digest))

@@ -317,6 +317,75 @@ impl TeamComm {
         Self::assemble(fabric, me, me.index(), members, hier, cfg, layout, rsrc)
     }
 
+    /// Create a team spanning an explicit member list **without** a parent
+    /// team — the formation path of `form_recovery_team()`. Every member
+    /// passes the same `members` list (each survivor computes it locally
+    /// from `Fabric::alive_images`, so no agreement protocol is needed)
+    /// and a fresh `boot_epoch` counter matching the post-heal flag state.
+    ///
+    /// Identical in mechanism to [`TeamComm::create_initial`] — bootstrap
+    /// slots indexed by global rank, two control barriers around the id
+    /// exchange — except both barriers run only over `members`, with
+    /// `members[0]` as leader, so a dead rank 0 (or a whole dead node)
+    /// cannot block formation. Ranks in the new team are dense: member `i`
+    /// of the list becomes team rank `i`.
+    pub fn create_among(
+        fabric: ArcFabric,
+        me: ProcId,
+        members: Vec<ProcId>,
+        cfg: CollectiveConfig,
+        boot_epoch: &mut u64,
+    ) -> Self {
+        let rank = members
+            .iter()
+            .position(|&p| p == me)
+            .expect("create_among: caller must be in the member list");
+        let members: Arc<Vec<ProcId>> = Arc::new(members);
+        let m = members.len();
+        let hier = Arc::new(HierarchyView::build(fabric.image_map(), &members));
+        let local_max = hier.sets().iter().map(|s| s.len()).max().unwrap_or(1);
+        let layout = FlagLayout::new(m, local_max);
+        let flags = fabric.alloc_flags(me, layout.total());
+        let exch = fabric.alloc_segment(me, m * EXCH_SLOT);
+
+        // Publish (flags, exch) through the bootstrap segment, slot = the
+        // sender's *global* rank (the segment spans all images by size).
+        let mut slot = [0u8; bootstrap::SLOT_BYTES];
+        slot[0..8].copy_from_slice(&(flags.0 as u64).to_ne_bytes());
+        slot[8..16].copy_from_slice(&(exch.0 as u64).to_ne_bytes());
+        for &j in members.iter() {
+            fabric.put(
+                me,
+                j,
+                bootstrap::SEG,
+                me.index() * bootstrap::SLOT_BYTES,
+                &slot,
+            );
+        }
+        bootstrap::control_barrier_among(&*fabric, me, &members, boot_epoch);
+
+        let mut all = vec![0u8; fabric.n_images() * bootstrap::SLOT_BYTES];
+        fabric.get(me, me, bootstrap::SEG, 0, &mut all);
+        let rsrc: Vec<MemberRsrc> = members
+            .iter()
+            .map(|p| {
+                let base = p.index() * bootstrap::SLOT_BYTES;
+                let f = u64::from_ne_bytes(all[base..base + 8].try_into().expect("8"));
+                let e = u64::from_ne_bytes(all[base + 8..base + 16].try_into().expect("8"));
+                MemberRsrc {
+                    flags: FlagId(f as usize),
+                    exch: SegmentId(e as usize),
+                    scratch: SegmentId(usize::MAX),
+                    gather: SegmentId(usize::MAX),
+                }
+            })
+            .collect();
+        // Nobody may reuse the bootstrap slots until everyone has read them.
+        bootstrap::control_barrier_among(&*fabric, me, &members, boot_epoch);
+
+        Self::assemble(fabric, me, rank, members, hier, cfg, layout, rsrc)
+    }
+
     /// Split the parent team into subteams by `team_number` — the runtime's
     /// `form team` statement. Collective over the **parent** team: every
     /// parent member calls it, supplying its chosen number and optional

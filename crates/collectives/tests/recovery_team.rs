@@ -1,0 +1,181 @@
+//! Collectives on a shrunken (recovery) topology: `create_among` must
+//! yield a correct team for *any* survivor set — including the degenerate
+//! shapes a real failure produces: the bootstrap leader (rank 0) dead, an
+//! entire node dead, and arbitrary scatter — across the full algorithm
+//! matrix, since the hierarchy the algorithms key on changes shape.
+
+use caf_collectives::{BarrierAlgo, BcastAlgo, CollectiveConfig, GatherAlgo, ReduceAlgo, TeamComm};
+use caf_fabric::{run_spmd, ArcFabric, SimConfig, SimFabric};
+use caf_topology::{presets, ImageMap, Placement, ProcId};
+
+fn fabric(nodes: usize, cores: usize, images: usize) -> ArcFabric {
+    let map = ImageMap::new(presets::mini(nodes, cores), images, &Placement::Packed);
+    SimFabric::new(map, SimConfig::default())
+}
+
+/// The full per-dimension algorithm matrix on top of the two-level base,
+/// plus the three presets (mirrors the caf-check 19-cell matrix).
+fn algo_matrix() -> Vec<CollectiveConfig> {
+    let mut m = vec![
+        CollectiveConfig::auto(),
+        CollectiveConfig::one_level(),
+        CollectiveConfig::two_level(),
+    ];
+    for b in [
+        BarrierAlgo::CentralCounter,
+        BarrierAlgo::Dissemination,
+        BarrierAlgo::BinomialTree,
+        BarrierAlgo::Tdlb,
+        BarrierAlgo::TdlbMultilevel,
+    ] {
+        m.push(CollectiveConfig {
+            barrier: b,
+            ..CollectiveConfig::two_level()
+        });
+    }
+    for r in [
+        ReduceAlgo::FlatRecursiveDoubling,
+        ReduceAlgo::FlatBinomial,
+        ReduceAlgo::TwoLevel,
+        ReduceAlgo::TwoLevelPipelined,
+        ReduceAlgo::Rabenseifner,
+    ] {
+        m.push(CollectiveConfig {
+            reduce: r,
+            ..CollectiveConfig::two_level()
+        });
+    }
+    for b in [
+        BcastAlgo::FlatLinear,
+        BcastAlgo::FlatBinomial,
+        BcastAlgo::TwoLevel,
+        BcastAlgo::TwoLevelPipelined,
+    ] {
+        m.push(CollectiveConfig {
+            bcast: b,
+            ..CollectiveConfig::two_level()
+        });
+    }
+    for g in [GatherAlgo::FlatLinear, GatherAlgo::TwoLevel] {
+        m.push(CollectiveConfig {
+            gather: g,
+            ..CollectiveConfig::two_level()
+        });
+    }
+    m
+}
+
+/// Run every matrix cell over `survivors` (0-based global ranks) on a
+/// 2-node × 4-image fabric and verify barrier / reduce / bcast / gather
+/// results on the shrunken topology. Non-survivors retire immediately —
+/// exactly what a recovered fleet looks like after `form_recovery_team`.
+fn check_survivor_set(survivors: &'static [usize]) {
+    for (cell, cfg) in algo_matrix().into_iter().enumerate() {
+        let f = fabric(2, 4, 8);
+        let f2 = f.clone();
+        run_spmd(f, move |me| {
+            if !survivors.contains(&me.index()) {
+                f2.image_done(me);
+                return;
+            }
+            let members: Vec<ProcId> = survivors.iter().map(|&i| ProcId(i)).collect();
+            let m = members.len();
+            let mut boot = 0u64;
+            let mut comm = TeamComm::create_among(f2.clone(), me, members.clone(), cfg, &mut boot);
+            let rank = comm.rank();
+
+            // Reduce: dense-renumbered ranks sum to m(m+1)/2. Payload big
+            // enough to engage the chunked/pipelined paths.
+            let mut buf = vec![rank as i64 + 1; 600];
+            comm.co_sum(&mut buf);
+            let want = (m * (m + 1) / 2) as i64;
+            assert!(
+                buf.iter().all(|&v| v == want),
+                "cell {cell}: co_sum {} != {want} on {survivors:?}",
+                buf[0]
+            );
+
+            // Broadcast from the LAST member (never the old global leader).
+            let mut b = if rank == m - 1 {
+                vec![0xC0FFEEu64; 500]
+            } else {
+                vec![0u64; 500]
+            };
+            comm.co_broadcast(&mut b, m - 1);
+            assert!(
+                b.iter().all(|&v| v == 0xC0FFEE),
+                "cell {cell}: bcast lost on {survivors:?}"
+            );
+
+            // Gather to rank 0 of the new numbering.
+            let got = comm.co_gather(&[(rank + 1) as u64], 0);
+            if rank == 0 {
+                let want: Vec<u64> = (1..=m as u64).collect();
+                assert_eq!(got.unwrap(), want, "cell {cell}: gather on {survivors:?}");
+            } else {
+                assert!(got.is_none());
+            }
+
+            // Barrier really separates epochs: flag-free check via co_max
+            // of a per-rank value written after the barrier.
+            comm.barrier();
+            let mut mx = [rank as i64];
+            comm.co_max(&mut mx);
+            assert_eq!(mx[0], (m - 1) as i64, "cell {cell}");
+
+            f2.image_done(me);
+        });
+    }
+}
+
+#[test]
+fn whole_node_dead_team_spans_one_node() {
+    // Node 0 (images 0..4) died entirely: the hierarchy collapses to a
+    // single node set — the degenerate case where "leaders" and "slaves"
+    // of the two-level algorithms all live on one node.
+    check_survivor_set(&[4, 5, 6, 7]);
+}
+
+#[test]
+fn bootstrap_leader_dead_new_leader_takes_over() {
+    // Global rank 0 — the old control-barrier leader and the root of most
+    // tree algorithms — is dead; members[0] moves to global rank 1.
+    check_survivor_set(&[1, 2, 3, 4, 5, 6, 7]);
+}
+
+#[test]
+fn scattered_survivors_asymmetric_nodes() {
+    // One survivor on node 0, three on node 1: maximally asymmetric
+    // hierarchy (a leader with no slaves next to a nearly full node).
+    check_survivor_set(&[2, 4, 6, 7]);
+}
+
+#[test]
+fn two_survivors_one_per_node() {
+    // Minimal non-trivial team: every collective degenerates to a pair.
+    check_survivor_set(&[3, 5]);
+}
+
+#[test]
+fn single_survivor_all_collectives_are_identities() {
+    check_survivor_set(&[6]);
+}
+
+#[test]
+fn create_among_full_set_matches_create_initial_numbering() {
+    // Sanity: `create_among` over everyone is just the initial team.
+    let f = fabric(2, 4, 8);
+    let f2 = f.clone();
+    run_spmd(f, move |me| {
+        let members: Vec<ProcId> = (0..8).map(ProcId).collect();
+        let mut boot = 0u64;
+        let mut comm =
+            TeamComm::create_among(f2.clone(), me, members, CollectiveConfig::auto(), &mut boot);
+        assert_eq!(comm.rank(), me.index());
+        assert_eq!(comm.size(), 8);
+        let mut v = [1i64];
+        comm.co_sum(&mut v);
+        assert_eq!(v[0], 8);
+        f2.image_done(me);
+    });
+}

@@ -82,6 +82,14 @@ pub struct ChaosConfig {
     /// Fault: every inter-node nonblocking put also triggers a duplicate,
     /// stats-neutral landing (a NIC-level retransmission) one gap later.
     pub duplicate_completions: bool,
+    /// Fault: image `.0` dies at its `.1`-th fabric call — the simulator's
+    /// deterministic analogue of a node crash. The victim is retired from
+    /// scheduling (as by `image_done`) and the fabric is poisoned so
+    /// survivors observe a catchable failure; a recovery-aware program then
+    /// heals the fabric and re-forms on the surviving images. Keyed by the
+    /// per-image op counter, so one seed names the exact kill point and
+    /// `CAF_CHECK_SEED` replay reproduces recovery failures bit-for-bit.
+    pub kill_image_at: Option<(usize, u64)>,
 }
 
 impl ChaosConfig {
@@ -100,6 +108,7 @@ impl ChaosConfig {
             slow_node_ns: 0,
             completion_delay_ns: 0,
             duplicate_completions: false,
+            kill_image_at: None,
         }
     }
 

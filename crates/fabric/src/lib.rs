@@ -84,6 +84,47 @@ impl PutToken {
     pub const DONE: PutToken = PutToken { arrival_ns: 0 };
 }
 
+/// Why a fallible runtime operation could not complete — the catchable form
+/// of the failure that [`Fabric::poison`] otherwise raises as a panic.
+///
+/// Carried by every `try_*` entry point of the runtime so a dead peer
+/// becomes an error an application can recover from (shrink the team or
+/// wait for a respawn) instead of a process-terminating panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecoveryError {
+    /// The fabric is poisoned: a peer died, a fault was injected, or a
+    /// deadlock was detected. The string is the fabric's failure report.
+    Poisoned(String),
+    /// A recovery step (heal rendezvous, rejoin handshake) itself failed.
+    HealFailed(String),
+    /// This fabric has no recovery support (single-failure-domain fabrics).
+    Unsupported,
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryError::Poisoned(msg) => write!(f, "fabric poisoned: {msg}"),
+            RecoveryError::HealFailed(msg) => write!(f, "recovery failed: {msg}"),
+            RecoveryError::Unsupported => write!(f, "fabric does not support recovery"),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+/// Environment variable enabling survivable-fleet (respawn) mode in
+/// multi-process backends: `CAF_RESPAWN=1` keeps the socket fabric's
+/// service threads and data listener up after a peer death so a respawned
+/// incarnation can rejoin (see `SocketConfig::respawn`).
+pub const ENV_RESPAWN: &str = "CAF_RESPAWN";
+
+/// Environment variable set by the supervisor on a **respawned** fleet
+/// member: the recovery generation the rejoining process establishes
+/// (`CAF_GENERATION=g`, g ≥ 1). Absent or 0 means a fresh, first-life
+/// member.
+pub const ENV_GENERATION: &str = "CAF_GENERATION";
+
 /// The one-sided communication substrate consumed by the runtime and the
 /// collective algorithms. All methods are called *by* a particular image
 /// (`me`); implementations may block the calling OS thread (waits, or the
@@ -248,6 +289,48 @@ pub trait Fabric: Send + Sync + 'static {
     /// one image's failure surfaces everywhere instead of hanging the rest
     /// of the team.
     fn poison(&self, msg: &str);
+
+    /// Non-panicking poison probe: `Err` with the failure report when the
+    /// fabric is poisoned. The runtime's `try_*` surface calls this before
+    /// and after each collective so dead-peer poison becomes a catchable
+    /// [`RecoveryError`] instead of a panic.
+    fn health(&self) -> Result<(), RecoveryError> {
+        Ok(())
+    }
+
+    /// The images currently able to participate in a recovery: everyone
+    /// except images the fabric knows to be dead or retired. Fabrics
+    /// without death tracking report all images. Every survivor computes
+    /// the same list locally — the agreement that lets
+    /// `form_recovery_team()` re-form without communicating through the
+    /// (possibly poisoned) collective machinery.
+    fn alive_images(&self) -> Vec<ProcId> {
+        (0..self.n_images()).map(ProcId).collect()
+    }
+
+    /// Recovery generation: how many heal rounds this fabric has completed
+    /// (plus any generation inherited at construction — a respawned
+    /// process starts at the launcher-assigned generation). Stale frames
+    /// from before a peer's death carry an older generation and are
+    /// rejected by the socket backend's rejoin handshake.
+    fn generation(&self) -> u64 {
+        0
+    }
+
+    /// Collective recovery rendezvous: every image in
+    /// [`Self::alive_images`] must call this after catching a
+    /// [`RecoveryError`]. Blocks until all survivors (and, for a
+    /// respawn-mode socket fleet, the rejoined peer) have arrived, then —
+    /// exactly once per round — resets the fabric's synchronization state:
+    /// sync flags zeroed, segment tables truncated to the [`bootstrap`]
+    /// resources, in-flight notifications dropped, poison cleared, and the
+    /// generation bumped. After a successful heal, identical SPMD
+    /// allocation sequences on the survivors re-align segment and flag ids
+    /// exactly as at startup.
+    fn heal(&self, me: ProcId) -> Result<(), RecoveryError> {
+        let _ = me;
+        Err(RecoveryError::Unsupported)
+    }
 }
 
 /// Convenience alias used throughout the runtime.
@@ -295,6 +378,36 @@ pub mod bootstrap {
             }
         } else {
             fabric.flag_add(me, ProcId(0), COUNTER, 1);
+            fabric.flag_wait_ge(me, RELEASE, *epoch);
+        }
+    }
+
+    /// [`control_barrier`] restricted to an explicit member list — the
+    /// control-plane barrier of **recovery team formation**, where the
+    /// full-fabric barrier is unusable because some images are dead (and
+    /// rank 0, the usual leader, may be among them). The leader is
+    /// `members[0]`; every member passes the same list and its own
+    /// post-heal epoch counter (restart at 0 after [`Fabric::heal`] zeroes
+    /// the flags).
+    pub fn control_barrier_among<F: Fabric + ?Sized>(
+        fabric: &F,
+        me: ProcId,
+        members: &[ProcId],
+        epoch: &mut u64,
+    ) {
+        *epoch += 1;
+        let n = members.len() as u64;
+        if n <= 1 {
+            return;
+        }
+        let leader = members[0];
+        if me == leader {
+            fabric.flag_wait_ge(me, COUNTER, (n - 1) * *epoch);
+            for &j in &members[1..] {
+                fabric.flag_add(me, j, RELEASE, 1);
+            }
+        } else {
+            fabric.flag_add(me, leader, COUNTER, 1);
             fabric.flag_wait_ge(me, RELEASE, *epoch);
         }
     }

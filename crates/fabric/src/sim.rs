@@ -54,7 +54,7 @@
 use crate::chaos::ChaosConfig;
 use crate::seg::{FlagId, SegmentId};
 use crate::stats::FabricStats;
-use crate::{Fabric, PutToken};
+use crate::{Fabric, PutToken, RecoveryError};
 use caf_topology::{CostParams, ImageMap, ProcId, SoftwareOverheads};
 use caf_trace::{Event, EventKind, Tracer};
 use parking_lot::{Condvar, Mutex, MutexGuard};
@@ -371,6 +371,18 @@ struct Transfer {
     service_ns: u64,
 }
 
+/// Recovery-rendezvous state: a wall-clock (not virtual-time) barrier of
+/// the surviving images, used by [`Fabric::heal`] after a chaos kill.
+#[derive(Default)]
+struct HealState {
+    /// Survivors currently parked in `heal`.
+    waiting: usize,
+    /// Completed heal rounds (the release signal for parked survivors).
+    round: u64,
+    /// Recovery generation exposed via [`Fabric::generation`].
+    generation: u64,
+}
+
 /// The virtual-time simulation fabric. See the module docs for semantics.
 pub struct SimFabric {
     map: ImageMap,
@@ -380,6 +392,9 @@ pub struct SimFabric {
     /// One condvar per image: commits wake only the next eligible image
     /// (the global argmin), not the whole herd — O(1) wakeups per commit.
     cvs: Vec<Condvar>,
+    /// Recovery rendezvous (see [`Fabric::heal`]).
+    heal: Mutex<HealState>,
+    heal_cv: Condvar,
 }
 
 impl SimFabric {
@@ -425,6 +440,8 @@ impl SimFabric {
                 commits: 0,
             }),
             cvs: (0..n).map(|_| Condvar::new()).collect(),
+            heal: Mutex::new(HealState::default()),
+            heal_cv: Condvar::new(),
         })
     }
 
@@ -443,12 +460,14 @@ impl SimFabric {
     /// Block (wall-clock) until image `me` holds the commit turn.
     fn lock_turn(&self, me: usize) -> MutexGuard<'_, SimCore> {
         let mut core = self.core.lock();
+        let mut my_op = 0;
         if let Some(ch) = &self.cfg.chaos {
             // Charge this call's chaos delay up front, keyed by the
             // per-image op counter (deterministic regardless of which
             // wall-clock order threads reach this mutex in).
             let node = self.map.node_of(ProcId(me)).index();
             let op = core.chaos_ops[me];
+            my_op = op;
             core.chaos_ops[me] += 1;
             core.time[me] += ch.op_delay(me, node, op);
         }
@@ -461,6 +480,22 @@ impl SimFabric {
             self.notify(&core, &woken);
             if core.may_commit(me) {
                 if let Some(ch) = &self.cfg.chaos {
+                    // The kill fault fires at the victim's *commit turn*:
+                    // every op with a smaller (time, rank) key has already
+                    // committed, none with a larger one has — so the fabric
+                    // state at death is a pure function of the seed and
+                    // recovery runs are replayable.
+                    if ch.kill_image_at == Some((me, my_op)) {
+                        core.state[me] = ImgState::Done;
+                        let msg = format!(
+                            "image {me} killed at t={}ns (chaos kill_image_at op {my_op})",
+                            core.time[me]
+                        );
+                        core.poisoned = Some(msg.clone());
+                        drop(core);
+                        self.notify_everyone();
+                        panic!("{msg}");
+                    }
                     core.commits += 1;
                     if ch.reorder
                         && ch.pct_interval > 0
@@ -1186,6 +1221,79 @@ impl Fabric for SimFabric {
             self.notify(&core, &woken);
         }
         drop(core);
+    }
+
+    fn health(&self) -> Result<(), RecoveryError> {
+        match &self.core.lock().poisoned {
+            Some(msg) => Err(RecoveryError::Poisoned(msg.clone())),
+            None => Ok(()),
+        }
+    }
+
+    fn alive_images(&self) -> Vec<ProcId> {
+        self.core
+            .lock()
+            .state
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !matches!(s, ImgState::Done))
+            .map(|(i, _)| ProcId(i))
+            .collect()
+    }
+
+    fn generation(&self) -> u64 {
+        self.heal.lock().generation
+    }
+
+    fn heal(&self, me: ProcId) -> Result<(), RecoveryError> {
+        // A retired image must not join the survivor rendezvous: it would
+        // be counted against the quorum and stall the reset.
+        if matches!(self.core.lock().state[me.index()], ImgState::Done) {
+            return Err(RecoveryError::HealFailed(format!(
+                "image {} is retired and cannot heal",
+                me.index()
+            )));
+        }
+        let mut hs = self.heal.lock();
+        hs.waiting += 1;
+        let round = hs.round;
+        // Survivors expected in this round: every non-retired image. The
+        // count is stable here — kills commit before recovery begins.
+        let expected = self
+            .core
+            .lock()
+            .state
+            .iter()
+            .filter(|s| !matches!(s, ImgState::Done))
+            .count();
+        if hs.waiting >= expected {
+            // Last survivor in: perform the global reset exactly once.
+            let mut core = self.core.lock();
+            let n = core.state.len();
+            for i in 0..n {
+                if !matches!(core.state[i], ImgState::Done) {
+                    core.state[i] = ImgState::Alive;
+                }
+                core.flags[i] = vec![0; crate::bootstrap::NUM_FLAGS];
+                core.segs[i].truncate(crate::bootstrap::NUM_SEGS);
+                core.segs[i][crate::bootstrap::SEG.0].fill(0);
+                core.last_arrival[i] = 0;
+            }
+            core.events.clear();
+            core.poisoned = None;
+            drop(core);
+            hs.waiting = 0;
+            hs.round += 1;
+            hs.generation += 1;
+            drop(hs);
+            self.heal_cv.notify_all();
+            self.notify_everyone();
+        } else {
+            while hs.round == round {
+                self.heal_cv.wait(&mut hs);
+            }
+        }
+        Ok(())
     }
 }
 

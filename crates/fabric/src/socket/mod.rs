@@ -47,7 +47,7 @@ pub use wire::{Addr, Frame, Listener, Stream, Transport};
 
 use crate::seg::{FlagId, SegmentId, SharedBytes};
 use crate::stats::{FabricStats, StatsSnapshot};
-use crate::{Fabric, PutToken};
+use crate::{Fabric, PutToken, RecoveryError};
 use caf_topology::{CostParams, ImageMap, NodeId, ProcId, SoftwareOverheads};
 use caf_trace::{Event, EventKind, Tracer};
 use crossbeam::utils::{Backoff, CachePadded};
@@ -55,7 +55,7 @@ use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use wire::{read_frame, write_frame, WIRE_MAGIC};
 
@@ -87,6 +87,20 @@ pub struct SocketConfig {
     /// healthy fleet finish in milliseconds; a wait this long means a
     /// hung or dead peer that heartbeats somehow missed).
     pub flag_wait_timeout: Duration,
+    /// Survivable-fleet mode (`CAF_RESPAWN=1`): a dead peer still poisons
+    /// the fabric, but service threads stay up, the data listener keeps
+    /// accepting, and [`Fabric::heal`] waits for the supervisor to respawn
+    /// the dead rank and for its [`Frame::Rejoin`] handshake instead of
+    /// treating the death as final.
+    pub respawn: bool,
+    /// `Some(g)`: this process is a **respawned incarnation** of its rank
+    /// (`CAF_GENERATION=g`), rejoining a running fleet to establish
+    /// recovery generation `g`. It skips nothing locally — fresh slots are
+    /// exactly the post-heal state — but dials peers with
+    /// [`Frame::Rejoin`] instead of [`Frame::Open`] and starts its
+    /// generation counter at `g - 1` so the fleet-wide heal lands everyone
+    /// on `g` together.
+    pub rejoin_generation: Option<u64>,
 }
 
 impl Default for SocketConfig {
@@ -102,6 +116,8 @@ impl Default for SocketConfig {
             heartbeat_period: Duration::from_millis(100),
             peer_timeout: Duration::from_secs(2),
             flag_wait_timeout: Duration::from_secs(30),
+            respawn: false,
+            rejoin_generation: None,
         }
     }
 }
@@ -111,6 +127,9 @@ impl SocketConfig {
     /// `CAF_SOCKET_TCP=1` selects TCP, `CAF_SOCKET_IO_TIMEOUT_MS`,
     /// `CAF_SOCKET_PEER_TIMEOUT_MS`, `CAF_SOCKET_HEARTBEAT_MS`, and
     /// `CAF_SOCKET_FLAG_TIMEOUT_MS` override the corresponding timeouts.
+    /// `CAF_RESPAWN=1` enables survivable-fleet mode and `CAF_GENERATION=g`
+    /// (g ≥ 1, set by the supervisor on a respawned child) marks this
+    /// process as a rejoining incarnation establishing generation `g`.
     pub fn from_env() -> Self {
         let ms = |var: &str, default: Duration| {
             std::env::var(var)
@@ -126,6 +145,11 @@ impl SocketConfig {
             peer_timeout: ms("CAF_SOCKET_PEER_TIMEOUT_MS", d.peer_timeout),
             heartbeat_period: ms("CAF_SOCKET_HEARTBEAT_MS", d.heartbeat_period),
             flag_wait_timeout: ms("CAF_SOCKET_FLAG_TIMEOUT_MS", d.flag_wait_timeout),
+            respawn: std::env::var(crate::ENV_RESPAWN).is_ok_and(|v| v == "1"),
+            rejoin_generation: std::env::var(crate::ENV_GENERATION)
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .filter(|g| *g > 0),
             ..d
         }
     }
@@ -192,7 +216,9 @@ pub struct SocketFabric {
     /// Storage per global image; `Some` only for hosted images.
     slots: Vec<Option<ImageSlot>>,
     /// Egress write halves per peer process rank (`None` at own rank).
-    egress: Vec<OnceLock<Egress>>,
+    /// Replaceable (not write-once): a rejoin handshake swaps in a fresh
+    /// connection to a respawned peer.
+    egress: Vec<RwLock<Option<Arc<Egress>>>>,
     /// Monotonic request-cookie source (0 is reserved = "complete").
     next_cookie: AtomicU64,
     pending: Mutex<PendingTable>,
@@ -224,7 +250,27 @@ pub struct SocketFabric {
     shutting_down: AtomicBool,
     /// Fault-injection hook tripped (see [`SocketFabric::sever`]).
     severed: AtomicBool,
+    /// Completed recovery generations (plus any inherited at construction
+    /// by a respawned process).
+    generation: AtomicU64,
+    /// Hosted images' heal rendezvous (the process-local half of
+    /// [`Fabric::heal`]).
+    heal: Mutex<HealState>,
+    heal_cv: Condvar,
+    /// `(generation, round)` → peer ranks whose [`Frame::RecoverBarrier`]
+    /// mark has arrived.
+    recover_marks: Mutex<HashMap<(u64, u64), std::collections::HashSet<usize>>>,
+    recover_cv: Condvar,
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// Process-local heal rendezvous: hosted images gather here; the last
+/// arrival runs the fleet-wide recovery fence.
+struct HealState {
+    waiting: usize,
+    round: u64,
+    /// Failure report of the round's fence leader, for the waiters.
+    failed: Option<String>,
 }
 
 impl SocketFabric {
@@ -302,7 +348,7 @@ impl SocketFabric {
             node_rank,
             hosted,
             slots,
-            egress: (0..n_procs).map(|_| OnceLock::new()).collect(),
+            egress: (0..n_procs).map(|_| RwLock::new(None)).collect(),
             next_cookie: AtomicU64::new(1),
             pending: Mutex::new(PendingTable {
                 entries: HashMap::new(),
@@ -326,6 +372,15 @@ impl SocketFabric {
             all_done: AtomicBool::new(false),
             shutting_down: AtomicBool::new(false),
             severed: AtomicBool::new(false),
+            generation: AtomicU64::new(cfg.rejoin_generation.map_or(0, |g| g - 1)),
+            heal: Mutex::new(HealState {
+                waiting: 0,
+                round: 0,
+                failed: None,
+            }),
+            heal_cv: Condvar::new(),
+            recover_marks: Mutex::new(HashMap::new()),
+            recover_cv: Condvar::new(),
             threads: Mutex::new(Vec::new()),
             occ,
             cfg,
@@ -333,9 +388,24 @@ impl SocketFabric {
 
         if n_procs > 1 {
             fabric.spawn_accepting(listener, n_procs - 1);
+            // A respawned incarnation announces itself with Rejoin (which
+            // carries its fresh listen address so survivors can back-dial);
+            // a first-life member sends the plain Open handshake.
+            let hello = match fabric.cfg.rejoin_generation {
+                Some(generation) => Frame::Rejoin {
+                    node: node_rank as u32,
+                    generation,
+                    addr: listen_addr.to_string(),
+                    magic: WIRE_MAGIC,
+                },
+                None => Frame::Open {
+                    node: node_rank as u32,
+                    magic: WIRE_MAGIC,
+                },
+            };
             for (rank, addr) in peers.iter().enumerate() {
                 if rank != node_rank {
-                    fabric.dial_peer(rank, addr)?;
+                    fabric.dial_peer(rank, addr, &hello)?;
                 }
             }
             fabric.wait_established(n_procs - 1)?;
@@ -401,11 +471,16 @@ impl SocketFabric {
     pub fn sever(&self) {
         self.severed.store(true, Ordering::Release);
         for e in &self.egress {
-            if let Some(e) = e.get() {
+            if let Some(e) = &*e.read() {
                 let w = e.writer.lock();
                 w.get_ref().shutdown_write();
             }
         }
+    }
+
+    /// The current egress connection to process `rank`, if one is up.
+    fn egress_to(&self, rank: usize) -> Option<Arc<Egress>> {
+        self.egress[rank].read().clone()
     }
 
     // ---- construction helpers ----------------------------------------
@@ -432,7 +507,10 @@ impl SocketFabric {
     }
 
     /// Accept loop: collect `expected` ingress connections, identify each
-    /// by its `Open` frame, and hand it to a dedicated ingress thread.
+    /// by its `Open` (or, in respawn mode, `Rejoin`) frame, and hand it to
+    /// a dedicated ingress thread. In respawn mode the listener stays up
+    /// past fleet bring-up so a respawned peer can dial back in at any
+    /// point in the run.
     fn spawn_accepting(self: &Arc<Self>, listener: Listener, expected: usize) {
         let fab = self.clone();
         self.spawn_guarded("accept", move || {
@@ -440,7 +518,10 @@ impl SocketFabric {
                 .set_nonblocking(true)
                 .expect("listener nonblocking");
             let mut accepted = 0;
-            while accepted < expected && !fab.stopping() {
+            while !fab.stopping()
+                && (accepted < expected
+                    || (fab.cfg.respawn && !fab.all_done.load(Ordering::Acquire)))
+            {
                 match listener.accept() {
                     Ok(stream) => {
                         stream
@@ -461,6 +542,32 @@ impl SocketFabric {
                                     fab.obs.wire_rx(node as usize, n);
                                     break node as usize;
                                 }
+                                Ok((
+                                    Frame::Rejoin {
+                                        node,
+                                        generation,
+                                        addr,
+                                        magic,
+                                    },
+                                    n,
+                                )) => {
+                                    assert_eq!(
+                                        magic, WIRE_MAGIC,
+                                        "wire-protocol version mismatch from process {node}"
+                                    );
+                                    fab.stats.record_wire_rx(n);
+                                    fab.obs.wire_rx(node as usize, n);
+                                    match fab.accept_rejoin(node as usize, generation, &addr) {
+                                        Ok(()) => break node as usize,
+                                        Err(e) => {
+                                            eprintln!(
+                                                "caf-socket: rejected rejoin from process \
+                                                 {node}: {e}"
+                                            );
+                                            break usize::MAX; // drop the connection
+                                        }
+                                    }
+                                }
                                 Ok((other, _)) => {
                                     panic!("expected Open on new connection, got {other:?}")
                                 }
@@ -469,9 +576,12 @@ impl SocketFabric {
                                         return;
                                     }
                                 }
-                                Err(_) => return, // dialer vanished pre-handshake
+                                Err(_) => break usize::MAX, // dialer vanished pre-handshake
                             }
                         };
+                        if peer == usize::MAX {
+                            continue;
+                        }
                         fab.mark_seen(peer);
                         accepted += 1;
                         fab.ingress_up.fetch_add(1, Ordering::Release);
@@ -489,9 +599,55 @@ impl SocketFabric {
         });
     }
 
-    /// Dial peer `rank` with capped exponential backoff, send `Open`, store
-    /// the write half, and start the response-reader thread.
-    fn dial_peer(self: &Arc<Self>, rank: usize, addr: &Addr) -> io::Result<()> {
+    /// A respawned incarnation of `node` dialed in: validate its
+    /// generation, rebuild the egress half of the pair by back-dialing its
+    /// fresh address, and revive its liveness state. Runs on the accept
+    /// thread *before* the ingress thread for the new connection starts,
+    /// so by the time the rejoiner's first request arrives the pair is
+    /// fully re-established.
+    fn accept_rejoin(self: &Arc<Self>, node: usize, generation: u64, addr: &str) -> io::Result<()> {
+        let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        if !self.cfg.respawn {
+            return Err(bad("rejoin received but respawn mode is off".into()));
+        }
+        if node >= self.occ.len() || node == self.node_rank {
+            return Err(bad(format!("bogus rejoin rank {node}")));
+        }
+        // A stale frame from a dead incarnation carries an old generation;
+        // only the incarnation establishing the *next* generation may join.
+        let current = self.generation.load(Ordering::Acquire);
+        if generation != current + 1 {
+            return Err(bad(format!(
+                "stale rejoin generation {generation} (current {current})"
+            )));
+        }
+        let peer_addr: Addr = addr
+            .parse()
+            .map_err(|e: String| bad(format!("unparseable rejoin address {addr:?}: {e}")))?;
+        // The rejoin may outrun our own death detection (EOF grace still
+        // ticking). Recovery needs every survivor to observe the death —
+        // poison is what sends hosted images into `heal` — so declare it
+        // now; a no-op if the heartbeat/EOF path already did.
+        self.declare_dead(node, "peer process restarted (rejoin handshake)");
+        // Replace the dead egress before flipping the peer alive: anyone
+        // observing PEER_ALIVE must find a usable connection.
+        let hello = Frame::Open {
+            node: self.node_rank as u32,
+            magic: WIRE_MAGIC,
+        };
+        self.dial_peer(node, &peer_addr, &hello)?;
+        *self.last_peer_stats[node].lock() = None;
+        self.mark_seen(node);
+        self.peer_state[node].store(PEER_ALIVE, Ordering::Release);
+        Ok(())
+    }
+
+    /// Dial peer `rank` with capped exponential backoff, send `hello`
+    /// (`Open`, or `Rejoin` when this process is a respawned incarnation),
+    /// store the write half, and start the response-reader thread. The
+    /// egress slot is *replaced*, not set-once: a rejoin re-dials a peer
+    /// whose previous connection died with the old incarnation.
+    fn dial_peer(self: &Arc<Self>, rank: usize, addr: &Addr, hello: &Frame) -> io::Result<()> {
         let t0 = Instant::now();
         let mut backoff = self.cfg.connect_backoff_start;
         let mut attempts = 0u64;
@@ -523,20 +679,12 @@ impl SocketFabric {
         stream.set_write_timeout(Some(self.cfg.io_timeout))?;
         let reader_half = BufReader::new(stream.try_clone()?);
         let mut writer = BufWriter::new(stream);
-        let n = write_frame(
-            &mut writer,
-            &Frame::Open {
-                node: self.node_rank as u32,
-                magic: WIRE_MAGIC,
-            },
-        )?;
+        let n = write_frame(&mut writer, hello)?;
         self.stats.record_wire_tx(n);
         self.obs.wire_tx(rank, n);
-        self.egress[rank]
-            .set(Egress {
-                writer: Mutex::new(writer),
-            })
-            .unwrap_or_else(|_| panic!("egress to process {rank} connected twice"));
+        *self.egress[rank].write() = Some(Arc::new(Egress {
+            writer: Mutex::new(writer),
+        }));
         self.mark_seen(rank);
         let fab = self.clone();
         self.spawn_guarded("response", move || fab.response_loop(rank, reader_half));
@@ -676,6 +824,13 @@ impl SocketFabric {
                 Frame::Bye { .. } => {
                     self.peer_state[peer].store(PEER_GRACEFUL, Ordering::Release);
                 }
+                Frame::RecoverBarrier {
+                    node,
+                    round,
+                    generation,
+                } => {
+                    self.record_recover_mark(node as usize, round, generation);
+                }
                 other => panic!("unexpected frame on data connection: {other:?}"),
             }
         }
@@ -724,7 +879,12 @@ impl SocketFabric {
                 if rank == self.node_rank {
                     continue;
                 }
-                if let Some(e) = self.egress[rank].get() {
+                if self.peer_state[rank].load(Ordering::Acquire) == PEER_DEAD {
+                    // Dead peers get no heartbeats; in respawn mode the
+                    // slot may come back to life, so keep watching.
+                    continue;
+                }
+                if let Some(e) = self.egress_to(rank) {
                     let mut w = e.writer.lock();
                     if let Ok(n) = write_frame(
                         &mut *w,
@@ -749,7 +909,11 @@ impl SocketFabric {
                                 self.cfg.peer_timeout
                             ),
                         );
-                        return;
+                        // In respawn mode survivors keep beating so they do
+                        // not falsely time each other out during recovery.
+                        if !self.cfg.respawn {
+                            return;
+                        }
                     }
                 }
             }
@@ -771,12 +935,19 @@ impl SocketFabric {
     /// for the `Bye` racing in on the other connection of the pair — it is
     /// a death.
     fn peer_eof(&self, peer: usize) {
+        let entered = self.wall_now();
         let deadline = Instant::now() + EOF_GRACE;
         loop {
             if self.stopping()
                 || self.all_done.load(Ordering::Acquire)
                 || self.peer_state[peer].load(Ordering::Acquire) != PEER_ALIVE
             {
+                return;
+            }
+            // The peer spoke *after* this connection hit EOF: a respawned
+            // incarnation is already up on a fresh connection, and this
+            // thread is watching the corpse of the old one. Not a death.
+            if self.last_seen[peer].load(Ordering::Acquire) > entered {
                 return;
             }
             if Instant::now() > deadline {
@@ -835,6 +1006,144 @@ impl SocketFabric {
             let msg = self.poisoned.lock().clone().unwrap_or_default();
             panic!("image {} {doing} failed: {msg}", me.index() + 1);
         }
+    }
+
+    // ---- recovery fence ------------------------------------------------
+
+    /// An ingress thread received a peer's [`Frame::RecoverBarrier`] mark.
+    fn record_recover_mark(&self, node: usize, round: u64, generation: u64) {
+        let mut marks = self.recover_marks.lock();
+        marks.entry((generation, round)).or_default().insert(node);
+        self.recover_cv.notify_all();
+    }
+
+    /// One round of the fleet-wide recovery fence targeting `generation`:
+    /// send our mark to every currently-alive peer, then wait for theirs.
+    /// Marks ride the ordinary data connections, so a received round-1
+    /// mark proves every pre-fence frame from that peer has already been
+    /// applied (ingress is FIFO). Peers declared dead while we wait drop
+    /// out of the participant set — that is the non-respawn shrink path.
+    fn recover_round(
+        &self,
+        round: u64,
+        generation: u64,
+        deadline: Instant,
+    ) -> Result<(), RecoveryError> {
+        let frame = Frame::RecoverBarrier {
+            node: self.node_rank as u32,
+            round,
+            generation,
+        };
+        for rank in 0..self.occ.len() {
+            if rank == self.node_rank || self.peer_state[rank].load(Ordering::Acquire) != PEER_ALIVE
+            {
+                continue;
+            }
+            // Written straight to the egress writer: the request path's
+            // poison checks would panic mid-recovery.
+            if let Some(e) = self.egress_to(rank) {
+                let mut w = e.writer.lock();
+                match write_frame(&mut *w, &frame) {
+                    Ok(n) => {
+                        self.stats.record_wire_tx(n);
+                        self.obs.wire_tx(rank, n);
+                    }
+                    Err(e) => {
+                        return Err(RecoveryError::HealFailed(format!(
+                            "recovery mark (round {round}) to {} failed: {e}",
+                            self.peer_desc(rank)
+                        )))
+                    }
+                }
+            }
+        }
+        let mut marks = self.recover_marks.lock();
+        loop {
+            let have = marks.get(&(generation, round));
+            let missing: Vec<usize> = (0..self.occ.len())
+                .filter(|&r| {
+                    r != self.node_rank
+                        && self.peer_state[r].load(Ordering::Acquire) == PEER_ALIVE
+                        && !have.is_some_and(|s| s.contains(&r))
+                })
+                .collect();
+            if missing.is_empty() {
+                return Ok(());
+            }
+            if Instant::now() > deadline {
+                return Err(RecoveryError::HealFailed(format!(
+                    "recovery fence round {round} (generation {generation}) timed out \
+                     waiting for processes {missing:?}"
+                )));
+            }
+            self.recover_cv
+                .wait_for(&mut marks, Duration::from_millis(50));
+        }
+    }
+
+    /// Reset this process's synchronization state to the post-bootstrap
+    /// shape a freshly-joined process has: bootstrap segment + control
+    /// flags only (zeroed), no in-flight requests, no poison. Runs between
+    /// the two fence rounds, when no process is issuing application
+    /// traffic and every pre-fence frame has been applied.
+    fn reset_local_state(&self) {
+        for slot in self.slots.iter().flatten() {
+            let mut segs = slot.segs.write();
+            segs.truncate(crate::bootstrap::NUM_SEGS);
+            let boot = &segs[crate::bootstrap::SEG.0];
+            boot.write(0, &vec![0u8; boot.len()]);
+            let mut flags = slot.flags.write();
+            flags.truncate(crate::bootstrap::NUM_FLAGS);
+            for f in flags.iter() {
+                f.store(0, Ordering::Release);
+            }
+        }
+        {
+            let mut g = self.pending.lock();
+            g.entries.clear();
+            for n in g.outstanding_nb.iter_mut() {
+                *n = 0;
+            }
+        }
+        *self.poisoned.lock() = None;
+        self.poison_flag.store(false, Ordering::Release);
+    }
+
+    /// The fleet-wide half of [`Fabric::heal`], run by one image per
+    /// process: wait for respawned peers to dial back in (respawn mode),
+    /// then a two-round fence — round 1 "stopped, stale traffic drained",
+    /// local reset, round 2 "reset complete" — and finally commit the new
+    /// generation.
+    fn run_recovery_fence(&self) -> Result<(), RecoveryError> {
+        let target = self.generation.load(Ordering::Acquire) + 1;
+        let deadline = Instant::now() + self.cfg.io_timeout;
+        if self.cfg.respawn {
+            loop {
+                let dead: Vec<usize> = (0..self.occ.len())
+                    .filter(|&r| {
+                        r != self.node_rank
+                            && self.peer_state[r].load(Ordering::Acquire) == PEER_DEAD
+                    })
+                    .collect();
+                if dead.is_empty() {
+                    break;
+                }
+                if Instant::now() > deadline {
+                    return Err(RecoveryError::HealFailed(format!(
+                        "timed out waiting for respawned processes {dead:?} to rejoin"
+                    )));
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+        self.recover_round(1, target, deadline)?;
+        self.reset_local_state();
+        self.recover_round(2, target, deadline)?;
+        self.generation.store(target, Ordering::Release);
+        self.recover_marks
+            .lock()
+            .retain(|(generation, _), _| *generation > target);
+        Ok(())
     }
 
     // ---- data path helpers ---------------------------------------------
@@ -928,8 +1237,8 @@ impl SocketFabric {
     /// waiting for the per-peer writer (the tracer's queueing component).
     fn send_request(&self, me: ProcId, dst: ProcId, frame: &Frame) -> (u64, usize) {
         let rank = self.proc_of_image[dst.index()];
-        let e = self.egress[rank]
-            .get()
+        let e = self
+            .egress_to(rank)
             .unwrap_or_else(|| panic!("no egress connection to process {rank}"));
         let q0 = Instant::now();
         let mut w = e.writer.lock();
@@ -1528,8 +1837,8 @@ impl Fabric for SocketFabric {
         let done = self.done_count.fetch_add(1, Ordering::AcqRel) + 1;
         if done == self.hosted.len() {
             self.all_done.store(true, Ordering::Release);
-            for (rank, e) in self.egress.iter().enumerate() {
-                if let Some(e) = e.get() {
+            for rank in 0..self.egress.len() {
+                if let Some(e) = self.egress_to(rank) {
                     let mut w = e.writer.lock();
                     if let Ok(n) = write_frame(
                         &mut *w,
@@ -1542,6 +1851,65 @@ impl Fabric for SocketFabric {
                     }
                 }
             }
+        }
+    }
+
+    fn health(&self) -> Result<(), RecoveryError> {
+        if self.poison_flag.load(Ordering::Acquire) {
+            let msg = self.poisoned.lock().clone().unwrap_or_default();
+            return Err(RecoveryError::Poisoned(msg));
+        }
+        Ok(())
+    }
+
+    fn alive_images(&self) -> Vec<ProcId> {
+        (0..self.map.n_images())
+            .map(ProcId)
+            .filter(|img| {
+                let rank = self.proc_of_image[img.index()];
+                rank == self.node_rank || self.peer_state[rank].load(Ordering::Acquire) != PEER_DEAD
+            })
+            .collect()
+    }
+
+    fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    fn heal(&self, _me: ProcId) -> Result<(), RecoveryError> {
+        // Process-local rendezvous: the fence must run exactly once per
+        // round, after every hosted image has stopped issuing traffic.
+        // The last hosted image to arrive leads; the rest park here.
+        // Followers get twice the fence budget: the leader's own deadline
+        // starts once it begins waiting for the respawned peer.
+        let wait_deadline = Instant::now() + self.cfg.io_timeout * 2;
+        let mut g = self.heal.lock();
+        let my_round = g.round;
+        g.waiting += 1;
+        if g.waiting < self.hosted.len() {
+            while g.round == my_round {
+                let now = Instant::now();
+                if now >= wait_deadline {
+                    g.waiting = g.waiting.saturating_sub(1);
+                    return Err(RecoveryError::HealFailed(
+                        "timed out waiting for the recovery fence leader".into(),
+                    ));
+                }
+                self.heal_cv.wait_for(&mut g, wait_deadline - now);
+            }
+            match &g.failed {
+                Some(msg) => Err(RecoveryError::HealFailed(msg.clone())),
+                None => Ok(()),
+            }
+        } else {
+            g.waiting = 0;
+            drop(g);
+            let res = self.run_recovery_fence();
+            let mut g = self.heal.lock();
+            g.round += 1;
+            g.failed = res.as_ref().err().map(|e| e.to_string());
+            self.heal_cv.notify_all();
+            res
         }
     }
 
@@ -1961,5 +2329,153 @@ mod tests {
         let cfg = SocketConfig::from_env();
         assert_eq!(cfg.peer_timeout, Duration::from_millis(1234));
         std::env::remove_var("CAF_SOCKET_PEER_TIMEOUT_MS");
+    }
+
+    /// Full rejoin cycle inside one OS process: a 2-process fleet loses
+    /// process 1 abruptly (no Bye), a new incarnation joins with a
+    /// `Rejoin` handshake at generation 1, both sides run the recovery
+    /// fence, and the data plane works again on the healed fabric.
+    #[test]
+    fn respawned_process_rejoins_and_fleet_heals() {
+        let cfg = SocketConfig {
+            respawn: true,
+            heartbeat_period: Duration::from_millis(25),
+            peer_timeout: Duration::from_millis(400),
+            ..quick_cfg()
+        };
+        let m = map(2, 1, 2);
+
+        // Inline coordinator that, unlike `testing::fleet`'s, stays up for
+        // one extra Hello — the respawned incarnation re-registering.
+        let listener = Listener::bind(cfg.transport).expect("bind coordinator");
+        let coord_addr = listener.local_addr().expect("coordinator addr");
+        let coord = std::thread::spawn(move || {
+            let mut conns = Vec::new();
+            let mut addrs = vec![String::new(); 2];
+            for _ in 0..2 {
+                let s = listener.accept().expect("accept");
+                let mut r = BufReader::new(s.try_clone().expect("clone"));
+                match read_frame(&mut r).expect("read hello") {
+                    (Frame::Hello { node, addr, magic }, _) => {
+                        assert_eq!(magic, WIRE_MAGIC);
+                        addrs[node as usize] = addr;
+                        conns.push(s);
+                    }
+                    (other, _) => panic!("expected Hello, got {other:?}"),
+                }
+            }
+            for s in conns.iter_mut() {
+                write_frame(
+                    s,
+                    &Frame::Peers {
+                        addrs: addrs.clone(),
+                    },
+                )
+                .expect("send peers");
+            }
+            // The respawned rank 1 re-registers with a fresh address.
+            let mut s = listener.accept().expect("accept rejoin");
+            let mut r = BufReader::new(s.try_clone().expect("clone"));
+            match read_frame(&mut r).expect("read rejoin hello") {
+                (Frame::Hello { node, addr, .. }, _) => {
+                    assert_eq!(node, 1, "only rank 1 was respawned");
+                    addrs[1] = addr;
+                }
+                (other, _) => panic!("expected rejoin Hello, got {other:?}"),
+            }
+            write_frame(&mut s, &Frame::Peers { addrs }).expect("send rejoin peers");
+        });
+
+        let join = |rank: usize, cfg: SocketConfig| {
+            let m = m.clone();
+            let coord_addr = coord_addr.clone();
+            std::thread::spawn(move || {
+                SocketFabric::join(m, rank, &coord_addr, cfg)
+                    .expect("join fleet")
+                    .0
+            })
+        };
+        let (j0, j1) = (join(0, cfg.clone()), join(1, cfg.clone()));
+        let (f0, f1_old) = (j0.join().unwrap(), j1.join().unwrap());
+
+        // Image 0's whole life, concurrent with the kill + respawn below:
+        // normal traffic, observe the poison, heal, traffic again.
+        let f = f0.clone();
+        let img0 = std::thread::spawn(move || {
+            let me = ProcId(0);
+            for round in 1..=2u64 {
+                f.put(me, ProcId(1), BSEG, 0, &round.to_ne_bytes());
+                f.flag_add(me, ProcId(1), SPARE_FLAG, 1);
+                f.flag_wait_ge(me, SPARE_FLAG2, round);
+            }
+            let t0 = Instant::now();
+            while f.health().is_ok() {
+                assert!(
+                    t0.elapsed() < Duration::from_secs(5),
+                    "peer death was never observed"
+                );
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            // (No alive_images assertion here: the in-process respawn can
+            // complete its rejoin before this thread polls, racing the
+            // shrunken view away.)
+            f.heal(me).expect("heal after rejoin");
+            assert_eq!(f.generation(), 1);
+            assert_eq!(f.alive_images().len(), 2, "rejoiner counts again");
+            f.health().expect("poison cleared by the fence");
+            // Data plane over the replaced connection pair, on the reset
+            // (zeroed) flags and bootstrap segment.
+            f.put(me, ProcId(1), BSEG, 0, &0xFEEDu64.to_ne_bytes());
+            f.flag_add(me, ProcId(1), SPARE_FLAG, 1);
+            f.flag_wait_ge(me, SPARE_FLAG2, 1);
+            f.image_done(me);
+        });
+
+        // Old incarnation of process 1: answer the two rounds, then die
+        // without a Bye (thread returns, fabric torn down abruptly).
+        {
+            let f = f1_old.clone();
+            let me = ProcId(1);
+            for round in 1..=2u64 {
+                f.flag_wait_ge(me, SPARE_FLAG, round);
+                let mut out = [0u8; 8];
+                f.get(me, me, BSEG, 0, &mut out);
+                assert_eq!(u64::from_ne_bytes(out), round);
+                f.flag_add(me, ProcId(0), SPARE_FLAG2, 1);
+            }
+            f1_old.shutdown();
+            drop(f1_old);
+        }
+
+        // Respawned incarnation: generation 1, fresh listener + Rejoin
+        // handshake toward the survivor.
+        let f1_new = join(
+            1,
+            SocketConfig {
+                rejoin_generation: Some(1),
+                ..cfg
+            },
+        )
+        .join()
+        .unwrap();
+        assert_eq!(f1_new.generation(), 0, "starts one below its target");
+        let f = f1_new.clone();
+        let img1 = std::thread::spawn(move || {
+            let me = ProcId(1);
+            f.heal(me).expect("rejoiner heal");
+            assert_eq!(f.generation(), 1);
+            f.flag_wait_ge(me, SPARE_FLAG, 1);
+            let mut out = [0u8; 8];
+            f.get(me, me, BSEG, 0, &mut out);
+            assert_eq!(u64::from_ne_bytes(out), 0xFEED);
+            f.flag_add(me, ProcId(0), SPARE_FLAG2, 1);
+            f.image_done(me);
+        });
+
+        img0.join().expect("image 0");
+        img1.join().expect("image 1 (respawned)");
+        coord.join().expect("coordinator");
+        f0.shutdown();
+        f1_new.shutdown();
     }
 }

@@ -360,6 +360,38 @@ pub enum Frame {
         /// Sender's process rank.
         node: u32,
     },
+    /// First frame on a data connection dialed by a **respawned** process:
+    /// like [`Frame::Open`], but announces that the dialer is a new
+    /// incarnation of a previously dead rank. `generation` is the recovery
+    /// generation this rejoin establishes — a receiver at generation `g`
+    /// accepts only `generation == g + 1` and drops anything else as a
+    /// stale frame from a dead incarnation. `addr` is the rejoiner's fresh
+    /// data-plane listen address, which the receiver back-dials to rebuild
+    /// its egress half of the pair.
+    Rejoin {
+        /// Dialer's process (node) rank.
+        node: u32,
+        /// The recovery generation this rejoin establishes.
+        generation: u64,
+        /// The rejoiner's listen address, as `Addr` text.
+        addr: String,
+        /// Must equal [`WIRE_MAGIC`].
+        magic: u32,
+    },
+    /// Recovery fence mark, sent point-to-point to every recovery
+    /// participant during [`Fabric::heal`](crate::Fabric::heal). Round 1
+    /// means "my images have all stopped; everything I sent before this
+    /// frame is pre-recovery traffic" (per-connection FIFO drains it);
+    /// round 2 means "my state reset for `generation` is complete". No new
+    /// traffic may be issued until round 2 arrives from every participant.
+    RecoverBarrier {
+        /// Sender's process rank.
+        node: u32,
+        /// Fence round (1 = stopped, 2 = reset complete).
+        round: u64,
+        /// The generation being established.
+        generation: u64,
+    },
     /// Rendezvous: a fleet member announces its rank and listen address.
     Hello {
         /// Member's process rank.
@@ -411,6 +443,8 @@ const T_AMO_RESP: u8 = 8;
 const T_FLAG_ADD: u8 = 9;
 const T_HEARTBEAT: u8 = 10;
 const T_BYE: u8 = 11;
+const T_REJOIN: u8 = 12;
+const T_RECOVER_BARRIER: u8 = 13;
 const T_HELLO: u8 = 16;
 const T_PEERS: u8 = 17;
 const T_DONE: u8 = 18;
@@ -648,6 +682,28 @@ impl Frame {
                 b.push(T_BYE);
                 put_u32(&mut b, *node);
             }
+            Frame::Rejoin {
+                node,
+                generation,
+                addr,
+                magic,
+            } => {
+                b.push(T_REJOIN);
+                put_u32(&mut b, *node);
+                put_u64(&mut b, *generation);
+                put_bytes(&mut b, addr.as_bytes());
+                put_u32(&mut b, *magic);
+            }
+            Frame::RecoverBarrier {
+                node,
+                round,
+                generation,
+            } => {
+                b.push(T_RECOVER_BARRIER);
+                put_u32(&mut b, *node);
+                put_u64(&mut b, *round);
+                put_u64(&mut b, *generation);
+            }
             Frame::Hello { node, addr, magic } => {
                 b.push(T_HELLO);
                 put_u32(&mut b, *node);
@@ -748,6 +804,17 @@ impl Frame {
                 stats: c.stats()?,
             },
             T_BYE => Frame::Bye { node: c.u32()? },
+            T_REJOIN => Frame::Rejoin {
+                node: c.u32()?,
+                generation: c.u64()?,
+                addr: c.string()?,
+                magic: c.u32()?,
+            },
+            T_RECOVER_BARRIER => Frame::RecoverBarrier {
+                node: c.u32()?,
+                round: c.u64()?,
+                generation: c.u64()?,
+            },
             T_HELLO => Frame::Hello {
                 node: c.u32()?,
                 addr: c.string()?,
@@ -935,6 +1002,17 @@ mod tests {
             },
         });
         roundtrip(Frame::Bye { node: 0 });
+        roundtrip(Frame::Rejoin {
+            node: 1,
+            generation: 3,
+            addr: "uds:/tmp/reborn.sock".into(),
+            magic: WIRE_MAGIC,
+        });
+        roundtrip(Frame::RecoverBarrier {
+            node: 2,
+            round: 2,
+            generation: 3,
+        });
         roundtrip(Frame::Hello {
             node: 2,
             addr: "uds:/tmp/x.sock".into(),

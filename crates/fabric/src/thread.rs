@@ -482,6 +482,14 @@ impl Fabric for ThreadFabric {
         let _g = self.wake_lock.lock();
         self.wake_cv.notify_all();
     }
+
+    fn health(&self) -> Result<(), crate::RecoveryError> {
+        if self.poison_flag.load(Ordering::Acquire) {
+            let msg = self.poisoned.lock().clone().unwrap_or_default();
+            return Err(crate::RecoveryError::Poisoned(msg));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

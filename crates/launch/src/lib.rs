@@ -100,6 +100,22 @@ pub struct LaunchSpec {
     /// Keep the observability surface (and the launcher) up this long
     /// after the fleet completes — lets a scraper take a final reading.
     pub obs_linger: Duration,
+    /// Respawn-with-rejoin: when a member dies mid-run, spawn a fresh
+    /// incarnation (with [`caf_fabric::ENV_GENERATION`] = the new recovery
+    /// generation), re-run its rendezvous, and keep supervising instead of
+    /// tearing the fleet down. Children are told via
+    /// [`caf_fabric::ENV_RESPAWN`] so the fabric keeps its listener open
+    /// and accepts `Rejoin` handshakes.
+    pub respawn: bool,
+    /// Total deaths the supervisor will repair before giving up and
+    /// reporting the failure (only meaningful with `respawn`).
+    pub max_respawns: usize,
+    /// Shrink-to-survivors: when a member dies mid-run, keep supervising
+    /// the survivors and accept a fleet that completes without the dead
+    /// node's images (the children re-form their team over the survivors
+    /// via `form_recovery_team`). Ignored when `respawn` repairs the death
+    /// first.
+    pub shrink: bool,
 }
 
 impl LaunchSpec {
@@ -116,6 +132,9 @@ impl LaunchSpec {
             obs_addr: None,
             flight_recorder_grace: Duration::from_secs(3),
             obs_linger: Duration::ZERO,
+            respawn: false,
+            max_respawns: 2,
+            shrink: false,
         }
     }
 }
@@ -129,6 +148,14 @@ pub struct FleetOutcome {
     /// indexed by node rank. `None` for nodes that never shipped any —
     /// e.g. children built without telemetry support.
     pub telemetry: Vec<Option<NodeFeed>>,
+    /// Respawn-with-rejoin events the supervisor repaired, in order:
+    /// `(node rank, recovery generation assigned to the new incarnation)`.
+    /// Empty for an undisturbed (or non-respawn) run.
+    pub respawns: Vec<(usize, u64)>,
+    /// Node ranks that died and were shrunk around (never repaired):
+    /// their images are absent from `results`. Empty unless
+    /// [`LaunchSpec::shrink`] tolerated a death.
+    pub lost: Vec<usize>,
 }
 
 /// Why a launch failed.
@@ -172,16 +199,40 @@ impl Fleet {
         let n = spec.node_images.len();
         let mut children = Vec::with_capacity(n);
         for rank in 0..n {
-            let child = Command::new(&spec.command[0])
-                .args(&spec.command[1..])
+            let mut cmd = Command::new(&spec.command[0]);
+            cmd.args(&spec.command[1..])
                 .env(ENV_NODE, rank.to_string())
                 .env(ENV_NODES, n.to_string())
                 .env(ENV_COORD, coord.to_string())
-                .stdin(Stdio::null())
-                .spawn()?;
-            children.push(child);
+                .stdin(Stdio::null());
+            if spec.respawn {
+                cmd.env(caf_fabric::ENV_RESPAWN, "1");
+            }
+            children.push(cmd.spawn()?);
         }
         Ok(Fleet { children })
+    }
+
+    /// Reap the dead child at `rank` and spawn a fresh incarnation in its
+    /// slot, carrying the recovery generation it must rejoin at.
+    fn respawn(
+        &mut self,
+        spec: &LaunchSpec,
+        coord: &Addr,
+        rank: usize,
+        generation: u64,
+    ) -> std::io::Result<()> {
+        let _ = self.children[rank].wait();
+        let mut cmd = Command::new(&spec.command[0]);
+        cmd.args(&spec.command[1..])
+            .env(ENV_NODE, rank.to_string())
+            .env(ENV_NODES, spec.node_images.len().to_string())
+            .env(ENV_COORD, coord.to_string())
+            .env(caf_fabric::ENV_RESPAWN, "1")
+            .env(caf_fabric::ENV_GENERATION, generation.to_string())
+            .stdin(Stdio::null());
+        self.children[rank] = cmd.spawn()?;
+        Ok(())
     }
 
     /// First child that has exited without being excused, if any.
@@ -444,8 +495,20 @@ pub fn launch(spec: &LaunchSpec) -> Result<FleetOutcome, LaunchError> {
     let mut done: Vec<Option<Vec<(u32, u64)>>> = (0..n).map(|_| None).collect();
     let run_deadline = Instant::now() + spec.run_timeout;
     let mut kill_at = spec.kill.map(|k| (k.rank, Instant::now() + k.after));
+    // Respawn-with-rejoin bookkeeping: the generation counter is the
+    // fleet's recovery-generation clock — each repaired death bumps it and
+    // the new incarnation rejoins at exactly that generation.
+    let mut gen_counter: u64 = 0;
+    let mut respawns_left = if spec.respawn { spec.max_respawns } else { 0 };
+    let mut respawn_events: Vec<(usize, u64)> = Vec::new();
+    // Control-connection EOF seen; stop polling the reader and let the
+    // exit-status check attribute (and possibly repair) the death.
+    let mut control_eof = vec![false; n];
+    // Shrink-to-survivors bookkeeping: ranks whose death was tolerated.
+    let mut lost = vec![false; n];
+    let mut lost_nodes: Vec<usize> = Vec::new();
     loop {
-        if done.iter().all(Option::is_some) {
+        if (0..n).all(|r| done[r].is_some() || lost[r]) {
             break;
         }
         if let Some((rank, at)) = kill_at {
@@ -456,7 +519,7 @@ pub fn launch(spec: &LaunchSpec) -> Result<FleetOutcome, LaunchError> {
         }
         if Instant::now() > run_deadline {
             let missing: Vec<String> = (0..n)
-                .filter(|r| done[*r].is_none())
+                .filter(|r| done[*r].is_none() && !lost[*r])
                 .map(|r| format!("node {r} (images {})", image_list(&spec.node_images[r])))
                 .collect();
             return Err(LaunchError::Fleet(format!(
@@ -465,8 +528,9 @@ pub fn launch(spec: &LaunchSpec) -> Result<FleetOutcome, LaunchError> {
                 spec.run_timeout
             )));
         }
-        // A rank that reported Done may exit whenever it likes.
-        let excused: Vec<bool> = done.iter().map(Option::is_some).collect();
+        // A rank that reported Done (or was shrunk around) may exit
+        // whenever it likes.
+        let excused: Vec<bool> = (0..n).map(|r| done[r].is_some() || lost[r]).collect();
         if let Some((rank, status)) = fleet.check_exits(&excused) {
             // The child exited before its Done frame was read, but a clean
             // exit right after Done is legal: its final frames (telemetry,
@@ -483,6 +547,41 @@ pub fn launch(spec: &LaunchSpec) -> Result<FleetOutcome, LaunchError> {
                     }
                     _ => break,
                 }
+            }
+            if done[rank].is_none() && respawns_left > 0 {
+                // Repair instead of report: spawn a new incarnation, let it
+                // re-register, and hand it the current peer map. Survivors
+                // learn its fresh data-plane address from the `Rejoin`
+                // handshake, not from us.
+                respawns_left -= 1;
+                gen_counter += 1;
+                eprintln!(
+                    "caf-launch: node {rank} (images {}) died ({status}); \
+                     respawning at recovery generation {gen_counter}",
+                    image_list(&spec.node_images[rank])
+                );
+                registry.mark_dead(rank);
+                fleet.respawn(spec, &coord_addr, rank, gen_counter)?;
+                readers[rank] =
+                    rejoin_rendezvous(&listener, rank, &mut addrs, spec.rendezvous_timeout)?;
+                control_eof[rank] = false;
+                registry.mark_respawned(rank);
+                respawn_events.push((rank, gen_counter));
+                continue;
+            }
+            if done[rank].is_none() && spec.shrink {
+                // Tolerate instead of report: the survivors re-form their
+                // team around the hole and complete without these images.
+                eprintln!(
+                    "caf-launch: node {rank} (images {}) died ({status}); \
+                     continuing on the shrunken surviving team",
+                    image_list(&spec.node_images[rank])
+                );
+                registry.mark_dead(rank);
+                lost[rank] = true;
+                lost_nodes.push(rank);
+                control_eof[rank] = true;
+                continue;
             }
             if done[rank].is_none() {
                 return Err(drain_and_report(
@@ -502,7 +601,7 @@ pub fn launch(spec: &LaunchSpec) -> Result<FleetOutcome, LaunchError> {
             continue;
         }
         for rank in 0..n {
-            if done[rank].is_some() {
+            if done[rank].is_some() || control_eof[rank] || lost[rank] {
                 continue;
             }
             match read_frame(&mut readers[rank]) {
@@ -540,9 +639,16 @@ pub fn launch(spec: &LaunchSpec) -> Result<FleetOutcome, LaunchError> {
                 }
                 Err(e) if is_timeout(&e) => {}
                 Err(_) => {
-                    // Coordinator connection closed without Done: give the
-                    // exit-status check above one more cycle to attribute
-                    // it, then report the death directly.
+                    // Coordinator connection closed without Done. With a
+                    // respawn budget (or shrink tolerance), park the reader
+                    // and let the exit-status check attribute and repair
+                    // (or excuse) the death.
+                    if respawns_left > 0 || spec.shrink {
+                        control_eof[rank] = true;
+                        continue;
+                    }
+                    // Otherwise give the exit-status check one more cycle
+                    // to attribute it, then report the death directly.
                     std::thread::sleep(Duration::from_millis(20));
                     let _ = fleet.children[rank].try_wait();
                     let finished: Vec<bool> = done.iter().map(Option::is_some).collect();
@@ -567,6 +673,10 @@ pub fn launch(spec: &LaunchSpec) -> Result<FleetOutcome, LaunchError> {
     // Orderly exit: children leave on their own after Done.
     let exit_deadline = Instant::now() + Duration::from_secs(10);
     for (rank, child) in fleet.children.iter_mut().enumerate() {
+        if lost[rank] {
+            let _ = child.try_wait();
+            continue;
+        }
         loop {
             match child.try_wait() {
                 Ok(Some(status)) => {
@@ -598,7 +708,59 @@ pub fn launch(spec: &LaunchSpec) -> Result<FleetOutcome, LaunchError> {
     Ok(FleetOutcome {
         results,
         telemetry: feeds,
+        respawns: respawn_events,
+        lost: lost_nodes,
     })
+}
+
+/// A respawned incarnation of `rank` re-registers: accept its `Hello`,
+/// record its fresh data-plane address, and hand it the current peer map.
+/// Returns its control-connection reader, already switched to the
+/// supervision poll timeout.
+fn rejoin_rendezvous(
+    listener: &Listener,
+    rank: usize,
+    addrs: &mut [String],
+    timeout: Duration,
+) -> Result<BufReader<Stream>, LaunchError> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if Instant::now() > deadline {
+            return Err(LaunchError::Fleet(format!(
+                "respawned node {rank} did not re-register within {timeout:?}"
+            )));
+        }
+        match listener.accept() {
+            Ok(stream) => {
+                stream.set_read_timeout(Some(timeout))?;
+                let mut writer = stream.try_clone()?;
+                let mut reader = BufReader::new(stream);
+                let (frame, _) = read_frame(&mut reader)?;
+                match frame {
+                    Frame::Hello { node, addr, magic }
+                        if magic == WIRE_MAGIC && node as usize == rank =>
+                    {
+                        addrs[rank] = addr;
+                        write_frame(
+                            &mut writer,
+                            &Frame::Peers {
+                                addrs: addrs.to_vec(),
+                            },
+                        )?;
+                        reader.get_ref().set_read_timeout(Some(POLL))?;
+                        return Ok(reader);
+                    }
+                    other => {
+                        return Err(LaunchError::Fleet(format!(
+                            "expected re-registration Hello from node {rank}, got {other:?}"
+                        )))
+                    }
+                }
+            }
+            Err(e) if is_timeout(&e) => std::thread::sleep(Duration::from_millis(5)),
+            Err(e) => return Err(e.into()),
+        }
+    }
 }
 
 fn is_timeout(e: &std::io::Error) -> bool {

@@ -12,12 +12,20 @@
 //! per-image digest back over the coordinator connection. `--kill-node`
 //! turns the demo into a fault drill: the launcher kills that child
 //! mid-run and must report its 1-based image ranks instead of hanging.
+//! Adding `--respawn` turns the drill into kill-*and-recover*: the dead
+//! node is respawned, rejoins via the `Rejoin` handshake, restores from
+//! the checkpoint store, and the digests must match an undisturbed run.
+//! `--shrink` instead lets the survivors re-form the team without the
+//! dead node and complete on the shrunken topology.
 
 use caf_fabric::socket::{SocketConfig, SocketFabric};
 use caf_fabric::TelemetryPhase;
 use caf_launch::{launch, ChildEnv, KillSpec, LaunchSpec, Transport};
 use caf_obs::{fleet_report_json, fleet_summary, merged_chrome_json, NodeFeed};
-use caf_runtime::{run_hosted, CollectiveConfig};
+use caf_runtime::{
+    recovery::ENV_CKPT_DIR, run_hosted, run_hosted_rejoin, CheckpointStore, CollectiveConfig,
+    ImageCtx, RecoveryError,
+};
 use caf_topology::{presets, ImageMap, NodeId, Placement};
 use caf_trace::Tracer;
 use std::process::ExitCode;
@@ -47,6 +55,18 @@ struct DemoArgs {
     obs_interval_ms: u64,
     /// Keep the observability surface up this long after completion.
     linger_ms: u64,
+    /// Repair a killed node by respawning it with a `Rejoin` handshake;
+    /// the new incarnation restores from the checkpoint store.
+    respawn: bool,
+    /// Tolerate a killed node: survivors re-form the team without it and
+    /// the fleet completes on the shrunken topology.
+    shrink: bool,
+    /// Checkpoint directory shared by all incarnations (`--ckpt-dir`, env
+    /// `CAF_CKPT_DIR`). Respawn runs create a temporary one when unset.
+    ckpt_dir: Option<String>,
+    /// Checkpoint every K iterations in recovery mode — the rollback
+    /// granularity (work since the last epoch boundary is recomputed).
+    ckpt_every: usize,
 }
 
 impl Default for DemoArgs {
@@ -68,6 +88,10 @@ impl Default for DemoArgs {
                 .and_then(|s| s.parse().ok())
                 .unwrap_or(500),
             linger_ms: 0,
+            respawn: false,
+            shrink: false,
+            ckpt_dir: std::env::var(ENV_CKPT_DIR).ok().filter(|s| !s.is_empty()),
+            ckpt_every: 25,
         }
     }
 }
@@ -78,7 +102,8 @@ fn usage() -> ! {
          \x20                [--kill-node R --kill-after-ms T] [--tcp]\n\
          \x20                [--peer-timeout-ms T] [--run-timeout-ms T]\n\
          \x20                [--obs-addr HOST:PORT] [--trace-out DIR]\n\
-         \x20                [--obs-interval-ms T] [--linger-ms T]"
+         \x20                [--obs-interval-ms T] [--linger-ms T]\n\
+         \x20                [--respawn | --shrink] [--ckpt-dir DIR] [--ckpt-every K]"
     );
     std::process::exit(2)
 }
@@ -120,6 +145,12 @@ fn parse_demo(args: &[String]) -> DemoArgs {
             }
             "--linger-ms" => {
                 out.linger_ms = next_val(&mut it, a).parse().unwrap_or_else(|_| usage())
+            }
+            "--respawn" => out.respawn = true,
+            "--shrink" => out.shrink = true,
+            "--ckpt-dir" => out.ckpt_dir = Some(next_val(&mut it, a)),
+            "--ckpt-every" => {
+                out.ckpt_every = next_val(&mut it, a).parse().unwrap_or_else(|_| usage())
             }
             _ => {
                 eprintln!("caf-launch: unknown flag {a}");
@@ -165,6 +196,21 @@ fn demo_parent(args: &DemoArgs, raw: &[String]) -> ExitCode {
     if let Some(ms) = args.peer_timeout_ms {
         std::env::set_var("CAF_SOCKET_PEER_TIMEOUT_MS", ms.to_string());
     }
+    // Respawn needs a file-backed checkpoint store: a fresh incarnation
+    // must read epochs its dead predecessor wrote. The directory reaches
+    // the children through the inherited environment.
+    let mut ckpt_tmp: Option<std::path::PathBuf> = None;
+    if let Some(dir) = &args.ckpt_dir {
+        std::env::set_var(ENV_CKPT_DIR, dir);
+    } else if args.respawn {
+        let dir = std::env::temp_dir().join(format!("caf-ckpt-{}", std::process::id()));
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("caf-launch: cannot create checkpoint dir {dir:?}: {e}");
+            return ExitCode::FAILURE;
+        }
+        std::env::set_var(ENV_CKPT_DIR, &dir);
+        ckpt_tmp = Some(dir);
+    }
     let exe = match std::env::current_exe() {
         Ok(p) => p,
         Err(e) => {
@@ -182,6 +228,8 @@ fn demo_parent(args: &DemoArgs, raw: &[String]) -> ExitCode {
         after: Duration::from_millis(args.kill_after_ms),
     });
     spec.obs_linger = Duration::from_millis(args.linger_ms);
+    spec.respawn = args.respawn;
+    spec.shrink = args.shrink;
     if let Some(addr) = &args.obs_addr {
         match addr.parse() {
             Ok(a) => spec.obs_addr = Some(a),
@@ -191,10 +239,23 @@ fn demo_parent(args: &DemoArgs, raw: &[String]) -> ExitCode {
             }
         }
     }
-    match launch(&spec) {
+    let outcome = launch(&spec);
+    if let Some(dir) = &ckpt_tmp {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    match outcome {
         Ok(outcome) => {
             for (img, digest) in &outcome.results {
                 println!("image {:>3}: digest {digest:#018x}", img + 1);
+            }
+            for (rank, generation) in &outcome.respawns {
+                println!(
+                    "caf-launch: node {rank} respawned and rejoined at recovery \
+                     generation {generation}"
+                );
+            }
+            for rank in &outcome.lost {
+                println!("caf-launch: node {rank} lost; completed on the shrunken surviving team");
             }
             let feeds: Vec<NodeFeed> = outcome.telemetry.iter().flatten().cloned().collect();
             if let Some(dir) = &args.trace_out {
@@ -207,7 +268,7 @@ fn demo_parent(args: &DemoArgs, raw: &[String]) -> ExitCode {
             println!(
                 "caf-launch: fleet complete ({} images across {} processes)",
                 outcome.results.len(),
-                spec.node_images.len()
+                spec.node_images.len() - outcome.lost.len()
             );
             ExitCode::SUCCESS
         }
@@ -282,6 +343,9 @@ fn demo_child(args: &DemoArgs) -> ExitCode {
         cfg.peer_timeout = Duration::from_millis(ms);
         cfg.heartbeat_period = Duration::from_millis((ms / 4).max(10));
     }
+    // A respawned incarnation carries the recovery generation it must
+    // rejoin at (CAF_GENERATION, set by the supervisor).
+    let rejoining = cfg.rejoin_generation.is_some();
     let (fabric, coord) = match SocketFabric::join(map, env.node, &env.coord, cfg) {
         Ok(pair) => pair,
         Err(e) => {
@@ -317,24 +381,34 @@ fn demo_child(args: &DemoArgs) -> ExitCode {
     };
     let hosted = fabric.hosted().to_vec();
     let iters = args.iters;
+    let recover = args.respawn || args.shrink;
+    // One store per process, shared by its image threads; file-backed when
+    // the supervisor exported CAF_CKPT_DIR (respawn), in-memory otherwise.
+    let store = Arc::new(CheckpointStore::from_env());
+    let every = args.ckpt_every.max(1);
+    let body = move |img: &mut ImageCtx| {
+        if recover {
+            img.recovering(MAX_RECOVERIES, |img| demo_epochs(img, &store, iters, every))
+                .unwrap_or_else(|e| panic!("image {} could not recover: {e}", img.this_image()))
+        } else {
+            let me = img.this_image() as u64;
+            let mut h: u64 = DIGEST_SEED;
+            for _ in 0..iters {
+                let mut v = [me];
+                img.co_sum(&mut v);
+                h ^= v[0];
+                h = h.wrapping_mul(DIGEST_PRIME);
+                img.sync_all();
+            }
+            h
+        }
+    };
     let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        run_hosted(
-            fabric.clone(),
-            &hosted,
-            CollectiveConfig::two_level(),
-            move |img| {
-                let me = img.this_image() as u64;
-                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-                for _ in 0..iters {
-                    let mut v = [me];
-                    img.co_sum(&mut v);
-                    h ^= v[0];
-                    h = h.wrapping_mul(0x0000_0100_0000_01b3);
-                    img.sync_all();
-                }
-                h
-            },
-        )
+        if rejoining {
+            run_hosted_rejoin(fabric.clone(), &hosted, CollectiveConfig::two_level(), body)
+        } else {
+            run_hosted(fabric.clone(), &hosted, CollectiveConfig::two_level(), body)
+        }
     }));
     stop.store(true, Ordering::Release);
     if let Some(t) = live {
@@ -370,6 +444,49 @@ fn demo_child(args: &DemoArgs) -> ExitCode {
     drop(coord);
     fabric.shutdown();
     ExitCode::SUCCESS
+}
+
+/// FNV-1a offset basis / prime: the demo digest accumulator.
+const DIGEST_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+const DIGEST_PRIME: u64 = 0x0000_0100_0000_01b3;
+/// How many team re-formations an image rides out before giving up.
+const MAX_RECOVERIES: usize = 2;
+
+/// The restart-shaped demo body: roll back to the last globally complete
+/// checkpoint epoch (none on first launch), then run the remaining
+/// iterations, checkpointing the digest accumulator every `every`-th one.
+/// The same shape serves first launches, shrink survivors, and respawned
+/// rejoiners: `recovering` re-runs it from the top after every team
+/// re-formation, and `restore` decides where to resume.
+fn demo_epochs(
+    img: &mut ImageCtx,
+    store: &CheckpointStore,
+    iters: usize,
+    every: usize,
+) -> Result<u64, RecoveryError> {
+    let me = img.this_image() as u64;
+    let mut h: u64 = DIGEST_SEED;
+    // Epoch e was committed after iteration e*every, so that's where a
+    // rollback resumes; iterations past the last boundary are recomputed.
+    let start = match img.restore(store)? {
+        Some((epoch, payloads)) => {
+            h = u64::from_le_bytes(payloads[0][..8].try_into().expect("digest payload"));
+            epoch as usize * every
+        }
+        None => 0,
+    };
+    img.try_sync_all()?;
+    for it in start..iters {
+        let mut v = [me];
+        img.try_co_sum(&mut v)?;
+        h ^= v[0];
+        h = h.wrapping_mul(DIGEST_PRIME);
+        img.try_sync_all()?;
+        if (it + 1) % every == 0 {
+            img.checkpoint(store, |_| vec![h.to_le_bytes().to_vec()])?;
+        }
+    }
+    Ok(h)
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {

@@ -27,6 +27,8 @@ struct NodeState {
     telemetry: Option<NodeTelemetry>,
     /// Telemetry frames received from this node.
     updates: u64,
+    /// Times the supervisor respawned this node after a death.
+    respawns: u64,
 }
 
 /// Fleet-wide metrics registry: one row per node, updated by the
@@ -50,6 +52,7 @@ impl FleetRegistry {
                         health: NodeHealth::Live,
                         telemetry: None,
                         updates: 0,
+                        respawns: 0,
                     })
                     .collect(),
             ),
@@ -79,6 +82,16 @@ impl FleetRegistry {
         let mut g = self.nodes.lock();
         if let Some(s) = g.get_mut(node) {
             s.health = NodeHealth::Dead;
+        }
+    }
+
+    /// Mark `node` alive again after the supervisor respawned it — the
+    /// death stays visible as a bumped `caf_node_respawns_total`.
+    pub fn mark_respawned(&self, node: usize) {
+        let mut g = self.nodes.lock();
+        if let Some(s) = g.get_mut(node) {
+            s.health = NodeHealth::Live;
+            s.respawns += 1;
         }
     }
 
@@ -125,6 +138,19 @@ impl FleetRegistry {
             out.push_str(&format!(
                 "caf_telemetry_updates_total{{node=\"{r}\"}} {}\n",
                 s.updates
+            ));
+        }
+
+        help(
+            "caf_node_respawns_total",
+            "counter",
+            "times the supervisor respawned the fleet member after a death",
+            &mut out,
+        );
+        for (r, s) in g.iter().enumerate() {
+            out.push_str(&format!(
+                "caf_node_respawns_total{{node=\"{r}\"}} {}\n",
+                s.respawns
             ));
         }
 
@@ -321,6 +347,20 @@ mod tests {
         let m = reg.render_prometheus();
         assert!(m.contains("caf_node_up{node=\"0\"} 0"), "{m}");
         assert!(m.contains("caf_node_up{node=\"1\"} 0"), "{m}");
+    }
+
+    #[test]
+    fn respawn_revives_node_and_counts() {
+        let reg = registry();
+        reg.mark_dead(1);
+        assert!(!reg.healthz().0);
+        reg.mark_respawned(1);
+        let (ok, body) = reg.healthz();
+        assert!(ok, "respawned node counts as live again: {body}");
+        let m = reg.render_prometheus();
+        assert!(m.contains("caf_node_up{node=\"1\"} 1"), "{m}");
+        assert!(m.contains("caf_node_respawns_total{node=\"1\"} 1"), "{m}");
+        assert!(m.contains("caf_node_respawns_total{node=\"0\"} 0"), "{m}");
     }
 
     #[test]

@@ -140,6 +140,28 @@ impl<T: CoValue> Coarray<T> {
         self.get(self.this_image(), 0, &mut out);
         out
     }
+
+    /// Raw bytes of my local slice — the unit of state a checkpoint
+    /// snapshots (see [`crate::ImageCtx::checkpoint`]).
+    pub fn local_bytes(&self) -> Vec<u8> {
+        let data = self.read_local();
+        let mut bytes = vec![0u8; data.len() * T::SIZE];
+        caf_collectives::value::slice_to_bytes(&data, &mut bytes);
+        bytes
+    }
+
+    /// Overwrite my local slice from bytes previously captured by
+    /// [`Self::local_bytes`] (the checkpoint restore path).
+    pub fn restore_local_bytes(&self, bytes: &[u8]) {
+        assert_eq!(
+            bytes.len(),
+            self.len * T::SIZE,
+            "restore_local_bytes length mismatch"
+        );
+        let mut data = vec![value_zeroed::<T>(); self.len];
+        caf_collectives::value::bytes_to_slice(bytes, &mut data);
+        self.write_local(&data);
+    }
 }
 
 /// Zero-initialized value of a `CoValue` (all segments start zeroed, so

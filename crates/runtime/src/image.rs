@@ -3,9 +3,10 @@
 
 use crate::coarray::Coarray;
 use crate::events::Events;
+use crate::recovery::CheckpointStore;
 use crate::team::{Team, INITIAL_TEAM_NUMBER};
 use caf_collectives::{CoNumeric, CoValue, CollectiveConfig, TeamComm};
-use caf_fabric::{bootstrap, ArcFabric, FlagId};
+use caf_fabric::{bootstrap, ArcFabric, FlagId, RecoveryError};
 use caf_topology::ProcId;
 use caf_trace::{Event, EventKind};
 
@@ -30,6 +31,8 @@ pub struct ImageCtx {
     /// Global lock cell backing the `critical` construct (one `u64` on
     /// image 1 of the initial team).
     critical_lock: Coarray<u64>,
+    /// Last checkpoint epoch this image completed or restored (0 = none).
+    ckpt_epoch: u64,
 }
 
 impl ImageCtx {
@@ -56,13 +59,59 @@ impl ImageCtx {
             sync_flags,
             sync_count: vec![0; n],
             critical_lock,
+            ckpt_epoch: 0,
         }
     }
 
+    /// Build the context for image `me` on a **respawned** process
+    /// rejoining a running fleet (a fabric constructed with a rejoin
+    /// generation). The initial-team bootstrap would wait forever on
+    /// survivors that are long past it; instead this joins the survivors'
+    /// recovery fence ([`caf_fabric::Fabric::heal`]) and then runs the
+    /// same re-alignment sequence as [`Self::form_recovery_team`], so the
+    /// rejoined image comes up already inside the recovery team — at
+    /// checkpoint epoch 0, ready for [`Self::restore`] to resolve the last
+    /// globally complete epoch with the survivors.
+    pub fn rejoin(
+        fabric: ArcFabric,
+        me: ProcId,
+        cfg: CollectiveConfig,
+    ) -> Result<Self, RecoveryError> {
+        fabric.heal(me)?;
+        let survivors = fabric.alive_images();
+        let n = fabric.n_images();
+        let mut boot_epoch = 0;
+        // Mirrors `form_recovery_team` exactly — heal, then the identical
+        // allocation sequence every survivor runs — so flag/segment ids
+        // line up across old and new incarnations.
+        let sync_flags = fabric.alloc_flags(me, n);
+        let mut comm = TeamComm::create_among(fabric.clone(), me, survivors, cfg, &mut boot_epoch);
+        let critical_lock = Coarray::allocate(fabric.clone(), me, &mut comm, 1);
+        Ok(Self {
+            fabric,
+            me,
+            boot_epoch,
+            default_cfg: cfg,
+            teams: vec![Team {
+                comm,
+                number: INITIAL_TEAM_NUMBER,
+                depth: 0,
+            }],
+            sync_flags,
+            sync_count: vec![0; n],
+            critical_lock,
+            ckpt_epoch: 0,
+        })
+    }
+
     /// Final implicit synchronization at program end (called by the
-    /// launcher after the user body returns).
+    /// launcher after the user body returns). Barriers over the *initial
+    /// team's current membership* — after a shrinking recovery that is the
+    /// survivor set, and a full-fabric barrier would wait forever on the
+    /// dead image.
     pub(crate) fn finalize(&mut self) {
-        bootstrap::control_barrier(&*self.fabric, self.me, &mut self.boot_epoch);
+        let members: Vec<ProcId> = self.teams[0].comm.members().as_ref().clone();
+        bootstrap::control_barrier_among(&*self.fabric, self.me, &members, &mut self.boot_epoch);
         self.fabric.image_done(self.me);
     }
 
@@ -406,6 +455,240 @@ impl ImageCtx {
             &mut self.current_mut().comm,
             count,
         )
+    }
+
+    // ------------------------------------------------------------------
+    // Fault tolerance: fallible collectives, shrinking team re-formation,
+    // checkpoint/rollback
+    // ------------------------------------------------------------------
+
+    /// Run a synchronizing operation fallibly: a dead peer that would
+    /// otherwise poison-panic this image becomes a catchable
+    /// [`RecoveryError`]. The fabric is health-checked first so an already
+    /// poisoned fabric fails fast without entering the collective.
+    ///
+    /// On `Err` the operation did not complete; in/out buffers may hold
+    /// partial intermediate values and this image's collective state is
+    /// unusable until [`Self::form_recovery_team`] rebuilds it.
+    fn try_collective<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> Result<R, RecoveryError> {
+        let fabric = self.fabric.clone();
+        fabric.health()?;
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(self)))
+            .map_err(|payload| crate::recovery::panic_to_recovery(&fabric, payload))
+    }
+
+    /// Fallible [`Self::sync_all`]: `Err` instead of a poison panic when a
+    /// peer died. The canonical failure-detection point of a
+    /// recovery-aware program.
+    pub fn try_sync_all(&mut self) -> Result<(), RecoveryError> {
+        self.try_collective(|ctx| ctx.sync_all())
+    }
+
+    /// Fallible [`Self::co_sum`]. On `Err`, `buf` may hold a partial
+    /// reduction — restore it from a checkpoint before resuming.
+    pub fn try_co_sum<T: CoNumeric>(&mut self, buf: &mut [T]) -> Result<(), RecoveryError> {
+        self.try_collective(|ctx| ctx.co_sum(buf))
+    }
+
+    /// Fallible [`Self::co_min`].
+    pub fn try_co_min<T: CoNumeric>(&mut self, buf: &mut [T]) -> Result<(), RecoveryError> {
+        self.try_collective(|ctx| ctx.co_min(buf))
+    }
+
+    /// Fallible [`Self::co_max`].
+    pub fn try_co_max<T: CoNumeric>(&mut self, buf: &mut [T]) -> Result<(), RecoveryError> {
+        self.try_collective(|ctx| ctx.co_max(buf))
+    }
+
+    /// Fallible [`Self::co_broadcast`].
+    pub fn try_co_broadcast<T: CoValue>(
+        &mut self,
+        buf: &mut [T],
+        source_image: usize,
+    ) -> Result<(), RecoveryError> {
+        self.try_collective(|ctx| ctx.co_broadcast(buf, source_image))
+    }
+
+    /// Fallible [`Self::co_gather`].
+    pub fn try_co_gather<T: CoValue>(
+        &mut self,
+        mine: &[T],
+        root_image: usize,
+    ) -> Result<Option<Vec<T>>, RecoveryError> {
+        self.try_collective(|ctx| ctx.co_gather(mine, root_image))
+    }
+
+    /// Re-form the initial team from exactly the surviving images after a
+    /// peer death, with dense renumbering (`this_image()` = 1-based rank
+    /// within the survivor set). Collective across **all survivors**: every
+    /// surviving image must call it, typically after catching a
+    /// [`RecoveryError`] from a `try_*` entry point.
+    ///
+    /// The call first heals the fabric (a survivor rendezvous that clears
+    /// the poison, resets synchronization state, and bumps the fabric
+    /// generation), then rebuilds this image's entire collective context
+    /// over the survivors. **All pre-failure handles are invalidated**:
+    /// coarrays, events, locks, and team handles allocated before the
+    /// failure must not be used again. Re-allocate them in the same SPMD
+    /// order on every survivor and refill from a checkpoint
+    /// ([`Self::restore`] + [`Coarray::restore_local_bytes`]).
+    ///
+    /// Returns the size of the re-formed team.
+    pub fn form_recovery_team(&mut self) -> Result<usize, RecoveryError> {
+        // A dead image must never enter the heal rendezvous — it would be
+        // counted against the survivor quorum.
+        if !self.fabric.alive_images().contains(&self.me) {
+            return Err(RecoveryError::HealFailed(format!(
+                "image {} is not among the survivors",
+                self.me.index() + 1
+            )));
+        }
+        self.fabric.heal(self.me)?;
+        let survivors = self.fabric.alive_images();
+        // Identical re-allocation sequence on every survivor re-aligns
+        // flag/segment ids exactly as at startup.
+        let n = self.fabric.n_images();
+        self.boot_epoch = 0;
+        self.sync_flags = self.fabric.alloc_flags(self.me, n);
+        self.sync_count = vec![0; n];
+        let mut comm = TeamComm::create_among(
+            self.fabric.clone(),
+            self.me,
+            survivors.clone(),
+            self.default_cfg,
+            &mut self.boot_epoch,
+        );
+        self.critical_lock = Coarray::allocate(self.fabric.clone(), self.me, &mut comm, 1);
+        self.teams = vec![Team {
+            comm,
+            number: INITIAL_TEAM_NUMBER,
+            depth: 0,
+        }];
+        // restore() re-establishes the agreed epoch; until then survivors
+        // and rejoiners must not diverge on it.
+        self.ckpt_epoch = 0;
+        Ok(survivors.len())
+    }
+
+    /// Take checkpoint epoch `N+1` (one past the last completed/restored
+    /// epoch) over the current team. Collective. The protocol:
+    ///
+    /// 1. **Fence**: `sync memory` + `sync all`, so no one-sided traffic is
+    ///    in flight and every image's segments are quiescent;
+    /// 2. `snapshot(self)` captures this image's payloads (typically
+    ///    [`Coarray::local_bytes`] of each registered coarray) — called
+    ///    only after the fence, so the bytes are the fenced state;
+    /// 3. atomic local commit into `store` (temp file + rename when
+    ///    file-backed);
+    /// 4. completion barrier.
+    ///
+    /// A node dying anywhere in this sequence leaves each store either
+    /// without the epoch or with it complete — never torn. The epoch is
+    /// only counted as this image's latest after step 3, and only counted
+    /// *globally* complete when every team member committed it, which
+    /// [`Self::restore`] resolves with a `co_min`.
+    pub fn checkpoint(
+        &mut self,
+        store: &CheckpointStore,
+        snapshot: impl FnOnce(&mut Self) -> Vec<Vec<u8>>,
+    ) -> Result<u64, RecoveryError> {
+        let epoch = self.ckpt_epoch + 1;
+        let img = self.me.index();
+        let payloads = self.try_collective(|ctx| {
+            ctx.sync_memory();
+            ctx.sync_all();
+            snapshot(ctx)
+        })?;
+        store
+            .commit(img, epoch, &payloads)
+            .map_err(|e| RecoveryError::HealFailed(format!("checkpoint commit failed: {e}")))?;
+        self.try_collective(|ctx| ctx.sync_all())?;
+        self.ckpt_epoch = epoch;
+        Ok(epoch)
+    }
+
+    /// Roll back to the last **globally complete** checkpoint epoch.
+    /// Collective over the current team (after a failure: the recovery
+    /// team). Each member reports `latest_committed + 1` (0 = none); a
+    /// `co_min` resolves the largest epoch *every* member committed —
+    /// epochs some-but-not-all members committed (a death mid-checkpoint)
+    /// are thereby discarded, never half-restored.
+    ///
+    /// Returns `Ok(None)` when no epoch is globally complete (restart from
+    /// initial state), else `Ok(Some((epoch, payloads)))` with this image's
+    /// own snapshot payloads in the order `snapshot` produced them. Apply
+    /// them (e.g. [`Coarray::restore_local_bytes`]) and then
+    /// [`Self::try_sync_all`] before resuming, so every image re-enters the
+    /// epoch together.
+    pub fn restore(
+        &mut self,
+        store: &CheckpointStore,
+    ) -> Result<Option<(u64, crate::recovery::SnapshotPayloads)>, RecoveryError> {
+        let img = self.me.index();
+        let mut probe = [store.latest_committed(img).map_or(0, |e| e + 1)];
+        self.try_collective(|ctx| ctx.co_min(&mut probe))?;
+        let agreed = probe[0];
+        if agreed == 0 {
+            self.ckpt_epoch = 0;
+            return Ok(None);
+        }
+        let epoch = agreed - 1;
+        let payloads = store.load(img, epoch).ok_or_else(|| {
+            RecoveryError::HealFailed(format!(
+                "image {}: epoch {epoch} resolved globally complete but is missing locally",
+                img + 1
+            ))
+        })?;
+        self.ckpt_epoch = epoch;
+        Ok(Some((epoch, payloads)))
+    }
+
+    /// Run `body` with automatic shrink-and-retry recovery: on a
+    /// [`RecoveryError`] (returned *or* panicked — local coarray accesses
+    /// that hit a poisoned fabric panic rather than return `Err`), the
+    /// initial team is re-formed over the survivors and `body` restarted
+    /// from the top, up to `max_recoveries` times.
+    ///
+    /// `body` must be written restartably: allocate its coarrays first (in
+    /// the same SPMD order each attempt), then [`Self::restore`] from the
+    /// checkpoint store to decide whether to roll back or initialize. A
+    /// dead image's call fails fast with `HealFailed` without joining the
+    /// survivor rendezvous.
+    pub fn recovering<R>(
+        &mut self,
+        max_recoveries: usize,
+        body: impl Fn(&mut Self) -> Result<R, RecoveryError>,
+    ) -> Result<R, RecoveryError> {
+        let mut recoveries = 0;
+        loop {
+            let fabric = self.fabric.clone();
+            let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(self)))
+                .unwrap_or_else(|payload| {
+                    Err(crate::recovery::panic_to_recovery(&fabric, payload))
+                });
+            match attempt {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    if recoveries >= max_recoveries {
+                        return Err(e);
+                    }
+                    recoveries += 1;
+                    self.form_recovery_team()?;
+                }
+            }
+        }
+    }
+
+    /// Last checkpoint epoch this image completed or restored (0 = none).
+    pub fn checkpoint_epoch(&self) -> u64 {
+        self.ckpt_epoch
+    }
+
+    /// This fabric's recovery generation: 0 at first launch, bumped by
+    /// every successful heal. Collectively meaningful after
+    /// [`Self::form_recovery_team`].
+    pub fn generation(&self) -> u64 {
+        self.fabric.generation()
     }
 
     // ------------------------------------------------------------------

@@ -37,17 +37,20 @@ pub mod config;
 pub mod events;
 pub mod image;
 pub mod lock;
+pub mod recovery;
 pub mod team;
 
 pub use caf_collectives::{
     BarrierAlgo, BcastAlgo, CoNumeric, CoOp, CoValue, CollectiveConfig, GatherAlgo, ReduceAlgo,
     SizePolicy,
 };
+pub use caf_fabric::RecoveryError;
 pub use coarray::Coarray;
 pub use config::{FabricChoice, RunConfig};
 pub use events::Events;
 pub use image::ImageCtx;
 pub use lock::LockSet;
+pub use recovery::CheckpointStore;
 pub use team::Team;
 
 use caf_fabric::ArcFabric;
@@ -99,6 +102,40 @@ where
     R: Send + 'static,
     B: Fn(&mut ImageCtx) -> R + Send + Sync + 'static,
 {
+    run_hosted_inner(fabric, hosted, collectives, false, body)
+}
+
+/// Like [`run_hosted`], but for a **respawned** process rejoining a
+/// running fleet: every hosted image enters via [`ImageCtx::rejoin`] —
+/// joining the survivors' recovery fence instead of the initial-team
+/// bootstrap — and comes up inside the recovery team at checkpoint epoch
+/// 0. The body is expected to [`ImageCtx::restore`] and resume; write it
+/// restart-shaped (restore-then-loop) and the same closure serves first
+/// launches, survivors, and rejoiners alike.
+pub fn run_hosted_rejoin<R, B>(
+    fabric: ArcFabric,
+    hosted: &[ProcId],
+    collectives: CollectiveConfig,
+    body: B,
+) -> Vec<(ProcId, R)>
+where
+    R: Send + 'static,
+    B: Fn(&mut ImageCtx) -> R + Send + Sync + 'static,
+{
+    run_hosted_inner(fabric, hosted, collectives, true, body)
+}
+
+fn run_hosted_inner<R, B>(
+    fabric: ArcFabric,
+    hosted: &[ProcId],
+    collectives: CollectiveConfig,
+    rejoin: bool,
+    body: B,
+) -> Vec<(ProcId, R)>
+where
+    R: Send + 'static,
+    B: Fn(&mut ImageCtx) -> R + Send + Sync + 'static,
+{
     let body = Arc::new(body);
     let mut handles = Vec::with_capacity(hosted.len());
     for &p in hosted {
@@ -109,7 +146,13 @@ where
             .stack_size(4 * 1024 * 1024)
             .spawn(move || {
                 let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    let mut ctx = ImageCtx::new(fabric.clone(), p, collectives);
+                    let mut ctx = if rejoin {
+                        ImageCtx::rejoin(fabric.clone(), p, collectives).unwrap_or_else(|e| {
+                            panic!("image {} failed to rejoin the fleet: {e}", p.index() + 1)
+                        })
+                    } else {
+                        ImageCtx::new(fabric.clone(), p, collectives)
+                    };
                     let out = body(&mut ctx);
                     ctx.finalize();
                     out
@@ -156,6 +199,88 @@ where
         panic!("{msg}");
     }
     spill_telemetry(&fabric, caf_fabric::TelemetryPhase::Final, None);
+    results
+}
+
+/// Like [`run_on_fabric`], but for recovery-aware programs on a fabric
+/// that may lose images: panics of images the fabric reports dead (a chaos
+/// `kill_image_at`, a crashed peer) are tolerated instead of re-raised,
+/// and a dead image's thread does not poison the fabric — the survivors'
+/// `try_*` entry points detect the failure and the body is expected to
+/// recover via `form_recovery_team`/`restore`. Panics of images the fabric
+/// still considers alive are real bugs and re-raise as in [`run`].
+///
+/// Returns `(1-based image, result)` pairs for the images that completed,
+/// in image order.
+pub fn run_surviving<R, B>(
+    fabric: ArcFabric,
+    collectives: CollectiveConfig,
+    body: B,
+) -> Vec<(usize, R)>
+where
+    R: Send + 'static,
+    B: Fn(&mut ImageCtx) -> R + Send + Sync + 'static,
+{
+    let body = Arc::new(body);
+    let mut handles = Vec::with_capacity(fabric.n_images());
+    for i in 0..fabric.n_images() {
+        let p = ProcId(i);
+        let fabric = fabric.clone();
+        let body = Arc::clone(&body);
+        let handle = std::thread::Builder::new()
+            .name(format!("image-{}", i + 1))
+            .stack_size(4 * 1024 * 1024)
+            .spawn(move || {
+                let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let mut ctx = ImageCtx::new(fabric.clone(), p, collectives);
+                    let out = body(&mut ctx);
+                    ctx.finalize();
+                    out
+                }));
+                match run {
+                    Ok(out) => out,
+                    Err(payload) => {
+                        // A fabric-killed image's unwind is the *expected*
+                        // path; poisoning here would re-poison a fabric the
+                        // survivors may already have healed.
+                        if fabric.alive_images().contains(&p) {
+                            fabric.poison(&format!("image {} panicked", i + 1));
+                        }
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            })
+            .expect("spawn image thread");
+        handles.push((p, handle));
+    }
+    let mut results = Vec::with_capacity(handles.len());
+    let mut first_panic: Option<String> = None;
+    for (p, h) in handles {
+        match h.join() {
+            Ok(r) => results.push((p.index() + 1, r)),
+            Err(payload) => {
+                if !fabric.alive_images().contains(&p) {
+                    continue; // the fabric retired this image; survivors carried on
+                }
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                if first_panic.is_none() {
+                    first_panic = Some(format!("image {} panicked: {msg}", p.index() + 1));
+                }
+            }
+        }
+    }
+    if let Some(msg) = first_panic {
+        spill_telemetry(
+            &fabric,
+            caf_fabric::TelemetryPhase::FlightRecorder,
+            Some(&msg),
+        );
+        panic!("{msg}");
+    }
     results
 }
 

@@ -1,0 +1,323 @@
+//! Survivable-fleet tests: chaos-killed images, shrinking team
+//! re-formation, and epoch checkpoint/rollback — all on the deterministic
+//! simulator, so every failure point is replayable.
+
+use caf_fabric::ChaosConfig;
+use caf_runtime::{run_surviving, CheckpointStore, ImageCtx, RunConfig};
+use caf_topology::presets;
+use std::sync::Arc;
+
+fn killer(nodes: usize, cores: usize, images: usize, victim: usize, op: u64) -> RunConfig {
+    RunConfig::sim_packed(presets::mini(nodes, cores), images).with_chaos(ChaosConfig {
+        kill_image_at: Some((victim, op)),
+        ..ChaosConfig::off(1)
+    })
+}
+
+/// A restartable SPMD body: allocate state, roll back or initialize,
+/// checkpoint once, grind through a long stretch of collectives (where the
+/// chaos kill lands), and reduce to a final answer. Returns
+/// `(total, generation, team size)`.
+fn resilient_sum(img: &mut ImageCtx, store: &CheckpointStore) -> (u64, u64, usize) {
+    let out = img.recovering(2, |img| {
+        let co = img.coarray::<u64>(1);
+        match img.restore(store)? {
+            Some((_, payloads)) => co.restore_local_bytes(&payloads[0]),
+            None => co.write_local(&[img.this_image() as u64 * 10]),
+        }
+        img.try_sync_all()?;
+        if img.checkpoint_epoch() == 0 {
+            img.checkpoint(store, |_| vec![co.local_bytes()])?;
+        }
+        // Long vulnerable stretch: ~120 collectives so any mid-run kill
+        // lands here, after the epoch-1 checkpoint is globally complete.
+        let mut pad = [0u64];
+        for _ in 0..120 {
+            img.try_co_sum(&mut pad)?;
+        }
+        let mut total = [co.read_local()[0]];
+        img.try_co_sum(&mut total)?;
+        Ok(total[0])
+    });
+    let total = out.expect("image is dead or recovery failed");
+    (total, img.generation(), img.num_images())
+}
+
+#[test]
+fn survivors_shrink_and_complete_after_mid_run_kill() {
+    // 8 images on 2 nodes; image 3 (0-based 2) dies at its 400th fabric
+    // call — deep inside the padded stretch of collectives.
+    let cfg = killer(2, 4, 8, 2, 400);
+    let collectives = cfg.collectives;
+    let store = Arc::new(CheckpointStore::in_memory());
+    let st = store.clone();
+    let out = run_surviving(cfg.build_fabric(), collectives, move |img| {
+        resilient_sum(img, &st)
+    });
+    let images: Vec<usize> = out.iter().map(|(i, _)| *i).collect();
+    assert_eq!(
+        images,
+        vec![1, 2, 4, 5, 6, 7, 8],
+        "exactly the survivors complete"
+    );
+    for (_, (total, generation, team)) in &out {
+        // Epoch 1 checkpointed 10·g for g ∈ 1..=8; the rollback drops the
+        // victim's 30: 360 − 30.
+        assert_eq!(*total, 330, "restored sum over the survivor team");
+        assert_eq!(*generation, 1, "one heal");
+        assert_eq!(*team, 7, "dense renumbering over 7 survivors");
+    }
+}
+
+#[test]
+fn leader_death_reforms_under_a_new_leader() {
+    // Image 1 (0-based 0) is the bootstrap leader of every control
+    // barrier; its death forces leader re-election (members[0] moves).
+    let cfg = killer(2, 4, 8, 0, 400);
+    let collectives = cfg.collectives;
+    let store = Arc::new(CheckpointStore::in_memory());
+    let st = store.clone();
+    let out = run_surviving(cfg.build_fabric(), collectives, move |img| {
+        resilient_sum(img, &st)
+    });
+    let images: Vec<usize> = out.iter().map(|(i, _)| *i).collect();
+    assert_eq!(images, vec![2, 3, 4, 5, 6, 7, 8]);
+    for (_, (total, _, team)) in &out {
+        assert_eq!(*total, 350, "360 − leader's 10");
+        assert_eq!(*team, 7);
+    }
+}
+
+#[test]
+fn kill_without_checkpoints_restarts_with_dense_renumbering() {
+    // No checkpoints taken: restore resolves "no complete epoch" and the
+    // survivors re-initialize from scratch with their *dense* renumbered
+    // indices — the same answer as an undisturbed 7-image run.
+    let cfg = killer(2, 4, 8, 5, 300);
+    let collectives = cfg.collectives;
+    let store = Arc::new(CheckpointStore::in_memory());
+    let st = store.clone();
+    let out = run_surviving(cfg.build_fabric(), collectives, move |img| {
+        let out = img.recovering(2, |img| {
+            let co = img.coarray::<u64>(1);
+            match img.restore(&st)? {
+                Some((_, payloads)) => co.restore_local_bytes(&payloads[0]),
+                None => co.write_local(&[img.this_image() as u64 * 10]),
+            }
+            img.try_sync_all()?;
+            let mut pad = [0u64];
+            for _ in 0..120 {
+                img.try_co_sum(&mut pad)?;
+            }
+            let mut total = [co.read_local()[0]];
+            img.try_co_sum(&mut total)?;
+            Ok(total[0])
+        });
+        (
+            out.expect("image is dead or recovery failed"),
+            img.num_images(),
+        )
+    });
+    assert_eq!(out.len(), 7);
+    for (_, (total, team)) in &out {
+        assert_eq!(*total, 280, "10·(1+…+7) under dense renumbering");
+        assert_eq!(*team, 7);
+    }
+}
+
+/// Pure per-image state recurrence used by the atomicity drill: the value
+/// image `g` (1-based global) holds *after* epoch `e` is checkpointed.
+fn trajectory(g: u64, e: u64) -> u64 {
+    let mut s = 100 * g;
+    for _ in 0..e {
+        s = s.wrapping_mul(3).wrapping_add(7);
+    }
+    s
+}
+
+#[test]
+fn kill_during_checkpoint_rolls_back_never_torn() {
+    const LAST: u64 = 30;
+    // Back-to-back checkpoints dominate the op stream, so op 300 lands
+    // inside some checkpoint's fence/commit/complete window.
+    let cfg = killer(2, 4, 8, 4, 300);
+    let collectives = cfg.collectives;
+    let store = Arc::new(CheckpointStore::in_memory());
+    let st = store.clone();
+    let out = run_surviving(cfg.build_fabric(), collectives, move |img| {
+        let g = img.this_image() as u64; // global: captured before any shrink
+        let ok = img.recovering(2, |img| {
+            let co = img.coarray::<u64>(1);
+            match img.restore(&st)? {
+                Some((_, payloads)) => co.restore_local_bytes(&payloads[0]),
+                None => co.write_local(&[100 * g]),
+            }
+            img.try_sync_all()?;
+            while img.checkpoint_epoch() < LAST {
+                let s = co.read_local()[0];
+                co.write_local(&[s.wrapping_mul(3).wrapping_add(7)]);
+                img.checkpoint(&st, |_| vec![co.local_bytes()])?;
+            }
+            let mut total = [co.read_local()[0]];
+            img.try_co_sum(&mut total)?;
+            Ok(total[0])
+        });
+        ok.expect("image is dead or recovery failed")
+    });
+    assert_eq!(out.len(), 7);
+    // Every survivor re-evolved from the SAME rolled-back epoch: the final
+    // sum is exactly the analytic trajectory sum over survivors. A torn
+    // restore (images resuming from different epochs) cannot produce it.
+    let expected: u64 = (1..=8u64)
+        .filter(|&g| g != 5)
+        .fold(0u64, |a, g| a.wrapping_add(trajectory(g, LAST)));
+    for (_, total) in &out {
+        assert_eq!(*total, expected, "rollback must be epoch-consistent");
+    }
+}
+
+#[test]
+fn recovery_runs_are_deterministic_and_replayable() {
+    let run_once = || {
+        let cfg = killer(2, 4, 8, 2, 400);
+        let collectives = cfg.collectives;
+        let store = Arc::new(CheckpointStore::in_memory());
+        let st = store.clone();
+        run_surviving(cfg.build_fabric(), collectives, move |img| {
+            resilient_sum(img, &st)
+        })
+    };
+    assert_eq!(run_once(), run_once(), "same seed, same kill, same answers");
+}
+
+#[test]
+fn kill_under_seeded_chaos_jitter_still_recovers() {
+    // Layer the kill on top of the canonical chaos perturbation (as the
+    // caf-check drill does): recovery must hold on perturbed schedules too.
+    for seed in [3u64, 11, 42] {
+        let cfg = RunConfig::sim_packed(presets::mini(2, 4), 8).with_chaos(ChaosConfig {
+            kill_image_at: Some((6, 350)),
+            ..ChaosConfig::from_seed(seed)
+        });
+        let collectives = cfg.collectives;
+        let store = Arc::new(CheckpointStore::in_memory());
+        let st = store.clone();
+        let out = run_surviving(cfg.build_fabric(), collectives, move |img| {
+            resilient_sum(img, &st)
+        });
+        assert_eq!(out.len(), 7, "seed {seed}");
+        for (_, (total, _, team)) in &out {
+            assert_eq!(*total, 290, "360 − victim's 70 (seed {seed})");
+            assert_eq!(*team, 7);
+        }
+    }
+}
+
+#[test]
+fn unkilled_run_with_try_surface_matches_plain_run() {
+    // The fallible surface on a healthy fabric is a no-op wrapper.
+    let cfg = RunConfig::sim_packed(presets::mini(2, 4), 8);
+    let collectives = cfg.collectives;
+    let store = Arc::new(CheckpointStore::in_memory());
+    let st = store.clone();
+    let out = run_surviving(cfg.build_fabric(), collectives, move |img| {
+        resilient_sum(img, &st)
+    });
+    assert_eq!(out.len(), 8);
+    for (_, (total, generation, team)) in &out {
+        assert_eq!(*total, 360);
+        assert_eq!(*generation, 0, "no heal on an undisturbed run");
+        assert_eq!(*team, 8);
+    }
+}
+
+#[test]
+fn try_collectives_report_errors_instead_of_panicking() {
+    // Whole-body check of error conversion: after a kill, every try_* on a
+    // survivor returns Err(Poisoned) until the team is re-formed.
+    let cfg = killer(1, 4, 4, 3, 120);
+    let collectives = cfg.collectives;
+    let out = run_surviving(cfg.build_fabric(), collectives, move |img| {
+        let r = img.recovering(1, |img| {
+            let mut pad = [1u64];
+            for _ in 0..200 {
+                img.try_co_sum(&mut pad)?;
+            }
+            Ok(())
+        });
+        match r {
+            Ok(()) => {
+                // Survivor path: the first failure was caught as a
+                // RecoveryError (not a panic) and the retry completed.
+                assert!(matches!(img.fabric().health(), Ok(())));
+                img.num_images()
+            }
+            Err(e) => panic!("unrecovered: {e}"),
+        }
+    });
+    assert_eq!(out.len(), 3);
+    for (_, team) in &out {
+        assert_eq!(*team, 3);
+    }
+}
+
+mod ckpt_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        // Interleave one-sided puts with checkpoints and assert the stored
+        // bytes equal the fenced snapshot at every epoch — the store/fence
+        // contract, via the public protocol (fault interleavings are
+        // covered by the kill drills above).
+        #[test]
+        fn checkpoint_restore_reflects_fenced_state(
+            writes in proptest::collection::vec(0u64..1000, 1..5),
+            elems in 1usize..4,
+        ) {
+            let cfg = RunConfig::sim_packed(presets::mini(2, 2), 4);
+            let collectives = cfg.collectives;
+            let store = Arc::new(CheckpointStore::in_memory());
+            let st = store.clone();
+            let writes = Arc::new(writes.clone());
+            let out = run_surviving(cfg.build_fabric(), collectives, move |img| {
+                let me = img.this_image();
+                let n = img.num_images();
+                let co = img.coarray::<u64>(elems);
+                let mut expect = Vec::new();
+                for (round, w) in writes.iter().enumerate() {
+                    // Everyone sends a round-tagged value to its right
+                    // neighbor, then checkpoints.
+                    let right = me % n + 1;
+                    let val = w + me as u64 + round as u64 * 7;
+                    co.put(right, round % elems, &[val]);
+                    let epoch = img
+                        .checkpoint(&st, |_| vec![co.local_bytes()])
+                        .expect("undisturbed checkpoint");
+                    // The fence ran inside checkpoint: my cell now holds
+                    // my LEFT neighbor's write of this round.
+                    let left = if me == 1 { n } else { me - 1 };
+                    let want = w + left as u64 + round as u64 * 7;
+                    expect.push((epoch, round % elems, want));
+                }
+                // Every epoch's stored payload equals the fenced state.
+                for &(epoch, idx, want) in &expect {
+                    let payloads = st.load(me - 1, epoch).expect("epoch committed");
+                    let bytes = &payloads[0];
+                    let cell =
+                        u64::from_ne_bytes(bytes[idx * 8..idx * 8 + 8].try_into().unwrap());
+                    assert_eq!(cell, want, "epoch {epoch} snapshot differs from fenced state");
+                }
+                // And a live restore returns the last epoch's bytes.
+                let (epoch, payloads) =
+                    img.restore(&st).expect("restore").expect("at least one epoch");
+                assert_eq!(epoch, writes.len() as u64);
+                assert_eq!(payloads[0], co.local_bytes());
+                0u64
+            });
+            prop_assert_eq!(out.len(), 4);
+        }
+    }
+}

@@ -199,6 +199,7 @@ fn check(passthrough: &[String]) -> Result<(), String> {
 
 fn usage() -> String {
     "usage: cargo xtask check [--quick|--deep] [--seeds N] [--socket|--socket-only]\n       \
+     \x20                 [--recover|--recover-only] [--kill-after-ms T]\n       \
      cargo xtask bench-diff <baseline.json> <new.json> [--tolerance PCT] [--markdown]"
         .into()
 }
