@@ -104,6 +104,11 @@ pub struct CheckReport {
 #[derive(Clone, Debug)]
 enum Spec {
     Sim(Option<ChaosConfig>),
+    /// The simulator with the pre-scale O(n)-scan scheduler and global
+    /// event heap ([`caf_fabric::SimConfig::legacy_queue`], also reachable
+    /// via `CAF_SIM_LEGACY_QUEUE=1`) — the comparison basis for the
+    /// sharded event core.
+    SimLegacy(Option<ChaosConfig>),
     Threads,
 }
 
@@ -121,6 +126,12 @@ fn run_once(
         Spec::Sim(chaos) => FabricChoice::Sim(caf_fabric::SimConfig {
             chaos: *chaos,
             tracer,
+            ..caf_fabric::SimConfig::default()
+        }),
+        Spec::SimLegacy(chaos) => FabricChoice::Sim(caf_fabric::SimConfig {
+            chaos: *chaos,
+            tracer,
+            legacy_queue: true,
             ..caf_fabric::SimConfig::default()
         }),
         Spec::Threads => FabricChoice::Threads(caf_fabric::ThreadConfig {
@@ -352,4 +363,50 @@ pub fn check_program(
     }
 
     Ok(report)
+}
+
+/// The legacy-queue column: run `prog` once per chaos spec (`None` plus
+/// each seed) under the sharded event core, re-run it under the pre-scale
+/// O(n) core (`SimConfig::legacy_queue`, the `CAF_SIM_LEGACY_QUEUE=1`
+/// escape hatch), and diff the digests. The two cores must agree
+/// bit-for-bit — the sharded queue and indexed scheduler are pure
+/// data-structure swaps, so any divergence is a scheduler-order bug, not a
+/// modeling change. Returns the number of executions on success.
+pub fn check_legacy_queue(
+    scn: &Scenario,
+    algo_name: &str,
+    algo: CollectiveConfig,
+    prog: &Program,
+    chaos_seeds: &[u64],
+) -> Result<usize, Box<Failure>> {
+    let mut specs: Vec<(String, Option<ChaosConfig>)> = vec![("no chaos".into(), None)];
+    specs.extend(
+        chaos_seeds
+            .iter()
+            .map(|&s| (format!("chaos seed {s}"), Some(ChaosConfig::from_seed(s)))),
+    );
+    let mut runs = 0;
+    for (label, chaos) in specs {
+        let fail = |detail: String| {
+            Box::new(Failure {
+                scenario: scn.name.clone(),
+                algo: algo_name.to_string(),
+                kind: format!("legacy queue vs sharded, {label}"),
+                seed: chaos.map(|c| c.seed),
+                minimal: None,
+                detail,
+                trace_window: String::new(),
+            })
+        };
+        let sharded = match run_once(scn, algo, &Spec::Sim(chaos), prog, Tracer::off()) {
+            Ok(v) => v,
+            Err(msg) => return Err(fail(format!("sharded core panicked: {msg}"))),
+        };
+        let legacy = run_once(scn, algo, &Spec::SimLegacy(chaos), prog, Tracer::off());
+        runs += 2;
+        if let Some(detail) = diff(&sharded, &legacy) {
+            return Err(fail(detail));
+        }
+    }
+    Ok(runs)
 }

@@ -7,8 +7,8 @@
 //! report on the first divergence.
 
 use caf_check::{
-    algo_matrix, check_program, check_recover, check_socket, conformance, socket_child_main,
-    CheckOptions, Program, RecoverDrill, Scenario,
+    algo_matrix, check_legacy_queue, check_program, check_recover, check_socket, conformance,
+    socket_child_main, CheckOptions, Program, RecoverDrill, Scenario,
 };
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -224,6 +224,31 @@ fn main() -> ExitCode {
         scenarios.len(),
         matrix.len(),
         t0.elapsed().as_secs_f64()
+    );
+    // The legacy event-core column: the mini scenario across the full
+    // algorithm matrix, diffing the sharded event core against the
+    // pre-scale O(n) queue (`CAF_SIM_LEGACY_QUEUE=1` path) with and
+    // without chaos. Cheap enough to run in every sweep, and the only
+    // guard that the scale rewrite never drifts from the reference
+    // scheduler.
+    let legacy_t0 = Instant::now();
+    let scn = Scenario::mini();
+    let mut legacy_runs = 0usize;
+    for (name, algo) in matrix.iter() {
+        match check_legacy_queue(&scn, name, *algo, &prog, &[5, 17]) {
+            Ok(r) => legacy_runs += r,
+            Err(failure) => {
+                eprintln!("{}", failure.render());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!(
+        "caf-check: legacy event core matched the sharded core — {} runs \
+         across {} algo configs ({:.1}s)",
+        legacy_runs,
+        matrix.len(),
+        legacy_t0.elapsed().as_secs_f64()
     );
     if args.socket {
         if let Err(code) = run_socket_column() {

@@ -1,0 +1,319 @@
+//! A sharded event queue: per-node lazy heaps under a small min-heap of
+//! node frontiers, with arena-allocated payloads.
+//!
+//! The pre-scale simulator kept every in-flight event in one global
+//! `BinaryHeap`, so each push/pop paid `O(log total_events)` on a heap
+//! whose arbitrary-order guts defeat the cache at fleet scale. Events are
+//! naturally partitioned by *destination node* (a flag arrival belongs to
+//! its target image's node, a NIC landing to its node), so this queue
+//! keeps one small heap per node and a second "frontier" heap holding one
+//! candidate entry per non-empty node — calendar-queue style. The global
+//! minimum is the minimum over node frontiers; popping costs
+//! `O(log per_node_events + log nodes)` and the per-node heaps stay small
+//! and hot.
+//!
+//! The frontier is **lazy**: entries are only *added* (when a push lowers
+//! a node's minimum, or a pop exposes a new one) and stale entries are
+//! discarded on the way out by checking them against the node's current
+//! head. Payloads live in a slab arena with a free list, so the heaps
+//! themselves move only 24-byte `(key, slot)` pairs and event records are
+//! recycled instead of churning the allocator.
+//!
+//! # Ordering contract
+//!
+//! Pops come out in ascending [`EvKey`] = `(time, tie, seq)` order —
+//! exactly the order of the reference global `BinaryHeap<Reverse<Ev>>`.
+//! `seq` is unique per event, which makes keys totally ordered; the
+//! differential proptest in `tests/evq_differential.rs` holds this queue
+//! to the reference implementation under random interleavings, including
+//! chaos tie-breaks.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Total-order key of a simulator event: virtual due `time`, the chaos
+/// `tie` (0 under the default scheduler, a hashed priority under chaos
+/// reordering), and the globally unique push sequence number `seq`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EvKey {
+    /// Virtual time at which the event comes due.
+    pub time: u64,
+    /// Same-time tie-break (chaos reordering); 0 = FIFO by `seq`.
+    pub tie: u64,
+    /// Unique, monotonically assigned push sequence number.
+    pub seq: u64,
+}
+
+/// The sharded event queue; see the module docs. Generic over the payload
+/// so the differential tests can drive it with plain markers.
+#[derive(Debug)]
+pub struct ShardedEvq<T> {
+    /// One lazy min-heap per destination node: `(key, arena slot)`.
+    shards: Vec<BinaryHeap<Reverse<(EvKey, u32)>>>,
+    /// Candidate minima: `(node's head key at insert time, node)`. May
+    /// hold stale entries; they are discarded against the shard head on
+    /// pop/peek.
+    frontier: BinaryHeap<Reverse<(EvKey, usize)>>,
+    /// Arena of payloads; `None` = free slot.
+    slots: Vec<Option<T>>,
+    /// Recycled arena slots.
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> ShardedEvq<T> {
+    /// An empty queue with `shards` destination nodes.
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards: (0..shards.max(1)).map(|_| BinaryHeap::new()).collect(),
+            frontier: BinaryHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no event is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Queue `payload` for `shard` at `key`. Keys must be unique (the
+    /// simulator's `seq` guarantees this).
+    pub fn push(&mut self, shard: usize, key: EvKey, payload: T) {
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(payload);
+                s
+            }
+            None => {
+                self.slots.push(Some(payload));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let sh = &mut self.shards[shard];
+        // Only a new per-node minimum needs a frontier entry; anything
+        // else is exposed later by the pop that uncovers it.
+        let new_min = sh.peek().is_none_or(|Reverse((head, _))| key < *head);
+        sh.push(Reverse((key, slot)));
+        if new_min {
+            self.frontier.push(Reverse((key, shard)));
+        }
+        self.len += 1;
+    }
+
+    /// Discard stale frontier entries until the top is a live per-node
+    /// head (or the frontier is empty). Returns that top.
+    fn settle(&mut self) -> Option<(EvKey, usize)> {
+        while let Some(&Reverse((key, shard))) = self.frontier.peek() {
+            let head = self.shards[shard].peek().map(|Reverse((k, _))| *k);
+            if head == Some(key) {
+                return Some((key, shard));
+            }
+            self.frontier.pop();
+        }
+        None
+    }
+
+    /// The key of the globally minimal event, without removing it.
+    pub fn peek_key(&mut self) -> Option<EvKey> {
+        self.settle().map(|(key, _)| key)
+    }
+
+    /// Remove and return the globally minimal event.
+    pub fn pop(&mut self) -> Option<(EvKey, T)> {
+        let (key, shard) = self.settle()?;
+        self.frontier.pop();
+        let Reverse((_, slot)) = self.shards[shard].pop().expect("settled head");
+        if let Some(Reverse((next, _))) = self.shards[shard].peek() {
+            // Expose the uncovered per-node head as a frontier candidate.
+            self.frontier.push(Reverse((*next, shard)));
+        }
+        let payload = self.slots[slot as usize].take().expect("live slot");
+        self.free.push(slot);
+        self.len -= 1;
+        Some((key, payload))
+    }
+
+    /// Drop every queued event (recovery reset). Arena capacity is kept.
+    pub fn clear(&mut self) {
+        for sh in &mut self.shards {
+            sh.clear();
+        }
+        self.frontier.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::ChaosConfig;
+
+    #[test]
+    fn pops_in_global_key_order_across_shards() {
+        let mut q = ShardedEvq::new(4);
+        let mut seq = 0u64;
+        let mut push = |q: &mut ShardedEvq<u64>, shard: usize, time: u64| {
+            q.push(
+                shard,
+                EvKey { time, tie: 0, seq },
+                time * 1000 + shard as u64,
+            );
+            seq += 1;
+        };
+        for (shard, time) in [(0, 50), (1, 10), (2, 30), (3, 10), (0, 5), (1, 70)] {
+            push(&mut q, shard, time);
+        }
+        let times: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(k, _)| k.time)).collect();
+        assert_eq!(times, vec![5, 10, 10, 30, 50, 70]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn equal_times_order_by_tie_then_seq() {
+        let mut q = ShardedEvq::new(2);
+        q.push(
+            0,
+            EvKey {
+                time: 9,
+                tie: 2,
+                seq: 0,
+            },
+            "late-tie",
+        );
+        q.push(
+            1,
+            EvKey {
+                time: 9,
+                tie: 0,
+                seq: 2,
+            },
+            "fifo-second",
+        );
+        q.push(
+            1,
+            EvKey {
+                time: 9,
+                tie: 0,
+                seq: 1,
+            },
+            "fifo-first",
+        );
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec!["fifo-first", "fifo-second", "late-tie"]);
+    }
+
+    #[test]
+    fn arena_recycles_slots() {
+        let mut q = ShardedEvq::new(1);
+        for round in 0..10u64 {
+            for k in 0..8u64 {
+                q.push(
+                    0,
+                    EvKey {
+                        time: k,
+                        tie: 0,
+                        seq: round * 8 + k,
+                    },
+                    k,
+                );
+            }
+            while q.pop().is_some() {}
+        }
+        assert!(
+            q.slots.len() <= 8,
+            "arena grew past the high-water mark: {}",
+            q.slots.len()
+        );
+    }
+
+    #[test]
+    fn interleaved_push_pop_matches_reference_heap_under_chaos_keys() {
+        // Drive both queues with the *actual* chaos key derivation
+        // (event_delay + event_tiebreak), interleaving pushes and pops.
+        let ch = ChaosConfig::from_seed(1234);
+        let mut q: ShardedEvq<u64> = ShardedEvq::new(8);
+        let mut reference: BinaryHeap<Reverse<(EvKey, u64)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut s: u64 = 77;
+        let mut rnd = || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for _ in 0..5000 {
+            if rnd() % 3 != 0 {
+                let base = rnd() % 1000;
+                let key = EvKey {
+                    time: base + ch.event_delay(seq),
+                    tie: ch.event_tiebreak(seq),
+                    seq,
+                };
+                q.push((rnd() % 8) as usize, key, seq);
+                reference.push(Reverse((key, seq)));
+                seq += 1;
+            } else {
+                assert_eq!(
+                    q.pop(),
+                    reference.pop().map(|Reverse((k, p))| (k, p)),
+                    "pop order diverged from the reference heap"
+                );
+            }
+            assert_eq!(q.len(), reference.len());
+            assert_eq!(q.peek_key(), reference.peek().map(|Reverse((k, _))| *k));
+        }
+        while let Some(got) = q.pop() {
+            assert_eq!(Some(got), reference.pop().map(|Reverse((k, p))| (k, p)));
+        }
+        assert!(reference.is_empty());
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut q = ShardedEvq::new(3);
+        for k in 0..9u64 {
+            q.push(
+                (k % 3) as usize,
+                EvKey {
+                    time: k,
+                    tie: 0,
+                    seq: k,
+                },
+                k,
+            );
+        }
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        q.push(
+            2,
+            EvKey {
+                time: 1,
+                tie: 0,
+                seq: 100,
+            },
+            42,
+        );
+        assert_eq!(
+            q.pop(),
+            Some((
+                EvKey {
+                    time: 1,
+                    tie: 0,
+                    seq: 100
+                },
+                42
+            ))
+        );
+    }
+}

@@ -42,15 +42,19 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod evq;
+mod sched;
 pub mod seg;
 pub mod sim;
 pub mod socket;
 pub mod spmd;
 pub mod stats;
+pub mod stepper;
 pub mod thread;
 
 pub use caf_trace::Tracer;
 pub use chaos::ChaosConfig;
+pub use evq::{EvKey, ShardedEvq};
 pub use seg::{FlagId, SegmentId};
 pub use sim::{SimConfig, SimFabric};
 pub use socket::obs::{
@@ -59,6 +63,7 @@ pub use socket::obs::{
 pub use socket::{SocketConfig, SocketFabric};
 pub use spmd::run_spmd;
 pub use stats::{FabricStats, StatsSnapshot};
+pub use stepper::{run_program_spmd, run_stepped, StepOp, StepProgram, SteppedReport};
 pub use thread::{ThreadConfig, ThreadFabric};
 
 use caf_topology::{CostParams, ImageMap, ProcId, SoftwareOverheads};

@@ -52,6 +52,8 @@
 //! immediate test failures rather than hangs.
 
 use crate::chaos::ChaosConfig;
+use crate::evq::{EvKey, ShardedEvq};
+use crate::sched::SchedIndex;
 use crate::seg::{FlagId, SegmentId};
 use crate::stats::FabricStats;
 use crate::{Fabric, PutToken, RecoveryError};
@@ -81,6 +83,20 @@ pub struct SimConfig {
     /// seeds explore different — but each fully reproducible — commit
     /// orders.
     pub chaos: Option<ChaosConfig>,
+    /// Test-only escape hatch: keep events in the pre-scale single global
+    /// `BinaryHeap` instead of the sharded per-node queue. The scheduler's
+    /// argmin scans also revert to the O(n) linear form. Schedules are
+    /// bit-for-bit identical either way — `caf-check` diffs the two and
+    /// `exp_s1_simscale` uses this path as its pre-PR throughput
+    /// reference. The [`Default`] reads `CAF_SIM_LEGACY_QUEUE=1`.
+    pub legacy_queue: bool,
+    /// Bootstrap-segment slots to pre-allocate per image. `None` (the
+    /// default) keeps the historical one-slot-per-peer layout — O(n²)
+    /// bytes fleet-wide, fine up to a few thousand images. Million-image
+    /// runs whose programs touch only the first few slots (the simscale
+    /// bench kernels stay within 4) pass `Some(slots)` to keep the
+    /// footprint linear.
+    pub bootstrap_slots: Option<usize>,
 }
 
 impl Default for SimConfig {
@@ -90,6 +106,8 @@ impl Default for SimConfig {
             overheads: SoftwareOverheads::NONE,
             tracer: Tracer::off(),
             chaos: None,
+            legacy_queue: std::env::var("CAF_SIM_LEGACY_QUEUE").is_ok_and(|v| v == "1"),
+            bootstrap_slots: None,
         }
     }
 }
@@ -109,7 +127,7 @@ enum ImgState {
 /// critical-path extractor needs the sender and post time of the delivery
 /// that unblocked each wait); they do not affect simulation semantics.
 #[derive(Debug, PartialEq, Eq)]
-struct Notify {
+pub(crate) struct Notify {
     img: usize,
     flag: usize,
     delta: u64,
@@ -120,7 +138,7 @@ struct Notify {
 
 /// What happens when an event comes due.
 #[derive(Debug, PartialEq, Eq)]
-enum EvKind {
+pub(crate) enum EvKind {
     /// `delta` lands on `flags[img][flag]`.
     FlagArrive(Notify),
     /// A message reaches `node`'s NIC off the wire: occupy the NIC for
@@ -159,11 +177,60 @@ impl PartialOrd for Ev {
     }
 }
 
-struct SimCore {
+/// The pending-event container, in one of two provably order-identical
+/// representations: the scale path shards events by destination node
+/// ([`ShardedEvq`]); the legacy path keeps the pre-scale single global
+/// heap behind [`SimConfig::legacy_queue`] so conformance sweeps and the
+/// simscale bench can diff the rebuilt core against the original.
+enum EventStore {
+    /// Pre-scale reference: one global heap over all in-flight events.
+    Legacy(BinaryHeap<Reverse<Ev>>),
+    /// Scale path: per-node lazy queues under a frontier heap.
+    Sharded(ShardedEvq<EvKind>),
+}
+
+impl EventStore {
+    fn len(&self) -> usize {
+        match self {
+            EventStore::Legacy(h) => h.len(),
+            EventStore::Sharded(q) => q.len(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Due time of the earliest event. `&mut` because the sharded frontier
+    /// discards stale entries on peek.
+    fn peek_time(&mut self) -> Option<u64> {
+        match self {
+            EventStore::Legacy(h) => h.peek().map(|Reverse(ev)| ev.time),
+            EventStore::Sharded(q) => q.peek_key().map(|k| k.time),
+        }
+    }
+
+    /// Remove the globally minimal event by `(time, tie, seq)`.
+    fn pop(&mut self) -> Option<(u64, EvKind)> {
+        match self {
+            EventStore::Legacy(h) => h.pop().map(|Reverse(ev)| (ev.time, ev.kind)),
+            EventStore::Sharded(q) => q.pop().map(|(k, kind)| (k.time, kind)),
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            EventStore::Legacy(h) => h.clear(),
+            EventStore::Sharded(q) => q.clear(),
+        }
+    }
+}
+
+pub(crate) struct SimCore {
     /// Effective per-message NIC occupancy (hardware gap + the stack's
     /// software extra); the Landing service needs it inside apply.
     gap_nic_ns: u64,
-    time: Vec<u64>,
+    pub(crate) time: Vec<u64>,
     state: Vec<ImgState>,
     /// `segs[img][segment]` → backing bytes.
     segs: Vec<Vec<Vec<u8>>>,
@@ -178,10 +245,26 @@ struct SimCore {
     socket_bus_free: Vec<u64>,
     /// Virtual time at which each node's NIC is next free.
     nic_free: Vec<u64>,
-    events: BinaryHeap<Reverse<Ev>>,
+    events: EventStore,
+    /// Indexed min-heap over Alive images keyed `(time, prio, rank)` —
+    /// answers argmin / may-commit / min-alive-clock queries in O(1) and
+    /// is updated incrementally on every clock advance, block, wake,
+    /// death, and chaos reshuffle (see [`SchedIndex`]). Maintained in
+    /// legacy mode too (the scans there ignore it, but the event drain's
+    /// memoized bound reads it).
+    sched: SchedIndex,
+    /// Destination node per image — the event queue's shard router.
+    node_of: Vec<u32>,
+    /// Retired images; with `sched.len()` this classifies the whole fleet
+    /// without scanning `state` (deadlock = no events, none alive, not
+    /// everyone done).
+    done_count: usize,
+    /// Use O(n) scans for scheduling decisions (pre-scale reference
+    /// behavior; see [`SimConfig::legacy_queue`]).
+    legacy_scans: bool,
     event_seq: u64,
     /// Set when a global deadlock was detected; all threads panic with it.
-    poisoned: Option<String>,
+    pub(crate) poisoned: Option<String>,
     /// Shared counters (clone of the fabric's): the event drain records
     /// nonblocking-put completions as their `Landing`s come due.
     stats: Arc<FabricStats>,
@@ -195,12 +278,16 @@ struct SimCore {
     /// Per-image fabric-call counter — the deterministic "op index" that
     /// keys cpu jitter (wall-clock mutex order is *not* deterministic;
     /// this is).
-    chaos_ops: Vec<u64>,
+    pub(crate) chaos_ops: Vec<u64>,
     /// Current PCT-style tie-break priority per image (all zero without
     /// chaos reordering, collapsing the schedule key to `(time, rank)`).
     prio: Vec<u64>,
     /// Committed fabric calls — drives periodic priority reshuffles.
     commits: u64,
+    /// Test-only commit trace `(image, op index, clock at grant)` used by
+    /// the stepped/threaded parity tests to diff schedules.
+    #[cfg(test)]
+    pub(crate) commit_log: Vec<(usize, u64, u64)>,
 }
 
 /// Bump an accumulating sync-flag counter, panicking on wraparound: the
@@ -216,32 +303,76 @@ fn flag_bump(cell: &mut u64, img: usize, flag: usize, delta: u64) {
 }
 
 impl SimCore {
+    /// Advance (or rewind — wakes clamp with `max` themselves) image `i`'s
+    /// virtual clock, keeping the scheduling index in sync. Every clock
+    /// write in the fabric funnels through here; Blocked/Done images are
+    /// not in the index and need no update.
+    pub(crate) fn set_time(&mut self, i: usize, t: u64) {
+        self.time[i] = t;
+        if self.sched.contains(i) {
+            self.sched.update(i, (t, self.prio[i]));
+        }
+    }
+
+    /// Park image `i` on a flag wait: drop it from the alive index.
+    fn set_blocked(&mut self, i: usize, flag: usize, at_least: u64) {
+        self.state[i] = ImgState::Blocked { flag, at_least };
+        self.sched.remove(i);
+    }
+
+    /// Wake image `i` at delivery time `at` (clocks never move backwards).
+    fn set_wake(&mut self, i: usize, at: u64) {
+        self.state[i] = ImgState::Alive;
+        self.time[i] = self.time[i].max(at);
+        self.sched.insert(i, (self.time[i], self.prio[i]));
+        self.stats.record_sim_wakeup();
+    }
+
+    /// Retire image `i` (done or killed).
+    pub(crate) fn set_done(&mut self, i: usize) {
+        if !matches!(self.state[i], ImgState::Done) {
+            self.done_count += 1;
+        }
+        self.state[i] = ImgState::Done;
+        self.sched.remove(i);
+    }
+
+    /// Re-key every alive image after a chaos priority reshuffle.
+    fn resort_priorities(&mut self) {
+        let time = &self.time;
+        let prio = &self.prio;
+        self.sched.refresh(|i| (time[i], prio[i]));
+    }
+
     /// Apply all notifications that are due: those at or before the earliest
     /// clock of any image that could still commit. With no such image, the
     /// earliest notification is (vacuously) due. Images unblocked by an
     /// applied notification are appended to `woken`.
-    fn apply_due_events(&mut self, woken: &mut Vec<usize>) {
+    ///
+    /// The due-bound (min alive clock) is **memoized across the drain**:
+    /// it is read once from the index and re-read only when an applied
+    /// event actually woke an image — the only transition that can change
+    /// it mid-drain (pops never touch alive clocks). The pre-scale core
+    /// recomputed it with a full O(n) state scan on every loop iteration;
+    /// a same-timestamp burst of `FlagArrive`s now applies in one pass at
+    /// O(1) scheduling overhead per event.
+    pub(crate) fn apply_due_events(&mut self, woken: &mut Vec<usize>) {
+        let mut min_alive = self.sched.peek_time();
         loop {
-            let min_alive = self
-                .state
-                .iter()
-                .enumerate()
-                .filter(|(_, s)| matches!(s, ImgState::Alive))
-                .map(|(i, _)| self.time[i])
-                .min();
-            let due = match self.events.peek() {
-                Some(Reverse(ev)) => min_alive.is_none_or(|m| ev.time <= m),
+            let due = match self.events.peek_time() {
+                Some(t) => min_alive.is_none_or(|m| t <= m),
                 None => false,
             };
             if !due {
                 return;
             }
-            let Reverse(ev) = self.events.pop().expect("peeked");
-            match ev.kind {
+            let (ev_time, kind) = self.events.pop().expect("peeked");
+            self.stats.record_sim_event_pop();
+            match kind {
                 EvKind::FlagArrive(n) => {
                     flag_bump(&mut self.flags[n.img][n.flag], n.img, n.flag, n.delta);
                     self.tracer.record_system(
-                        Event::instant(EventKind::FlagDeliver, ev.time)
+                        Event::instant(EventKind::FlagDeliver, ev_time)
                             .a(n.src as u64)
                             .b(n.flag as u64)
                             .c(n.posted)
@@ -254,14 +385,16 @@ impl SimCore {
                     } = self.state[n.img]
                     {
                         if wflag == n.flag && self.flags[n.img][n.flag] >= at_least {
-                            self.state[n.img] = ImgState::Alive;
-                            self.time[n.img] = self.time[n.img].max(ev.time);
+                            self.set_wake(n.img, ev_time);
                             woken.push(n.img);
+                            // A wake is the one transition that can lower
+                            // the due-bound: invalidate the memo.
+                            min_alive = self.sched.peek_time();
                         }
                     }
                 }
                 EvKind::Landing { node, notify, nb } => {
-                    let start = ev.time.max(self.nic_free[node]);
+                    let start = ev_time.max(self.nic_free[node]);
                     self.nic_free[node] = start + self.gap_nic_ns;
                     if nb {
                         self.stats.record_put_nb_complete();
@@ -282,8 +415,14 @@ impl SimCore {
         (self.time[i], self.prio[i], i)
     }
 
-    /// The image that should run next: argmin over Alive of the key.
-    fn next_eligible(&self) -> Option<usize> {
+    /// The image that should run next: argmin over Alive of the key —
+    /// an O(1) index peek on the scale path, the original O(n) scan in
+    /// legacy mode (both provably pick the same image; the index breaks
+    /// exact key ties by lowest rank exactly as `min_by_key` does).
+    pub(crate) fn next_eligible(&self) -> Option<usize> {
+        if !self.legacy_scans {
+            return self.sched.peek();
+        }
         self.state
             .iter()
             .enumerate()
@@ -293,53 +432,105 @@ impl SimCore {
     }
 
     /// May image `me` (which is Alive, inside a fabric call) commit now?
-    fn may_commit(&self, me: usize) -> bool {
+    /// `&mut` because peeking the sharded event frontier settles it.
+    fn may_commit(&mut self, me: usize) -> bool {
         debug_assert!(matches!(self.state[me], ImgState::Alive));
-        let key = self.sched_key(me);
-        for (j, s) in self.state.iter().enumerate() {
-            if j != me && matches!(s, ImgState::Alive) && self.sched_key(j) < key {
-                return false;
+        if self.legacy_scans {
+            let key = self.sched_key(me);
+            for (j, s) in self.state.iter().enumerate() {
+                if j != me && matches!(s, ImgState::Alive) && self.sched_key(j) < key {
+                    return false;
+                }
             }
+        } else if self.sched.peek() != Some(me) {
+            return false;
         }
         // Any notification due at or before my clock must land first.
-        match self.events.peek() {
-            Some(Reverse(ev)) => ev.time > self.time[me],
+        match self.events.peek_time() {
+            Some(t) => t > self.time[me],
             None => true,
         }
     }
 
-    fn push_event(&mut self, time: u64, kind: EvKind) {
+    pub(crate) fn push_event(&mut self, time: u64, kind: EvKind) {
         let seq = self.event_seq;
         self.event_seq += 1;
         let (time, tie) = match &self.chaos {
             Some(ch) => (time + ch.event_delay(seq), ch.event_tiebreak(seq)),
             None => (time, 0),
         };
-        self.events.push(Reverse(Ev {
-            time,
-            tie,
-            seq,
-            kind,
-        }));
+        match &mut self.events {
+            EventStore::Legacy(h) => h.push(Reverse(Ev {
+                time,
+                tie,
+                seq,
+                kind,
+            })),
+            EventStore::Sharded(q) => {
+                // Route to the destination node's shard: a flag arrival
+                // belongs to its target image's node, a landing names its
+                // node directly.
+                let shard = match &kind {
+                    EvKind::FlagArrive(n) => self.node_of[n.img] as usize,
+                    EvKind::Landing { node, .. } => *node,
+                };
+                q.push(shard, EvKey { time, tie, seq }, kind);
+            }
+        }
+        self.stats.record_sim_event_push(self.events.len() as u64);
     }
 
-    /// True when no image can make progress ever again.
-    fn is_deadlocked(&self) -> bool {
-        self.events.is_empty()
-            && self
-                .state
-                .iter()
-                .all(|s| matches!(s, ImgState::Blocked { .. } | ImgState::Done))
-            && self
-                .state
-                .iter()
-                .any(|s| matches!(s, ImgState::Blocked { .. }))
+    /// True when no image can make progress ever again: nothing in
+    /// flight, nobody alive, and at least one image still blocked.
+    pub(crate) fn is_deadlocked(&self) -> bool {
+        self.events.is_empty() && self.sched.is_empty() && self.done_count < self.state.len()
+    }
+
+    /// Commit-turn bookkeeping shared by the threaded driver
+    /// ([`SimFabric::lock_turn`]) and the stepped driver
+    /// ([`crate::stepper::run_stepped`]): throughput accounting, the
+    /// chaos kill fault, and PCT priority reshuffles. `my_op` is the
+    /// per-image op index the call's chaos delay was charged under.
+    /// `Err(msg)` means this image was just killed — the caller must
+    /// poison the fabric and panic with the message.
+    pub(crate) fn grant_commit(&mut self, me: usize, my_op: u64) -> Result<(), String> {
+        self.stats.record_sim_commit();
+        #[cfg(test)]
+        self.commit_log.push((me, my_op, self.time[me]));
+        let ch = match self.chaos {
+            Some(ch) => ch,
+            None => return Ok(()),
+        };
+        // The kill fault fires at the victim's *commit turn*: every op
+        // with a smaller (time, prio, rank) key has already committed,
+        // none with a larger one has — so the fabric state at death is a
+        // pure function of the seed and recovery runs are replayable.
+        if ch.kill_image_at == Some((me, my_op)) {
+            self.set_done(me);
+            let msg = format!(
+                "image {me} killed at t={}ns (chaos kill_image_at op {my_op})",
+                self.time[me]
+            );
+            self.poisoned = Some(msg.clone());
+            return Err(msg);
+        }
+        self.commits += 1;
+        if ch.reorder && ch.pct_interval > 0 && self.commits.is_multiple_of(ch.pct_interval) {
+            // PCT-style reshuffle: new tie-break priorities at a
+            // deterministic point in the committed-op stream.
+            let epoch = self.commits / ch.pct_interval;
+            for i in 0..self.prio.len() {
+                self.prio[i] = ch.image_priority(epoch, i);
+            }
+            self.resort_priorities();
+        }
+        Ok(())
     }
 
     /// Trace events shown per image in the deadlock report.
     const DEADLOCK_TRAIL: usize = 4;
 
-    fn deadlock_report(&self) -> String {
+    pub(crate) fn deadlock_report(&self) -> String {
         let mut msg =
             String::from("SimFabric deadlock: all images blocked, no messages in flight\n");
         for (i, s) in self.state.iter().enumerate() {
@@ -386,9 +577,9 @@ struct HealState {
 /// The virtual-time simulation fabric. See the module docs for semantics.
 pub struct SimFabric {
     map: ImageMap,
-    cfg: SimConfig,
+    pub(crate) cfg: SimConfig,
     stats: Arc<FabricStats>,
-    core: Mutex<SimCore>,
+    pub(crate) core: Mutex<SimCore>,
     /// One condvar per image: commits wake only the next eligible image
     /// (the global argmin), not the whole herd — O(1) wakeups per commit.
     cvs: Vec<Condvar>,
@@ -410,26 +601,44 @@ impl SimFabric {
         let tracer = cfg.tracer.clone();
         let stats = Arc::new(FabricStats::default());
         let chaos = cfg.chaos;
-        let prio = match &chaos {
+        let prio: Vec<u64> = match &chaos {
             Some(ch) => (0..n).map(|i| ch.image_priority(0, i)).collect(),
             None => vec![0; n],
         };
+        // Everyone starts Alive at t=0 with its initial priority.
+        let mut sched = SchedIndex::new(n);
+        for (i, &p) in prio.iter().enumerate() {
+            sched.insert(i, (0, p));
+        }
+        let node_of: Vec<u32> = (0..n)
+            .map(|i| map.node_of(ProcId(i)).index() as u32)
+            .collect();
+        let events = if cfg.legacy_queue {
+            EventStore::Legacy(BinaryHeap::new())
+        } else {
+            EventStore::Sharded(ShardedEvq::new(nodes))
+        };
+        let slots = cfg.bootstrap_slots.unwrap_or(n);
         Arc::new(Self {
             map,
-            cfg,
+            cfg: cfg.clone(),
             stats: stats.clone(),
             core: Mutex::new(SimCore {
                 gap_nic_ns,
                 time: vec![0; n],
                 state: vec![ImgState::Alive; n],
                 // Bootstrap resources: segment 0 and the control flags.
-                segs: vec![vec![vec![0u8; n * crate::bootstrap::SLOT_BYTES]]; n],
+                segs: vec![vec![vec![0u8; slots * crate::bootstrap::SLOT_BYTES]]; n],
                 flags: vec![vec![0u64; crate::bootstrap::NUM_FLAGS]; n],
                 last_arrival: vec![0; n],
                 node_bus_free: vec![0; nodes],
                 socket_bus_free: vec![0; sockets],
                 nic_free: vec![0; nodes],
-                events: BinaryHeap::new(),
+                events,
+                sched,
+                node_of,
+                done_count: 0,
+                legacy_scans: cfg.legacy_queue,
                 event_seq: 0,
                 poisoned: None,
                 stats,
@@ -438,6 +647,8 @@ impl SimFabric {
                 chaos_ops: vec![0; n],
                 prio,
                 commits: 0,
+                #[cfg(test)]
+                commit_log: Vec::new(),
             }),
             cvs: (0..n).map(|_| Condvar::new()).collect(),
             heal: Mutex::new(HealState::default()),
@@ -469,7 +680,8 @@ impl SimFabric {
             let op = core.chaos_ops[me];
             my_op = op;
             core.chaos_ops[me] += 1;
-            core.time[me] += ch.op_delay(me, node, op);
+            let charged = core.time[me] + ch.op_delay(me, node, op);
+            core.set_time(me, charged);
         }
         loop {
             if let Some(msg) = &core.poisoned {
@@ -479,35 +691,10 @@ impl SimFabric {
             core.apply_due_events(&mut woken);
             self.notify(&core, &woken);
             if core.may_commit(me) {
-                if let Some(ch) = &self.cfg.chaos {
-                    // The kill fault fires at the victim's *commit turn*:
-                    // every op with a smaller (time, rank) key has already
-                    // committed, none with a larger one has — so the fabric
-                    // state at death is a pure function of the seed and
-                    // recovery runs are replayable.
-                    if ch.kill_image_at == Some((me, my_op)) {
-                        core.state[me] = ImgState::Done;
-                        let msg = format!(
-                            "image {me} killed at t={}ns (chaos kill_image_at op {my_op})",
-                            core.time[me]
-                        );
-                        core.poisoned = Some(msg.clone());
-                        drop(core);
-                        self.notify_everyone();
-                        panic!("{msg}");
-                    }
-                    core.commits += 1;
-                    if ch.reorder
-                        && ch.pct_interval > 0
-                        && core.commits.is_multiple_of(ch.pct_interval)
-                    {
-                        // PCT-style reshuffle: new tie-break priorities at a
-                        // deterministic point in the committed-op stream.
-                        let epoch = core.commits / ch.pct_interval;
-                        for i in 0..core.prio.len() {
-                            core.prio[i] = ch.image_priority(epoch, i);
-                        }
-                    }
+                if let Err(msg) = core.grant_commit(me, my_op) {
+                    drop(core);
+                    self.notify_everyone();
+                    panic!("{msg}");
                 }
                 return core;
             }
@@ -600,7 +787,7 @@ impl SimFabric {
             let slot = loc.node.index() * spn + loc.socket.index();
             let start = Self::reserve_socket_bus(core, slot, ready, busy);
             let sender_end = start + busy;
-            core.time[me] = sender_end;
+            core.set_time(me, sender_end);
             let arrival = sender_end + c.l_socket_ns;
             if let Some(n) = notify {
                 core.push_event(arrival, EvKind::FlagArrive(mk_notify(n)));
@@ -617,7 +804,7 @@ impl SimFabric {
             let node = self.map.node_of(ProcId(me)).index();
             let start = Self::reserve_bus(core, node, ready, busy);
             let sender_end = start + busy;
-            core.time[me] = sender_end;
+            core.set_time(me, sender_end);
             let arrival = sender_end + c.l_intra_ns;
             if let Some(n) = notify {
                 core.push_event(arrival, EvKind::FlagArrive(mk_notify(n)));
@@ -632,7 +819,7 @@ impl SimFabric {
             // The receiver-side NIC slot is granted when the Landing event
             // comes due, keeping NIC service in virtual-time order.
             let ready = t + o_sw + c.o_inter_ns;
-            core.time[me] = ready;
+            core.set_time(me, ready);
             let src_node = self.map.node_of(ProcId(me)).index();
             let dst_node = self.map.node_of(ProcId(dst)).index();
             let mut gap = c.gap_nic_ns + self.cfg.overheads.nic_busy_extra_ns;
@@ -716,6 +903,171 @@ impl SimFabric {
         }
         drop(core);
     }
+
+    // ---- op bodies -------------------------------------------------------
+    //
+    // The commit-time effect of each fabric op, factored out of the
+    // threaded `Fabric` methods so the cooperative stepped driver
+    // (`crate::stepper`) can apply the *identical* state transitions
+    // without the per-image OS threads — the hosted-image mode that takes
+    // simulations past sane thread counts. Callers must hold the commit
+    // turn for `me` (threaded: via `lock_turn`; stepped: by construction,
+    // the driver only runs the argmin image).
+
+    /// Commit a blocking put from `me` to `dst`; see [`Fabric::put`].
+    pub(crate) fn put_body(
+        &self,
+        core: &mut SimCore,
+        me: usize,
+        dst: usize,
+        seg: SegmentId,
+        offset: usize,
+        bytes: &[u8],
+    ) {
+        let t = core.time[me];
+        if me == dst {
+            let c = &self.cfg.cost;
+            let end = t + self.cfg.overheads.per_op_ns + c.intra_payload_ns(bytes.len());
+            core.set_time(me, end);
+            let dur = core.time[me] - t;
+            self.cfg.tracer.record(
+                me,
+                Event::span(EventKind::Put, t, dur)
+                    .a(dst as u64)
+                    .b(bytes.len() as u64)
+                    .self_target(),
+            );
+        } else {
+            let intra = self.map.colocated(ProcId(me), ProcId(dst));
+            let tr = self.model_transfer(core, me, dst, t, bytes.len(), None, false);
+            core.last_arrival[me] = core.last_arrival[me].max(tr.arrival);
+            self.stats.record_put(intra, bytes.len());
+            let dur = core.time[me] - t;
+            self.cfg.tracer.record(
+                me,
+                Event::span(EventKind::Put, t, dur)
+                    .a(dst as u64)
+                    .b(bytes.len() as u64)
+                    .c(tr.queue_ns)
+                    .d(tr.service_ns)
+                    .intra(intra),
+            );
+        }
+        let dseg = &mut core.segs[dst][seg.0];
+        assert!(
+            offset + bytes.len() <= dseg.len(),
+            "put of {} bytes at {offset} exceeds {:?} ({} bytes)",
+            bytes.len(),
+            seg,
+            dseg.len()
+        );
+        dseg[offset..offset + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Commit a flag add from `me` onto `target`; see [`Fabric::flag_add`].
+    pub(crate) fn flag_add_body(
+        &self,
+        core: &mut SimCore,
+        me: usize,
+        target: usize,
+        flag: FlagId,
+        delta: u64,
+    ) {
+        let t = core.time[me];
+        if me == target {
+            let end = t + self.cfg.overheads.per_op_ns + self.cfg.cost.o_intra_ns;
+            core.set_time(me, end);
+            flag_bump(&mut core.flags[me][flag.0], me, flag.0, delta);
+            let now = core.time[me];
+            self.cfg.tracer.record(
+                me,
+                Event::instant(EventKind::FlagAdd, t)
+                    .a(target as u64)
+                    .b(flag.0 as u64)
+                    .c(delta)
+                    .d(now)
+                    .self_target(),
+            );
+            // A self-add delivers immediately; record it so critical-path
+            // walks see every flag arrival, local ones included.
+            core.tracer.record_system(
+                Event::instant(EventKind::FlagDeliver, now)
+                    .a(me as u64)
+                    .b(flag.0 as u64)
+                    .c(t)
+                    .d(me as u64)
+                    .intra(true),
+            );
+        } else {
+            let intra = self.map.colocated(ProcId(me), ProcId(target));
+            // A notification is an 8-byte put followed by a wakeup.
+            let tr = self.model_transfer(core, me, target, t, 8, Some((flag.0, delta)), false);
+            core.last_arrival[me] = core.last_arrival[me].max(tr.arrival);
+            self.stats.record_flag(intra);
+            self.cfg.tracer.record(
+                me,
+                Event::instant(EventKind::FlagAdd, t)
+                    .a(target as u64)
+                    .b(flag.0 as u64)
+                    .c(delta)
+                    .d(tr.arrival)
+                    .intra(intra),
+            );
+        }
+    }
+
+    /// Commit the entry of a flag wait: charge the poll cost, then either
+    /// satisfy immediately (returns `true`, wait span recorded) or park
+    /// the image as Blocked (returns `false`; the caller records the span
+    /// via [`Self::record_wait_span`] once the wake lands).
+    pub(crate) fn flag_wait_enter(
+        &self,
+        core: &mut SimCore,
+        me: usize,
+        flag: FlagId,
+        at_least: u64,
+    ) -> bool {
+        self.stats
+            .flag_waits
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let t_entry = core.time[me];
+        let end = t_entry + self.cfg.overheads.per_wait_ns + self.cfg.cost.poll_ns;
+        core.set_time(me, end);
+        if core.flags[me][flag.0] >= at_least {
+            self.record_wait_span(core, me, t_entry, flag, at_least);
+            return true;
+        }
+        core.set_blocked(me, flag.0, at_least);
+        false
+    }
+
+    /// Record the `FlagWait` span for a wait entered at `t_entry` that has
+    /// just completed (image `me` is Alive again, clock at wake time).
+    pub(crate) fn record_wait_span(
+        &self,
+        core: &SimCore,
+        me: usize,
+        t_entry: u64,
+        flag: FlagId,
+        at_least: u64,
+    ) {
+        self.cfg.tracer.record(
+            me,
+            Event::span(EventKind::FlagWait, t_entry, core.time[me] - t_entry)
+                .a(flag.0 as u64)
+                .b(at_least),
+        );
+    }
+
+    /// Commit a compute block; see [`Fabric::compute`].
+    pub(crate) fn compute_body(&self, core: &mut SimCore, me: usize, ns: u64) {
+        let scaled = self.cfg.overheads.scale_compute(ns);
+        let t = core.time[me];
+        self.cfg
+            .tracer
+            .record(me, Event::span(EventKind::Compute, t, scaled));
+        core.set_time(me, t + scaled);
+    }
 }
 
 impl Fabric for SimFabric {
@@ -764,43 +1116,7 @@ impl Fabric for SimFabric {
     fn put(&self, me: ProcId, dst: ProcId, seg: SegmentId, offset: usize, bytes: &[u8]) {
         let (me, dst) = (me.index(), dst.index());
         let mut core = self.lock_turn(me);
-        let t = core.time[me];
-        if me == dst {
-            let c = &self.cfg.cost;
-            core.time[me] = t + self.cfg.overheads.per_op_ns + c.intra_payload_ns(bytes.len());
-            let dur = core.time[me] - t;
-            self.cfg.tracer.record(
-                me,
-                Event::span(EventKind::Put, t, dur)
-                    .a(dst as u64)
-                    .b(bytes.len() as u64)
-                    .self_target(),
-            );
-        } else {
-            let intra = self.map.colocated(ProcId(me), ProcId(dst));
-            let tr = self.model_transfer(&mut core, me, dst, t, bytes.len(), None, false);
-            core.last_arrival[me] = core.last_arrival[me].max(tr.arrival);
-            self.stats.record_put(intra, bytes.len());
-            let dur = core.time[me] - t;
-            self.cfg.tracer.record(
-                me,
-                Event::span(EventKind::Put, t, dur)
-                    .a(dst as u64)
-                    .b(bytes.len() as u64)
-                    .c(tr.queue_ns)
-                    .d(tr.service_ns)
-                    .intra(intra),
-            );
-        }
-        let dseg = &mut core.segs[dst][seg.0];
-        assert!(
-            offset + bytes.len() <= dseg.len(),
-            "put of {} bytes at {offset} exceeds {:?} ({} bytes)",
-            bytes.len(),
-            seg,
-            dseg.len()
-        );
-        dseg[offset..offset + bytes.len()].copy_from_slice(bytes);
+        self.put_body(&mut core, me, dst, seg, offset, bytes);
         self.finish_op(core);
     }
 
@@ -818,7 +1134,8 @@ impl Fabric for SimFabric {
         let token;
         if me == dst {
             let c = &self.cfg.cost;
-            core.time[me] = t + self.cfg.overheads.per_op_ns + c.intra_payload_ns(bytes.len());
+            let end = t + self.cfg.overheads.per_op_ns + c.intra_payload_ns(bytes.len());
+            core.set_time(me, end);
             let dur = core.time[me] - t;
             self.cfg.tracer.record(
                 me,
@@ -870,7 +1187,8 @@ impl Fabric for SimFabric {
     fn put_test(&self, me: ProcId, token: PutToken) -> bool {
         let me = me.index();
         let mut core = self.core.lock();
-        core.time[me] += self.cfg.cost.poll_ns;
+        let polled = core.time[me] + self.cfg.cost.poll_ns;
+        core.set_time(me, polled);
         let done = core.time[me] >= token.arrival_ns;
         let mut woken = Vec::new();
         core.apply_due_events(&mut woken);
@@ -883,7 +1201,7 @@ impl Fabric for SimFabric {
         let me = me.index();
         let mut core = self.core.lock();
         let t = core.time[me];
-        core.time[me] = t.max(token.arrival_ns);
+        core.set_time(me, t.max(token.arrival_ns));
         self.cfg
             .tracer
             .record(me, Event::span(EventKind::Quiet, t, core.time[me] - t));
@@ -901,14 +1219,14 @@ impl Fabric for SimFabric {
         let o_sw = self.cfg.overheads.per_op_ns;
         let mut queue_ns = 0;
         if me == src {
-            core.time[me] = t + o_sw + c.intra_payload_ns(out.len());
+            core.set_time(me, t + o_sw + c.intra_payload_ns(out.len()));
         } else if self.map.colocated(ProcId(me), ProcId(src)) && !self.cfg.overheads.intra_via_nic {
             let ready = t + o_sw + c.o_intra_ns;
             let busy = c.gap_intra_ns + c.intra_payload_ns(out.len());
             let node = self.map.node_of(ProcId(me)).index();
             let start = Self::reserve_bus(&mut core, node, ready, busy);
             queue_ns = start - ready;
-            core.time[me] = start + busy + c.l_intra_ns;
+            core.set_time(me, start + busy + c.l_intra_ns);
             self.stats.record_get(true, out.len());
         } else {
             // RDMA get: request wire + response wire + payload on response.
@@ -923,7 +1241,7 @@ impl Fabric for SimFabric {
             queue_ns = inj - ready;
             let req_at = inj + gap + c.l_inter_ns;
             let busy = gap + c.inter_payload_ns(out.len());
-            core.time[me] = req_at + busy + c.l_inter_ns;
+            core.set_time(me, req_at + busy + c.l_inter_ns);
             self.stats.record_get(false, out.len());
         }
         {
@@ -973,7 +1291,7 @@ impl Fabric for SimFabric {
         let o_sw = self.cfg.overheads.per_op_ns;
         let mut queue_ns = 0;
         if me == target {
-            core.time[me] = t + o_sw + c.o_intra_ns;
+            core.set_time(me, t + o_sw + c.o_intra_ns);
         } else if self.map.colocated(ProcId(me), ProcId(target))
             && !self.cfg.overheads.intra_via_nic
         {
@@ -981,7 +1299,7 @@ impl Fabric for SimFabric {
             let node = self.map.node_of(ProcId(me)).index();
             let start = Self::reserve_bus(&mut core, node, ready, c.gap_intra_ns);
             queue_ns = start - ready;
-            core.time[me] = start + c.gap_intra_ns + 2 * c.l_intra_ns;
+            core.set_time(me, start + c.gap_intra_ns + 2 * c.l_intra_ns);
         } else {
             let ready = t + o_sw + c.o_inter_ns;
             let src_node = self.map.node_of(ProcId(me)).index();
@@ -989,7 +1307,7 @@ impl Fabric for SimFabric {
             let inj = Self::reserve_nic(&mut core, src_node, ready, gap);
             queue_ns = inj - ready;
             let req_at = inj + gap + c.l_inter_ns;
-            core.time[me] = req_at + gap + c.l_inter_ns;
+            core.set_time(me, req_at + gap + c.l_inter_ns);
         }
         self.stats
             .amos
@@ -1033,13 +1351,13 @@ impl Fabric for SimFabric {
         let o_sw = self.cfg.overheads.per_op_ns;
         let mut queue_ns = 0;
         if me == target {
-            core.time[me] = t + o_sw + c.o_intra_ns;
+            core.set_time(me, t + o_sw + c.o_intra_ns);
         } else if self.map.colocated(me_p, ProcId(target)) && !self.cfg.overheads.intra_via_nic {
             let ready = t + o_sw + c.o_intra_ns;
             let node = self.map.node_of(me_p).index();
             let start = Self::reserve_bus(&mut core, node, ready, c.gap_intra_ns);
             queue_ns = start - ready;
-            core.time[me] = start + c.gap_intra_ns + 2 * c.l_intra_ns;
+            core.set_time(me, start + c.gap_intra_ns + 2 * c.l_intra_ns);
         } else {
             let ready = t + o_sw + c.o_inter_ns;
             let src_node = self.map.node_of(me_p).index();
@@ -1047,7 +1365,7 @@ impl Fabric for SimFabric {
             let inj = Self::reserve_nic(&mut core, src_node, ready, gap);
             queue_ns = inj - ready;
             let req_at = inj + gap + c.l_inter_ns;
-            core.time[me] = req_at + gap + c.l_inter_ns;
+            core.set_time(me, req_at + gap + c.l_inter_ns);
         }
         self.stats
             .amos
@@ -1066,71 +1384,18 @@ impl Fabric for SimFabric {
     fn flag_add(&self, me: ProcId, target: ProcId, flag: FlagId, delta: u64) {
         let (me, target) = (me.index(), target.index());
         let mut core = self.lock_turn(me);
-        let t = core.time[me];
-        if me == target {
-            core.time[me] = t + self.cfg.overheads.per_op_ns + self.cfg.cost.o_intra_ns;
-            flag_bump(&mut core.flags[me][flag.0], me, flag.0, delta);
-            let now = core.time[me];
-            self.cfg.tracer.record(
-                me,
-                Event::instant(EventKind::FlagAdd, t)
-                    .a(target as u64)
-                    .b(flag.0 as u64)
-                    .c(delta)
-                    .d(now)
-                    .self_target(),
-            );
-            // A self-add delivers immediately; record it so critical-path
-            // walks see every flag arrival, local ones included.
-            core.tracer.record_system(
-                Event::instant(EventKind::FlagDeliver, now)
-                    .a(me as u64)
-                    .b(flag.0 as u64)
-                    .c(t)
-                    .d(me as u64)
-                    .intra(true),
-            );
-        } else {
-            let intra = self.map.colocated(ProcId(me), ProcId(target));
-            // A notification is an 8-byte put followed by a wakeup.
-            let tr = self.model_transfer(&mut core, me, target, t, 8, Some((flag.0, delta)), false);
-            core.last_arrival[me] = core.last_arrival[me].max(tr.arrival);
-            self.stats.record_flag(intra);
-            self.cfg.tracer.record(
-                me,
-                Event::instant(EventKind::FlagAdd, t)
-                    .a(target as u64)
-                    .b(flag.0 as u64)
-                    .c(delta)
-                    .d(tr.arrival)
-                    .intra(intra),
-            );
-        }
+        self.flag_add_body(&mut core, me, target, flag, delta);
         self.finish_op(core);
     }
 
     fn flag_wait_ge(&self, me: ProcId, flag: FlagId, at_least: u64) {
         let me = me.index();
-        self.stats
-            .flag_waits
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let mut core = self.lock_turn(me);
         let t_entry = core.time[me];
-        core.time[me] += self.cfg.overheads.per_wait_ns + self.cfg.cost.poll_ns;
-        if core.flags[me][flag.0] >= at_least {
-            self.cfg.tracer.record(
-                me,
-                Event::span(EventKind::FlagWait, t_entry, core.time[me] - t_entry)
-                    .a(flag.0 as u64)
-                    .b(at_least),
-            );
+        if self.flag_wait_enter(&mut core, me, flag, at_least) {
             self.finish_op(core);
             return;
         }
-        core.state[me] = ImgState::Blocked {
-            flag: flag.0,
-            at_least,
-        };
         let mut woken = Vec::new();
         core.apply_due_events(&mut woken);
         self.notify(&core, &woken);
@@ -1149,19 +1414,15 @@ impl Fabric for SimFabric {
             }
             self.cvs[me].wait(&mut core);
         }
-        self.cfg.tracer.record(
-            me,
-            Event::span(EventKind::FlagWait, t_entry, core.time[me] - t_entry)
-                .a(flag.0 as u64)
-                .b(at_least),
-        );
+        self.record_wait_span(&core, me, t_entry, flag, at_least);
         self.finish_op(core);
     }
 
     fn flag_read(&self, me: ProcId, flag: FlagId) -> u64 {
         let me = me.index();
         let mut core = self.lock_turn(me);
-        core.time[me] += self.cfg.cost.poll_ns;
+        let polled = core.time[me] + self.cfg.cost.poll_ns;
+        core.set_time(me, polled);
         let v = core.flags[me][flag.0];
         self.finish_op(core);
         v
@@ -1171,7 +1432,8 @@ impl Fabric for SimFabric {
         let me = me.index();
         let mut core = self.core.lock();
         let t = core.time[me];
-        core.time[me] = core.time[me].max(core.last_arrival[me]);
+        let settled = t.max(core.last_arrival[me]);
+        core.set_time(me, settled);
         self.cfg
             .tracer
             .record(me, Event::span(EventKind::Quiet, t, core.time[me] - t));
@@ -1181,13 +1443,8 @@ impl Fabric for SimFabric {
 
     fn compute(&self, me: ProcId, ns: u64) {
         let me = me.index();
-        let scaled = self.cfg.overheads.scale_compute(ns);
         let mut core = self.core.lock();
-        let t = core.time[me];
-        self.cfg
-            .tracer
-            .record(me, Event::span(EventKind::Compute, t, scaled));
-        core.time[me] += scaled;
+        self.compute_body(&mut core, me, ns);
         let mut woken = Vec::new();
         core.apply_due_events(&mut woken);
         self.notify(&core, &woken);
@@ -1210,7 +1467,7 @@ impl Fabric for SimFabric {
     fn image_done(&self, me: ProcId) {
         let me = me.index();
         let mut core = self.core.lock();
-        core.state[me] = ImgState::Done;
+        core.set_done(me);
         let mut woken = Vec::new();
         core.apply_due_events(&mut woken);
         if core.is_deadlocked() {
@@ -1268,11 +1525,14 @@ impl Fabric for SimFabric {
             .count();
         if hs.waiting >= expected {
             // Last survivor in: perform the global reset exactly once.
-            let mut core = self.core.lock();
+            let mut guard = self.core.lock();
+            let core = &mut *guard;
             let n = core.state.len();
+            core.sched.clear();
             for i in 0..n {
                 if !matches!(core.state[i], ImgState::Done) {
                     core.state[i] = ImgState::Alive;
+                    core.sched.insert(i, (core.time[i], core.prio[i]));
                 }
                 core.flags[i] = vec![0; crate::bootstrap::NUM_FLAGS];
                 core.segs[i].truncate(crate::bootstrap::NUM_SEGS);
@@ -1281,7 +1541,7 @@ impl Fabric for SimFabric {
             }
             core.events.clear();
             core.poisoned = None;
-            drop(core);
+            drop(guard);
             hs.waiting = 0;
             hs.round += 1;
             hs.generation += 1;
@@ -1621,6 +1881,10 @@ mod tests {
     /// All-to-one then one-to-all under a given chaos config; returns the
     /// final per-image virtual times (a schedule fingerprint).
     fn chaos_fingerprint(chaos: Option<ChaosConfig>) -> Vec<u64> {
+        fingerprint(false, chaos)
+    }
+
+    fn fingerprint(legacy_queue: bool, chaos: Option<ChaosConfig>) -> Vec<u64> {
         let map = ImageMap::new(presets::mini(2, 4), 8, &Placement::Block { per_node: 4 });
         let f = SimFabric::new(
             map,
@@ -1628,6 +1892,7 @@ mod tests {
                 cost: presets::whale_cost(),
                 overheads: SoftwareOverheads::NONE,
                 chaos,
+                legacy_queue,
                 ..SimConfig::default()
             },
         );
@@ -1650,6 +1915,65 @@ mod tests {
         });
         let v = times.lock().clone();
         v
+    }
+
+    #[test]
+    fn sharded_queue_matches_legacy_bit_for_bit() {
+        // The tentpole determinism guarantee: the sharded per-node event
+        // core and the pre-scale global heap produce identical schedules
+        // (virtual-time fingerprints), with and without chaos reordering.
+        assert_eq!(fingerprint(true, None), fingerprint(false, None));
+        for seed in [3u64, 11, 29] {
+            let chaos = ChaosConfig::from_seed(seed);
+            assert_eq!(
+                fingerprint(true, Some(chaos)),
+                fingerprint(false, Some(chaos)),
+                "schedules diverged for chaos seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn bootstrap_slot_cap_bounds_the_segment() {
+        let map = ImageMap::new(presets::mini(1, 1), 1, &Placement::Packed);
+        let f = SimFabric::new(
+            map,
+            SimConfig {
+                cost: presets::whale_cost(),
+                bootstrap_slots: Some(4),
+                ..SimConfig::default()
+            },
+        );
+        let me = ProcId(0);
+        // Low offsets work; the segment is exactly 4 slots.
+        f.put(me, me, BSEG, 0, &[7u8; 8]);
+        let cap = 4 * crate::bootstrap::SLOT_BYTES;
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            f.put(me, me, BSEG, cap, &[1u8]);
+        }));
+        assert!(r.is_err(), "past-the-cap put must hit the bounds assert");
+    }
+
+    #[test]
+    fn sim_stats_track_events_and_commits() {
+        let f = sim(2, 1, 2, 1);
+        let f2 = f.clone();
+        run_spmd(f.clone(), move |me| {
+            if me == ProcId(0) {
+                f2.flag_add(me, ProcId(1), SPARE_FLAG, 1);
+            } else {
+                f2.flag_wait_ge(me, SPARE_FLAG, 1);
+            }
+            f2.image_done(me);
+        });
+        let s = f.stats().snapshot();
+        // One inter-node flag_add = a Landing plus its FlagArrive.
+        assert_eq!(s.sim_events_pushed, 2);
+        assert_eq!(s.sim_events_popped, 2, "queue drains by run end");
+        assert!(s.sim_queue_hwm >= 1);
+        assert_eq!(s.sim_wakeups, 1, "the waiter wakes exactly once");
+        // flag_add + flag_wait are the only turn-taking ops here.
+        assert_eq!(s.sim_commits, 2);
     }
 
     #[test]

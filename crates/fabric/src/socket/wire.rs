@@ -18,7 +18,7 @@ use std::time::Duration;
 
 /// Protocol magic carried by [`Frame::Open`] and [`Frame::Hello`]; bump on
 /// any incompatible frame-format change.
-pub const WIRE_MAGIC: u32 = 0xCAF5_0C02;
+pub const WIRE_MAGIC: u32 = 0xCAF5_0C03;
 
 /// Upper bound on one frame body — a corrupted length prefix fails here
 /// instead of attempting a multi-gigabyte allocation.
@@ -453,7 +453,7 @@ const T_TELEMETRY: u8 = 20;
 
 /// Field count of a [`StatsSnapshot`] on the wire (fixed little-endian
 /// u64s, declaration order).
-const STATS_WORDS: usize = 18;
+const STATS_WORDS: usize = 23;
 
 fn stats_words(s: &StatsSnapshot) -> [u64; STATS_WORDS] {
     [
@@ -475,6 +475,11 @@ fn stats_words(s: &StatsSnapshot) -> [u64; STATS_WORDS] {
         s.wire_bytes_rx,
         s.wire_retries,
         s.wire_reconnects,
+        s.sim_events_pushed,
+        s.sim_events_popped,
+        s.sim_queue_hwm,
+        s.sim_wakeups,
+        s.sim_commits,
     ]
 }
 
@@ -565,6 +570,11 @@ impl<'a> Cursor<'a> {
             wire_bytes_rx: w[15],
             wire_retries: w[16],
             wire_reconnects: w[17],
+            sim_events_pushed: w[18],
+            sim_events_popped: w[19],
+            sim_queue_hwm: w[20],
+            sim_wakeups: w[21],
+            sim_commits: w[22],
         })
     }
 }

@@ -54,6 +54,17 @@ pub struct FabricStats {
     /// Connections that were only established after at least one failed
     /// attempt.
     pub wire_reconnects: AtomicU64,
+    /// Simulator events scheduled (`SimFabric` only; zero elsewhere).
+    pub sim_events_pushed: AtomicU64,
+    /// Simulator events drained and applied.
+    pub sim_events_popped: AtomicU64,
+    /// High-water mark of the simulator's pending-event queue.
+    pub sim_queue_hwm: AtomicU64,
+    /// Images woken from a blocked flag wait by an applied event.
+    pub sim_wakeups: AtomicU64,
+    /// Commit turns granted by the conservative scheduler — the
+    /// numerator of the simscale bench's simulated-ops/sec.
+    pub sim_commits: AtomicU64,
 }
 
 /// A plain-data copy of [`FabricStats`] at one instant.
@@ -95,6 +106,18 @@ pub struct StatsSnapshot {
     pub wire_retries: u64,
     /// Connections established after at least one failed attempt.
     pub wire_reconnects: u64,
+    /// Simulator events scheduled.
+    pub sim_events_pushed: u64,
+    /// Simulator events drained and applied.
+    pub sim_events_popped: u64,
+    /// High-water mark of the pending-event queue. Note this is a running
+    /// maximum, not a monotonic counter: a snapshot delta reports how much
+    /// the mark *rose* during the window, zero if it didn't.
+    pub sim_queue_hwm: u64,
+    /// Images woken from a blocked flag wait.
+    pub sim_wakeups: u64,
+    /// Commit turns granted by the conservative scheduler.
+    pub sim_commits: u64,
 }
 
 impl FabricStats {
@@ -119,6 +142,11 @@ impl FabricStats {
             wire_bytes_rx: self.wire_bytes_rx.load(Ordering::Relaxed),
             wire_retries: self.wire_retries.load(Ordering::Relaxed),
             wire_reconnects: self.wire_reconnects.load(Ordering::Relaxed),
+            sim_events_pushed: self.sim_events_pushed.load(Ordering::Relaxed),
+            sim_events_popped: self.sim_events_popped.load(Ordering::Relaxed),
+            sim_queue_hwm: self.sim_queue_hwm.load(Ordering::Relaxed),
+            sim_wakeups: self.sim_wakeups.load(Ordering::Relaxed),
+            sim_commits: self.sim_commits.load(Ordering::Relaxed),
         }
     }
 
@@ -143,6 +171,11 @@ impl FabricStats {
             &self.wire_bytes_rx,
             &self.wire_retries,
             &self.wire_reconnects,
+            &self.sim_events_pushed,
+            &self.sim_events_popped,
+            &self.sim_queue_hwm,
+            &self.sim_wakeups,
+            &self.sim_commits,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -210,6 +243,32 @@ impl FabricStats {
         } else {
             self.flags_inter.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Record one simulator event scheduled; `queue_len` is the pending
+    /// count right after the push (feeds the high-water mark).
+    #[inline]
+    pub fn record_sim_event_push(&self, queue_len: u64) {
+        self.sim_events_pushed.fetch_add(1, Ordering::Relaxed);
+        self.sim_queue_hwm.fetch_max(queue_len, Ordering::Relaxed);
+    }
+
+    /// Record one simulator event drained and applied.
+    #[inline]
+    pub fn record_sim_event_pop(&self) {
+        self.sim_events_popped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one image woken from a blocked flag wait.
+    #[inline]
+    pub fn record_sim_wakeup(&self) {
+        self.sim_wakeups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one commit turn granted.
+    #[inline]
+    pub fn record_sim_commit(&self) {
+        self.sim_commits.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -283,6 +342,11 @@ impl std::ops::Sub for StatsSnapshot {
             wire_bytes_rx: self.wire_bytes_rx - rhs.wire_bytes_rx,
             wire_retries: self.wire_retries - rhs.wire_retries,
             wire_reconnects: self.wire_reconnects - rhs.wire_reconnects,
+            sim_events_pushed: self.sim_events_pushed - rhs.sim_events_pushed,
+            sim_events_popped: self.sim_events_popped - rhs.sim_events_popped,
+            sim_queue_hwm: self.sim_queue_hwm - rhs.sim_queue_hwm,
+            sim_wakeups: self.sim_wakeups - rhs.sim_wakeups,
+            sim_commits: self.sim_commits - rhs.sim_commits,
         }
     }
 }
@@ -338,6 +402,33 @@ mod tests {
         assert_eq!(snap.wire_bytes_rx, 9);
         assert_eq!(snap.wire_retries, 3);
         assert_eq!(snap.wire_reconnects, 1);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn sim_counters_track_queue_and_scheduler() {
+        let s = FabricStats::default();
+        s.record_sim_event_push(1);
+        s.record_sim_event_push(2);
+        s.record_sim_event_pop();
+        s.record_sim_event_push(2); // queue shrank and regrew: hwm stays 2
+        s.record_sim_wakeup();
+        s.record_sim_commit();
+        s.record_sim_commit();
+        let a = s.snapshot();
+        assert_eq!(a.sim_events_pushed, 3);
+        assert_eq!(a.sim_events_popped, 1);
+        assert_eq!(a.sim_queue_hwm, 2);
+        assert_eq!(a.sim_wakeups, 1);
+        assert_eq!(a.sim_commits, 2);
+        // Deltas (and the `-` operator) cover the sim counters too.
+        s.record_sim_event_push(5);
+        s.record_sim_commit();
+        let d = s.snapshot() - a;
+        assert_eq!(d.sim_events_pushed, 1);
+        assert_eq!(d.sim_queue_hwm, 3, "delta reports the rise of the mark");
+        assert_eq!(d.sim_commits, 1);
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
     }
