@@ -7,8 +7,8 @@
 //! report on the first divergence.
 
 use caf_check::{
-    algo_matrix, check_legacy_queue, check_program, check_recover, check_socket, conformance,
-    socket_child_main, CheckOptions, Program, RecoverDrill, Scenario,
+    algo_matrix, check_am, check_legacy_queue, check_program, check_recover, check_socket,
+    conformance, socket_child_main, CheckOptions, Program, RecoverDrill, Scenario,
 };
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -249,6 +249,28 @@ fn main() -> ExitCode {
         legacy_runs,
         matrix.len(),
         legacy_t0.elapsed().as_secs_f64()
+    );
+    // The active-message column: the mini scenario across the full
+    // algorithm matrix with the collectives' flag traffic routed through
+    // the batching AM tier, diffed bit-for-bit against the unbatched run
+    // of the same spec — without chaos and under two chaos seeds.
+    let am_t0 = Instant::now();
+    let mut am_runs = 0usize;
+    for (name, algo) in matrix.iter() {
+        match check_am(&scn, name, *algo, &prog, &[5, 17]) {
+            Ok(r) => am_runs += r,
+            Err(failure) => {
+                eprintln!("{}", failure.render());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!(
+        "caf-check: am batching matched the unbatched oracle — {} runs \
+         across {} algo configs ({:.1}s)",
+        am_runs,
+        matrix.len(),
+        am_t0.elapsed().as_secs_f64()
     );
     if args.socket {
         if let Err(code) = run_socket_column() {

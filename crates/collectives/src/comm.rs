@@ -25,7 +25,7 @@
 use crate::config::{BarrierAlgo, BcastAlgo, CollectiveConfig, GatherAlgo, ReduceAlgo, SizePolicy};
 use crate::util::ceil_log2;
 use crate::value::{bytes_to_slice, slice_to_bytes, CoNumeric, CoOp, CoValue};
-use caf_fabric::{bootstrap, ArcFabric, FlagId, PutToken, SegmentId};
+use caf_fabric::{bootstrap, Am, AmPolicy, ArcFabric, FlagId, PutToken, SegmentId};
 use caf_topology::{HierarchyView, ProcId};
 use caf_trace::Event;
 use std::sync::Arc;
@@ -254,6 +254,11 @@ pub struct TeamComm {
     /// gather/scatter forwarding) — grow-only capacity, so steady-state
     /// collective calls allocate nothing.
     pub(crate) stage: Vec<u8>,
+    /// Active-message sender for the small-message hot paths, present when
+    /// [`CollectiveConfig::am`] (or `CAF_AM=1`) enabled routing at
+    /// formation. Behind a mutex because [`TeamComm::add_flag`] takes
+    /// `&self`; only this image's thread ever takes it.
+    pub(crate) am: Option<std::sync::Mutex<Am>>,
 }
 
 impl TeamComm {
@@ -484,7 +489,19 @@ impl TeamComm {
     ) -> Self {
         let local_max = layout.lm;
         let policy = SizePolicy::from_cost(fabric.cost());
+        let am_on = cfg.am
+            || std::env::var("CAF_AM")
+                .map(|v| v.trim() == "1")
+                .unwrap_or(false);
+        let am = am_on.then(|| {
+            std::sync::Mutex::new(Am::new(
+                fabric.clone(),
+                me,
+                AmPolicy::from_cost(fabric.cost()),
+            ))
+        });
         Self {
+            am,
             barrier_algo: cfg.barrier.resolve(&hier),
             reduce_algo: cfg.reduce.resolve(&hier),
             bcast_algo: cfg.bcast.resolve(&hier),
@@ -602,6 +619,10 @@ impl TeamComm {
     /// resolved at formation.
     pub fn barrier(&mut self) {
         crate::barrier::barrier(self);
+        // The algorithm's last act may be a buffered release storm (e.g.
+        // the central-counter root): hand it to the fabric before
+        // returning, or the waiting members never see it.
+        self.flush_am();
     }
 
     /// Element-wise allreduce of `buf` with a user operation — CAF
@@ -609,6 +630,7 @@ impl TeamComm {
     /// hierarchical algorithms reorder combinations freely.
     pub fn co_reduce_with<T: CoValue>(&mut self, buf: &mut [T], f: impl Fn(T, T) -> T) {
         crate::reduce::allreduce(self, buf, &f);
+        self.flush_am();
     }
 
     /// Element-wise intrinsic reduction (CAF `co_sum`/`co_min`/`co_max`).
@@ -635,13 +657,16 @@ impl TeamComm {
     /// every member's `buf`.
     pub fn co_broadcast<T: CoValue>(&mut self, buf: &mut [T], root: usize) {
         crate::bcast::broadcast(self, buf, root);
+        self.flush_am();
     }
 
     /// Gather `mine` from every member to team rank `root`; the root
     /// receives the concatenation in team-rank order (`None` elsewhere).
     /// Extension collective (see `gather.rs`).
     pub fn co_gather<T: CoValue>(&mut self, mine: &[T], root: usize) -> Option<Vec<T>> {
-        crate::gather::gather(self, mine, root)
+        let out = crate::gather::gather(self, mine, root);
+        self.flush_am();
+        out
     }
 
     /// Scatter from team rank `root`: the root supplies `n·out.len()`
@@ -649,6 +674,7 @@ impl TeamComm {
     /// Extension collective (see `gather.rs`).
     pub fn co_scatter<T: CoValue>(&mut self, all: Option<&[T]>, out: &mut [T], root: usize) {
         crate::gather::scatter(self, all, out, root);
+        self.flush_am();
     }
 
     /// All-to-all personalized exchange: `send` holds `n` slices of `len`
@@ -661,7 +687,9 @@ impl TeamComm {
     /// with a team barrier that fences the exchange region for the next
     /// era (all-to-all has no root to run a release wave through).
     pub fn co_alltoall<T: CoValue>(&mut self, send: &[T], len: usize) -> Vec<T> {
-        crate::gather::alltoall(self, send, len)
+        let out = crate::gather::alltoall(self, send, len);
+        self.flush_am();
+        out
     }
 
     // ------------------------------------------------------------------
@@ -792,6 +820,9 @@ impl TeamComm {
             for j in 1..n as usize {
                 self.add_flag(j, flag::EXCH_RELEASE, 1);
             }
+            // The release storm is the barrier's last act; with the AM
+            // tier on it is sitting in per-destination buffers right now.
+            self.flush_am();
         } else {
             self.add_flag(0, flag::EXCH_COUNTER, 1);
             self.wait_flag(flag::EXCH_RELEASE, e);
@@ -825,20 +856,42 @@ impl TeamComm {
         self.fabric.tracer().record(self.me.index(), ev);
     }
 
-    /// Notify team rank `to`: add `delta` to its flag `idx`.
+    /// Notify team rank `to`: add `delta` to its flag `idx`. Routed through
+    /// the active-message tier when it is on — the batcher coalesces a
+    /// storm of these (the barrier release wave, the TDLB gather) into one
+    /// delivery per destination.
     pub(crate) fn add_flag(&self, to: usize, idx: usize, delta: u64) {
-        self.fabric.flag_add(
-            self.me,
-            self.members[to],
-            self.rsrc[to].flags.nth(idx),
-            delta,
-        );
+        let dst = self.members[to];
+        let flag = self.rsrc[to].flags.nth(idx);
+        if let Some(am) = &self.am {
+            am.lock().expect("am sender").flag_add(dst, flag, delta);
+        } else {
+            self.fabric.flag_add(self.me, dst, flag, delta);
+        }
     }
 
-    /// Wait until my flag `idx` is ≥ `target`.
+    /// Wait until my flag `idx` is ≥ `target`. Flushes the AM buffers
+    /// first: a buffered notification must never strand the peer whose
+    /// bump this wait depends on.
     pub(crate) fn wait_flag(&self, idx: usize, target: u64) {
+        self.flush_am();
         self.fabric
             .flag_wait_ge(self.me, self.rsrc[self.rank].flags.nth(idx), target);
+    }
+
+    /// Flush every buffered active message (no-op with the AM tier off or
+    /// nothing pending). Every blocking wait and every public collective
+    /// exit runs through this, so a buffered flag can never outlive the
+    /// call that injected it.
+    pub(crate) fn flush_am(&self) {
+        if let Some(am) = &self.am {
+            am.lock().expect("am sender").flush();
+        }
+    }
+
+    /// Whether the active-message tier is routing this team's flag traffic.
+    pub fn am_enabled(&self) -> bool {
+        self.am.is_some()
     }
 
     /// Borrow the comm-owned staging buffer, sized to `len` bytes

@@ -181,6 +181,11 @@ pub struct CollectiveConfig {
     pub bcast: BcastAlgo,
     /// Gather/scatter algorithm.
     pub gather: GatherAlgo,
+    /// Route the collectives' small-message flag traffic through the
+    /// active-message tier ([`caf_fabric::Am`]), coalescing per-destination
+    /// storms into batched deliveries. Off by default; `CAF_AM=1` at
+    /// team-formation time also enables it.
+    pub am: bool,
 }
 
 impl CollectiveConfig {
@@ -191,6 +196,7 @@ impl CollectiveConfig {
             reduce: ReduceAlgo::TwoLevel,
             bcast: BcastAlgo::TwoLevel,
             gather: GatherAlgo::TwoLevel,
+            am: false,
         }
     }
 
@@ -202,6 +208,7 @@ impl CollectiveConfig {
             reduce: ReduceAlgo::FlatRecursiveDoubling,
             bcast: BcastAlgo::FlatBinomial,
             gather: GatherAlgo::FlatLinear,
+            am: false,
         }
     }
 

@@ -41,6 +41,8 @@
 
 #![warn(missing_docs)]
 
+pub mod am;
+pub mod batch;
 pub mod chaos;
 pub mod evq;
 mod sched;
@@ -52,6 +54,8 @@ pub mod stats;
 pub mod stepper;
 pub mod thread;
 
+pub use am::{Am, AmOp};
+pub use batch::{AmPolicy, Batcher};
 pub use caf_trace::Tracer;
 pub use chaos::ChaosConfig;
 pub use evq::{EvKey, ShardedEvq};
@@ -270,6 +274,41 @@ pub trait Fabric: Send + Sync + 'static {
 
     /// Read `me`'s own flag without blocking.
     fn flag_read(&self, me: ProcId, flag: FlagId) -> u64;
+
+    /// Deliver a batch of active-message ops from `me` to `dst`, applying
+    /// them at the target **in slice order** (the active-message tier's
+    /// per-destination program-order guarantee).
+    ///
+    /// The default replays each op through the ordinary one-sided
+    /// primitives — correct on any fabric, with no aggregation win. The
+    /// built-in backends override it: the simulator lands the whole batch
+    /// as one scheduled delivery event, the thread fabric applies it under
+    /// one injected-delay window, and the socket fabric ships it as a
+    /// single `AmBatch` wire frame covered by [`Self::quiet`].
+    ///
+    /// Callers normally go through [`Am`] rather than
+    /// invoking this directly.
+    fn am_deliver(&self, me: ProcId, dst: ProcId, ops: &[AmOp]) {
+        for op in ops {
+            match op {
+                AmOp::Put { seg, off, data } => self.put(me, dst, *seg, *off, data),
+                AmOp::FlagAdd { flag, delta } => self.flag_add(me, dst, *flag, *delta),
+                AmOp::AmoAdd { seg, off, delta } => {
+                    self.amo_fetch_add_u64(me, dst, *seg, *off, *delta);
+                }
+                AmOp::PutFlag {
+                    seg,
+                    off,
+                    data,
+                    flag,
+                    delta,
+                } => {
+                    self.put(me, dst, *seg, *off, data);
+                    self.flag_add(me, dst, *flag, *delta);
+                }
+            }
+        }
+    }
 
     /// Complete all outstanding one-sided operations initiated by `me`
     /// (GASNet `gasnet_wait_syncnbi_all` / CAF `sync memory` flavor).

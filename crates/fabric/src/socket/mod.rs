@@ -45,6 +45,7 @@ pub use obs::{
 pub use rendezvous::CoordClient;
 pub use wire::{Addr, Frame, Listener, Stream, Transport};
 
+use crate::am::AmOp;
 use crate::seg::{FlagId, SegmentId, SharedBytes};
 use crate::stats::{FabricStats, StatsSnapshot};
 use crate::{Fabric, PutToken, RecoveryError};
@@ -167,6 +168,10 @@ enum Pending {
     Sync(Option<Reply>),
     /// A nonblocking put; `img` indexes `outstanding_nb`.
     Nb { img: usize },
+    /// An active-message batch awaiting its ack. Shares the sender's
+    /// `outstanding_nb` debt so `quiet` covers batched AMs, but does not
+    /// count as a nonblocking-put completion in the stats.
+    AmBatch { img: usize },
 }
 
 enum Reply {
@@ -733,6 +738,13 @@ impl SocketFabric {
                     f
                 }
                 Err(e) if is_timeout(&e) => continue,
+                Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                    // A malformed frame is a protocol bug (or a corrupted
+                    // wire), not a peer death: poison loudly with context
+                    // instead of letting the I/O thread die quietly.
+                    self.malformed_frame(peer, &e);
+                    return;
+                }
                 Err(_) => {
                     self.peer_eof(peer);
                     return;
@@ -813,6 +825,15 @@ impl SocketFabric {
                         false,
                     );
                 }
+                Frame::AmBatch { src, dst, ack, ops } => {
+                    // Apply in vector order: each op's effects are visible
+                    // to every later op in the batch, and a flag landing
+                    // after its payload preserves the fabric memory model.
+                    self.apply_am_ops(src as usize, dst as usize, &ops, false);
+                    if ack != 0 {
+                        self.send_response(peer, &mut writer, &Frame::PutAck { ack });
+                    }
+                }
                 Frame::Heartbeat { node: _, stats } => {
                     // Liveness came from `mark_seen`; keep the sender's
                     // counter snapshot (a dying process's last heartbeat is
@@ -851,6 +872,10 @@ impl SocketFabric {
                     f
                 }
                 Err(e) if is_timeout(&e) => continue,
+                Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                    self.malformed_frame(peer, &e);
+                    return;
+                }
                 Err(_) => {
                     self.peer_eof(peer);
                     return;
@@ -1217,6 +1242,45 @@ impl SocketFabric {
         }
     }
 
+    /// Apply an active-message batch to a hosted image, in vector order.
+    /// Shared by the local fast path and the ingress-delivered remote path.
+    fn apply_am_ops(&self, from: usize, target: usize, ops: &[AmOp], local: bool) {
+        for op in ops {
+            match op {
+                AmOp::Put { seg, off, data } => {
+                    self.seg_of(target, *seg).write(*off, data);
+                }
+                AmOp::AmoAdd { seg, off, delta } => {
+                    self.seg_of(target, *seg)
+                        .as_atomic_u64(*off)
+                        .fetch_add(*delta, Ordering::AcqRel);
+                }
+                AmOp::FlagAdd { flag, delta } | AmOp::PutFlag { flag, delta, .. } => {
+                    if let AmOp::PutFlag { seg, off, data, .. } = op {
+                        self.seg_of(target, *seg).write(*off, data);
+                    }
+                    self.apply_flag_add(from, target, *flag, *delta, local);
+                }
+            }
+        }
+    }
+
+    /// A frame failed to decode (`InvalidData`): the connection's framing
+    /// is broken — a protocol bug or wire corruption, not a peer death.
+    /// Poison the whole fabric with the decode error and the tracer's
+    /// recent-operation window so the failure is loud and diagnosable.
+    fn malformed_frame(&self, peer: usize, e: &io::Error) {
+        let mut msg = format!(
+            "malformed frame from {}: {e} (protocol bug or wire corruption)",
+            self.peer_desc(peer)
+        );
+        if self.cfg.tracer.enabled() {
+            msg.push_str("\nrecent operations before the failure:\n");
+            msg.push_str(&self.cfg.tracer.render_recent(5));
+        }
+        self.poison(&msg);
+    }
+
     /// Write a response frame from an ingress thread; a failure here means
     /// the requester can never complete, so it poisons.
     fn send_response(&self, peer: usize, writer: &mut BufWriter<Stream>, frame: &Frame) {
@@ -1319,6 +1383,11 @@ impl SocketFabric {
                 g.entries.remove(&cookie);
                 g.outstanding_nb[img] -= 1;
                 self.stats.record_put_nb_complete();
+            }
+            Some(Pending::AmBatch { img }) => {
+                let img = *img;
+                g.entries.remove(&cookie);
+                g.outstanding_nb[img] -= 1;
             }
             // Late response after a timeout already poisoned: drop it.
             None => {}
@@ -1471,6 +1540,37 @@ impl Fabric for SocketFabric {
             queue_ns,
             service_ns,
         );
+    }
+
+    fn am_deliver(&self, me: ProcId, dst: ProcId, ops: &[AmOp]) {
+        let t0 = self.trace_now();
+        let wire: u64 = ops.iter().map(|op| op.wire_len() as u64).sum();
+        if self.is_local(dst) {
+            self.apply_am_ops(me.index(), dst.index(), ops, true);
+            self.trace_local(EventKind::Put, me, dst, t0, wire);
+            return;
+        }
+        // One frame per batch, one ack cookie: the ack retires through the
+        // sender's `outstanding_nb` debt, so `quiet` means every batched AM
+        // has remotely completed — same completion contract as `put_nb`.
+        let cookie = self.new_cookie();
+        {
+            let mut g = self.pending.lock();
+            g.entries
+                .insert(cookie, Pending::AmBatch { img: me.index() });
+            g.outstanding_nb[me.index()] += 1;
+        }
+        let (queue_ns, _rank) = self.send_request(
+            me,
+            dst,
+            &Frame::AmBatch {
+                src: me.index() as u32,
+                dst: dst.index() as u32,
+                ack: cookie,
+                ops: ops.to_vec(),
+            },
+        );
+        self.trace_remote(EventKind::Put, me, dst, t0, wire, queue_ns, 0);
     }
 
     fn put_nb(

@@ -9,6 +9,7 @@
 //! handshake's magic, so a mismatched peer fails loudly at connect time
 //! rather than corrupting segments.
 
+use crate::am::AmOp;
 use crate::stats::StatsSnapshot;
 use std::io::{self, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -18,7 +19,7 @@ use std::time::Duration;
 
 /// Protocol magic carried by [`Frame::Open`] and [`Frame::Hello`]; bump on
 /// any incompatible frame-format change.
-pub const WIRE_MAGIC: u32 = 0xCAF5_0C03;
+pub const WIRE_MAGIC: u32 = 0xCAF5_0C04;
 
 /// Upper bound on one frame body — a corrupted length prefix fails here
 /// instead of attempting a multi-gigabyte allocation.
@@ -330,6 +331,22 @@ pub enum Frame {
         /// Previous value of the cell.
         old: u64,
     },
+    /// A batch of active-message ops from one image to one target image,
+    /// applied at the receiver **in vector order** (the AM tier's
+    /// per-destination program-order guarantee). `ack` requests a
+    /// [`Frame::PutAck`] once every op in the batch has been applied, so
+    /// the sender's `quiet` covers batched AMs exactly like nonblocking
+    /// puts.
+    AmBatch {
+        /// Issuing image (global 0-based rank).
+        src: u32,
+        /// Target image (must be hosted by the receiver).
+        dst: u32,
+        /// Completion-ack cookie (0 = no ack requested).
+        ack: u64,
+        /// The ops, in program order.
+        ops: Vec<AmOp>,
+    },
     /// One-way accumulating sync-flag notification (ordered after any
     /// preceding puts on the same connection — the fabric's point-to-point
     /// ordering guarantee).
@@ -445,6 +462,7 @@ const T_HEARTBEAT: u8 = 10;
 const T_BYE: u8 = 11;
 const T_REJOIN: u8 = 12;
 const T_RECOVER_BARRIER: u8 = 13;
+const T_AM_BATCH: u8 = 14;
 const T_HELLO: u8 = 16;
 const T_PEERS: u8 = 17;
 const T_DONE: u8 = 18;
@@ -453,7 +471,7 @@ const T_TELEMETRY: u8 = 20;
 
 /// Field count of a [`StatsSnapshot`] on the wire (fixed little-endian
 /// u64s, declaration order).
-const STATS_WORDS: usize = 23;
+const STATS_WORDS: usize = 27;
 
 fn stats_words(s: &StatsSnapshot) -> [u64; STATS_WORDS] {
     [
@@ -480,6 +498,10 @@ fn stats_words(s: &StatsSnapshot) -> [u64; STATS_WORDS] {
         s.sim_queue_hwm,
         s.sim_wakeups,
         s.sim_commits,
+        s.ams_injected,
+        s.am_batches_flushed,
+        s.am_payload_bytes,
+        s.am_fused,
     ]
 }
 
@@ -575,6 +597,10 @@ impl<'a> Cursor<'a> {
             sim_queue_hwm: w[20],
             sim_wakeups: w[21],
             sim_commits: w[22],
+            ams_injected: w[23],
+            am_batches_flushed: w[24],
+            am_payload_bytes: w[25],
+            am_fused: w[26],
         })
     }
 }
@@ -670,6 +696,16 @@ impl Frame {
                 b.push(T_AMO_RESP);
                 put_u64(&mut b, *req);
                 put_u64(&mut b, *old);
+            }
+            Frame::AmBatch { src, dst, ack, ops } => {
+                b.push(T_AM_BATCH);
+                put_u32(&mut b, *src);
+                put_u32(&mut b, *dst);
+                put_u64(&mut b, *ack);
+                put_u32(&mut b, ops.len() as u32);
+                for op in ops {
+                    op.encode(&mut b);
+                }
             }
             Frame::FlagAdd {
                 src,
@@ -803,6 +839,22 @@ impl Frame {
                 req: c.u64()?,
                 old: c.u64()?,
             },
+            T_AM_BATCH => {
+                let src = c.u32()?;
+                let dst = c.u32()?;
+                let ack = c.u64()?;
+                let n = c.u32()? as usize;
+                // A batch is bounded by the batcher's op budget; a count in
+                // the millions means a corrupted header, not real traffic.
+                if n > 1 << 20 {
+                    return Err(bad("absurd am op count"));
+                }
+                let mut ops = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    ops.push(AmOp::decode(&mut c)?);
+                }
+                Frame::AmBatch { src, dst, ack, ops }
+            }
             T_FLAG_ADD => Frame::FlagAdd {
                 src: c.u32()?,
                 dst: c.u32()?,
@@ -1001,6 +1053,40 @@ mod tests {
             flag: 3,
             delta: 1,
         });
+        roundtrip(Frame::AmBatch {
+            src: 2,
+            dst: 6,
+            ack: 99,
+            ops: vec![
+                AmOp::Put {
+                    seg: crate::SegmentId(1),
+                    off: 128,
+                    data: vec![7; 16],
+                },
+                AmOp::FlagAdd {
+                    flag: crate::FlagId(3),
+                    delta: 2,
+                },
+                AmOp::AmoAdd {
+                    seg: crate::SegmentId(0),
+                    off: 8,
+                    delta: 5,
+                },
+                AmOp::PutFlag {
+                    seg: crate::SegmentId(2),
+                    off: 0,
+                    data: vec![1, 2, 3],
+                    flag: crate::FlagId(4),
+                    delta: 1,
+                },
+            ],
+        });
+        roundtrip(Frame::AmBatch {
+            src: 0,
+            dst: 1,
+            ack: 0,
+            ops: vec![],
+        });
         roundtrip(Frame::Heartbeat {
             node: 1,
             stats: StatsSnapshot {
@@ -1054,6 +1140,73 @@ mod tests {
         let mut enc = Frame::PutAck { ack: 1 }.encode();
         enc.push(0xFF);
         assert!(Frame::decode(&enc[4..]).is_err());
+    }
+
+    #[test]
+    fn corrupted_am_batches_fail_as_invalid_data_not_panics() {
+        let base = Frame::AmBatch {
+            src: 1,
+            dst: 2,
+            ack: 7,
+            ops: vec![
+                AmOp::Put {
+                    seg: crate::SegmentId(0),
+                    off: 64,
+                    data: vec![9; 8],
+                },
+                AmOp::FlagAdd {
+                    flag: crate::FlagId(2),
+                    delta: 1,
+                },
+            ],
+        };
+        let enc = base.encode();
+        let body = &enc[4..];
+
+        let expect_invalid = |bytes: &[u8]| {
+            let err = Frame::decode(bytes).expect_err("corrupt batch must not decode");
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+        };
+
+        // Op count inflated far past the body (absurd-count guard).
+        let mut bad = body.to_vec();
+        bad[17..21].copy_from_slice(&u32::MAX.to_le_bytes());
+        expect_invalid(&bad);
+
+        // Op count claims one more op than the body carries.
+        let mut bad = body.to_vec();
+        bad[17..21].copy_from_slice(&3u32.to_le_bytes());
+        expect_invalid(&bad);
+
+        // Truncations at every byte boundary: header, mid-op, mid-payload.
+        for cut in 1..body.len() {
+            assert!(
+                Frame::decode(&body[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+
+        // Payload length field of the first op inflated (absurd-payload
+        // guard inside AmOp::decode). The put's len field sits after the
+        // frame header (4+4+8+4 = 20 bytes) plus op tag + seg + off.
+        let mut bad = body.to_vec();
+        let len_at = 21 + 1 + 8 + 8;
+        bad[len_at..len_at + 4].copy_from_slice(&(1u32 << 30).to_le_bytes());
+        expect_invalid(&bad);
+
+        // Unknown op tag inside the batch.
+        let mut bad = body.to_vec();
+        bad[21] = 0xEE;
+        expect_invalid(&bad);
+
+        // Single corrupted bytes through the header region must never
+        // panic (they may decode to a different-but-valid frame; the
+        // receiver's host/bounds checks own those).
+        for i in 0..body.len().min(32) {
+            let mut fuzz = body.to_vec();
+            fuzz[i] ^= 0xA5;
+            let _ = Frame::decode(&fuzz);
+        }
     }
 
     #[test]

@@ -65,6 +65,16 @@ pub struct FabricStats {
     /// Commit turns granted by the conservative scheduler — the
     /// numerator of the simscale bench's simulated-ops/sec.
     pub sim_commits: AtomicU64,
+    /// Active-message ops injected into the batching tier.
+    pub ams_injected: AtomicU64,
+    /// Batches handed to the fabric by the active-message tier. The ratio
+    /// `ams_injected / am_batches_flushed` is the aggregation factor.
+    pub am_batches_flushed: AtomicU64,
+    /// User payload bytes carried by injected active messages (pure
+    /// flag/amo ops carry zero) — the bytes-per-op numerator.
+    pub am_payload_bytes: AtomicU64,
+    /// Adjacent put+flag pairs fused into a single `PutFlag` op.
+    pub am_fused: AtomicU64,
 }
 
 /// A plain-data copy of [`FabricStats`] at one instant.
@@ -118,6 +128,14 @@ pub struct StatsSnapshot {
     pub sim_wakeups: u64,
     /// Commit turns granted by the conservative scheduler.
     pub sim_commits: u64,
+    /// Active-message ops injected into the batching tier.
+    pub ams_injected: u64,
+    /// Batches handed to the fabric by the active-message tier.
+    pub am_batches_flushed: u64,
+    /// User payload bytes carried by injected active messages.
+    pub am_payload_bytes: u64,
+    /// Adjacent put+flag pairs fused into a single `PutFlag` op.
+    pub am_fused: u64,
 }
 
 impl FabricStats {
@@ -147,6 +165,10 @@ impl FabricStats {
             sim_queue_hwm: self.sim_queue_hwm.load(Ordering::Relaxed),
             sim_wakeups: self.sim_wakeups.load(Ordering::Relaxed),
             sim_commits: self.sim_commits.load(Ordering::Relaxed),
+            ams_injected: self.ams_injected.load(Ordering::Relaxed),
+            am_batches_flushed: self.am_batches_flushed.load(Ordering::Relaxed),
+            am_payload_bytes: self.am_payload_bytes.load(Ordering::Relaxed),
+            am_fused: self.am_fused.load(Ordering::Relaxed),
         }
     }
 
@@ -176,6 +198,10 @@ impl FabricStats {
             &self.sim_queue_hwm,
             &self.sim_wakeups,
             &self.sim_commits,
+            &self.ams_injected,
+            &self.am_batches_flushed,
+            &self.am_payload_bytes,
+            &self.am_fused,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -270,6 +296,27 @@ impl FabricStats {
     pub fn record_sim_commit(&self) {
         self.sim_commits.fetch_add(1, Ordering::Relaxed);
     }
+
+    /// Record one active-message op injected, carrying `payload_bytes`
+    /// bytes of user payload.
+    #[inline]
+    pub fn record_am_inject(&self, payload_bytes: u64) {
+        self.ams_injected.fetch_add(1, Ordering::Relaxed);
+        self.am_payload_bytes
+            .fetch_add(payload_bytes, Ordering::Relaxed);
+    }
+
+    /// Record one batch handed to the fabric.
+    #[inline]
+    pub fn record_am_flush(&self) {
+        self.am_batches_flushed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one put+flag pair fused into a `PutFlag`.
+    #[inline]
+    pub fn record_am_fused(&self) {
+        self.am_fused.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 impl StatsSnapshot {
@@ -347,6 +394,10 @@ impl std::ops::Sub for StatsSnapshot {
             sim_queue_hwm: self.sim_queue_hwm - rhs.sim_queue_hwm,
             sim_wakeups: self.sim_wakeups - rhs.sim_wakeups,
             sim_commits: self.sim_commits - rhs.sim_commits,
+            ams_injected: self.ams_injected - rhs.ams_injected,
+            am_batches_flushed: self.am_batches_flushed - rhs.am_batches_flushed,
+            am_payload_bytes: self.am_payload_bytes - rhs.am_payload_bytes,
+            am_fused: self.am_fused - rhs.am_fused,
         }
     }
 }
@@ -429,6 +480,29 @@ mod tests {
         assert_eq!(d.sim_events_pushed, 1);
         assert_eq!(d.sim_queue_hwm, 3, "delta reports the rise of the mark");
         assert_eq!(d.sim_commits, 1);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn am_counters_track_ops_batches_and_fusion() {
+        let s = FabricStats::default();
+        s.record_am_inject(8);
+        s.record_am_inject(0);
+        s.record_am_inject(64);
+        s.record_am_flush();
+        s.record_am_fused();
+        let snap = s.snapshot();
+        assert_eq!(snap.ams_injected, 3);
+        assert_eq!(snap.am_batches_flushed, 1);
+        assert_eq!(snap.am_payload_bytes, 72);
+        assert_eq!(snap.am_fused, 1);
+        // Deltas cover the AM counters too.
+        s.record_am_inject(8);
+        s.record_am_flush();
+        let d = s.snapshot() - snap;
+        assert_eq!(d.ams_injected, 1);
+        assert_eq!(d.am_batches_flushed, 1);
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
     }

@@ -10,6 +10,7 @@
 //! simulated node boundaries busy-wait the modeled wire latency, so even a
 //! laptop run shows a two-level cost structure.
 
+use crate::am::AmOp;
 use crate::seg::{FlagId, SegmentId, SharedBytes};
 use crate::stats::FabricStats;
 use crate::{Fabric, PutToken};
@@ -252,6 +253,52 @@ impl Fabric for ThreadFabric {
         self.maybe_inject(!intra);
         self.seg_of(dst.index(), seg).write(offset, bytes);
         self.trace_span(EventKind::Put, me, dst, t0, bytes.len() as u64);
+    }
+
+    fn am_deliver(&self, me: ProcId, dst: ProcId, ops: &[AmOp]) {
+        let intra = self.map.colocated(me, dst);
+        let t0 = self.trace_now();
+        // One injected wire delay covers the whole batch — the thread
+        // fabric's version of "many small AMs, one frame" — and the flag
+        // wake pass runs once after every op has applied.
+        self.maybe_inject(!intra);
+        let mut bumped = false;
+        for op in ops {
+            match op {
+                AmOp::Put { seg, off, data } => {
+                    self.seg_of(dst.index(), *seg).write(*off, data);
+                }
+                AmOp::AmoAdd { seg, off, delta } => {
+                    self.seg_of(dst.index(), *seg)
+                        .as_atomic_u64(*off)
+                        .fetch_add(*delta, Ordering::AcqRel);
+                }
+                AmOp::FlagAdd { flag, delta } | AmOp::PutFlag { flag, delta, .. } => {
+                    if let AmOp::PutFlag { seg, off, data, .. } = op {
+                        self.seg_of(dst.index(), *seg).write(*off, data);
+                    }
+                    // Release, like flag_add: a waiter that Acquires the
+                    // flag sees every payload applied earlier in the batch.
+                    let old = self
+                        .flag_cell(dst.index(), *flag)
+                        .fetch_add(*delta, Ordering::Release);
+                    assert!(
+                        old.checked_add(*delta).is_some(),
+                        "sync flag counter overflow: image {} flag {} \
+                         (cumulative counter wrapped adding {delta})",
+                        dst.index(),
+                        flag.0
+                    );
+                    bumped = true;
+                }
+            }
+        }
+        let wire: u64 = ops.iter().map(|op| op.wire_len() as u64).sum();
+        self.trace_span(EventKind::Put, me, dst, t0, wire);
+        if bumped && self.parked.load(Ordering::SeqCst) > 0 {
+            let _g = self.wake_lock.lock();
+            self.wake_cv.notify_all();
+        }
     }
 
     fn put_nb(

@@ -1,0 +1,270 @@
+//! Litmus tests for the active-message tier: the small programs whose
+//! orderings the batching layer must get right — AM traffic interleaved
+//! with direct nonblocking puts stays in per-destination program order,
+//! `quiet` means remote completion of every batched AM, and a fused
+//! put+flag publishes its payload before the flag trips. Each is pinned
+//! on the simulator and real threads, then ported to multi-process
+//! `SocketFabric` fleets where the wire ack protocol (one `AmBatch`
+//! frame, one ack) is what must uphold the same contracts.
+
+use caf_fabric::socket::testing::{fleet, run_fleet};
+use caf_fabric::{
+    bootstrap, Am, AmPolicy, Fabric, SimConfig, SimFabric, SocketConfig, ThreadConfig, ThreadFabric,
+};
+use caf_fabric::{run_spmd, FlagId};
+use caf_topology::{presets, ImageMap, Placement, ProcId, SoftwareOverheads};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SPARE_FLAG: FlagId = FlagId(2);
+const BSEG: caf_fabric::SegmentId = bootstrap::SEG;
+
+/// A policy wide enough that nothing flushes until asked: every litmus
+/// below wants the ops to actually sit in the buffer.
+fn wide() -> AmPolicy {
+    AmPolicy {
+        batch_bytes: 1 << 20,
+        batch_ops: 64,
+        flush_age_ns: u64::MAX / 2,
+    }
+}
+
+fn sim(nodes: usize, cores: usize, images: usize) -> Arc<SimFabric> {
+    let map = ImageMap::new(presets::mini(nodes, cores), images, &Placement::Packed);
+    SimFabric::new(
+        map,
+        SimConfig {
+            cost: presets::whale_cost(),
+            overheads: SoftwareOverheads::NONE,
+            ..SimConfig::default()
+        },
+    )
+}
+
+/// AM then `put_nb` then AM to the same destination: the buffered AM must
+/// be flushed *before* the direct nonblocking put injects (slot A: the nb
+/// payload is the later write and must win), and an AM buffered *after*
+/// it must land later still (slot B: the AM payload wins). One ordering
+/// violation in either direction flips a final value.
+fn am_putnb_am_program(fabric: caf_fabric::ArcFabric) {
+    let f2 = fabric.clone();
+    run_spmd(fabric, move |me| {
+        if me == ProcId(0) {
+            let mut am = Am::new(f2.clone(), me, wide());
+            // Slot A (offset 0): buffered AM first, nb put second.
+            am.put(ProcId(1), BSEG, 0, &10u64.to_ne_bytes());
+            let tok = am.put_nb(ProcId(1), BSEG, 0, &20u64.to_ne_bytes());
+            // Slot B (offset 8): nb put already in flight, AM after.
+            am.put(ProcId(1), BSEG, 8, &2u64.to_ne_bytes());
+            f2.put_wait(me, tok);
+            am.quiet();
+            f2.flag_add(me, ProcId(1), SPARE_FLAG, 1);
+        } else {
+            f2.flag_wait_ge(me, SPARE_FLAG, 1);
+            let mut out = [0u8; 8];
+            f2.get(me, me, BSEG, 0, &mut out);
+            assert_eq!(
+                u64::from_ne_bytes(out),
+                20,
+                "slot A: the nb put follows the buffered AM in program \
+                 order — its payload must win"
+            );
+            f2.get(me, me, BSEG, 8, &mut out);
+            assert_eq!(
+                u64::from_ne_bytes(out),
+                2,
+                "slot B: the AM buffered after the nb put must land later"
+            );
+        }
+        f2.image_done(me);
+    });
+}
+
+#[test]
+fn am_then_put_nb_then_am_keeps_program_order() {
+    am_putnb_am_program(sim(2, 1, 2));
+    let map = ImageMap::new(presets::mini(2, 1), 2, &Placement::Packed);
+    am_putnb_am_program(ThreadFabric::new(map, ThreadConfig::default()));
+}
+
+/// `quiet` = remote completion: several puts buffered into one batch, no
+/// flags at all — after `am.quiet()` returns, every payload is already in
+/// target memory, so a direct flag handshake started *after* the fence is
+/// enough for the reader to see all of them.
+fn quiet_completes_batched_ams_program(fabric: caf_fabric::ArcFabric) {
+    let f2 = fabric.clone();
+    run_spmd(fabric, move |me| {
+        if me == ProcId(0) {
+            let mut am = Am::new(f2.clone(), me, wide());
+            for k in 0..4u64 {
+                am.put(ProcId(1), BSEG, 8 * k as usize, &(100 + k).to_ne_bytes());
+            }
+            am.quiet();
+            f2.flag_add(me, ProcId(1), SPARE_FLAG, 1);
+        } else {
+            f2.flag_wait_ge(me, SPARE_FLAG, 1);
+            for k in 0..4u64 {
+                let mut out = [0u8; 8];
+                f2.get(me, me, BSEG, 8 * k as usize, &mut out);
+                assert_eq!(u64::from_ne_bytes(out), 100 + k, "payload {k} lost");
+            }
+        }
+        f2.image_done(me);
+    });
+}
+
+#[test]
+fn quiet_is_remote_completion_of_all_batched_ams() {
+    let f = sim(2, 1, 2);
+    quiet_completes_batched_ams_program(f.clone());
+    let s = f.stats().snapshot();
+    assert_eq!(s.ams_injected, 4);
+    assert_eq!(
+        s.am_batches_flushed, 1,
+        "four buffered puts must coalesce into a single delivery"
+    );
+    let map = ImageMap::new(presets::mini(2, 1), 2, &Placement::Packed);
+    quiet_completes_batched_ams_program(ThreadFabric::new(map, ThreadConfig::default()));
+}
+
+/// Flag visibility after a fused put+flag: a put directly followed by a
+/// flag bump to the same destination fuses into one `PutFlag` wire op;
+/// when the flag trips at the reader, the payload must already be there.
+fn fused_put_flag_program(fabric: caf_fabric::ArcFabric) -> caf_fabric::StatsSnapshot {
+    let f2 = fabric.clone();
+    let stats = fabric.clone();
+    run_spmd(fabric, move |me| {
+        if me == ProcId(0) {
+            let mut am = Am::new(f2.clone(), me, wide());
+            am.put(ProcId(1), BSEG, 0, &99u64.to_ne_bytes());
+            am.flag_add(ProcId(1), SPARE_FLAG, 1);
+            am.flush();
+            f2.quiet(me);
+        } else {
+            f2.flag_wait_ge(me, SPARE_FLAG, 1);
+            let mut out = [0u8; 8];
+            f2.get(me, me, BSEG, 0, &mut out);
+            assert_eq!(
+                u64::from_ne_bytes(out),
+                99,
+                "the fused payload must be visible when its flag trips"
+            );
+        }
+        f2.image_done(me);
+    });
+    stats.stats().snapshot()
+}
+
+#[test]
+fn fused_put_flag_payload_visible_when_flag_trips() {
+    let s = fused_put_flag_program(sim(2, 1, 2));
+    assert_eq!(s.ams_injected, 2);
+    assert_eq!(s.am_fused, 1, "the put+flag pair must fuse");
+    assert_eq!(s.am_batches_flushed, 1);
+    let map = ImageMap::new(presets::mini(2, 1), 2, &Placement::Packed);
+    let s = fused_put_flag_program(ThreadFabric::new(map, ThreadConfig::default()));
+    assert_eq!(s.am_fused, 1);
+}
+
+// ---------------------------------------------------------------------------
+// SocketFabric ports: initiator and target in separate fabric instances
+// joined over real sockets — one `AmBatch` frame per flush, one ack cookie
+// retiring through the same outstanding-debt ledger as nonblocking puts.
+// ---------------------------------------------------------------------------
+
+fn socket_cfg() -> SocketConfig {
+    SocketConfig {
+        io_timeout: Duration::from_secs(10),
+        flag_wait_timeout: Duration::from_secs(10),
+        ..SocketConfig::default()
+    }
+}
+
+fn socket_pair() -> Vec<Arc<caf_fabric::SocketFabric>> {
+    let map = ImageMap::new(presets::mini(2, 1), 2, &Placement::Packed);
+    fleet(&map, &socket_cfg())
+}
+
+#[test]
+fn socket_am_then_put_nb_then_am_keeps_program_order() {
+    let fabrics = socket_pair();
+    run_fleet(&fabrics, |f, me| {
+        if me == ProcId(0) {
+            let mut am = Am::new(f.clone(), me, wide());
+            am.put(ProcId(1), BSEG, 0, &10u64.to_ne_bytes());
+            let tok = am.put_nb(ProcId(1), BSEG, 0, &20u64.to_ne_bytes());
+            am.put(ProcId(1), BSEG, 8, &2u64.to_ne_bytes());
+            f.put_wait(me, tok);
+            am.quiet();
+            f.flag_add(me, ProcId(1), SPARE_FLAG, 1);
+        } else {
+            f.flag_wait_ge(me, SPARE_FLAG, 1);
+            let mut out = [0u8; 8];
+            f.get(me, me, BSEG, 0, &mut out);
+            assert_eq!(u64::from_ne_bytes(out), 20, "slot A: nb put must win");
+            f.get(me, me, BSEG, 8, &mut out);
+            assert_eq!(u64::from_ne_bytes(out), 2, "slot B: later AM must win");
+        }
+        f.image_done(me);
+    });
+}
+
+#[test]
+fn socket_quiet_retires_the_batch_ack() {
+    let fabrics = socket_pair();
+    let initiator = fabrics[0].clone();
+    run_fleet(&fabrics, |f, me| {
+        if me == ProcId(0) {
+            let mut am = Am::new(f.clone(), me, wide());
+            for k in 0..4u64 {
+                am.put(ProcId(1), BSEG, 8 * k as usize, &(100 + k).to_ne_bytes());
+            }
+            // quiet must block until the batch's ack cookie comes back —
+            // i.e. until the target has applied all four payloads.
+            am.quiet();
+            f.flag_add(me, ProcId(1), SPARE_FLAG, 1);
+        } else {
+            f.flag_wait_ge(me, SPARE_FLAG, 1);
+            for k in 0..4u64 {
+                let mut out = [0u8; 8];
+                f.get(me, me, BSEG, 8 * k as usize, &mut out);
+                assert_eq!(u64::from_ne_bytes(out), 100 + k, "payload {k} lost");
+            }
+        }
+        f.image_done(me);
+    });
+    let s = initiator.stats().snapshot();
+    assert_eq!(s.ams_injected, 4);
+    assert_eq!(s.am_batches_flushed, 1, "one AmBatch frame for four ops");
+    assert_eq!(
+        s.puts_nb_injected, 0,
+        "batch acks must not masquerade as nonblocking puts"
+    );
+}
+
+#[test]
+fn socket_fused_put_flag_payload_visible_when_flag_trips() {
+    let fabrics = socket_pair();
+    let initiator = fabrics[0].clone();
+    run_fleet(&fabrics, |f, me| {
+        if me == ProcId(0) {
+            let mut am = Am::new(f.clone(), me, wide());
+            am.put(ProcId(1), BSEG, 0, &99u64.to_ne_bytes());
+            am.flag_add(ProcId(1), SPARE_FLAG, 1);
+            am.flush();
+            f.quiet(me);
+        } else {
+            f.flag_wait_ge(me, SPARE_FLAG, 1);
+            let mut out = [0u8; 8];
+            f.get(me, me, BSEG, 0, &mut out);
+            assert_eq!(
+                u64::from_ne_bytes(out),
+                99,
+                "the fused payload must be visible when its flag trips"
+            );
+        }
+        f.image_done(me);
+    });
+    let s = initiator.stats().snapshot();
+    assert_eq!(s.am_fused, 1, "the put+flag pair must fuse on the wire too");
+}

@@ -3,7 +3,7 @@
 //! arbitrary operation schedules.
 
 use caf_fabric::{bootstrap, Fabric, SimConfig, SimFabric, ThreadConfig, ThreadFabric};
-use caf_fabric::{run_spmd, FlagId};
+use caf_fabric::{run_spmd, Am, AmPolicy, ChaosConfig, FlagId};
 use caf_topology::{presets, ImageMap, Placement, ProcId, SoftwareOverheads};
 use parking_lot::Mutex;
 use proptest::prelude::*;
@@ -49,8 +49,89 @@ fn ring_program(nodes: usize, cores: usize, images: usize, sends: Vec<u8>) -> Ve
     v
 }
 
+/// An AM flag-and-payload storm onto image 0 with the given flush policy,
+/// under an optional chaos seed: images 1..n each send `rounds[i]`
+/// put+flag pairs into their own 64-byte bootstrap slot, then `quiet`;
+/// image 0 waits for the total flag count and reads everything back.
+/// Returns (payload bytes, flag total, per-image virtual finish times).
+fn am_storm(rounds: &[u8], policy: AmPolicy, chaos_seed: Option<u64>) -> (Vec<u8>, u64, Vec<u64>) {
+    let images = rounds.len() + 1;
+    let map = ImageMap::new(
+        presets::mini(2, images.div_ceil(2)),
+        images,
+        &Placement::Packed,
+    );
+    let fabric = SimFabric::new(
+        map,
+        SimConfig {
+            cost: presets::whale_cost(),
+            overheads: SoftwareOverheads::NONE,
+            chaos: chaos_seed.map(ChaosConfig::from_seed),
+            ..SimConfig::default()
+        },
+    );
+    let f2 = fabric.clone();
+    let total: u64 = rounds.iter().map(|&r| r as u64).sum();
+    let rounds = Arc::new(rounds.to_vec());
+    let out = Arc::new(Mutex::new((Vec::new(), 0u64, vec![0u64; images])));
+    let o2 = out.clone();
+    run_spmd(fabric, move |me| {
+        let i = me.index();
+        let flag = FlagId(2);
+        if i == 0 {
+            if total > 0 {
+                f2.flag_wait_ge(me, flag, total);
+            }
+            let mut data = vec![0u8; images * bootstrap::SLOT_BYTES];
+            f2.get(me, me, bootstrap::SEG, 0, &mut data);
+            let mut g = o2.lock();
+            g.0 = data;
+            g.1 = f2.flag_read(me, flag);
+        } else {
+            let mut am = Am::new(f2.clone(), me, policy);
+            for r in 0..rounds[i - 1] {
+                let val = ((i as u64) << 8 | r as u64).to_le_bytes();
+                am.put(
+                    ProcId(0),
+                    bootstrap::SEG,
+                    i * bootstrap::SLOT_BYTES + r as usize * 8,
+                    &val,
+                );
+                am.flag_add(ProcId(0), flag, 1);
+            }
+            am.quiet();
+        }
+        o2.lock().2[me.index()] = f2.now_ns(me);
+        f2.image_done(me);
+    });
+    let g = out.lock();
+    (g.0.clone(), g.1, g.2.clone())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Under arbitrary chaos seeds — latency jitter and equal-time tie
+    /// reordering included — a batched AM storm must land byte-for-byte
+    /// where the unbatched oracle lands it, and stay deterministic for
+    /// the same seed.
+    #[test]
+    fn am_batched_matches_unbatched_under_chaos(
+        seed in 0u64..10_000,
+        rounds in proptest::collection::vec(0u8..8, 1..7),
+    ) {
+        let wide = AmPolicy {
+            batch_bytes: 1 << 20,
+            batch_ops: 64,
+            flush_age_ns: u64::MAX / 2,
+        };
+        let batched = am_storm(&rounds, wide, Some(seed));
+        let oracle = am_storm(&rounds, AmPolicy::unbatched(), Some(seed));
+        prop_assert_eq!(&batched.0, &oracle.0, "payload bytes diverged under chaos");
+        prop_assert_eq!(batched.1, oracle.1, "flag totals diverged under chaos");
+        let again = am_storm(&rounds, wide, Some(seed));
+        prop_assert_eq!(batched, again, "batched chaos run must be deterministic");
+    }
 
     #[test]
     fn sim_is_deterministic_for_arbitrary_ring_traffic(

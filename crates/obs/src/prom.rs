@@ -216,6 +216,35 @@ impl FleetRegistry {
         }
 
         help(
+            "caf_ams_total",
+            "counter",
+            "active messages injected into the batching tier",
+            &mut out,
+        );
+        help(
+            "caf_am_batches_total",
+            "counter",
+            "AM batches flushed (wire frames / delivery events)",
+            &mut out,
+        );
+        help(
+            "caf_am_fused_total",
+            "counter",
+            "put+flag pairs fused into single PutFlag wire ops",
+            &mut out,
+        );
+        for (r, s) in g.iter().enumerate() {
+            if let Some(t) = &s.telemetry {
+                out.push_str(&format!(
+                    "caf_ams_total{{node=\"{r}\"}} {}\n\
+                     caf_am_batches_total{{node=\"{r}\"}} {}\n\
+                     caf_am_fused_total{{node=\"{r}\"}} {}\n",
+                    t.stats.ams_injected, t.stats.am_batches_flushed, t.stats.am_fused,
+                ));
+            }
+        }
+
+        help(
             "caf_put_ack_latency_ns",
             "summary",
             "blocking remote put send-to-ack service time",
@@ -296,6 +325,9 @@ mod tests {
             stats: StatsSnapshot {
                 puts_inter,
                 wire_bytes_tx: 100 * (node as u64 + 1),
+                ams_injected: 40,
+                am_batches_flushed: 5,
+                am_fused: 12,
                 ..StatsSnapshot::default()
             },
             obs: ObsSnapshot::default(),
@@ -328,6 +360,9 @@ mod tests {
             "{m}"
         );
         assert!(m.contains("# TYPE caf_node_up gauge"), "{m}");
+        assert!(m.contains("caf_ams_total{node=\"0\"} 40"), "{m}");
+        assert!(m.contains("caf_am_batches_total{node=\"1\"} 5"), "{m}");
+        assert!(m.contains("caf_am_fused_total{node=\"0\"} 12"), "{m}");
         // Out-of-range update must be dropped, not panic.
         reg.update(7, telemetry(7, 1));
     }

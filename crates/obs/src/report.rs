@@ -1,7 +1,7 @@
 //! `fleet_report.json`: the machine-readable summary of one fleet run.
 //!
 //! One document, hand-emitted (no serde): per node — image list, clock
-//! offset, phase/cause, the full 18-counter [`StatsSnapshot`], per
+//! offset, phase/cause, the full 22-counter [`StatsSnapshot`], per
 //! node-pair wire traffic, the put-ack latency histogram with derived
 //! percentiles, and per-peer heartbeat jitter. Wire counters are reported
 //! from *both* ends (A's tx row to B and B's rx row from A), which is
@@ -110,7 +110,9 @@ fn stats_fields(s: &StatsSnapshot) -> String {
          \"bytes_inter\": {}, \"puts_nb_injected\": {}, \
          \"puts_nb_completed\": {}, \"wire_frames_tx\": {}, \
          \"wire_frames_rx\": {}, \"wire_bytes_tx\": {}, \
-         \"wire_bytes_rx\": {}, \"wire_retries\": {}, \"wire_reconnects\": {}",
+         \"wire_bytes_rx\": {}, \"wire_retries\": {}, \"wire_reconnects\": {}, \
+         \"ams_injected\": {}, \"am_batches_flushed\": {}, \
+         \"am_payload_bytes\": {}, \"am_fused\": {}",
         s.puts_intra,
         s.puts_inter,
         s.gets_intra,
@@ -128,7 +130,11 @@ fn stats_fields(s: &StatsSnapshot) -> String {
         s.wire_bytes_tx,
         s.wire_bytes_rx,
         s.wire_retries,
-        s.wire_reconnects
+        s.wire_reconnects,
+        s.ams_injected,
+        s.am_batches_flushed,
+        s.am_payload_bytes,
+        s.am_fused
     )
 }
 
@@ -178,6 +184,10 @@ mod tests {
                     stats: StatsSnapshot {
                         puts_inter: 10 + node as u64,
                         wire_bytes_tx: 4096,
+                        ams_injected: 64,
+                        am_batches_flushed: 4,
+                        am_payload_bytes: 512,
+                        am_fused: 16,
                         ..StatsSnapshot::default()
                     },
                     obs: ObsSnapshot {
@@ -243,6 +253,15 @@ mod tests {
         assert_eq!(
             pairs[0].get("frames_tx").and_then(json::Value::as_f64),
             Some(3.0)
+        );
+        let stats = n0.get("stats").expect("stats");
+        assert_eq!(
+            stats.get("ams_injected").and_then(json::Value::as_f64),
+            Some(64.0)
+        );
+        assert_eq!(
+            stats.get("am_fused").and_then(json::Value::as_f64),
+            Some(16.0)
         );
         let ack = n0.get("put_ack_ns").expect("put_ack_ns");
         assert_eq!(ack.get("count").and_then(json::Value::as_f64), Some(2.0));
