@@ -124,6 +124,10 @@ fn socket_storm(images: usize, rounds: u64, bytes: usize, pol: AmPolicy) -> Sock
     let cfg = SocketConfig {
         io_timeout: Duration::from_secs(30),
         flag_wait_timeout: Duration::from_secs(30),
+        // This experiment measures the *wire* frame bill; the shared-memory
+        // tier would route the whole storm around the wire (see
+        // EXP-P1-pingpong for that comparison).
+        shm: false,
         ..SocketConfig::default()
     };
     let fabrics = fleet(&map, &cfg);

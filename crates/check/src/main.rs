@@ -1,14 +1,16 @@
 //! The `caf-check` binary: sweep the built-in conformance program over
 //! {default sim, chaos × seeds (with faults), real threads} × scenarios ×
-//! the collective-algorithm matrix — plus, with `--socket`, a third
-//! backend column that runs the same program on a real multi-process
-//! `SocketFabric` fleet (this binary re-executed per node via the hidden
-//! `--socket-child` mode). Exit 0 on a clean sweep, 1 with a replayable
-//! report on the first divergence.
+//! the collective-algorithm matrix — plus the shared-memory column (real
+//! multi-process fleets with the zero-copy shm tier on, diffed against
+//! the sim oracle and the pure-wire fleet; part of every sweep, alone via
+//! `--shm-only`) and, with `--socket`, the pure-wire backend column (this
+//! binary re-executed per node via the hidden `--socket-child` mode).
+//! Exit 0 on a clean sweep, 1 with a replayable report on the first
+//! divergence.
 
 use caf_check::{
-    algo_matrix, check_am, check_legacy_queue, check_program, check_recover, check_socket,
-    conformance, socket_child_main, CheckOptions, Program, RecoverDrill, Scenario,
+    algo_matrix, check_am, check_legacy_queue, check_program, check_recover, check_shm,
+    check_socket, conformance, socket_child_main, CheckOptions, Program, RecoverDrill, Scenario,
 };
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -19,6 +21,7 @@ struct Args {
     seeds_per_cell: Option<usize>,
     socket: bool,
     socket_only: bool,
+    shm_only: bool,
     recover: bool,
     recover_only: bool,
     kill_after_ms: u64,
@@ -29,6 +32,7 @@ fn parse_args() -> Result<Args, String> {
     let mut seeds_per_cell = None;
     let mut socket = false;
     let mut socket_only = false;
+    let mut shm_only = false;
     let mut recover = false;
     let mut recover_only = false;
     let mut kill_after_ms = 150;
@@ -42,6 +46,7 @@ fn parse_args() -> Result<Args, String> {
                 socket = true;
                 socket_only = true;
             }
+            "--shm-only" => shm_only = true,
             "--recover" => recover = true,
             "--recover-only" => {
                 recover = true;
@@ -61,9 +66,9 @@ fn parse_args() -> Result<Args, String> {
                 return Err(format!(
                     "unknown argument {other:?}\n\
                      usage: caf-check [--quick|--deep] [--seeds N] [--socket|--socket-only]\n\
-                     \x20      [--recover|--recover-only] [--kill-after-ms T]\n\
+                     \x20      [--shm-only] [--recover|--recover-only] [--kill-after-ms T]\n\
                      env:   CAF_CHECK_SEED=N            replay exactly one chaos seed\n\
-                     env:   CAF_CHECK_SOCKET_ALGOS=a,b  restrict the socket column's algo cells"
+                     env:   CAF_CHECK_SOCKET_ALGOS=a,b  restrict the socket/shm columns' algo cells"
                 ))
             }
         }
@@ -73,6 +78,7 @@ fn parse_args() -> Result<Args, String> {
         seeds_per_cell,
         socket,
         socket_only,
+        shm_only,
         recover,
         recover_only,
         kill_after_ms,
@@ -104,6 +110,43 @@ fn run_socket_column() -> Result<usize, ExitCode> {
     println!(
         "caf-check: socket backend matched the sim oracle on {} \
          ({cells} algo configs, real multi-process fleets, {:.1}s)",
+        scn.name,
+        t0.elapsed().as_secs_f64()
+    );
+    Ok(cells)
+}
+
+/// The shared-memory column: the mini scenario across the full algorithm
+/// matrix (or the `CAF_CHECK_SOCKET_ALGOS` subset), each cell a real
+/// multi-process fleet with the zero-copy shm tier forced on, diffed
+/// bit-for-bit against the sim oracle (with and without chaos seeds) and
+/// against the identical pure-wire fleet.
+fn run_shm_column() -> Result<usize, ExitCode> {
+    let scn = Scenario::mini();
+    let filter: Option<Vec<String>> = std::env::var("CAF_CHECK_SOCKET_ALGOS")
+        .ok()
+        .map(|s| s.split(',').map(|a| a.trim().to_string()).collect());
+    let t0 = Instant::now();
+    let mut cells = 0usize;
+    let mut runs = 0usize;
+    for (name, algo) in &algo_matrix() {
+        if let Some(keep) = &filter {
+            if !keep.iter().any(|k| k == name) {
+                continue;
+            }
+        }
+        match check_shm(&scn, name, *algo, &[5, 17]) {
+            Ok(r) => runs += r.runs,
+            Err(failure) => {
+                eprintln!("{}", failure.render());
+                return Err(ExitCode::FAILURE);
+            }
+        }
+        cells += 1;
+    }
+    println!(
+        "caf-check: shared-memory tier matched the sim oracle and the wire fleet \
+         on {} ({cells} algo configs, {runs} runs, {:.1}s)",
         scn.name,
         t0.elapsed().as_secs_f64()
     );
@@ -167,6 +210,12 @@ fn main() -> ExitCode {
     }
     if args.socket_only {
         return match run_socket_column() {
+            Ok(_) => ExitCode::SUCCESS,
+            Err(code) => code,
+        };
+    }
+    if args.shm_only {
+        return match run_shm_column() {
             Ok(_) => ExitCode::SUCCESS,
             Err(code) => code,
         };
@@ -272,6 +321,12 @@ fn main() -> ExitCode {
         matrix.len(),
         am_t0.elapsed().as_secs_f64()
     );
+    // The shared-memory column runs in every sweep (`--quick` included):
+    // real fleets with the shm tier on, diffed against the sim oracle and
+    // the pure-wire fleet across the full algorithm matrix.
+    if let Err(code) = run_shm_column() {
+        return code;
+    }
     if args.socket {
         if let Err(code) = run_socket_column() {
             return code;

@@ -14,7 +14,8 @@
 use crate::harness::{diff, CheckReport, Failure};
 use crate::scenario::{algo_by_name, conformance, Scenario};
 use caf_collectives::CollectiveConfig;
-use caf_fabric::socket::{SocketConfig, SocketFabric};
+use caf_fabric::socket::{shm, SocketConfig, SocketFabric};
+use caf_fabric::ChaosConfig;
 use caf_launch::{launch, ChildEnv, KillSpec, LaunchSpec};
 use caf_runtime::{run, run_hosted, run_hosted_rejoin, FabricChoice, ImageCtx, RunConfig};
 use caf_topology::{ImageMap, NodeId, Placement};
@@ -75,21 +76,26 @@ fn node_images(map: &ImageMap) -> Vec<Vec<usize>> {
 /// Must be called from a binary that dispatches `--socket-child` to
 /// [`socket_child_main`] — the fleet re-executes `current_exe()`.
 pub fn socket_digests(scn: &Scenario, algo_name: &str) -> Result<Vec<u64>, String> {
-    fleet_digests(scn, algo_name, None).map(|(digests, _)| digests)
+    fleet_digests(scn, algo_name, None, None).map(|(digests, _)| digests)
 }
 
 /// Per-image digests plus the respawn events `(node, generation)` the
 /// supervisor repaired during the run.
 pub type DrilledDigests = (Vec<u64>, Vec<(usize, u64)>);
 
-/// [`socket_digests`] plus optional fault injection: with a
-/// [`RecoverDrill`], the fleet runs respawn-supervised, the victim is
-/// killed on schedule, and the respawn events `(node, generation)` the
-/// supervisor repaired are returned alongside the digests.
+/// [`socket_digests`] plus optional fault injection and an explicit
+/// transport-tier pin: with a [`RecoverDrill`], the fleet runs
+/// respawn-supervised, the victim is killed on schedule, and the respawn
+/// events `(node, generation)` the supervisor repaired are returned
+/// alongside the digests. `shm` of `Some(true)`/`Some(false)` forces
+/// `CAF_SOCKET_SHM` on/off in the children's environment (the
+/// shared-memory intranode tier vs. the pure-wire path); `None` leaves
+/// the inherited setting alone.
 pub fn fleet_digests(
     scn: &Scenario,
     algo_name: &str,
     drill: Option<&RecoverDrill>,
+    shm: Option<bool>,
 ) -> Result<DrilledDigests, String> {
     let map = placed(scn);
     let plan = node_images(&map);
@@ -97,6 +103,9 @@ pub fn fleet_digests(
     // cell reach them (argv stays fixed across the sweep).
     std::env::set_var(ENV_SCENARIO, &scn.name);
     std::env::set_var(ENV_ALGO, algo_name);
+    if let Some(on) = shm {
+        std::env::set_var(shm::ENV_SHM, if on { "1" } else { "0" });
+    }
     match drill {
         Some(d) => std::env::set_var(ENV_RECOVER, d.reps.max(1).to_string()),
         None => std::env::remove_var(ENV_RECOVER),
@@ -141,8 +150,11 @@ pub fn fleet_digests(
 }
 
 /// Differentially check one (scenario, algorithm) cell on the socket
-/// backend: default-sim oracle vs. a real fleet. Returns run counts or a
-/// rendered-ready [`Failure`] whose kind is `"socket"`.
+/// backend: default-sim oracle vs. a real fleet, with the shared-memory
+/// tier pinned **off** so this column keeps exercising the pure wire
+/// protocol (framing, put acks, connection lifecycle) as the differential
+/// oracle for the shm column. Returns run counts or a rendered-ready
+/// [`Failure`] whose kind is `"socket"`.
 pub fn check_socket(
     scn: &Scenario,
     algo_name: &str,
@@ -168,8 +180,8 @@ pub fn check_socket(
     };
     let oracle = catch_unwind(AssertUnwindSafe(|| run(cfg, conformance)))
         .map_err(|_| fail("oracle (default sim) panicked".into()))?;
-    let got: Result<Vec<u64>, String> = match socket_digests(scn, algo_name) {
-        Ok(v) => Ok(v),
+    let got: Result<Vec<u64>, String> = match fleet_digests(scn, algo_name, None, Some(false)) {
+        Ok((v, _)) => Ok(v),
         Err(e) => return Err(fail(format!("fleet failed: {e}"))),
     };
     if let Some(detail) = diff(&oracle, &got) {
@@ -180,6 +192,88 @@ pub fn check_socket(
         chaos_runs: 0,
         fault_runs: 0,
     })
+}
+
+/// The shared-memory column: one (scenario, algorithm) cell run on a real
+/// fleet with the zero-copy shm tier forced **on**, diffed bit-for-bit
+/// against (a) the default-sim oracle, (b) the same oracle re-derived
+/// under each chaos seed (proving the reference digests are
+/// schedule-independent before trusting them), and (c) the identical
+/// fleet with `CAF_SOCKET_SHM=0` — the pure-wire differential oracle. The
+/// shm tier changes *how* intranode bytes move (memcpy + atomics instead
+/// of frames + acks) but must never change *what* any image computes; a
+/// divergence here is a shm ordering, visibility, or reset bug.
+pub fn check_shm(
+    scn: &Scenario,
+    algo_name: &str,
+    algo: CollectiveConfig,
+    chaos_seeds: &[u64],
+) -> Result<CheckReport, Box<Failure>> {
+    let fail = |kind: String, seed: Option<u64>, detail: String| {
+        Box::new(Failure {
+            scenario: scn.name.clone(),
+            algo: algo_name.to_string(),
+            kind,
+            seed,
+            minimal: None,
+            detail,
+            trace_window: String::new(),
+        })
+    };
+    let sim = |chaos: Option<ChaosConfig>| {
+        let cfg = RunConfig {
+            machine: scn.machine.clone(),
+            images: scn.images,
+            placement: Placement::Packed,
+            fabric: FabricChoice::Sim(caf_fabric::SimConfig {
+                chaos,
+                ..caf_fabric::SimConfig::default()
+            }),
+            collectives: algo,
+        };
+        catch_unwind(AssertUnwindSafe(|| run(cfg, conformance)))
+            .map_err(|_| "sim run panicked".to_string())
+    };
+    let mut report = CheckReport::default();
+    let oracle = sim(None).map_err(|e| fail("shm oracle (default sim)".into(), None, e))?;
+    report.runs += 1;
+    // The oracle must be schedule-independent before a fleet is held to
+    // it: re-derive it under every chaos seed and demand bit-equality.
+    for &seed in chaos_seeds {
+        let chaotic = sim(Some(ChaosConfig::from_seed(seed)));
+        report.runs += 1;
+        report.chaos_runs += 1;
+        if let Some(detail) = diff(&oracle, &chaotic) {
+            return Err(fail(
+                format!("shm oracle under chaos seed {seed}"),
+                Some(seed),
+                detail,
+            ));
+        }
+    }
+    let shm_on = match fleet_digests(scn, algo_name, None, Some(true)) {
+        Ok((v, _)) => v,
+        Err(e) => return Err(fail("shm fleet".into(), None, format!("fleet failed: {e}"))),
+    };
+    report.runs += 1;
+    if let Some(detail) = diff(&oracle, &Ok(shm_on.clone())) {
+        return Err(fail("shm fleet vs sim oracle".into(), None, detail));
+    }
+    let shm_off = match fleet_digests(scn, algo_name, None, Some(false)) {
+        Ok((v, _)) => v,
+        Err(e) => {
+            return Err(fail(
+                "wire fleet".into(),
+                None,
+                format!("fleet failed: {e}"),
+            ))
+        }
+    };
+    report.runs += 1;
+    if let Some(detail) = diff(&shm_on, &Ok(shm_off)) {
+        return Err(fail("shm fleet vs wire fleet".into(), None, detail));
+    }
+    Ok(report)
 }
 
 /// The kill-and-recover drill: a respawn-supervised fleet loses one node
@@ -222,7 +316,7 @@ pub fn check_recover(
     let oracle = catch_unwind(AssertUnwindSafe(|| run(cfg, conformance)))
         .map_err(|_| fail("oracle (default sim) panicked".into()))?;
     for attempt in 1..=attempts.max(1) {
-        let (digests, respawns) = match fleet_digests(scn, algo_name, Some(drill)) {
+        let (digests, respawns) = match fleet_digests(scn, algo_name, Some(drill), None) {
             Ok(pair) => pair,
             Err(e) => return Err(fail(format!("drill fleet failed: {e}"))),
         };

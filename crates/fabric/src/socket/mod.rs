@@ -37,6 +37,7 @@
 
 pub mod obs;
 pub mod rendezvous;
+pub mod shm;
 pub mod wire;
 
 pub use obs::{
@@ -55,7 +56,7 @@ use crossbeam::utils::{Backoff, CachePadded};
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use wire::{read_frame, write_frame, WIRE_MAGIC};
@@ -102,6 +103,18 @@ pub struct SocketConfig {
     /// generation counter at `g - 1` so the fleet-wide heal lands everyone
     /// on `g` together.
     pub rejoin_generation: Option<u64>,
+    /// Shared-memory intranode tier: host every hosted segment in an
+    /// mmap-backed node segment peers on the same host map, so
+    /// cross-process puts/gets/AMOs/flag adds between them skip the wire
+    /// entirely. On by default where supported; `CAF_SOCKET_SHM=0` keeps
+    /// the pure-socket path as the differential oracle.
+    pub shm: bool,
+    /// Shared-segment arena bytes reserved per hosted image
+    /// (`CAF_SOCKET_SHM_BYTES`). Segment allocation past this panics
+    /// loudly naming the knob — there is no silent heap fallback, because
+    /// mixing shm and wire data ops to one destination would break
+    /// point-to-point program order.
+    pub shm_bytes_per_image: usize,
 }
 
 impl Default for SocketConfig {
@@ -119,6 +132,8 @@ impl Default for SocketConfig {
             flag_wait_timeout: Duration::from_secs(30),
             respawn: false,
             rejoin_generation: None,
+            shm: cfg!(unix),
+            shm_bytes_per_image: shm::DEFAULT_ARENA_PER_IMAGE,
         }
     }
 }
@@ -131,6 +146,8 @@ impl SocketConfig {
     /// `CAF_RESPAWN=1` enables survivable-fleet mode and `CAF_GENERATION=g`
     /// (g ≥ 1, set by the supervisor on a respawned child) marks this
     /// process as a rejoining incarnation establishing generation `g`.
+    /// `CAF_SOCKET_SHM=0` disables the shared-memory intranode tier and
+    /// `CAF_SOCKET_SHM_BYTES` sizes its per-image arena.
     pub fn from_env() -> Self {
         let ms = |var: &str, default: Duration| {
             std::env::var(var)
@@ -151,15 +168,106 @@ impl SocketConfig {
                 .ok()
                 .and_then(|v| v.parse::<u64>().ok())
                 .filter(|g| *g > 0),
+            shm: d.shm && std::env::var(shm::ENV_SHM).map_or(true, |v| v != "0"),
+            shm_bytes_per_image: std::env::var(shm::ENV_SHM_BYTES)
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(d.shm_bytes_per_image),
             ..d
         }
     }
 }
 
+/// One hosted segment's storage: heap bytes (single-process fleets, or
+/// `CAF_SOCKET_SHM=0`) or a window into this process's shared-memory
+/// segment, where same-host peers service their traffic directly. The
+/// API (and panic contract) mirrors [`SharedBytes`].
+#[derive(Clone)]
+enum Window {
+    Heap(Arc<SharedBytes>),
+    Shm(shm::ShmWindow),
+}
+
+impl Window {
+    fn len(&self) -> usize {
+        match self {
+            Window::Heap(s) => s.len(),
+            Window::Shm(w) => w.len(),
+        }
+    }
+
+    fn write(&self, offset: usize, src: &[u8]) {
+        match self {
+            Window::Heap(s) => s.write(offset, src),
+            Window::Shm(w) => w.write(offset, src),
+        }
+    }
+
+    fn read(&self, offset: usize, dst: &mut [u8]) {
+        match self {
+            Window::Heap(s) => s.read(offset, dst),
+            Window::Shm(w) => w.read(offset, dst),
+        }
+    }
+
+    fn as_atomic_u64(&self, offset: usize) -> &AtomicU64 {
+        match self {
+            Window::Heap(s) => s.as_atomic_u64(offset),
+            Window::Shm(w) => w.as_atomic_u64(offset),
+        }
+    }
+}
+
+/// One hosted sync flag's cell: heap, or a slot in the shared flag table
+/// where same-host peers bump it without a frame.
+#[derive(Clone)]
+enum FlagCell {
+    Heap(Arc<CachePadded<AtomicU64>>),
+    Shm(shm::ShmFlag),
+}
+
+impl FlagCell {
+    fn cell(&self) -> &AtomicU64 {
+        match self {
+            FlagCell::Heap(c) => c,
+            FlagCell::Shm(f) => f.cell(),
+        }
+    }
+}
+
+/// A same-host peer's mapped shared segment plus its hosted-image list
+/// (global image index → slot index inside the peer's segment).
+struct ShmPeer {
+    seg: shm::PeerShm,
+    images: Vec<usize>,
+}
+
+impl ShmPeer {
+    fn local_idx(&self, img: usize) -> usize {
+        self.images
+            .iter()
+            .position(|&i| i == img)
+            .unwrap_or_else(|| panic!("image {img} is not hosted by its shm peer"))
+    }
+
+    /// Resolve `img`'s segment `seg` inside the peer's mapped arena.
+    /// `None` means the owner never published it — the id spilled past
+    /// the shared directory or the arena ran dry, so the window lives on
+    /// the owner's heap and is reachable only over the wire (see
+    /// `SocketFabric::alloc_segment`).
+    fn window(&self, img: usize, seg: SegmentId) -> Option<shm::ShmWindow> {
+        self.seg.window(self.local_idx(img), seg.0)
+    }
+
+    fn flag(&self, img: usize, flag: FlagId) -> shm::ShmFlag {
+        self.seg.flag(self.local_idx(img), flag.0)
+    }
+}
+
 /// Per-hosted-image storage — same shape as the thread fabric's slots.
 struct ImageSlot {
-    segs: RwLock<Vec<Arc<SharedBytes>>>,
-    flags: RwLock<Vec<Arc<CachePadded<AtomicU64>>>>,
+    segs: RwLock<Vec<Window>>,
+    flags: RwLock<Vec<FlagCell>>,
 }
 
 /// An in-flight request awaiting its response frame.
@@ -247,6 +355,13 @@ pub struct SocketFabric {
     last_peer_stats: Vec<Mutex<Option<StatsSnapshot>>>,
     /// Ingress connections established so far (fleet bring-up gate).
     ingress_up: AtomicUsize,
+    /// This process's shared-memory segment (`None`: tier disabled,
+    /// single-process fleet, or unsupported platform).
+    shm: Option<shm::NodeShm>,
+    /// Same-host peers' mapped segments, per process rank (`None` until
+    /// the peer's `Open`/`Rejoin` announces one). A rejoin swaps in the
+    /// new incarnation's segment.
+    shm_peers: Vec<RwLock<Option<Arc<ShmPeer>>>>,
     /// Hosted images that called `image_done`.
     done_count: AtomicUsize,
     /// All hosted images finished — EOFs are expected from here on.
@@ -310,24 +425,64 @@ impl SocketFabric {
             }
         }
         let hosted: Vec<ProcId> = map.images_on_node(occ[node_rank]).to_vec();
-        let slots = (0..map.n_images())
-            .map(|i| {
-                if proc_of_image[i] == node_rank {
-                    Some(ImageSlot {
-                        segs: RwLock::new(vec![Arc::new(SharedBytes::new(
-                            map.n_images() * crate::bootstrap::SLOT_BYTES,
-                        ))]),
-                        flags: RwLock::new(
-                            (0..crate::bootstrap::NUM_FLAGS)
-                                .map(|_| Arc::new(CachePadded::new(AtomicU64::new(0))))
-                                .collect(),
-                        ),
-                    })
-                } else {
+        // With the shm tier on, every hosted segment lives in this
+        // process's node segment so same-host peers (and direct-landing
+        // wire puts) write into it without staging. All-or-nothing per
+        // fleet: mixing shm and heap segments for one image would let a
+        // peer's data ops to it take different paths and lose program
+        // order.
+        let node_shm = if cfg.shm && n_procs > 1 {
+            match shm::NodeShm::create(
+                node_rank,
+                cfg.rejoin_generation.unwrap_or(0),
+                hosted.len(),
+                cfg.shm_bytes_per_image,
+            ) {
+                Ok(s) => Some(s),
+                Err(e) => {
+                    eprintln!("caf-socket: shared-memory tier disabled: {e}");
                     None
                 }
+            }
+        } else {
+            None
+        };
+        let boot_len = map.n_images() * crate::bootstrap::SLOT_BYTES;
+        let slots = (0..map.n_images())
+            .map(|i| {
+                if proc_of_image[i] != node_rank {
+                    return None;
+                }
+                let local = hosted
+                    .iter()
+                    .position(|p| p.index() == i)
+                    .expect("hosted image missing from its own node list");
+                let (seg0, flags) = match &node_shm {
+                    Some(s) => (
+                        Window::Shm(
+                            s.alloc(local, 0, boot_len)
+                                .unwrap_or_else(|e| panic!("image {i} bootstrap segment: {e}")),
+                        ),
+                        (0..crate::bootstrap::NUM_FLAGS)
+                            .map(|f| FlagCell::Shm(s.flag(local, f)))
+                            .collect(),
+                    ),
+                    None => (
+                        Window::Heap(Arc::new(SharedBytes::new(boot_len))),
+                        (0..crate::bootstrap::NUM_FLAGS)
+                            .map(|_| FlagCell::Heap(Arc::new(CachePadded::new(AtomicU64::new(0)))))
+                            .collect(),
+                    ),
+                };
+                Some(ImageSlot {
+                    segs: RwLock::new(vec![seg0]),
+                    flags: RwLock::new(flags),
+                })
             })
             .collect();
+        if let Some(s) = &node_shm {
+            s.seal_bootstrap();
+        }
 
         let listener = Listener::bind(cfg.transport)?;
         let listen_addr = listener.local_addr()?;
@@ -373,6 +528,8 @@ impl SocketFabric {
             obs: obs::SocketObs::new(n_procs, cfg.heartbeat_period.as_nanos() as u64),
             last_peer_stats: (0..n_procs).map(|_| Mutex::new(None)).collect(),
             ingress_up: AtomicUsize::new(0),
+            shm: node_shm,
+            shm_peers: (0..n_procs).map(|_| RwLock::new(None)).collect(),
             done_count: AtomicUsize::new(0),
             all_done: AtomicBool::new(false),
             shutting_down: AtomicBool::new(false),
@@ -402,10 +559,12 @@ impl SocketFabric {
                     generation,
                     addr: listen_addr.to_string(),
                     magic: WIRE_MAGIC,
+                    shm: fabric.own_shm_path(),
                 },
                 None => Frame::Open {
                     node: node_rank as u32,
                     magic: WIRE_MAGIC,
+                    shm: fabric.own_shm_path(),
                 },
             };
             for (rank, addr) in peers.iter().enumerate() {
@@ -536,16 +695,16 @@ impl SocketFabric {
                             BufReader::new(stream.try_clone().expect("clone ingress stream"));
                         // First frame must identify the dialer.
                         let deadline = Instant::now() + fab.cfg.io_timeout;
-                        let peer = loop {
+                        let (peer, peer_shm) = loop {
                             match read_frame(&mut reader) {
-                                Ok((Frame::Open { node, magic }, n)) => {
+                                Ok((Frame::Open { node, magic, shm }, n)) => {
                                     assert_eq!(
                                         magic, WIRE_MAGIC,
                                         "wire-protocol version mismatch from process {node}"
                                     );
                                     fab.stats.record_wire_rx(n);
                                     fab.obs.wire_rx(node as usize, n);
-                                    break node as usize;
+                                    break (node as usize, shm);
                                 }
                                 Ok((
                                     Frame::Rejoin {
@@ -553,6 +712,7 @@ impl SocketFabric {
                                         generation,
                                         addr,
                                         magic,
+                                        shm,
                                     },
                                     n,
                                 )) => {
@@ -562,14 +722,15 @@ impl SocketFabric {
                                     );
                                     fab.stats.record_wire_rx(n);
                                     fab.obs.wire_rx(node as usize, n);
-                                    match fab.accept_rejoin(node as usize, generation, &addr) {
-                                        Ok(()) => break node as usize,
+                                    match fab.accept_rejoin(node as usize, generation, &addr, &shm)
+                                    {
+                                        Ok(()) => break (node as usize, String::new()),
                                         Err(e) => {
                                             eprintln!(
                                                 "caf-socket: rejected rejoin from process \
                                                  {node}: {e}"
                                             );
-                                            break usize::MAX; // drop the connection
+                                            break (usize::MAX, String::new()); // drop it
                                         }
                                     }
                                 }
@@ -581,11 +742,18 @@ impl SocketFabric {
                                         return;
                                     }
                                 }
-                                Err(_) => break usize::MAX, // dialer vanished pre-handshake
+                                // Dialer vanished pre-handshake.
+                                Err(_) => break (usize::MAX, String::new()),
                             }
                         };
                         if peer == usize::MAX {
                             continue;
+                        }
+                        // Map the dialer's segment before its ingress
+                        // thread starts: once requests flow, replies may
+                        // race reads of segments only the mapping serves.
+                        if !peer_shm.is_empty() {
+                            fab.map_shm_peer(peer, &peer_shm);
                         }
                         fab.mark_seen(peer);
                         accepted += 1;
@@ -610,7 +778,13 @@ impl SocketFabric {
     /// thread *before* the ingress thread for the new connection starts,
     /// so by the time the rejoiner's first request arrives the pair is
     /// fully re-established.
-    fn accept_rejoin(self: &Arc<Self>, node: usize, generation: u64, addr: &str) -> io::Result<()> {
+    fn accept_rejoin(
+        self: &Arc<Self>,
+        node: usize,
+        generation: u64,
+        addr: &str,
+        shm_path: &str,
+    ) -> io::Result<()> {
         let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
         if !self.cfg.respawn {
             return Err(bad("rejoin received but respawn mode is off".into()));
@@ -639,12 +813,52 @@ impl SocketFabric {
         let hello = Frame::Open {
             node: self.node_rank as u32,
             magic: WIRE_MAGIC,
+            shm: self.own_shm_path(),
         };
         self.dial_peer(node, &peer_addr, &hello)?;
+        // The dead incarnation's segment is gone; remap (or drop) before
+        // anyone observes PEER_ALIVE and routes data ops through shm.
+        self.shm_peers[node].write().take();
+        if !shm_path.is_empty() {
+            self.map_shm_peer(node, shm_path);
+        }
         *self.last_peer_stats[node].lock() = None;
         self.mark_seen(node);
         self.peer_state[node].store(PEER_ALIVE, Ordering::Release);
         Ok(())
+    }
+
+    /// This process's shared-segment path, as announced in handshakes
+    /// (empty when the tier is off).
+    fn own_shm_path(&self) -> String {
+        self.shm
+            .as_ref()
+            .map(|s| s.path().display().to_string())
+            .unwrap_or_default()
+    }
+
+    /// Map the shared segment `rank` announced in its handshake. Failure
+    /// is a warning, not an error: traffic *to* that peer falls back to
+    /// the wire, and each direction independently keeps program order.
+    fn map_shm_peer(&self, rank: usize, path: &str) {
+        if !self.cfg.shm {
+            return;
+        }
+        match shm::PeerShm::open(std::path::Path::new(path)) {
+            Ok(seg) => {
+                let images = self
+                    .map
+                    .images_on_node(self.occ[rank])
+                    .iter()
+                    .map(|p| p.index())
+                    .collect();
+                *self.shm_peers[rank].write() = Some(Arc::new(ShmPeer { seg, images }));
+            }
+            Err(e) => eprintln!(
+                "caf-socket: cannot map shared segment of process {rank} ({path}): {e}; \
+                 using the wire for it"
+            ),
+        }
     }
 
     /// Dial peer `rank` with capped exponential backoff, send `hello`
@@ -730,7 +944,7 @@ impl SocketFabric {
             if self.stopping() {
                 return;
             }
-            let frame = match read_frame(&mut reader) {
+            let raw = match wire::read_frame_direct(&mut reader) {
                 Ok((f, n)) => {
                     self.stats.record_wire_rx(n);
                     self.obs.wire_rx(peer, n);
@@ -750,22 +964,30 @@ impl SocketFabric {
                     return;
                 }
             };
-            match frame {
-                Frame::Put {
-                    src,
+            let frame = match raw {
+                // Puts land straight from the frame buffer into the
+                // destination window — when the window lives in the shared
+                // segment, a cross-node put is one copy, wire to segment,
+                // with no intermediate heap staging.
+                wire::RawFrame::Put {
+                    src: _,
                     dst,
                     seg,
                     off,
                     ack,
-                    data,
+                    buf,
+                    payload,
                 } => {
                     self.seg_of(dst as usize, SegmentId(seg as usize))
-                        .write(off as usize, &data);
-                    let _ = src;
+                        .write(off as usize, &buf[payload..]);
                     if ack != 0 {
                         self.send_response(peer, &mut writer, &Frame::PutAck { ack });
                     }
+                    continue;
                 }
+                wire::RawFrame::Other(f) => f,
+            };
+            match frame {
                 Frame::Get {
                     src: _,
                     dst,
@@ -1120,8 +1342,15 @@ impl SocketFabric {
             let mut flags = slot.flags.write();
             flags.truncate(crate::bootstrap::NUM_FLAGS);
             for f in flags.iter() {
-                f.store(0, Ordering::Release);
+                f.cell().store(0, Ordering::Release);
             }
+        }
+        // Mirror the rollback in the shared segment: unpublish every
+        // post-bootstrap directory entry, zero the whole flag table, and
+        // roll the arena back so re-allocated segments land where peers
+        // expect them.
+        if let Some(s) = &self.shm {
+            s.reset(crate::bootstrap::NUM_SEGS);
         }
         {
             let mut g = self.pending.lock();
@@ -1173,7 +1402,7 @@ impl SocketFabric {
 
     // ---- data path helpers ---------------------------------------------
 
-    fn seg_of(&self, img: usize, seg: SegmentId) -> Arc<SharedBytes> {
+    fn seg_of(&self, img: usize, seg: SegmentId) -> Window {
         let slot = self.slots[img]
             .as_ref()
             .unwrap_or_else(|| panic!("image {img} is not hosted by this process"));
@@ -1183,7 +1412,7 @@ impl SocketFabric {
             .clone()
     }
 
-    fn flag_cell(&self, img: usize, flag: FlagId) -> Arc<CachePadded<AtomicU64>> {
+    fn flag_cell(&self, img: usize, flag: FlagId) -> FlagCell {
         let slot = self.slots[img]
             .as_ref()
             .unwrap_or_else(|| panic!("image {img} is not hosted by this process"));
@@ -1192,6 +1421,36 @@ impl SocketFabric {
             .get(flag.0)
             .unwrap_or_else(|| panic!("image {img} has no {flag:?} (out of {})", flags.len()))
             .clone()
+    }
+
+    /// Local index of a hosted image within this process's slot/segment
+    /// tables (bootstrap order).
+    fn local_idx_of(&self, img: usize) -> usize {
+        self.hosted
+            .iter()
+            .position(|&h| h.index() == img)
+            .unwrap_or_else(|| panic!("image {img} is not hosted by this process"))
+    }
+
+    /// Shared-memory fast path toward `dst`: `Some(peer)` when the shm tier
+    /// is on, `dst` lives in a *different process* whose segment this
+    /// process has mapped. All-or-nothing per destination — once a peer's
+    /// segment is mapped, every data op toward it goes through shared
+    /// memory, so the per-direction ordering contract of the wire carries
+    /// over unchanged. Dead peers are never serviced through shared memory:
+    /// poison wins, loudly.
+    fn shm_to(&self, me: ProcId, dst: ProcId) -> Option<Arc<ShmPeer>> {
+        let rank = self.proc_of_image[dst.index()];
+        let peer = self.shm_peers[rank].read().clone()?;
+        if self.peer_state[rank].load(Ordering::Acquire) == PEER_DEAD {
+            self.check_poison(me, "shared-memory op to a dead peer");
+            panic!(
+                "image {} shared-memory op to {}: peer is dead",
+                me.index() + 1,
+                self.peer_desc(rank)
+            );
+        }
+        Some(peer)
     }
 
     fn is_local(&self, img: ProcId) -> bool {
@@ -1217,6 +1476,7 @@ impl SocketFabric {
     fn apply_flag_add(&self, from: usize, target: usize, flag: FlagId, delta: u64, local: bool) {
         let old = self
             .flag_cell(target, flag)
+            .cell()
             .fetch_add(delta, Ordering::Release);
         assert!(
             old.checked_add(delta).is_some(),
@@ -1483,7 +1743,22 @@ impl Fabric for SocketFabric {
             .unwrap_or_else(|| panic!("alloc_segment: image {me:?} not hosted here"));
         let mut segs = slot.segs.write();
         let id = segs.len();
-        segs.push(Arc::new(SharedBytes::new(bytes)));
+        // With the shm tier on, windows come from the shared arena so
+        // same-host peers can address them directly. When the shared side
+        // cannot hold one more (directory full, or the arena is exhausted
+        // — see `SocketConfig::shm_bytes_per_image`), the window spills to
+        // this process's heap: its directory entry stays unpublished, so
+        // peers see `None` from `ShmPeer::window` and take the wire. The
+        // shared directory is the single source of truth, so both sides
+        // agree without any extra handshake.
+        let w = match &self.shm {
+            Some(s) => match s.alloc(self.local_idx_of(me.index()), id, bytes) {
+                Ok(win) => Window::Shm(win),
+                Err(_) => Window::Heap(Arc::new(SharedBytes::new(bytes))),
+            },
+            None => Window::Heap(Arc::new(SharedBytes::new(bytes))),
+        };
+        segs.push(w);
         SegmentId(id)
     }
 
@@ -1493,8 +1768,31 @@ impl Fabric for SocketFabric {
             .unwrap_or_else(|| panic!("alloc_flags: image {me:?} not hosted here"));
         let mut flags = slot.flags.write();
         let id = flags.len();
-        for _ in 0..count {
-            flags.push(Arc::new(CachePadded::new(AtomicU64::new(0))));
+        match &self.shm {
+            Some(s) => {
+                // The shared table is sized at segment creation; flags past
+                // it fall back to heap cells reached over the wire. The
+                // index alone decides the backing, so same-host peers agree
+                // on which side of the boundary a flag lives without any
+                // extra handshake (see `flag_add`/`am_deliver`).
+                let local = self.local_idx_of(me.index());
+                for k in 0..count {
+                    if id + k < shm::MAX_FLAGS {
+                        flags.push(FlagCell::Shm(s.flag(local, id + k)));
+                    } else {
+                        flags.push(FlagCell::Heap(Arc::new(CachePadded::new(AtomicU64::new(
+                            0,
+                        )))));
+                    }
+                }
+            }
+            None => {
+                for _ in 0..count {
+                    flags.push(FlagCell::Heap(Arc::new(CachePadded::new(AtomicU64::new(
+                        0,
+                    )))));
+                }
+            }
         }
         FlagId(id)
     }
@@ -1506,6 +1804,21 @@ impl Fabric for SocketFabric {
                 self.stats.record_put(true, bytes.len());
             }
             self.seg_of(dst.index(), seg).write(offset, bytes);
+            self.trace_local(EventKind::Put, me, dst, t0, bytes.len() as u64);
+            return;
+        }
+        // An unpublished window (`None`) is a heap spill on the owner —
+        // fall through and take the wire like a cross-node put.
+        if let Some(w) = self
+            .shm_to(me, dst)
+            .and_then(|p| p.window(dst.index(), seg))
+        {
+            // memcpy into the peer's mapped window + a release fence: the
+            // data is globally visible before any later flag/AMO the peer
+            // could observe. No frame, no ack, nothing for `quiet` to drain.
+            w.write(offset, bytes);
+            fence(Ordering::Release);
+            self.stats.record_shm_put(bytes.len());
             self.trace_local(EventKind::Put, me, dst, t0, bytes.len() as u64);
             return;
         }
@@ -1550,6 +1863,71 @@ impl Fabric for SocketFabric {
             self.trace_local(EventKind::Put, me, dst, t0, wire);
             return;
         }
+        if let Some(p) = self.shm_to(me, dst) {
+            // Every op must be reachable through the shared mapping: a flag
+            // past the shared table or a window the owner spilled to its
+            // heap (directory full / arena exhausted) lives only on the
+            // owner, and the whole batch must then travel as one wire frame
+            // so its vector order is preserved.
+            let all_shared = ops.iter().all(|op| match op {
+                AmOp::Put { seg, .. } | AmOp::AmoAdd { seg, .. } => {
+                    p.window(dst.index(), *seg).is_some()
+                }
+                AmOp::FlagAdd { flag, .. } => flag.0 < shm::MAX_FLAGS,
+                AmOp::PutFlag { seg, flag, .. } => {
+                    flag.0 < shm::MAX_FLAGS && p.window(dst.index(), *seg).is_some()
+                }
+            });
+            // Windows only unpublish inside the recovery fence, when no
+            // image issues traffic, so the lookups below cannot miss.
+            let win = |seg: SegmentId| {
+                p.window(dst.index(), seg)
+                    .expect("window published at the batch check above")
+            };
+            if all_shared {
+                // Apply the batch in vector order directly against the
+                // peer's mapped segment — the same order the ingress thread
+                // would use. Flag adds use release stores, so fused
+                // put+flag visibility holds exactly as it does on the wire
+                // path.
+                for op in ops {
+                    match op {
+                        AmOp::Put { seg, off, data } => {
+                            win(*seg).write(*off, data);
+                            self.stats.record_shm_put(data.len());
+                        }
+                        AmOp::AmoAdd { seg, off, delta } => {
+                            win(*seg)
+                                .as_atomic_u64(*off)
+                                .fetch_add(*delta, Ordering::AcqRel);
+                            self.stats.record_shm_flag();
+                        }
+                        AmOp::FlagAdd { flag, delta } | AmOp::PutFlag { flag, delta, .. } => {
+                            if let AmOp::PutFlag { seg, off, data, .. } = op {
+                                win(*seg).write(*off, data);
+                                self.stats.record_shm_put(data.len());
+                            }
+                            fence(Ordering::Release);
+                            let old = p
+                                .flag(dst.index(), *flag)
+                                .cell()
+                                .fetch_add(*delta, Ordering::Release);
+                            assert!(
+                                old.checked_add(*delta).is_some(),
+                                "sync flag counter overflow: image {} flag {} \
+                                 (cumulative counter wrapped adding {delta})",
+                                dst.index(),
+                                flag.0
+                            );
+                            self.stats.record_shm_flag();
+                        }
+                    }
+                }
+                fence(Ordering::Release);
+                self.trace_local(EventKind::Put, me, dst, t0, wire);
+                return;
+            }
+        }
         // One frame per batch, one ack cookie: the ack retires through the
         // sender's `outstanding_nb` debt, so `quiet` means every batched AM
         // has remotely completed — same completion contract as `put_nb`.
@@ -1588,6 +1966,21 @@ impl Fabric for SocketFabric {
                 self.stats.record_put_nb(true, bytes.len());
                 self.stats.record_put_nb_complete();
             }
+            self.trace_local(EventKind::PutNb, me, dst, t0, bytes.len() as u64);
+            return PutToken::DONE;
+        }
+        if let Some(w) = self
+            .shm_to(me, dst)
+            .and_then(|p| p.window(dst.index(), seg))
+        {
+            // A shared-memory put completes at injection: count it through
+            // both nb counters so the injected == completed invariant the
+            // litmus suite checks holds across the mixed fabric.
+            w.write(offset, bytes);
+            fence(Ordering::Release);
+            self.stats.record_shm_put(bytes.len());
+            self.stats.puts_nb_injected.fetch_add(1, Ordering::Relaxed);
+            self.stats.record_put_nb_complete();
             self.trace_local(EventKind::PutNb, me, dst, t0, bytes.len() as u64);
             return PutToken::DONE;
         }
@@ -1662,6 +2055,16 @@ impl Fabric for SocketFabric {
             self.trace_local(EventKind::Get, me, src, t0, out.len() as u64);
             return;
         }
+        if let Some(w) = self
+            .shm_to(me, src)
+            .and_then(|p| p.window(src.index(), seg))
+        {
+            fence(Ordering::Acquire);
+            w.read(offset, out);
+            self.stats.record_shm_get(out.len());
+            self.trace_local(EventKind::Get, me, src, t0, out.len() as u64);
+            return;
+        }
         self.stats.record_get(false, out.len());
         let cookie = self.new_cookie();
         self.register_sync(cookie);
@@ -1711,6 +2114,18 @@ impl Fabric for SocketFabric {
                 .seg_of(target.index(), seg)
                 .as_atomic_u64(offset)
                 .fetch_add(delta, Ordering::AcqRel);
+            self.trace_local(EventKind::AmoFetchAdd, me, target, t0, offset as u64);
+            return old;
+        }
+        if let Some(w) = self
+            .shm_to(me, target)
+            .and_then(|p| p.window(target.index(), seg))
+        {
+            // Same physical atomic the owner (and every other mapper) uses,
+            // so atomicity holds even when some images reach it through the
+            // wire and others through shared memory.
+            let old = w.as_atomic_u64(offset).fetch_add(delta, Ordering::AcqRel);
+            self.stats.record_shm_flag();
             self.trace_local(EventKind::AmoFetchAdd, me, target, t0, offset as u64);
             return old;
         }
@@ -1764,6 +2179,22 @@ impl Fabric for SocketFabric {
             {
                 Ok(v) | Err(v) => v,
             };
+            self.trace_local(EventKind::AmoCas, me, target, t0, offset as u64);
+            return old;
+        }
+        if let Some(w) = self
+            .shm_to(me, target)
+            .and_then(|p| p.window(target.index(), seg))
+        {
+            let old = match w.as_atomic_u64(offset).compare_exchange(
+                expected,
+                new,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(v) | Err(v) => v,
+            };
+            self.stats.record_shm_flag();
             self.trace_local(EventKind::AmoCas, me, target, t0, offset as u64);
             return old;
         }
@@ -1823,6 +2254,40 @@ impl Fabric for SocketFabric {
             }
             return;
         }
+        // Flags past the shared table are heap cells on the owner, reached
+        // only over the wire (the alloc side uses the same index rule).
+        if flag.0 < shm::MAX_FLAGS {
+            if let Some(p) = self.shm_to(me, target) {
+                // Release on the shared cell publishes every prior shm put to
+                // this peer; the waiter's acquire load pairs with it. The
+                // waiter's parked phase is a bounded (200µs) poll, so no
+                // cross-process notification is needed.
+                let old = p
+                    .flag(target.index(), flag)
+                    .cell()
+                    .fetch_add(delta, Ordering::Release);
+                assert!(
+                    old.checked_add(delta).is_some(),
+                    "sync flag counter overflow: image {} flag {} \
+                     (cumulative counter wrapped adding {delta})",
+                    target.index(),
+                    flag.0
+                );
+                self.stats.record_shm_flag();
+                if self.cfg.tracer.enabled() {
+                    self.cfg.tracer.record(
+                        me.index(),
+                        Event::instant(EventKind::FlagAdd, t0)
+                            .a(target.index() as u64)
+                            .b(flag.0 as u64)
+                            .c(delta)
+                            .d(self.trace_now())
+                            .intra(true),
+                    );
+                }
+                return;
+            }
+        }
         self.stats.record_flag(false);
         // Fire-and-forget: ordering with prior puts to the same target comes
         // from the shared per-peer connection (frames apply in send order).
@@ -1853,7 +2318,8 @@ impl Fabric for SocketFabric {
         self.stats.flag_waits.fetch_add(1, Ordering::Relaxed);
         let t0 = self.trace_now();
         let deadline = Instant::now() + self.cfg.flag_wait_timeout;
-        let cell = self.flag_cell(me.index(), flag);
+        let cell_owner = self.flag_cell(me.index(), flag);
+        let cell = cell_owner.cell();
         let backoff = Backoff::new();
         loop {
             if cell.load(Ordering::Acquire) >= at_least {
@@ -1900,7 +2366,9 @@ impl Fabric for SocketFabric {
     }
 
     fn flag_read(&self, me: ProcId, flag: FlagId) -> u64 {
-        self.flag_cell(me.index(), flag).load(Ordering::Acquire)
+        self.flag_cell(me.index(), flag)
+            .cell()
+            .load(Ordering::Acquire)
     }
 
     fn quiet(&self, me: ProcId) {
@@ -2054,7 +2522,24 @@ pub mod testing {
             .map(NodeId)
             .filter(|n| !map.images_on_node(*n).is_empty())
             .count();
-        let listener = Listener::bind(cfg.transport).expect("bind coordinator");
+        fleet_with(map, &vec![cfg.clone(); n_procs])
+    }
+
+    /// [`fleet`] with one [`SocketConfig`] per process rank — the way to
+    /// build a *mixed* fleet where some processes advertise a shared
+    /// segment and others stay pure-wire, so some ordered pairs run over
+    /// the shm tier and others over frames in the very same run.
+    pub fn fleet_with(map: &ImageMap, cfgs: &[SocketConfig]) -> Vec<Arc<SocketFabric>> {
+        let n_procs = (0..map.machine().nodes)
+            .map(NodeId)
+            .filter(|n| !map.images_on_node(*n).is_empty())
+            .count();
+        assert_eq!(
+            cfgs.len(),
+            n_procs,
+            "fleet_with needs exactly one config per occupied node"
+        );
+        let listener = Listener::bind(cfgs[0].transport).expect("bind coordinator");
         let coord_addr = listener.local_addr().expect("coordinator addr");
         let coord = std::thread::spawn(move || {
             let mut conns = Vec::new();
@@ -2084,7 +2569,7 @@ pub mod testing {
         let joins: Vec<_> = (0..n_procs)
             .map(|rank| {
                 let map = map.clone();
-                let cfg = cfg.clone();
+                let cfg = cfgs[rank].clone();
                 let coord_addr = coord_addr.clone();
                 std::thread::spawn(move || {
                     SocketFabric::join(map, rank, &coord_addr, cfg)
@@ -2257,7 +2742,13 @@ mod tests {
 
     #[test]
     fn wire_counters_count_remote_traffic_only() {
-        let fabrics = fleet(&map(2, 1, 2), &quick_cfg());
+        // Pin shm off: this test asserts wire frame/byte counts that the
+        // shared-memory fast path would (correctly) bypass.
+        let cfg = SocketConfig {
+            shm: false,
+            ..quick_cfg()
+        };
+        let fabrics = fleet(&map(2, 1, 2), &cfg);
         let f0 = fabrics[0].clone();
         run_fleet(&fabrics, |f, me| {
             if me == ProcId(0) {
@@ -2348,7 +2839,12 @@ mod tests {
 
     #[test]
     fn telemetry_snapshot_covers_wire_and_roundtrips() {
-        let fabrics = fleet(&map(2, 1, 2), &quick_cfg());
+        // Pin shm off: asserts wire roundtrip observations per peer.
+        let cfg = SocketConfig {
+            shm: false,
+            ..quick_cfg()
+        };
+        let fabrics = fleet(&map(2, 1, 2), &cfg);
         let (f0, f1) = (fabrics[0].clone(), fabrics[1].clone());
         run_fleet(&fabrics, |f, me| {
             if me == ProcId(0) {
@@ -2386,6 +2882,9 @@ mod tests {
     fn heartbeats_deliver_peer_stats_snapshots() {
         let cfg = SocketConfig {
             heartbeat_period: Duration::from_millis(25),
+            // Pin shm off: asserts the peer's put shows up in the
+            // heartbeat-carried wire stats snapshot.
+            shm: false,
             ..quick_cfg()
         };
         let fabrics = fleet(&map(2, 1, 2), &cfg);
@@ -2577,5 +3076,153 @@ mod tests {
         coord.join().expect("coordinator");
         f0.shutdown();
         f1_new.shutdown();
+    }
+
+    /// With the shm tier on (the unix default), cross-process data ops on
+    /// one host never touch the wire: correctness plus counter routing.
+    #[test]
+    #[cfg(unix)]
+    fn shm_fast_path_covers_put_get_amo_flag() {
+        let fabrics = fleet(&map(2, 1, 2), &quick_cfg());
+        assert!(
+            fabrics[0].shm.is_some(),
+            "shm tier should be on by default on unix"
+        );
+        let (f0, f1) = (fabrics[0].clone(), fabrics[1].clone());
+        run_fleet(&fabrics, |f, me| {
+            if me == ProcId(0) {
+                // Blocking put + fused flag, observed by the peer.
+                f.put(me, ProcId(1), BSEG, 0, &0xABCDu64.to_ne_bytes());
+                f.flag_add(me, ProcId(1), SPARE_FLAG, 1);
+                // Nonblocking put completes at injection; quiet has no debt.
+                let tok = f.put_nb(me, ProcId(1), BSEG, 8, &[7u8; 8]);
+                assert!(f.put_test(me, tok), "shm put_nb completes at injection");
+                f.quiet(me);
+                // AMO on the peer's bootstrap segment.
+                let old = f.amo_fetch_add_u64(me, ProcId(1), BSEG, 16, 5);
+                assert_eq!(old, 0);
+                f.flag_wait_ge(me, SPARE_FLAG2, 1);
+                // Read back what image 1 wrote into its own window.
+                let mut out = [0u8; 8];
+                f.get(me, ProcId(1), BSEG, 24, &mut out);
+                assert_eq!(u64::from_ne_bytes(out), 0x5EED);
+            } else {
+                f.flag_wait_ge(me, SPARE_FLAG, 1);
+                let mut out = [0u8; 8];
+                f.get(me, me, BSEG, 0, &mut out);
+                assert_eq!(
+                    u64::from_ne_bytes(out),
+                    0xABCD,
+                    "shm put visible after flag"
+                );
+                f.put(me, me, BSEG, 24, &0x5EEDu64.to_ne_bytes());
+                f.flag_add(me, ProcId(0), SPARE_FLAG2, 1);
+            }
+            f.image_done(me);
+        });
+        let s0 = f0.stats().snapshot();
+        let s1 = f1.stats().snapshot();
+        // Every cross-process data op went through shared memory; the wire
+        // carried only control traffic (Open/heartbeat/Bye).
+        assert!(s0.shm_puts >= 2, "put + put_nb via shm: {s0:?}");
+        assert!(s0.shm_bytes >= 8 + 8 + 8, "put/put_nb/get bytes: {s0:?}");
+        assert!(s0.shm_flag_ops >= 2, "amo + flag_add via shm: {s0:?}");
+        assert_eq!(s0.puts_intra + s0.puts_inter, 0, "no wire puts: {s0:?}");
+        assert_eq!(s0.gets_intra + s0.gets_inter, 0, "no wire gets: {s0:?}");
+        assert_eq!(s0.puts_nb_injected, s0.puts_nb_completed, "nb debt retired");
+        assert!(s1.shm_flag_ops >= 1, "peer's ack flag via shm: {s1:?}");
+    }
+
+    /// Segments allocated after bootstrap live in the shared arena and are
+    /// addressable by same-host peers through the published directory.
+    #[test]
+    #[cfg(unix)]
+    fn shm_post_bootstrap_segment_is_peer_addressable() {
+        let fabrics = fleet(&map(2, 1, 2), &quick_cfg());
+        run_fleet(&fabrics, |f, me| {
+            let seg = f.alloc_segment(me, 4096);
+            assert_eq!(seg, SegmentId(1));
+            // Publish-then-use: both sides allocate before either touches
+            // the peer's new segment (flag barrier over the shm tables).
+            let peer = ProcId(1 - me.index());
+            f.flag_add(me, peer, SPARE_FLAG, 1);
+            f.flag_wait_ge(me, SPARE_FLAG, 1);
+            f.put(me, peer, seg, 128, &[me.index() as u8 + 10; 64]);
+            f.flag_add(me, peer, SPARE_FLAG2, 1);
+            f.flag_wait_ge(me, SPARE_FLAG2, 1);
+            let mut out = [0u8; 64];
+            f.get(me, me, seg, 128, &mut out);
+            assert_eq!(out, [peer.index() as u8 + 10; 64]);
+            f.image_done(me);
+        });
+    }
+
+    /// `CAF_SOCKET_SHM=0`-style config keeps the pure-socket path as the
+    /// differential oracle: same program, zero shm counters, wire puts.
+    #[test]
+    fn shm_off_runs_the_same_program_over_the_wire() {
+        let cfg = SocketConfig {
+            shm: false,
+            ..quick_cfg()
+        };
+        let fabrics = fleet(&map(2, 1, 2), &cfg);
+        let f0 = fabrics[0].clone();
+        run_fleet(&fabrics, |f, me| {
+            if me == ProcId(0) {
+                f.put(me, ProcId(1), BSEG, 0, &0xABCDu64.to_ne_bytes());
+                f.flag_add(me, ProcId(1), SPARE_FLAG, 1);
+            } else {
+                f.flag_wait_ge(me, SPARE_FLAG, 1);
+                let mut out = [0u8; 8];
+                f.get(me, me, BSEG, 0, &mut out);
+                assert_eq!(u64::from_ne_bytes(out), 0xABCD);
+            }
+            f.image_done(me);
+        });
+        let s = f0.stats().snapshot();
+        assert_eq!(s.shm_puts + s.shm_bytes + s.shm_flag_ops, 0);
+        assert_eq!(s.puts_inter, 1, "the put went over the wire: {s:?}");
+    }
+
+    /// A dead peer is never serviced through shared memory: the shm fast
+    /// path re-checks liveness and panics with the per-rank report.
+    #[test]
+    #[cfg(unix)]
+    fn shm_op_to_dead_peer_panics_loudly() {
+        let cfg = SocketConfig {
+            peer_timeout: Duration::from_millis(400),
+            heartbeat_period: Duration::from_millis(50),
+            ..quick_cfg()
+        };
+        let fabrics = fleet(&map(2, 1, 2), &cfg);
+        let victim = fabrics[1].clone();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_fleet(&fabrics, move |f, me| {
+                if me == ProcId(0) {
+                    std::thread::sleep(Duration::from_millis(150));
+                    victim.sever();
+                    // Wait for the heartbeat tier to declare the death,
+                    // then hit the shm path directly.
+                    let t0 = Instant::now();
+                    while f.alive_images().len() == 2 {
+                        assert!(t0.elapsed() < Duration::from_secs(5));
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    f.put(me, ProcId(1), BSEG, 0, &[1u8; 8]);
+                } else {
+                    std::thread::sleep(Duration::from_millis(500));
+                }
+                f.image_done(me);
+            });
+        }))
+        .unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "?".into());
+        assert!(
+            msg.contains("image 2") || msg.contains("dead"),
+            "shm op must fail loudly naming the dead peer, got: {msg}"
+        );
     }
 }

@@ -28,7 +28,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Version magic leading every encoded [`NodeTelemetry`]; bump on any
 /// incompatible payload-format change (independent of the frame protocol's
 /// `WIRE_MAGIC`).
-pub const TELEMETRY_MAGIC: u32 = 0xCAF0_0B52;
+pub const TELEMETRY_MAGIC: u32 = 0xCAF0_0B53;
 
 /// Bucket count of [`HistSnapshot`]: bucket `i` holds samples in
 /// `[2^i, 2^(i+1))` ns, with the top bucket absorbing everything larger.

@@ -1,0 +1,792 @@
+//! mmap-backed shared-memory segments: the intranode zero-copy tier of
+//! the socket fabric.
+//!
+//! Each process creates **one** segment file (in `/dev/shm` when present)
+//! sized for its hosted images' coarray windows plus per-image flag/AMO
+//! tables, and announces the file's path in its `Open`/`Rejoin`
+//! handshake. Peers that share the host map the file and service puts,
+//! gets, AMOs, and flag adds against it with plain memory operations — a
+//! memcpy plus a release-store instead of a frame plus an ack.
+//!
+//! # Segment layout
+//!
+//! ```text
+//! header (64 B): magic, n_hosted, max_segs, max_flags,
+//!                tables_off, arena_off, arena_len
+//! per hosted image (local index k), stride-aligned:
+//!     flag table   max_flags × AtomicU64
+//!     segment dir  max_segs × (state, offset, len)
+//! arena: bump-allocated segment storage (zeroed on allocation)
+//! ```
+//!
+//! The owner allocates segments from the arena and *publishes* each one
+//! by writing its directory entry and release-storing the entry's state
+//! word; peers acquire-load the state word before building a window, so
+//! a published entry's offset/length are always visible. All payload
+//! bytes are accessed through relaxed atomics (the same memory model as
+//! [`crate::seg::SharedBytes`]); flag adds use release stores and flag
+//! waits acquire loads, which give properly-synchronized programs full
+//! payload visibility across processes.
+//!
+//! Segment files are unlinked when the owning fabric drops; `caf-launch`
+//! additionally sets [`ENV_FLEET`] so it can sweep `/dev/shm` for the
+//! litter of a crashed fleet (see [`file_name`] for the naming scheme).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+
+/// `CAF_SOCKET_SHM=0` disables the shared-memory tier (pure-socket
+/// differential oracle); `1` (or unset) enables it where supported.
+pub const ENV_SHM: &str = "CAF_SOCKET_SHM";
+/// Arena bytes reserved per hosted image (`CAF_SOCKET_SHM_BYTES`,
+/// default 16 MiB). Pages are only committed when touched.
+pub const ENV_SHM_BYTES: &str = "CAF_SOCKET_SHM_BYTES";
+/// Fleet tag set by `caf-launch` so segment files of one fleet share a
+/// greppable prefix the supervisor can clean up after a crash.
+pub const ENV_FLEET: &str = "CAF_SHM_FLEET";
+/// Directory override for segment files (default `/dev/shm` when it
+/// exists, the system temp dir otherwise).
+pub const ENV_SHM_DIR: &str = "CAF_SHM_DIR";
+
+/// Default arena bytes per hosted image.
+pub const DEFAULT_ARENA_PER_IMAGE: usize = 16 << 20;
+
+const MAGIC: u64 = 0xCAF5_11A6_0000_0001;
+const HEADER_BYTES: usize = 64;
+/// Directory capacity: segments addressable per hosted image. Segments
+/// allocated past this (or once the arena runs dry) degrade gracefully
+/// to owner-heap windows reached over the wire — the unpublished
+/// directory entry is the shared truth peers consult, so both sides of
+/// a mapping agree without coordination.
+pub const MAX_SEGS: usize = 256;
+/// Shared flag-table capacity per hosted image. Flags allocated past
+/// this index degrade gracefully to heap cells reached over the wire —
+/// the index alone decides the backing, so both sides of a mapping
+/// agree without coordination.
+pub const MAX_FLAGS: usize = 256;
+/// Directory entry: `[state, offset, len]`.
+const DIR_ENTRY_BYTES: usize = 24;
+const STATE_EMPTY: u64 = 0;
+const STATE_PUBLISHED: u64 = 1;
+
+// Header word offsets (bytes).
+const H_MAGIC: usize = 0;
+const H_N_HOSTED: usize = 8;
+const H_MAX_SEGS: usize = 16;
+const H_MAX_FLAGS: usize = 24;
+const H_TABLES_OFF: usize = 32;
+const H_ARENA_OFF: usize = 40;
+const H_ARENA_LEN: usize = 48;
+
+/// The directory where segment files live.
+pub fn segment_dir() -> PathBuf {
+    if let Ok(d) = std::env::var(ENV_SHM_DIR) {
+        return PathBuf::from(d);
+    }
+    let dev_shm = Path::new("/dev/shm");
+    if dev_shm.is_dir() {
+        dev_shm.to_path_buf()
+    } else {
+        std::env::temp_dir()
+    }
+}
+
+/// The prefix shared by every segment file of fleet `tag` — what the
+/// launcher's crash sweep matches on.
+pub fn fleet_prefix(tag: &str) -> String {
+    format!("caf-shm-{tag}-")
+}
+
+/// Segment file name for process `rank` of fleet `tag` at recovery
+/// generation `generation`. A respawned incarnation creates a fresh file
+/// at its target generation, so its name never collides with the dead
+/// incarnation's.
+pub fn file_name(tag: &str, generation: u64, rank: usize) -> String {
+    format!("{}g{generation}-r{rank}", fleet_prefix(tag))
+}
+
+/// True when `name` is a segment file of fleet `tag` owned by `rank`
+/// (any generation) — the stale files the launcher removes before
+/// respawning that rank.
+pub fn is_rank_file(name: &str, tag: &str, rank: usize) -> bool {
+    name.strip_prefix(&fleet_prefix(tag))
+        .is_some_and(|rest| rest.starts_with('g') && rest.ends_with(&format!("-r{rank}")))
+}
+
+fn fleet_tag() -> String {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    std::env::var(ENV_FLEET).unwrap_or_else(|_| {
+        format!(
+            "{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        )
+    })
+}
+
+/// Remove every segment file of fleet `tag`, any rank, any generation —
+/// the launcher's teardown/crash sweep, so no `/dev/shm` litter survives
+/// a reaped fleet. Returns how many files were removed.
+pub fn sweep_fleet(tag: &str) -> usize {
+    sweep_matching(|name| name.starts_with(&fleet_prefix(tag)))
+}
+
+/// Remove `rank`'s segment files of fleet `tag` from *any* generation —
+/// what the launcher runs before respawning that rank, so the dead
+/// incarnation's segment (whose owner never ran its unlink) cannot be
+/// confused with the new generation's. Returns how many files were
+/// removed.
+pub fn sweep_rank(tag: &str, rank: usize) -> usize {
+    sweep_matching(|name| is_rank_file(name, tag, rank))
+}
+
+fn sweep_matching(matches: impl Fn(&str) -> bool) -> usize {
+    let Ok(entries) = std::fs::read_dir(segment_dir()) else {
+        return 0;
+    };
+    let mut removed = 0;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if matches(name) && std::fs::remove_file(entry.path()).is_ok() {
+            removed += 1;
+        }
+    }
+    removed
+}
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const PROT_WRITE: i32 = 2;
+    pub const MAP_SHARED: i32 = 1;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+}
+
+#[cfg(unix)]
+fn map_shared(file: &fs::File, len: usize) -> io::Result<*mut u8> {
+    use std::os::fd::AsRawFd;
+    let ptr = unsafe {
+        sys::mmap(
+            std::ptr::null_mut(),
+            len,
+            sys::PROT_READ | sys::PROT_WRITE,
+            sys::MAP_SHARED,
+            file.as_raw_fd(),
+            0,
+        )
+    };
+    if ptr as isize == -1 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(ptr as *mut u8)
+}
+
+#[cfg(not(unix))]
+fn map_shared(_file: &fs::File, _len: usize) -> io::Result<*mut u8> {
+    Err(io::Error::new(
+        io::ErrorKind::Unsupported,
+        "shared-memory segments need mmap (unix only)",
+    ))
+}
+
+/// One mapped segment file. Dropping the owning side unlinks the file;
+/// the mapping itself stays valid for every holder until its last
+/// `Arc` drops.
+pub struct ShmSegment {
+    ptr: *mut u8,
+    len: usize,
+    path: PathBuf,
+    owner: bool,
+}
+
+// SAFETY: all access to the mapping goes through atomic operations on
+// `AtomicU8`/`AtomicU64` cells; the raw pointer is never handed out.
+unsafe impl Send for ShmSegment {}
+unsafe impl Sync for ShmSegment {}
+
+impl Drop for ShmSegment {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        unsafe {
+            sys::munmap(self.ptr as *mut std::ffi::c_void, self.len);
+        }
+        if self.owner {
+            let _ = fs::remove_file(&self.path);
+        }
+    }
+}
+
+impl ShmSegment {
+    fn create(path: PathBuf, len: usize) -> io::Result<Arc<Self>> {
+        let file = fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(&path)?;
+        file.set_len(len as u64)?;
+        let ptr = match map_shared(&file, len) {
+            Ok(p) => p,
+            Err(e) => {
+                let _ = fs::remove_file(&path);
+                return Err(e);
+            }
+        };
+        Ok(Arc::new(Self {
+            ptr,
+            len,
+            path,
+            owner: true,
+        }))
+    }
+
+    fn open(path: PathBuf) -> io::Result<Arc<Self>> {
+        let file = fs::OpenOptions::new().read(true).write(true).open(&path)?;
+        let len = file.metadata()?.len() as usize;
+        if len < HEADER_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "shared segment {} is truncated ({len} bytes)",
+                    path.display()
+                ),
+            ));
+        }
+        let ptr = map_shared(&file, len)?;
+        Ok(Arc::new(Self {
+            ptr,
+            len,
+            path,
+            owner: false,
+        }))
+    }
+
+    /// The segment file's path (what rides the `Open`/`Rejoin` frame).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    #[inline]
+    fn u64_at(&self, offset: usize) -> &AtomicU64 {
+        assert!(
+            offset.is_multiple_of(8) && offset + 8 <= self.len,
+            "shm u64 access at {offset} out of segment of {} bytes",
+            self.len
+        );
+        // SAFETY: in-bounds, 8-byte aligned (the mapping is page-aligned),
+        // and only ever accessed atomically.
+        unsafe { &*(self.ptr.add(offset) as *const AtomicU64) }
+    }
+
+    #[inline]
+    fn u8_at(&self, offset: usize) -> &AtomicU8 {
+        debug_assert!(offset < self.len);
+        // SAFETY: in-bounds; only ever accessed atomically.
+        unsafe { &*(self.ptr.add(offset) as *const AtomicU8) }
+    }
+
+    /// Relaxed byte copy into the mapping, 8-byte-chunked where aligned
+    /// (same memory model as `SharedBytes::write`, faster on big puts).
+    fn write_bytes(&self, offset: usize, src: &[u8]) {
+        assert!(offset + src.len() <= self.len, "shm write out of bounds");
+        let mut i = 0;
+        while i < src.len() && !(offset + i).is_multiple_of(8) {
+            self.u8_at(offset + i).store(src[i], Ordering::Relaxed);
+            i += 1;
+        }
+        while i + 8 <= src.len() {
+            let w = u64::from_ne_bytes(src[i..i + 8].try_into().expect("8-byte chunk"));
+            self.u64_at(offset + i).store(w, Ordering::Relaxed);
+            i += 8;
+        }
+        while i < src.len() {
+            self.u8_at(offset + i).store(src[i], Ordering::Relaxed);
+            i += 1;
+        }
+    }
+
+    /// Relaxed byte copy out of the mapping, 8-byte-chunked where aligned.
+    fn read_bytes(&self, offset: usize, dst: &mut [u8]) {
+        assert!(offset + dst.len() <= self.len, "shm read out of bounds");
+        let mut i = 0;
+        while i < dst.len() && !(offset + i).is_multiple_of(8) {
+            dst[i] = self.u8_at(offset + i).load(Ordering::Relaxed);
+            i += 1;
+        }
+        while i + 8 <= dst.len() {
+            let w = self.u64_at(offset + i).load(Ordering::Relaxed);
+            dst[i..i + 8].copy_from_slice(&w.to_ne_bytes());
+            i += 8;
+        }
+        while i < dst.len() {
+            dst[i] = self.u8_at(offset + i).load(Ordering::Relaxed);
+            i += 1;
+        }
+    }
+}
+
+/// A bounds-checked view of one published segment inside a mapped file —
+/// the shared-memory counterpart of [`crate::seg::SharedBytes`], with the
+/// same API and panic contract.
+#[derive(Clone)]
+pub struct ShmWindow {
+    seg: Arc<ShmSegment>,
+    base: usize,
+    len: usize,
+}
+
+impl ShmWindow {
+    /// Window length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the window has zero length.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Copy `src` into the window at `offset` (relaxed stores).
+    pub fn write(&self, offset: usize, src: &[u8]) {
+        let end = offset
+            .checked_add(src.len())
+            .expect("segment offset overflow");
+        assert!(
+            end <= self.len,
+            "put of {} bytes at offset {offset} exceeds segment of {} bytes",
+            src.len(),
+            self.len
+        );
+        self.seg.write_bytes(self.base + offset, src);
+    }
+
+    /// Copy from the window at `offset` into `dst` (relaxed loads).
+    pub fn read(&self, offset: usize, dst: &mut [u8]) {
+        let end = offset
+            .checked_add(dst.len())
+            .expect("segment offset overflow");
+        assert!(
+            end <= self.len,
+            "get of {} bytes at offset {offset} exceeds segment of {} bytes",
+            dst.len(),
+            self.len
+        );
+        self.seg.read_bytes(self.base + offset, dst);
+    }
+
+    /// View an aligned 8-byte cell as an `AtomicU64` for remote atomics.
+    ///
+    /// # Panics
+    /// Panics if `offset` is not 8-byte aligned or out of range.
+    pub fn as_atomic_u64(&self, offset: usize) -> &AtomicU64 {
+        assert!(
+            offset.is_multiple_of(8),
+            "AMO offset {offset} not 8-byte aligned"
+        );
+        assert!(
+            offset + 8 <= self.len,
+            "AMO at offset {offset} exceeds segment of {} bytes",
+            self.len
+        );
+        // Window bases are 64-byte aligned, so offset alignment implies
+        // absolute alignment.
+        self.seg.u64_at(self.base + offset)
+    }
+}
+
+/// A flag cell inside a mapped segment's flag table.
+#[derive(Clone)]
+pub struct ShmFlag {
+    seg: Arc<ShmSegment>,
+    off: usize,
+}
+
+impl ShmFlag {
+    /// The underlying atomic cell.
+    #[inline]
+    pub fn cell(&self) -> &AtomicU64 {
+        self.seg.u64_at(self.off)
+    }
+}
+
+/// Layout parameters read back from a mapped segment's header.
+#[derive(Clone, Copy)]
+struct Layout {
+    n_hosted: usize,
+    max_segs: usize,
+    max_flags: usize,
+    tables_off: usize,
+    arena_off: usize,
+    arena_len: usize,
+}
+
+impl Layout {
+    fn read(seg: &ShmSegment) -> io::Result<Layout> {
+        let magic = seg.u64_at(H_MAGIC).load(Ordering::Acquire);
+        if magic != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "shared segment {} has magic {magic:#x}, expected {MAGIC:#x} \
+                     (mixed fabric versions on one host?)",
+                    seg.path().display()
+                ),
+            ));
+        }
+        Ok(Layout {
+            n_hosted: seg.u64_at(H_N_HOSTED).load(Ordering::Relaxed) as usize,
+            max_segs: seg.u64_at(H_MAX_SEGS).load(Ordering::Relaxed) as usize,
+            max_flags: seg.u64_at(H_MAX_FLAGS).load(Ordering::Relaxed) as usize,
+            tables_off: seg.u64_at(H_TABLES_OFF).load(Ordering::Relaxed) as usize,
+            arena_off: seg.u64_at(H_ARENA_OFF).load(Ordering::Relaxed) as usize,
+            arena_len: seg.u64_at(H_ARENA_LEN).load(Ordering::Relaxed) as usize,
+        })
+    }
+
+    #[inline]
+    fn table_stride(&self) -> usize {
+        let raw = self.max_flags * 8 + self.max_segs * DIR_ENTRY_BYTES;
+        raw.next_multiple_of(64)
+    }
+
+    #[inline]
+    fn flag_off(&self, local: usize, flag: usize) -> usize {
+        assert!(
+            local < self.n_hosted && flag < self.max_flags,
+            "shm flag table access out of range (image slot {local}, flag {flag})"
+        );
+        self.tables_off + local * self.table_stride() + flag * 8
+    }
+
+    #[inline]
+    fn dir_off(&self, local: usize, seg: usize) -> usize {
+        assert!(
+            local < self.n_hosted && seg < self.max_segs,
+            "shm segment directory access out of range (image slot {local}, seg {seg})"
+        );
+        self.tables_off + local * self.table_stride() + self.max_flags * 8 + seg * DIR_ENTRY_BYTES
+    }
+}
+
+/// The segment this process owns: hosted images' flag tables plus a bump
+/// arena their coarray windows are carved from.
+pub struct NodeShm {
+    seg: Arc<ShmSegment>,
+    layout: Layout,
+    /// Owner-local bump pointer into the arena (bytes from `arena_off`).
+    arena_next: AtomicU64,
+    /// Arena watermark right after bootstrap allocation — what a
+    /// recovery-fence reset rolls back to.
+    boot_mark: AtomicU64,
+}
+
+impl NodeShm {
+    /// Create this process's segment: `n_hosted` per-image tables plus
+    /// `arena_per_image` arena bytes each, under the fleet tag from
+    /// [`ENV_FLEET`] (or a process-unique fallback).
+    pub fn create(
+        rank: usize,
+        generation: u64,
+        n_hosted: usize,
+        arena_per_image: usize,
+    ) -> io::Result<NodeShm> {
+        let layout = Layout {
+            n_hosted,
+            max_segs: MAX_SEGS,
+            max_flags: MAX_FLAGS,
+            tables_off: HEADER_BYTES,
+            arena_off: 0, // fixed up below
+            arena_len: n_hosted * arena_per_image,
+        };
+        let arena_off = (HEADER_BYTES + n_hosted * layout.table_stride()).next_multiple_of(4096);
+        let layout = Layout {
+            arena_off,
+            ..layout
+        };
+        let total = (arena_off + layout.arena_len).next_multiple_of(4096);
+        let path = segment_dir().join(file_name(&fleet_tag(), generation, rank));
+        let seg = ShmSegment::create(path, total)?;
+        seg.u64_at(H_N_HOSTED)
+            .store(n_hosted as u64, Ordering::Relaxed);
+        seg.u64_at(H_MAX_SEGS)
+            .store(MAX_SEGS as u64, Ordering::Relaxed);
+        seg.u64_at(H_MAX_FLAGS)
+            .store(MAX_FLAGS as u64, Ordering::Relaxed);
+        seg.u64_at(H_TABLES_OFF)
+            .store(HEADER_BYTES as u64, Ordering::Relaxed);
+        seg.u64_at(H_ARENA_OFF)
+            .store(arena_off as u64, Ordering::Relaxed);
+        seg.u64_at(H_ARENA_LEN)
+            .store(layout.arena_len as u64, Ordering::Relaxed);
+        // Publish the magic last: a peer that maps a half-built header
+        // (impossible through the handshake, but cheap to rule out) sees
+        // a zero magic and rejects.
+        seg.u64_at(H_MAGIC).store(MAGIC, Ordering::Release);
+        Ok(NodeShm {
+            seg,
+            layout,
+            arena_next: AtomicU64::new(0),
+            boot_mark: AtomicU64::new(0),
+        })
+    }
+
+    /// The segment file's path (announced to peers in the handshake).
+    pub fn path(&self) -> &Path {
+        self.seg.path()
+    }
+
+    /// Carve `bytes` from the arena for segment id `seg` of hosted image
+    /// slot `local`, zero it, and publish its directory entry.
+    pub fn alloc(&self, local: usize, seg: usize, bytes: usize) -> Result<ShmWindow, String> {
+        if seg >= self.layout.max_segs {
+            return Err(format!(
+                "image slot {local} needs segment id {seg} but the shared segment \
+                 directory holds {} entries",
+                self.layout.max_segs
+            ));
+        }
+        let need = bytes.next_multiple_of(64).max(64);
+        let off = self.arena_next.fetch_add(need as u64, Ordering::Relaxed) as usize;
+        if off + need > self.layout.arena_len {
+            return Err(format!(
+                "shared-memory arena exhausted allocating {bytes} bytes \
+                 ({} of {} arena bytes used); raise {ENV_SHM_BYTES}",
+                off, self.layout.arena_len
+            ));
+        }
+        let base = self.layout.arena_off + off;
+        // Fresh allocations hand out zeroed memory, like `SharedBytes::new`
+        // — this also scrubs stale bytes after a recovery-fence rollback.
+        self.seg.write_bytes(base, &vec![0u8; bytes]);
+        let dir = self.layout.dir_off(local, seg);
+        self.seg
+            .u64_at(dir + 8)
+            .store(base as u64, Ordering::Relaxed);
+        self.seg
+            .u64_at(dir + 16)
+            .store(bytes as u64, Ordering::Relaxed);
+        self.seg
+            .u64_at(dir)
+            .store(STATE_PUBLISHED, Ordering::Release);
+        Ok(ShmWindow {
+            seg: self.seg.clone(),
+            base,
+            len: bytes,
+        })
+    }
+
+    /// Flag cell `flag` of hosted image slot `local`.
+    pub fn flag(&self, local: usize, flag: usize) -> ShmFlag {
+        ShmFlag {
+            seg: self.seg.clone(),
+            off: self.layout.flag_off(local, flag),
+        }
+    }
+
+    /// Record the post-bootstrap arena watermark; [`NodeShm::reset`]
+    /// rolls the arena back to it.
+    pub fn seal_bootstrap(&self) {
+        self.boot_mark
+            .store(self.arena_next.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Recovery-fence reset: unpublish every directory entry past the
+    /// first `keep_segs`, zero every flag cell, and roll the arena back
+    /// to the bootstrap watermark. Runs between the two fence rounds,
+    /// when no peer is issuing traffic.
+    pub fn reset(&self, keep_segs: usize) {
+        for local in 0..self.layout.n_hosted {
+            for s in keep_segs..self.layout.max_segs {
+                self.seg
+                    .u64_at(self.layout.dir_off(local, s))
+                    .store(STATE_EMPTY, Ordering::Release);
+            }
+            for f in 0..self.layout.max_flags {
+                self.seg
+                    .u64_at(self.layout.flag_off(local, f))
+                    .store(0, Ordering::Release);
+            }
+        }
+        self.arena_next
+            .store(self.boot_mark.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+/// A peer's mapped segment: windows and flag cells resolved against the
+/// peer's published directory.
+pub struct PeerShm {
+    seg: Arc<ShmSegment>,
+    layout: Layout,
+}
+
+impl PeerShm {
+    /// Map the segment a peer announced in its handshake.
+    pub fn open(path: &Path) -> io::Result<PeerShm> {
+        let seg = ShmSegment::open(path.to_path_buf())?;
+        let layout = Layout::read(&seg)?;
+        let need = layout.arena_off + layout.arena_len;
+        if seg.len < need {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "shared segment {} is {} bytes but its header claims {need}",
+                    path.display(),
+                    seg.len
+                ),
+            ));
+        }
+        Ok(PeerShm { seg, layout })
+    }
+
+    /// The published window for segment id `seg` of the peer's hosted
+    /// image slot `local`, or `None` when the peer has not allocated it.
+    pub fn window(&self, local: usize, seg: usize) -> Option<ShmWindow> {
+        if local >= self.layout.n_hosted || seg >= self.layout.max_segs {
+            return None;
+        }
+        let dir = self.layout.dir_off(local, seg);
+        if self.seg.u64_at(dir).load(Ordering::Acquire) != STATE_PUBLISHED {
+            return None;
+        }
+        let base = self.seg.u64_at(dir + 8).load(Ordering::Relaxed) as usize;
+        let len = self.seg.u64_at(dir + 16).load(Ordering::Relaxed) as usize;
+        Some(ShmWindow {
+            seg: self.seg.clone(),
+            base,
+            len,
+        })
+    }
+
+    /// Flag cell `flag` of the peer's hosted image slot `local`.
+    pub fn flag(&self, local: usize, flag: usize) -> ShmFlag {
+        ShmFlag {
+            seg: self.seg.clone(),
+            off: self.layout.flag_off(local, flag),
+        }
+    }
+
+    /// Number of image slots the peer's segment holds.
+    pub fn n_hosted(&self) -> usize {
+        self.layout.n_hosted
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_alloc_publish_and_peer_window_roundtrip() {
+        let own = NodeShm::create(0, 0, 2, 1 << 16).expect("create");
+        assert!(own.path().exists());
+        let w = own.alloc(1, 0, 100).expect("alloc");
+        w.write(4, &[1, 2, 3, 4]);
+        let peer = PeerShm::open(own.path()).expect("open");
+        assert_eq!(peer.n_hosted(), 2);
+        let pw = peer.window(1, 0).expect("published window");
+        assert_eq!(pw.len(), 100);
+        let mut out = [0u8; 6];
+        pw.read(3, &mut out);
+        assert_eq!(out, [0, 1, 2, 3, 4, 0]);
+        assert!(peer.window(0, 0).is_none(), "unpublished id stays hidden");
+        assert!(peer.window(1, 7).is_none());
+    }
+
+    #[test]
+    fn flags_and_amos_are_shared_atomics() {
+        let own = NodeShm::create(0, 0, 1, 1 << 12).expect("create");
+        let peer = PeerShm::open(own.path()).expect("open");
+        own.flag(0, 3).cell().fetch_add(5, Ordering::Release);
+        peer.flag(0, 3).cell().fetch_add(2, Ordering::Release);
+        assert_eq!(own.flag(0, 3).cell().load(Ordering::Acquire), 7);
+        let w = own.alloc(0, 0, 64).expect("alloc");
+        let pw = peer.window(0, 0).expect("window");
+        w.as_atomic_u64(8).store(40, Ordering::Release);
+        assert_eq!(pw.as_atomic_u64(8).fetch_add(2, Ordering::AcqRel), 40);
+        let mut out = [0u8; 8];
+        w.read(8, &mut out);
+        assert_eq!(u64::from_ne_bytes(out), 42);
+    }
+
+    #[test]
+    fn reset_rolls_back_to_bootstrap() {
+        let own = NodeShm::create(0, 0, 1, 1 << 12).expect("create");
+        let boot = own.alloc(0, 0, 64).expect("bootstrap seg");
+        own.seal_bootstrap();
+        boot.write(0, &[9u8; 64]);
+        own.alloc(0, 1, 128).expect("app seg");
+        own.flag(0, 0).cell().store(77, Ordering::Release);
+        own.reset(1);
+        let peer = PeerShm::open(own.path()).expect("open");
+        assert!(peer.window(0, 0).is_some(), "bootstrap entry survives");
+        assert!(peer.window(0, 1).is_none(), "app entry unpublished");
+        assert_eq!(own.flag(0, 0).cell().load(Ordering::Acquire), 0);
+        // The arena rolled back: the next allocation reuses (and zeroes)
+        // the old app segment's bytes.
+        let w = own.alloc(0, 1, 128).expect("realloc");
+        let mut out = [0u8; 128];
+        w.read(0, &mut out);
+        assert!(
+            out.iter().all(|b| *b == 0),
+            "realloc hands out zeroed bytes"
+        );
+    }
+
+    #[test]
+    fn arena_exhaustion_is_a_loud_error() {
+        let own = NodeShm::create(0, 0, 1, 4096).expect("create");
+        let err = own.alloc(0, 0, 1 << 20).map(|_| ()).unwrap_err();
+        assert!(err.contains(ENV_SHM_BYTES), "error names the knob: {err}");
+    }
+
+    #[test]
+    fn window_bounds_and_alignment_match_shared_bytes_contract() {
+        let own = NodeShm::create(0, 0, 1, 1 << 12).expect("create");
+        let w = own.alloc(0, 0, 32).expect("alloc");
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| w.write(30, &[0u8; 4])));
+        let msg = *r.unwrap_err().downcast::<String>().expect("panic message");
+        assert!(msg.contains("exceeds segment of 32 bytes"), "{msg}");
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| w.as_atomic_u64(4)));
+        let msg = *r.unwrap_err().downcast::<String>().expect("panic message");
+        assert!(msg.contains("not 8-byte aligned"), "{msg}");
+    }
+
+    #[test]
+    fn drop_of_owner_unlinks_the_file() {
+        let own = NodeShm::create(7, 3, 1, 4096).expect("create");
+        let path = own.path().to_path_buf();
+        let peer = PeerShm::open(&path).expect("open");
+        drop(own);
+        assert!(!path.exists(), "owner drop unlinks");
+        // The peer's mapping is still valid after the unlink.
+        peer.flag(0, 0).cell().store(1, Ordering::Release);
+        assert_eq!(peer.flag(0, 0).cell().load(Ordering::Acquire), 1);
+    }
+
+    #[test]
+    fn naming_scheme_is_greppable_per_rank() {
+        assert_eq!(file_name("ab-1", 2, 3), "caf-shm-ab-1-g2-r3");
+        assert!(is_rank_file("caf-shm-ab-1-g2-r3", "ab-1", 3));
+        assert!(is_rank_file("caf-shm-ab-1-g0-r3", "ab-1", 3));
+        assert!(!is_rank_file("caf-shm-ab-1-g2-r13", "ab-1", 3));
+        assert!(!is_rank_file("caf-shm-other-g2-r3", "ab-1", 3));
+    }
+}

@@ -19,7 +19,7 @@ use std::time::Duration;
 
 /// Protocol magic carried by [`Frame::Open`] and [`Frame::Hello`]; bump on
 /// any incompatible frame-format change.
-pub const WIRE_MAGIC: u32 = 0xCAF5_0C04;
+pub const WIRE_MAGIC: u32 = 0xCAF5_0C05;
 
 /// Upper bound on one frame body — a corrupted length prefix fails here
 /// instead of attempting a multi-gigabyte allocation.
@@ -248,6 +248,10 @@ pub enum Frame {
         node: u32,
         /// Must equal [`WIRE_MAGIC`].
         magic: u32,
+        /// Path of the dialer's shared-memory segment file (empty when the
+        /// dialer offers none). A receiver that shares the host maps it and
+        /// services its side of the pair's traffic at memory speed.
+        shm: String,
     },
     /// One-sided write into a hosted image's segment. `ack != 0` requests
     /// a [`Frame::PutAck`] echoing it once the payload is applied.
@@ -394,6 +398,10 @@ pub enum Frame {
         addr: String,
         /// Must equal [`WIRE_MAGIC`].
         magic: u32,
+        /// Path of the rejoiner's **new** generation-tagged shared-memory
+        /// segment file (empty when none). Receivers must remap: the dead
+        /// incarnation's segment is gone.
+        shm: String,
     },
     /// Recovery fence mark, sent point-to-point to every recovery
     /// participant during [`Fabric::heal`](crate::Fabric::heal). Round 1
@@ -471,7 +479,7 @@ const T_TELEMETRY: u8 = 20;
 
 /// Field count of a [`StatsSnapshot`] on the wire (fixed little-endian
 /// u64s, declaration order).
-const STATS_WORDS: usize = 27;
+const STATS_WORDS: usize = 30;
 
 fn stats_words(s: &StatsSnapshot) -> [u64; STATS_WORDS] {
     [
@@ -502,6 +510,9 @@ fn stats_words(s: &StatsSnapshot) -> [u64; STATS_WORDS] {
         s.am_batches_flushed,
         s.am_payload_bytes,
         s.am_fused,
+        s.shm_puts,
+        s.shm_bytes,
+        s.shm_flag_ops,
     ]
 }
 
@@ -601,6 +612,9 @@ impl<'a> Cursor<'a> {
             am_batches_flushed: w[24],
             am_payload_bytes: w[25],
             am_fused: w[26],
+            shm_puts: w[27],
+            shm_bytes: w[28],
+            shm_flag_ops: w[29],
         })
     }
 }
@@ -612,10 +626,11 @@ impl Frame {
         let mut b = Vec::with_capacity(64);
         put_u32(&mut b, 0); // length placeholder
         match self {
-            Frame::Open { node, magic } => {
+            Frame::Open { node, magic, shm } => {
                 b.push(T_OPEN);
                 put_u32(&mut b, *node);
                 put_u32(&mut b, *magic);
+                put_bytes(&mut b, shm.as_bytes());
             }
             Frame::Put {
                 src,
@@ -733,12 +748,14 @@ impl Frame {
                 generation,
                 addr,
                 magic,
+                shm,
             } => {
                 b.push(T_REJOIN);
                 put_u32(&mut b, *node);
                 put_u64(&mut b, *generation);
                 put_bytes(&mut b, addr.as_bytes());
                 put_u32(&mut b, *magic);
+                put_bytes(&mut b, shm.as_bytes());
             }
             Frame::RecoverBarrier {
                 node,
@@ -796,6 +813,7 @@ impl Frame {
             T_OPEN => Frame::Open {
                 node: c.u32()?,
                 magic: c.u32()?,
+                shm: c.string()?,
             },
             T_PUT => Frame::Put {
                 src: c.u32()?,
@@ -871,6 +889,7 @@ impl Frame {
                 generation: c.u64()?,
                 addr: c.string()?,
                 magic: c.u32()?,
+                shm: c.string()?,
             },
             T_RECOVER_BARRIER => Frame::RecoverBarrier {
                 node: c.u32()?,
@@ -935,6 +954,72 @@ pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<usize> {
 /// configured timeouts, so a genuinely dead peer still trips the caller's
 /// liveness checks).
 pub fn read_frame<R: Read>(r: &mut BufReader<R>) -> io::Result<(Frame, usize)> {
+    let (body, n) = read_frame_body(r)?;
+    Ok((Frame::decode(&body)?, n))
+}
+
+/// A frame read by [`read_frame_direct`]: `Put` payloads stay borrowed
+/// inside the read buffer so the ingress loop can copy them straight into
+/// the destination segment — one copy, no intermediate heap `Vec` (the
+/// zero-staging path large cross-node puts ride when the destination
+/// window lives in a shared-memory segment).
+pub enum RawFrame {
+    /// A `Put`; `buf[payload..]` is the payload, in place.
+    Put {
+        /// Issuing image (global 0-based rank).
+        src: u32,
+        /// Target image (must be hosted by the receiver).
+        dst: u32,
+        /// Target segment id.
+        seg: u64,
+        /// Byte offset within the segment.
+        off: u64,
+        /// Completion-ack cookie (0 = no ack requested).
+        ack: u64,
+        /// The whole frame body; the payload is its tail.
+        buf: Vec<u8>,
+        /// Byte index where the payload starts in `buf`.
+        payload: usize,
+    },
+    /// Any other frame, fully decoded.
+    Other(Frame),
+}
+
+/// Like [`read_frame`], but leaves `Put` payloads in place (see
+/// [`RawFrame`]). Identical timeout semantics.
+pub fn read_frame_direct<R: Read>(r: &mut BufReader<R>) -> io::Result<(RawFrame, usize)> {
+    let (body, n) = read_frame_body(r)?;
+    if body.first() == Some(&T_PUT) {
+        let mut c = Cursor::new(&body[1..]);
+        let (src, dst) = (c.u32()?, c.u32()?);
+        let (seg, off, ack) = (c.u64()?, c.u64()?, c.u64()?);
+        let len = c.u32()? as usize;
+        let payload = 1 + c.pos;
+        if payload + len != body.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "put payload length mismatch",
+            ));
+        }
+        return Ok((
+            RawFrame::Put {
+                src,
+                dst,
+                seg,
+                off,
+                ack,
+                buf: body,
+                payload,
+            },
+            n,
+        ));
+    }
+    Ok((RawFrame::Other(Frame::decode(&body)?), n))
+}
+
+/// Read one length-prefixed frame body; returns the body and the wire
+/// bytes consumed (body + prefix).
+fn read_frame_body<R: Read>(r: &mut BufReader<R>) -> io::Result<(Vec<u8>, usize)> {
     // Fill `buf[filled..]`, retrying timeouts once any byte of the frame
     // has been consumed (a plain `read_exact` could drop partial bytes on
     // a timeout and desynchronize the stream).
@@ -988,7 +1073,7 @@ pub fn read_frame<R: Read>(r: &mut BufReader<R>) -> io::Result<(Frame, usize)> {
     }
     let mut body = vec![0u8; len];
     fill(r, &mut body, 0)?;
-    Ok((Frame::decode(&body)?, 4 + len))
+    Ok((body, 4 + len))
 }
 
 #[cfg(test)]
@@ -1007,6 +1092,12 @@ mod tests {
         roundtrip(Frame::Open {
             node: 3,
             magic: WIRE_MAGIC,
+            shm: "/dev/shm/caf-shm-1-0-g0-r3".into(),
+        });
+        roundtrip(Frame::Open {
+            node: 0,
+            magic: WIRE_MAGIC,
+            shm: String::new(),
         });
         roundtrip(Frame::Put {
             src: 1,
@@ -1103,6 +1194,7 @@ mod tests {
             generation: 3,
             addr: "uds:/tmp/reborn.sock".into(),
             magic: WIRE_MAGIC,
+            shm: "/dev/shm/caf-shm-1-0-g3-r1".into(),
         });
         roundtrip(Frame::RecoverBarrier {
             node: 2,
@@ -1249,6 +1341,52 @@ mod tests {
             }
         );
         assert_eq!(n, t.join().unwrap());
+    }
+
+    #[test]
+    fn direct_read_leaves_put_payload_in_place() {
+        let listener = Listener::bind(Transport::Uds).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let put = Frame::Put {
+            src: 3,
+            dst: 5,
+            seg: 1,
+            off: 256,
+            ack: 42,
+            data: (0..=99).collect(),
+        };
+        let p2 = put.clone();
+        let t = std::thread::spawn(move || {
+            let mut s = listener.accept().unwrap();
+            let mut n = write_frame(&mut s, &p2).unwrap();
+            n += write_frame(&mut s, &Frame::PutAck { ack: 42 }).unwrap();
+            n
+        });
+        let s = Stream::connect(&addr).unwrap();
+        let mut r = BufReader::new(s);
+        let (raw, n1) = read_frame_direct(&mut r).unwrap();
+        match raw {
+            RawFrame::Put {
+                src,
+                dst,
+                seg,
+                off,
+                ack,
+                buf,
+                payload,
+            } => {
+                assert_eq!((src, dst, seg, off, ack), (3, 5, 1, 256, 42));
+                let want: Vec<u8> = (0..=99).collect();
+                assert_eq!(&buf[payload..], &want[..]);
+            }
+            RawFrame::Other(f) => panic!("put decoded as {f:?}"),
+        }
+        let (raw, n2) = read_frame_direct(&mut r).unwrap();
+        match raw {
+            RawFrame::Other(f) => assert_eq!(f, Frame::PutAck { ack: 42 }),
+            RawFrame::Put { .. } => panic!("ack decoded as put"),
+        }
+        assert_eq!(n1 + n2, t.join().unwrap(), "byte accounting matches");
     }
 
     #[test]

@@ -75,6 +75,16 @@ pub struct FabricStats {
     pub am_payload_bytes: AtomicU64,
     /// Adjacent put+flag pairs fused into a single `PutFlag` op.
     pub am_fused: AtomicU64,
+    /// Puts serviced through a peer's mapped shared-memory segment
+    /// (`SocketFabric` intranode tier; zero elsewhere). Tracked separately
+    /// from `puts_intra`/`puts_inter`: shm traffic crosses processes but
+    /// never the wire.
+    pub shm_puts: AtomicU64,
+    /// Payload bytes moved through shared-memory segments (puts + gets).
+    pub shm_bytes: AtomicU64,
+    /// Flag adds and AMOs applied directly in a peer's shared flag/AMO
+    /// table — the notifications that skipped the wire entirely.
+    pub shm_flag_ops: AtomicU64,
 }
 
 /// A plain-data copy of [`FabricStats`] at one instant.
@@ -136,6 +146,12 @@ pub struct StatsSnapshot {
     pub am_payload_bytes: u64,
     /// Adjacent put+flag pairs fused into a single `PutFlag` op.
     pub am_fused: u64,
+    /// Puts serviced through a peer's mapped shared-memory segment.
+    pub shm_puts: u64,
+    /// Payload bytes moved through shared-memory segments (puts + gets).
+    pub shm_bytes: u64,
+    /// Flag adds and AMOs applied directly in a shared flag/AMO table.
+    pub shm_flag_ops: u64,
 }
 
 impl FabricStats {
@@ -169,6 +185,9 @@ impl FabricStats {
             am_batches_flushed: self.am_batches_flushed.load(Ordering::Relaxed),
             am_payload_bytes: self.am_payload_bytes.load(Ordering::Relaxed),
             am_fused: self.am_fused.load(Ordering::Relaxed),
+            shm_puts: self.shm_puts.load(Ordering::Relaxed),
+            shm_bytes: self.shm_bytes.load(Ordering::Relaxed),
+            shm_flag_ops: self.shm_flag_ops.load(Ordering::Relaxed),
         }
     }
 
@@ -202,6 +221,9 @@ impl FabricStats {
             &self.am_batches_flushed,
             &self.am_payload_bytes,
             &self.am_fused,
+            &self.shm_puts,
+            &self.shm_bytes,
+            &self.shm_flag_ops,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -317,6 +339,27 @@ impl FabricStats {
     pub fn record_am_fused(&self) {
         self.am_fused.fetch_add(1, Ordering::Relaxed);
     }
+
+    /// Record one put of `bytes` bytes serviced through a shared-memory
+    /// segment.
+    #[inline]
+    pub fn record_shm_put(&self, bytes: usize) {
+        self.shm_puts.fetch_add(1, Ordering::Relaxed);
+        self.shm_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Record one get of `bytes` bytes serviced through a shared-memory
+    /// segment.
+    #[inline]
+    pub fn record_shm_get(&self, bytes: usize) {
+        self.shm_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Record one flag add or AMO applied in a shared flag/AMO table.
+    #[inline]
+    pub fn record_shm_flag(&self) {
+        self.shm_flag_ops.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 impl StatsSnapshot {
@@ -398,6 +441,9 @@ impl std::ops::Sub for StatsSnapshot {
             am_batches_flushed: self.am_batches_flushed - rhs.am_batches_flushed,
             am_payload_bytes: self.am_payload_bytes - rhs.am_payload_bytes,
             am_fused: self.am_fused - rhs.am_fused,
+            shm_puts: self.shm_puts - rhs.shm_puts,
+            shm_bytes: self.shm_bytes - rhs.shm_bytes,
+            shm_flag_ops: self.shm_flag_ops - rhs.shm_flag_ops,
         }
     }
 }
@@ -503,6 +549,29 @@ mod tests {
         let d = s.snapshot() - snap;
         assert_eq!(d.ams_injected, 1);
         assert_eq!(d.am_batches_flushed, 1);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn shm_counters_track_puts_gets_and_flag_ops() {
+        let s = FabricStats::default();
+        s.record_shm_put(64);
+        s.record_shm_put(8);
+        s.record_shm_get(32);
+        s.record_shm_flag();
+        s.record_shm_flag();
+        let snap = s.snapshot();
+        assert_eq!(snap.shm_puts, 2);
+        assert_eq!(snap.shm_bytes, 64 + 8 + 32, "puts and gets share shm_bytes");
+        assert_eq!(snap.shm_flag_ops, 2);
+        assert_eq!(snap.puts_intra, 0, "shm ops stay off the level counters");
+        assert_eq!(snap.total_puts(), 0);
+        // Deltas cover the shm counters too.
+        s.record_shm_put(8);
+        let d = s.snapshot() - snap;
+        assert_eq!(d.shm_puts, 1);
+        assert_eq!(d.shm_bytes, 8);
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
     }

@@ -7,7 +7,7 @@
 //! `SocketFabric` fleets where the wire ack protocol (one `AmBatch`
 //! frame, one ack) is what must uphold the same contracts.
 
-use caf_fabric::socket::testing::{fleet, run_fleet};
+use caf_fabric::socket::testing::{fleet, fleet_with, run_fleet};
 use caf_fabric::{
     bootstrap, Am, AmPolicy, Fabric, SimConfig, SimFabric, SocketConfig, ThreadConfig, ThreadFabric,
 };
@@ -168,8 +168,11 @@ fn fused_put_flag_payload_visible_when_flag_trips() {
 
 // ---------------------------------------------------------------------------
 // SocketFabric ports: initiator and target in separate fabric instances
-// joined over real sockets — one `AmBatch` frame per flush, one ack cookie
-// retiring through the same outstanding-debt ledger as nonblocking puts.
+// joined over real sockets. With the default config the pair's batches
+// deliver through the shared-memory tier (ops applied in vector order
+// against the peer's mapped segment); the mixed-trio port below runs the
+// same contract against a shm pair and a wire pair (one `AmBatch` frame
+// per flush, one ack cookie) in a single fleet.
 // ---------------------------------------------------------------------------
 
 fn socket_cfg() -> SocketConfig {
@@ -183,6 +186,66 @@ fn socket_cfg() -> SocketConfig {
 fn socket_pair() -> Vec<Arc<caf_fabric::SocketFabric>> {
     let map = ImageMap::new(presets::mini(2, 1), 2, &Placement::Packed);
     fleet(&map, &socket_cfg())
+}
+
+/// Three processes, mixed transport: ranks 0 and 1 share segments, rank 2
+/// is pure-wire — the same AM program then exercises both delivery paths.
+fn mixed_trio() -> Vec<Arc<caf_fabric::SocketFabric>> {
+    let map = ImageMap::new(presets::mini(3, 1), 3, &Placement::Packed);
+    let shm = socket_cfg();
+    let wire = SocketConfig {
+        shm: false,
+        ..socket_cfg()
+    };
+    fleet_with(&map, &[shm.clone(), shm, wire])
+}
+
+#[test]
+fn mixed_fleet_am_orderings_hold_on_both_tiers() {
+    // The am → put_nb → am interleave against the shared-memory peer and
+    // the wire peer from one initiator: program order must hold on each
+    // leg independently, whatever tier carries it.
+    let fabrics = mixed_trio();
+    let initiator = fabrics[0].clone();
+    run_fleet(&fabrics, |f, me| {
+        if me == ProcId(0) {
+            for peer in [ProcId(1), ProcId(2)] {
+                let mut am = Am::new(f.clone(), me, wide());
+                am.put(peer, BSEG, 0, &10u64.to_ne_bytes());
+                let tok = am.put_nb(peer, BSEG, 0, &20u64.to_ne_bytes());
+                am.put(peer, BSEG, 8, &2u64.to_ne_bytes());
+                f.put_wait(me, tok);
+                am.quiet();
+                f.flag_add(me, peer, SPARE_FLAG, 1);
+            }
+        } else {
+            f.flag_wait_ge(me, SPARE_FLAG, 1);
+            let mut out = [0u8; 8];
+            f.get(me, me, BSEG, 0, &mut out);
+            assert_eq!(
+                u64::from_ne_bytes(out),
+                20,
+                "slot A on image {}: nb put must win",
+                me.index() + 1
+            );
+            f.get(me, me, BSEG, 8, &mut out);
+            assert_eq!(
+                u64::from_ne_bytes(out),
+                2,
+                "slot B on image {}: later AM must win",
+                me.index() + 1
+            );
+        }
+        f.image_done(me);
+    });
+    let s = initiator.stats().snapshot();
+    assert_eq!(s.ams_injected, 4, "two AMs per leg: {s:?}");
+    // Proof the fleet was mixed: the wire leg shipped frames; the shm leg
+    // (where the tier exists) landed its AM payloads without any.
+    assert!(s.wire_frames_tx > 0, "wire leg must ship frames: {s:?}");
+    if cfg!(unix) {
+        assert!(s.shm_puts >= 2, "shm leg must land AM + nb puts: {s:?}");
+    }
 }
 
 #[test]

@@ -20,6 +20,7 @@
 
 #![warn(missing_docs)]
 
+use caf_fabric::socket::shm;
 use caf_fabric::socket::wire::{read_frame, write_frame, Frame, Listener, Stream, WIRE_MAGIC};
 use caf_fabric::{NodeTelemetry, TelemetryPhase};
 use caf_obs::{FleetRegistry, NodeFeed, ObsServer};
@@ -189,13 +190,26 @@ impl From<std::io::Error> for LaunchError {
 const POLL: Duration = Duration::from_millis(50);
 
 /// Kills and reaps every still-running child on drop, so no error path —
-/// including a panic inside the launcher — leaks orphan processes.
+/// including a panic inside the launcher — leaks orphan processes. The
+/// same drop sweeps the fleet's shared-memory segment files: children
+/// unlink their own segments on a clean shutdown, but a killed or crashed
+/// child leaves its file behind, and `/dev/shm` litter must not outlive
+/// the launcher.
 struct Fleet {
     children: Vec<Child>,
+    /// Shared-segment namespace for this launch, exported to children as
+    /// `CAF_SHM_FLEET` — what the reap sweep matches file names against.
+    shm_tag: String,
 }
 
 impl Fleet {
     fn spawn(spec: &LaunchSpec, coord: &Addr) -> std::io::Result<Fleet> {
+        static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let shm_tag = format!(
+            "l{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        );
         let n = spec.node_images.len();
         let mut children = Vec::with_capacity(n);
         for rank in 0..n {
@@ -204,17 +218,22 @@ impl Fleet {
                 .env(ENV_NODE, rank.to_string())
                 .env(ENV_NODES, n.to_string())
                 .env(ENV_COORD, coord.to_string())
+                .env(shm::ENV_FLEET, &shm_tag)
                 .stdin(Stdio::null());
             if spec.respawn {
                 cmd.env(caf_fabric::ENV_RESPAWN, "1");
             }
             children.push(cmd.spawn()?);
         }
-        Ok(Fleet { children })
+        Ok(Fleet { children, shm_tag })
     }
 
     /// Reap the dead child at `rank` and spawn a fresh incarnation in its
-    /// slot, carrying the recovery generation it must rejoin at.
+    /// slot, carrying the recovery generation it must rejoin at. Stale
+    /// shared segments the dead incarnation left behind (its owner never
+    /// ran its unlink) are removed first: the rejoiner creates — and its
+    /// peers map — the *new* generation's segment, and a leftover file
+    /// must never be mistaken for it.
     fn respawn(
         &mut self,
         spec: &LaunchSpec,
@@ -223,11 +242,19 @@ impl Fleet {
         generation: u64,
     ) -> std::io::Result<()> {
         let _ = self.children[rank].wait();
+        let stale = shm::sweep_rank(&self.shm_tag, rank);
+        if stale > 0 {
+            eprintln!(
+                "caf-launch: removed {stale} stale shared segment(s) left by \
+                 node {rank}'s dead incarnation"
+            );
+        }
         let mut cmd = Command::new(&spec.command[0]);
         cmd.args(&spec.command[1..])
             .env(ENV_NODE, rank.to_string())
             .env(ENV_NODES, spec.node_images.len().to_string())
             .env(ENV_COORD, coord.to_string())
+            .env(shm::ENV_FLEET, &self.shm_tag)
             .env(caf_fabric::ENV_RESPAWN, "1")
             .env(caf_fabric::ENV_GENERATION, generation.to_string())
             .stdin(Stdio::null());
@@ -257,6 +284,10 @@ impl Drop for Fleet {
         for child in &mut self.children {
             let _ = child.wait();
         }
+        // Only after every child is reaped: a live child's mapping stays
+        // valid past the unlink, but sweeping first could race a child
+        // still creating its file.
+        shm::sweep_fleet(&self.shm_tag);
     }
 }
 

@@ -87,6 +87,75 @@ fn killed_node_is_reported_by_image_rank_within_timeout() {
 }
 
 #[test]
+fn respawned_fleet_completes_and_leaves_no_shm_litter() {
+    // Kill-and-recover drill: node 1 dies mid-run, the launcher respawns
+    // it at recovery generation 1, and the fleet still completes. The dead
+    // incarnation's shared segment (its owner never ran its unlink) must
+    // be swept before the respawn, and nothing with this launch's fleet
+    // tag may survive in the segment directory afterwards.
+    let t0 = Instant::now();
+    let child = Command::new(BIN)
+        .args([
+            "demo",
+            "--nodes",
+            "2",
+            "--cores",
+            "2",
+            "--images",
+            "4",
+            "--iters",
+            "3000",
+            "--kill-node",
+            "1",
+            "--kill-after-ms",
+            "150",
+            "--peer-timeout-ms",
+            "500",
+            "--run-timeout-ms",
+            "60000",
+            "--respawn",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn caf-launch");
+    let launcher_pid = child.id();
+    let out = child.wait_with_output().expect("run caf-launch");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "respawn drill should recover and exit 0\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(
+        stdout.contains("respawned and rejoined at recovery generation 1"),
+        "the recovery must actually have happened, got:\n{stdout}"
+    );
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(50),
+        "respawn drill must not hang, took {elapsed:?}"
+    );
+    // No shared-segment litter: every file of this launch's fleet tag
+    // ("l<launcher pid>-<seq>") is gone — clean children unlinked their
+    // own, the launcher swept the killed incarnation's.
+    let prefix = format!("caf-shm-l{launcher_pid}-");
+    let leftovers: Vec<String> = std::fs::read_dir(caf_fabric::socket::shm::segment_dir())
+        .map(|entries| {
+            entries
+                .flatten()
+                .filter_map(|e| e.file_name().to_str().map(str::to_owned))
+                .filter(|name| name.starts_with(&prefix))
+                .collect()
+        })
+        .unwrap_or_default();
+    assert!(
+        leftovers.is_empty(),
+        "launcher must sweep its fleet's shared segments, found: {leftovers:?}"
+    );
+}
+
+#[test]
 fn survivors_name_the_dead_peer_in_their_own_report() {
     // Same drill, but check the *survivors'* poison path too: images on the
     // living node fail loudly naming the dead peer process rather than

@@ -111,6 +111,18 @@ pub struct CostParams {
     /// same-socket traffic does not occupy the node-wide bus).
     pub gap_socket_ns: u64,
 
+    /// Cross-process same-node visibility latency through a mapped shared
+    /// segment, ns (≤ `l_intra_ns`: no kernel hop, just a store + fence).
+    /// This is the tier the runtime's `CAF_SOCKET_SHM` transport realizes.
+    pub l_shm_ns: u64,
+    /// Shared-segment serialization gap per message, ns — cheaper than
+    /// `gap_intra_ns` because there is no loopback/AM handler on the path,
+    /// only cache-coherency traffic.
+    pub gap_shm_ns: u64,
+    /// Shared-segment per-byte cost (1/bandwidth), picoseconds per byte.
+    /// A mapped memcpy runs at memory speed, so ≤ `g_intra_ps_per_byte`.
+    pub g_shm_ps_per_byte: u64,
+
     /// Inter-node wire latency, ns (≈ half RTT of a small RDMA put).
     pub l_inter_ns: u64,
     /// Inter-node initiator CPU overhead per operation, ns.
@@ -178,6 +190,29 @@ impl CostParams {
             self.o_inter_ns + self.gap_nic_ns + self.l_inter_ns
         }
     }
+
+    /// Payload time for `bytes` through a mapped shared segment, ns.
+    /// Falls back to the generic intra-node bandwidth when the shm tier is
+    /// not calibrated (0), so old parameter sets stay meaningful.
+    #[inline]
+    pub fn shm_payload_ns(&self, bytes: usize) -> u64 {
+        let g = if self.g_shm_ps_per_byte == 0 {
+            self.g_intra_ps_per_byte
+        } else {
+            self.g_shm_ps_per_byte
+        };
+        (bytes as u64).saturating_mul(g) / 1000
+    }
+
+    /// End-to-end unloaded latency of a small put through the shared-memory
+    /// tier (cross-process, same node). Uncalibrated parameter sets (0)
+    /// fall back to the generic intra-node tier.
+    pub fn shm_put_latency_ns(&self) -> u64 {
+        if self.l_shm_ns == 0 && self.gap_shm_ns == 0 {
+            return self.small_put_latency_ns(true);
+        }
+        self.o_intra_ns + self.gap_shm_ns + self.l_shm_ns
+    }
 }
 
 impl Default for CostParams {
@@ -200,6 +235,9 @@ mod tests {
             g_intra_ps_per_byte: 250, // 4 GB/s
             l_socket_ns: 100,
             gap_socket_ns: 50,
+            l_shm_ns: 60,
+            gap_shm_ns: 25,
+            g_shm_ps_per_byte: 200,
             l_inter_ns: 1800,
             o_inter_ns: 400,
             gap_nic_ns: 500,
@@ -261,6 +299,28 @@ mod tests {
         let mut slow_wire = params();
         slow_wire.l_inter_ns = u64::MAX / 8000;
         assert_eq!(slow_wire.pipeline_chunk_bytes(), 256 * 1024);
+    }
+
+    #[test]
+    fn shm_tier_is_the_cheapest_level() {
+        for c in [
+            params(),
+            crate::presets::whale_cost(),
+            crate::presets::numa_cost(),
+        ] {
+            assert!(
+                c.shm_put_latency_ns() <= c.small_put_latency_ns(true),
+                "shm tier must not be slower than the generic intra tier"
+            );
+            assert!(c.shm_payload_ns(4096) <= c.intra_payload_ns(4096));
+        }
+        // Uncalibrated sets degrade to the intra tier, not to zero cost.
+        let mut flat = params();
+        flat.l_shm_ns = 0;
+        flat.gap_shm_ns = 0;
+        flat.g_shm_ps_per_byte = 0;
+        assert_eq!(flat.shm_put_latency_ns(), flat.small_put_latency_ns(true));
+        assert_eq!(flat.shm_payload_ns(4000), flat.intra_payload_ns(4000));
     }
 
     #[test]

@@ -35,6 +35,12 @@ pub const fn whale_cost() -> CostParams {
         // evaluation treats the node as one shared-memory level).
         l_socket_ns: 100,
         gap_socket_ns: 100,
+        // Cross-process traffic through a mapped shared segment: no AM
+        // handler, no loopback — a store-and-fence plus coherency traffic,
+        // at full memcpy bandwidth (~5 GB/s on this hardware generation).
+        l_shm_ns: 80,
+        gap_shm_ns: 40,
+        g_shm_ps_per_byte: 200,
         l_inter_ns: 1_800,
         o_inter_ns: 400,
         gap_nic_ns: 150,
@@ -84,6 +90,9 @@ pub const fn numa_cost() -> CostParams {
         g_intra_ps_per_byte: 350,
         l_socket_ns: 60,
         gap_socket_ns: 25,
+        l_shm_ns: 120,
+        gap_shm_ns: 45,
+        g_shm_ps_per_byte: 280,
         l_inter_ns: 1_800,
         o_inter_ns: 400,
         gap_nic_ns: 150,

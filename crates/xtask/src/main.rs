@@ -1,15 +1,19 @@
 //! `cargo xtask` — repo automation.
 //!
-//! `cargo xtask check [--quick|--deep] [--seeds N] [--socket|--socket-only]`
+//! `cargo xtask check [--quick|--deep] [--seeds N] [--socket|--socket-only]
+//! [--shm-only]`
 //!
 //! builds and runs the `caf-check` differential harness (crates/check):
 //! the conformance program across the fabric × algorithm × chaos-seed
-//! matrix. `--quick` is the CI sweep (a few hundred seeded runs, well
-//! under a minute); `--deep` is the scheduled/manual sweep; `--socket`
-//! adds the third backend column (real multi-process `SocketFabric`
-//! fleets diffed against the sim oracle) and `--socket-only` runs just
-//! that column. Any extra flags are passed through to the `caf-check`
-//! binary, and `CAF_CHECK_SEED=<seed>` replays a single reported seed.
+//! matrix, plus the shared-memory column (real fleets with the zero-copy
+//! shm tier on, diffed against the sim oracle and the pure-wire fleet —
+//! part of every sweep, alone via `--shm-only`). `--quick` is the CI
+//! sweep (a few hundred seeded runs, about a minute); `--deep` is the
+//! scheduled/manual sweep; `--socket` adds the pure-wire backend column
+//! (real multi-process `SocketFabric` fleets diffed against the sim
+//! oracle) and `--socket-only` runs just that column. Any extra flags are
+//! passed through to the `caf-check` binary, and `CAF_CHECK_SEED=<seed>`
+//! replays a single reported seed.
 //!
 //! `cargo xtask bench-diff <baseline.json> <new.json> [--tolerance PCT]
 //! [--wall-tolerance PCT]`
@@ -222,7 +226,7 @@ fn check(passthrough: &[String]) -> Result<(), String> {
 
 fn usage() -> String {
     "usage: cargo xtask check [--quick|--deep] [--seeds N] [--socket|--socket-only]\n       \
-     \x20                 [--recover|--recover-only] [--kill-after-ms T]\n       \
+     \x20                 [--shm-only] [--recover|--recover-only] [--kill-after-ms T]\n       \
      cargo xtask bench-diff <baseline.json> <new.json> [--tolerance PCT]\n       \
      \x20                 [--wall-tolerance PCT] [--markdown]"
         .into()
