@@ -110,10 +110,14 @@ pub struct SocketConfig {
     /// the pure-socket path as the differential oracle.
     pub shm: bool,
     /// Shared-segment arena bytes reserved per hosted image
-    /// (`CAF_SOCKET_SHM_BYTES`). Segment allocation past this panics
-    /// loudly naming the knob — there is no silent heap fallback, because
-    /// mixing shm and wire data ops to one destination would break
-    /// point-to-point program order.
+    /// (`CAF_SOCKET_SHM_BYTES`). Allocation past this (or past the shared
+    /// directory's `shm::MAX_SEGS` entries) degrades gracefully: the
+    /// window spills to the owner's heap and peers reach it over the wire
+    /// — its directory entry stays unpublished, so both sides agree
+    /// without a handshake. Mixing wire and shm ops to one destination
+    /// stays ordered because flag publication falls back to the frame
+    /// path while asynchronous wire puts to that peer are unacked (see
+    /// `PendingTable::wire_nb_to`).
     pub shm_bytes_per_image: usize,
 }
 
@@ -274,12 +278,13 @@ struct ImageSlot {
 enum Pending {
     /// A blocking caller parked on the table's condvar.
     Sync(Option<Reply>),
-    /// A nonblocking put; `img` indexes `outstanding_nb`.
-    Nb { img: usize },
+    /// A nonblocking put; `img` indexes `outstanding_nb` and `rank`
+    /// indexes `wire_nb_to`.
+    Nb { img: usize, rank: usize },
     /// An active-message batch awaiting its ack. Shares the sender's
     /// `outstanding_nb` debt so `quiet` covers batched AMs, but does not
     /// count as a nonblocking-put completion in the stats.
-    AmBatch { img: usize },
+    AmBatch { img: usize, rank: usize },
 }
 
 enum Reply {
@@ -293,6 +298,15 @@ enum Reply {
 struct PendingTable {
     entries: HashMap<u64, Pending>,
     outstanding_nb: Vec<u64>,
+    /// Unacked asynchronous wire data ops (nonblocking puts, AM batches)
+    /// per destination *process rank*. While this is non-zero for a rank,
+    /// a flag routed through shared memory could become visible at that
+    /// destination before the in-flight payload (a window spilled to the
+    /// owner's heap travels by frame even between same-host peers), so the
+    /// shm flag fast path must yield to the frame path — frames on the
+    /// shared per-peer connection apply in send order, which restores the
+    /// put_nb point-to-point ordering contract.
+    wire_nb_to: Vec<u64>,
 }
 
 /// The buffered, serialized write half of one egress connection.
@@ -513,6 +527,7 @@ impl SocketFabric {
             pending: Mutex::new(PendingTable {
                 entries: HashMap::new(),
                 outstanding_nb: vec![0; n_images],
+                wire_nb_to: vec![0; n_procs],
             }),
             pending_cv: Condvar::new(),
             parked: AtomicUsize::new(0),
@@ -1358,6 +1373,9 @@ impl SocketFabric {
             for n in g.outstanding_nb.iter_mut() {
                 *n = 0;
             }
+            for n in g.wire_nb_to.iter_mut() {
+                *n = 0;
+            }
         }
         *self.poisoned.lock() = None;
         self.poison_flag.store(false, Ordering::Release);
@@ -1434,11 +1452,12 @@ impl SocketFabric {
 
     /// Shared-memory fast path toward `dst`: `Some(peer)` when the shm tier
     /// is on, `dst` lives in a *different process* whose segment this
-    /// process has mapped. All-or-nothing per destination — once a peer's
-    /// segment is mapped, every data op toward it goes through shared
-    /// memory, so the per-direction ordering contract of the wire carries
-    /// over unchanged. Dead peers are never serviced through shared memory:
-    /// poison wins, loudly.
+    /// process has mapped. Per-destination with one carve-out: a window the
+    /// owner spilled to its heap (directory full / arena exhausted) is
+    /// reached over the wire even between mapped peers, so flag publication
+    /// must consult [`Self::wire_debt_to`] before skipping the frame path.
+    /// Dead peers are never serviced through shared memory: poison wins,
+    /// loudly.
     fn shm_to(&self, me: ProcId, dst: ProcId) -> Option<Arc<ShmPeer>> {
         let rank = self.proc_of_image[dst.index()];
         let peer = self.shm_peers[rank].read().clone()?;
@@ -1451,6 +1470,18 @@ impl SocketFabric {
             );
         }
         Some(peer)
+    }
+
+    /// True while any asynchronous wire data op (nonblocking put, AM
+    /// batch) from this process to the process hosting `dst` is still
+    /// unacked. A flag or AM batch applied through shared memory while
+    /// this holds could overtake that payload at the destination — the
+    /// caller must fall back to the frame path, whose per-connection send
+    /// order restores the put_nb point-to-point contract. Once the debt is
+    /// zero every prior wire put has been applied remotely (the ack is
+    /// sent after the write lands), so the shm fast path is safe again.
+    fn wire_debt_to(&self, dst: ProcId) -> bool {
+        self.pending.lock().wire_nb_to[self.proc_of_image[dst.index()]] > 0
     }
 
     fn is_local(&self, img: ProcId) -> bool {
@@ -1638,16 +1669,18 @@ impl SocketFabric {
         let mut g = self.pending.lock();
         match g.entries.get_mut(&cookie) {
             Some(Pending::Sync(slot)) => *slot = Some(reply),
-            Some(Pending::Nb { img }) => {
-                let img = *img;
+            Some(Pending::Nb { img, rank }) => {
+                let (img, rank) = (*img, *rank);
                 g.entries.remove(&cookie);
                 g.outstanding_nb[img] -= 1;
+                g.wire_nb_to[rank] -= 1;
                 self.stats.record_put_nb_complete();
             }
-            Some(Pending::AmBatch { img }) => {
-                let img = *img;
+            Some(Pending::AmBatch { img, rank }) => {
+                let (img, rank) = (*img, *rank);
                 g.entries.remove(&cookie);
                 g.outstanding_nb[img] -= 1;
+                g.wire_nb_to[rank] -= 1;
             }
             // Late response after a timeout already poisoned: drop it.
             None => {}
@@ -1884,7 +1917,12 @@ impl Fabric for SocketFabric {
                 p.window(dst.index(), seg)
                     .expect("window published at the batch check above")
             };
-            if all_shared {
+            // The debt check mirrors `flag_add`: a batch applied through
+            // shared memory while a wire nb put to this peer is unacked
+            // could publish its flags before that payload lands. Sent as a
+            // frame instead, the batch queues behind the put on the shared
+            // connection and vector order is preserved end to end.
+            if all_shared && !self.wire_debt_to(dst) {
                 // Apply the batch in vector order directly against the
                 // peer's mapped segment — the same order the ingress thread
                 // would use. Flag adds use release stores, so fused
@@ -1933,10 +1971,17 @@ impl Fabric for SocketFabric {
         // has remotely completed — same completion contract as `put_nb`.
         let cookie = self.new_cookie();
         {
+            let rank = self.proc_of_image[dst.index()];
             let mut g = self.pending.lock();
-            g.entries
-                .insert(cookie, Pending::AmBatch { img: me.index() });
+            g.entries.insert(
+                cookie,
+                Pending::AmBatch {
+                    img: me.index(),
+                    rank,
+                },
+            );
             g.outstanding_nb[me.index()] += 1;
+            g.wire_nb_to[rank] += 1;
         }
         let (queue_ns, _rank) = self.send_request(
             me,
@@ -1987,9 +2032,17 @@ impl Fabric for SocketFabric {
         self.stats.record_put_nb(false, bytes.len());
         let cookie = self.new_cookie();
         {
+            let rank = self.proc_of_image[dst.index()];
             let mut g = self.pending.lock();
-            g.entries.insert(cookie, Pending::Nb { img: me.index() });
+            g.entries.insert(
+                cookie,
+                Pending::Nb {
+                    img: me.index(),
+                    rank,
+                },
+            );
             g.outstanding_nb[me.index()] += 1;
+            g.wire_nb_to[rank] += 1;
         }
         let (queue_ns, _rank) = self.send_request(
             me,
@@ -2256,8 +2309,15 @@ impl Fabric for SocketFabric {
         }
         // Flags past the shared table are heap cells on the owner, reached
         // only over the wire (the alloc side uses the same index rule).
+        // With nb wire debt outstanding toward this peer (a put into a
+        // spilled window still in flight), the shared cell would publish
+        // before that payload applies — take the frame path instead, whose
+        // send order restores the put_nb contract.
         if flag.0 < shm::MAX_FLAGS {
-            if let Some(p) = self.shm_to(me, target) {
+            if let Some(p) = self
+                .shm_to(me, target)
+                .filter(|_| !self.wire_debt_to(target))
+            {
                 // Release on the shared cell publishes every prior shm put to
                 // this peer; the waiter's acquire load pairs with it. The
                 // waiter's parked phase is a bounded (200µs) poll, so no

@@ -108,12 +108,23 @@ pub fn file_name(tag: &str, generation: u64, rank: usize) -> String {
     format!("{}g{generation}-r{rank}", fleet_prefix(tag))
 }
 
+/// Parse `name` as a segment file of fleet `tag`, returning its
+/// `(generation, rank)`. The remainder after the fleet prefix must match
+/// the full `g<digits>-r<digits>` structure [`file_name`] produces: a tag
+/// that is merely a *prefix* of another fleet's tag (`ab` vs `ab-1` — the
+/// tag is user-settable via `CAF_SHM_FLEET`) leaves a non-digit residue
+/// and is rejected, so one fleet's sweep can never claim another's files.
+fn parse_fleet_file(name: &str, tag: &str) -> Option<(u64, usize)> {
+    let rest = name.strip_prefix(&fleet_prefix(tag))?;
+    let (generation, rank) = rest.strip_prefix('g')?.split_once("-r")?;
+    Some((generation.parse().ok()?, rank.parse().ok()?))
+}
+
 /// True when `name` is a segment file of fleet `tag` owned by `rank`
 /// (any generation) — the stale files the launcher removes before
 /// respawning that rank.
 pub fn is_rank_file(name: &str, tag: &str, rank: usize) -> bool {
-    name.strip_prefix(&fleet_prefix(tag))
-        .is_some_and(|rest| rest.starts_with('g') && rest.ends_with(&format!("-r{rank}")))
+    parse_fleet_file(name, tag).is_some_and(|(_, r)| r == rank)
 }
 
 fn fleet_tag() -> String {
@@ -131,7 +142,7 @@ fn fleet_tag() -> String {
 /// the launcher's teardown/crash sweep, so no `/dev/shm` litter survives
 /// a reaped fleet. Returns how many files were removed.
 pub fn sweep_fleet(tag: &str) -> usize {
-    sweep_matching(|name| name.starts_with(&fleet_prefix(tag)))
+    sweep_matching(|name| parse_fleet_file(name, tag).is_some())
 }
 
 /// Remove `rank`'s segment files of fleet `tag` from *any* generation —
@@ -788,5 +799,26 @@ mod tests {
         assert!(is_rank_file("caf-shm-ab-1-g0-r3", "ab-1", 3));
         assert!(!is_rank_file("caf-shm-ab-1-g2-r13", "ab-1", 3));
         assert!(!is_rank_file("caf-shm-other-g2-r3", "ab-1", 3));
+    }
+
+    #[test]
+    fn fleet_match_rejects_prefix_collisions_between_tags() {
+        // `CAF_SHM_FLEET` is user-settable, so one tag can be a raw prefix
+        // of another (`ab` vs `ab-1`). The sweep must only claim files
+        // whose post-prefix remainder has the full g<gen>-r<rank> shape.
+        assert_eq!(parse_fleet_file("caf-shm-ab-g2-r3", "ab"), Some((2, 3)));
+        assert_eq!(
+            parse_fleet_file(&file_name("ab", 0, 11), "ab"),
+            Some((0, 11))
+        );
+        // Fleet "ab-1"'s files are not fleet "ab"'s, despite the prefix.
+        assert_eq!(parse_fleet_file("caf-shm-ab-1-g2-r3", "ab"), None);
+        // ...and vice versa.
+        assert_eq!(parse_fleet_file("caf-shm-ab-g2-r3", "ab-1"), None);
+        // Structural garbage after a matching prefix is left alone.
+        assert_eq!(parse_fleet_file("caf-shm-ab-gx-r3", "ab"), None);
+        assert_eq!(parse_fleet_file("caf-shm-ab-g2", "ab"), None);
+        assert_eq!(parse_fleet_file("caf-shm-ab-", "ab"), None);
+        assert_eq!(parse_fleet_file("caf-shm-other-g2-r3", "ab"), None);
     }
 }

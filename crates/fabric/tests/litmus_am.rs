@@ -331,3 +331,60 @@ fn socket_fused_put_flag_payload_visible_when_flag_trips() {
     let s = initiator.stats().snapshot();
     assert_eq!(s.am_fused, 1, "the put+flag pair must fuse on the wire too");
 }
+
+#[cfg(unix)]
+#[test]
+fn spilled_put_nb_before_shm_am_flag_keeps_point_to_point_order() {
+    // The AM twin of the spilled-put_nb litmus in litmus_putnb.rs: a
+    // put_nb into a window the owner spilled past the shared directory is
+    // still in flight on the wire when an AM batch carrying a FlagAdd to
+    // an in-table flag is delivered. Applied through shared memory, that
+    // batch would publish the flag ahead of the payload; the fabric must
+    // instead send it as a frame while nb debt to the peer is outstanding,
+    // so it queues behind the put on the shared connection.
+    use caf_fabric::socket::shm;
+    use caf_fabric::AmOp;
+    const ACK_FLAG: FlagId = FlagId(3); // bootstrap allocates NUM_FLAGS = 4
+    let fabrics = socket_pair();
+    run_fleet(&fabrics, move |f, me| {
+        let mut spilled = None;
+        for _ in 0..shm::MAX_SEGS {
+            let s = f.alloc_segment(me, 64);
+            if s.0 >= shm::MAX_SEGS {
+                spilled = Some(s);
+            }
+        }
+        let spilled = spilled.unwrap();
+        bootstrap::control_barrier(&*f, me, &mut 0);
+        let peer = ProcId(1 - me.index());
+        if me == ProcId(0) {
+            for k in 1..=2000u64 {
+                // No put_wait, no quiet: the batched flag alone publishes.
+                f.put_nb(me, peer, spilled, 0, &k.to_ne_bytes());
+                f.am_deliver(
+                    me,
+                    peer,
+                    &[AmOp::FlagAdd {
+                        flag: SPARE_FLAG,
+                        delta: 1,
+                    }],
+                );
+                f.flag_wait_ge(me, ACK_FLAG, k);
+            }
+            f.quiet(me);
+        } else {
+            for k in 1..=2000u64 {
+                f.flag_wait_ge(me, SPARE_FLAG, k);
+                let mut b = [0u8; 8];
+                f.get(me, me, spilled, 0, &mut b);
+                assert_eq!(
+                    u64::from_ne_bytes(b),
+                    k,
+                    "AM flag overtook the spilled put_nb payload at round {k}"
+                );
+                f.flag_add(me, peer, ACK_FLAG, 1);
+            }
+        }
+        f.image_done(me);
+    });
+}

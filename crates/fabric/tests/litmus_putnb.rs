@@ -512,6 +512,9 @@ fn shm_flag_table_overflow_degrades_to_wire_flags() {
         let inside = first; // below MAX_FLAGS: shared-table cell
         let spilled = FlagId(first.0 + shm::MAX_FLAGS - 1); // past the table
         assert!(inside.0 < shm::MAX_FLAGS && spilled.0 >= shm::MAX_FLAGS);
+        // Allocation is image-local: sync before aiming wire frames at the
+        // fresh ids, or a fast sender races the peer's own alloc_flags.
+        bootstrap::control_barrier(&*f, me, &mut 0);
         let peer = ProcId(1 - me.index());
         if me == ProcId(0) {
             f.flag_add(me, peer, spilled, 7);
@@ -592,6 +595,60 @@ fn shm_segment_directory_overflow_spills_to_wire_windows() {
             let mut c = [0u8; 64];
             f.get(me, ProcId(0), spilled, 0, &mut c);
             assert_eq!(c, [0u8; 64], "spilled get read the wrong backing");
+        }
+        f.image_done(me);
+    });
+}
+
+#[cfg(unix)]
+#[test]
+fn spilled_put_nb_before_shm_flag_keeps_point_to_point_order() {
+    // The cross-tier ordering hazard of a mixed destination: a put_nb into
+    // a window the owner spilled past the shared directory travels as a
+    // wire frame applied only when the owner's ingress thread services it,
+    // while a subsequent flag_add to an in-table flag could land instantly
+    // through the shared table — overtaking the payload and breaking the
+    // put_nb contract (payload visible after a later flag update to the
+    // same target). The fabric must route the flag over the wire while nb
+    // debt to that peer is outstanding, so frame order restores program
+    // order. Unfenced rounds give the race a real window every iteration.
+    use caf_fabric::socket::shm;
+    const ACK_FLAG: FlagId = FlagId(3); // bootstrap allocates NUM_FLAGS = 4
+    let fabrics = socket_pair();
+    run_fleet(&fabrics, move |f, me| {
+        // Identical allocation sequences on both images push the top ids
+        // past the shared directory, exactly as the directory-overflow
+        // litmus above.
+        let mut spilled = None;
+        for _ in 0..shm::MAX_SEGS {
+            let s = f.alloc_segment(me, 64);
+            if s.0 >= shm::MAX_SEGS {
+                spilled = Some(s);
+            }
+        }
+        let spilled = spilled.unwrap();
+        bootstrap::control_barrier(&*f, me, &mut 0);
+        let peer = ProcId(1 - me.index());
+        if me == ProcId(0) {
+            for k in 1..=2000u64 {
+                // No put_wait, no quiet: the flag alone must publish it.
+                f.put_nb(me, peer, spilled, 0, &k.to_ne_bytes());
+                f.flag_add(me, peer, SPARE_FLAG, 1);
+                f.flag_wait_ge(me, ACK_FLAG, k);
+            }
+            f.quiet(me);
+        } else {
+            for k in 1..=2000u64 {
+                f.flag_wait_ge(me, SPARE_FLAG, k);
+                let mut b = [0u8; 8];
+                f.get(me, me, spilled, 0, &mut b);
+                assert_eq!(
+                    u64::from_ne_bytes(b),
+                    k,
+                    "flag overtook the spilled put_nb payload at round {k}"
+                );
+                f.flag_add(me, peer, ACK_FLAG, 1);
+            }
         }
         f.image_done(me);
     });

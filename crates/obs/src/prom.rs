@@ -245,6 +245,35 @@ impl FleetRegistry {
         }
 
         help(
+            "caf_shm_puts_total",
+            "counter",
+            "cross-process puts serviced through the shared-memory tier",
+            &mut out,
+        );
+        help(
+            "caf_shm_bytes_total",
+            "counter",
+            "payload bytes moved through the shared-memory tier",
+            &mut out,
+        );
+        help(
+            "caf_shm_flag_ops_total",
+            "counter",
+            "flag/AMO operations on shared-table atomics (no wire frame)",
+            &mut out,
+        );
+        for (r, s) in g.iter().enumerate() {
+            if let Some(t) = &s.telemetry {
+                out.push_str(&format!(
+                    "caf_shm_puts_total{{node=\"{r}\"}} {}\n\
+                     caf_shm_bytes_total{{node=\"{r}\"}} {}\n\
+                     caf_shm_flag_ops_total{{node=\"{r}\"}} {}\n",
+                    t.stats.shm_puts, t.stats.shm_bytes, t.stats.shm_flag_ops,
+                ));
+            }
+        }
+
+        help(
             "caf_put_ack_latency_ns",
             "summary",
             "blocking remote put send-to-ack service time",
@@ -328,6 +357,9 @@ mod tests {
                 ams_injected: 40,
                 am_batches_flushed: 5,
                 am_fused: 12,
+                shm_puts: 33,
+                shm_bytes: 2112,
+                shm_flag_ops: 8,
                 ..StatsSnapshot::default()
             },
             obs: ObsSnapshot::default(),
@@ -363,6 +395,9 @@ mod tests {
         assert!(m.contains("caf_ams_total{node=\"0\"} 40"), "{m}");
         assert!(m.contains("caf_am_batches_total{node=\"1\"} 5"), "{m}");
         assert!(m.contains("caf_am_fused_total{node=\"0\"} 12"), "{m}");
+        assert!(m.contains("caf_shm_puts_total{node=\"0\"} 33"), "{m}");
+        assert!(m.contains("caf_shm_bytes_total{node=\"1\"} 2112"), "{m}");
+        assert!(m.contains("caf_shm_flag_ops_total{node=\"0\"} 8"), "{m}");
         // Out-of-range update must be dropped, not panic.
         reg.update(7, telemetry(7, 1));
     }

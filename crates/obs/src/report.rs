@@ -112,7 +112,8 @@ fn stats_fields(s: &StatsSnapshot) -> String {
          \"wire_frames_rx\": {}, \"wire_bytes_tx\": {}, \
          \"wire_bytes_rx\": {}, \"wire_retries\": {}, \"wire_reconnects\": {}, \
          \"ams_injected\": {}, \"am_batches_flushed\": {}, \
-         \"am_payload_bytes\": {}, \"am_fused\": {}",
+         \"am_payload_bytes\": {}, \"am_fused\": {}, \
+         \"shm_puts\": {}, \"shm_bytes\": {}, \"shm_flag_ops\": {}",
         s.puts_intra,
         s.puts_inter,
         s.gets_intra,
@@ -134,7 +135,10 @@ fn stats_fields(s: &StatsSnapshot) -> String {
         s.ams_injected,
         s.am_batches_flushed,
         s.am_payload_bytes,
-        s.am_fused
+        s.am_fused,
+        s.shm_puts,
+        s.shm_bytes,
+        s.shm_flag_ops
     )
 }
 
@@ -188,6 +192,9 @@ mod tests {
                         am_batches_flushed: 4,
                         am_payload_bytes: 512,
                         am_fused: 16,
+                        shm_puts: 21,
+                        shm_bytes: 1344,
+                        shm_flag_ops: 9,
                         ..StatsSnapshot::default()
                     },
                     obs: ObsSnapshot {
@@ -262,6 +269,14 @@ mod tests {
         assert_eq!(
             stats.get("am_fused").and_then(json::Value::as_f64),
             Some(16.0)
+        );
+        assert_eq!(
+            stats.get("shm_puts").and_then(json::Value::as_f64),
+            Some(21.0)
+        );
+        assert_eq!(
+            stats.get("shm_flag_ops").and_then(json::Value::as_f64),
+            Some(9.0)
         );
         let ack = n0.get("put_ack_ns").expect("put_ack_ns");
         assert_eq!(ack.get("count").and_then(json::Value::as_f64), Some(2.0));
